@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks B1/B2: spanner construction time.
+//!
+//! Covers the three theorem constructions on constant-density unit-disk
+//! graphs of increasing size, plus the ablation sequential-vs-parallel
+//! per-node tree computation called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rspan_bench::scaled_density_udg;
+use rspan_core::{
+    epsilon_remote_spanner, epsilon_remote_spanner_greedy, exact_remote_spanner,
+    k_connecting_remote_spanner, k_connecting_remote_spanner_threads,
+    two_connecting_remote_spanner,
+};
+
+fn construction_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/size");
+    group.sample_size(10);
+    for &n in &[200usize, 400, 800] {
+        let w = scaled_density_udg(n, 12.0, 3);
+        group.bench_with_input(BenchmarkId::new("thm2_k1", n), &w.graph, |b, g| {
+            b.iter(|| exact_remote_spanner(g).num_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("thm2_k2", n), &w.graph, |b, g| {
+            b.iter(|| k_connecting_remote_spanner(g, 2).num_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("thm1_eps_half", n), &w.graph, |b, g| {
+            b.iter(|| epsilon_remote_spanner(g, 0.5).num_edges())
+        });
+        group.bench_with_input(BenchmarkId::new("thm3", n), &w.graph, |b, g| {
+            b.iter(|| two_connecting_remote_spanner(g).num_edges())
+        });
+    }
+    group.finish();
+}
+
+fn greedy_versus_mis_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/tree-ablation");
+    group.sample_size(10);
+    let w = scaled_density_udg(500, 12.0, 5);
+    group.bench_function("thm1_mis_trees", |b| {
+        b.iter(|| epsilon_remote_spanner(&w.graph, 0.5).num_edges())
+    });
+    group.bench_function("thm1_greedy_trees", |b| {
+        b.iter(|| epsilon_remote_spanner_greedy(&w.graph, 0.5).num_edges())
+    });
+    group.finish();
+}
+
+fn sequential_versus_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/parallelism");
+    group.sample_size(10);
+    let w = scaled_density_udg(1200, 14.0, 7);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("thm2_k2_threads", threads),
+            &threads,
+            |b, &t| b.iter(|| k_connecting_remote_spanner_threads(&w.graph, 2, t).num_edges()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    construction_by_size,
+    greedy_versus_mis_trees,
+    sequential_versus_parallel
+);
+criterion_main!(benches);

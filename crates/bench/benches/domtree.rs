@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks B3: per-node dominating-tree construction
+//! (Algorithms 1, 2, 4 and 5) as a function of the local density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rspan_bench::fixed_square_poisson_udg;
+use rspan_domtree::{dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis};
+use rspan_graph::Node;
+
+fn tree_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("domtree/per-node");
+    // Growing n in a fixed square = growing degree: the per-node cost is what
+    // the LOCAL model cares about.
+    for &n in &[200.0f64, 400.0, 800.0] {
+        let w = fixed_square_poisson_udg(n, 5.0, 11);
+        let g = w.graph;
+        let nodes: Vec<Node> = (0..g.n() as Node).step_by((g.n() / 16).max(1)).collect();
+        group.bench_with_input(BenchmarkId::new("alg1_greedy_r2", g.n()), &g, |b, g| {
+            b.iter(|| {
+                nodes
+                    .iter()
+                    .map(|&u| dom_tree_greedy(g, u, 2, 0).num_edges())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alg2_mis_r3", g.n()), &g, |b, g| {
+            b.iter(|| {
+                nodes
+                    .iter()
+                    .map(|&u| dom_tree_mis(g, u, 3).num_edges())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alg4_kgreedy_k2", g.n()), &g, |b, g| {
+            b.iter(|| {
+                nodes
+                    .iter()
+                    .map(|&u| dom_tree_k_greedy(g, u, 2).num_edges())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("alg5_kmis_k2", g.n()), &g, |b, g| {
+            b.iter(|| {
+                nodes
+                    .iter()
+                    .map(|&u| dom_tree_k_mis(g, u, 2).num_edges())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_algorithms);
+criterion_main!(benches);

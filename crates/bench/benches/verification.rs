@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks B4: stretch verification and disjoint-path
+//! queries (the measurement machinery itself, so experiment runtimes can be
+//! budgeted).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rspan_bench::scaled_density_udg;
+use rspan_core::{
+    exact_remote_spanner, sample_nonadjacent_pairs, two_connecting_remote_spanner,
+    verify_k_connecting_pairs, verify_remote_stretch,
+};
+use rspan_flow::dk_distance;
+
+fn remote_stretch_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification/remote-stretch");
+    group.sample_size(10);
+    for &n in &[150usize, 300, 600] {
+        let w = scaled_density_udg(n, 12.0, 13);
+        let built = exact_remote_spanner(&w.graph);
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &built, |b, built| {
+            b.iter(|| verify_remote_stretch(&built.spanner, &built.guarantee).violations)
+        });
+    }
+    group.finish();
+}
+
+fn k_connecting_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification/k-connecting");
+    group.sample_size(10);
+    let w = scaled_density_udg(250, 12.0, 17);
+    let built = two_connecting_remote_spanner(&w.graph);
+    for &pairs in &[25usize, 100] {
+        let sample = sample_nonadjacent_pairs(&w.graph, pairs, 3);
+        group.bench_with_input(BenchmarkId::new("sampled-pairs", pairs), &sample, |b, s| {
+            b.iter(|| {
+                verify_k_connecting_pairs(&built.spanner, &built.guarantee, s).triples_checked
+            })
+        });
+    }
+    group.finish();
+}
+
+fn disjoint_path_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification/dk-distance");
+    let w = scaled_density_udg(400, 12.0, 19);
+    let pairs = sample_nonadjacent_pairs(&w.graph, 20, 7);
+    for &k in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("dk", k), &k, |b, &k| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .filter_map(|&(s, t)| dk_distance(&w.graph, s, t, k))
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    remote_stretch_verification,
+    k_connecting_verification,
+    disjoint_path_queries
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Experiment E5 — Theorem 2: k-connecting `(1, 0)`-remote-spanners on random
+//! unit-disk graphs have `O(k^{2/3} n^{4/3} log n)` expected edges.
+//!
+//! Sweeps `k` at fixed `n` (expected growth ≈ `k^{2/3}`, i.e. clearly
+//! sub-linear in `k`) and `n` at fixed `k` (expected exponent ≈ 4/3, as in
+//! E3), on the fixed-square Poisson model of the paper.
+//!
+//! Run with `cargo run -p rspan-bench --release --bin scaling_kconn`.
+
+use rspan_bench::{fixed_square_poisson_udg, format_table, power_fit_row, Cell, Table};
+use rspan_core::k_connecting_remote_spanner;
+
+fn main() {
+    println!("=== E5: k-connecting (1,0)-remote-spanner scaling (Theorem 2) ===\n");
+
+    // ---- k-sweep -------------------------------------------------------------
+    println!("-- k-sweep (Poisson UDG, n ≈ 600, fixed square) --");
+    let w = fixed_square_poisson_udg(600.0, 6.0, 5);
+    println!(
+        "instance: n = {}, |E| = {}, average degree {:.1}\n",
+        w.graph.n(),
+        w.graph.m(),
+        w.graph.avg_degree()
+    );
+    let ks = [1usize, 2, 3, 4, 6, 8];
+    let mut table = Table::new(vec!["k", "RS edges", "% of G", "edges / k^(2/3)"]);
+    let mut kvals = Vec::new();
+    let mut edges = Vec::new();
+    for &k in &ks {
+        let built = k_connecting_remote_spanner(&w.graph, k);
+        kvals.push(k as f64);
+        edges.push(built.num_edges() as f64);
+        table.push_row(vec![
+            Cell::Int(k as u64),
+            Cell::Int(built.num_edges() as u64),
+            Cell::Float(100.0 * built.num_edges() as f64 / w.graph.m() as f64, 1),
+            Cell::Float(built.num_edges() as f64 / (k as f64).powf(2.0 / 3.0), 0),
+        ]);
+    }
+    println!("{}", format_table(&table));
+    let (line, fit) = power_fit_row("RS edges vs k", &kvals, &edges, 2.0 / 3.0);
+    println!("{line}");
+    assert!(
+        fit.slope < 1.0,
+        "edge count must grow sub-linearly in k (measured exponent {:.3})",
+        fit.slope
+    );
+
+    // ---- n-sweep at k = 2 ----------------------------------------------------
+    println!("\n-- n-sweep (k = 2, fixed square) --");
+    let sizes = [150.0, 250.0, 400.0, 650.0, 1000.0];
+    let mut table = Table::new(vec!["n (avg)", "G edges", "RS edges", "% of G"]);
+    let mut ns = Vec::new();
+    let mut rs = Vec::new();
+    let mut full = Vec::new();
+    for &expected_n in &sizes {
+        let mut acc = (0.0, 0.0, 0.0);
+        let seeds = [31u64, 32];
+        for &seed in &seeds {
+            let w = fixed_square_poisson_udg(expected_n, 6.0, seed);
+            let built = k_connecting_remote_spanner(&w.graph, 2);
+            acc.0 += w.graph.n() as f64;
+            acc.1 += w.graph.m() as f64;
+            acc.2 += built.num_edges() as f64;
+        }
+        let runs = seeds.len() as f64;
+        let (n, m, e) = (acc.0 / runs, acc.1 / runs, acc.2 / runs);
+        ns.push(n);
+        full.push(m);
+        rs.push(e);
+        table.push_row(vec![
+            Cell::Float(n, 0),
+            Cell::Float(m, 0),
+            Cell::Float(e, 0),
+            Cell::Float(100.0 * e / m, 1),
+        ]);
+    }
+    println!("{}", format_table(&table));
+    let (line_f, fit_f) = power_fit_row("full topology", &ns, &full, 2.0);
+    let (line_r, fit_r) = power_fit_row("2-connecting RS", &ns, &rs, 4.0 / 3.0);
+    println!("{line_f}");
+    println!("{line_r}");
+    assert!(
+        fit_r.slope < fit_f.slope - 0.3,
+        "k-connecting remote-spanner did not grow significantly slower than the full topology"
+    );
+}

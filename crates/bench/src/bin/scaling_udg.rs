@@ -1,0 +1,77 @@
+//! Experiment E3 — edge-count scaling of `(1, 0)`-remote-spanners on random
+//! unit-disk graphs (§1.1 and Theorem 2, the `O(n^{4/3})` claim).
+//!
+//! Nodes are Poisson-distributed in a *fixed* square, so the full topology
+//! grows as `Θ(n²)` while the optimal `(1, 0)`-remote-spanner grows as
+//! `O(n^{4/3})` (and the greedy construction as `O(n^{4/3} log n)`).  The
+//! harness sweeps `n`, reports edge counts and fits log–log slopes; the paper
+//! is reproduced when the full-topology exponent is ≈ 2 and the remote-spanner
+//! exponent sits near 4/3 (the extra `log n` nudges it slightly above).
+//!
+//! Run with `cargo run -p rspan-bench --release --bin scaling_udg`.
+
+use rspan_bench::{fixed_square_poisson_udg, format_table, power_fit_row, Cell, Table};
+use rspan_core::{exact_remote_spanner, spanner_stats};
+
+fn main() {
+    println!("=== E3: (1,0)-remote-spanner scaling on random UDG (fixed square) ===\n");
+    let side = 6.0;
+    let sizes = [150.0, 250.0, 400.0, 650.0, 1000.0, 1500.0];
+    let seeds = [11u64, 12, 13];
+
+    let mut table = Table::new(vec![
+        "n (avg)",
+        "G edges",
+        "RS edges",
+        "RS % of G",
+        "RS edges / n^(4/3)",
+        "avg RS degree",
+    ]);
+    let mut ns = Vec::new();
+    let mut full_edges = Vec::new();
+    let mut rs_edges = Vec::new();
+
+    for &expected_n in &sizes {
+        let mut n_sum = 0.0;
+        let mut m_sum = 0.0;
+        let mut rs_sum = 0.0;
+        let mut deg_sum = 0.0;
+        for &seed in &seeds {
+            let w = fixed_square_poisson_udg(expected_n, side, seed);
+            let built = exact_remote_spanner(&w.graph);
+            let stats = spanner_stats(&built.spanner);
+            n_sum += w.graph.n() as f64;
+            m_sum += w.graph.m() as f64;
+            rs_sum += built.num_edges() as f64;
+            deg_sum += stats.avg_degree;
+        }
+        let runs = seeds.len() as f64;
+        let (n, m, rs) = (n_sum / runs, m_sum / runs, rs_sum / runs);
+        ns.push(n);
+        full_edges.push(m);
+        rs_edges.push(rs);
+        table.push_row(vec![
+            Cell::Float(n, 0),
+            Cell::Float(m, 0),
+            Cell::Float(rs, 0),
+            Cell::Float(100.0 * rs / m, 1),
+            Cell::Float(rs / n.powf(4.0 / 3.0), 3),
+            Cell::Float(deg_sum / runs, 2),
+        ]);
+    }
+    println!("{}", format_table(&table));
+
+    let (line_full, fit_full) = power_fit_row("full topology", &ns, &full_edges, 2.0);
+    let (line_rs, fit_rs) = power_fit_row("(1,0)-remote-spanner", &ns, &rs_edges, 4.0 / 3.0);
+    println!("\n{line_full}");
+    println!("{line_rs}");
+    println!(
+        "\nshape check: remote-spanner exponent ({:.3}) is well below the full-topology \
+         exponent ({:.3}); the paper predicts ≈ 4/3 + o(1) versus 2.",
+        fit_rs.slope, fit_full.slope
+    );
+    assert!(
+        fit_rs.slope < fit_full.slope - 0.3,
+        "remote-spanner did not grow significantly slower than the full topology"
+    );
+}

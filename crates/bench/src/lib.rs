@@ -1,0 +1,19 @@
+//! Shared infrastructure for the experiment harnesses (E1–E11) and the
+//! Criterion micro-benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §3 and EXPERIMENTS.md); this library provides the common
+//! workload generators, the measurement record types and the plain-text table
+//! formatting they share, so the binaries stay focused on the experiment
+//! logic itself.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{format_table, power_fit_row, Cell, Table};
+pub use workloads::{
+    fixed_square_poisson_udg, scaled_density_udg, ubg_doubling_2d, ubg_on_curve, Workload,
+    WorkloadKind,
+};

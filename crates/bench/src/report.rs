@@ -1,0 +1,156 @@
+//! Plain-text table formatting for the experiment harnesses.
+//!
+//! The harness binaries print aligned tables to stdout (captured into
+//! EXPERIMENTS.md); keeping the formatting here keeps the binaries short and
+//! the output uniform.
+
+use rspan_graph::{power_law_exponent, LineFit};
+
+/// One table cell.
+#[derive(Clone, Debug)]
+pub enum Cell {
+    /// Plain text.
+    Text(String),
+    /// Integer, right-aligned.
+    Int(u64),
+    /// Float with the given number of decimals, right-aligned.
+    Float(f64, usize),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v, d) => format!("{v:.*}", d),
+        }
+    }
+
+    fn right_aligned(&self) -> bool {
+        !matches!(self, Cell::Text(_))
+    }
+}
+
+/// A simple table: header plus rows.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length must match the header.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+}
+
+/// Renders a [`Table`] with aligned columns.
+pub fn format_table(table: &Table) -> String {
+    let cols = table.header.len();
+    let mut widths: Vec<usize> = table.header.iter().map(|h| h.len()).collect();
+    let rendered: Vec<Vec<String>> = table
+        .rows
+        .iter()
+        .map(|row| row.iter().map(Cell::render).collect())
+        .collect();
+    for row in &rendered {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in table.header.iter().enumerate() {
+        out.push_str(&format!("{:<width$}", h, width = widths[i]));
+        out.push_str(if i + 1 < cols { "  " } else { "\n" });
+    }
+    for (i, w) in widths.iter().enumerate() {
+        out.push_str(&"-".repeat(*w));
+        out.push_str(if i + 1 < cols { "  " } else { "\n" });
+    }
+    for (row, raw) in rendered.iter().zip(&table.rows) {
+        for (i, cell) in row.iter().enumerate() {
+            if raw[i].right_aligned() {
+                out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            } else {
+                out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            out.push_str(if i + 1 < cols { "  " } else { "\n" });
+        }
+    }
+    out
+}
+
+/// Fits a power law `y ≈ c·x^e` and formats the exponent and fit quality —
+/// the one-line summary the scaling experiments report against the paper's
+/// predicted exponents (4/3, 1, …).
+pub fn power_fit_row(
+    label: &str,
+    xs: &[f64],
+    ys: &[f64],
+    expected_exponent: f64,
+) -> (String, LineFit) {
+    let fit = power_law_exponent(xs, ys);
+    (
+        format!(
+            "{label}: measured exponent {:.3} (expected ≈ {:.3}), R² = {:.4}",
+            fit.slope, expected_exponent, fit.r_squared
+        ),
+        fit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["name", "edges", "ratio"]);
+        t.push_row(vec![
+            Cell::Text("full".into()),
+            Cell::Int(120),
+            Cell::Float(1.0, 2),
+        ]);
+        t.push_row(vec![
+            Cell::Text("remote-spanner".into()),
+            Cell::Int(37),
+            Cell::Float(0.31, 2),
+        ]);
+        let s = format_table(&t);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("120"));
+        assert!(lines[3].contains("0.31"));
+        // all lines are equally wide (aligned columns)
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec![Cell::Int(1)]);
+    }
+
+    #[test]
+    fn power_fit_reports_exponent() {
+        let xs: Vec<f64> = (1..=6).map(|i| (i * 200) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x.powf(1.5)).collect();
+        let (line, fit) = power_fit_row("test", &xs, &ys, 1.5);
+        assert!(line.contains("1.500"));
+        assert!((fit.slope - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Workload generators used across the experiment harnesses.
+//!
+//! Two regimes matter for the paper's claims:
+//!
+//! * **Fixed square, growing intensity** (Theorem 2's `O(k^{2/3} n^{4/3} log n)`
+//!   claim): nodes are Poisson in a *fixed* square, so the degree — and the
+//!   full-topology edge count `Θ(n²)` — grows with `n`.  This is
+//!   [`fixed_square_poisson_udg`].
+//! * **Fixed density, growing area** (Theorem 1 and 3's `O(n)` claims on unit
+//!   ball graphs of a doubling metric): the square grows with `n` so the
+//!   average degree stays constant.  This is [`scaled_density_udg`] /
+//!   [`ubg_doubling_2d`].
+
+use rspan_graph::generators::udg::{poisson_udg, udg_with_density, UnitDiskInstance};
+use rspan_graph::CsrGraph;
+use rspan_metric::{curve_points, uniform_points, unit_ball_graph, EuclideanMetric};
+
+/// Which generation regime a workload came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Poisson unit-disk graph in a fixed square (density grows with n).
+    FixedSquareUdg,
+    /// Unit-disk graph with constant target average degree (area grows with n).
+    ConstantDensityUdg,
+    /// Unit-ball graph of uniform points in the plane (doubling dimension 2).
+    UnitBall2d,
+    /// Unit-ball graph of points on a noisy curve (doubling dimension ≈ 1).
+    UnitBallCurve,
+}
+
+/// A generated workload instance.
+pub struct Workload {
+    /// Human-readable description for table rows.
+    pub label: String,
+    /// Regime.
+    pub kind: WorkloadKind,
+    /// The input graph handed to the constructions.
+    pub graph: CsrGraph,
+}
+
+/// Poisson unit-disk graph in a fixed `side × side` square with expected `n`
+/// nodes (Theorem 2's model).
+pub fn fixed_square_poisson_udg(expected_n: f64, side: f64, seed: u64) -> Workload {
+    let UnitDiskInstance { graph, .. } = poisson_udg(expected_n, side, 1.0, seed);
+    Workload {
+        label: format!("Poisson UDG n≈{expected_n:.0} in {side:.0}×{side:.0}"),
+        kind: WorkloadKind::FixedSquareUdg,
+        graph,
+    }
+}
+
+/// Unit-disk graph with `n` nodes and a constant target average degree
+/// (the square grows with `n`).
+pub fn scaled_density_udg(n: usize, avg_degree: f64, seed: u64) -> Workload {
+    let UnitDiskInstance { graph, .. } = udg_with_density(n, avg_degree, seed);
+    Workload {
+        label: format!("UDG n={n} deg≈{avg_degree:.0}"),
+        kind: WorkloadKind::ConstantDensityUdg,
+        graph,
+    }
+}
+
+/// Unit-ball graph of `n` uniform points in a plane square scaled to keep the
+/// average degree near `avg_degree` (doubling dimension 2, Theorem 1 / 3
+/// model with the metric hidden from the algorithms).
+pub fn ubg_doubling_2d(n: usize, avg_degree: f64, seed: u64) -> Workload {
+    let side = (((n.max(2) - 1) as f64) * std::f64::consts::PI / avg_degree)
+        .sqrt()
+        .max(1.0);
+    let metric = EuclideanMetric::new(uniform_points(n, 2, side, seed));
+    Workload {
+        label: format!("UBG(R²) n={n} deg≈{avg_degree:.0}"),
+        kind: WorkloadKind::UnitBall2d,
+        graph: unit_ball_graph(&metric, 1.0),
+    }
+}
+
+/// Unit-ball graph of `n` points on a noisy curve embedded in `R³`
+/// (a doubling metric of lower dimension — exercises the "doubling metric,
+/// not just the plane" generality of Theorems 1 and 3).
+pub fn ubg_on_curve(n: usize, spacing: f64, seed: u64) -> Workload {
+    let metric = EuclideanMetric::new(curve_points(n, 3, n as f64 * spacing, 0.3, seed));
+    Workload {
+        label: format!("UBG(curve) n={n}"),
+        kind: WorkloadKind::UnitBallCurve,
+        graph: unit_ball_graph(&metric, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_square_density_grows_with_n() {
+        let small = fixed_square_poisson_udg(200.0, 10.0, 1);
+        let large = fixed_square_poisson_udg(800.0, 10.0, 1);
+        assert!(large.graph.avg_degree() > 2.0 * small.graph.avg_degree());
+        assert_eq!(small.kind, WorkloadKind::FixedSquareUdg);
+    }
+
+    #[test]
+    fn constant_density_keeps_degree_stable() {
+        let a = scaled_density_udg(400, 10.0, 2).graph.avg_degree();
+        let b = scaled_density_udg(1600, 10.0, 2).graph.avg_degree();
+        assert!((a - b).abs() < 4.0, "degrees {a} vs {b} drifted");
+    }
+
+    #[test]
+    fn ubg_2d_matches_targeted_degree_roughly() {
+        let w = ubg_doubling_2d(600, 12.0, 3);
+        let d = w.graph.avg_degree();
+        assert!(d > 6.0 && d < 16.0, "degree {d}");
+        assert!(!w.label.is_empty());
+    }
+
+    #[test]
+    fn curve_workload_is_path_like() {
+        let w = ubg_on_curve(300, 0.4, 5);
+        // Bounded degree regardless of n (points are spread along a line).
+        assert!(w.graph.max_degree() < 30);
+        assert_eq!(w.kind, WorkloadKind::UnitBallCurve);
+    }
+}

@@ -1,0 +1,216 @@
+//! Baswana–Sen style randomized clustering spanner for unweighted graphs.
+//!
+//! The classical linear-time construction of a `(2k−1, 0)`-spanner: `k − 1`
+//! rounds of cluster sampling (each cluster survives with probability
+//! `n^{-1/k}`), where unclustered vertices either join an adjacent sampled
+//! cluster through one edge or, if none is adjacent, add one edge to *every*
+//! adjacent cluster and retire; a final round connects every vertex to each
+//! adjacent surviving cluster through one edge.
+//!
+//! This baseline stands in for the `(k, k−1)`-spanner of the paper's
+//! reference [2] in Table 1 (same `O(k·n^{1+1/k})` size regime; see DESIGN.md
+//! for the substitution note).  For unweighted graphs the construction below
+//! follows Baswana & Sen's algorithm specialised to unit edge weights.
+
+use crate::strategies::{BuiltSpanner, StretchGuarantee};
+use rspan_graph::{CsrGraph, EdgeSet, Node, Subgraph};
+
+/// Deterministic splittable pseudo-random generator (xorshift*), so that the
+/// baseline is reproducible from a seed without threading a `rand` dependency
+/// through the core crate.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1).wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds a Baswana–Sen `(2k−1, 0)`-spanner with sampling probability
+/// `n^{-1/k}`, using `seed` for the cluster sampling.
+pub fn baswana_sen_spanner(graph: &CsrGraph, k: usize, seed: u64) -> BuiltSpanner<'_> {
+    assert!(k >= 1, "stretch parameter k must be at least 1");
+    let n = graph.n();
+    let mut rng = XorShift::new(seed);
+    let mut edges = EdgeSet::empty(graph);
+    // cluster[v] = Some(center) if v currently belongs to a cluster.
+    let mut cluster: Vec<Option<Node>> = (0..n as Node).map(Some).collect();
+    // A vertex "retires" once it has added edges to all adjacent clusters.
+    let mut retired: Vec<bool> = vec![false; n];
+    let p = if n <= 1 {
+        1.0
+    } else {
+        (n as f64).powf(-1.0 / k as f64)
+    };
+
+    for _phase in 1..k {
+        // Sample surviving cluster centers.
+        let mut sampled_center: Vec<bool> = vec![false; n];
+        for c in 0..n {
+            if rng.next_f64() < p {
+                sampled_center[c] = true;
+            }
+        }
+        let mut new_cluster: Vec<Option<Node>> = vec![None; n];
+        // Vertices in sampled clusters stay put.
+        for v in 0..n {
+            if retired[v] {
+                continue;
+            }
+            if let Some(c) = cluster[v] {
+                if sampled_center[c as usize] {
+                    new_cluster[v] = Some(c);
+                }
+            }
+        }
+        for v in 0..n as Node {
+            if retired[v as usize] || new_cluster[v as usize].is_some() {
+                continue;
+            }
+            if cluster[v as usize].is_none() {
+                continue;
+            }
+            // Find a neighbor in a sampled cluster, if any.
+            let mut join: Option<(Node, Node)> = None; // (neighbor, its center)
+            for &w in graph.neighbors(v) {
+                if retired[w as usize] {
+                    continue;
+                }
+                if let Some(cw) = cluster[w as usize] {
+                    if sampled_center[cw as usize] {
+                        join = Some((w, cw));
+                        break;
+                    }
+                }
+            }
+            match join {
+                Some((w, cw)) => {
+                    // Join the sampled cluster through this single edge.
+                    edges.insert(graph.edge_id(v, w).expect("neighbor edge"));
+                    new_cluster[v as usize] = Some(cw);
+                }
+                None => {
+                    // No adjacent sampled cluster: add one edge per adjacent
+                    // cluster and retire.
+                    let mut seen_clusters: Vec<Node> = Vec::new();
+                    for &w in graph.neighbors(v) {
+                        if retired[w as usize] {
+                            continue;
+                        }
+                        if let Some(cw) = cluster[w as usize] {
+                            if !seen_clusters.contains(&cw) {
+                                seen_clusters.push(cw);
+                                edges.insert(graph.edge_id(v, w).expect("neighbor edge"));
+                            }
+                        }
+                    }
+                    retired[v as usize] = true;
+                }
+            }
+        }
+        cluster = new_cluster;
+    }
+
+    // Final phase: every vertex adds one edge to each adjacent surviving cluster.
+    for v in 0..n as Node {
+        let mut seen_clusters: Vec<Node> = Vec::new();
+        for &w in graph.neighbors(v) {
+            if let Some(cw) = cluster[w as usize] {
+                if Some(cw) != cluster[v as usize] && !seen_clusters.contains(&cw) {
+                    seen_clusters.push(cw);
+                    edges.insert(graph.edge_id(v, w).expect("neighbor edge"));
+                }
+            }
+        }
+    }
+    // Intra-cluster edges to the center's spanning star: when a vertex joined a
+    // cluster we already added its joining edge, and phase-0 clusters are
+    // singletons, so cluster-internal connectivity is covered.
+
+    BuiltSpanner {
+        spanner: Subgraph::new(graph, edges),
+        guarantee: StretchGuarantee {
+            alpha: (2 * k - 1) as f64,
+            beta: 0.0,
+            k: 1,
+        },
+        name: format!("Baswana–Sen ({}, 0)-spanner", 2 * k - 1),
+        radius: 0,
+        tree_beta: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_plain_stretch;
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{complete_graph, grid_graph};
+    use rspan_graph::is_connected;
+
+    #[test]
+    fn k1_keeps_all_edges() {
+        let g = grid_graph(5, 5);
+        let b = baswana_sen_spanner(&g, 1, 7);
+        assert_eq!(b.num_edges(), g.m());
+    }
+
+    #[test]
+    fn stretch_holds_on_random_graphs() {
+        for k in [2usize, 3] {
+            for seed in [1u64, 2, 3] {
+                let g = gnp_connected(60, 0.15, seed);
+                let b = baswana_sen_spanner(&g, k, seed * 31 + k as u64);
+                let report = verify_plain_stretch(&b.spanner, &b.guarantee);
+                assert!(
+                    report.holds(),
+                    "k={k} seed={seed}: {:?}",
+                    report.worst_violation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spanner_keeps_graph_connected() {
+        for seed in [5u64, 9] {
+            let g = gnp_connected(80, 0.1, seed);
+            let b = baswana_sen_spanner(&g, 2, seed);
+            assert!(is_connected(&b.spanner.to_graph()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_graph_gets_sparsified() {
+        let g = complete_graph(40);
+        let b = baswana_sen_spanner(&g, 2, 11);
+        assert!(
+            b.num_edges() < g.m() / 2,
+            "expected sparsification, got {} of {}",
+            b.num_edges(),
+            g.m()
+        );
+        assert!(verify_plain_stretch(&b.spanner, &b.guarantee).holds());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = gnp_connected(50, 0.2, 3);
+        let a = baswana_sen_spanner(&g, 3, 42);
+        let b = baswana_sen_spanner(&g, 3, 42);
+        assert_eq!(a.spanner.edge_set(), b.spanner.edge_set());
+    }
+}

@@ -1,0 +1,123 @@
+//! The greedy `(2k−1, 0)`-spanner of Althöfer, Das, Dobkin, Joseph & Soares.
+//!
+//! Process the edges in a fixed order and keep an edge only if the two
+//! endpoints are currently at distance greater than `2k − 1` in the spanner
+//! built so far.  The result has girth greater than `2k`, hence `O(n^{1+1/k})`
+//! edges, and multiplicative stretch `2k − 1` — the classical trade-off the
+//! paper contrasts its remote-spanners with (§1.2).
+
+use crate::strategies::{BuiltSpanner, StretchGuarantee};
+use rspan_graph::{pair_distance_bounded, CsrGraph, EdgeSet, Subgraph};
+
+/// Builds the greedy `(2k−1, 0)`-spanner for stretch parameter `k ≥ 1`.
+pub fn greedy_spanner(graph: &CsrGraph, k: usize) -> BuiltSpanner<'_> {
+    assert!(k >= 1, "stretch parameter k must be at least 1");
+    let t = (2 * k - 1) as u32;
+    let mut spanner = Subgraph::new(graph, EdgeSet::empty(graph));
+    for e in 0..graph.m() {
+        let (u, v) = graph.edge_endpoints(e);
+        // Keep the edge iff u and v are farther than t apart in H so far.
+        if pair_distance_bounded(&spanner, u, v, t).is_none() {
+            spanner.edge_set_mut().insert(e);
+        }
+    }
+    BuiltSpanner {
+        spanner,
+        guarantee: StretchGuarantee {
+            alpha: t as f64,
+            beta: 0.0,
+            k: 1,
+        },
+        name: format!("greedy ({t}, 0)-spanner [Althöfer et al.]"),
+        radius: 0,
+        tree_beta: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::spanner_as_remote_guarantee;
+    use crate::verify::{verify_plain_stretch, verify_remote_stretch};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{complete_graph, cycle_graph, grid_graph, petersen};
+    use rspan_graph::is_connected;
+
+    #[test]
+    fn k1_keeps_every_edge() {
+        let g = grid_graph(4, 4);
+        let b = greedy_spanner(&g, 1);
+        assert_eq!(b.num_edges(), g.m());
+    }
+
+    #[test]
+    fn stretch_guarantee_holds() {
+        for k in [1usize, 2, 3] {
+            for seed in [1u64, 2] {
+                let g = gnp_connected(50, 0.15, seed);
+                let b = greedy_spanner(&g, k);
+                assert!(
+                    verify_plain_stretch(&b.spanner, &b.guarantee).holds(),
+                    "k={k} seed={seed}"
+                );
+                // And the implied remote-spanner guarantee also holds.
+                let rg = spanner_as_remote_guarantee(&b.guarantee);
+                assert!(verify_remote_stretch(&b.spanner, &rg).holds());
+            }
+        }
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity() {
+        let g = gnp_connected(80, 0.08, 4);
+        let b = greedy_spanner(&g, 3);
+        assert!(is_connected(&b.spanner.to_graph()));
+        assert!(b.num_edges() >= g.n() - 1);
+    }
+
+    #[test]
+    fn complete_graph_k2_is_much_sparser() {
+        let g = complete_graph(30);
+        let b = greedy_spanner(&g, 2);
+        // Girth > 4 graphs on 30 nodes have O(n^{3/2}) ≈ 164 edges; the greedy
+        // result is far below the 435 input edges.
+        assert!(b.num_edges() < g.m() / 2, "{} edges", b.num_edges());
+        assert!(verify_plain_stretch(&b.spanner, &b.guarantee).holds());
+    }
+
+    #[test]
+    fn girth_exceeds_2k() {
+        // The spanner's girth must be > 2k: check no short cycles by removing
+        // each spanner edge and measuring the alternative distance.
+        let g = petersen();
+        let k = 2;
+        let b = greedy_spanner(&g, k);
+        let ids: Vec<usize> = b.spanner.edge_set().iter().collect();
+        for e in ids {
+            let (u, v) = g.edge_endpoints(e);
+            let mut pruned = b.spanner.edge_set().clone();
+            pruned.remove(e);
+            let h = Subgraph::new(&g, pruned);
+            // Any alternative u-v path in the spanner must be longer than 2k-1.
+            if let Some(d) = pair_distance_bounded(&h, u, v, 2 * k as u32) {
+                assert!(d > 2 * k as u32 - 1, "cycle of length {} found", d + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_graph_large_k_keeps_spanning_path() {
+        let g = cycle_graph(12);
+        let b = greedy_spanner(&g, 6);
+        // Stretch 11 allows dropping exactly one edge of the 12-cycle.
+        assert_eq!(b.num_edges(), 11);
+        assert!(verify_plain_stretch(&b.spanner, &b.guarantee).holds());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let g = cycle_graph(4);
+        let _ = greedy_spanner(&g, 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Verification of the *k-connecting* remote-spanner property (Section 3).
+//!
+//! `H` is a k-connecting `(α, β)`-remote-spanner when for all nonadjacent
+//! `u, v` and every `k' ≤ k` such that `u` and `v` are `k'`-connected in `G`:
+//!
+//! * `u` and `v` are `k'`-connected in `H_u`, and
+//! * `d^{k'}_{H_u}(u, v) ≤ α · d^{k'}_G(u, v) + k'·β`.
+//!
+//! Each pair requires two min-cost-flow computations per `k'`, so exhaustive
+//! verification is reserved for moderate graphs; a seeded pair-sampling mode
+//! covers larger instances in the experiment harnesses.
+
+use crate::strategies::StretchGuarantee;
+use rspan_flow::{dk_distance, pair_vertex_connectivity};
+use rspan_graph::{CsrGraph, Node, Subgraph};
+
+/// Outcome of a k-connecting stretch verification.
+#[derive(Clone, Debug)]
+pub struct KStretchReport {
+    /// Connectivity order that was verified.
+    pub k: usize,
+    /// Number of `(u, v, k')` triples examined.
+    pub triples_checked: usize,
+    /// Triples where `H_u` failed to provide `k'` disjoint paths at all.
+    pub connectivity_failures: usize,
+    /// Triples where the disjoint paths exist but their total length exceeds
+    /// the allowed `α · d^{k'}_G + k'·β`.
+    pub stretch_violations: usize,
+    /// Worst observed violating triple.
+    pub worst: Option<KStretchSample>,
+    /// Largest observed ratio `d^{k'}_{H_u} / d^{k'}_G`.
+    pub max_sum_stretch: f64,
+}
+
+/// One measured `(u, v, k')` triple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KStretchSample {
+    /// Source node.
+    pub u: Node,
+    /// Target node.
+    pub v: Node,
+    /// Connectivity order of this sample.
+    pub k_prime: usize,
+    /// `d^{k'}` in the input graph.
+    pub dk_g: u64,
+    /// `d^{k'}` in the augmented spanner view (`u64::MAX` if not k'-connected).
+    pub dk_hu: u64,
+}
+
+impl KStretchReport {
+    /// Whether the k-connecting property held on every checked triple.
+    pub fn holds(&self) -> bool {
+        self.connectivity_failures == 0 && self.stretch_violations == 0
+    }
+}
+
+/// Exhaustive verification over every ordered nonadjacent pair of a graph.
+/// Cost grows as `n² · k ·` (flow cost); intended for `n` up to a few hundred.
+pub fn verify_k_connecting(spanner: &Subgraph<'_>, guarantee: &StretchGuarantee) -> KStretchReport {
+    let graph = spanner.parent();
+    let pairs: Vec<(Node, Node)> = all_nonadjacent_pairs(graph);
+    verify_k_connecting_pairs(spanner, guarantee, &pairs)
+}
+
+/// Verification restricted to an explicit list of ordered pairs (the
+/// experiment harnesses pass a random sample of pairs for large graphs).
+pub fn verify_k_connecting_pairs(
+    spanner: &Subgraph<'_>,
+    guarantee: &StretchGuarantee,
+    pairs: &[(Node, Node)],
+) -> KStretchReport {
+    let graph = spanner.parent();
+    let k = guarantee.k;
+    let mut report = KStretchReport {
+        k,
+        triples_checked: 0,
+        connectivity_failures: 0,
+        stretch_violations: 0,
+        worst: None,
+        max_sum_stretch: 0.0,
+    };
+    let mut worst_excess = f64::NEG_INFINITY;
+    for &(u, v) in pairs {
+        if u == v || graph.has_edge(u, v) {
+            continue;
+        }
+        // Connectivity of the pair in G caps the k' range to check.
+        let kappa = pair_vertex_connectivity(graph, u, v, k);
+        let view = spanner.augmented(u);
+        for k_prime in 1..=kappa {
+            let Some(dk_g) = dk_distance(graph, u, v, k_prime) else {
+                break;
+            };
+            report.triples_checked += 1;
+            let allowed = guarantee.allowed_sum(dk_g, k_prime);
+            match dk_distance(&view, u, v, k_prime) {
+                Some(dk_h) => {
+                    let ratio = dk_h as f64 / dk_g as f64;
+                    report.max_sum_stretch = report.max_sum_stretch.max(ratio);
+                    if dk_h as f64 > allowed + 1e-9 {
+                        report.stretch_violations += 1;
+                        let excess = dk_h as f64 - allowed;
+                        if excess > worst_excess {
+                            worst_excess = excess;
+                            report.worst = Some(KStretchSample {
+                                u,
+                                v,
+                                k_prime,
+                                dk_g,
+                                dk_hu: dk_h,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    report.connectivity_failures += 1;
+                    if report.worst.is_none() {
+                        report.worst = Some(KStretchSample {
+                            u,
+                            v,
+                            k_prime,
+                            dk_g,
+                            dk_hu: u64::MAX,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// All ordered pairs `(u, v)` with `u ≠ v` and `{u, v} ∉ E(G)`.
+pub fn all_nonadjacent_pairs(graph: &CsrGraph) -> Vec<(Node, Node)> {
+    let n = graph.n() as Node;
+    let mut pairs = Vec::new();
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && !graph.has_edge(u, v) {
+                pairs.push((u, v));
+            }
+        }
+    }
+    pairs
+}
+
+/// A deterministic pseudo-random sample of `count` ordered nonadjacent pairs
+/// (simple linear-congruential draw so the experiment harnesses do not need a
+/// direct `rand` dependency here).
+pub fn sample_nonadjacent_pairs(graph: &CsrGraph, count: usize, seed: u64) -> Vec<(Node, Node)> {
+    let n = graph.n() as u64;
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    let mut pairs = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while pairs.len() < count && attempts < count * 50 {
+        attempts += 1;
+        let u = (next() % n) as Node;
+        let v = (next() % n) as Node;
+        if u != v && !graph.has_edge(u, v) {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{
+        k_connecting_remote_spanner, two_connecting_remote_spanner, StretchGuarantee,
+    };
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{
+        complete_bipartite, cycle_graph, grid_graph, petersen,
+    };
+    use rspan_graph::Subgraph;
+
+    #[test]
+    fn full_graph_is_k_connecting_for_any_k() {
+        let g = petersen();
+        let h = Subgraph::full(&g);
+        let guarantee = StretchGuarantee {
+            alpha: 1.0,
+            beta: 0.0,
+            k: 3,
+        };
+        let report = verify_k_connecting(&h, &guarantee);
+        assert!(report.holds());
+        assert!(report.triples_checked > 0);
+        assert_eq!(report.max_sum_stretch, 1.0);
+    }
+
+    #[test]
+    fn empty_spanner_fails_k_connectivity() {
+        let g = cycle_graph(8);
+        let h = Subgraph::empty(&g);
+        let guarantee = StretchGuarantee {
+            alpha: 1.0,
+            beta: 0.0,
+            k: 2,
+        };
+        let report = verify_k_connecting(&h, &guarantee);
+        assert!(!report.holds());
+        assert!(report.connectivity_failures > 0);
+    }
+
+    #[test]
+    fn theorem2_construction_is_k_connecting_exact() {
+        for k in [1usize, 2, 3] {
+            for g in [petersen(), complete_bipartite(3, 4), grid_graph(4, 4)] {
+                let built = k_connecting_remote_spanner(&g, k);
+                let report = verify_k_connecting(&built.spanner, &built.guarantee);
+                assert!(report.holds(), "k={k}: {:?}", report.worst);
+                assert_eq!(report.max_sum_stretch, 1.0, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_on_random_graphs() {
+        for seed in [5u64, 6] {
+            let g = gnp_connected(35, 0.15, seed);
+            let built = k_connecting_remote_spanner(&g, 2);
+            let report = verify_k_connecting(&built.spanner, &built.guarantee);
+            assert!(report.holds(), "seed {seed}: {:?}", report.worst);
+        }
+    }
+
+    #[test]
+    fn theorem3_construction_is_two_connecting() {
+        for seed in [3u64, 4] {
+            let g = gnp_connected(32, 0.18, seed);
+            let built = two_connecting_remote_spanner(&g);
+            let report = verify_k_connecting(&built.spanner, &built.guarantee);
+            assert!(report.holds(), "seed {seed}: {:?}", report.worst);
+            assert!(report.max_sum_stretch <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_pairs_are_valid_and_deterministic() {
+        let g = gnp_connected(50, 0.1, 9);
+        let a = sample_nonadjacent_pairs(&g, 40, 7);
+        let b = sample_nonadjacent_pairs(&g, 40, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 40);
+        for (u, v) in a {
+            assert_ne!(u, v);
+            assert!(!g.has_edge(u, v));
+        }
+        assert!(sample_nonadjacent_pairs(&CsrGraph::empty(1), 5, 1).is_empty());
+    }
+
+    #[test]
+    fn all_nonadjacent_pairs_counts() {
+        let g = cycle_graph(5);
+        // 5*4 ordered pairs minus 2*5 adjacent ordered pairs = 10
+        assert_eq!(all_nonadjacent_pairs(&g).len(), 10);
+    }
+
+    #[test]
+    fn stretch_violation_detected_with_witness() {
+        let g = petersen();
+        let built = k_connecting_remote_spanner(&g, 2);
+        // Impossible guarantee: sums may not exceed d^k - 1.
+        let impossible = StretchGuarantee {
+            alpha: 1.0,
+            beta: -1.0,
+            k: 2,
+        };
+        let report = verify_k_connecting(&built.spanner, &impossible);
+        assert!(!report.holds());
+        assert!(report.worst.is_some());
+    }
+}

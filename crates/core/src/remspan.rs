@@ -1,0 +1,197 @@
+//! Algorithm 3 of the paper: `RemSpan_{r,β}` — the remote-spanner is the
+//! union of one dominating tree per node.
+//!
+//! The distributed algorithm has every node learn its `(r − 1 + β)`-hop
+//! neighborhood, compute a dominating tree for itself locally, and advertise
+//! the tree; the spanner is the union of the advertised trees.  Centrally this
+//! is simply a loop over nodes.  Three equivalent drivers are provided:
+//!
+//! * [`rem_span`] — sequential union of per-node trees,
+//! * [`rem_span_parallel`] — the same union with per-node tree construction
+//!   fanned out over crossbeam scoped threads (tree computations are
+//!   independent and read-only on `G`, the textbook embarrassingly-parallel
+//!   loop),
+//! * [`rem_span_local`] — each tree is computed on the node's *local view*
+//!   only (what it could actually learn in the LOCAL model) and translated
+//!   back, which checks the paper's locality claim: no global knowledge or
+//!   coordination between node decisions is needed.
+
+use parking_lot::Mutex;
+use rspan_domtree::DominatingTree;
+use rspan_graph::{local_view, CsrGraph, EdgeSet, LocalView, Node, Subgraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Builds the remote-spanner `H = ⋃_u T_u` sequentially.
+///
+/// `strategy(g, u)` must return a dominating tree for `u` whose edges are
+/// edges of `g`.
+pub fn rem_span<'g, F>(graph: &'g CsrGraph, strategy: F) -> Subgraph<'g>
+where
+    F: Fn(&CsrGraph, Node) -> DominatingTree,
+{
+    let mut edges = EdgeSet::empty(graph);
+    for u in graph.nodes() {
+        let tree = strategy(graph, u);
+        debug_assert_eq!(tree.root(), u);
+        for e in tree.edge_ids(graph) {
+            edges.insert(e);
+        }
+    }
+    Subgraph::new(graph, edges)
+}
+
+/// Builds the remote-spanner with per-node trees computed on `threads` worker
+/// threads (0 = available parallelism).  The result is identical to
+/// [`rem_span`] because edge-set union is commutative.
+pub fn rem_span_parallel<'g, F>(graph: &'g CsrGraph, strategy: F, threads: usize) -> Subgraph<'g>
+where
+    F: Fn(&CsrGraph, Node) -> DominatingTree + Sync,
+{
+    let n = graph.n();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || n < 64 {
+        return rem_span(graph, strategy);
+    }
+    let counter = AtomicUsize::new(0);
+    let global = Mutex::new(EdgeSet::empty(graph));
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                // Each worker accumulates into a thread-local edge set and
+                // merges once at the end, keeping the lock out of the hot loop.
+                let mut local = EdgeSet::empty(graph);
+                loop {
+                    let u = counter.fetch_add(1, Ordering::Relaxed) as u64;
+                    if u >= n as u64 {
+                        break;
+                    }
+                    let tree = strategy(graph, u as Node);
+                    for e in tree.edge_ids(graph) {
+                        local.insert(e);
+                    }
+                }
+                global.lock().union_with(&local);
+            });
+        }
+    })
+    .expect("spanner worker thread panicked");
+    Subgraph::new(graph, global.into_inner())
+}
+
+/// Builds the remote-spanner with each tree computed on the node's local view
+/// of radius `knowledge_radius` (the `r − 1 + β` of Algorithm 3), exactly as a
+/// LOCAL-model node would, then translated back to global edges.
+///
+/// `strategy(view)` receives the local view and must return a dominating tree
+/// of `view.graph` rooted at the view's center.
+pub fn rem_span_local<'g, F>(
+    graph: &'g CsrGraph,
+    knowledge_radius: u32,
+    strategy: F,
+) -> Subgraph<'g>
+where
+    F: Fn(&LocalView) -> DominatingTree,
+{
+    let mut edges = EdgeSet::empty(graph);
+    for u in graph.nodes() {
+        let view = local_view(graph, u, knowledge_radius);
+        let tree = strategy(&view);
+        debug_assert_eq!(view.local_to_global(tree.root()), u);
+        for (p, c) in tree.edges() {
+            let (gp, gc) = (view.local_to_global(p), view.local_to_global(c));
+            let e = graph
+                .edge_id(gp, gc)
+                .expect("local tree edge must exist globally");
+            edges.insert(e);
+        }
+    }
+    Subgraph::new(graph, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_domtree::{dom_tree_greedy, dom_tree_k_greedy, dom_tree_mis};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph, petersen};
+    use rspan_graph::generators::udg::uniform_udg;
+
+    #[test]
+    fn union_contains_every_tree_edge() {
+        let g = grid_graph(5, 5);
+        let h = rem_span(&g, |g, u| dom_tree_greedy(g, u, 2, 0));
+        for u in g.nodes() {
+            let t = dom_tree_greedy(&g, u, 2, 0);
+            for (p, c) in t.edges() {
+                assert!(
+                    h.has_edge(p, c),
+                    "tree edge ({p},{c}) missing from the union"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let g = gnp_connected(150, 0.05, 3);
+        let seq = rem_span(&g, |g, u| dom_tree_k_greedy(g, u, 2));
+        let par = rem_span_parallel(&g, |g, u| dom_tree_k_greedy(g, u, 2), 4);
+        assert_eq!(seq.edge_set(), par.edge_set());
+        // small graphs take the sequential fallback path
+        let small = cycle_graph(10);
+        let a = rem_span(&small, |g, u| dom_tree_mis(g, u, 2));
+        let b = rem_span_parallel(&small, |g, u| dom_tree_mis(g, u, 2), 8);
+        assert_eq!(a.edge_set(), b.edge_set());
+    }
+
+    #[test]
+    fn local_view_computation_matches_global_for_depth_one_trees() {
+        // Algorithm 4 trees only need the 1-hop-neighborhood-of-neighbors
+        // knowledge (radius 1 lists + which of their neighbors exist), i.e.
+        // knowledge radius 1 suffices for a (2,0) tree.
+        let inst = uniform_udg(150, 4.0, 1.0, 9);
+        let g = &inst.graph;
+        let global = rem_span(g, |g, u| dom_tree_k_greedy(g, u, 1));
+        let local = rem_span_local(g, 1, |view| {
+            dom_tree_k_greedy(&view.graph, view.center_local(), 1)
+        });
+        assert_eq!(global.num_edges(), local.num_edges());
+        assert_eq!(global.edge_set(), local.edge_set());
+    }
+
+    #[test]
+    fn local_view_computation_matches_global_for_mis_trees() {
+        // Algorithm 2 with radius r needs knowledge radius r (it inspects
+        // distances up to r and neighbors of ring nodes).
+        let g = gnp_connected(80, 0.06, 17);
+        let r = 3u32;
+        let global = rem_span(&g, |g, u| dom_tree_mis(g, u, r));
+        let local = rem_span_local(&g, r, |view| {
+            dom_tree_mis(&view.graph, view.center_local(), r)
+        });
+        assert_eq!(global.edge_set(), local.edge_set());
+    }
+
+    #[test]
+    fn spanner_is_subset_of_graph() {
+        let g = petersen();
+        let h = rem_span(&g, |g, u| dom_tree_greedy(g, u, 3, 1));
+        assert!(h.num_edges() <= g.m());
+        for (u, v) in h.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_nodes() {
+        let g = CsrGraph::empty(5);
+        let h = rem_span(&g, |g, u| dom_tree_greedy(g, u, 2, 0));
+        assert_eq!(h.num_edges(), 0);
+    }
+}

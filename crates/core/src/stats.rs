@@ -1,0 +1,138 @@
+//! Spanner statistics used by the experiment tables.
+
+use rspan_graph::{CsrGraph, Node, Subgraph};
+
+/// Size and degree statistics of a spanner relative to its input graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpannerStats {
+    /// Nodes of the input graph.
+    pub n: usize,
+    /// Edges of the input graph.
+    pub input_edges: usize,
+    /// Edges of the spanner.
+    pub spanner_edges: usize,
+    /// `spanner_edges / input_edges` (0 when the input has no edges).
+    pub edge_fraction: f64,
+    /// Average spanner degree `2m_H / n`.
+    pub avg_degree: f64,
+    /// Maximum spanner degree.
+    pub max_degree: usize,
+    /// `spanner_edges / n` — the "edges per node" figure the linear-size
+    /// claims of Theorems 1 and 3 are about.
+    pub edges_per_node: f64,
+}
+
+/// Computes [`SpannerStats`] for a spanner sub-graph.
+pub fn spanner_stats(spanner: &Subgraph<'_>) -> SpannerStats {
+    let g = spanner.parent();
+    let n = g.n();
+    let m_h = spanner.num_edges();
+    let mut degrees = vec![0usize; n];
+    for (u, v) in spanner.edges() {
+        degrees[u as usize] += 1;
+        degrees[v as usize] += 1;
+    }
+    SpannerStats {
+        n,
+        input_edges: g.m(),
+        spanner_edges: m_h,
+        edge_fraction: if g.m() == 0 {
+            0.0
+        } else {
+            m_h as f64 / g.m() as f64
+        },
+        avg_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * m_h as f64 / n as f64
+        },
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        edges_per_node: if n == 0 { 0.0 } else { m_h as f64 / n as f64 },
+    }
+}
+
+/// Per-node advertisement cost in a link-state protocol that floods only the
+/// spanner: for each node, the number of spanner edges incident to it (the
+/// links it must advertise).  Returned as (mean, max).
+pub fn advertisement_cost(spanner: &Subgraph<'_>) -> (f64, usize) {
+    let g: &CsrGraph = spanner.parent();
+    let n = g.n();
+    if n == 0 {
+        return (0.0, 0);
+    }
+    let mut degrees = vec![0usize; n];
+    for (u, v) in spanner.edges() {
+        degrees[u as usize] += 1;
+        degrees[v as usize] += 1;
+    }
+    let max = degrees.iter().copied().max().unwrap_or(0);
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    (mean, max)
+}
+
+/// Number of spanner edges incident to a specific node.
+pub fn spanner_degree(spanner: &Subgraph<'_>, u: Node) -> usize {
+    let mut d = 0usize;
+    let parent = spanner.parent();
+    let ids = parent.incident_edge_ids(u);
+    for &e in ids {
+        if spanner.edge_set().contains(e) {
+            d += 1;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::structured::{complete_graph, cycle_graph, star_graph};
+    use rspan_graph::Subgraph;
+
+    #[test]
+    fn stats_of_full_and_empty() {
+        let g = complete_graph(6);
+        let full = spanner_stats(&Subgraph::full(&g));
+        assert_eq!(full.spanner_edges, 15);
+        assert_eq!(full.edge_fraction, 1.0);
+        assert_eq!(full.max_degree, 5);
+        assert!((full.avg_degree - 5.0).abs() < 1e-12);
+        let empty = spanner_stats(&Subgraph::empty(&g));
+        assert_eq!(empty.spanner_edges, 0);
+        assert_eq!(empty.edge_fraction, 0.0);
+        assert_eq!(empty.max_degree, 0);
+    }
+
+    #[test]
+    fn stats_of_partial_spanner() {
+        let g = cycle_graph(6);
+        let mut h = Subgraph::empty(&g);
+        h.add_edge(0, 1);
+        h.add_edge(1, 2);
+        let s = spanner_stats(&h);
+        assert_eq!(s.spanner_edges, 2);
+        assert!((s.edge_fraction - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.edges_per_node - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(spanner_degree(&h, 1), 2);
+        assert_eq!(spanner_degree(&h, 4), 0);
+    }
+
+    #[test]
+    fn advertisement_cost_matches_degrees() {
+        let g = star_graph(5);
+        let h = Subgraph::full(&g);
+        let (mean, max) = advertisement_cost(&h);
+        assert_eq!(max, 4);
+        assert!((mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = rspan_graph::CsrGraph::empty(0);
+        let s = spanner_stats(&Subgraph::full(&g));
+        assert_eq!(s.n, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(advertisement_cost(&Subgraph::full(&g)), (0.0, 0));
+    }
+}

@@ -1,0 +1,367 @@
+//! Verification of the `(α, β)`-remote-spanner property.
+//!
+//! `H` is an `(α, β)`-remote-spanner of `G` when, for every pair of
+//! nonadjacent nodes `u, v`, `d_{H_u}(u, v) ≤ α · d_G(u, v) + β` where `H_u`
+//! is `H` plus all edges of `G` incident to `u`.  Verification is therefore
+//! two BFS sweeps per source node — one in `G`, one in `H_u` — and the whole
+//! graph can be checked exactly in `O(n (n + m))`.
+//!
+//! The checker reports measured stretch rather than a bare boolean, because
+//! the experiments (E7) compare the *measured* worst case against the
+//! guarantee, and because remote-spanner stretch is asymmetric in `(u, v)`
+//! (knowledge lives at the source).
+
+use crate::strategies::StretchGuarantee;
+use rspan_graph::{bfs_distances, CsrGraph, Node, Subgraph};
+
+/// Outcome of verifying one spanner against one stretch guarantee.
+#[derive(Clone, Debug)]
+pub struct StretchReport {
+    /// Number of ordered nonadjacent pairs `(u, v)` examined (finite
+    /// `d_G(u, v) ≥ 2` only).
+    pub pairs_checked: usize,
+    /// Number of pairs violating the guarantee.
+    pub violations: usize,
+    /// Worst violating pair, if any.
+    pub worst_violation: Option<StretchSample>,
+    /// Largest observed multiplicative stretch `d_{H_u}(u,v) / d_G(u,v)`.
+    pub max_multiplicative: f64,
+    /// Largest observed additive excess `d_{H_u}(u,v) − d_G(u,v)`.
+    pub max_additive: i64,
+    /// Mean multiplicative stretch over the checked pairs.
+    pub mean_multiplicative: f64,
+    /// Number of pairs that became disconnected in the augmented spanner view
+    /// although connected in `G` (always a violation for finite α, β).
+    pub disconnected_pairs: usize,
+}
+
+/// One measured pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StretchSample {
+    /// Source node (whose neighborhood augments the spanner).
+    pub u: Node,
+    /// Target node.
+    pub v: Node,
+    /// Distance in the input graph.
+    pub d_g: u32,
+    /// Distance in the augmented spanner view `H_u` (`u32::MAX` if unreachable).
+    pub d_hu: u32,
+}
+
+impl StretchReport {
+    /// Whether the spanner satisfies the guarantee on every checked pair.
+    pub fn holds(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Exhaustively verifies the remote-spanner stretch of `spanner` against
+/// `guarantee`, over every ordered pair of nonadjacent, `G`-connected nodes.
+pub fn verify_remote_stretch(
+    spanner: &Subgraph<'_>,
+    guarantee: &StretchGuarantee,
+) -> StretchReport {
+    verify_remote_stretch_on(spanner.parent(), spanner, guarantee)
+}
+
+/// Like [`verify_remote_stretch`] but with the input graph passed explicitly
+/// (used internally and by tests that build the sub-graph separately).
+pub fn verify_remote_stretch_on(
+    graph: &CsrGraph,
+    spanner: &Subgraph<'_>,
+    guarantee: &StretchGuarantee,
+) -> StretchReport {
+    let n = graph.n();
+    let mut report = StretchReport {
+        pairs_checked: 0,
+        violations: 0,
+        worst_violation: None,
+        max_multiplicative: 0.0,
+        max_additive: i64::MIN,
+        mean_multiplicative: 0.0,
+        disconnected_pairs: 0,
+    };
+    let mut stretch_sum = 0.0f64;
+    let mut worst_excess = f64::NEG_INFINITY;
+    for u in 0..n as Node {
+        let d_g = bfs_distances(graph, u);
+        let view = spanner.augmented(u);
+        let d_hu = bfs_distances(&view, u);
+        for v in 0..n as Node {
+            let Some(dg) = d_g[v as usize] else { continue };
+            if dg < 2 {
+                continue; // adjacent or identical pairs are trivially preserved
+            }
+            report.pairs_checked += 1;
+            let allowed = guarantee.allowed(dg);
+            match d_hu[v as usize] {
+                Some(dh) => {
+                    let mult = dh as f64 / dg as f64;
+                    let add = dh as i64 - dg as i64;
+                    stretch_sum += mult;
+                    report.max_multiplicative = report.max_multiplicative.max(mult);
+                    report.max_additive = report.max_additive.max(add);
+                    if dh as f64 > allowed + 1e-9 {
+                        report.violations += 1;
+                        let excess = dh as f64 - allowed;
+                        if excess > worst_excess {
+                            worst_excess = excess;
+                            report.worst_violation = Some(StretchSample {
+                                u,
+                                v,
+                                d_g: dg,
+                                d_hu: dh,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    report.violations += 1;
+                    report.disconnected_pairs += 1;
+                    if report.worst_violation.is_none() {
+                        report.worst_violation = Some(StretchSample {
+                            u,
+                            v,
+                            d_g: dg,
+                            d_hu: u32::MAX,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if report.pairs_checked > 0 {
+        report.mean_multiplicative =
+            stretch_sum / (report.pairs_checked - report.disconnected_pairs).max(1) as f64;
+    }
+    if report.max_additive == i64::MIN {
+        report.max_additive = 0;
+    }
+    report
+}
+
+/// Verifies the *regular* (non-remote) spanner stretch `d_H(u, v) ≤ α d_G(u,v) + β`
+/// — used to compare classical spanner baselines against remote-spanners on
+/// an equal footing in the experiment tables.
+pub fn verify_plain_stretch(spanner: &Subgraph<'_>, guarantee: &StretchGuarantee) -> StretchReport {
+    let graph = spanner.parent();
+    let n = graph.n();
+    let mut report = StretchReport {
+        pairs_checked: 0,
+        violations: 0,
+        worst_violation: None,
+        max_multiplicative: 0.0,
+        max_additive: i64::MIN,
+        mean_multiplicative: 0.0,
+        disconnected_pairs: 0,
+    };
+    let mut stretch_sum = 0.0f64;
+    for u in 0..n as Node {
+        let d_g = bfs_distances(graph, u);
+        let d_h = bfs_distances(spanner, u);
+        for v in 0..n as Node {
+            let Some(dg) = d_g[v as usize] else { continue };
+            if dg < 1 || u == v {
+                continue;
+            }
+            report.pairs_checked += 1;
+            let allowed = guarantee.allowed(dg);
+            match d_h[v as usize] {
+                Some(dh) => {
+                    let mult = dh as f64 / dg as f64;
+                    stretch_sum += mult;
+                    report.max_multiplicative = report.max_multiplicative.max(mult);
+                    report.max_additive = report.max_additive.max(dh as i64 - dg as i64);
+                    if dh as f64 > allowed + 1e-9 {
+                        report.violations += 1;
+                        if report.worst_violation.is_none() {
+                            report.worst_violation = Some(StretchSample {
+                                u,
+                                v,
+                                d_g: dg,
+                                d_hu: dh,
+                            });
+                        }
+                    }
+                }
+                None => {
+                    report.violations += 1;
+                    report.disconnected_pairs += 1;
+                }
+            }
+        }
+    }
+    if report.pairs_checked > 0 {
+        report.mean_multiplicative =
+            stretch_sum / (report.pairs_checked - report.disconnected_pairs).max(1) as f64;
+    }
+    if report.max_additive == i64::MIN {
+        report.max_additive = 0;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{
+        epsilon_remote_spanner, epsilon_remote_spanner_greedy, exact_remote_spanner,
+        k_connecting_remote_spanner, two_connecting_remote_spanner, StretchGuarantee,
+    };
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph, petersen, star_graph};
+    use rspan_graph::generators::udg::uniform_udg;
+    use rspan_graph::Subgraph;
+
+    fn exact_guarantee() -> StretchGuarantee {
+        StretchGuarantee {
+            alpha: 1.0,
+            beta: 0.0,
+            k: 1,
+        }
+    }
+
+    #[test]
+    fn full_spanner_has_stretch_one() {
+        let g = grid_graph(4, 5);
+        let h = Subgraph::full(&g);
+        let report = verify_remote_stretch(&h, &exact_guarantee());
+        assert!(report.holds());
+        assert_eq!(report.max_multiplicative, 1.0);
+        assert_eq!(report.max_additive, 0);
+        assert!(report.pairs_checked > 0);
+    }
+
+    #[test]
+    fn empty_spanner_fails_exact_guarantee() {
+        let g = cycle_graph(8);
+        let h = Subgraph::empty(&g);
+        let report = verify_remote_stretch(&h, &exact_guarantee());
+        assert!(!report.holds());
+        assert!(report.disconnected_pairs > 0);
+        assert!(report.worst_violation.is_some());
+    }
+
+    #[test]
+    fn empty_spanner_of_complete_graph_is_a_remote_spanner_but_not_a_spanner() {
+        // In a complete graph every pair is adjacent, so the remote-spanner
+        // condition is vacuous and even the empty sub-graph qualifies — while
+        // as a regular (1, 0)-spanner it fails on every pair.  This is the
+        // simplest illustration that remote-spanners form a strictly wider
+        // class than spanners (§1).
+        let g = rspan_graph::generators::structured::complete_graph(7);
+        let h = Subgraph::empty(&g);
+        let remote = verify_remote_stretch(&h, &exact_guarantee());
+        assert!(remote.holds());
+        assert_eq!(remote.pairs_checked, 0);
+        let plain = verify_plain_stretch(&h, &exact_guarantee());
+        assert!(!plain.holds());
+    }
+
+    #[test]
+    fn star_requires_all_edges_even_as_remote_spanner() {
+        // Dropping any hub edge 0–v breaks d_{H_u}(u, v) for every other leaf
+        // u: the star is its own unique (1, 0)-remote-spanner.
+        let g = star_graph(6);
+        let built = exact_remote_spanner(&g);
+        assert_eq!(built.num_edges(), g.m());
+        let mut h = Subgraph::full(&g);
+        h.edge_set_mut().remove(g.edge_id(0, 3).unwrap());
+        assert!(!verify_remote_stretch(&h, &exact_guarantee()).holds());
+    }
+
+    #[test]
+    fn exact_construction_preserves_distances_on_fixed_graphs() {
+        for g in [cycle_graph(11), grid_graph(5, 5), petersen()] {
+            let built = exact_remote_spanner(&g);
+            let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+            assert!(report.holds(), "violations: {:?}", report.worst_violation);
+            assert_eq!(report.max_multiplicative, 1.0);
+        }
+    }
+
+    #[test]
+    fn exact_construction_preserves_distances_on_random_graphs() {
+        for seed in [1u64, 2, 3, 4] {
+            let g = gnp_connected(60, 0.07, seed);
+            let built = exact_remote_spanner(&g);
+            let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+            assert!(report.holds(), "seed {seed}: {:?}", report.worst_violation);
+        }
+    }
+
+    #[test]
+    fn epsilon_construction_respects_its_guarantee() {
+        for eps in [1.0, 0.5, 1.0 / 3.0] {
+            let inst = uniform_udg(180, 4.0, 1.0, 5);
+            let built = epsilon_remote_spanner(&inst.graph, eps);
+            let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+            assert!(
+                report.holds(),
+                "eps={eps}: worst {:?}",
+                report.worst_violation
+            );
+            let greedy = epsilon_remote_spanner_greedy(&inst.graph, eps);
+            let report_greedy = verify_remote_stretch(&greedy.spanner, &greedy.guarantee);
+            assert!(report_greedy.holds());
+        }
+    }
+
+    #[test]
+    fn epsilon_construction_respects_guarantee_on_arbitrary_graphs() {
+        // Theorem 1's stretch holds on any graph, not just unit-ball graphs.
+        for seed in [7u64, 9] {
+            let g = gnp_connected(70, 0.05, seed);
+            let built = epsilon_remote_spanner(&g, 0.5);
+            let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+            assert!(report.holds(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn two_connecting_construction_single_path_stretch() {
+        // Proposition 4 implies in particular (2, -1) single-path stretch.
+        let g = gnp_connected(50, 0.1, 11);
+        let built = two_connecting_remote_spanner(&g);
+        let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+        assert!(report.holds(), "worst {:?}", report.worst_violation);
+    }
+
+    #[test]
+    fn k_connecting_construction_exact_single_path_distance() {
+        let g = gnp_connected(50, 0.12, 13);
+        for k in [1usize, 2, 3] {
+            let built = k_connecting_remote_spanner(&g, k);
+            let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+            assert!(report.holds(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn measured_stretch_fields_are_consistent() {
+        let g = gnp_connected(40, 0.1, 21);
+        let built = two_connecting_remote_spanner(&g);
+        let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+        assert!(report.mean_multiplicative <= report.max_multiplicative + 1e-12);
+        assert!(report.mean_multiplicative >= 1.0);
+        assert!(report.pairs_checked > 0);
+        assert_eq!(report.disconnected_pairs, 0);
+    }
+
+    #[test]
+    fn violation_is_reported_with_witness() {
+        // Take the exact construction but demand an impossible guarantee
+        // (alpha = 1, beta = -1): every distance-2 pair violates it.
+        let g = cycle_graph(9);
+        let built = exact_remote_spanner(&g);
+        let impossible = StretchGuarantee {
+            alpha: 1.0,
+            beta: -1.0,
+            k: 1,
+        };
+        let report = verify_remote_stretch(&built.spanner, &impossible);
+        assert!(!report.holds());
+        let w = report.worst_violation.unwrap();
+        assert!(w.d_hu as f64 > impossible.allowed(w.d_g));
+    }
+}

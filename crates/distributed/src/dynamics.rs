@@ -1,0 +1,228 @@
+//! Topology changes and local restabilisation.
+//!
+//! Section 2.3 notes that the RemSpan protocol can run periodically and that
+//! after a topology change the computed spanner stabilises after one period
+//! plus two floodings up to distance `r − 1 + β`: only nodes within that
+//! distance of the changed link can see a different neighborhood, so only they
+//! need to recompute their dominating trees.  This module implements that
+//! incremental recomputation and reports how local the repair is.
+
+use crate::protocol::TreeStrategy;
+use rspan_graph::{bfs_distances_bounded, CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
+
+/// A single topology change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyChange {
+    /// A new link `{u, v}` appears.
+    AddEdge(Node, Node),
+    /// The link `{u, v}` disappears.
+    RemoveEdge(Node, Node),
+}
+
+impl TopologyChange {
+    /// The two endpoints of the changed link.
+    pub fn endpoints(&self) -> (Node, Node) {
+        match *self {
+            TopologyChange::AddEdge(u, v) | TopologyChange::RemoveEdge(u, v) => (u, v),
+        }
+    }
+}
+
+/// Applies a change to a graph, returning the new graph.
+/// Panics if an added edge already exists or a removed edge does not.
+pub fn apply_change(graph: &CsrGraph, change: TopologyChange) -> CsrGraph {
+    let (u, v) = change.endpoints();
+    assert!(u != v, "self loops are not valid links");
+    let mut b = GraphBuilder::with_capacity(graph.n(), graph.m() + 1);
+    match change {
+        TopologyChange::AddEdge(a, c) => {
+            assert!(!graph.has_edge(a, c), "edge ({a}, {c}) already present");
+            b.extend_edges(graph.edges());
+            b.add_edge(a, c);
+        }
+        TopologyChange::RemoveEdge(a, c) => {
+            assert!(graph.has_edge(a, c), "edge ({a}, {c}) not present");
+            let drop_id = graph.edge_id(a, c).expect("edge id of existing edge");
+            b.extend_edges(
+                graph
+                    .edges()
+                    .enumerate()
+                    .filter(|(e, _)| *e != drop_id)
+                    .map(|(_, uv)| uv),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Result of an incremental restabilisation.
+pub struct Restabilisation<'g> {
+    /// The spanner over the new graph.
+    pub spanner: Subgraph<'g>,
+    /// Nodes that recomputed their dominating tree.
+    pub recomputed_nodes: Vec<Node>,
+    /// Fraction of nodes that had to recompute.
+    pub recomputed_fraction: f64,
+}
+
+/// Recomputes the remote-spanner after a topology change, re-running the tree
+/// construction only for the nodes whose `(r − 1 + β)`-hop knowledge could
+/// have changed — every other node keeps its previous tree verbatim.
+///
+/// `old_graph` and `new_graph` must be the graphs before and after `change`
+/// (`new_graph` is typically produced by [`apply_change`]); `strategy` is the
+/// per-node tree algorithm (the same one used to build the original spanner).
+pub fn restabilise<'g>(
+    old_graph: &CsrGraph,
+    new_graph: &'g CsrGraph,
+    change: TopologyChange,
+    strategy: TreeStrategy,
+) -> Restabilisation<'g> {
+    assert_eq!(old_graph.n(), new_graph.n(), "node set must be unchanged");
+    let radius = strategy.knowledge_radius();
+    let (a, b) = change.endpoints();
+    // A node's knowledge (edges incident to its radius-ball) can change only
+    // if one endpoint of the changed link lies within `radius` of it in either
+    // the old or the new graph.
+    let mut affected = vec![false; new_graph.n()];
+    for g in [old_graph, new_graph] {
+        for endpoint in [a, b] {
+            for (v, d) in bfs_distances_bounded(g, endpoint, radius)
+                .iter()
+                .enumerate()
+            {
+                if d.is_some() {
+                    affected[v] = true;
+                }
+            }
+        }
+    }
+    let mut edges = EdgeSet::empty(new_graph);
+    let mut recomputed_nodes = Vec::new();
+    for u in new_graph.nodes() {
+        let tree = if affected[u as usize] {
+            recomputed_nodes.push(u);
+            strategy.build_tree(new_graph, u)
+        } else {
+            // Unaffected nodes keep their old tree; recomputing on the old
+            // graph reproduces it exactly (their local view is unchanged).
+            strategy.build_tree(old_graph, u)
+        };
+        for (p, c) in tree.edges() {
+            let e = new_graph
+                .edge_id(p, c)
+                .expect("kept tree edge must still exist in the new graph");
+            edges.insert(e);
+        }
+    }
+    let recomputed_fraction = recomputed_nodes.len() as f64 / new_graph.n().max(1) as f64;
+    Restabilisation {
+        spanner: Subgraph::new(new_graph, edges),
+        recomputed_nodes,
+        recomputed_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_core::{rem_span, verify_remote_stretch, StretchGuarantee};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph};
+    use rspan_graph::generators::udg::uniform_udg;
+
+    fn exact() -> StretchGuarantee {
+        StretchGuarantee {
+            alpha: 1.0,
+            beta: 0.0,
+            k: 1,
+        }
+    }
+
+    #[test]
+    fn apply_change_add_and_remove() {
+        let g = cycle_graph(6);
+        let g2 = apply_change(&g, TopologyChange::AddEdge(0, 3));
+        assert!(g2.has_edge(0, 3));
+        assert_eq!(g2.m(), g.m() + 1);
+        let g3 = apply_change(&g2, TopologyChange::RemoveEdge(0, 3));
+        assert_eq!(g3, g);
+        assert_eq!(TopologyChange::AddEdge(1, 2).endpoints(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn adding_existing_edge_panics() {
+        let g = cycle_graph(5);
+        let _ = apply_change(&g, TopologyChange::AddEdge(0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_missing_edge_panics() {
+        let g = cycle_graph(5);
+        let _ = apply_change(&g, TopologyChange::RemoveEdge(0, 2));
+    }
+
+    #[test]
+    fn restabilised_spanner_matches_full_recomputation() {
+        let strategy = TreeStrategy::KGreedy { k: 1 };
+        for seed in [1u64, 2, 3] {
+            let g = gnp_connected(60, 0.08, seed);
+            // Pick an existing edge to remove and a missing pair to add.
+            let (eu, ev) = g.edges().next().unwrap();
+            let mut add = None;
+            'outer: for u in g.nodes() {
+                for v in g.nodes() {
+                    if u < v && !g.has_edge(u, v) {
+                        add = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+            for change in [
+                TopologyChange::RemoveEdge(eu, ev),
+                TopologyChange::AddEdge(add.unwrap().0, add.unwrap().1),
+            ] {
+                let g2 = apply_change(&g, change);
+                let incremental = restabilise(&g, &g2, change, strategy);
+                let full = rem_span(&g2, |g, u| strategy.build_tree(g, u));
+                assert_eq!(
+                    incremental.spanner.edge_set(),
+                    full.edge_set(),
+                    "seed {seed} change {change:?}"
+                );
+                assert!(verify_remote_stretch(&incremental.spanner, &exact()).holds());
+            }
+        }
+    }
+
+    #[test]
+    fn repair_is_local_in_a_large_sparse_graph() {
+        let inst = uniform_udg(800, 12.0, 1.0, 9);
+        let g = &inst.graph;
+        let (eu, ev) = g.edges().next().unwrap();
+        let change = TopologyChange::RemoveEdge(eu, ev);
+        let g2 = apply_change(g, change);
+        let strategy = TreeStrategy::KGreedy { k: 2 };
+        let r = restabilise(g, &g2, change, strategy);
+        assert!(
+            r.recomputed_fraction < 0.25,
+            "repair touched {:.0}% of the nodes",
+            r.recomputed_fraction * 100.0
+        );
+        assert!(!r.recomputed_nodes.is_empty());
+        assert!(r.recomputed_nodes.contains(&eu));
+    }
+
+    #[test]
+    fn grid_edge_addition_keeps_validity() {
+        let g = grid_graph(6, 6);
+        let change = TopologyChange::AddEdge(0, 35);
+        let g2 = apply_change(&g, change);
+        let strategy = TreeStrategy::Mis { r: 3 };
+        let r = restabilise(&g, &g2, change, strategy);
+        let full = rem_span(&g2, |g, u| strategy.build_tree(g, u));
+        assert_eq!(r.spanner.edge_set(), full.edge_set());
+    }
+}

@@ -1,0 +1,31 @@
+//! # rspan-distributed — LOCAL-model execution of the paper's algorithms
+//!
+//! The paper's constructions are *distributed*: each node learns a bounded
+//! neighborhood through message exchange, decides locally which edges to add,
+//! and the spanner is the union of those independent decisions.  This crate
+//! makes that executable:
+//!
+//! * [`sim`] — a synchronous message-passing simulator with round and
+//!   transmission accounting (the substitute for a real ad-hoc radio network,
+//!   see DESIGN.md),
+//! * [`protocol`] — the `RemSpan_{r,β}` protocol of Algorithm 3 as a per-node
+//!   state machine (hello, link-state flooding, local tree computation, tree
+//!   advertisement), finishing in `2r − 1 + 2β` rounds,
+//! * [`routing`] — greedy link-state routing on the augmented views `H_u`,
+//!   the application the paper's introduction motivates, and [`tables`] —
+//!   the precomputed next-hop tables a real router would use,
+//! * [`dynamics`] — topology changes and local restabilisation.
+
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod protocol;
+pub mod routing;
+pub mod sim;
+pub mod tables;
+
+pub use dynamics::{apply_change, restabilise, Restabilisation, TopologyChange};
+pub use protocol::{run_remspan_protocol, DistributedRun, RemSpanMsg, RemSpanNode, TreeStrategy};
+pub use routing::{greedy_route, measure_routing, RouteOutcome, RoutingReport};
+pub use sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
+pub use tables::{tables_are_consistent, RoutingTables};

@@ -1,0 +1,432 @@
+//! The `RemSpan_{r,β}` protocol (Algorithm 3) as a per-node state machine.
+//!
+//! Each node runs four operations, realised here as message rounds on the
+//! [`crate::sim::SyncNetwork`]:
+//!
+//! 1. **Hello** — broadcast its identity, learn its neighbor list;
+//! 2. **Link-state flooding** — flood its neighbor list to every node within
+//!    `R = r − 1 + β` hops (TTL-limited flooding);
+//! 3. **Local tree computation** — from the collected neighbor lists, rebuild
+//!    the local view and run the chosen dominating-tree algorithm;
+//! 4. **Tree advertisement** — flood the computed tree within `R` hops so
+//!    every node learns which of its incident edges belong to the spanner.
+//!
+//! The protocol finishes in `2R + 1 = 2r − 1 + 2β` rounds, matching the
+//! paper's time bound, and the union of advertised trees is asserted (in the
+//! tests) to equal the centralized [`rspan_core::rem_span`] construction.
+
+use crate::sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
+use rspan_domtree::{
+    dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, DominatingTree,
+};
+use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
+use std::collections::{HashMap, HashSet};
+
+/// Which dominating-tree algorithm each node runs on its local view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeStrategy {
+    /// Algorithm 1, `DomTreeGdy_{r,β}`.
+    Greedy {
+        /// Dominating-tree radius `r`.
+        r: u32,
+        /// Dominating-tree slack `β`.
+        beta: u32,
+    },
+    /// Algorithm 2, `DomTreeMIS_{r,1}`.
+    Mis {
+        /// Dominating-tree radius `r`.
+        r: u32,
+    },
+    /// Algorithm 4, `DomTreeGdy_{2,0,k}`.
+    KGreedy {
+        /// Coverage / connectivity parameter `k`.
+        k: usize,
+    },
+    /// Algorithm 5, `DomTreeMIS_{2,1,k}`.
+    KMis {
+        /// Coverage / connectivity parameter `k`.
+        k: usize,
+    },
+}
+
+impl TreeStrategy {
+    /// The knowledge radius `R = r − 1 + β` Algorithm 3 floods to for this
+    /// strategy.
+    pub fn knowledge_radius(&self) -> u32 {
+        match *self {
+            TreeStrategy::Greedy { r, beta } => r - 1 + beta,
+            TreeStrategy::Mis { r } => r,      // r - 1 + β with β = 1
+            TreeStrategy::KGreedy { .. } => 1, // r = 2, β = 0
+            TreeStrategy::KMis { .. } => 2,    // r = 2, β = 1
+        }
+    }
+
+    /// Runs the strategy on a concrete graph for a root node.
+    pub fn build_tree(&self, graph: &CsrGraph, root: Node) -> DominatingTree {
+        match *self {
+            TreeStrategy::Greedy { r, beta } => dom_tree_greedy(graph, root, r, beta),
+            TreeStrategy::Mis { r } => dom_tree_mis(graph, root, r),
+            TreeStrategy::KGreedy { k } => dom_tree_k_greedy(graph, root, k),
+            TreeStrategy::KMis { k } => dom_tree_k_mis(graph, root, k),
+        }
+    }
+
+    /// Expected protocol duration in rounds: `2R + 1`.
+    pub fn expected_rounds(&self) -> u32 {
+        2 * self.knowledge_radius() + 1
+    }
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug)]
+pub enum RemSpanMsg {
+    /// Neighbor discovery beacon.
+    Hello(Node),
+    /// Link-state advertisement: `(origin, origin's neighbor list, remaining ttl)`.
+    LinkState(Node, Vec<Node>, u32),
+    /// Tree advertisement: `(origin, tree edges, remaining ttl)`.
+    TreeAdvert(Node, Vec<(Node, Node)>, u32),
+}
+
+/// Per-node state of the RemSpan protocol.
+pub struct RemSpanNode {
+    strategy: TreeStrategy,
+    /// Learned neighbor lists, keyed by origin.
+    link_state: HashMap<Node, Vec<Node>>,
+    /// Origins already re-flooded (duplicate suppression).
+    seen_ls: HashSet<Node>,
+    /// Tree advertisements already re-flooded.
+    seen_tree: HashSet<Node>,
+    /// The tree this node computed for itself (after the flooding phase).
+    computed_tree_edges: Vec<(Node, Node)>,
+    /// Spanner edges incident to this node, learned from tree advertisements.
+    incident_spanner_edges: HashSet<(Node, Node)>,
+    computed: bool,
+    done: bool,
+    /// Neighbor list (filled after the hello round).
+    my_neighbors: Vec<Node>,
+}
+
+impl RemSpanNode {
+    /// Creates the initial state for one node.
+    pub fn new(strategy: TreeStrategy) -> Self {
+        RemSpanNode {
+            strategy,
+            link_state: HashMap::new(),
+            seen_ls: HashSet::new(),
+            seen_tree: HashSet::new(),
+            computed_tree_edges: Vec::new(),
+            incident_spanner_edges: HashSet::new(),
+            computed: false,
+            done: false,
+            my_neighbors: Vec::new(),
+        }
+    }
+
+    /// Tree edges this node computed for itself (empty before the computation
+    /// round).
+    pub fn tree_edges(&self) -> &[(Node, Node)] {
+        &self.computed_tree_edges
+    }
+
+    /// Spanner edges incident to this node that it learned from tree
+    /// advertisements (including its own tree's edges).
+    pub fn incident_spanner_edges(&self) -> &HashSet<(Node, Node)> {
+        &self.incident_spanner_edges
+    }
+
+    /// Reconstructs the local view graph from the collected link state and
+    /// computes this node's dominating tree.
+    fn compute_tree(&mut self, me: Node) {
+        // Known nodes: every origin plus every node mentioned in a list.
+        let mut known: Vec<Node> = Vec::new();
+        for (&origin, list) in &self.link_state {
+            known.push(origin);
+            known.extend_from_slice(list);
+        }
+        known.push(me);
+        known.sort_unstable();
+        known.dedup();
+        let index_of = |g: Node| known.binary_search(&g).expect("known node") as Node;
+        let mut builder = GraphBuilder::new(known.len());
+        for (&origin, list) in &self.link_state {
+            let lo = index_of(origin);
+            for &w in list {
+                builder.add_edge(lo, index_of(w));
+            }
+        }
+        let local = builder.build();
+        let tree = self.strategy.build_tree(&local, index_of(me));
+        self.computed_tree_edges = tree
+            .edges()
+            .into_iter()
+            .map(|(p, c)| (known[p as usize], known[c as usize]))
+            .collect();
+        // A node's own tree edges incident to itself count as learned.
+        for &(a, b) in &self.computed_tree_edges {
+            if a == me || b == me {
+                self.incident_spanner_edges.insert(ordered(a, b));
+            }
+        }
+        self.computed = true;
+    }
+}
+
+fn ordered(a: Node, b: Node) -> (Node, Node) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl NodeState for RemSpanNode {
+    type Msg = RemSpanMsg;
+
+    fn on_start(&mut self, me: Node, neighbors: &[Node]) -> Vec<Outgoing<Self::Msg>> {
+        if neighbors.is_empty() {
+            // An isolated node has nothing to dominate and nobody to talk to.
+            self.computed = true;
+            self.done = true;
+            return Vec::new();
+        }
+        vec![Outgoing::Broadcast(RemSpanMsg::Hello(me))]
+    }
+
+    fn on_round(
+        &mut self,
+        me: Node,
+        neighbors: &[Node],
+        round: u32,
+        inbox: &[Envelope<Self::Msg>],
+    ) -> Vec<Outgoing<Self::Msg>> {
+        let radius = self.strategy.knowledge_radius();
+        let mut out = Vec::new();
+        let mut heard_hello = false;
+        for env in inbox {
+            match &env.payload {
+                RemSpanMsg::Hello(origin) => {
+                    heard_hello = true;
+                    debug_assert_eq!(*origin, env.from);
+                }
+                RemSpanMsg::LinkState(origin, list, ttl) => {
+                    if self.seen_ls.insert(*origin) {
+                        self.link_state.insert(*origin, list.clone());
+                        if *ttl > 1 {
+                            out.push(Outgoing::Broadcast(RemSpanMsg::LinkState(
+                                *origin,
+                                list.clone(),
+                                ttl - 1,
+                            )));
+                        }
+                    }
+                }
+                RemSpanMsg::TreeAdvert(origin, edges, ttl) => {
+                    if self.seen_tree.insert(*origin) {
+                        for &(a, b) in edges {
+                            if a == me || b == me {
+                                self.incident_spanner_edges.insert(ordered(a, b));
+                            }
+                        }
+                        if *ttl > 1 {
+                            out.push(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
+                                *origin,
+                                edges.clone(),
+                                ttl - 1,
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if heard_hello && self.my_neighbors.is_empty() {
+            // The hello round just completed: record neighbors and start the
+            // link-state flooding of our own list.
+            self.my_neighbors = neighbors.to_vec();
+            self.link_state.insert(me, self.my_neighbors.clone());
+            self.seen_ls.insert(me);
+            if radius >= 1 {
+                out.push(Outgoing::Broadcast(RemSpanMsg::LinkState(
+                    me,
+                    self.my_neighbors.clone(),
+                    radius,
+                )));
+            } else {
+                // Degenerate radius 0: compute from the neighbor list alone.
+                self.compute_tree(me);
+                self.done = true;
+            }
+        }
+        // The synchronous schedule is deterministic: hellos arrive in round 0,
+        // and a link-state advertisement originated at distance `d` arrives in
+        // round `d`.  After processing round `radius`, every neighbor list
+        // within the knowledge radius has been collected, so the node computes
+        // its dominating tree and starts advertising it.
+        if !self.computed && !self.my_neighbors.is_empty() && round >= radius {
+            self.compute_tree(me);
+            if radius >= 1 && !self.computed_tree_edges.is_empty() {
+                out.push(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
+                    me,
+                    self.computed_tree_edges.clone(),
+                    radius,
+                )));
+            }
+        }
+        if self.computed && out.is_empty() {
+            self.done = true;
+        }
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Result of a full distributed RemSpan execution.
+pub struct DistributedRun<'g> {
+    /// The spanner assembled from every node's computed tree.
+    pub spanner: Subgraph<'g>,
+    /// Simulator statistics (rounds, transmissions).
+    pub stats: RunStats,
+    /// Per-node count of spanner edges each node learned to be incident to it.
+    pub incident_edge_counts: Vec<usize>,
+}
+
+/// Runs the RemSpan protocol on `graph` with the given per-node strategy and
+/// assembles the resulting remote-spanner.
+pub fn run_remspan_protocol(graph: &CsrGraph, strategy: TreeStrategy) -> DistributedRun<'_> {
+    let net = SyncNetwork::new(graph);
+    let max_rounds = strategy.expected_rounds() + 4;
+    let (states, stats) = net.run(|_u| RemSpanNode::new(strategy), max_rounds);
+    let mut edges = EdgeSet::empty(graph);
+    for (u, st) in states.iter().enumerate() {
+        for &(a, b) in st.tree_edges() {
+            let e = graph
+                .edge_id(a, b)
+                .unwrap_or_else(|| panic!("node {u} computed a tree edge ({a},{b}) not in G"));
+            edges.insert(e);
+        }
+    }
+    let incident_edge_counts = states
+        .iter()
+        .map(|s| s.incident_spanner_edges().len())
+        .collect();
+    DistributedRun {
+        spanner: Subgraph::new(graph, edges),
+        stats,
+        incident_edge_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_core::{rem_span, verify_remote_stretch, StretchGuarantee};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph, petersen};
+    use rspan_graph::generators::udg::uniform_udg;
+
+    #[test]
+    fn strategy_metadata() {
+        assert_eq!(TreeStrategy::KGreedy { k: 1 }.knowledge_radius(), 1);
+        assert_eq!(TreeStrategy::KGreedy { k: 3 }.expected_rounds(), 3);
+        assert_eq!(TreeStrategy::KMis { k: 2 }.knowledge_radius(), 2);
+        assert_eq!(TreeStrategy::Mis { r: 3 }.knowledge_radius(), 3);
+        assert_eq!(TreeStrategy::Greedy { r: 3, beta: 1 }.knowledge_radius(), 3);
+        assert_eq!(TreeStrategy::Greedy { r: 2, beta: 0 }.expected_rounds(), 3);
+    }
+
+    #[test]
+    fn distributed_matches_centralized_kgreedy() {
+        for g in [cycle_graph(12), grid_graph(5, 5), petersen()] {
+            let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 1 });
+            let central = rem_span(&g, |g, u| dom_tree_k_greedy(g, u, 1));
+            assert_eq!(run.spanner.edge_set(), central.edge_set());
+        }
+    }
+
+    #[test]
+    fn distributed_matches_centralized_on_random_udg() {
+        let inst = uniform_udg(120, 4.0, 1.0, 5);
+        let g = &inst.graph;
+        for strategy in [
+            TreeStrategy::KGreedy { k: 2 },
+            TreeStrategy::KMis { k: 2 },
+            TreeStrategy::Mis { r: 3 },
+            TreeStrategy::Greedy { r: 3, beta: 1 },
+        ] {
+            let run = run_remspan_protocol(g, strategy);
+            let central = rem_span(g, |g, u| strategy.build_tree(g, u));
+            assert_eq!(
+                run.spanner.edge_set(),
+                central.edge_set(),
+                "strategy {strategy:?} diverged from the centralized construction"
+            );
+        }
+    }
+
+    #[test]
+    fn round_count_matches_paper_bound_and_is_independent_of_n() {
+        // Theorem 2's construction takes 2r−1+2β = 3 rounds of useful work;
+        // allow the +1 quiescence round the simulator needs to detect
+        // termination.
+        let mut rounds_seen = Vec::new();
+        for n in [40usize, 80, 160] {
+            let g = gnp_connected(n, 8.0 / n as f64, 7);
+            let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 1 });
+            let bound = TreeStrategy::KGreedy { k: 1 }.expected_rounds() + 1;
+            assert!(
+                run.stats.rounds <= bound,
+                "n={n}: {} rounds > {bound}",
+                run.stats.rounds
+            );
+            rounds_seen.push(run.stats.rounds);
+        }
+        // Constant in n: all sizes take the same number of rounds.
+        assert!(rounds_seen.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn distributed_spanner_satisfies_the_stretch_guarantee() {
+        let g = gnp_connected(60, 0.08, 3);
+        let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 1 });
+        let guarantee = StretchGuarantee {
+            alpha: 1.0,
+            beta: 0.0,
+            k: 1,
+        };
+        assert!(verify_remote_stretch(&run.spanner, &guarantee).holds());
+    }
+
+    #[test]
+    fn incident_edge_knowledge_covers_the_spanner() {
+        // Every spanner edge must be known by both its endpoints after the
+        // tree-advertisement phase (this is what lets a node advertise the
+        // right links in a link-state protocol).
+        let g = grid_graph(6, 6);
+        let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 2 });
+        let mut per_node: Vec<HashSet<(Node, Node)>> = vec![HashSet::new(); g.n()];
+        for (u, v) in run.spanner.edges() {
+            per_node[u as usize].insert((u, v));
+            per_node[v as usize].insert((u, v));
+        }
+        for (u, count) in run.incident_edge_counts.iter().enumerate() {
+            assert!(
+                *count >= per_node[u].len(),
+                "node {u} learned {count} incident spanner edges, expected at least {}",
+                per_node[u].len()
+            );
+        }
+    }
+
+    #[test]
+    fn messages_scale_with_ball_sizes_not_n_squared() {
+        // Flooding with TTL R costs Θ(Σ_u |B(u, R)| · deg) messages; on a
+        // bounded-degree graph this is linear in n, far from n².
+        let g = cycle_graph(100);
+        let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 1 });
+        assert!(run.stats.messages < (g.n() * g.n()) as u64 / 4);
+        assert!(run.stats.messages >= g.n() as u64);
+    }
+}

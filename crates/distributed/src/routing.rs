@@ -1,0 +1,239 @@
+//! Link-state greedy routing over a remote-spanner.
+//!
+//! The paper's motivation (§1): a link-state protocol floods only the spanner
+//! `H`; every node `u` additionally knows its own neighbors, so it routes on
+//! `H_u` by forwarding a packet for destination `v` to the neighbor `u'`
+//! closest to `v` in `H_u`.  Because the tail of that path lies inside `H`,
+//! the next hop can only do better, and the delivered route has length at most
+//! `d_{H_u}(u, v)` — i.e. greedy routing achieves the remote-spanner stretch.
+//!
+//! This module simulates that forwarding process hop by hop and measures the
+//! realised route lengths against shortest paths in `G`, which is experiment
+//! E10.
+
+use rspan_graph::{bfs_distances, pair_distance, CsrGraph, Node, Subgraph};
+
+/// Outcome of routing a single packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// The packet reached its destination along the recorded path.
+    Delivered(Vec<Node>),
+    /// A node had no neighbor with a finite distance to the destination.
+    Stuck {
+        /// Node at which forwarding failed.
+        at: Node,
+        /// Hops travelled before failing.
+        hops: usize,
+    },
+    /// The hop budget was exhausted (routing loop).
+    Looping,
+}
+
+impl RouteOutcome {
+    /// Path length in hops if the packet was delivered.
+    pub fn hops(&self) -> Option<usize> {
+        match self {
+            RouteOutcome::Delivered(p) => Some(p.len() - 1),
+            _ => None,
+        }
+    }
+}
+
+/// Routes one packet from `s` to `t` by greedy forwarding on the augmented
+/// views `H_u` (recomputed at every hop, as each router would).
+pub fn greedy_route(spanner: &Subgraph<'_>, s: Node, t: Node) -> RouteOutcome {
+    let graph = spanner.parent();
+    if s == t {
+        return RouteOutcome::Delivered(vec![s]);
+    }
+    let max_hops = graph.n() + 1;
+    let mut path = vec![s];
+    let mut current = s;
+    for _ in 0..max_hops {
+        if current == t {
+            return RouteOutcome::Delivered(path);
+        }
+        if graph.has_edge(current, t) {
+            path.push(t);
+            return RouteOutcome::Delivered(path);
+        }
+        // Distances to t inside H_current (BFS from the destination reaches
+        // every candidate neighbor in one sweep).
+        let view = spanner.augmented(current);
+        let dist_from_t = bfs_distances(&view, t);
+        let mut best: Option<(Node, u32)> = None;
+        for &w in graph.neighbors(current) {
+            if let Some(d) = dist_from_t[w as usize] {
+                match best {
+                    Some((_, bd)) if bd <= d => {}
+                    _ => best = Some((w, d)),
+                }
+            }
+        }
+        match best {
+            Some((w, _)) => {
+                path.push(w);
+                current = w;
+            }
+            None => {
+                return RouteOutcome::Stuck {
+                    at: current,
+                    hops: path.len() - 1,
+                }
+            }
+        }
+    }
+    RouteOutcome::Looping
+}
+
+/// Aggregate routing-stretch measurements over a set of source/target pairs.
+#[derive(Clone, Debug)]
+pub struct RoutingReport {
+    /// Pairs attempted (connected pairs only are counted).
+    pub pairs: usize,
+    /// Packets delivered.
+    pub delivered: usize,
+    /// Packets stuck or looping.
+    pub failed: usize,
+    /// Maximum observed `route_hops / d_G`.
+    pub max_stretch: f64,
+    /// Mean observed `route_hops / d_G`.
+    pub mean_stretch: f64,
+    /// Maximum observed `route_hops − d_G`.
+    pub max_extra_hops: i64,
+}
+
+/// Routes every pair in `pairs` and aggregates the stretch statistics.
+pub fn measure_routing(spanner: &Subgraph<'_>, pairs: &[(Node, Node)]) -> RoutingReport {
+    let graph: &CsrGraph = spanner.parent();
+    let mut report = RoutingReport {
+        pairs: 0,
+        delivered: 0,
+        failed: 0,
+        max_stretch: 0.0,
+        mean_stretch: 0.0,
+        max_extra_hops: 0,
+    };
+    let mut sum = 0.0;
+    for &(s, t) in pairs {
+        if s == t {
+            continue;
+        }
+        let Some(dg) = pair_distance(graph, s, t) else {
+            continue; // disconnected in G: not a routing failure
+        };
+        report.pairs += 1;
+        match greedy_route(spanner, s, t) {
+            RouteOutcome::Delivered(path) => {
+                report.delivered += 1;
+                let hops = (path.len() - 1) as f64;
+                let stretch = hops / dg as f64;
+                sum += stretch;
+                report.max_stretch = report.max_stretch.max(stretch);
+                report.max_extra_hops =
+                    report.max_extra_hops.max(path.len() as i64 - 1 - dg as i64);
+            }
+            _ => report.failed += 1,
+        }
+    }
+    if report.delivered > 0 {
+        report.mean_stretch = sum / report.delivered as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_core::{
+        exact_remote_spanner, k_connecting_remote_spanner, two_connecting_remote_spanner,
+    };
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph, petersen};
+    use rspan_graph::generators::udg::uniform_udg;
+    use rspan_graph::Subgraph;
+
+    fn all_pairs(g: &CsrGraph) -> Vec<(Node, Node)> {
+        let mut v = Vec::new();
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s != t {
+                    v.push((s, t));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn routing_on_the_full_graph_is_shortest_path() {
+        let g = grid_graph(4, 5);
+        let h = Subgraph::full(&g);
+        let report = measure_routing(&h, &all_pairs(&g));
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.max_stretch, 1.0);
+        assert_eq!(report.max_extra_hops, 0);
+    }
+
+    #[test]
+    fn routing_on_exact_remote_spanner_is_shortest_path() {
+        for g in [cycle_graph(11), petersen(), grid_graph(5, 4)] {
+            let built = exact_remote_spanner(&g);
+            let report = measure_routing(&built.spanner, &all_pairs(&g));
+            assert_eq!(report.failed, 0);
+            assert_eq!(
+                report.max_stretch, 1.0,
+                "exact spanner must route optimally"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_on_random_graph_spanners() {
+        let g = gnp_connected(50, 0.1, 5);
+        let built = k_connecting_remote_spanner(&g, 1);
+        let report = measure_routing(&built.spanner, &all_pairs(&g));
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.max_stretch, 1.0);
+        assert!(report.mean_stretch >= 1.0);
+    }
+
+    #[test]
+    fn routing_on_two_connecting_spanner_respects_stretch() {
+        let inst = uniform_udg(120, 4.0, 1.0, 7);
+        let built = two_connecting_remote_spanner(&inst.graph);
+        let pairs: Vec<(Node, Node)> = (0..60)
+            .map(|i| ((i * 2) as Node, ((i * 7 + 31) % 120) as Node))
+            .collect();
+        let report = measure_routing(&built.spanner, &pairs);
+        assert_eq!(report.failed, 0);
+        // Greedy routing achieves d_{H_u}(u,v) ≤ 2 d_G(u,v) − 1 < 2 d_G(u,v).
+        assert!(
+            report.max_stretch < 2.0 + 1e-9,
+            "stretch {}",
+            report.max_stretch
+        );
+    }
+
+    #[test]
+    fn adjacent_and_trivial_pairs() {
+        let g = cycle_graph(6);
+        let h = Subgraph::empty(&g);
+        // Adjacent destination short-circuits through the known neighborhood.
+        assert_eq!(greedy_route(&h, 0, 1).hops(), Some(1));
+        assert_eq!(greedy_route(&h, 2, 2).hops(), Some(0));
+    }
+
+    #[test]
+    fn empty_spanner_gets_stuck_on_far_pairs() {
+        let g = cycle_graph(8);
+        let h = Subgraph::empty(&g);
+        match greedy_route(&h, 0, 4) {
+            RouteOutcome::Stuck { .. } => {}
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+        let report = measure_routing(&h, &[(0, 4), (0, 1)]);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.failed, 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Precomputed next-hop routing tables over the augmented views `H_u`.
+//!
+//! [`crate::routing::greedy_route`] recomputes distances at every hop, which
+//! is convenient for measurements but not how a router works: a link-state
+//! router computes its whole table once per topology change and then forwards
+//! by table lookup.  [`RoutingTables`] materialises, for every node `u`, the
+//! next hop toward every destination according to distances in `H_u` — the
+//! per-node computation each router would run locally after flooding — and
+//! lets the harnesses check that table-driven forwarding realises exactly the
+//! routes the greedy per-hop rule produces.
+
+use rspan_graph::{bfs_distances, CsrGraph, Node, Subgraph};
+
+/// Next-hop tables for every node of a spanner's parent graph.
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    n: usize,
+    /// `next[u * n + v]` = next hop from `u` toward `v`, or `Node::MAX` when
+    /// `v` is unreachable from `u` in `H_u` (or `v == u`).
+    next: Vec<Node>,
+    /// `dist[u * n + v]` = `d_{H_u}(u, v)` (`u32::MAX` when unreachable).
+    dist: Vec<u32>,
+}
+
+const NO_HOP: Node = Node::MAX;
+const UNREACH: u32 = u32::MAX;
+
+impl RoutingTables {
+    /// Computes the tables for every source node.
+    ///
+    /// For each `u` this is one BFS per *destination-side* sweep: a single BFS
+    /// from `u` in `H_u` gives the distances, and the next hop toward `v` is
+    /// any neighbor `w` of `u` (in `G`, since `H_u` contains all of `u`'s
+    /// incident edges) minimising `d_{H_u}(w, v)`; those distances come from
+    /// one BFS per neighbor, bounded by the ball that matters.  To keep the
+    /// cost at `O(n · (n + m))` overall we instead run, for every `u`, one BFS
+    /// from each destination `v` *restricted to `H_u`* lazily: in practice the
+    /// table is filled by running BFS from `u` and storing parent pointers
+    /// reversed — the first hop of a shortest `u → v` path in `H_u`.
+    pub fn build(spanner: &Subgraph<'_>) -> Self {
+        let graph: &CsrGraph = spanner.parent();
+        let n = graph.n();
+        let mut next = vec![NO_HOP; n * n];
+        let mut dist = vec![UNREACH; n * n];
+        for u in graph.nodes() {
+            let view = spanner.augmented(u);
+            let tree = rspan_graph::bfs_tree(&view, u);
+            for v in graph.nodes() {
+                if v == u {
+                    dist[u as usize * n + v as usize] = 0;
+                    continue;
+                }
+                if let Some(d) = tree.dist[v as usize] {
+                    dist[u as usize * n + v as usize] = d;
+                    // Walk the parent chain from v back to the child of u.
+                    let mut cur = v;
+                    while let Some(p) = tree.parent[cur as usize] {
+                        if p == u {
+                            break;
+                        }
+                        cur = p;
+                    }
+                    next[u as usize * n + v as usize] = cur;
+                }
+            }
+        }
+        RoutingTables { n, next, dist }
+    }
+
+    /// Next hop from `u` toward `v` (`None` if unreachable or `u == v`).
+    pub fn next_hop(&self, u: Node, v: Node) -> Option<Node> {
+        let h = self.next[u as usize * self.n + v as usize];
+        if h == NO_HOP {
+            None
+        } else {
+            Some(h)
+        }
+    }
+
+    /// `d_{H_u}(u, v)` as recorded in the table.
+    pub fn table_distance(&self, u: Node, v: Node) -> Option<u32> {
+        let d = self.dist[u as usize * self.n + v as usize];
+        if d == UNREACH {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Forwards a packet from `s` to `t` by table lookups at every hop.
+    /// Returns the realised path, or `None` if some router has no entry or a
+    /// loop longer than `n` hops appears.
+    pub fn forward(&self, s: Node, t: Node) -> Option<Vec<Node>> {
+        let mut path = vec![s];
+        let mut cur = s;
+        for _ in 0..=self.n {
+            if cur == t {
+                return Some(path);
+            }
+            let hop = self.next_hop(cur, t)?;
+            path.push(hop);
+            cur = hop;
+        }
+        None
+    }
+
+    /// Total number of table entries a node must store, averaged over nodes
+    /// (reachable destinations only) — a memory-cost figure for the routing
+    /// experiment.
+    pub fn mean_entries_per_node(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let filled = self.next.iter().filter(|&&h| h != NO_HOP).count();
+        filled as f64 / self.n as f64
+    }
+}
+
+/// Convenience: checks that table-driven forwarding delivers every connected
+/// pair with a route no longer than the table's own `d_{H_u}` estimate and no
+/// shorter than the true shortest path in `G`.
+pub fn tables_are_consistent(spanner: &Subgraph<'_>) -> bool {
+    let graph = spanner.parent();
+    let tables = RoutingTables::build(spanner);
+    for s in graph.nodes() {
+        let d_g = bfs_distances(graph, s);
+        for t in graph.nodes() {
+            if s == t {
+                continue;
+            }
+            match (tables.table_distance(s, t), tables.forward(s, t)) {
+                (Some(d), Some(path)) => {
+                    let hops = (path.len() - 1) as u32;
+                    let dg = d_g[t as usize].expect("table reached an unreachable node?");
+                    if hops > d || (hops as u32) < dg {
+                        return false;
+                    }
+                }
+                (None, None) => {}
+                // A recorded distance without a deliverable route (or vice
+                // versa) is an inconsistency.
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_core::{exact_remote_spanner, two_connecting_remote_spanner};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph};
+    use rspan_graph::generators::udg::uniform_udg;
+    use rspan_graph::Subgraph;
+
+    #[test]
+    fn tables_on_full_graph_are_shortest_paths() {
+        let g = grid_graph(4, 5);
+        let h = Subgraph::full(&g);
+        let tables = RoutingTables::build(&h);
+        for s in g.nodes() {
+            let d = bfs_distances(&g, s);
+            for t in g.nodes() {
+                assert_eq!(tables.table_distance(s, t), d[t as usize]);
+                if s != t {
+                    let path = tables.forward(s, t).unwrap();
+                    assert_eq!(path.len() as u32 - 1, d[t as usize].unwrap());
+                }
+            }
+        }
+        assert!(tables_are_consistent(&h));
+    }
+
+    #[test]
+    fn tables_on_exact_remote_spanner_route_optimally() {
+        for g in [
+            cycle_graph(11),
+            gnp_connected(50, 0.1, 7),
+            uniform_udg(100, 4.0, 1.0, 7).graph,
+        ] {
+            let built = exact_remote_spanner(&g);
+            let tables = RoutingTables::build(&built.spanner);
+            let ok = g.nodes().all(|s| {
+                let d = bfs_distances(&g, s);
+                g.nodes().all(|t| {
+                    s == t
+                        || tables
+                            .forward(s, t)
+                            .map(|p| p.len() as u32 - 1 == d[t as usize].unwrap())
+                            .unwrap_or(false)
+                })
+            });
+            assert!(
+                ok,
+                "table routing over the (1,0)-remote-spanner must be optimal"
+            );
+            assert!(tables_are_consistent(&built.spanner));
+        }
+    }
+
+    #[test]
+    fn tables_consistent_on_theorem_3_spanner() {
+        let g = uniform_udg(90, 4.0, 1.0, 13).graph;
+        let built = two_connecting_remote_spanner(&g);
+        assert!(tables_are_consistent(&built.spanner));
+    }
+
+    #[test]
+    fn empty_spanner_tables_have_only_neighbor_entries() {
+        let g = cycle_graph(8);
+        let h = Subgraph::empty(&g);
+        let tables = RoutingTables::build(&h);
+        // From node 0, only the two neighbors are reachable in H_0.
+        assert_eq!(tables.table_distance(0, 1), Some(1));
+        assert_eq!(tables.table_distance(0, 4), None);
+        assert_eq!(tables.next_hop(0, 4), None);
+        assert!(tables.forward(0, 4).is_none());
+        assert!(tables.mean_entries_per_node() >= 2.0);
+        assert!(tables_are_consistent(&h));
+    }
+
+    #[test]
+    fn next_hop_is_a_graph_neighbor() {
+        let g = gnp_connected(40, 0.12, 3);
+        let built = exact_remote_spanner(&g);
+        let tables = RoutingTables::build(&built.spanner);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if let Some(h) = tables.next_hop(s, t) {
+                    assert!(g.has_edge(s, h), "next hop {h} is not a neighbor of {s}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Algorithm 1 of the paper: `DomTreeGdy_{r,β}(u)`.
+//!
+//! Builds an `(r, β)`-dominating tree for `u` by solving, for each ring of
+//! nodes at distance `r' = 2 … r`, a greedy set-cover problem: the nodes at
+//! distance `r'` must be covered by the closed neighborhoods of nodes in the
+//! distance range `[r'−1, r'−1+β]`, which are then connected to the root by a
+//! shortest path.  Proposition 2 bounds the number of edges by
+//! `(1+β)(r+β−1)(1+log Δ)` times the optimum.
+
+use crate::tree::DominatingTree;
+use rspan_graph::{bfs_tree_bounded, Adjacency, Node};
+
+/// Runs `DomTreeGdy_{r,β}(u)` on any adjacency view and returns the computed
+/// dominating tree.
+///
+/// Requirements: `r ≥ 2` (for `r < 2` there is nothing to dominate and the
+/// trivial single-node tree is returned).
+pub fn dom_tree_greedy<A>(graph: &A, u: Node, r: u32, beta: u32) -> DominatingTree
+where
+    A: Adjacency + ?Sized,
+{
+    let n = graph.num_nodes();
+    let mut tree = DominatingTree::new(n, u);
+    if r < 2 {
+        return tree;
+    }
+    // One bounded BFS gives every distance and shortest path needed below.
+    let bfs = bfs_tree_bounded(graph, u, r.max(r - 1 + beta));
+    let dist = |v: Node| bfs.dist[v as usize];
+
+    for r_prime in 2..=r {
+        // S: nodes at distance exactly r'.
+        let mut in_s: Vec<bool> = vec![false; n];
+        let mut s_count = 0usize;
+        for v in 0..n as Node {
+            if dist(v) == Some(r_prime) {
+                in_s[v as usize] = true;
+                s_count += 1;
+            }
+        }
+        if s_count == 0 {
+            continue;
+        }
+        // X: candidate dominators in distance range [r'-1, r'-1+beta].
+        let lo = r_prime - 1;
+        let hi = r_prime - 1 + beta;
+        let candidates: Vec<Node> = (0..n as Node)
+            .filter(|&x| matches!(dist(x), Some(d) if d >= lo && d <= hi))
+            .collect();
+        let mut picked: Vec<bool> = vec![false; n];
+
+        while s_count > 0 {
+            // Pick x ∈ X \ M maximising |B_G(x, 1) ∩ S| (closed neighborhood).
+            let mut best: Option<(Node, usize)> = None;
+            for &x in &candidates {
+                if picked[x as usize] {
+                    continue;
+                }
+                let mut gain = usize::from(in_s[x as usize]);
+                graph.for_each_neighbor(x, &mut |w| {
+                    if in_s[w as usize] {
+                        gain += 1;
+                    }
+                });
+                if gain == 0 {
+                    continue;
+                }
+                match best {
+                    Some((_, g)) if g >= gain => {}
+                    _ => best = Some((x, gain)),
+                }
+            }
+            let (x, _) = best.expect(
+                "greedy cover stalled: some node at distance r' has no candidate dominator \
+                 (cannot happen: its neighbor at distance r'-1 is always a candidate)",
+            );
+            picked[x as usize] = true;
+            let path = bfs.path_to(x).expect("candidate dominator is reachable");
+            tree.add_path_from_root(&path);
+            // Remove the covered nodes from S.
+            if in_s[x as usize] {
+                in_s[x as usize] = false;
+                s_count -= 1;
+            }
+            graph.for_each_neighbor(x, &mut |w| {
+                if in_s[w as usize] {
+                    in_s[w as usize] = false;
+                    s_count -= 1;
+                }
+            });
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::is_dominating_tree;
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{
+        complete_bipartite, complete_graph, cycle_graph, grid_graph, path_graph, petersen,
+        star_graph,
+    };
+    use rspan_graph::generators::udg::uniform_udg;
+
+    #[test]
+    fn produces_valid_dominating_trees_on_fixed_graphs() {
+        for (name, g) in [
+            ("cycle", cycle_graph(12)),
+            ("grid", grid_graph(5, 5)),
+            ("petersen", petersen()),
+            ("star", star_graph(9)),
+            ("bipartite", complete_bipartite(4, 5)),
+            ("path", path_graph(9)),
+        ] {
+            for (r, beta) in [(2, 0), (2, 1), (3, 0), (3, 1), (4, 1)] {
+                for u in g.nodes() {
+                    let t = dom_tree_greedy(&g, u, r, beta);
+                    assert!(t.validate_structure(&g), "{name}: invalid tree structure");
+                    assert!(
+                        is_dominating_tree(&g, &t, r, beta),
+                        "{name}: ({r},{beta})-domination fails at node {u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_radius_returns_single_node() {
+        let g = complete_graph(5);
+        let t = dom_tree_greedy(&g, 0, 1, 0);
+        assert_eq!(t.num_edges(), 0);
+        // In a complete graph nothing is at distance 2 either.
+        let t2 = dom_tree_greedy(&g, 0, 2, 0);
+        assert_eq!(t2.num_edges(), 0);
+        assert!(is_dominating_tree(&g, &t2, 2, 0));
+    }
+
+    #[test]
+    fn star_center_needs_nothing_leaf_needs_center() {
+        let g = star_graph(10);
+        let center = dom_tree_greedy(&g, 0, 3, 0);
+        assert_eq!(center.num_edges(), 0);
+        let leaf = dom_tree_greedy(&g, 3, 2, 0);
+        // The single common neighbor 0 dominates all 8 other leaves.
+        assert_eq!(leaf.num_edges(), 1);
+        assert!(leaf.contains(0));
+    }
+
+    #[test]
+    fn greedy_picks_high_coverage_dominators() {
+        // Root 0 has neighbors 1 and 2; node 1 covers both distance-2 nodes
+        // {3, 4}, node 2 covers only 3.  Greedy must pick node 1 alone.
+        let g = rspan_graph::CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 3)]);
+        let t = dom_tree_greedy(&g, 0, 2, 0);
+        assert_eq!(t.num_edges(), 1);
+        assert!(t.contains(1));
+        assert!(!t.contains(2));
+    }
+
+    #[test]
+    fn beta_one_can_use_same_ring_dominators() {
+        // With β = 1 the candidate set includes nodes at distance r' itself.
+        let g = cycle_graph(9);
+        for u in g.nodes() {
+            let t = dom_tree_greedy(&g, u, 3, 1);
+            assert!(is_dominating_tree(&g, &t, 3, 1));
+            assert!(t.height() <= 3);
+        }
+    }
+
+    #[test]
+    fn works_on_disconnected_graphs() {
+        let g = rspan_graph::CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let t = dom_tree_greedy(&g, 0, 3, 0);
+        assert!(is_dominating_tree(&g, &t, 3, 0));
+        assert!(!t.contains(3));
+    }
+
+    #[test]
+    fn random_graphs_all_radii() {
+        let g = gnp_connected(60, 0.08, 5);
+        for u in (0..60).step_by(7) {
+            for (r, beta) in [(2, 0), (3, 1), (4, 0)] {
+                let t = dom_tree_greedy(&g, u, r, beta);
+                assert!(
+                    is_dominating_tree(&g, &t, r, beta),
+                    "node {u} r={r} beta={beta}"
+                );
+                assert!(t.validate_structure(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn udg_trees_are_small() {
+        let inst = uniform_udg(250, 5.0, 1.0, 77);
+        let g = &inst.graph;
+        let mut total_edges = 0usize;
+        for u in g.nodes() {
+            let t = dom_tree_greedy(g, u, 2, 0);
+            assert!(is_dominating_tree(g, &t, 2, 0));
+            total_edges += t.num_edges();
+        }
+        // Dominating trees in a UDG are far smaller than full neighborhoods.
+        let total_degree: usize = g.nodes().map(|u| g.degree(u)).sum();
+        assert!(
+            total_edges < total_degree / 2,
+            "dominating trees ({total_edges} edges) not sparser than neighborhoods ({total_degree})"
+        );
+    }
+
+    #[test]
+    fn tree_height_bounded_by_radius_plus_beta() {
+        let g = grid_graph(7, 7);
+        for (r, beta) in [(2u32, 0u32), (3, 1), (4, 0)] {
+            let t = dom_tree_greedy(&g, 24, r, beta);
+            assert!(
+                t.height() <= r - 1 + beta,
+                "height {} > {}",
+                t.height(),
+                r - 1 + beta
+            );
+        }
+    }
+}

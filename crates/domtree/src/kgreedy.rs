@@ -1,0 +1,241 @@
+//! Algorithm 4 of the paper: `DomTreeGdy_{2,0,k}(u)`.
+//!
+//! Builds a *k-connecting* `(2, 0)`-dominating tree: every node `v` at
+//! distance 2 from `u` must either see all its common neighbors with `u`
+//! selected, or see at least `k` selected common neighbors.  The construction
+//! greedily adds the neighbor of `u` covering the most still-unsatisfied
+//! distance-2 nodes (the classical greedy heuristic for the multi-cover
+//! generalisation of set cover, within `1 + log Δ` of optimal — Proposition 6).
+//!
+//! The tree always has depth 1: its leaves are the selected relays, which is
+//! exactly the *multipoint relay with k-coverage* notion of OLSR (Section 1.2).
+
+use crate::tree::DominatingTree;
+use rspan_graph::{bfs_distances_bounded, Adjacency, Node};
+
+/// Runs `DomTreeGdy_{2,0,k}(u)` and returns the dominating tree (depth ≤ 1)
+/// together with the selected relay set `M ⊆ N(u)`.
+pub fn dom_tree_k_greedy_with_set<A>(graph: &A, u: Node, k: usize) -> (DominatingTree, Vec<Node>)
+where
+    A: Adjacency + ?Sized,
+{
+    assert!(k >= 1, "coverage parameter k must be at least 1");
+    let n = graph.num_nodes();
+    let mut tree = DominatingTree::new(n, u);
+    let mut relays = Vec::new();
+
+    let dist = bfs_distances_bounded(graph, u, 2);
+    let neighbors: Vec<Node> = graph.neighbors_vec(u);
+    let is_neighbor: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &x in &neighbors {
+            v[x as usize] = true;
+        }
+        v
+    };
+
+    // S: distance-2 nodes that still need more coverage.
+    let mut in_s: Vec<bool> = vec![false; n];
+    let mut s_nodes: Vec<Node> = Vec::new();
+    for v in 0..n as Node {
+        if dist[v as usize] == Some(2) {
+            in_s[v as usize] = true;
+            s_nodes.push(v);
+        }
+    }
+    let mut s_count = s_nodes.len();
+    // cover[v]: how many selected relays are adjacent to v.
+    let mut cover: Vec<usize> = vec![0; n];
+    // remaining_relays[v]: how many not-yet-selected common neighbors v still has.
+    let mut remaining_relays: Vec<usize> = vec![0; n];
+    for &v in &s_nodes {
+        let mut c = 0usize;
+        graph.for_each_neighbor(v, &mut |w| {
+            if is_neighbor[w as usize] {
+                c += 1;
+            }
+        });
+        remaining_relays[v as usize] = c;
+    }
+    let mut picked: Vec<bool> = vec![false; n];
+
+    while s_count > 0 {
+        // Pick x ∈ N(u) \ M with maximal |B_G(x, 1) ∩ S|.
+        let mut best: Option<(Node, usize)> = None;
+        for &x in &neighbors {
+            if picked[x as usize] {
+                continue;
+            }
+            let mut gain = usize::from(in_s[x as usize]);
+            graph.for_each_neighbor(x, &mut |w| {
+                if in_s[w as usize] {
+                    gain += 1;
+                }
+            });
+            if gain == 0 {
+                continue;
+            }
+            match best {
+                Some((_, g)) if g >= gain => {}
+                _ => best = Some((x, gain)),
+            }
+        }
+        let (x, _) = best.expect(
+            "k-coverage greedy stalled: an unsatisfied distance-2 node has no unselected \
+             common neighbor left (impossible: it would have been removed from S)",
+        );
+        picked[x as usize] = true;
+        relays.push(x);
+        tree.add_child(u, x);
+        // Update coverage and shrink S:
+        // v leaves S when N(v) ∩ N(u) ⊆ M or |N(v) ∩ M| ≥ k.
+        graph.for_each_neighbor(x, &mut |v| {
+            if dist[v as usize] == Some(2) {
+                cover[v as usize] += 1;
+                remaining_relays[v as usize] -= 1;
+                if in_s[v as usize] && (cover[v as usize] >= k || remaining_relays[v as usize] == 0)
+                {
+                    in_s[v as usize] = false;
+                    s_count -= 1;
+                }
+            }
+        });
+    }
+    (tree, relays)
+}
+
+/// Runs `DomTreeGdy_{2,0,k}(u)` and returns the dominating tree.
+pub fn dom_tree_k_greedy<A>(graph: &A, u: Node, k: usize) -> DominatingTree
+where
+    A: Adjacency + ?Sized,
+{
+    dom_tree_k_greedy_with_set(graph, u, k).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{is_dominating_tree, is_k_connecting_dominating_tree};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{
+        complete_bipartite, complete_graph, cycle_graph, grid_graph, petersen, star_graph,
+    };
+    use rspan_graph::generators::udg::uniform_udg;
+    use rspan_graph::CsrGraph;
+
+    #[test]
+    fn k1_is_a_plain_20_dominating_tree() {
+        for g in [cycle_graph(10), grid_graph(5, 4), petersen(), star_graph(7)] {
+            for u in g.nodes() {
+                let t = dom_tree_k_greedy(&g, u, 1);
+                assert!(t.validate_structure(&g));
+                assert!(is_dominating_tree(&g, &t, 2, 0));
+                assert!(is_k_connecting_dominating_tree(&g, &t, 0, 1));
+                assert!(t.height() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn k_connecting_property_holds_for_larger_k() {
+        for k in 1..=4usize {
+            for seed in [3, 4, 5] {
+                let g = gnp_connected(50, 0.15, seed);
+                for u in (0..50).step_by(9) {
+                    let t = dom_tree_k_greedy(&g, u, k);
+                    assert!(
+                        is_k_connecting_dominating_tree(&g, &t, 0, k),
+                        "k={k} seed={seed} node={u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_forces_full_selection_for_large_k() {
+        // u = node 0 (side A of K_{3,4}); distance-2 nodes are the other two
+        // A-nodes, each seeing all 4 B-nodes.  For k = 4 every B-node must be
+        // selected; for k = 2 two suffice.
+        let g = complete_bipartite(3, 4);
+        let (t4, m4) = dom_tree_k_greedy_with_set(&g, 0, 4);
+        assert_eq!(m4.len(), 4);
+        assert!(is_k_connecting_dominating_tree(&g, &t4, 0, 4));
+        let (_t2, m2) = dom_tree_k_greedy_with_set(&g, 0, 2);
+        assert_eq!(m2.len(), 2);
+    }
+
+    #[test]
+    fn k_exceeding_common_neighbors_selects_all_of_them() {
+        // Node 3 at distance 2 from 0 has a single common neighbor (1):
+        // for k = 3 condition (a) of the definition applies — select it.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 3), (0, 2)]);
+        let (t, m) = dom_tree_k_greedy_with_set(&g, 0, 3);
+        assert_eq!(m, vec![1]);
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, 3));
+    }
+
+    #[test]
+    fn complete_graph_needs_no_relays() {
+        let g = complete_graph(7);
+        let (t, m) = dom_tree_k_greedy_with_set(&g, 2, 3);
+        assert!(m.is_empty());
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn relays_are_neighbors_of_root() {
+        let g = gnp_connected(40, 0.2, 11);
+        let (t, m) = dom_tree_k_greedy_with_set(&g, 7, 2);
+        for &x in &m {
+            assert!(g.has_edge(7, x));
+            assert_eq!(t.depth(x), Some(1));
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_covering_relays() {
+        // Distance-2 nodes {3,4,5}; neighbor 1 covers all three, neighbor 2
+        // covers only 3.  k=1 must select exactly {1}.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (1, 5), (2, 3)]);
+        let (_, m) = dom_tree_k_greedy_with_set(&g, 0, 1);
+        assert_eq!(m, vec![1]);
+    }
+
+    #[test]
+    fn relay_count_grows_with_k() {
+        let inst = uniform_udg(300, 5.0, 1.0, 13);
+        let g = &inst.graph;
+        let mut prev_total = 0usize;
+        for k in [1usize, 2, 3] {
+            let total: usize = g
+                .nodes()
+                .map(|u| dom_tree_k_greedy_with_set(g, u, k).1.len())
+                .sum();
+            assert!(total >= prev_total, "relay totals not monotone in k");
+            prev_total = total;
+        }
+    }
+
+    #[test]
+    fn relay_sets_are_far_smaller_than_degrees_in_udg() {
+        let inst = uniform_udg(400, 5.0, 1.0, 21);
+        let g = &inst.graph;
+        let total_relays: usize = g
+            .nodes()
+            .map(|u| dom_tree_k_greedy_with_set(g, u, 1).1.len())
+            .sum();
+        let total_degree: usize = g.nodes().map(|u| g.degree(u)).sum();
+        assert!(
+            total_relays * 3 < total_degree,
+            "relays {total_relays} vs degrees {total_degree}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let g = cycle_graph(5);
+        let _ = dom_tree_k_greedy(&g, 0, 0);
+    }
+}

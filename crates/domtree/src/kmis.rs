@@ -1,0 +1,228 @@
+//! Algorithm 5 of the paper: `DomTreeMIS_{2,1,k}(u)`.
+//!
+//! Builds a *k-connecting* `(2, 1)`-dominating tree by running `k` greedy
+//! maximal-independent-set passes over the distance-2 nodes.  Each selected
+//! node `x` is attached through a fresh common neighbor `y_1` (path
+//! `u – y_1 – x`) and up to `k − 1` further fresh common neighbors are added
+//! as extra depth-1 children, so that distance-2 nodes accumulate disjoint
+//! length-≤2 tree paths to the root across the passes.  Proposition 7: the
+//! result is a k-connecting `(2, 1)`-dominating tree with `O(k²)` edges when
+//! the input is the unit ball graph of a doubling metric.
+
+use crate::tree::{disjoint_tree_path_count, DominatingTree};
+use rspan_graph::{bfs_distances_bounded, Adjacency, Node};
+
+/// Runs `DomTreeMIS_{2,1,k}(u)` and returns the dominating tree.
+pub fn dom_tree_k_mis<A>(graph: &A, u: Node, k: usize) -> DominatingTree
+where
+    A: Adjacency + ?Sized,
+{
+    assert!(k >= 1, "connectivity parameter k must be at least 1");
+    let n = graph.num_nodes();
+    let mut tree = DominatingTree::new(n, u);
+
+    let dist = bfs_distances_bounded(graph, u, 2);
+    let neighbors_of_u: Vec<Node> = graph.neighbors_vec(u);
+    let is_neighbor_of_u: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &x in &neighbors_of_u {
+            v[x as usize] = true;
+        }
+        v
+    };
+
+    // S: distance-2 nodes not yet satisfying the k-connecting domination
+    // condition.
+    let mut in_s: Vec<bool> = vec![false; n];
+    let mut s_nodes: Vec<Node> = Vec::new();
+    for v in 0..n as Node {
+        if dist[v as usize] == Some(2) {
+            in_s[v as usize] = true;
+            s_nodes.push(v);
+        }
+    }
+    let mut s_count = s_nodes.len();
+
+    // Removal rule shared by every pass: v leaves S once all its common
+    // neighbors with u are tree nodes, or once it has k disjoint length-≤2
+    // tree paths to the root.
+    let satisfied = |tree: &DominatingTree, v: Node| -> bool {
+        let mut all_common_in_tree = true;
+        graph.for_each_neighbor(v, &mut |w| {
+            if is_neighbor_of_u[w as usize] && !tree.contains(w) {
+                all_common_in_tree = false;
+            }
+        });
+        all_common_in_tree || disjoint_tree_path_count(graph, tree, v, 2) >= k
+    };
+
+    for _pass in 1..=k {
+        if s_count == 0 {
+            break;
+        }
+        // X := S (the nodes this pass' independent set is drawn from).
+        let mut in_x: Vec<bool> = vec![false; n];
+        let mut x_candidates: Vec<Node> = Vec::new();
+        for &v in &s_nodes {
+            if in_s[v as usize] {
+                in_x[v as usize] = true;
+                x_candidates.push(v);
+            }
+        }
+        for &x in &x_candidates {
+            if s_count == 0 {
+                break;
+            }
+            // Pick x ∈ S ∩ X (candidates are scanned in id order; skip the
+            // ones that have since left S or X).
+            if !in_x[x as usize] || !in_s[x as usize] {
+                continue;
+            }
+            // Fresh common neighbors of x and u (not yet in the tree).
+            let mut fresh: Vec<Node> = Vec::new();
+            graph.for_each_neighbor(x, &mut |w| {
+                if is_neighbor_of_u[w as usize] && !tree.contains(w) {
+                    fresh.push(w);
+                }
+            });
+            let c = fresh.len().min(k);
+            if c > 0 {
+                // Path u – y_1 – x, plus extra depth-1 children y_2 … y_c.
+                tree.add_child(u, fresh[0]);
+                tree.add_child(fresh[0], x);
+                for &y in fresh.iter().take(c).skip(1) {
+                    tree.add_child(u, y);
+                }
+            }
+            // Shrink S using the k-connecting domination condition.
+            for &v in &s_nodes {
+                if in_s[v as usize] && satisfied(&tree, v) {
+                    in_s[v as usize] = false;
+                    s_count -= 1;
+                }
+            }
+            // X := X \ B_G(x, 1)
+            in_x[x as usize] = false;
+            graph.for_each_neighbor(x, &mut |w| {
+                in_x[w as usize] = false;
+            });
+        }
+    }
+    debug_assert_eq!(s_count, 0, "Algorithm 5 terminated with unsatisfied nodes");
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{is_dominating_tree, is_k_connecting_dominating_tree};
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{
+        complete_bipartite, complete_graph, cycle_graph, grid_graph, petersen,
+    };
+    use rspan_graph::generators::udg::uniform_udg;
+
+    #[test]
+    fn produces_k_connecting_21_dominating_trees() {
+        for k in 1..=3usize {
+            for g in [cycle_graph(11), grid_graph(5, 5), petersen()] {
+                for u in g.nodes() {
+                    let t = dom_tree_k_mis(&g, u, k);
+                    assert!(t.validate_structure(&g));
+                    assert!(
+                        is_k_connecting_dominating_tree(&g, &t, 1, k),
+                        "k={k} node={u}"
+                    );
+                    assert!(t.height() <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k1_gives_a_21_dominating_tree() {
+        for seed in [1, 2, 3] {
+            let g = gnp_connected(45, 0.12, seed);
+            for u in (0..45).step_by(6) {
+                let t = dom_tree_k_mis(&g, u, 1);
+                assert!(is_dominating_tree(&g, &t, 2, 1), "seed={seed} node={u}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_larger_k() {
+        for k in [2usize, 3, 4] {
+            for seed in [10, 20] {
+                let g = gnp_connected(40, 0.2, seed);
+                for u in (0..40).step_by(7) {
+                    let t = dom_tree_k_mis(&g, u, k);
+                    assert!(
+                        is_k_connecting_dominating_tree(&g, &t, 1, k),
+                        "k={k} seed={seed} node={u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_trivial() {
+        let g = complete_graph(6);
+        let t = dom_tree_k_mis(&g, 0, 3);
+        assert_eq!(t.num_edges(), 0);
+    }
+
+    #[test]
+    fn bipartite_distance_two_pairs_get_k_paths() {
+        let g = complete_bipartite(3, 5);
+        let t = dom_tree_k_mis(&g, 0, 2);
+        assert!(is_k_connecting_dominating_tree(&g, &t, 1, 2));
+        // The two other A-side nodes must each reach u through 2 disjoint branches.
+        for v in [1u32, 2] {
+            assert!(disjoint_tree_path_count(&g, &t, v, 2) >= 2);
+        }
+    }
+
+    #[test]
+    fn udg_trees_have_size_independent_of_density() {
+        // Proposition 7: O(k²) edges in a unit-ball graph of a doubling
+        // metric, independent of the node degree.
+        let inst = uniform_udg(500, 5.0, 1.0, 8);
+        let g = &inst.graph;
+        for k in [1usize, 2, 3] {
+            let mut max_edges = 0usize;
+            for u in (0..g.n() as Node).step_by(17) {
+                let t = dom_tree_k_mis(g, u, k);
+                assert!(is_k_connecting_dominating_tree(g, &t, 1, k));
+                max_edges = max_edges.max(t.num_edges());
+            }
+            // generous constant: c * k² with c ≈ 40 for the unit disk
+            assert!(
+                max_edges <= 40 * k * k + 40,
+                "k={k}: tree with {max_edges} edges looks unbounded"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_edges_grow_with_k() {
+        let g = gnp_connected(60, 0.1, 31);
+        let e1: usize = g
+            .nodes()
+            .map(|u| dom_tree_k_mis(&g, u, 1).num_edges())
+            .sum();
+        let e3: usize = g
+            .nodes()
+            .map(|u| dom_tree_k_mis(&g, u, 3).num_edges())
+            .sum();
+        assert!(e3 >= e1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let g = cycle_graph(5);
+        let _ = dom_tree_k_mis(&g, 0, 0);
+    }
+}

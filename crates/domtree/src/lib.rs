@@ -1,0 +1,37 @@
+//! # rspan-domtree — dominating trees (Algorithms 1, 2, 4 and 5 of the paper)
+//!
+//! The paper characterises remote-spanners as unions of per-node *dominating
+//! trees* and gives four local constructions:
+//!
+//! | Paper | Function | Output |
+//! |---|---|---|
+//! | Algorithm 1 `DomTreeGdy_{r,β}` | [`dom_tree_greedy`] | `(r, β)`-dominating tree, greedy set cover |
+//! | Algorithm 2 `DomTreeMIS_{r,1}` | [`dom_tree_mis`] | `(r, 1)`-dominating tree, MIS based |
+//! | Algorithm 4 `DomTreeGdy_{2,0,k}` | [`dom_tree_k_greedy`] | k-connecting `(2, 0)`-dominating tree |
+//! | Algorithm 5 `DomTreeMIS_{2,1,k}` | [`dom_tree_k_mis`] | k-connecting `(2, 1)`-dominating tree |
+//!
+//! [`DominatingTree`] is the shared rooted-tree representation, the
+//! `is_*dominating_tree` functions are definition-level checkers, the
+//! [`exact`] module solves small instances optimally for approximation-ratio
+//! experiments, and [`mpr`] exposes the multipoint-relay correspondence of
+//! Section 1.2.
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod greedy;
+pub mod kgreedy;
+pub mod kmis;
+pub mod mis;
+pub mod mpr;
+pub mod tree;
+
+pub use exact::{greedy_guarantee, optimal_k_relay_count, MAX_EXACT_RELAYS};
+pub use greedy::dom_tree_greedy;
+pub use kgreedy::{dom_tree_k_greedy, dom_tree_k_greedy_with_set};
+pub use kmis::dom_tree_k_mis;
+pub use mis::{dom_tree_mis, dom_tree_mis_with_set};
+pub use mpr::{is_valid_mpr_set, mpr_set, total_mpr_selections};
+pub use tree::{
+    disjoint_tree_path_count, is_dominating_tree, is_k_connecting_dominating_tree, DominatingTree,
+};

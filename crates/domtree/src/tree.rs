@@ -1,0 +1,520 @@
+//! Dominating trees: the paper's central combinatorial object.
+//!
+//! An `(r, β)`-dominating tree for a node `u` is a tree sub-graph `T` of `G`
+//! rooted at `u` such that every node `v` with `2 ≤ d_G(u, v) = r' ≤ r` has a
+//! neighbor `x ∈ N(v) ∩ V(T)` with `d_T(u, x) ≤ r' − 1 + β` (Section 1.1).
+//! A *k-connecting* `(2, β)`-dominating tree additionally requires, for every
+//! `v` at distance 2, either that `uw ∈ E(T)` for all common neighbors
+//! `w ∈ N(u) ∩ N(v)`, or that `v` has `k` neighbors in `B_T(u, 1 + β)` whose
+//! tree paths to `u` are pairwise disjoint (Section 3).
+//!
+//! [`DominatingTree`] stores the rooted tree; the `is_*` functions are
+//! *independent* checkers used throughout the test-suite to validate the
+//! construction algorithms against the definitions rather than against their
+//! own bookkeeping.
+
+use rspan_graph::{bfs_distances_bounded, Adjacency, CsrGraph, Node};
+
+/// A rooted tree sub-graph of a host graph, built by grafting shortest paths.
+///
+/// All construction algorithms in the paper add only *shortest* paths from the
+/// root, so the tree maintains the invariant `depth(v) = d_G(root, v)` for
+/// every tree node, which keeps grafting trivially consistent.
+#[derive(Clone, Debug)]
+pub struct DominatingTree {
+    root: Node,
+    /// Parent of each node in the tree; `None` for the root and for nodes not
+    /// in the tree (distinguish with `depth`).
+    parent: Vec<Option<Node>>,
+    /// Depth of each node; `u32::MAX` marks nodes outside the tree.
+    depth: Vec<u32>,
+    /// Number of tree edges (= number of non-root tree nodes).
+    num_edges: usize,
+}
+
+const NOT_IN_TREE: u32 = u32::MAX;
+
+impl DominatingTree {
+    /// Creates the trivial tree `({root}, ∅)` over a host graph with `n` nodes.
+    pub fn new(n: usize, root: Node) -> Self {
+        assert!(
+            (root as usize) < n,
+            "root {root} out of range for {n} nodes"
+        );
+        let mut depth = vec![NOT_IN_TREE; n];
+        depth[root as usize] = 0;
+        DominatingTree {
+            root,
+            parent: vec![None; n],
+            depth,
+            num_edges: 0,
+        }
+    }
+
+    /// The root node `u`.
+    pub fn root(&self) -> Node {
+        self.root
+    }
+
+    /// Whether `v` belongs to the tree.
+    pub fn contains(&self, v: Node) -> bool {
+        self.depth[v as usize] != NOT_IN_TREE
+    }
+
+    /// Depth of `v` in the tree (`None` if not a tree node).
+    pub fn depth(&self, v: Node) -> Option<u32> {
+        let d = self.depth[v as usize];
+        if d == NOT_IN_TREE {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Parent of `v` (`None` for the root or non-tree nodes).
+    pub fn parent(&self, v: Node) -> Option<Node> {
+        self.parent[v as usize]
+    }
+
+    /// Number of edges `|E(T)|`.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of tree nodes `|V(T)|` (edges + 1).
+    pub fn num_nodes(&self) -> usize {
+        self.num_edges + 1
+    }
+
+    /// All tree nodes, root included.
+    pub fn nodes(&self) -> Vec<Node> {
+        self.depth
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &d)| (d != NOT_IN_TREE).then_some(v as Node))
+            .collect()
+    }
+
+    /// All tree edges as `(parent, child)` pairs.
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (p, v as Node)))
+            .collect()
+    }
+
+    /// Maximum depth of any tree node.
+    pub fn height(&self) -> u32 {
+        self.depth
+            .iter()
+            .filter(|&&d| d != NOT_IN_TREE)
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Adds the edge `parent → child` where `parent` must already be a tree
+    /// node.  No-op if `child` is already in the tree.
+    pub fn add_child(&mut self, parent: Node, child: Node) {
+        assert!(self.contains(parent), "parent {parent} not in tree");
+        if self.contains(child) {
+            return;
+        }
+        self.parent[child as usize] = Some(parent);
+        self.depth[child as usize] = self.depth[parent as usize] + 1;
+        self.num_edges += 1;
+    }
+
+    /// Grafts a root-anchored path `root = p_0, p_1, …, p_l` into the tree:
+    /// every node not yet present is attached below its predecessor.
+    /// The path must start at the root and consecutive nodes are assumed to be
+    /// adjacent in the host graph (construction algorithms pass BFS paths).
+    pub fn add_path_from_root(&mut self, path: &[Node]) {
+        assert!(
+            !path.is_empty() && path[0] == self.root,
+            "path must start at the root"
+        );
+        for w in path.windows(2) {
+            self.add_child(w[0], w[1]);
+        }
+    }
+
+    /// The depth-1 ancestor of a tree node: itself if at depth 1, its unique
+    /// ancestor at depth 1 otherwise (`None` for the root or non-tree nodes).
+    pub fn branch_of(&self, v: Node) -> Option<Node> {
+        let mut d = self.depth(v)?;
+        if d == 0 {
+            return None;
+        }
+        let mut cur = v;
+        while d > 1 {
+            cur = self.parent(cur).expect("non-root tree node has a parent");
+            d -= 1;
+        }
+        Some(cur)
+    }
+
+    /// Tree distance from the root to `v`, recomputed by walking parent
+    /// pointers (equal to `depth(v)` by construction; exposed for independent
+    /// checking).
+    pub fn root_distance_via_parents(&self, v: Node) -> Option<u32> {
+        if !self.contains(v) {
+            return None;
+        }
+        let mut steps = 0u32;
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+            steps += 1;
+            assert!(
+                steps as usize <= self.num_edges + 1,
+                "cycle detected in parent pointers"
+            );
+        }
+        assert_eq!(
+            cur, self.root,
+            "parent chain does not terminate at the root"
+        );
+        Some(steps)
+    }
+
+    /// Exports the tree edges as canonical edge ids of the host graph.
+    /// Panics if a tree edge is not an edge of `host` (the tree must be a
+    /// sub-graph of the host by definition).
+    pub fn edge_ids(&self, host: &CsrGraph) -> Vec<usize> {
+        self.edges()
+            .iter()
+            .map(|&(p, c)| {
+                host.edge_id(p, c).unwrap_or_else(|| {
+                    panic!("tree edge ({p}, {c}) is not an edge of the host graph")
+                })
+            })
+            .collect()
+    }
+
+    /// Structural validation: every tree edge is a host edge, parent chains
+    /// terminate at the root, and stored depths match the parent chains.
+    pub fn validate_structure(&self, host: &CsrGraph) -> bool {
+        for (p, c) in self.edges() {
+            if !host.has_edge(p, c) {
+                return false;
+            }
+        }
+        for v in self.nodes() {
+            match self.root_distance_via_parents(v) {
+                Some(d) if Some(d) == self.depth(v) => {}
+                _ => return false,
+            }
+        }
+        self.num_edges + 1 == self.nodes().len()
+    }
+}
+
+/// Checks the `(r, β)`-dominating-tree property of `tree` for its root in
+/// `graph`, per the paper's definition.
+///
+/// For every `v` with `2 ≤ d_G(root, v) = r' ≤ r`, some neighbor `x` of `v`
+/// must be a tree node with `d_T(root, x) ≤ r' − 1 + β`.
+pub fn is_dominating_tree<A>(graph: &A, tree: &DominatingTree, r: u32, beta: u32) -> bool
+where
+    A: Adjacency + ?Sized,
+{
+    let root = tree.root();
+    let dist = bfs_distances_bounded(graph, root, r);
+    for (v, d) in dist.iter().enumerate() {
+        let Some(rv) = d else { continue };
+        if *rv < 2 || *rv > r {
+            continue;
+        }
+        let mut dominated = false;
+        graph.for_each_neighbor(v as Node, &mut |x| {
+            if dominated {
+                return;
+            }
+            if let Some(dx) = tree.depth(x) {
+                if dx <= rv - 1 + beta {
+                    dominated = true;
+                }
+            }
+        });
+        if !dominated {
+            return false;
+        }
+    }
+    true
+}
+
+/// Number of neighbors of `v` lying in `B_T(root, max_depth)` whose tree paths
+/// to the root are pairwise internally disjoint.
+///
+/// In a tree, root paths of two nodes are internally disjoint iff the nodes
+/// lie in different depth-1 branches, so the count is the number of *distinct
+/// branches* hit by qualifying neighbors.
+pub fn disjoint_tree_path_count<A>(
+    graph: &A,
+    tree: &DominatingTree,
+    v: Node,
+    max_depth: u32,
+) -> usize
+where
+    A: Adjacency + ?Sized,
+{
+    let mut branches = std::collections::HashSet::new();
+    graph.for_each_neighbor(v, &mut |x| {
+        if let Some(dx) = tree.depth(x) {
+            if dx >= 1 && dx <= max_depth {
+                if let Some(b) = tree.branch_of(x) {
+                    branches.insert(b);
+                }
+            }
+        }
+    });
+    branches.len()
+}
+
+/// Checks the *k-connecting* `(2, β)`-dominating-tree property (Section 3):
+/// for every `v` at distance exactly 2 from the root, either `uw ∈ E(T)` for
+/// every common neighbor `w ∈ N(u) ∩ N(v)`, or `v` has `k` neighbors in
+/// `B_T(u, 1 + β)` with pairwise disjoint tree paths to the root.
+pub fn is_k_connecting_dominating_tree<A>(
+    graph: &A,
+    tree: &DominatingTree,
+    beta: u32,
+    k: usize,
+) -> bool
+where
+    A: Adjacency + ?Sized,
+{
+    let root = tree.root();
+    let dist = bfs_distances_bounded(graph, root, 2);
+    let root_neighbors: Vec<Node> = graph.neighbors_vec(root);
+    for (v, d) in dist.iter().enumerate() {
+        if *d != Some(2) {
+            continue;
+        }
+        let v = v as Node;
+        // Condition (a): every common neighbor of root and v is a child of the
+        // root in the tree.
+        let mut all_common_in_tree = true;
+        graph.for_each_neighbor(v, &mut |w| {
+            if root_neighbors.contains(&w) {
+                // w is a common neighbor of root and v
+                if tree.depth(w) != Some(1) {
+                    all_common_in_tree = false;
+                }
+            }
+        });
+        if all_common_in_tree {
+            continue;
+        }
+        // Condition (b): k disjoint short tree paths.
+        if disjoint_tree_path_count(graph, tree, v, 1 + beta) >= k {
+            continue;
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph, star_graph};
+    use rspan_graph::CsrGraph;
+
+    fn diamond() -> CsrGraph {
+        // 0 connected to 1 and 2; both connected to 3 (a 4-cycle).
+        CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn empty_tree_properties() {
+        let t = DominatingTree::new(5, 2);
+        assert_eq!(t.root(), 2);
+        assert!(t.contains(2));
+        assert!(!t.contains(0));
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.depth(2), Some(0));
+        assert_eq!(t.depth(0), None);
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.nodes(), vec![2]);
+        assert!(t.edges().is_empty());
+        assert_eq!(t.branch_of(2), None);
+    }
+
+    #[test]
+    fn add_path_and_graft() {
+        let g = grid_graph(3, 3);
+        let mut t = DominatingTree::new(9, 0);
+        t.add_path_from_root(&[0, 1, 2]);
+        t.add_path_from_root(&[0, 1, 4]); // grafts below existing node 1
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.depth(2), Some(2));
+        assert_eq!(t.depth(4), Some(2));
+        assert_eq!(t.parent(4), Some(1));
+        assert_eq!(t.branch_of(4), Some(1));
+        assert_eq!(t.branch_of(1), Some(1));
+        assert!(t.validate_structure(&g));
+        // adding a path whose nodes all exist is a no-op
+        t.add_path_from_root(&[0, 1, 2]);
+        assert_eq!(t.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn path_not_from_root_panics() {
+        let mut t = DominatingTree::new(4, 0);
+        t.add_path_from_root(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_child_requires_parent_in_tree() {
+        let mut t = DominatingTree::new(4, 0);
+        t.add_child(2, 3);
+    }
+
+    #[test]
+    fn root_distance_matches_depth() {
+        let mut t = DominatingTree::new(6, 0);
+        t.add_path_from_root(&[0, 3, 5, 1]);
+        for v in [0u32, 3, 5, 1] {
+            assert_eq!(t.root_distance_via_parents(v), t.depth(v));
+        }
+        assert_eq!(t.root_distance_via_parents(4), None);
+    }
+
+    #[test]
+    fn edge_ids_roundtrip() {
+        let g = diamond();
+        let mut t = DominatingTree::new(4, 0);
+        t.add_path_from_root(&[0, 1, 3]);
+        let ids = t.edge_ids(&g);
+        assert_eq!(ids.len(), 2);
+        for id in ids {
+            let (a, b) = g.edge_endpoints(id);
+            assert!(g.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_host_edges() {
+        let g = diamond();
+        let mut t = DominatingTree::new(4, 0);
+        // 0-3 is not an edge of the diamond
+        t.add_child(0, 3);
+        assert!(!t.validate_structure(&g));
+    }
+
+    #[test]
+    fn dominating_tree_check_on_diamond() {
+        let g = diamond();
+        // Tree with only the edge 0-1 dominates node 3 (neighbor 1 at depth 1
+        // ≤ 2-1+0), so it is a (2,0)-dominating tree for 0.
+        let mut t = DominatingTree::new(4, 0);
+        t.add_child(0, 1);
+        assert!(is_dominating_tree(&g, &t, 2, 0));
+        // The empty tree does not dominate node 3 at all.
+        let empty = DominatingTree::new(4, 0);
+        assert!(!is_dominating_tree(&g, &empty, 2, 0));
+    }
+
+    #[test]
+    fn dominating_tree_check_radius_and_beta() {
+        // Path 0-1-2-3: for r=3, the tree must dominate node 3 too.
+        let g = rspan_graph::generators::structured::path_graph(4);
+        let mut t = DominatingTree::new(4, 0);
+        t.add_child(0, 1);
+        assert!(is_dominating_tree(&g, &t, 2, 0));
+        // Node 3 at distance 3 has single neighbor 2 which is not in T: fails for r=3.
+        assert!(!is_dominating_tree(&g, &t, 3, 0));
+        // Adding 1-2 makes depth(2)=2 = 3-1+0: passes.
+        t.add_child(1, 2);
+        assert!(is_dominating_tree(&g, &t, 3, 0));
+        // With beta=1 the first tree (only node 1, depth 1) still fails for r=3
+        // because node 3's only neighbor 2 is not in the tree at all.
+        let mut t1 = DominatingTree::new(4, 0);
+        t1.add_child(0, 1);
+        assert!(!is_dominating_tree(&g, &t1, 3, 1));
+    }
+
+    #[test]
+    fn star_graph_needs_no_domination() {
+        // Every node is within distance 1 of the center: any tree works.
+        let g = star_graph(6);
+        let t = DominatingTree::new(6, 0);
+        assert!(is_dominating_tree(&g, &t, 5, 0));
+        // From a leaf, all other leaves are at distance 2 and share the center
+        // as neighbor: the tree must contain the center.
+        let mut t_leaf = DominatingTree::new(6, 1);
+        assert!(!is_dominating_tree(&g, &t_leaf, 2, 0));
+        t_leaf.add_child(1, 0);
+        assert!(is_dominating_tree(&g, &t_leaf, 2, 0));
+    }
+
+    #[test]
+    fn disjoint_path_count_counts_branches() {
+        // Root 0 with children 1, 2; 2 has child 3.  Node 4 adjacent to 1, 3.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (2, 3), (1, 4), (3, 4)]);
+        let mut t = DominatingTree::new(5, 0);
+        t.add_child(0, 1);
+        t.add_child(0, 2);
+        t.add_child(2, 3);
+        // neighbors of 4 in tree: 1 (branch 1, depth 1), 3 (branch 2, depth 2)
+        assert_eq!(disjoint_tree_path_count(&g, &t, 4, 2), 2);
+        // with depth cap 1, only node 1 qualifies
+        assert_eq!(disjoint_tree_path_count(&g, &t, 4, 1), 1);
+    }
+
+    #[test]
+    fn disjoint_path_count_same_branch_counts_once() {
+        // Root 0 - child 1 - grandchild 2; node 3 adjacent to both 1 and 2.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        let mut t = DominatingTree::new(4, 0);
+        t.add_path_from_root(&[0, 1, 2]);
+        assert_eq!(disjoint_tree_path_count(&g, &t, 3, 2), 1);
+    }
+
+    #[test]
+    fn k_connecting_check_on_cycle() {
+        // In C6 from node 0, nodes 2 and 4 are at distance 2, each with a
+        // single common neighbor (1 resp. 5).
+        let g = cycle_graph(6);
+        let mut t = DominatingTree::new(6, 0);
+        t.add_child(0, 1);
+        t.add_child(0, 5);
+        // 1-connecting (2,0): nodes 2 and 4 each have a tree neighbor at depth 1.
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, 1));
+        // 2-connecting: node 2 has only one neighbor in the tree, but its full
+        // common-neighborhood with 0 ({1}) is in the tree, so condition (a)
+        // applies and the check passes.
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, 2));
+        // Dropping node 5 breaks domination of node 4 entirely.
+        let mut t1 = DominatingTree::new(6, 0);
+        t1.add_child(0, 1);
+        assert!(!is_k_connecting_dominating_tree(&g, &t1, 0, 1));
+    }
+
+    #[test]
+    fn k_connecting_check_requires_disjoint_branches() {
+        // Root 0 adjacent to 1, 2, 3; node 4 adjacent to 1, 2, 3 as well
+        // (i.e. K_{2,3} plus labels).  A 2-connecting (2,0)-dominating tree
+        // for 0 must contain at least 2 of the common neighbors as children
+        // (or all three).
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)]);
+        let mut t = DominatingTree::new(5, 0);
+        t.add_child(0, 1);
+        assert!(!is_k_connecting_dominating_tree(&g, &t, 0, 2));
+        t.add_child(0, 2);
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, 2));
+        // 3-connecting requires all three.
+        assert!(!is_k_connecting_dominating_tree(&g, &t, 0, 3));
+        t.add_child(0, 3);
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, 3));
+        // 4-connecting: v has only 3 common neighbors, but now *all* of them
+        // are tree children of the root, so condition (a) holds.
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, 4));
+    }
+}

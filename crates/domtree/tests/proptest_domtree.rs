@@ -1,0 +1,98 @@
+//! Property-based tests of the dominating-tree layer: every algorithm meets
+//! its definition on arbitrary graphs, greedy never beats the exact optimum,
+//! MPR validity, and structural invariants of [`DominatingTree`].
+
+use proptest::prelude::*;
+use rspan_domtree::{
+    dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_greedy_with_set, dom_tree_k_mis, dom_tree_mis,
+    dom_tree_mis_with_set, is_dominating_tree, is_k_connecting_dominating_tree, is_valid_mpr_set,
+    mpr_set, optimal_k_relay_count, MAX_EXACT_RELAYS,
+};
+use rspan_graph::{bfs_distances, CsrGraph, Node};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=55)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn greedy_trees_meet_definition_for_all_radii(g in arb_graph(), root in 0u32..20, r in 2u32..5, beta in 0u32..2) {
+        let root = root % g.n() as Node;
+        let t = dom_tree_greedy(&g, root, r, beta);
+        prop_assert!(t.validate_structure(&g));
+        prop_assert!(is_dominating_tree(&g, &t, r, beta));
+        prop_assert!(t.height() <= r - 1 + beta || t.num_edges() == 0);
+        // trees only contain nodes from the root's component
+        let dist = bfs_distances(&g, root);
+        for v in t.nodes() {
+            prop_assert!(dist[v as usize].is_some());
+        }
+    }
+
+    #[test]
+    fn mis_trees_meet_definition_and_are_independent(g in arb_graph(), root in 0u32..20, r in 2u32..5) {
+        let root = root % g.n() as Node;
+        let (t, m) = dom_tree_mis_with_set(&g, root, r);
+        prop_assert!(t.validate_structure(&g));
+        prop_assert!(is_dominating_tree(&g, &t, r, 1));
+        for (i, &x) in m.iter().enumerate() {
+            for &y in &m[i + 1..] {
+                prop_assert!(!g.has_edge(x, y), "MIS contains adjacent nodes {x}, {y}");
+            }
+            prop_assert!(t.contains(x));
+        }
+    }
+
+    #[test]
+    fn k_greedy_trees_meet_definition(g in arb_graph(), root in 0u32..20, k in 1usize..5) {
+        let root = root % g.n() as Node;
+        let (t, relays) = dom_tree_k_greedy_with_set(&g, root, k);
+        prop_assert!(t.validate_structure(&g));
+        prop_assert!(is_k_connecting_dominating_tree(&g, &t, 0, k));
+        prop_assert!(t.height() <= 1);
+        prop_assert!(is_valid_mpr_set(&g, root, &relays, k));
+        // relay count is monotone in k
+        if k > 1 {
+            let smaller = dom_tree_k_greedy(&g, root, k - 1).num_edges();
+            prop_assert!(t.num_edges() >= smaller);
+        }
+    }
+
+    #[test]
+    fn k_mis_trees_meet_definition(g in arb_graph(), root in 0u32..20, k in 1usize..4) {
+        let root = root % g.n() as Node;
+        let t = dom_tree_k_mis(&g, root, k);
+        prop_assert!(t.validate_structure(&g));
+        prop_assert!(is_k_connecting_dominating_tree(&g, &t, 1, k));
+        prop_assert!(t.height() <= 2);
+    }
+
+    #[test]
+    fn greedy_is_bounded_by_optimum_and_never_below_it(g in arb_graph(), root in 0u32..20, k in 1usize..3) {
+        let root = root % g.n() as Node;
+        prop_assume!(g.degree(root) <= MAX_EXACT_RELAYS);
+        let opt = optimal_k_relay_count(&g, root, k);
+        let greedy = mpr_set(&g, root, k).len();
+        prop_assert!(greedy >= opt);
+        let bound = (1.0 + (g.max_degree().max(1) as f64).ln()) * opt as f64;
+        prop_assert!(opt == 0 || greedy as f64 <= bound + 1e-9, "greedy {greedy} > bound {bound}");
+    }
+
+    #[test]
+    fn mis_and_greedy_both_dominate_radius_two(g in arb_graph(), root in 0u32..20) {
+        // The two r = 2 constructions are interchangeable as (2,1)-dominating
+        // trees: both satisfy the weaker (2,1) definition.
+        let root = root % g.n() as Node;
+        let a = dom_tree_greedy(&g, root, 2, 0);
+        let b = dom_tree_mis(&g, root, 2);
+        prop_assert!(is_dominating_tree(&g, &a, 2, 1));
+        prop_assert!(is_dominating_tree(&g, &b, 2, 1));
+        // and the (2,0) greedy is also a (2,0)-dominating tree (stronger)
+        prop_assert!(is_dominating_tree(&g, &a, 2, 0));
+    }
+}

@@ -1,0 +1,343 @@
+//! Minimum-length-sum vertex-disjoint paths: the `d^k` distance of the paper.
+//!
+//! `d^k_G(s, t)` is the minimum of `|P_1| + … + |P_k|` over all sets of `k`
+//! pairwise internally-vertex-disjoint paths from `s` to `t` (∞ if fewer than
+//! `k` exist).  Successive shortest augmenting paths on the vertex-split
+//! network compute it exactly: every augmentation adds one more disjoint path
+//! and, with Johnson potentials keeping reduced costs non-negative, each of
+//! the `k` phases is a Dijkstra run, so the whole query is
+//! `O(k · m log n)`.
+
+use crate::network::{ArcId, SplitNetwork};
+use rspan_graph::{Adjacency, Node};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a `k`-disjoint-path query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DisjointPaths {
+    /// The paths, each given as a node sequence from `s` to `t` inclusive.
+    pub paths: Vec<Vec<Node>>,
+    /// Total length (sum of edge counts) — the paper's `d^k(s, t)`.
+    pub total_length: u64,
+}
+
+impl DisjointPaths {
+    /// Number of paths found.
+    pub fn k(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+/// Computes `k` internally-vertex-disjoint `s`–`t` paths of minimum total
+/// length in any adjacency view.  Returns `None` if fewer than `k` disjoint
+/// paths exist (including the degenerate cases `s == t` or `k == 0`, which are
+/// rejected with a panic since the paper's `d^k` is only defined for distinct
+/// non-adjacent pairs — adjacency is allowed here, the single edge then counts
+/// as a path of length 1).
+pub fn min_sum_disjoint_paths<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    k: usize,
+) -> Option<DisjointPaths> {
+    assert!(s != t, "d^k(s, t) requires distinct endpoints");
+    assert!(k >= 1, "k must be at least 1");
+    let mut net = SplitNetwork::for_pair(graph, s, t);
+    let source = SplitNetwork::v_out(s);
+    let sink = SplitNetwork::v_in(t);
+    let nv = net.num_vertices();
+    // Johnson potentials; all original costs are non-negative so the zero
+    // potential is valid initially.
+    let mut potential = vec![0i64; nv];
+    for _round in 0..k {
+        let (dist, parent_arc) = dijkstra(&net, source, &potential);
+        if dist[sink].is_none() {
+            return None; // fewer than k disjoint paths exist
+        }
+        // Update potentials (unreachable vertices keep their old potential;
+        // they can never appear on a shortest path in later rounds without
+        // first becoming reachable, at which point reduced costs stay valid
+        // because their potential is only ever too large).
+        for v in 0..nv {
+            if let Some(dv) = dist[v] {
+                potential[v] += dv;
+            }
+        }
+        // Augment one unit along the shortest path.
+        let mut v = sink;
+        while v != source {
+            let arc = parent_arc[v].expect("path arc missing");
+            net.push(arc, 1);
+            v = twin_tail(&net, arc);
+        }
+    }
+    let paths = extract_paths(&net, s, t, k);
+    debug_assert_eq!(paths.len(), k);
+    let total_length: u64 = paths.iter().map(|p| (p.len() - 1) as u64).sum();
+    Some(DisjointPaths {
+        paths,
+        total_length,
+    })
+}
+
+/// The paper's `d^k(s, t)`: minimum total length of `k` disjoint paths, or
+/// `None` when `u` and `v` are not `k`-connected.
+pub fn dk_distance<A: Adjacency + ?Sized>(graph: &A, s: Node, t: Node, k: usize) -> Option<u64> {
+    min_sum_disjoint_paths(graph, s, t, k).map(|d| d.total_length)
+}
+
+/// Tail vertex of the forward arc `arc` (i.e. head of its residual twin).
+fn twin_tail(net: &SplitNetwork, arc: ArcId) -> usize {
+    net.arc(arc ^ 1).to
+}
+
+/// Dijkstra on reduced costs.  Returns distances (None = unreachable) and the
+/// arc used to reach each vertex.
+fn dijkstra(
+    net: &SplitNetwork,
+    source: usize,
+    potential: &[i64],
+) -> (Vec<Option<i64>>, Vec<Option<ArcId>>) {
+    let nv = net.num_vertices();
+    let mut dist: Vec<Option<i64>> = vec![None; nv];
+    let mut parent: Vec<Option<ArcId>> = vec![None; nv];
+    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
+    dist[source] = Some(0);
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if dist[v] != Some(d) {
+            continue;
+        }
+        for &aid in net.out_arcs(v) {
+            let arc = net.arc(aid);
+            if arc.cap <= 0 {
+                continue;
+            }
+            let u = arc.to;
+            let reduced = arc.cost + potential[v] - potential[u];
+            debug_assert!(reduced >= 0, "negative reduced cost");
+            let nd = d + reduced;
+            if dist[u].map_or(true, |cur| nd < cur) {
+                dist[u] = Some(nd);
+                parent[u] = Some(aid);
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Decomposes the integral flow into `k` node-disjoint paths from `s` to `t`.
+fn extract_paths(net: &SplitNetwork, s: Node, t: Node, k: usize) -> Vec<Vec<Node>> {
+    // Build, for each graph node, the list of outgoing *edge* arcs carrying flow.
+    let mut used = vec![false; net.num_arcs()];
+    let mut paths = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut path = vec![s];
+        let mut cur = s;
+        loop {
+            if cur == t {
+                break;
+            }
+            let out = SplitNetwork::v_out(cur);
+            let mut advanced = false;
+            for &aid in net.out_arcs(out) {
+                if aid % 2 != 0 || used[aid] {
+                    continue; // skip residual twins and already-traced arcs
+                }
+                let arc = net.arc(aid);
+                if arc.cost != 1 || net.flow_on(aid) <= 0 {
+                    continue;
+                }
+                // Edge arc carrying flow: follow it to the next graph node.
+                used[aid] = true;
+                let next = (arc.to / 2) as Node;
+                path.push(next);
+                cur = next;
+                advanced = true;
+                break;
+            }
+            assert!(advanced, "flow decomposition got stuck at node {cur}");
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+/// Checks that a set of paths are pairwise internally vertex-disjoint
+/// `s`–`t` paths in the given graph view.  Used by tests and by the
+/// verification layer as an independent witness check.
+pub fn verify_disjoint_paths<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    paths: &[Vec<Node>],
+) -> bool {
+    let mut seen_internal = std::collections::HashSet::new();
+    for p in paths {
+        if p.len() < 2 || p[0] != s || *p.last().unwrap() != t {
+            return false;
+        }
+        for w in p.windows(2) {
+            if !graph.contains_edge(w[0], w[1]) {
+                return false;
+            }
+        }
+        for &v in &p[1..p.len() - 1] {
+            if v == s || v == t || !seen_internal.insert(v) {
+                return false;
+            }
+        }
+        // a path must not repeat its own nodes either
+        let mut own = std::collections::HashSet::new();
+        if !p.iter().all(|&v| own.insert(v)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::structured::{
+        complete_bipartite, complete_graph, cycle_graph, grid_graph, path_graph, petersen,
+    };
+    use rspan_graph::CsrGraph;
+
+    #[test]
+    fn single_path_is_shortest_path() {
+        let g = grid_graph(4, 5);
+        let d = dk_distance(&g, 0, 19, 1).unwrap();
+        assert_eq!(d, 3 + 4);
+        let dp = min_sum_disjoint_paths(&g, 0, 19, 1).unwrap();
+        assert!(verify_disjoint_paths(&g, 0, 19, &dp.paths));
+        assert_eq!(dp.k(), 1);
+    }
+
+    #[test]
+    fn cycle_has_exactly_two_disjoint_paths() {
+        let g = cycle_graph(7);
+        // s=0, t=3: paths of length 3 and 4, total 7 (= n).
+        let dp = min_sum_disjoint_paths(&g, 0, 3, 2).unwrap();
+        assert_eq!(dp.total_length, 7);
+        assert!(verify_disjoint_paths(&g, 0, 3, &dp.paths));
+        assert_eq!(min_sum_disjoint_paths(&g, 0, 3, 3), None);
+    }
+
+    #[test]
+    fn path_graph_has_only_one() {
+        let g = path_graph(6);
+        assert_eq!(dk_distance(&g, 0, 5, 1), Some(5));
+        assert_eq!(dk_distance(&g, 0, 5, 2), None);
+    }
+
+    #[test]
+    fn complete_graph_disjoint_paths() {
+        let g = complete_graph(6);
+        // Between any two nodes of K6: 1 direct edge + 4 two-hop paths.
+        assert_eq!(dk_distance(&g, 0, 5, 1), Some(1));
+        assert_eq!(dk_distance(&g, 0, 5, 5), Some(1 + 4 * 2));
+        assert_eq!(dk_distance(&g, 0, 5, 6), None);
+        let dp = min_sum_disjoint_paths(&g, 0, 5, 5).unwrap();
+        assert!(verify_disjoint_paths(&g, 0, 5, &dp.paths));
+    }
+
+    #[test]
+    fn complete_bipartite_connectivity() {
+        let g = complete_bipartite(3, 4);
+        // Two nodes on the size-3 side: connected by 4 disjoint length-2 paths.
+        assert_eq!(dk_distance(&g, 0, 1, 4), Some(8));
+        assert_eq!(dk_distance(&g, 0, 1, 5), None);
+    }
+
+    #[test]
+    fn petersen_is_three_connected() {
+        let g = petersen();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u < v {
+                    assert!(dk_distance(&g, u, v, 3).is_some(), "pair {u},{v}");
+                    assert_eq!(dk_distance(&g, u, v, 4), None, "pair {u},{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pair_has_no_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(dk_distance(&g, 0, 2, 1), None);
+    }
+
+    #[test]
+    fn min_sum_prefers_short_path_combinations() {
+        // Two nodes joined by a direct edge, a 2-path and a long 4-path:
+        // d^2 should use the edge + the 2-path (total 3), not the 4-path.
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1), // direct edge
+                (0, 2),
+                (2, 1), // 2-path through 2
+                (0, 3),
+                (3, 4),
+                (4, 5),
+                (5, 1), // 4-path
+            ],
+        );
+        assert_eq!(dk_distance(&g, 0, 1, 2), Some(3));
+        assert_eq!(dk_distance(&g, 0, 1, 3), Some(3 + 4));
+    }
+
+    #[test]
+    fn dk_is_monotone_in_k() {
+        let g = petersen();
+        for u in 0..5u32 {
+            let d1 = dk_distance(&g, u, u + 5, 1).unwrap();
+            let d2 = dk_distance(&g, u, u + 5, 2).unwrap();
+            let d3 = dk_distance(&g, u, u + 5, 3).unwrap();
+            assert!(d1 <= d2 && d2 <= d3);
+            // each additional path adds at least one more edge than the shortest
+            assert!(d2 >= d1 + 1 && d3 >= d2 + 1);
+        }
+    }
+
+    #[test]
+    fn verifier_rejects_bad_witnesses() {
+        let g = cycle_graph(6);
+        // wrong endpoints
+        assert!(!verify_disjoint_paths(&g, 0, 3, &[vec![0, 1, 2]]));
+        // non-edges
+        assert!(!verify_disjoint_paths(&g, 0, 3, &[vec![0, 2, 3]]));
+        // shared internal node
+        assert!(!verify_disjoint_paths(
+            &g,
+            0,
+            2,
+            &[vec![0, 1, 2], vec![0, 1, 2]]
+        ));
+        // a correct witness passes
+        assert!(verify_disjoint_paths(
+            &g,
+            0,
+            3,
+            &[vec![0, 1, 2, 3], vec![0, 5, 4, 3]]
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn same_endpoints_panic() {
+        let g = cycle_graph(4);
+        let _ = dk_distance(&g, 1, 1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_panics() {
+        let g = cycle_graph(4);
+        let _ = dk_distance(&g, 0, 1, 0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Edge-disjoint path distances — the extension sketched in the paper's
+//! concluding remarks ("it seems possible to extend our results to
+//! edge-connectivity where we consider paths that are edge-disjoint rather
+//! than internal-node disjoint").
+//!
+//! The machinery mirrors [`crate::disjoint`] with the vertex-splitting
+//! removed: every undirected edge becomes two unit-capacity, unit-cost arcs,
+//! and a min-cost flow of value `k` is `k` edge-disjoint paths of minimum
+//! total length.
+
+use rspan_graph::{Adjacency, Node};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a `k` edge-disjoint path query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeDisjointPaths {
+    /// The paths, each a node sequence from `s` to `t`.
+    pub paths: Vec<Vec<Node>>,
+    /// Total length (edge count) — the edge-connectivity analogue of `d^k`.
+    pub total_length: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: i64,
+}
+
+/// Simple min-cost-flow network over the graph nodes themselves.
+struct EdgeNetwork {
+    arcs: Vec<Arc>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl EdgeNetwork {
+    fn new<A: Adjacency + ?Sized>(graph: &A) -> Self {
+        let n = graph.num_nodes();
+        let mut net = EdgeNetwork {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); n],
+        };
+        for u in 0..n as Node {
+            graph.for_each_neighbor(u, &mut |v| {
+                if u < v {
+                    net.add_arc(u as usize, v as usize, 1, 1);
+                    net.add_arc(v as usize, u as usize, 1, 1);
+                }
+            });
+        }
+        net
+    }
+
+    fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) {
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    fn push(&mut self, id: usize, amount: i64) {
+        self.arcs[id].cap -= amount;
+        self.arcs[id ^ 1].cap += amount;
+    }
+}
+
+/// Computes `k` edge-disjoint `s`–`t` paths of minimum total length, or
+/// `None` if fewer than `k` exist.
+pub fn min_sum_edge_disjoint_paths<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    k: usize,
+) -> Option<EdgeDisjointPaths> {
+    assert!(s != t, "edge-disjoint distance requires distinct endpoints");
+    assert!(k >= 1, "k must be at least 1");
+    let mut net = EdgeNetwork::new(graph);
+    let n = graph.num_nodes();
+    let (source, sink) = (s as usize, t as usize);
+    let mut potential = vec![0i64; n];
+    for _ in 0..k {
+        // Dijkstra on reduced costs.
+        let mut dist: Vec<Option<i64>> = vec![None; n];
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[source] = Some(0);
+        heap.push(Reverse((0i64, source)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if dist[v] != Some(d) {
+                continue;
+            }
+            for &aid in &net.adj[v] {
+                let arc = &net.arcs[aid];
+                if arc.cap <= 0 {
+                    continue;
+                }
+                let nd = d + arc.cost + potential[v] - potential[arc.to];
+                if dist[arc.to].map_or(true, |cur| nd < cur) {
+                    dist[arc.to] = Some(nd);
+                    parent[arc.to] = Some(aid);
+                    heap.push(Reverse((nd, arc.to)));
+                }
+            }
+        }
+        dist[sink]?;
+        for (v, p) in potential.iter_mut().enumerate() {
+            if let Some(dv) = dist[v] {
+                *p += dv;
+            }
+        }
+        let mut v = sink;
+        while v != source {
+            let aid = parent[v].expect("augmenting path arc");
+            net.push(aid, 1);
+            v = net.arcs[aid ^ 1].to;
+        }
+    }
+    // Decompose the flow into k paths.
+    let mut used = vec![false; net.arcs.len()];
+    let mut paths = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut path = vec![s];
+        let mut cur = source;
+        let mut guard = 0usize;
+        while cur != sink {
+            guard += 1;
+            assert!(guard <= net.arcs.len() + 1, "flow decomposition runaway");
+            let aid = *net.adj[cur]
+                .iter()
+                .find(|&&aid| {
+                    aid % 2 == 0
+                        && !used[aid]
+                        && net.arcs[aid ^ 1].cap > 0
+                        && net.arcs[aid].cost > 0
+                })
+                .expect("flow decomposition got stuck");
+            used[aid] = true;
+            cur = net.arcs[aid].to;
+            path.push(cur as Node);
+        }
+        paths.push(path);
+    }
+    let total_length = paths.iter().map(|p| (p.len() - 1) as u64).sum();
+    Some(EdgeDisjointPaths {
+        paths,
+        total_length,
+    })
+}
+
+/// The edge-connectivity analogue of `d^k`: minimum total length of `k`
+/// edge-disjoint paths (∞/`None` if not k-edge-connected).
+pub fn dk_edge_distance<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    k: usize,
+) -> Option<u64> {
+    min_sum_edge_disjoint_paths(graph, s, t, k).map(|p| p.total_length)
+}
+
+/// Maximum number of edge-disjoint `s`–`t` paths, capped at `cap`.
+pub fn pair_edge_connectivity<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    cap: usize,
+) -> usize {
+    // Successive augmentation (BFS is enough for unit capacities, but reuse
+    // the cost machinery for simplicity: existence is all that matters here).
+    let mut k = 0usize;
+    while k < cap {
+        if min_sum_edge_disjoint_paths(graph, s, t, k + 1).is_none() {
+            break;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Checks that paths are pairwise edge-disjoint `s`–`t` paths of the graph.
+pub fn verify_edge_disjoint_paths<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    paths: &[Vec<Node>],
+) -> bool {
+    let mut seen_edges = std::collections::HashSet::new();
+    for p in paths {
+        if p.len() < 2 || p[0] != s || *p.last().unwrap() != t {
+            return false;
+        }
+        for w in p.windows(2) {
+            if !graph.contains_edge(w[0], w[1]) {
+                return false;
+            }
+            let key = if w[0] < w[1] {
+                (w[0], w[1])
+            } else {
+                (w[1], w[0])
+            };
+            if !seen_edges.insert(key) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::dk_distance;
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{
+        complete_graph, cycle_graph, grid_graph, path_graph, petersen,
+    };
+    use rspan_graph::CsrGraph;
+
+    #[test]
+    fn single_path_matches_shortest_path() {
+        let g = grid_graph(4, 4);
+        assert_eq!(dk_edge_distance(&g, 0, 15, 1), Some(6));
+    }
+
+    #[test]
+    fn cycle_has_two_edge_disjoint_paths() {
+        let g = cycle_graph(9);
+        let p = min_sum_edge_disjoint_paths(&g, 0, 4, 2).unwrap();
+        assert_eq!(p.total_length, 9);
+        assert!(verify_edge_disjoint_paths(&g, 0, 4, &p.paths));
+        assert_eq!(dk_edge_distance(&g, 0, 4, 3), None);
+    }
+
+    #[test]
+    fn edge_connectivity_at_least_vertex_connectivity() {
+        let g = gnp_connected(30, 0.15, 3);
+        for (s, t) in [(0u32, 15u32), (3, 27), (5, 22)] {
+            if s == t || g.has_edge(s, t) {
+                continue;
+            }
+            let kv = crate::menger::pair_vertex_connectivity(&g, s, t, usize::MAX);
+            let ke = pair_edge_connectivity(&g, s, t, usize::MAX);
+            assert!(
+                ke >= kv,
+                "edge connectivity {ke} < vertex connectivity {kv}"
+            );
+            // and the length sums are no larger for the edge-disjoint relaxation
+            for k in 1..=kv {
+                let dv = dk_distance(&g, s, t, k).unwrap();
+                let de = dk_edge_distance(&g, s, t, k).unwrap();
+                assert!(de <= dv);
+            }
+        }
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // Vertex connectivity between 0 and 3 is 1, edge connectivity is 2.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(
+            crate::menger::pair_vertex_connectivity(&g, 0, 3, usize::MAX),
+            1
+        );
+        assert_eq!(pair_edge_connectivity(&g, 0, 3, usize::MAX), 2);
+        let p = min_sum_edge_disjoint_paths(&g, 0, 3, 2).unwrap();
+        assert!(verify_edge_disjoint_paths(&g, 0, 3, &p.paths));
+        // 0-2-3 (2 edges) + 0-1-2-4-3 or similar: total 2 + 4 = 6
+        assert_eq!(p.total_length, 6);
+    }
+
+    #[test]
+    fn complete_and_petersen() {
+        let k5 = complete_graph(5);
+        assert_eq!(pair_edge_connectivity(&k5, 0, 4, usize::MAX), 4);
+        let pet = petersen();
+        for u in 0..5u32 {
+            assert_eq!(pair_edge_connectivity(&pet, u, u + 5, usize::MAX), 3);
+        }
+    }
+
+    #[test]
+    fn path_graph_limits() {
+        let g = path_graph(6);
+        assert_eq!(pair_edge_connectivity(&g, 0, 5, usize::MAX), 1);
+        assert_eq!(dk_edge_distance(&g, 0, 5, 2), None);
+    }
+
+    #[test]
+    fn verifier_rejects_shared_edges() {
+        let g = cycle_graph(6);
+        assert!(!verify_edge_disjoint_paths(
+            &g,
+            0,
+            2,
+            &[vec![0, 1, 2], vec![0, 1, 2]]
+        ));
+        assert!(verify_edge_disjoint_paths(
+            &g,
+            0,
+            3,
+            &[vec![0, 1, 2, 3], vec![0, 5, 4, 3]]
+        ));
+    }
+
+    #[test]
+    #[should_panic]
+    fn identical_endpoints_panic() {
+        let g = cycle_graph(5);
+        let _ = dk_edge_distance(&g, 2, 2, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # rspan-flow — disjoint-path substrate
+//!
+//! Section 3 of the paper measures multi-connectivity through the
+//! *k-connecting distance* `d^k(s, t)`: the minimum total length of `k`
+//! pairwise internally-vertex-disjoint paths.  This crate computes it exactly
+//! for any adjacency view (graph, spanner sub-graph, or augmented view `H_u`)
+//! via min-cost flow on a vertex-split network, and provides the Menger-style
+//! pair/graph connectivity tests the verification layer relies on.
+//!
+//! The [`edge_disjoint`] module implements the *edge*-connectivity analogue
+//! sketched in the paper's concluding remarks (edge-disjoint rather than
+//! internally-vertex-disjoint paths).
+
+#![warn(missing_docs)]
+
+pub mod disjoint;
+pub mod edge_disjoint;
+pub mod menger;
+pub mod network;
+
+pub use disjoint::{dk_distance, min_sum_disjoint_paths, verify_disjoint_paths, DisjointPaths};
+pub use edge_disjoint::{
+    dk_edge_distance, min_sum_edge_disjoint_paths, pair_edge_connectivity,
+    verify_edge_disjoint_paths, EdgeDisjointPaths,
+};
+pub use menger::{is_k_connected_graph, is_k_connected_pair, pair_vertex_connectivity};
+pub use network::{Arc, ArcId, SplitNetwork};

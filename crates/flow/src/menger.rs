@@ -1,0 +1,190 @@
+//! Pair vertex connectivity (Menger's theorem) via unit-capacity max flow.
+//!
+//! The k-connecting remote-spanner definition quantifies over all `k' ≤ k`
+//! such that `u` and `v` are `k'`-connected in `G`; the verification layer
+//! therefore needs `κ_G(u, v)` — the maximum number of internally
+//! vertex-disjoint `u`–`v` paths.  Breadth-first augmentation on the
+//! vertex-split network computes it in `O(κ · m)` per pair, which is the right
+//! trade-off for the many small queries verification performs.
+
+use crate::network::{ArcId, SplitNetwork};
+use rspan_graph::{Adjacency, Node};
+use std::collections::VecDeque;
+
+/// Maximum number of internally vertex-disjoint paths between `s` and `t`,
+/// capped at `cap` (pass `usize::MAX` for the exact value).  Adjacent pairs
+/// count their direct edge as one path.
+pub fn pair_vertex_connectivity<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    cap: usize,
+) -> usize {
+    assert!(s != t, "connectivity is defined for distinct endpoints");
+    if cap == 0 {
+        return 0;
+    }
+    let mut net = SplitNetwork::for_pair(graph, s, t);
+    let source = SplitNetwork::v_out(s);
+    let sink = SplitNetwork::v_in(t);
+    let mut flow = 0usize;
+    while flow < cap {
+        match augmenting_path(&net, source, sink) {
+            Some(path_arcs) => {
+                for arc in path_arcs {
+                    net.push(arc, 1);
+                }
+                flow += 1;
+            }
+            None => break,
+        }
+    }
+    flow
+}
+
+/// Whether `s` and `t` are connected by at least `k` internally
+/// vertex-disjoint paths.
+pub fn is_k_connected_pair<A: Adjacency + ?Sized>(graph: &A, s: Node, t: Node, k: usize) -> bool {
+    pair_vertex_connectivity(graph, s, t, k) >= k
+}
+
+/// Global vertex connectivity lower-bounded check: whether *every* pair of
+/// distinct non-adjacent nodes is `k`-connected.  (This is the classical
+/// definition of a `k`-connected graph for `n > k`.)  Exhaustive over pairs —
+/// intended for tests and small experiment instances.
+pub fn is_k_connected_graph<A: Adjacency + ?Sized>(graph: &A, k: usize) -> bool {
+    let n = graph.num_nodes();
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            if graph.contains_edge(u, v) {
+                continue;
+            }
+            if !is_k_connected_pair(graph, u, v, k) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// BFS for a single augmenting path; returns the arcs of the path (sink to
+/// source order is irrelevant because every arc gets one unit pushed).
+fn augmenting_path(net: &SplitNetwork, source: usize, sink: usize) -> Option<Vec<ArcId>> {
+    let nv = net.num_vertices();
+    let mut parent: Vec<Option<ArcId>> = vec![None; nv];
+    let mut visited = vec![false; nv];
+    let mut queue = VecDeque::new();
+    visited[source] = true;
+    queue.push_back(source);
+    'bfs: while let Some(v) = queue.pop_front() {
+        for &aid in net.out_arcs(v) {
+            let arc = net.arc(aid);
+            if arc.cap <= 0 || visited[arc.to] {
+                continue;
+            }
+            visited[arc.to] = true;
+            parent[arc.to] = Some(aid);
+            if arc.to == sink {
+                break 'bfs;
+            }
+            queue.push_back(arc.to);
+        }
+    }
+    if !visited[sink] {
+        return None;
+    }
+    let mut arcs = Vec::new();
+    let mut v = sink;
+    while v != source {
+        let aid = parent[v].expect("parent arc missing on augmenting path");
+        arcs.push(aid);
+        v = net.arc(aid ^ 1).to;
+    }
+    Some(arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjoint::dk_distance;
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{
+        complete_bipartite, complete_graph, cycle_graph, grid_graph, path_graph, petersen,
+    };
+    use rspan_graph::CsrGraph;
+
+    #[test]
+    fn path_and_cycle_connectivity() {
+        let p = path_graph(5);
+        assert_eq!(pair_vertex_connectivity(&p, 0, 4, usize::MAX), 1);
+        let c = cycle_graph(8);
+        assert_eq!(pair_vertex_connectivity(&c, 0, 4, usize::MAX), 2);
+        assert_eq!(pair_vertex_connectivity(&c, 0, 4, 1), 1); // capped
+        assert!(is_k_connected_pair(&c, 1, 5, 2));
+        assert!(!is_k_connected_pair(&c, 1, 5, 3));
+    }
+
+    #[test]
+    fn complete_and_bipartite() {
+        let k5 = complete_graph(5);
+        assert_eq!(pair_vertex_connectivity(&k5, 0, 4, usize::MAX), 4);
+        let kb = complete_bipartite(3, 5);
+        // two nodes on the 3-side are joined through the 5 opposite nodes
+        assert_eq!(pair_vertex_connectivity(&kb, 0, 1, usize::MAX), 5);
+        // a node and a non-adjacent... all cross pairs are adjacent; 5-side pair:
+        assert_eq!(pair_vertex_connectivity(&kb, 3, 4, usize::MAX), 3);
+    }
+
+    #[test]
+    fn petersen_graph_connectivity() {
+        let g = petersen();
+        assert!(is_k_connected_graph(&g, 3));
+        assert!(!is_k_connected_graph(&g, 4));
+    }
+
+    #[test]
+    fn grid_is_two_connected() {
+        let g = grid_graph(4, 4);
+        assert!(is_k_connected_graph(&g, 2));
+        assert!(!is_k_connected_graph(&g, 3));
+    }
+
+    #[test]
+    fn disconnected_pair() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(pair_vertex_connectivity(&g, 0, 3, usize::MAX), 0);
+        assert!(!is_k_connected_pair(&g, 0, 3, 1));
+    }
+
+    #[test]
+    fn cut_vertex_limits_connectivity() {
+        // Two triangles sharing a single vertex 2: any cross pair is 1-connected.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        assert_eq!(pair_vertex_connectivity(&g, 0, 3, usize::MAX), 1);
+        assert!(!is_k_connected_graph(&g, 2));
+    }
+
+    #[test]
+    fn connectivity_agrees_with_dk_existence() {
+        let g = gnp_connected(40, 0.12, 33);
+        for u in 0..10u32 {
+            for v in 20..30u32 {
+                if u == v || g.has_edge(u, v) {
+                    continue;
+                }
+                let kappa = pair_vertex_connectivity(&g, u, v, usize::MAX);
+                if kappa > 0 {
+                    assert!(dk_distance(&g, u, v, kappa).is_some());
+                }
+                assert!(dk_distance(&g, u, v, kappa + 1).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn capped_queries_never_exceed_cap() {
+        let g = complete_graph(8);
+        assert_eq!(pair_vertex_connectivity(&g, 0, 1, 3), 3);
+        assert_eq!(pair_vertex_connectivity(&g, 0, 1, 0), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The vertex-split flow network used for disjoint-path computations.
+//!
+//! The paper measures multi-connectivity through `d^k(s, t)`: the minimum
+//! total length of `k` pairwise internally-vertex-disjoint paths from `s` to
+//! `t` (Section 3).  Vertex-disjointness reduces to edge-disjointness in the
+//! classical *split* network: every node `v` becomes an arc `v_in → v_out`
+//! with capacity 1 (capacity ∞ for the two terminals), and every graph edge
+//! `{u, v}` becomes the two arcs `u_out → v_in` and `v_out → u_in` with
+//! capacity 1 and cost 1.  A flow of value `k` then corresponds to `k`
+//! internally-disjoint paths, and its cost to their total length.
+
+use rspan_graph::{Adjacency, Node};
+
+/// Index of an arc in the network (its residual twin is `arc ^ 1`).
+pub type ArcId = usize;
+
+/// A directed arc with residual bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Arc {
+    /// Head (target) vertex of the arc in the split network.
+    pub to: usize,
+    /// Remaining capacity.
+    pub cap: i64,
+    /// Cost per unit of flow (path-length contribution).
+    pub cost: i64,
+}
+
+/// A unit-capacity min-cost flow network built by vertex-splitting an
+/// undirected graph view.
+#[derive(Clone, Debug)]
+pub struct SplitNetwork {
+    /// Number of split vertices (`2 * n` for `n` graph nodes).
+    num_vertices: usize,
+    /// Arc storage; arc `i` and `i ^ 1` are a forward/backward pair.
+    arcs: Vec<Arc>,
+    /// Outgoing arc ids per split vertex.
+    adj: Vec<Vec<ArcId>>,
+    /// Number of original graph nodes.
+    graph_nodes: usize,
+}
+
+impl SplitNetwork {
+    /// In-copy id of graph node `v`.
+    #[inline]
+    pub fn v_in(v: Node) -> usize {
+        2 * v as usize
+    }
+
+    /// Out-copy id of graph node `v`.
+    #[inline]
+    pub fn v_out(v: Node) -> usize {
+        2 * v as usize + 1
+    }
+
+    /// Builds the split network of `graph` for a disjoint-path query between
+    /// `s` and `t`.  The terminals get unbounded vertex capacity; every other
+    /// node gets capacity 1, enforcing internal disjointness.
+    pub fn for_pair<A: Adjacency + ?Sized>(graph: &A, s: Node, t: Node) -> Self {
+        let n = graph.num_nodes();
+        let mut net = SplitNetwork {
+            num_vertices: 2 * n,
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); 2 * n],
+            graph_nodes: n,
+        };
+        for v in 0..n as Node {
+            let cap = if v == s || v == t { i64::MAX / 4 } else { 1 };
+            net.add_arc(Self::v_in(v), Self::v_out(v), cap, 0);
+        }
+        for u in 0..n as Node {
+            graph.for_each_neighbor(u, &mut |v| {
+                // Add each undirected edge once (from the smaller endpoint) as
+                // two directed unit arcs of cost 1.
+                if u < v {
+                    net.add_arc(Self::v_out(u), Self::v_in(v), 1, 1);
+                    net.add_arc(Self::v_out(v), Self::v_in(u), 1, 1);
+                }
+            });
+        }
+        net
+    }
+
+    /// Number of split vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of original graph nodes.
+    pub fn graph_nodes(&self) -> usize {
+        self.graph_nodes
+    }
+
+    /// Adds a forward arc and its zero-capacity residual twin.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> ArcId {
+        let id = self.arcs.len();
+        self.arcs.push(Arc { to, cap, cost });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Outgoing arc ids of a split vertex.
+    pub fn out_arcs(&self, v: usize) -> &[ArcId] {
+        &self.adj[v]
+    }
+
+    /// Arc accessor.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id]
+    }
+
+    /// Pushes `amount` units over arc `id` (updates the residual twin).
+    pub fn push(&mut self, id: ArcId, amount: i64) {
+        self.arcs[id].cap -= amount;
+        self.arcs[id ^ 1].cap += amount;
+        debug_assert!(self.arcs[id].cap >= 0, "negative capacity after push");
+    }
+
+    /// Flow currently on forward arc `id` (capacity moved onto the twin).
+    pub fn flow_on(&self, id: ArcId) -> i64 {
+        debug_assert!(id % 2 == 0, "flow_on expects a forward arc id");
+        self.arcs[id ^ 1].cap
+    }
+
+    /// Total number of stored arcs (including residual twins).
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::structured::{complete_graph, path_graph};
+
+    #[test]
+    fn split_network_sizes() {
+        let g = path_graph(4); // 3 edges
+        let net = SplitNetwork::for_pair(&g, 0, 3);
+        assert_eq!(net.num_vertices(), 8);
+        assert_eq!(net.graph_nodes(), 4);
+        // arcs: 4 vertex arcs + 2 per edge * 3 edges = 10 forward arcs, 20 with twins
+        assert_eq!(net.num_arcs(), 20);
+    }
+
+    #[test]
+    fn terminal_capacity_is_unbounded() {
+        let g = complete_graph(4);
+        let net = SplitNetwork::for_pair(&g, 1, 2);
+        // vertex arc of node 1 is the arc out of v_in(1) toward v_out(1)
+        let arc_id = net.out_arcs(SplitNetwork::v_in(1))[0];
+        assert!(net.arc(arc_id).cap > 1_000_000);
+        let arc_id0 = net.out_arcs(SplitNetwork::v_in(0))[0];
+        assert_eq!(net.arc(arc_id0).cap, 1);
+    }
+
+    #[test]
+    fn push_updates_residuals() {
+        let g = path_graph(2);
+        let mut net = SplitNetwork::for_pair(&g, 0, 1);
+        // find the edge arc out of v_out(0)
+        let &eid = net
+            .out_arcs(SplitNetwork::v_out(0))
+            .iter()
+            .find(|&&id| net.arc(id).cost == 1 && net.arc(id).cap == 1)
+            .unwrap();
+        net.push(eid, 1);
+        assert_eq!(net.arc(eid).cap, 0);
+        assert_eq!(net.flow_on(eid), 1);
+        assert_eq!(net.arc(eid ^ 1).cap, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! The [`Adjacency`] abstraction: anything BFS can run on.
+//!
+//! The algorithms in the paper repeatedly need shortest-path exploration on
+//! three different kinds of objects:
+//!
+//! * the input graph `G` itself ([`crate::CsrGraph`]),
+//! * a spanner sub-graph `H` described by an edge subset of `G`
+//!   ([`crate::Subgraph`]),
+//! * the *augmented* graph `H_u = H ∪ {uv | v ∈ N_G(u)}` used in the
+//!   remote-spanner definition ([`crate::AugmentedSubgraph`]).
+//!
+//! Implementing BFS once against this object-safe trait keeps the traversal
+//! code in a single place and lets the verification layer swap views without
+//! materialising new CSR structures for every source node.
+
+use crate::csr::Node;
+
+/// Read-only adjacency access over a fixed node set `0..num_nodes()`.
+///
+/// The trait is object-safe so that callers can hold `&dyn Adjacency` views
+/// when mixing graph and sub-graph traversals.
+pub trait Adjacency {
+    /// Number of nodes.  Node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Calls `f` once for every neighbor of `u` (in unspecified order).
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node));
+
+    /// Optional degree hint used to pre-size buffers; defaults to 0.
+    fn degree_hint(&self, _u: Node) -> usize {
+        0
+    }
+
+    /// Collects the neighbors of `u` into a fresh vector.
+    ///
+    /// Convenience for callers that are not on a hot path; hot paths should
+    /// prefer [`Adjacency::for_each_neighbor`] to avoid the allocation.
+    fn neighbors_vec(&self, u: Node) -> Vec<Node> {
+        let mut out = Vec::with_capacity(self.degree_hint(u));
+        self.for_each_neighbor(u, &mut |v| out.push(v));
+        out
+    }
+
+    /// Whether `{u, v}` is an edge in this view.  The default implementation
+    /// scans the neighbor list; CSR-backed implementations override it.
+    fn contains_edge(&self, u: Node, v: Node) -> bool {
+        let mut found = false;
+        self.for_each_neighbor(u, &mut |w| {
+            if w == v {
+                found = true;
+            }
+        });
+        found
+    }
+}
+
+impl<T: Adjacency + ?Sized> Adjacency for &T {
+    fn num_nodes(&self) -> usize {
+        (**self).num_nodes()
+    }
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        (**self).for_each_neighbor(u, f)
+    }
+    fn degree_hint(&self, u: Node) -> usize {
+        (**self).degree_hint(u)
+    }
+    fn contains_edge(&self, u: Node, v: Node) -> bool {
+        (**self).contains_edge(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+
+    #[test]
+    fn csr_implements_adjacency() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let a: &dyn Adjacency = &g;
+        assert_eq!(a.num_nodes(), 4);
+        assert_eq!(a.neighbors_vec(1), vec![0, 2]);
+        assert!(a.contains_edge(2, 3));
+        assert!(!a.contains_edge(0, 3));
+        assert_eq!(a.degree_hint(2), 2);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let r = &&g;
+        assert_eq!(Adjacency::num_nodes(r), 3);
+        assert!(Adjacency::contains_edge(r, 0, 1));
+    }
+}

@@ -1,0 +1,229 @@
+//! Balls, rings and local neighborhood views.
+//!
+//! The dominating-tree algorithms of the paper operate on `B_G(u, r)` — the
+//! ball of radius `r` around a node — and on rings
+//! `B_G(u, r') \ B_G(u, r'-1)` (nodes at exact distance `r'`).  This module
+//! provides those queries plus the *local view* extraction used by the
+//! distributed simulation: the sub-graph a node can learn after `r` rounds of
+//! neighborhood exchange (all edges with both endpoints in `B_G(u, r)`, and
+//! edges from `B_G(u, r)` to `B_G(u, r+1)` if one more hop of neighbor lists
+//! is known).
+
+use crate::adjacency::Adjacency;
+use crate::bfs::bfs_distances_bounded;
+use crate::csr::{CsrGraph, Node};
+
+/// Nodes at distance at most `r` from `u` (including `u`), sorted increasingly.
+pub fn ball<A: Adjacency + ?Sized>(graph: &A, u: Node, r: u32) -> Vec<Node> {
+    let dist = bfs_distances_bounded(graph, u, r);
+    dist.iter()
+        .enumerate()
+        .filter_map(|(v, d)| d.map(|_| v as Node))
+        .collect()
+}
+
+/// Nodes at distance exactly `r` from `u`, sorted increasingly.
+pub fn ring<A: Adjacency + ?Sized>(graph: &A, u: Node, r: u32) -> Vec<Node> {
+    let dist = bfs_distances_bounded(graph, u, r);
+    dist.iter()
+        .enumerate()
+        .filter_map(|(v, d)| match d {
+            Some(dv) if *dv == r => Some(v as Node),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Nodes with distance in the inclusive range `[lo, hi]` from `u`.
+pub fn annulus<A: Adjacency + ?Sized>(graph: &A, u: Node, lo: u32, hi: u32) -> Vec<Node> {
+    let dist = bfs_distances_bounded(graph, u, hi);
+    dist.iter()
+        .enumerate()
+        .filter_map(|(v, d)| match d {
+            Some(dv) if *dv >= lo && *dv <= hi => Some(v as Node),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The local view of a node in the LOCAL model after learning the neighbor
+/// lists of every node within `knowledge_radius` hops.
+///
+/// The view contains every node of `B_G(center, knowledge_radius + 1)` (nodes
+/// one hop further appear because they are listed in a known neighbor list)
+/// and every edge with at least one endpoint inside `B_G(center,
+/// knowledge_radius)`.
+#[derive(Clone, Debug)]
+pub struct LocalView {
+    /// The node whose knowledge this view represents.
+    pub center: Node,
+    /// Radius of complete neighbor-list knowledge.
+    pub knowledge_radius: u32,
+    /// The local graph, with nodes renumbered `0..local_n`.
+    pub graph: CsrGraph,
+    /// Mapping local id -> global id.
+    pub local_to_global: Vec<Node>,
+    /// Distance (in the *global* graph) from the center to each local node.
+    pub dist_from_center: Vec<u32>,
+}
+
+impl LocalView {
+    /// Local id of the center node.
+    pub fn center_local(&self) -> Node {
+        self.global_to_local(self.center)
+            .expect("center is always part of its own view")
+    }
+
+    /// Local id of a global node if it is part of the view.
+    pub fn global_to_local(&self, g: Node) -> Option<Node> {
+        self.local_to_global
+            .binary_search(&g)
+            .ok()
+            .map(|i| i as Node)
+    }
+
+    /// Global id of a local node.
+    pub fn local_to_global(&self, l: Node) -> Node {
+        self.local_to_global[l as usize]
+    }
+
+    /// Translates a set of local edges back to global node pairs.
+    pub fn edges_to_global(&self, edges: &[(Node, Node)]) -> Vec<(Node, Node)> {
+        edges
+            .iter()
+            .map(|&(a, b)| (self.local_to_global(a), self.local_to_global(b)))
+            .collect()
+    }
+}
+
+/// Extracts the [`LocalView`] of `center` with the given knowledge radius.
+pub fn local_view(graph: &CsrGraph, center: Node, knowledge_radius: u32) -> LocalView {
+    let dist = bfs_distances_bounded(graph, center, knowledge_radius + 1);
+    let mut members: Vec<Node> = dist
+        .iter()
+        .enumerate()
+        .filter_map(|(v, d)| d.map(|_| v as Node))
+        .collect();
+    members.sort_unstable();
+    let mut global_to_local = vec![Node::MAX; graph.n()];
+    for (i, &g) in members.iter().enumerate() {
+        global_to_local[g as usize] = i as Node;
+    }
+    let mut edges: Vec<(Node, Node)> = Vec::new();
+    for &g in &members {
+        let dg = dist[g as usize].expect("member has a distance");
+        // A node's incident edges are known iff the node itself is within the
+        // knowledge radius (its neighbor list has been received).
+        if dg > knowledge_radius {
+            continue;
+        }
+        let lu = global_to_local[g as usize];
+        for &w in graph.neighbors(g) {
+            let lw = global_to_local[w as usize];
+            if lw == Node::MAX {
+                continue;
+            }
+            let (a, b) = if lu < lw { (lu, lw) } else { (lw, lu) };
+            edges.push((a, b));
+        }
+    }
+    let local_graph = CsrGraph::from_edges(members.len(), &edges);
+    let dist_from_center = members
+        .iter()
+        .map(|&g| dist[g as usize].expect("member has a distance"))
+        .collect();
+    LocalView {
+        center,
+        knowledge_radius,
+        graph: local_graph,
+        local_to_global: members,
+        dist_from_center,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured::{cycle_graph, grid_graph, path_graph};
+
+    #[test]
+    fn ball_and_ring_on_path() {
+        let g = path_graph(7);
+        assert_eq!(ball(&g, 3, 0), vec![3]);
+        assert_eq!(ball(&g, 3, 1), vec![2, 3, 4]);
+        assert_eq!(ball(&g, 3, 2), vec![1, 2, 3, 4, 5]);
+        assert_eq!(ring(&g, 3, 2), vec![1, 5]);
+        assert_eq!(ring(&g, 0, 3), vec![3]);
+        assert_eq!(ring(&g, 0, 10), Vec::<Node>::new());
+        assert_eq!(annulus(&g, 3, 1, 2), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn ball_radius_larger_than_graph_is_everything() {
+        let g = cycle_graph(6);
+        assert_eq!(ball(&g, 0, 100).len(), 6);
+    }
+
+    #[test]
+    fn local_view_of_path_center() {
+        let g = path_graph(9);
+        let view = local_view(&g, 4, 1);
+        // Members: distance ≤ 2 from node 4 → {2,3,4,5,6}
+        assert_eq!(view.local_to_global, vec![2, 3, 4, 5, 6]);
+        // Edges known: those incident to B(4,1) = {3,4,5}: 2-3,3-4,4-5,5-6
+        assert_eq!(view.graph.m(), 4);
+        let c = view.center_local();
+        assert_eq!(view.local_to_global(c), 4);
+        assert_eq!(view.dist_from_center[c as usize], 0);
+    }
+
+    #[test]
+    fn local_view_does_not_know_far_edges() {
+        // In a cycle of 8 with knowledge radius 1 at node 0, the edge 3-4 (far
+        // side) must not be present, but 2-3 must not either (2 is at distance
+        // 2, its list is unknown and 3 is outside the view).
+        let g = cycle_graph(8);
+        let view = local_view(&g, 0, 1);
+        assert_eq!(view.local_to_global, vec![0, 1, 2, 6, 7]);
+        let l = |x: Node| view.global_to_local(x).unwrap();
+        assert!(view.graph.has_edge(l(0), l(1)));
+        assert!(view.graph.has_edge(l(1), l(2)));
+        assert!(!view.graph.has_edge(l(2), l(6))); // not even adjacent globally
+        assert!(view.global_to_local(3).is_none());
+        assert!(view.global_to_local(4).is_none());
+    }
+
+    #[test]
+    fn local_view_edge_translation_roundtrip() {
+        let g = grid_graph(4, 4);
+        let view = local_view(&g, 5, 2);
+        let local_edges: Vec<(Node, Node)> = view.graph.edges().collect();
+        let global_edges = view.edges_to_global(&local_edges);
+        for (u, v) in global_edges {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn local_view_distances_match_global_within_radius() {
+        // Inside the knowledge radius the local graph must preserve exact
+        // distances from the center (this is what the dominating-tree
+        // algorithms rely on when they run on a local view).
+        let g = grid_graph(6, 6);
+        let center = 14; // somewhere in the middle
+        let r = 3;
+        let view = local_view(&g, center, r);
+        let local_d = crate::bfs::bfs_distances(&view.graph, view.center_local());
+        let global_d = crate::bfs::bfs_distances(&g, center);
+        for (l, &gid) in view.local_to_global.iter().enumerate() {
+            let dg = global_d[gid as usize].unwrap();
+            if dg <= r {
+                assert_eq!(
+                    local_d[l],
+                    Some(dg),
+                    "node {gid} local/global distance mismatch"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Breadth-first search over any [`Adjacency`] view.
+//!
+//! Every algorithm of the paper reduces to bounded BFS in some view of the
+//! graph: computing balls `B_G(u, r)`, shortest-path trees for dominating
+//! trees, and the `d_{H_u}(u, v)` distances needed by the verification layer.
+
+use crate::adjacency::Adjacency;
+use crate::csr::Node;
+use std::collections::VecDeque;
+
+/// Unreached marker used internally; public results use `Option<u32>`.
+const UNREACHED: u32 = u32::MAX;
+
+/// Result of a BFS from a single source: distances and parent pointers.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// The source node.
+    pub source: Node,
+    /// `dist[v]` is the hop distance from the source, or `None` if unreachable.
+    pub dist: Vec<Option<u32>>,
+    /// `parent[v]` is the BFS predecessor of `v`, or `None` for the source and
+    /// unreachable nodes.
+    pub parent: Vec<Option<Node>>,
+}
+
+impl BfsTree {
+    /// Reconstructs the path from the source to `target` (inclusive of both
+    /// endpoints), or `None` if `target` is unreachable.
+    pub fn path_to(&self, target: Node) -> Option<Vec<Node>> {
+        self.dist[target as usize]?;
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.parent[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.source);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Distance to `target`, if reachable.
+    pub fn distance(&self, target: Node) -> Option<u32> {
+        self.dist[target as usize]
+    }
+
+    /// The set of reachable nodes (including the source).
+    pub fn reachable(&self) -> Vec<Node> {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter_map(|(v, d)| d.map(|_| v as Node))
+            .collect()
+    }
+}
+
+/// BFS distances from `source`, unbounded.
+pub fn bfs_distances<A: Adjacency + ?Sized>(graph: &A, source: Node) -> Vec<Option<u32>> {
+    bfs_distances_bounded(graph, source, u32::MAX)
+}
+
+/// BFS distances from `source`, exploring only nodes within `radius` hops.
+/// Nodes farther than `radius` (or unreachable) are reported as `None`.
+pub fn bfs_distances_bounded<A: Adjacency + ?Sized>(
+    graph: &A,
+    source: Node,
+    radius: u32,
+) -> Vec<Option<u32>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du >= radius {
+            continue;
+        }
+        graph.for_each_neighbor(u, &mut |v| {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        });
+    }
+    dist.into_iter()
+        .map(|d| if d == UNREACHED { None } else { Some(d) })
+        .collect()
+}
+
+/// Full BFS tree (distances + parents) from `source`, bounded by `radius`.
+pub fn bfs_tree_bounded<A: Adjacency + ?Sized>(graph: &A, source: Node, radius: u32) -> BfsTree {
+    let n = graph.num_nodes();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent = vec![None; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du >= radius {
+            continue;
+        }
+        graph.for_each_neighbor(u, &mut |v| {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = Some(u);
+                queue.push_back(v);
+            }
+        });
+    }
+    BfsTree {
+        source,
+        dist: dist
+            .into_iter()
+            .map(|d| if d == UNREACHED { None } else { Some(d) })
+            .collect(),
+        parent,
+    }
+}
+
+/// Full (unbounded) BFS tree from `source`.
+pub fn bfs_tree<A: Adjacency + ?Sized>(graph: &A, source: Node) -> BfsTree {
+    bfs_tree_bounded(graph, source, u32::MAX)
+}
+
+/// Shortest-path distance between two nodes, or `None` if disconnected.
+/// Stops the search as soon as `target` is settled.
+pub fn pair_distance<A: Adjacency + ?Sized>(graph: &A, source: Node, target: Node) -> Option<u32> {
+    pair_distance_bounded(graph, source, target, u32::MAX)
+}
+
+/// Like [`pair_distance`] but gives up (returns `None`) beyond `radius` hops.
+pub fn pair_distance_bounded<A: Adjacency + ?Sized>(
+    graph: &A,
+    source: Node,
+    target: Node,
+    radius: u32,
+) -> Option<u32> {
+    if source == target {
+        return Some(0);
+    }
+    let n = graph.num_nodes();
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du >= radius {
+            continue;
+        }
+        let mut found = false;
+        graph.for_each_neighbor(u, &mut |v| {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                if v == target {
+                    found = true;
+                }
+                queue.push_back(v);
+            }
+        });
+        if found {
+            return Some(du + 1);
+        }
+    }
+    None
+}
+
+/// Multi-source BFS: distance from the *nearest* source.
+pub fn multi_source_distances<A: Adjacency + ?Sized>(
+    graph: &A,
+    sources: &[Node],
+) -> Vec<Option<u32>> {
+    let n = graph.num_nodes();
+    let mut dist = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == UNREACHED {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        graph.for_each_neighbor(u, &mut |v| {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        });
+    }
+    dist.into_iter()
+        .map(|d| if d == UNREACHED { None } else { Some(d) })
+        .collect()
+}
+
+/// Eccentricity of `source`: the largest finite distance from it, or `None`
+/// if the graph has a single node reachable (eccentricity of isolated node is 0).
+pub fn eccentricity<A: Adjacency + ?Sized>(graph: &A, source: Node) -> u32 {
+    bfs_distances(graph, source)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Whether the whole graph is connected (trivially true for `n ≤ 1`).
+pub fn is_connected<A: Adjacency + ?Sized>(graph: &A) -> bool {
+    let n = graph.num_nodes();
+    if n <= 1 {
+        return true;
+    }
+    bfs_distances(graph, 0).iter().all(|d| d.is_some())
+}
+
+/// Connected components; returns `comp[v]` = component index, components
+/// numbered in order of their smallest node.
+pub fn connected_components<A: Adjacency + ?Sized>(graph: &A) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = next;
+        queue.push_back(s as Node);
+        while let Some(u) = queue.pop_front() {
+            graph.for_each_neighbor(u, &mut |v| {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            });
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components.
+pub fn num_components<A: Adjacency + ?Sized>(graph: &A) -> usize {
+    connected_components(graph)
+        .iter()
+        .copied()
+        .max()
+        .map(|c| c + 1)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators::structured::{cycle_graph, path_graph};
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path_graph(6);
+        let d = bfs_distances(&g, 0);
+        for v in 0..6 {
+            assert_eq!(d[v], Some(v as u32));
+        }
+    }
+
+    #[test]
+    fn bounded_bfs_stops_at_radius() {
+        let g = path_graph(6);
+        let d = bfs_distances_bounded(&g, 0, 2);
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], None);
+        assert_eq!(d[5], None);
+    }
+
+    #[test]
+    fn bfs_tree_paths_are_shortest() {
+        let g = cycle_graph(8);
+        let t = bfs_tree(&g, 0);
+        let p = t.path_to(3).unwrap();
+        assert_eq!(p.len() as u32 - 1, t.distance(3).unwrap());
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 3);
+        // consecutive path nodes are adjacent
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        // distance around an 8-cycle to the antipode is 4
+        assert_eq!(t.distance(4), Some(4));
+    }
+
+    #[test]
+    fn path_to_unreachable_is_none() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let t = bfs_tree(&g, 0);
+        assert!(t.path_to(2).is_none());
+        assert_eq!(t.reachable(), vec![0, 1]);
+    }
+
+    #[test]
+    fn pair_distance_matches_full_bfs() {
+        let g = cycle_graph(11);
+        let d = bfs_distances(&g, 3);
+        for v in g.nodes() {
+            assert_eq!(pair_distance(&g, 3, v), d[v as usize]);
+        }
+        assert_eq!(pair_distance_bounded(&g, 0, 5, 3), None);
+        assert_eq!(pair_distance_bounded(&g, 0, 5, 5), Some(5));
+    }
+
+    #[test]
+    fn multi_source_takes_nearest() {
+        let g = path_graph(10);
+        let d = multi_source_distances(&g, &[0, 9]);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[4], Some(4));
+        assert_eq!(d[5], Some(4));
+        assert_eq!(d[9], Some(0));
+    }
+
+    #[test]
+    fn eccentricity_and_connectivity() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, 0), 4);
+        assert_eq!(eccentricity(&g, 2), 2);
+        assert!(is_connected(&g));
+        let h = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!is_connected(&h));
+        assert_eq!(num_components(&h), 2);
+        let comp = connected_components(&h);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(is_connected(&CsrGraph::empty(1)));
+        assert!(is_connected(&CsrGraph::empty(0)));
+        assert_eq!(num_components(&CsrGraph::empty(0)), 0);
+        assert_eq!(num_components(&CsrGraph::empty(3)), 3);
+    }
+
+    #[test]
+    fn isolated_source_eccentricity_zero() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(eccentricity(&g, 1), 0);
+    }
+}

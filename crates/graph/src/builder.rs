@@ -1,0 +1,116 @@
+//! Incremental construction of [`CsrGraph`]s.
+
+use crate::csr::{CsrGraph, Node};
+
+/// Accumulates edges and produces a [`CsrGraph`].
+///
+/// The builder accepts edges in any order and orientation, silently ignores
+/// self loops, and deduplicates parallel edges at [`GraphBuilder::build`] time.
+/// It grows the node count automatically to cover every endpoint, but a
+/// minimum node count can be fixed up front with [`GraphBuilder::new`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    min_nodes: usize,
+    edges: Vec<(Node, Node)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder whose graph will have at least `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            min_nodes: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with a pre-reserved edge capacity.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            min_nodes: n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`.  Self loops are ignored.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> &mut Self {
+        if u != v {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            self.edges.push((a, b));
+        }
+        self
+    }
+
+    /// Adds every edge of an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (Node, Node)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the graph.
+    pub fn build(mut self) -> CsrGraph {
+        let max_endpoint = self
+            .edges
+            .iter()
+            .map(|&(_, v)| v as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = self.min_nodes.max(max_endpoint);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        CsrGraph::from_sorted_canonical(n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_dedups() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(2, 2)
+            .add_edge(1, 3);
+        assert_eq!(b.pending_edges(), 3); // self loop dropped eagerly
+        let g = b.build();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn respects_min_nodes() {
+        let mut b = GraphBuilder::new(10);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 0);
+        let g0 = GraphBuilder::default().build();
+        assert_eq!(g0.n(), 0);
+    }
+
+    #[test]
+    fn extend_edges_matches_add_edge() {
+        let mut a = GraphBuilder::new(5);
+        a.extend_edges(vec![(0, 1), (1, 2), (3, 4)]);
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(3, 4);
+        assert_eq!(a.build(), b.build());
+    }
+}

@@ -1,0 +1,381 @@
+//! Compressed sparse row (CSR) representation of an undirected simple graph.
+//!
+//! The paper works exclusively with unweighted undirected graphs, and every
+//! algorithm is dominated by neighborhood scans (`N(u)`), bounded BFS and
+//! membership tests.  A CSR layout gives contiguous, cache-friendly neighbor
+//! slices and `O(log deg)` adjacency tests via binary search over the sorted
+//! neighbor lists, without any per-node heap allocation.
+
+use crate::adjacency::Adjacency;
+
+/// Node identifier.  Graphs in this workspace are bounded by `u32::MAX` nodes,
+/// which keeps adjacency arrays half the size of `usize` indices.
+pub type Node = u32;
+
+/// An undirected simple graph in compressed sparse row form.
+///
+/// Invariants maintained by every constructor:
+/// * no self loops,
+/// * no duplicate edges,
+/// * each neighbor list is sorted increasingly,
+/// * each undirected edge `{u, v}` is stored twice (once per endpoint) and has
+///   a single *canonical edge id* in `0..m()` attached to the representation
+///   with `u < v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[u]..offsets[u + 1]` indexes `neighbors` for node `u`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<Node>,
+    /// For each directed arc position in `neighbors`, the canonical id of the
+    /// underlying undirected edge.
+    edge_ids: Vec<usize>,
+    /// Canonical edge list: `edge_list[e] = (u, v)` with `u < v`.
+    edge_list: Vec<(Node, Node)>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` nodes from an arbitrary edge list.
+    ///
+    /// Self loops are dropped and duplicate edges (in either orientation) are
+    /// collapsed.  Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(Node, Node)]) -> Self {
+        let mut canon: Vec<(Node, Node)> = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            assert!(
+                (a as usize) < n && (b as usize) < n,
+                "edge ({a}, {b}) out of range for {n} nodes"
+            );
+            if a == b {
+                continue;
+            }
+            let (u, v) = if a < b { (a, b) } else { (b, a) };
+            canon.push((u, v));
+        }
+        canon.sort_unstable();
+        canon.dedup();
+        Self::from_sorted_canonical(n, canon)
+    }
+
+    /// Builds a graph from a deduplicated, sorted list of canonical edges
+    /// (`u < v`).  This is the fast path used by [`crate::builder::GraphBuilder`].
+    pub(crate) fn from_sorted_canonical(n: usize, canon: Vec<(Node, Node)>) -> Self {
+        let m = canon.len();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &canon {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as Node; 2 * m];
+        let mut edge_ids = vec![0usize; 2 * m];
+        for (e, &(u, v)) in canon.iter().enumerate() {
+            let cu = cursor[u as usize];
+            neighbors[cu] = v;
+            edge_ids[cu] = e;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            neighbors[cv] = u;
+            edge_ids[cv] = e;
+            cursor[v as usize] += 1;
+        }
+        // Neighbor lists must be sorted; because canonical edges are sorted by
+        // (u, v), the `u`-side entries are already in order, but the `v`-side
+        // entries may not be.  Sort each list (with its edge ids) explicitly.
+        for u in 0..n {
+            let range = offsets[u]..offsets[u + 1];
+            let mut pairs: Vec<(Node, usize)> =
+                range.clone().map(|i| (neighbors[i], edge_ids[i])).collect();
+            pairs.sort_unstable();
+            for (k, i) in range.enumerate() {
+                neighbors[i] = pairs[k].0;
+                edge_ids[i] = pairs[k].1;
+            }
+        }
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_ids,
+            edge_list: canon,
+        }
+    }
+
+    /// Empty graph on `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Self::from_edges(n, &[])
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edge_list.len()
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: Node) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Maximum degree Δ (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as Node)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Sorted neighbor slice of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: Node) -> &[Node] {
+        &self.neighbors[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Canonical edge ids of the edges incident to `u`, aligned with
+    /// [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn incident_edge_ids(&self, u: Node) -> &[usize] {
+        &self.edge_ids[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Canonical id of edge `{u, v}`, if present.
+    #[inline]
+    pub fn edge_id(&self, u: Node, v: Node) -> Option<usize> {
+        let pos = self.neighbors(u).binary_search(&v).ok()?;
+        Some(self.incident_edge_ids(u)[pos])
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of the canonical edge `e`.
+    #[inline]
+    pub fn edge_endpoints(&self, e: usize) -> (Node, Node) {
+        self.edge_list[e]
+    }
+
+    /// Iterator over canonical edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        self.edge_list.iter().copied()
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + 'static {
+        0..self.n_as_node()
+    }
+
+    #[inline]
+    fn n_as_node(&self) -> Node {
+        self.n() as Node
+    }
+
+    /// Sum of degrees (= `2 m`), exposed for sanity checks in callers.
+    pub fn degree_sum(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Returns the complement count of a would-be complete graph, i.e. how many
+    /// node pairs are *not* edges.  Useful for density reporting in benches.
+    pub fn missing_pairs(&self) -> usize {
+        let n = self.n();
+        n * n.saturating_sub(1) / 2 - self.m()
+    }
+
+    /// Builds the subgraph induced by keeping only the canonical edges for
+    /// which `keep(e)` is true.  Node set is preserved.
+    pub fn filter_edges<F: FnMut(usize) -> bool>(&self, mut keep: F) -> CsrGraph {
+        let canon: Vec<(Node, Node)> = self
+            .edge_list
+            .iter()
+            .enumerate()
+            .filter(|(e, _)| keep(*e))
+            .map(|(_, &uv)| uv)
+            .collect();
+        CsrGraph::from_sorted_canonical(self.n(), canon)
+    }
+
+    /// Builds the subgraph induced by a node subset.  Returns the new graph and
+    /// the mapping `local -> global` node id.  Nodes not in `subset` are
+    /// dropped entirely (this differs from spanner sub-graphs, which keep every
+    /// node; it is used to extract local views for LOCAL-model computations).
+    pub fn induced_subgraph(&self, subset: &[Node]) -> (CsrGraph, Vec<Node>) {
+        let mut sorted: Vec<Node> = subset.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut global_to_local = vec![Node::MAX; self.n()];
+        for (i, &g) in sorted.iter().enumerate() {
+            global_to_local[g as usize] = i as Node;
+        }
+        let mut edges = Vec::new();
+        for &g in &sorted {
+            let lu = global_to_local[g as usize];
+            for &w in self.neighbors(g) {
+                if w > g {
+                    let lw = global_to_local[w as usize];
+                    if lw != Node::MAX {
+                        edges.push((lu, lw));
+                    }
+                }
+            }
+        }
+        (CsrGraph::from_edges(sorted.len(), &edges), sorted)
+    }
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n()
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+
+    #[inline]
+    fn degree_hint(&self, u: Node) -> usize {
+        self.degree(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1, 1-2, 2-0, 2-3
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.degree_sum(), 8);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        for u in g.nodes() {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted list for {u}");
+            for &v in ns {
+                assert!(g.has_edge(v, u), "missing reverse edge {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_are_dropped() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edge_ids_are_consistent_across_orientations() {
+        let g = triangle_plus_pendant();
+        for (u, v) in g.edges() {
+            let e1 = g.edge_id(u, v).unwrap();
+            let e2 = g.edge_id(v, u).unwrap();
+            assert_eq!(e1, e2);
+            assert_eq!(g.edge_endpoints(e1), (u, v));
+        }
+        assert_eq!(g.edge_id(0, 3), None);
+    }
+
+    #[test]
+    fn edge_ids_cover_range() {
+        let g = triangle_plus_pendant();
+        let mut seen = vec![false; g.m()];
+        for (u, v) in g.edges() {
+            seen[g.edge_id(u, v).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        let g0 = CsrGraph::empty(0);
+        assert_eq!(g0.n(), 0);
+        assert_eq!(g0.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn filter_edges_keeps_node_set() {
+        let g = triangle_plus_pendant();
+        let pendant_edge = g.edge_id(2, 3).unwrap();
+        let h = g.filter_edges(|e| e != pendant_edge);
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 3);
+        assert!(!h.has_edge(2, 3));
+        assert!(h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn induced_subgraph_maps_ids() {
+        let g = triangle_plus_pendant();
+        let (h, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(map, vec![1, 2, 3]);
+        // local ids: 0->1, 1->2, 2->3; edges 1-2 and 2-3 survive
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(1, 2));
+        assert!(!h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn missing_pairs_complement() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.missing_pairs(), 2); // pairs {0,3} and {1,3}
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,210 @@
+//! All-pairs distances and distance matrices.
+//!
+//! Verifying the `(α, β)` remote-stretch of a spanner on a moderate-size graph
+//! requires the exact distance `d_G(u, v)` for every pair, which is `n` BFS
+//! runs.  The runs are independent, so they are distributed over threads with
+//! crossbeam scoped threads (see the Rayon/perf-book guidance: embarrassingly
+//! parallel loops over read-only shared data).
+
+use crate::adjacency::Adjacency;
+use crate::bfs::bfs_distances;
+use crate::csr::Node;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Dense all-pairs hop-distance matrix.
+///
+/// Stored row-major as `u32`, with `u32::MAX` for unreachable pairs.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    data: Vec<u32>,
+}
+
+/// Sentinel stored for unreachable pairs.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl DistanceMatrix {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between `u` and `v`, `None` if disconnected.
+    #[inline]
+    pub fn get(&self, u: Node, v: Node) -> Option<u32> {
+        let d = self.data[u as usize * self.n + v as usize];
+        if d == UNREACHABLE {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Raw row of distances from `u` (contains [`UNREACHABLE`] sentinels).
+    pub fn row(&self, u: Node) -> &[u32] {
+        &self.data[u as usize * self.n..(u as usize + 1) * self.n]
+    }
+
+    /// Largest finite distance in the matrix (graph diameter if connected).
+    pub fn diameter(&self) -> Option<u32> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+    }
+
+    /// Whether every pair is at finite distance.
+    pub fn is_connected(&self) -> bool {
+        self.n <= 1 || self.data.iter().all(|&d| d != UNREACHABLE)
+    }
+}
+
+/// Computes the all-pairs distance matrix sequentially.
+pub fn all_pairs_distances<A: Adjacency + ?Sized>(graph: &A) -> DistanceMatrix {
+    let n = graph.num_nodes();
+    let mut data = vec![UNREACHABLE; n * n];
+    for u in 0..n {
+        let d = bfs_distances(graph, u as Node);
+        for (v, dv) in d.into_iter().enumerate() {
+            if let Some(x) = dv {
+                data[u * n + v] = x;
+            }
+        }
+    }
+    DistanceMatrix { n, data }
+}
+
+/// Computes the all-pairs distance matrix with one BFS per source distributed
+/// over `threads` worker threads (defaults to available parallelism when 0).
+pub fn all_pairs_distances_parallel<A>(graph: &A, threads: usize) -> DistanceMatrix
+where
+    A: Adjacency + Sync + ?Sized,
+{
+    let n = graph.num_nodes();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    if threads <= 1 || n < 64 {
+        return all_pairs_distances(graph);
+    }
+    let mut data = vec![UNREACHABLE; n * n];
+    let counter = AtomicUsize::new(0);
+    // Hand each thread a disjoint set of rows by chunking the output buffer;
+    // rows are claimed dynamically from a shared counter so uneven BFS costs
+    // (e.g. in disconnected or irregular graphs) balance out.
+    let rows: Vec<&mut [u32]> = data.chunks_mut(n).collect();
+    let row_cells: Vec<parking_slot::RowSlot<'_>> =
+        rows.into_iter().map(parking_slot::RowSlot::new).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let u = counter.fetch_add(1, Ordering::Relaxed);
+                if u >= n {
+                    break;
+                }
+                let d = bfs_distances(graph, u as Node);
+                let row = row_cells[u].take();
+                for (v, dv) in d.into_iter().enumerate() {
+                    if let Some(x) = dv {
+                        row[v] = x;
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    DistanceMatrix { n, data }
+}
+
+/// Tiny helper giving each row exactly one owner across threads without
+/// unsafe code: each row slot can be taken once.
+mod parking_slot {
+    use std::sync::Mutex;
+
+    pub struct RowSlot<'a>(Mutex<Option<&'a mut [u32]>>);
+
+    impl<'a> RowSlot<'a> {
+        pub fn new(row: &'a mut [u32]) -> Self {
+            RowSlot(Mutex::new(Some(row)))
+        }
+
+        /// Takes the row; panics if taken twice (each row has one owner).
+        pub fn take(&self) -> &'a mut [u32] {
+            self.0
+                .lock()
+                .expect("row mutex poisoned")
+                .take()
+                .expect("row claimed twice")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::generators::er::gnp;
+    use crate::generators::structured::{cycle_graph, grid_graph, path_graph};
+
+    #[test]
+    fn matrix_matches_bfs_on_cycle() {
+        let g = cycle_graph(9);
+        let m = all_pairs_distances(&g);
+        assert_eq!(m.get(0, 4), Some(4));
+        assert_eq!(m.get(0, 5), Some(4));
+        assert_eq!(m.get(3, 3), Some(0));
+        assert_eq!(m.diameter(), Some(4));
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let m = all_pairs_distances(&g);
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.get(0, 1), Some(1));
+        assert!(!m.is_connected());
+        assert_eq!(m.diameter(), Some(1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gnp(150, 0.05, 17);
+        let seq = all_pairs_distances(&g);
+        let par = all_pairs_distances_parallel(&g, 4);
+        assert_eq!(seq.n(), par.n());
+        for u in g.nodes() {
+            assert_eq!(seq.row(u), par.row(u));
+        }
+    }
+
+    #[test]
+    fn parallel_small_graph_falls_back() {
+        let g = path_graph(10);
+        let m = all_pairs_distances_parallel(&g, 8);
+        assert_eq!(m.get(0, 9), Some(9));
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = grid_graph(5, 7);
+        let m = all_pairs_distances_parallel(&g, 0);
+        assert_eq!(m.diameter(), Some(4 + 6));
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let m = all_pairs_distances(&CsrGraph::empty(1));
+        assert!(m.is_connected());
+        assert_eq!(m.get(0, 0), Some(0));
+        let m0 = all_pairs_distances(&CsrGraph::empty(0));
+        assert_eq!(m0.n(), 0);
+        assert!(m0.is_connected());
+        assert_eq!(m0.diameter(), None);
+    }
+}

@@ -1,0 +1,395 @@
+//! Edge subsets and sub-graph views over a parent [`CsrGraph`].
+//!
+//! A remote-spanner `H` of `G` is a sub-graph with the same node set, so it is
+//! represented here as an [`EdgeSet`]: a bit per canonical edge id of `G`.
+//! Two lightweight views make the paper's definitions directly executable:
+//!
+//! * [`Subgraph`] — adjacency restricted to the selected edges (this is `H`),
+//! * [`AugmentedSubgraph`] — `H_u`, i.e. `H` plus *all* edges of `G` incident
+//!   to a distinguished source `u`, exactly as in the remote-spanner
+//!   definition `d_{H_u}(u, v) ≤ α d_G(u, v) + β`.
+
+use crate::adjacency::Adjacency;
+use crate::csr::{CsrGraph, Node};
+
+/// A subset of the canonical edges of a parent graph, stored as a bit set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeSet {
+    bits: Vec<u64>,
+    /// Number of canonical edges in the parent graph.
+    universe: usize,
+    /// Number of selected edges.
+    count: usize,
+}
+
+impl EdgeSet {
+    /// Empty edge set for a parent graph with `g.m()` edges.
+    pub fn empty(g: &CsrGraph) -> Self {
+        EdgeSet {
+            bits: vec![0; g.m().div_ceil(64)],
+            universe: g.m(),
+            count: 0,
+        }
+    }
+
+    /// Edge set containing every edge of the parent graph.
+    pub fn full(g: &CsrGraph) -> Self {
+        let mut s = Self::empty(g);
+        for e in 0..g.m() {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Number of edges the parent graph has.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of selected edges.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no edge is selected.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether edge id `e` is selected.
+    #[inline]
+    pub fn contains(&self, e: usize) -> bool {
+        debug_assert!(e < self.universe);
+        self.bits[e / 64] >> (e % 64) & 1 == 1
+    }
+
+    /// Selects edge id `e`.  Returns true if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, e: usize) -> bool {
+        debug_assert!(
+            e < self.universe,
+            "edge id {e} out of range {}",
+            self.universe
+        );
+        let word = &mut self.bits[e / 64];
+        let mask = 1u64 << (e % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes edge id `e`.  Returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, e: usize) -> bool {
+        debug_assert!(e < self.universe);
+        let word = &mut self.bits[e / 64];
+        let mask = 1u64 << (e % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// In-place union with another edge set over the same parent graph.
+    pub fn union_with(&mut self, other: &EdgeSet) {
+        assert_eq!(
+            self.universe, other.universe,
+            "edge sets over different graphs"
+        );
+        let mut count = 0usize;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+            count += a.count_ones() as usize;
+        }
+        self.count = count;
+    }
+
+    /// Iterator over selected edge ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(move |(w, &bits)| {
+            let mut rem = bits;
+            std::iter::from_fn(move || {
+                if rem == 0 {
+                    None
+                } else {
+                    let b = rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    Some(w * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+/// A spanner sub-graph `H ⊆ G`: the parent graph plus an [`EdgeSet`].
+///
+/// The node set is always the full node set of the parent, matching the
+/// definition `V(H) = V(G)` from the paper.
+#[derive(Clone, Debug)]
+pub struct Subgraph<'g> {
+    parent: &'g CsrGraph,
+    edges: EdgeSet,
+}
+
+impl<'g> Subgraph<'g> {
+    /// Wraps an edge set as a sub-graph view of `parent`.
+    pub fn new(parent: &'g CsrGraph, edges: EdgeSet) -> Self {
+        assert_eq!(
+            edges.universe(),
+            parent.m(),
+            "edge set built for a different graph"
+        );
+        Subgraph { parent, edges }
+    }
+
+    /// Sub-graph with no edges.
+    pub fn empty(parent: &'g CsrGraph) -> Self {
+        Subgraph::new(parent, EdgeSet::empty(parent))
+    }
+
+    /// Sub-graph equal to the parent.
+    pub fn full(parent: &'g CsrGraph) -> Self {
+        Subgraph::new(parent, EdgeSet::full(parent))
+    }
+
+    /// The parent graph `G`.
+    pub fn parent(&self) -> &'g CsrGraph {
+        self.parent
+    }
+
+    /// The selected edge set.
+    pub fn edge_set(&self) -> &EdgeSet {
+        &self.edges
+    }
+
+    /// Mutable access to the selected edge set.
+    pub fn edge_set_mut(&mut self) -> &mut EdgeSet {
+        &mut self.edges
+    }
+
+    /// Number of selected edges `|E(H)|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `{u, v}` is an edge of `H`.
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.parent
+            .edge_id(u, v)
+            .map(|e| self.edges.contains(e))
+            .unwrap_or(false)
+    }
+
+    /// Adds edge `{u, v}`, which must exist in the parent graph.
+    /// Returns true if it was newly added.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
+        let e = self
+            .parent
+            .edge_id(u, v)
+            .unwrap_or_else(|| panic!("edge ({u}, {v}) is not an edge of the parent graph"));
+        self.edges.insert(e)
+    }
+
+    /// View of `H_u = H ∪ {uw | w ∈ N_G(u)}` rooted at `source`.
+    pub fn augmented(&self, source: Node) -> AugmentedSubgraph<'_, 'g> {
+        AugmentedSubgraph { sub: self, source }
+    }
+
+    /// Materialises the sub-graph as a standalone [`CsrGraph`] (same node set).
+    pub fn to_graph(&self) -> CsrGraph {
+        self.parent.filter_edges(|e| self.edges.contains(e))
+    }
+
+    /// Iterator over selected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        self.edges.iter().map(|e| self.parent.edge_endpoints(e))
+    }
+}
+
+impl Adjacency for Subgraph<'_> {
+    fn num_nodes(&self) -> usize {
+        self.parent.n()
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        let ns = self.parent.neighbors(u);
+        let ids = self.parent.incident_edge_ids(u);
+        for (&v, &e) in ns.iter().zip(ids) {
+            if self.edges.contains(e) {
+                f(v);
+            }
+        }
+    }
+
+    fn degree_hint(&self, u: Node) -> usize {
+        self.parent.degree(u)
+    }
+
+    fn contains_edge(&self, u: Node, v: Node) -> bool {
+        self.has_edge(u, v)
+    }
+}
+
+/// The augmented sub-graph `H_u` from the remote-spanner definition: all edges
+/// of `H`, plus every edge of `G` incident to the distinguished `source`.
+#[derive(Clone, Copy, Debug)]
+pub struct AugmentedSubgraph<'s, 'g> {
+    sub: &'s Subgraph<'g>,
+    source: Node,
+}
+
+impl AugmentedSubgraph<'_, '_> {
+    /// The distinguished source node `u`.
+    pub fn source(&self) -> Node {
+        self.source
+    }
+}
+
+impl Adjacency for AugmentedSubgraph<'_, '_> {
+    fn num_nodes(&self) -> usize {
+        self.sub.parent.n()
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        if u == self.source {
+            // All neighbors of the source in G are available.
+            for &v in self.sub.parent.neighbors(u) {
+                f(v);
+            }
+            return;
+        }
+        let parent = self.sub.parent;
+        let ns = parent.neighbors(u);
+        let ids = parent.incident_edge_ids(u);
+        for (&v, &e) in ns.iter().zip(ids) {
+            if v == self.source || self.sub.edges.contains(e) {
+                f(v);
+            }
+        }
+    }
+
+    fn degree_hint(&self, u: Node) -> usize {
+        self.sub.parent.degree(u)
+    }
+
+    fn contains_edge(&self, u: Node, v: Node) -> bool {
+        if u == self.source || v == self.source {
+            self.sub.parent.has_edge(u, v)
+        } else {
+            self.sub.has_edge(u, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_distances;
+
+    fn path5() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn edgeset_insert_remove_iter() {
+        let g = path5();
+        let mut s = EdgeSet::empty(&g);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        let ids: Vec<usize> = s.iter().collect();
+        assert_eq!(ids, vec![0, 3]);
+        assert!(s.remove(0));
+        assert!(!s.remove(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn edgeset_union() {
+        let g = path5();
+        let mut a = EdgeSet::empty(&g);
+        a.insert(0);
+        let mut b = EdgeSet::empty(&g);
+        b.insert(0);
+        b.insert(2);
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(0) && a.contains(2));
+    }
+
+    #[test]
+    fn full_edge_set_matches_parent() {
+        let g = path5();
+        let s = EdgeSet::full(&g);
+        assert_eq!(s.len(), g.m());
+        let sub = Subgraph::new(&g, s);
+        assert_eq!(sub.to_graph(), g);
+    }
+
+    #[test]
+    fn subgraph_adjacency_respects_selection() {
+        let g = path5();
+        let mut h = Subgraph::empty(&g);
+        h.add_edge(0, 1);
+        h.add_edge(2, 3);
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.has_edge(1, 0));
+        assert!(!h.has_edge(1, 2));
+        assert_eq!(h.neighbors_vec(1), vec![0]);
+        assert_eq!(h.neighbors_vec(2), vec![3]);
+        let edges: Vec<_> = h.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn adding_non_parent_edge_panics() {
+        let g = path5();
+        let mut h = Subgraph::empty(&g);
+        h.add_edge(0, 4);
+    }
+
+    #[test]
+    fn augmented_view_adds_source_edges_only() {
+        // G = path 0-1-2-3-4, H = only edge 3-4.
+        let g = path5();
+        let mut h = Subgraph::empty(&g);
+        h.add_edge(3, 4);
+        let h1 = h.augmented(1);
+        // From the source 1, both G-neighbors 0 and 2 are reachable.
+        assert_eq!(h1.neighbors_vec(1), vec![0, 2]);
+        // From 2, only the edge back to the source is added; 2-3 stays absent.
+        assert_eq!(h1.neighbors_vec(2), vec![1]);
+        // 3-4 is an H edge and remains available.
+        assert_eq!(h1.neighbors_vec(4), vec![3]);
+        assert!(h1.contains_edge(1, 2));
+        assert!(!h1.contains_edge(2, 3));
+        // Distances in H_1: d(1,2) = 1 but 3 unreachable (2-3 missing in H).
+        let d = bfs_distances(&h1, 1);
+        assert_eq!(d[2], Some(1));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn augmented_view_of_full_subgraph_equals_parent() {
+        let g = path5();
+        let h = Subgraph::full(&g);
+        let hu = h.augmented(0);
+        for u in g.nodes() {
+            assert_eq!(hu.neighbors_vec(u), g.neighbors(u).to_vec());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Erdős–Rényi random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// `G(n, p)`: each of the `n(n-1)/2` pairs is an edge independently with
+/// probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize);
+    if p >= 1.0 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge(i as Node, j as Node);
+            }
+        }
+        return b.build();
+    }
+    if p <= 0.0 {
+        return b.build();
+    }
+    // Geometric skipping: iterate only over selected pairs, O(n + m) expected.
+    let log_q = (1.0 - p).ln();
+    let mut i = 0usize;
+    let mut j = 0usize;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as usize + 1;
+        j += skip;
+        while j >= n {
+            i += 1;
+            if i >= n.saturating_sub(1) {
+                return b.build();
+            }
+            j = i + 1 + (j - n);
+        }
+        b.add_edge(i as Node, j as Node);
+    }
+}
+
+/// `G(n, m)`: exactly `m` distinct edges chosen uniformly at random.
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let max_m = n * n.saturating_sub(1) / 2;
+    assert!(m <= max_m, "requested {m} edges but only {max_m} possible");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as Node;
+        let v = rng.gen_range(0..n) as Node;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+/// A connected random graph: `G(n, p)` retried with increasing `p` until the
+/// result is connected (used by tests and benches that require connectivity).
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut p = p;
+    for attempt in 0..64 {
+        let g = gnp(n, p.min(1.0), seed.wrapping_add(attempt));
+        if crate::bfs::is_connected(&g) {
+            return g;
+        }
+        p = (p * 1.5).min(1.0);
+    }
+    // With p = 1 the graph is complete and always connected; unreachable in practice.
+    gnp(n, 1.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::is_connected;
+
+    #[test]
+    fn gnp_edge_count_is_plausible() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 42);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.m() as f64;
+        assert!(
+            (m - expected).abs() < 0.2 * expected,
+            "edge count {m} too far from expectation {expected}"
+        );
+        assert_eq!(g.n(), n);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).m(), 0);
+        assert_eq!(gnp(10, 1.0, 1).m(), 45);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(100, 0.1, 7);
+        let b = gnp(100, 0.1, 7);
+        let c = gnp(100, 0.1, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = gnm(50, 100, 3);
+        assert_eq!(g.m(), 100);
+        assert_eq!(g.n(), 50);
+        let full = gnm(6, 15, 3);
+        assert_eq!(full.m(), 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gnm_too_many_edges_panics() {
+        let _ = gnm(4, 10, 0);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        let g = gnp_connected(60, 0.02, 5);
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,12 @@
+//! Graph generators: structured families, Erdős–Rényi, unit-disk graphs.
+
+pub mod er;
+pub mod structured;
+pub mod udg;
+
+pub use er::{gnm, gnp, gnp_connected};
+pub use structured::{
+    barbell, binary_tree, caterpillar, complete_bipartite, complete_graph, cycle_graph, grid_graph,
+    hypercube_graph, path_graph, petersen, star_graph,
+};
+pub use udg::{poisson_udg, udg_from_points, udg_with_density, uniform_udg, UnitDiskInstance};

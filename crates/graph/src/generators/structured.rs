@@ -1,0 +1,260 @@
+//! Deterministic structured graph families used in tests and benchmarks.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Node};
+
+/// Path graph `0 - 1 - … - (n-1)`.
+pub fn path_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as Node, i as Node);
+    }
+    b.build()
+}
+
+/// Cycle graph on `n ≥ 3` nodes (for `n < 3` it degenerates to a path).
+pub fn cycle_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as Node, i as Node);
+    }
+    if n >= 3 {
+        b.add_edge((n - 1) as Node, 0);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i as Node, j as Node);
+        }
+    }
+    b.build()
+}
+
+/// Star graph: node 0 adjacent to every other node.
+pub fn star_graph(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i as Node);
+    }
+    b.build()
+}
+
+/// Complete bipartite graph `K_{a,b}`; the first `a` nodes form one side.
+pub fn complete_bipartite(a: usize, b: usize) -> CsrGraph {
+    let mut g = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            g.add_edge(i as Node, (a + j) as Node);
+        }
+    }
+    g.build()
+}
+
+/// `rows × cols` grid graph, node `(r, c)` has id `r * cols + c`.
+pub fn grid_graph(rows: usize, cols: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as Node;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube graph on `2^d` nodes.
+pub fn hypercube_graph(d: u32) -> CsrGraph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1usize << bit);
+            if v > u {
+                b.add_edge(u as Node, v as Node);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` nodes (heap numbering: children of `i` are
+/// `2i+1` and `2i+2`).
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for c in [2 * i + 1, 2 * i + 2] {
+            if c < n {
+                b.add_edge(i as Node, c as Node);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar: a path of `spine` nodes, each with `legs` pendant nodes.
+pub fn caterpillar(spine: usize, legs: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(spine * (1 + legs));
+    for i in 1..spine {
+        b.add_edge((i - 1) as Node, i as Node);
+    }
+    let mut next = spine;
+    for i in 0..spine {
+        for _ in 0..legs {
+            b.add_edge(i as Node, next as Node);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Barbell: two complete graphs `K_k` joined by a path of `bridge` edges.
+pub fn barbell(k: usize, bridge: usize) -> CsrGraph {
+    let n = 2 * k + bridge.saturating_sub(1);
+    let mut b = GraphBuilder::new(n.max(2 * k));
+    // left clique 0..k, right clique occupies the last k ids.
+    let right_base = (k + bridge.saturating_sub(1)) as Node;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i as Node, j as Node);
+            b.add_edge(right_base + i as Node, right_base + j as Node);
+        }
+    }
+    // bridge path between node k-1 (left) and right_base (right-most clique's first node)
+    let mut prev = (k - 1) as Node;
+    for step in 0..bridge {
+        let next = if step + 1 == bridge {
+            right_base
+        } else {
+            (k + step) as Node
+        };
+        b.add_edge(prev, next);
+        prev = next;
+    }
+    b.build()
+}
+
+/// The Petersen graph (3-regular, girth 5) — a useful fixed test instance.
+pub fn petersen() -> CsrGraph {
+    let outer: Vec<(Node, Node)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+    let inner: Vec<(Node, Node)> = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5)).collect();
+    let spokes: Vec<(Node, Node)> = (0..5).map(|i| (i, 5 + i)).collect();
+    let edges: Vec<(Node, Node)> = outer.into_iter().chain(inner).chain(spokes).collect();
+    CsrGraph::from_edges(10, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{eccentricity, is_connected};
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path_graph(5).m(), 4);
+        assert_eq!(cycle_graph(5).m(), 5);
+        assert_eq!(cycle_graph(2).m(), 1);
+        assert_eq!(cycle_graph(0).n(), 0);
+        assert!(is_connected(&cycle_graph(9)));
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let k5 = complete_graph(5);
+        assert_eq!(k5.m(), 10);
+        assert_eq!(k5.max_degree(), 4);
+        let s = star_graph(7);
+        assert_eq!(s.m(), 6);
+        assert_eq!(s.degree(0), 6);
+        assert_eq!(s.degree(3), 1);
+    }
+
+    #[test]
+    fn bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn grid_properties() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 4 * 2); // horizontal 3*3, vertical 4*2
+        assert_eq!(eccentricity(&g, 0), 3 + 2);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_is_regular() {
+        let g = hypercube_graph(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert_eq!(eccentricity(&g, 0), 4);
+    }
+
+    #[test]
+    fn binary_tree_is_a_tree() {
+        let g = binary_tree(15);
+        assert_eq!(g.m(), 14);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 + 8);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 3);
+        assert!(is_connected(&g));
+        // two K4 = 2*6 edges plus 3 bridge edges
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn petersen_is_three_regular_girth_five() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 3);
+        }
+        // no triangles and no 4-cycles: any two adjacent nodes share no common
+        // neighbor, any two non-adjacent nodes share exactly one.
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if v <= u {
+                    continue;
+                }
+                let common = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|w| g.neighbors(v).contains(w))
+                    .count();
+                if g.has_edge(u, v) {
+                    assert_eq!(common, 0);
+                } else {
+                    assert_eq!(common, 1);
+                }
+            }
+        }
+    }
+}

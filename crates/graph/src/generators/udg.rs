@@ -1,0 +1,244 @@
+//! Random unit-disk graphs (UDG).
+//!
+//! The paper's quantitative claims about `(1,0)`-remote-spanners (Theorem 2,
+//! `O(k^{2/3} n^{4/3} log n)` edges) are stated for the *unit disk graph of a
+//! uniform Poisson distribution of nodes in a fixed square*: nodes are points
+//! in the plane, and two nodes are adjacent iff their Euclidean distance is at
+//! most one unit.  This module provides exactly that model, plus the
+//! fixed-`n` uniform variant used when an exact node count is more convenient
+//! than a Poisson-distributed one.
+//!
+//! Neighbor finding uses a uniform grid of cell width equal to the radius, so
+//! generation is `O(n + m)` expected rather than `O(n²)`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Node};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated unit-disk instance: the graph together with the node positions
+/// that produced it (positions are needed by metric-aware baselines and by
+/// plotting examples).
+#[derive(Clone, Debug)]
+pub struct UnitDiskInstance {
+    /// The unit-disk graph.
+    pub graph: CsrGraph,
+    /// Node positions, `positions[v] = (x, y)`.
+    pub positions: Vec<(f64, f64)>,
+    /// Side length of the square the points were drawn in.
+    pub side: f64,
+    /// Connection radius (1.0 for a true "unit" disk graph).
+    pub radius: f64,
+}
+
+impl UnitDiskInstance {
+    /// Euclidean distance between two nodes' positions.
+    pub fn euclidean(&self, u: Node, v: Node) -> f64 {
+        let (ax, ay) = self.positions[u as usize];
+        let (bx, by) = self.positions[v as usize];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+/// Builds the unit-disk graph of an explicit point set.
+pub fn udg_from_points(points: &[(f64, f64)], radius: f64) -> CsrGraph {
+    assert!(radius > 0.0, "radius must be positive");
+    let n = points.len();
+    let mut b = GraphBuilder::new(n);
+    if n == 0 {
+        return b.build();
+    }
+    // Grid bucketing.
+    let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let cell = radius;
+    let key = |x: f64, y: f64| -> (i64, i64) {
+        (
+            ((x - min_x) / cell).floor() as i64,
+            ((y - min_y) / cell).floor() as i64,
+        )
+    };
+    let mut buckets: std::collections::HashMap<(i64, i64), Vec<usize>> =
+        std::collections::HashMap::with_capacity(n);
+    for (i, &(x, y)) in points.iter().enumerate() {
+        buckets.entry(key(x, y)).or_default().push(i);
+    }
+    let r2 = radius * radius;
+    for (i, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = key(x, y);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cands) = buckets.get(&(cx + dx, cy + dy)) {
+                    for &j in cands {
+                        if j <= i {
+                            continue;
+                        }
+                        let (ox, oy) = points[j];
+                        let d2 = (x - ox) * (x - ox) + (y - oy) * (y - oy);
+                        if d2 <= r2 {
+                            b.add_edge(i as Node, j as Node);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Uniform unit-disk graph: exactly `n` points uniform in a `side × side`
+/// square, connection radius `radius`.
+pub fn uniform_udg(n: usize, side: f64, radius: f64, seed: u64) -> UnitDiskInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    UnitDiskInstance {
+        graph: udg_from_points(&positions, radius),
+        positions,
+        side,
+        radius,
+    }
+}
+
+/// Poisson unit-disk graph, the model of the paper: the number of points is
+/// Poisson with mean `expected_n`, points are uniform in a `side × side`
+/// square, connection radius `radius`.
+pub fn poisson_udg(expected_n: f64, side: f64, radius: f64, seed: u64) -> UnitDiskInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = sample_poisson(expected_n, &mut rng);
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    UnitDiskInstance {
+        graph: udg_from_points(&positions, radius),
+        positions,
+        side,
+        radius,
+    }
+}
+
+/// A UDG with *controlled average degree*: `n` points in a square sized so
+/// that the expected number of neighbors of a typical node is
+/// `target_avg_degree`.  This is the standard way to grow `n` while keeping
+/// density fixed, which is what the `n^{4/3}` scaling claim assumes.
+pub fn udg_with_density(n: usize, target_avg_degree: f64, seed: u64) -> UnitDiskInstance {
+    assert!(target_avg_degree > 0.0);
+    // Expected neighbors of a node = (n - 1) * π r² / side².  With r = 1:
+    // side = sqrt((n - 1) π / target).
+    let side = (((n.saturating_sub(1)) as f64) * std::f64::consts::PI / target_avg_degree)
+        .sqrt()
+        .max(1.0);
+    uniform_udg(n, side, 1.0, seed)
+}
+
+/// Samples a Poisson random variate.  Uses Knuth's product method for small
+/// means and a normal approximation (rounded, clamped at 0) for large means,
+/// which is more than accurate enough for workload generation.
+fn sample_poisson<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 64.0 {
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation N(mean, mean).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = mean + z * mean.sqrt();
+        v.round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_points_adjacency() {
+        let pts = [(0.0, 0.0), (0.5, 0.0), (2.0, 0.0), (2.0, 0.9)];
+        let g = udg_from_points(&pts, 1.0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 2)); // distance 1.5
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn boundary_distance_is_included() {
+        let pts = [(0.0, 0.0), (1.0, 0.0)];
+        let g = udg_from_points(&pts, 1.0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn grid_bucketing_matches_brute_force() {
+        let inst = uniform_udg(300, 8.0, 1.0, 99);
+        let n = inst.positions.len();
+        let mut brute = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if inst.euclidean(i as Node, j as Node) <= 1.0 {
+                    brute.add_edge(i as Node, j as Node);
+                }
+            }
+        }
+        assert_eq!(inst.graph, brute.build());
+    }
+
+    #[test]
+    fn uniform_udg_is_deterministic() {
+        let a = uniform_udg(100, 5.0, 1.0, 3);
+        let b = uniform_udg(100, 5.0, 1.0, 3);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn poisson_udg_count_is_near_mean() {
+        let inst = poisson_udg(500.0, 10.0, 1.0, 11);
+        let n = inst.graph.n() as f64;
+        assert!(
+            (n - 500.0).abs() < 150.0,
+            "Poisson sample {n} too far from mean"
+        );
+    }
+
+    #[test]
+    fn poisson_small_mean_and_zero() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+        let samples: Vec<usize> = (0..2000).map(|_| sample_poisson(3.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.3, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn density_control_hits_target_degree() {
+        let inst = udg_with_density(1500, 12.0, 21);
+        let avg = inst.graph.avg_degree();
+        // Boundary effects push the average slightly below the target.
+        assert!(
+            avg > 12.0 * 0.6 && avg < 12.0 * 1.2,
+            "average degree {avg} too far from target 12"
+        );
+    }
+
+    #[test]
+    fn empty_point_set() {
+        let g = udg_from_points(&[], 1.0);
+        assert_eq!(g.n(), 0);
+    }
+}

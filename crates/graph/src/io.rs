@@ -1,0 +1,161 @@
+//! Plain-text graph I/O: an edge-list format for persisting generated
+//! workloads, and Graphviz DOT export for visualising small examples and
+//! spanners (used by the examples and handy when debugging experiments).
+
+use crate::csr::{CsrGraph, Node};
+use crate::edgeset::Subgraph;
+use std::str::FromStr;
+
+/// Serialises a graph as a plain edge list:
+///
+/// ```text
+/// # remote-spanners edge list
+/// n <num_nodes>
+/// <u> <v>
+/// …
+/// ```
+pub fn to_edge_list(graph: &CsrGraph) -> String {
+    let mut out = String::with_capacity(16 + graph.m() * 8);
+    out.push_str("# remote-spanners edge list\n");
+    out.push_str(&format!("n {}\n", graph.n()));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("{u} {v}\n"));
+    }
+    out
+}
+
+/// Errors produced when parsing an edge list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The `n <count>` header line is missing or malformed.
+    MissingHeader,
+    /// A data line did not contain two integers.
+    BadLine(usize),
+    /// An endpoint was out of range for the declared node count.
+    EndpointOutOfRange(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing or malformed `n <count>` header"),
+            ParseError::BadLine(l) => write!(f, "malformed edge on line {l}"),
+            ParseError::EndpointOutOfRange(l) => write!(f, "endpoint out of range on line {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the edge-list format written by [`to_edge_list`].
+pub fn from_edge_list(text: &str) -> Result<CsrGraph, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut edges: Vec<(Node, Node)> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("n ") {
+            n = Some(usize::from_str(rest.trim()).map_err(|_| ParseError::MissingHeader)?);
+            continue;
+        }
+        let n = n.ok_or(ParseError::MissingHeader)?;
+        let mut it = line.split_whitespace();
+        let (a, b) = match (it.next(), it.next(), it.next()) {
+            (Some(a), Some(b), None) => (a, b),
+            _ => return Err(ParseError::BadLine(idx + 1)),
+        };
+        let a = Node::from_str(a).map_err(|_| ParseError::BadLine(idx + 1))?;
+        let b = Node::from_str(b).map_err(|_| ParseError::BadLine(idx + 1))?;
+        if a as usize >= n || b as usize >= n {
+            return Err(ParseError::EndpointOutOfRange(idx + 1));
+        }
+        edges.push((a, b));
+    }
+    let n = n.ok_or(ParseError::MissingHeader)?;
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Graphviz DOT export of a graph, optionally highlighting a spanner
+/// sub-graph: spanner edges are drawn solid, dropped edges dashed and grey.
+pub fn to_dot(graph: &CsrGraph, spanner: Option<&Subgraph<'_>>, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{name}\" {{\n"));
+    out.push_str("  node [shape=circle, fontsize=10];\n");
+    for v in graph.nodes() {
+        out.push_str(&format!("  {v};\n"));
+    }
+    for e in 0..graph.m() {
+        let (u, v) = graph.edge_endpoints(e);
+        let in_spanner = spanner.map(|s| s.edge_set().contains(e)).unwrap_or(true);
+        if in_spanner {
+            out.push_str(&format!("  {u} -- {v};\n"));
+        } else {
+            out.push_str(&format!("  {u} -- {v} [style=dashed, color=gray];\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgeset::EdgeSet;
+    use crate::generators::structured::{cycle_graph, petersen};
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = petersen();
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn edge_list_roundtrip_with_isolated_nodes() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (3, 4)]);
+        let parsed = from_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(parsed, g);
+        assert_eq!(parsed.n(), 6);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(from_edge_list("0 1\n"), Err(ParseError::MissingHeader));
+        assert_eq!(from_edge_list(""), Err(ParseError::MissingHeader));
+        assert_eq!(from_edge_list("n 3\n0 1 2\n"), Err(ParseError::BadLine(2)));
+        assert_eq!(
+            from_edge_list("n 3\n0 7\n"),
+            Err(ParseError::EndpointOutOfRange(2))
+        );
+        assert_eq!(from_edge_list("n x\n"), Err(ParseError::MissingHeader));
+        let err = ParseError::BadLine(2).to_string();
+        assert!(err.contains("line 2"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = from_edge_list("# header\n\nn 4\n# edge below\n1 2\n").unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn dot_export_marks_spanner_edges() {
+        let g = cycle_graph(5);
+        let mut h = Subgraph::empty(&g);
+        h.add_edge(0, 1);
+        let dot = to_dot(&g, Some(&h), "c5");
+        assert!(dot.contains("graph \"c5\""));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("[style=dashed, color=gray]"));
+        // full graph: no dashed edges
+        let full = Subgraph::new(&g, EdgeSet::full(&g));
+        let dot_full = to_dot(&g, Some(&full), "c5");
+        assert!(!dot_full.contains("dashed"));
+        let dot_plain = to_dot(&g, None, "c5");
+        assert!(!dot_plain.contains("dashed"));
+    }
+}

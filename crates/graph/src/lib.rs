@@ -1,0 +1,46 @@
+//! # rspan-graph — graph substrate for the remote-spanners reproduction
+//!
+//! This crate provides the unweighted-graph machinery every other crate in
+//! the workspace builds on:
+//!
+//! * [`CsrGraph`] — a compressed-sparse-row undirected simple graph with
+//!   canonical edge ids (the representation of the input graph `G`),
+//! * [`EdgeSet`] / [`Subgraph`] / [`AugmentedSubgraph`] — spanner sub-graphs
+//!   `H ⊆ G` and the augmented views `H_u` from the remote-spanner
+//!   definition,
+//! * BFS and bounded BFS over any [`Adjacency`] view, balls `B_G(u, r)`,
+//!   rings and LOCAL-model neighborhood views,
+//! * all-pairs distance matrices (sequential and thread-parallel),
+//! * graph generators: structured families, Erdős–Rényi, and the random
+//!   unit-disk graphs the paper's quantitative claims are stated for,
+//! * statistics helpers (degree summaries, power-law slope fits) used by the
+//!   benchmark harnesses.
+
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod ball;
+pub mod bfs;
+pub mod builder;
+pub mod csr;
+pub mod distance;
+pub mod edgeset;
+pub mod generators;
+pub mod io;
+pub mod stats;
+
+pub use adjacency::Adjacency;
+pub use ball::{annulus, ball, local_view, ring, LocalView};
+pub use bfs::{
+    bfs_distances, bfs_distances_bounded, bfs_tree, bfs_tree_bounded, connected_components,
+    eccentricity, is_connected, multi_source_distances, num_components, pair_distance,
+    pair_distance_bounded, BfsTree,
+};
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, Node};
+pub use distance::{
+    all_pairs_distances, all_pairs_distances_parallel, DistanceMatrix, UNREACHABLE,
+};
+pub use edgeset::{AugmentedSubgraph, EdgeSet, Subgraph};
+pub use io::{from_edge_list, to_dot, to_edge_list, ParseError};
+pub use stats::{degree_stats, density, linear_fit, power_law_exponent, DegreeStats, LineFit};

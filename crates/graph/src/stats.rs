@@ -1,0 +1,193 @@
+//! Graph statistics and the small numeric helpers the benchmark harnesses use
+//! to report scaling exponents (log–log regression slopes).
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree Δ.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+    /// Standard deviation of the degree sequence.
+    pub std_dev: f64,
+}
+
+/// Computes degree statistics; returns zeros for the empty graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0.0,
+            std_dev: 0.0,
+        };
+    }
+    let mut degs: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    degs.sort_unstable();
+    let sum: usize = degs.iter().sum();
+    let mean = sum as f64 / n as f64;
+    let median = if n % 2 == 1 {
+        degs[n / 2] as f64
+    } else {
+        (degs[n / 2 - 1] + degs[n / 2]) as f64 / 2.0
+    };
+    let var = degs
+        .iter()
+        .map(|&d| {
+            let x = d as f64 - mean;
+            x * x
+        })
+        .sum::<f64>()
+        / n as f64;
+    DegreeStats {
+        min: degs[0],
+        max: *degs.last().unwrap(),
+        mean,
+        median,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Result of an ordinary least-squares line fit `y = slope * x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares fit of `y` against `x`.
+/// Panics if fewer than two points are provided.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LineFit {
+    assert_eq!(x.len(), y.len(), "mismatched sample lengths");
+    assert!(x.len() >= 2, "need at least two points to fit a line");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|&xi| (xi - mx) * (xi - mx)).sum();
+    let sxy: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| (xi - mx) * (yi - my))
+        .sum();
+    let syy: f64 = y.iter().map(|&yi| (yi - my) * (yi - my)).sum();
+    assert!(sxx > 0.0, "x values are all identical");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits a power law `y ≈ c · x^e` by regressing `ln y` on `ln x` and returns
+/// the estimated exponent `e` together with the fit quality.
+///
+/// This is how the benchmark harnesses check the paper's `n^{4/3}` and linear
+/// edge-count claims: generate a size sweep, fit, compare exponents.
+pub fn power_law_exponent(x: &[f64], y: &[f64]) -> LineFit {
+    assert!(
+        x.iter().all(|&v| v > 0.0) && y.iter().all(|&v| v > 0.0),
+        "power-law fit requires strictly positive samples"
+    );
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+/// Density of the graph: `m / (n choose 2)`, 0 for graphs with < 2 nodes.
+pub fn density(g: &CsrGraph) -> f64 {
+    let n = g.n();
+    if n < 2 {
+        return 0.0;
+    }
+    g.m() as f64 / (n as f64 * (n as f64 - 1.0) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured::{complete_graph, path_graph, star_graph};
+
+    #[test]
+    fn degree_stats_star() {
+        let s = degree_stats(&star_graph(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.median, 1.0);
+        assert!(s.std_dev > 0.0);
+    }
+
+    #[test]
+    fn degree_stats_regular_graph_has_zero_deviation() {
+        let s = degree_stats(&complete_graph(6));
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&crate::CsrGraph::empty(0));
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_constant_y() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert!(f.slope.abs() < 1e-12);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let x: Vec<f64> = (1..=10).map(|i| (i * 100) as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| 3.5 * v.powf(4.0 / 3.0)).collect();
+        let f = power_law_exponent(&x, &y);
+        assert!((f.slope - 4.0 / 3.0).abs() < 1e-9, "slope {}", f.slope);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic]
+    fn power_law_rejects_nonpositive() {
+        let _ = power_law_exponent(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn density_values() {
+        assert!((density(&complete_graph(5)) - 1.0).abs() < 1e-12);
+        assert!((density(&path_graph(5)) - 4.0 / 10.0).abs() < 1e-12);
+        assert_eq!(density(&crate::CsrGraph::empty(1)), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the graph substrate: CSR construction invariants,
+//! builder/IO round-trips, sub-graph views, BFS consistency and ball/ring
+//! algebra, on arbitrary random inputs.
+
+use proptest::prelude::*;
+use rspan_graph::{
+    all_pairs_distances, annulus, ball, bfs_distances, bfs_distances_bounded, bfs_tree,
+    connected_components, from_edge_list, is_connected, local_view, multi_source_distances,
+    num_components, pair_distance_bounded, ring, to_edge_list, CsrGraph, EdgeSet, GraphBuilder,
+    Node, Subgraph,
+};
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=22).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=70)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn builder_matches_from_edges(n in 1usize..=20, edges in proptest::collection::vec((0u32..20, 0u32..20), 0..50)) {
+        let filtered: Vec<(Node, Node)> = edges
+            .iter()
+            .copied()
+            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n)
+            .collect();
+        let direct = CsrGraph::from_edges(n, &filtered);
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(filtered.iter().copied());
+        prop_assert_eq!(direct, b.build());
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip(g in arb_graph()) {
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn bounded_bfs_agrees_with_unbounded(g in arb_graph(), s in 0u32..22, r in 0u32..6) {
+        let s = s % g.n() as Node;
+        let full = bfs_distances(&g, s);
+        let bounded = bfs_distances_bounded(&g, s, r);
+        for v in g.nodes() {
+            match full[v as usize] {
+                Some(d) if d <= r => prop_assert_eq!(bounded[v as usize], Some(d)),
+                _ => prop_assert_eq!(bounded[v as usize], None),
+            }
+        }
+        // pair_distance_bounded agrees with the same truncation rule.
+        for v in g.nodes() {
+            let expect = full[v as usize].filter(|&d| d <= r);
+            prop_assert_eq!(pair_distance_bounded(&g, s, v, r), expect);
+        }
+    }
+
+    #[test]
+    fn bfs_tree_paths_have_length_equal_to_distance(g in arb_graph(), s in 0u32..22) {
+        let s = s % g.n() as Node;
+        let t = bfs_tree(&g, s);
+        for v in g.nodes() {
+            match t.distance(v) {
+                Some(d) => {
+                    let path = t.path_to(v).unwrap();
+                    prop_assert_eq!(path.len() as u32 - 1, d);
+                    prop_assert_eq!(path[0], s);
+                    prop_assert_eq!(*path.last().unwrap(), v);
+                    for w in path.windows(2) {
+                        prop_assert!(g.has_edge(w[0], w[1]));
+                    }
+                }
+                None => prop_assert!(t.path_to(v).is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn ball_ring_annulus_partition(g in arb_graph(), s in 0u32..22, r in 0u32..5) {
+        let s = s % g.n() as Node;
+        let b = ball(&g, s, r);
+        // The ball is the disjoint union of the rings 0..=r.
+        let mut from_rings: Vec<Node> = (0..=r).flat_map(|i| ring(&g, s, i)).collect();
+        from_rings.sort_unstable();
+        prop_assert_eq!(&b, &from_rings);
+        if r >= 1 {
+            let mut ann = annulus(&g, s, 1, r);
+            ann.sort_unstable();
+            let mut expect: Vec<Node> = b.iter().copied().filter(|&v| v != s).collect();
+            // the ball always contains s at distance 0; the annulus [1, r] drops it
+            expect.sort_unstable();
+            prop_assert_eq!(ann, expect);
+        }
+    }
+
+    #[test]
+    fn components_are_consistent_with_connectivity(g in arb_graph()) {
+        let comp = connected_components(&g);
+        prop_assert_eq!(comp.len(), g.n());
+        let d = all_pairs_distances(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(comp[u as usize] == comp[v as usize], d.get(u, v).is_some());
+            }
+        }
+        prop_assert_eq!(num_components(&g) <= 1, is_connected(&g) || g.n() == 0);
+    }
+
+    #[test]
+    fn multi_source_is_min_of_single_sources(g in arb_graph(), picks in proptest::collection::vec(0u32..22, 1..4)) {
+        let sources: Vec<Node> = picks.iter().map(|&p| p % g.n() as Node).collect();
+        let multi = multi_source_distances(&g, &sources);
+        let singles: Vec<Vec<Option<u32>>> = sources.iter().map(|&s| bfs_distances(&g, s)).collect();
+        for v in g.nodes() {
+            let best = singles.iter().filter_map(|d| d[v as usize]).min();
+            prop_assert_eq!(multi[v as usize], best);
+        }
+    }
+
+    #[test]
+    fn subgraph_distances_never_shrink(g in arb_graph(), bits in proptest::collection::vec(any::<bool>(), 0..70), s in 0u32..22) {
+        let s = s % g.n() as Node;
+        let mut set = EdgeSet::empty(&g);
+        for (e, keep) in (0..g.m()).zip(bits.iter()) {
+            if *keep {
+                set.insert(e);
+            }
+        }
+        let h = Subgraph::new(&g, set);
+        let dg = bfs_distances(&g, s);
+        let dh = bfs_distances(&h, s);
+        for v in g.nodes() {
+            match (dg[v as usize], dh[v as usize]) {
+                (Some(a), Some(b)) => prop_assert!(b >= a),
+                (None, Some(_)) => prop_assert!(false, "subgraph reached a node the graph cannot"),
+                _ => {}
+            }
+        }
+        // The augmented view sits between H and G.
+        let da = bfs_distances(&h.augmented(s), s);
+        for v in g.nodes() {
+            if let Some(b) = dh[v as usize] {
+                prop_assert!(da[v as usize].unwrap() <= b);
+            }
+            if let Some(a) = da[v as usize] {
+                prop_assert!(a >= dg[v as usize].unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn local_view_preserves_in_radius_distances(g in arb_graph(), c in 0u32..22, r in 1u32..4) {
+        let c = c % g.n() as Node;
+        let view = local_view(&g, c, r);
+        let global = bfs_distances(&g, c);
+        let local = bfs_distances(&view.graph, view.center_local());
+        for (l, &gid) in view.local_to_global.iter().enumerate() {
+            let dg = global[gid as usize].unwrap();
+            if dg <= r {
+                prop_assert_eq!(local[l], Some(dg));
+            }
+        }
+        // Every node within r appears in the view.
+        for v in g.nodes() {
+            if matches!(global[v as usize], Some(d) if d <= r) {
+                prop_assert!(view.global_to_local(v).is_some());
+            }
+        }
+    }
+}

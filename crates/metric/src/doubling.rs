@@ -1,0 +1,112 @@
+//! Empirical doubling-dimension estimation.
+//!
+//! A metric has doubling dimension `p` if every ball of radius `R` can be
+//! covered by at most `2^p` balls of radius `R/2`.  The exact doubling
+//! dimension is NP-hard to compute, but a greedy cover gives an upper bound
+//! that is good enough to *report* alongside experiments (the paper's bounds
+//! are parameterised by `p`, so EXPERIMENTS.md records the estimate for every
+//! generated instance).
+
+use crate::metric::Metric;
+
+/// Greedy estimate (upper bound) of the doubling constant: the largest number
+/// of greedily-chosen `R/2`-balls needed to cover any probed `R`-ball.
+///
+/// `probes` limits how many centers/radii are examined, keeping the cost
+/// manageable on large point sets; `probes = 0` examines every point.
+pub fn doubling_constant_estimate<M: Metric + ?Sized>(metric: &M, probes: usize) -> usize {
+    let n = metric.len();
+    if n <= 1 {
+        return 1;
+    }
+    let step = if probes == 0 || probes >= n {
+        1
+    } else {
+        n / probes
+    };
+    let mut worst = 1usize;
+    for center in (0..n).step_by(step.max(1)) {
+        // Radii probed: quartiles of the distance distribution from `center`.
+        let mut dists: Vec<f64> = (0..n)
+            .filter(|&j| j != center)
+            .map(|j| metric.distance(center, j))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [n / 4, n / 2, 3 * n / 4, n - 2] {
+            let radius = dists[q.min(dists.len() - 1)];
+            if radius <= 0.0 {
+                continue;
+            }
+            let cover = greedy_half_cover(metric, center, radius);
+            worst = worst.max(cover);
+        }
+    }
+    worst
+}
+
+/// Estimated doubling dimension `p = ceil(log2(doubling constant))`.
+pub fn doubling_dimension_estimate<M: Metric + ?Sized>(metric: &M, probes: usize) -> u32 {
+    let c = doubling_constant_estimate(metric, probes);
+    (c as f64).log2().ceil().max(0.0) as u32
+}
+
+/// Number of greedily chosen `radius/2` balls needed to cover the ball
+/// `B(center, radius)`.
+fn greedy_half_cover<M: Metric + ?Sized>(metric: &M, center: usize, radius: f64) -> usize {
+    let members: Vec<usize> = (0..metric.len())
+        .filter(|&j| metric.distance(center, j) <= radius)
+        .collect();
+    let half = radius / 2.0;
+    let mut covered = vec![false; members.len()];
+    let mut balls = 0usize;
+    loop {
+        // Pick an uncovered member as the next ball center (greedy net).
+        let next = match covered.iter().position(|&c| !c) {
+            Some(i) => members[i],
+            None => break,
+        };
+        balls += 1;
+        for (idx, &m) in members.iter().enumerate() {
+            if !covered[idx] && metric.distance(next, m) <= half {
+                covered[idx] = true;
+            }
+        }
+    }
+    balls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::EuclideanMetric;
+    use crate::poisson::{curve_points, uniform_points};
+
+    #[test]
+    fn single_point_has_trivial_constant() {
+        let m = EuclideanMetric::new(uniform_points(1, 2, 1.0, 0));
+        assert_eq!(doubling_constant_estimate(&m, 0), 1);
+        let empty = EuclideanMetric::new(vec![]);
+        assert_eq!(doubling_constant_estimate(&empty, 0), 1);
+    }
+
+    #[test]
+    fn plane_points_have_small_dimension() {
+        let m = EuclideanMetric::new(uniform_points(300, 2, 10.0, 4));
+        let p = doubling_dimension_estimate(&m, 20);
+        // The doubling dimension of the plane is 2; greedy covers give a
+        // constant ≤ 7²-ish in the worst case, so the estimate stays small.
+        assert!(p >= 1 && p <= 6, "estimated dimension {p}");
+    }
+
+    #[test]
+    fn curve_has_lower_dimension_than_ambient_cube() {
+        let curve = EuclideanMetric::new(curve_points(300, 4, 100.0, 0.05, 7));
+        let cube = EuclideanMetric::new(uniform_points(300, 4, 6.0, 7));
+        let pc = doubling_constant_estimate(&curve, 20);
+        let pq = doubling_constant_estimate(&cube, 20);
+        assert!(
+            pc < pq,
+            "curve constant {pc} should be below cube constant {pq}"
+        );
+    }
+}

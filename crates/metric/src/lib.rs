@@ -1,0 +1,23 @@
+//! # rspan-metric — metric-space substrate
+//!
+//! Generates the inputs over which the paper states its quantitative bounds:
+//! unit-ball graphs of doubling metrics (Theorems 1 and 3) and the point
+//! processes behind random unit-disk graphs (Theorem 2).  The algorithms under
+//! test never see the metric — only the graph — matching the paper's
+//! "distances in the underlying metric are unknown" setting; this crate exists
+//! to build workloads and to report instance properties (e.g. estimated
+//! doubling dimension) in experiments.
+
+#![warn(missing_docs)]
+
+pub mod doubling;
+pub mod metric;
+pub mod point;
+pub mod poisson;
+pub mod unitball;
+
+pub use doubling::{doubling_constant_estimate, doubling_dimension_estimate};
+pub use metric::{ChebyshevMetric, EuclideanMetric, ExplicitMetric, Metric, TorusMetric};
+pub use point::Point;
+pub use poisson::{curve_points, poisson_points, sample_poisson, uniform_points};
+pub use unitball::{unit_ball_graph, unit_ball_instance, UnitBallInstance};

@@ -1,0 +1,233 @@
+//! The [`Metric`] abstraction: a distance function over an indexed point set.
+//!
+//! Theorems 1 and 3 of the paper are stated for the *unit ball graph of a
+//! doubling metric*: nodes are points of a metric space, two nodes are
+//! adjacent iff their metric distance is at most 1, and any metric ball of
+//! radius `R` can be covered by `2^p` balls of radius `R/2` (doubling
+//! dimension `p`).  Crucially the algorithms never see the metric — only the
+//! graph — so the metric lives in this substrate crate purely to *generate*
+//! inputs and to *measure* doubling dimension in experiments.
+
+use crate::point::Point;
+
+/// A finite metric space over points indexed `0..len()`.
+pub trait Metric {
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Distance between points `i` and `j`.  Must be symmetric, zero on the
+    /// diagonal and satisfy the triangle inequality.
+    fn distance(&self, i: usize, j: usize) -> f64;
+
+    /// Whether the space is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Euclidean metric over an explicit point set in `R^d`.
+#[derive(Clone, Debug)]
+pub struct EuclideanMetric {
+    points: Vec<Point>,
+}
+
+impl EuclideanMetric {
+    /// Wraps a point set.  All points must share one dimension.
+    pub fn new(points: Vec<Point>) -> Self {
+        if let Some(first) = points.first() {
+            let d = first.dim();
+            assert!(
+                points.iter().all(|p| p.dim() == d),
+                "all points must have the same dimension"
+            );
+        }
+        EuclideanMetric { points }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Dimension of the ambient space (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.points.first().map(|p| p.dim()).unwrap_or(0)
+    }
+}
+
+impl Metric for EuclideanMetric {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.points[i].euclidean(&self.points[j])
+    }
+}
+
+/// Euclidean metric on a flat torus (`[0, side)^d` with wrap-around).
+///
+/// The torus removes boundary effects, which makes measured edge-count
+/// scaling cleaner; the doubling dimension is unchanged.
+#[derive(Clone, Debug)]
+pub struct TorusMetric {
+    points: Vec<Point>,
+    side: f64,
+}
+
+impl TorusMetric {
+    /// Wraps a point set living in `[0, side)^d`.
+    pub fn new(points: Vec<Point>, side: f64) -> Self {
+        assert!(side > 0.0);
+        if let Some(first) = points.first() {
+            let d = first.dim();
+            assert!(points.iter().all(|p| p.dim() == d));
+        }
+        TorusMetric { points, side }
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Side length of the torus.
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+}
+
+impl Metric for TorusMetric {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        let a = &self.points[i];
+        let b = &self.points[j];
+        a.coords()
+            .iter()
+            .zip(b.coords())
+            .map(|(&x, &y)| {
+                let d = (x - y).abs();
+                let d = d.min(self.side - d);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// L∞ (Chebyshev) metric over an explicit point set — a different doubling
+/// metric over the same points, used to check that the algorithms do not
+/// secretly depend on Euclidean geometry.
+#[derive(Clone, Debug)]
+pub struct ChebyshevMetric {
+    points: Vec<Point>,
+}
+
+impl ChebyshevMetric {
+    /// Wraps a point set.
+    pub fn new(points: Vec<Point>) -> Self {
+        ChebyshevMetric { points }
+    }
+}
+
+impl Metric for ChebyshevMetric {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.points[i].chebyshev(&self.points[j])
+    }
+}
+
+/// An explicit (dense) metric given by a symmetric distance matrix.
+/// Used in tests to construct adversarial metrics directly.
+#[derive(Clone, Debug)]
+pub struct ExplicitMetric {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl ExplicitMetric {
+    /// Builds from a full `n × n` row-major distance matrix.
+    /// Panics if the matrix is not symmetric or has a non-zero diagonal.
+    pub fn new(n: usize, dist: Vec<f64>) -> Self {
+        assert_eq!(dist.len(), n * n);
+        for i in 0..n {
+            assert_eq!(dist[i * n + i], 0.0, "non-zero diagonal at {i}");
+            for j in 0..n {
+                assert!(
+                    (dist[i * n + j] - dist[j * n + i]).abs() < 1e-12,
+                    "asymmetric at ({i}, {j})"
+                );
+            }
+        }
+        ExplicitMetric { n, dist }
+    }
+}
+
+impl Metric for ExplicitMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_metric_basics() {
+        let m = EuclideanMetric::new(vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0)]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.dim(), 2);
+        assert!((m.distance(0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(m.distance(1, 1), 0.0);
+    }
+
+    #[test]
+    fn torus_wraps_around() {
+        let m = TorusMetric::new(vec![Point::xy(0.1, 0.0), Point::xy(9.9, 0.0)], 10.0);
+        assert!((m.distance(0, 1) - 0.2).abs() < 1e-12);
+        assert!(m.side() > 0.0);
+    }
+
+    #[test]
+    fn chebyshev_metric() {
+        let m = ChebyshevMetric::new(vec![Point::xy(0.0, 0.0), Point::xy(0.5, 0.9)]);
+        assert!((m.distance(0, 1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_metric_checks_symmetry() {
+        let m = ExplicitMetric::new(2, vec![0.0, 3.0, 3.0, 0.0]);
+        assert_eq!(m.distance(0, 1), 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn explicit_metric_rejects_asymmetry() {
+        let _ = ExplicitMetric::new(2, vec![0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_metric() {
+        let m = EuclideanMetric::new(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.dim(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_dimension_points_rejected() {
+        let _ = EuclideanMetric::new(vec![Point::xy(0.0, 0.0), Point::xyz(0.0, 0.0, 0.0)]);
+    }
+}

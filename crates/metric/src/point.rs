@@ -1,0 +1,116 @@
+//! Points in `R^d`.
+
+/// A point in `R^d`, stored as a small owned vector of coordinates.
+///
+/// The dimension is carried by the data rather than the type so that the
+/// benchmark harnesses can sweep over dimensions (doubling dimension `p`
+/// grows with `d`) without monomorphising every algorithm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        assert!(
+            !coords.is_empty(),
+            "points must have at least one coordinate"
+        );
+        Point { coords }
+    }
+
+    /// A 2-D point.
+    pub fn xy(x: f64, y: f64) -> Self {
+        Point { coords: vec![x, y] }
+    }
+
+    /// A 3-D point.
+    pub fn xyz(x: f64, y: f64, z: f64) -> Self {
+        Point {
+            coords: vec![x, y, z],
+        }
+    }
+
+    /// Dimension of the point.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Coordinate `i`.
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// All coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Euclidean (L2) distance to another point of the same dimension.
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Chebyshev (L∞) distance to another point of the same dimension.
+    pub fn chebyshev(&self, other: &Point) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Manhattan (L1) distance to another point of the same dimension.
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(3.0, 4.0);
+        assert!((a.euclidean(&b) - 5.0).abs() < 1e-12);
+        assert!((a.chebyshev(&b) - 4.0).abs() < 1e-12);
+        assert!((a.manhattan(&b) - 7.0).abs() < 1e-12);
+        assert_eq!(a.dim(), 2);
+        assert_eq!(b.coord(1), 4.0);
+    }
+
+    #[test]
+    fn three_d_and_generic() {
+        let a = Point::xyz(1.0, 1.0, 1.0);
+        let b = Point::new(vec![1.0, 1.0, 2.0]);
+        assert!((a.euclidean(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(b.coords(), &[1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let _ = Point::xy(0.0, 0.0).euclidean(&Point::xyz(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_point_panics() {
+        let _ = Point::new(vec![]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Poisson point processes and uniform point sampling in `[0, side]^d`.
+
+use crate::point::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `n` points uniformly at random in the cube `[0, side]^d`.
+pub fn uniform_points(n: usize, dim: usize, side: f64, seed: u64) -> Vec<Point> {
+    assert!(dim >= 1);
+    assert!(side > 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.gen_range(0.0..side)).collect()))
+        .collect()
+}
+
+/// Samples a homogeneous Poisson point process of the given `intensity`
+/// (expected points per unit volume) in the cube `[0, side]^d`.
+pub fn poisson_points(intensity: f64, dim: usize, side: f64, seed: u64) -> Vec<Point> {
+    assert!(intensity >= 0.0);
+    let volume = side.powi(dim as i32);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = sample_poisson(intensity * volume, &mut rng);
+    (0..n)
+        .map(|_| Point::new((0..dim).map(|_| rng.gen_range(0.0..side)).collect()))
+        .collect()
+}
+
+/// Samples points on a lower-dimensional manifold embedded in `R^dim`
+/// (a noisy 1-D curve), giving a point set whose doubling dimension is well
+/// below the ambient dimension.  Used to exercise the "doubling metric, not
+/// just R²" generality of Theorems 1 and 3.
+pub fn curve_points(n: usize, dim: usize, length: f64, noise: f64, seed: u64) -> Vec<Point> {
+    assert!(dim >= 2);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let t = length * (i as f64 + rng.gen_range(0.0..1.0)) / n as f64;
+            let mut coords = vec![0.0; dim];
+            coords[0] = t;
+            for c in coords.iter_mut().skip(1) {
+                *c = rng.gen_range(-noise..=noise);
+            }
+            Point::new(coords)
+        })
+        .collect()
+}
+
+/// Samples a Poisson variate (Knuth for small means, normal approximation for
+/// large means).
+pub fn sample_poisson<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    assert!(mean >= 0.0);
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean < 64.0 {
+        let l = (-mean).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mean + z * mean.sqrt()).round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_in_range() {
+        let pts = uniform_points(200, 3, 5.0, 1);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert_eq!(p.dim(), 3);
+            for i in 0..3 {
+                assert!((0.0..=5.0).contains(&p.coord(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic() {
+        assert_eq!(uniform_points(10, 2, 1.0, 7), uniform_points(10, 2, 1.0, 7));
+    }
+
+    #[test]
+    fn poisson_count_tracks_intensity_times_volume() {
+        let pts = poisson_points(2.0, 2, 20.0, 9); // expect 800
+        let n = pts.len() as f64;
+        assert!((n - 800.0).abs() < 200.0, "got {n}");
+    }
+
+    #[test]
+    fn poisson_zero_intensity() {
+        assert!(poisson_points(0.0, 2, 10.0, 1).is_empty());
+    }
+
+    #[test]
+    fn curve_points_stay_near_axis() {
+        let pts = curve_points(100, 4, 50.0, 0.1, 3);
+        assert_eq!(pts.len(), 100);
+        for p in &pts {
+            assert_eq!(p.dim(), 4);
+            for i in 1..4 {
+                assert!(p.coord(i).abs() <= 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let big: Vec<usize> = (0..500).map(|_| sample_poisson(200.0, &mut rng)).collect();
+        let mean = big.iter().sum::<usize>() as f64 / big.len() as f64;
+        assert!((mean - 200.0).abs() < 10.0, "mean {mean}");
+    }
+}

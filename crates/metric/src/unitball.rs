@@ -1,0 +1,105 @@
+//! Unit-ball graphs of a metric.
+//!
+//! Two points are adjacent iff their metric distance is at most `radius`
+//! (1 by convention).  The output deliberately *discards* the metric: the
+//! paper's algorithms receive only the graph, matching its "distances in the
+//! underlying metric are unknown" setting.
+
+use crate::metric::Metric;
+use rspan_graph::{CsrGraph, GraphBuilder, Node};
+
+/// A generated unit-ball instance: the graph plus the metric distances that
+/// produced it (kept only for experiment reporting, never shown to the
+/// algorithms under test).
+#[derive(Clone, Debug)]
+pub struct UnitBallInstance {
+    /// The unit-ball graph.
+    pub graph: CsrGraph,
+    /// Connection radius used.
+    pub radius: f64,
+}
+
+/// Builds the unit-ball graph of `metric` with connection radius `radius`.
+///
+/// This is the generic `O(n²)` construction; for Euclidean point sets in the
+/// plane prefer [`rspan_graph::generators::udg_from_points`], which uses grid
+/// bucketing.
+pub fn unit_ball_graph<M: Metric + ?Sized>(metric: &M, radius: f64) -> CsrGraph {
+    assert!(radius > 0.0);
+    let n = metric.len();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if metric.distance(i, j) <= radius {
+                b.add_edge(i as Node, j as Node);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds a [`UnitBallInstance`] (graph + provenance) from a metric.
+pub fn unit_ball_instance<M: Metric + ?Sized>(metric: &M, radius: f64) -> UnitBallInstance {
+    UnitBallInstance {
+        graph: unit_ball_graph(metric, radius),
+        radius,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{EuclideanMetric, ExplicitMetric, TorusMetric};
+    use crate::point::Point;
+
+    #[test]
+    fn euclidean_unit_ball_graph() {
+        let m = EuclideanMetric::new(vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(0.8, 0.0),
+            Point::xy(1.9, 0.0),
+        ]);
+        let g = unit_ball_graph(&m, 1.0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2)); // distance 1.1
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn matches_udg_generator_on_plane_points() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(12);
+        let pts: Vec<(f64, f64)> = (0..150)
+            .map(|_| (rng.gen_range(0.0..6.0), rng.gen_range(0.0..6.0)))
+            .collect();
+        let metric_points: Vec<Point> = pts.iter().map(|&(x, y)| Point::xy(x, y)).collect();
+        let g1 = unit_ball_graph(&EuclideanMetric::new(metric_points), 1.0);
+        let g2 = rspan_graph::generators::udg_from_points(&pts, 1.0);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn torus_unit_ball_wraps() {
+        let m = TorusMetric::new(vec![Point::xy(0.2, 0.0), Point::xy(9.9, 0.0)], 10.0);
+        let g = unit_ball_graph(&m, 1.0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn explicit_metric_threshold() {
+        let m = ExplicitMetric::new(3, vec![0.0, 1.0, 2.0, 1.0, 0.0, 0.5, 2.0, 0.5, 0.0]);
+        let g = unit_ball_graph(&m, 1.0);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn instance_carries_radius() {
+        let m = EuclideanMetric::new(vec![Point::xy(0.0, 0.0)]);
+        let inst = unit_ball_instance(&m, 2.0);
+        assert_eq!(inst.radius, 2.0);
+        assert_eq!(inst.graph.n(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Reproduction of Figure 1 of the paper (experiment E2).
+//!
+//! Figure 1 shows (a) a small unit-disk graph, (b) a `(1, 0)`-remote-spanner
+//! of it, (c) a `(2, −1)`-remote-spanner, and (d) a 2-connecting
+//! `(2, −1)`-remote-spanner, together with the caption's distance claims
+//! (`d_{H_u}(u, x) = 2 = d_G(u, x)`, `d_{H_u}(u, v) = 3 ≤ 2·d_G(u, v) − 1`,
+//! two disjoint length-3 paths from `u` to `v`).  The paper gives only a
+//! schematic drawing, so the coordinates below are a reconstruction of its
+//! combinatorial structure: `u` and `v` a few hops apart through a middle
+//! cluster, with two vertex-disjoint routes between them.
+//!
+//! Run with `cargo run --release --example figure1`.
+
+use remote_spanners::core::verify_k_connecting;
+use remote_spanners::graph::pair_distance;
+use remote_spanners::prelude::*;
+
+/// Node labels used when printing, mirroring the figure.
+const LABELS: [&str; 8] = ["u", "y", "x", "v", "y'", "x'", "z", "w"];
+
+fn main() {
+    // Reconstructed layout (unit-disk radius 1):
+    //   u (0,0) — y (0.9, 0.35) — x (1.8, 0.35) — v (2.7, 0.0)
+    //             y' (0.9,-0.35) — x' (1.8,-0.35)
+    //   z (1.35, 1.1) an extra node above the cluster, w (3.4, 0.3) beyond v.
+    let positions = [
+        (0.0, 0.0),   // u
+        (0.9, 0.35),  // y
+        (1.8, 0.35),  // x
+        (2.7, 0.0),   // v
+        (0.9, -0.35), // y'
+        (1.8, -0.35), // x'
+        (1.35, 1.1),  // z
+        (3.4, 0.3),   // w
+    ];
+    let graph = remote_spanners::graph::generators::udg_from_points(&positions, 1.0);
+    let (u, x, v) = (0u32, 2u32, 3u32);
+
+    println!(
+        "(a) unit-disk graph G: {} nodes, {} edges",
+        graph.n(),
+        graph.m()
+    );
+    print_edges(&Subgraph::full(&graph));
+    let d_uv = pair_distance(&graph, u, v).expect("u and v are connected");
+    println!(
+        "    d_G(u, v) = {d_uv},  d_G(u, x) = {}",
+        pair_distance(&graph, u, x).unwrap()
+    );
+
+    // (b) a (1, 0)-remote-spanner: Theorem 2 with k = 1.
+    let b = exact_remote_spanner(&graph);
+    println!(
+        "\n(b) (1,0)-remote-spanner H^b: {} of {} edges",
+        b.num_edges(),
+        graph.m()
+    );
+    print_edges(&b.spanner);
+    let d_hu_ux = distance_in_augmented(&b.spanner, u, x);
+    println!(
+        "    d_{{H_u}}(u, x) = {d_hu_ux}  (= d_G(u, x) = {}, as in the caption)",
+        pair_distance(&graph, u, x).unwrap()
+    );
+    assert_eq!(d_hu_ux, pair_distance(&graph, u, x).unwrap());
+    assert!(verify_remote_stretch(&b.spanner, &b.guarantee).holds());
+
+    // (c) a (2, −1)-remote-spanner: Theorem 1 with ε = 1 (radius-2 MIS trees).
+    let c = epsilon_remote_spanner(&graph, 1.0);
+    println!(
+        "\n(c) (2,-1)-remote-spanner H^c: {} of {} edges",
+        c.num_edges(),
+        graph.m()
+    );
+    print_edges(&c.spanner);
+    let d_hu_uv = distance_in_augmented(&c.spanner, u, v);
+    println!(
+        "    d_{{H_u}}(u, v) = {d_hu_uv}  (caption: at most 2·d_G(u, v) − 1 = {})",
+        2 * d_uv - 1
+    );
+    assert!(d_hu_uv <= 2 * d_uv - 1);
+    assert!(verify_remote_stretch(&c.spanner, &c.guarantee).holds());
+
+    // (d) a 2-connecting (2, −1)-remote-spanner: Theorem 3.
+    let d = two_connecting_remote_spanner(&graph);
+    println!(
+        "\n(d) 2-connecting (2,-1)-remote-spanner H^d: {} of {} edges",
+        d.num_edges(),
+        graph.m()
+    );
+    print_edges(&d.spanner);
+    let view = d.spanner.augmented(u);
+    let paths =
+        min_sum_disjoint_paths(&view, u, v, 2).expect("H^d_u must contain two disjoint u-v paths");
+    println!(
+        "    two disjoint u→v paths in H^d_u of total length {}:",
+        paths.total_length
+    );
+    for p in &paths.paths {
+        println!(
+            "      {}",
+            p.iter()
+                .map(|&n| LABELS[n as usize])
+                .collect::<Vec<_>>()
+                .join(" → ")
+        );
+    }
+    let dk_g = dk_distance(&graph, u, v, 2).expect("u and v are 2-connected in G");
+    assert!(
+        paths.total_length as f64 <= 2.0 * dk_g as f64 - 2.0,
+        "2-connecting stretch violated: {} > 2·{} − 2",
+        paths.total_length,
+        dk_g
+    );
+    assert!(verify_k_connecting(&d.spanner, &d.guarantee).holds());
+    println!("\nall Figure 1 caption properties verified ✔");
+}
+
+fn print_edges(h: &Subgraph<'_>) {
+    let mut edges: Vec<String> = h
+        .edges()
+        .map(|(a, b)| format!("{}–{}", LABELS[a as usize], LABELS[b as usize]))
+        .collect();
+    edges.sort();
+    println!("    edges: {}", edges.join(", "));
+}
+
+fn distance_in_augmented(h: &Subgraph<'_>, source: Node, target: Node) -> u32 {
+    let view = h.augmented(source);
+    pair_distance(&view, source, target).expect("pair is connected in the augmented view")
+}

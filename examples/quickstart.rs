@@ -1,0 +1,79 @@
+//! Quickstart: build a random ad-hoc network, construct the paper's three
+//! remote-spanner families, and verify each against its stretch guarantee.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use remote_spanners::prelude::*;
+
+fn main() {
+    // The paper's network model: a random unit-disk graph (nodes are radios in
+    // a square, links exist within unit range).
+    let n = 400;
+    let instance = udg_with_density(n, 12.0, 42);
+    let graph = &instance.graph;
+    println!(
+        "input graph: {} nodes, {} edges, max degree {}",
+        graph.n(),
+        graph.m(),
+        graph.max_degree()
+    );
+    println!();
+
+    // --- Theorem 2, k = 1: (1, 0)-remote-spanner (exact distances). ---------
+    let exact = exact_remote_spanner(graph);
+    report("Theorem 2 (k=1)", &exact);
+
+    // --- Theorem 2, k = 2: 2-connecting (1, 0)-remote-spanner. --------------
+    let kconn = k_connecting_remote_spanner(graph, 2);
+    report("Theorem 2 (k=2)", &kconn);
+
+    // --- Theorem 1: (1 + ε, 1 − 2ε)-remote-spanner with ε = 1/2. ------------
+    let eps = epsilon_remote_spanner(graph, 0.5);
+    report("Theorem 1 (ε=1/2)", &eps);
+
+    // --- Theorem 3: 2-connecting (2, −1)-remote-spanner. --------------------
+    let two = two_connecting_remote_spanner(graph);
+    report("Theorem 3", &two);
+
+    // --- Baseline: what plain link-state routing advertises. ----------------
+    let full = full_topology(graph);
+    println!(
+        "baseline full topology: {} edges ({:.2} advertised per node)",
+        full.num_edges(),
+        2.0 * full.num_edges() as f64 / graph.n() as f64
+    );
+}
+
+fn report(label: &str, built: &BuiltSpanner<'_>) {
+    let stats = spanner_stats(&built.spanner);
+    let verification = verify_remote_stretch(&built.spanner, &built.guarantee);
+    println!("{label}: {}", built.name);
+    println!(
+        "  edges: {} ({:.1}% of G, {:.2} per node)",
+        stats.spanner_edges,
+        100.0 * stats.edge_fraction,
+        stats.edges_per_node
+    );
+    println!(
+        "  guarantee (α, β) = ({:.3}, {:.3});  measured worst stretch: ×{:.3} (+{})",
+        built.guarantee.alpha,
+        built.guarantee.beta,
+        verification.max_multiplicative,
+        verification.max_additive
+    );
+    println!(
+        "  verification over {} pairs: {}",
+        verification.pairs_checked,
+        if verification.holds() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
+    assert!(
+        verification.holds(),
+        "{label} violated its guarantee on {} pairs",
+        verification.violations
+    );
+    println!();
+}

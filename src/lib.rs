@@ -1,0 +1,72 @@
+//! # remote-spanners
+//!
+//! A Rust reproduction of *Jacquet & Viennot, "Remote-Spanners: What to Know
+//! beyond Neighbors"* (INRIA RR-6679, IPPS 2009).
+//!
+//! A sub-graph `H` of an unweighted graph `G` (same node set) is an
+//! **(α, β)-remote-spanner** if for every pair of nonadjacent nodes `u, v`,
+//! `d_{H_u}(u, v) ≤ α·d_G(u, v) + β`, where `H_u` is `H` augmented with every
+//! edge of `G` incident to `u` — the knowledge a router always has about its
+//! own neighbors.  The notion extends to multi-connectivity by measuring the
+//! minimum total length of `k` internally-vertex-disjoint paths.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`graph`] — CSR graphs, BFS, balls, sub-graph views, generators,
+//! * [`metric`] — doubling metrics, Poisson point processes, unit-ball graphs,
+//! * [`flow`] — vertex-disjoint path distances `d^k`,
+//! * [`domtree`] — dominating trees (Algorithms 1, 2, 4, 5),
+//! * [`core`] — remote-spanner constructions (Theorems 1, 2, 3), verification
+//!   and classical baselines,
+//! * [`distributed`] — LOCAL-model protocol, greedy link-state routing,
+//!   topology dynamics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use remote_spanners::prelude::*;
+//!
+//! // A random unit-disk graph (the paper's ad-hoc network model).
+//! let instance = uniform_udg(200, 5.0, 1.0, 42);
+//! let graph = &instance.graph;
+//!
+//! // Theorem 2 with k = 1: a (1, 0)-remote-spanner — exact distances are
+//! // preserved from every node's augmented view.
+//! let built = exact_remote_spanner(graph);
+//! assert!(built.num_edges() <= graph.m());
+//!
+//! // Verify the guarantee against the definition.
+//! let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+//! assert!(report.holds());
+//! ```
+
+pub use rspan_core as core;
+pub use rspan_distributed as distributed;
+pub use rspan_domtree as domtree;
+pub use rspan_flow as flow;
+pub use rspan_graph as graph;
+pub use rspan_metric as metric;
+
+/// Convenience re-exports of the most commonly used items.
+pub mod prelude {
+    pub use rspan_core::{
+        baswana_sen_spanner, bfs_tree_spanner, epsilon_remote_spanner,
+        epsilon_remote_spanner_greedy, exact_remote_spanner, full_topology, greedy_spanner,
+        k_connecting_remote_spanner, rem_span, rem_span_parallel, spanner_stats,
+        two_connecting_remote_spanner, verify_k_connecting, verify_plain_stretch,
+        verify_remote_stretch, BuiltSpanner, SpannerStats, StretchGuarantee,
+    };
+    pub use rspan_distributed::{
+        greedy_route, measure_routing, run_remspan_protocol, TopologyChange, TreeStrategy,
+    };
+    pub use rspan_domtree::{
+        dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, is_dominating_tree,
+        is_k_connecting_dominating_tree, DominatingTree,
+    };
+    pub use rspan_flow::{dk_distance, min_sum_disjoint_paths, pair_vertex_connectivity};
+    pub use rspan_graph::generators::{
+        gnp, gnp_connected, grid_graph, poisson_udg, udg_with_density, uniform_udg,
+    };
+    pub use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
+    pub use rspan_metric::{uniform_points, unit_ball_graph, EuclideanMetric, Point};
+}

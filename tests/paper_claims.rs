@@ -1,0 +1,243 @@
+//! Integration tests that encode the paper's structural claims directly —
+//! not just "the constructions work", but the characterisations and
+//! relationships the paper proves:
+//!
+//! * Proposition 1: `(1+ε, 1−2ε)`-remote-spanner ⟺ induces
+//!   `(⌈1/ε⌉+1, 1)`-dominating trees (both directions, checked on concrete
+//!   graphs).
+//! * Proposition 5: k-connecting `(1, 0)`-remote-spanner ⟺ induces
+//!   k-connecting `(2, 0)`-dominating trees.
+//! * §1.2: any `(α, β)`-spanner is an `(α, β − α + 1)`-remote-spanner.
+//! * §1.2: multipoint relays are necessary — removing a required relay edge
+//!   breaks the `(1, 0)`-remote-spanner property.
+//! * §1: a `(1, 0)`-spanner must keep every edge, while a `(1, 0)`-remote-
+//!   spanner can be much sparser.
+
+use remote_spanners::core::{
+    exact_remote_spanner, greedy_spanner, k_connecting_remote_spanner, spanner_as_remote_guarantee,
+    two_connecting_remote_spanner, verify_k_connecting, verify_plain_stretch,
+    verify_remote_stretch, StretchGuarantee,
+};
+use remote_spanners::domtree::{dom_tree_k_greedy, is_k_connecting_dominating_tree, mpr_set};
+use remote_spanners::graph::generators::{
+    complete_graph, cycle_graph, gnp_connected, grid_graph, petersen, uniform_udg,
+};
+use remote_spanners::graph::{CsrGraph, EdgeSet, Subgraph};
+
+/// Helper: does `spanner` induce an `(r, 1)`-dominating tree for every node?
+///
+/// Per the paper's characterisation proof, `H` induces an `(r, 1)`-dominating
+/// tree for `u` iff every node `v` with `2 ≤ d_G(u, v) = r' ≤ r` has a
+/// `G`-neighbor `x` reachable from `u` *inside `H`* within `r'` hops — the
+/// union of those paths is the tree.  This is the definitional predicate the
+/// Proposition 1 tests quantify over.
+fn induces_r1_dominating_trees(graph: &CsrGraph, spanner: &Subgraph<'_>, r: u32) -> bool {
+    use remote_spanners::graph::bfs_distances_bounded;
+    graph.nodes().all(|u| {
+        let dist_g = bfs_distances_bounded(graph, u, r);
+        let dist_h = bfs_distances_bounded(spanner, u, r);
+        graph.nodes().all(|v| match dist_g[v as usize] {
+            Some(rp) if (2..=r).contains(&rp) => graph
+                .neighbors(v)
+                .iter()
+                .any(|&x| matches!(dist_h[x as usize], Some(d) if d <= rp)),
+            _ => true,
+        })
+    })
+}
+
+#[test]
+fn proposition_1_forward_direction() {
+    // A sub-graph inducing (⌈1/ε⌉+1, 1)-dominating trees is a
+    // (1+ε, 1−2ε)-remote-spanner: the Theorem 1 construction is exactly such a
+    // union, so verify the stretch through the independent checker.
+    for eps in [1.0, 0.5, 1.0 / 3.0] {
+        let g = uniform_udg(130, 4.0, 1.0, 3).graph;
+        let built = remote_spanners::core::epsilon_remote_spanner(&g, eps);
+        let r = built.radius;
+        // The construction indeed induces (r, 1)-dominating trees…
+        assert!(induces_r1_dominating_trees(&g, &built.spanner, r));
+        // …and therefore satisfies the stretch.
+        assert!(verify_remote_stretch(&built.spanner, &built.guarantee).holds());
+    }
+}
+
+#[test]
+fn proposition_1_reverse_direction() {
+    // Conversely, a (1+ε, 1−2ε)-remote-spanner must induce
+    // (⌈1/ε⌉+1, 1)-dominating trees.  Use the full graph (trivially a
+    // remote-spanner) and a constructed spanner, and check the induced-tree
+    // property via Algorithm 2 restricted to the spanner's edges.
+    let g = gnp_connected(60, 0.08, 9);
+    let eps = 0.5;
+    let built = remote_spanners::core::epsilon_remote_spanner(&g, eps);
+    assert!(induces_r1_dominating_trees(
+        &g,
+        &built.spanner,
+        built.radius
+    ));
+    let full = Subgraph::full(&g);
+    assert!(induces_r1_dominating_trees(&g, &full, 3));
+}
+
+#[test]
+fn proposition_1_violating_subgraph_fails_both_sides() {
+    // A sub-graph that does NOT induce the dominating trees must violate the
+    // stretch (the contrapositive of the necessary direction): drop every edge
+    // of some node's trees and check both properties fail together.
+    let g = cycle_graph(12);
+    let mut edges = EdgeSet::full(&g);
+    // Remove both edges incident to node 0's neighbor 1, so node 0 cannot be
+    // dominated toward that side.
+    edges.remove(g.edge_id(1, 2).unwrap());
+    edges.remove(g.edge_id(11, 0).unwrap());
+    edges.remove(g.edge_id(10, 11).unwrap());
+    let h = Subgraph::new(&g, edges);
+    let guarantee = StretchGuarantee {
+        alpha: 1.5,
+        beta: 0.0,
+        k: 1,
+    };
+    let stretch_ok = verify_remote_stretch(&h, &guarantee).holds();
+    let induces = induces_r1_dominating_trees(&g, &h, 3);
+    assert!(
+        !stretch_ok,
+        "mutilated cycle should violate the (1.5, 0) stretch"
+    );
+    assert!(
+        !induces,
+        "mutilated cycle should not induce (3,1)-dominating trees"
+    );
+}
+
+#[test]
+fn proposition_5_characterisation() {
+    // k-connecting (1,0)-remote-spanner ⟺ induces k-connecting
+    // (2,0)-dominating trees.  Forward: the Theorem 2 construction induces
+    // them by construction and passes the flow-based verification.  Reverse:
+    // a spanner whose induced trees fail for some node also fails the
+    // k-connecting verification.
+    for (k, g) in [
+        (2usize, petersen()),
+        (2, grid_graph(4, 5)),
+        (3, complete_graph(8)),
+    ] {
+        let built = k_connecting_remote_spanner(&g, k);
+        // Trees rebuilt inside the spanner satisfy the definition…
+        for u in g.nodes() {
+            let t = dom_tree_k_greedy(&built.spanner, u, k);
+            assert!(
+                is_k_connecting_dominating_tree(&g, &t, 0, k),
+                "node {u}: induced tree not k-connecting"
+            );
+        }
+        // …and the spanner passes the d^k verification.
+        assert!(verify_k_connecting(&built.spanner, &built.guarantee).holds());
+    }
+
+    // Reverse / contrapositive on the complete bipartite example: K_{2,4}
+    // seen from one of the degree-4 side nodes requires 2 common neighbors
+    // kept; keep only one and 2-connectivity from the augmented view dies.
+    let g = remote_spanners::graph::generators::complete_bipartite(2, 4);
+    // nodes 0,1 are one side; 2..=5 the other.  Spanner: all edges except
+    // those from node 1 to nodes 3,4,5 (so 0 and 1 share only node 2 in H).
+    let mut edges = EdgeSet::full(&g);
+    for v in [3u32, 4, 5] {
+        edges.remove(g.edge_id(1, v).unwrap());
+    }
+    let h = Subgraph::new(&g, edges);
+    let guarantee = StretchGuarantee {
+        alpha: 1.0,
+        beta: 0.0,
+        k: 2,
+    };
+    assert!(!verify_k_connecting(&h, &guarantee).holds());
+    let t = dom_tree_k_greedy(&h, 0, 2);
+    assert!(
+        !is_k_connecting_dominating_tree(&g, &t, 0, 2),
+        "induced tree should fail once the relay edges are gone"
+    );
+}
+
+#[test]
+fn any_spanner_is_a_remote_spanner_with_improved_beta() {
+    // §1.2: an (α, β)-spanner is an (α, β − α + 1)-remote-spanner.
+    for k in [2usize, 3] {
+        let g = gnp_connected(70, 0.1, 17);
+        let b = greedy_spanner(&g, k);
+        assert!(verify_plain_stretch(&b.spanner, &b.guarantee).holds());
+        let remote = spanner_as_remote_guarantee(&b.guarantee);
+        assert!(remote.beta < b.guarantee.beta + 1e-12 - (b.guarantee.alpha - 1.0) + 1e-9);
+        assert!(verify_remote_stretch(&b.spanner, &remote).holds());
+    }
+}
+
+#[test]
+fn multipoint_relays_are_necessary() {
+    // §1.2: any (1,0)-remote-spanner must induce multipoint relays.  Take the
+    // exact construction on a star-of-cliques style graph, remove one relay
+    // edge that is the unique cover of some 2-hop node, and the property must
+    // break.
+    let g = petersen();
+    let built = exact_remote_spanner(&g);
+    // In Petersen every 2-hop neighbor has a unique common neighbor, so every
+    // relay edge is necessary: removing ANY spanner edge must violate (1,0).
+    let guarantee = StretchGuarantee {
+        alpha: 1.0,
+        beta: 0.0,
+        k: 1,
+    };
+    assert!(verify_remote_stretch(&built.spanner, &guarantee).holds());
+    for e in built.spanner.edge_set().iter().take(5) {
+        let mut pruned = built.spanner.edge_set().clone();
+        pruned.remove(e);
+        let h = Subgraph::new(&g, pruned);
+        assert!(
+            !verify_remote_stretch(&h, &guarantee).holds(),
+            "removing relay edge {e} should break exactness"
+        );
+    }
+}
+
+#[test]
+fn exact_remote_spanners_can_be_sparse_where_spanners_cannot() {
+    // §1: a (1,0)-spanner must contain every edge; the (1,0)-remote-spanner
+    // of a dense unit-disk graph is much sparser.
+    let g = uniform_udg(200, 4.0, 1.0, 29).graph; // dense: avg degree ≈ 12
+    let built = exact_remote_spanner(&g);
+    assert!(
+        built.num_edges() * 3 < g.m() * 2,
+        "expected at least a third of the edges to be dropped ({} of {})",
+        built.num_edges(),
+        g.m()
+    );
+    // And yet exactness holds remotely…
+    assert!(verify_remote_stretch(&built.spanner, &built.guarantee).holds());
+    // …while as a plain spanner the same sub-graph is NOT distance-preserving.
+    assert!(!verify_plain_stretch(&built.spanner, &built.guarantee).holds());
+}
+
+#[test]
+fn olsr_mpr_union_equals_theorem_2_spanner() {
+    // The union over all nodes of (greedy) MPR selections — what OLSR floods —
+    // is exactly the Theorem 2 construction with k = 1.
+    let g = uniform_udg(120, 4.0, 1.0, 31).graph;
+    let built = exact_remote_spanner(&g);
+    let mut mpr_edges = EdgeSet::empty(&g);
+    for u in g.nodes() {
+        for relay in mpr_set(&g, u, 1) {
+            mpr_edges.insert(g.edge_id(u, relay).unwrap());
+        }
+    }
+    assert_eq!(&mpr_edges, built.spanner.edge_set());
+}
+
+#[test]
+fn two_connecting_theorem_3_preserves_disjoint_pairs_with_bounded_sum() {
+    // Proposition 4 end-to-end on a concrete graph with known 2-connectivity.
+    let g = grid_graph(5, 5);
+    let built = two_connecting_remote_spanner(&g);
+    let report = verify_k_connecting(&built.spanner, &built.guarantee);
+    assert!(report.holds(), "{:?}", report.worst);
+    assert!(report.max_sum_stretch <= 2.0);
+}

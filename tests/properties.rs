@@ -1,0 +1,192 @@
+//! Property-based tests (proptest) over randomly generated graphs: data
+//! structure invariants, metric axioms of the distance functions, and the
+//! paper's guarantees as universally-quantified properties.
+
+use proptest::prelude::*;
+use remote_spanners::core::{
+    epsilon_remote_spanner, exact_remote_spanner, k_connecting_remote_spanner,
+    two_connecting_remote_spanner, verify_remote_stretch,
+};
+use remote_spanners::domtree::{
+    dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, is_dominating_tree,
+    is_k_connecting_dominating_tree,
+};
+use remote_spanners::flow::{
+    dk_distance, min_sum_disjoint_paths, pair_vertex_connectivity, verify_disjoint_paths,
+};
+use remote_spanners::graph::{
+    all_pairs_distances, bfs_distances, pair_distance, CsrGraph, EdgeSet, Node, Subgraph,
+};
+
+/// Strategy: a random graph given as (n, edge list) with n in 2..=24.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..=24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=max_edges.min(60))
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+/// Strategy: a connected-ish random graph (a random spanning path plus random
+/// extra edges), so distance-based properties have something to chew on.
+fn arb_connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (3usize..=20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=40).prop_map(move |extra| {
+            let mut edges: Vec<(Node, Node)> =
+                (1..n).map(|i| ((i - 1) as Node, i as Node)).collect();
+            edges.extend(extra);
+            CsrGraph::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- CSR graph invariants ----------------------------------------
+
+    #[test]
+    fn csr_symmetry_and_sorted_neighbors(g in arb_graph()) {
+        let mut degree_sum = 0usize;
+        for u in g.nodes() {
+            let ns = g.neighbors(u);
+            degree_sum += ns.len();
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &v in ns {
+                prop_assert!(g.has_edge(v, u));
+                prop_assert_ne!(v, u);
+                prop_assert_eq!(g.edge_id(u, v), g.edge_id(v, u));
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        // every canonical edge id maps back consistently
+        for (u, v) in g.edges() {
+            let e = g.edge_id(u, v).unwrap();
+            prop_assert_eq!(g.edge_endpoints(e), (u, v));
+        }
+    }
+
+    #[test]
+    fn edgeset_roundtrip(g in arb_graph(), bits in proptest::collection::vec(any::<bool>(), 0..60)) {
+        let mut set = EdgeSet::empty(&g);
+        let mut expected = std::collections::BTreeSet::new();
+        for (e, keep) in (0..g.m()).zip(bits.iter()) {
+            if *keep {
+                set.insert(e);
+                expected.insert(e);
+            }
+        }
+        prop_assert_eq!(set.len(), expected.len());
+        let collected: Vec<usize> = set.iter().collect();
+        let expected_vec: Vec<usize> = expected.iter().copied().collect();
+        prop_assert_eq!(collected, expected_vec);
+        let sub = Subgraph::new(&g, set);
+        prop_assert_eq!(sub.to_graph().m(), expected.len());
+    }
+
+    // ---------- distances ----------------------------------------------------
+
+    #[test]
+    fn bfs_distance_is_a_metric(g in arb_connected_graph()) {
+        let d = all_pairs_distances(&g);
+        let n = g.n() as Node;
+        for u in 0..n {
+            prop_assert_eq!(d.get(u, u), Some(0));
+            for v in 0..n {
+                prop_assert_eq!(d.get(u, v), d.get(v, u));
+                if let Some(duv) = d.get(u, v) {
+                    if u != v {
+                        prop_assert!(duv >= 1);
+                        prop_assert_eq!(duv == 1, g.has_edge(u, v));
+                    }
+                    // triangle inequality through any intermediate node
+                    for w in 0..n {
+                        if let (Some(duw), Some(dwv)) = (d.get(u, w), d.get(w, v)) {
+                            prop_assert!(duv <= duw + dwv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_distance_agrees_with_bfs(g in arb_graph(), s in 0u32..24, t in 0u32..24) {
+        let n = g.n() as Node;
+        let (s, t) = (s % n, t % n);
+        let by_bfs = bfs_distances(&g, s)[t as usize];
+        prop_assert_eq!(pair_distance(&g, s, t), by_bfs);
+    }
+
+    // ---------- disjoint paths (d^k) ------------------------------------------
+
+    #[test]
+    fn dk_properties(g in arb_connected_graph(), s in 0u32..20, t in 0u32..20) {
+        let n = g.n() as Node;
+        let (s, t) = (s % n, t % n);
+        prop_assume!(s != t);
+        let kappa = pair_vertex_connectivity(&g, s, t, usize::MAX);
+        // d^1 equals the BFS distance whenever connected.
+        prop_assert_eq!(dk_distance(&g, s, t, 1), pair_distance(&g, s, t).map(u64::from));
+        // d^k exists exactly up to the pair connectivity, and is strictly
+        // monotone in k (each extra path adds at least one edge).
+        let mut prev = 0u64;
+        for k in 1..=kappa {
+            let paths = min_sum_disjoint_paths(&g, s, t, k).expect("within connectivity");
+            prop_assert!(verify_disjoint_paths(&g, s, t, &paths.paths));
+            prop_assert_eq!(paths.paths.len(), k);
+            prop_assert!(paths.total_length > prev || k == 1);
+            prev = paths.total_length;
+        }
+        prop_assert!(dk_distance(&g, s, t, kappa + 1).is_none());
+    }
+
+    // ---------- dominating trees ----------------------------------------------
+
+    #[test]
+    fn dominating_tree_algorithms_meet_their_definitions(g in arb_graph(), root in 0u32..24, r in 2u32..5, k in 1usize..4) {
+        let root = root % g.n() as Node;
+        let t1 = dom_tree_greedy(&g, root, r, 0);
+        prop_assert!(t1.validate_structure(&g));
+        prop_assert!(is_dominating_tree(&g, &t1, r, 0));
+        let t1b = dom_tree_greedy(&g, root, r, 1);
+        prop_assert!(is_dominating_tree(&g, &t1b, r, 1));
+        let t2 = dom_tree_mis(&g, root, r);
+        prop_assert!(is_dominating_tree(&g, &t2, r, 1));
+        let t4 = dom_tree_k_greedy(&g, root, k);
+        prop_assert!(is_k_connecting_dominating_tree(&g, &t4, 0, k));
+        prop_assert!(t4.height() <= 1);
+        let t5 = dom_tree_k_mis(&g, root, k);
+        prop_assert!(is_k_connecting_dominating_tree(&g, &t5, 1, k));
+        prop_assert!(t5.height() <= 2);
+    }
+
+    // ---------- remote-spanner guarantees --------------------------------------
+
+    #[test]
+    fn constructions_always_satisfy_their_guarantee(g in arb_graph()) {
+        for built in [
+            exact_remote_spanner(&g),
+            k_connecting_remote_spanner(&g, 2),
+            epsilon_remote_spanner(&g, 0.5),
+            two_connecting_remote_spanner(&g),
+        ] {
+            let report = verify_remote_stretch(&built.spanner, &built.guarantee);
+            prop_assert!(report.holds(), "{}: {:?}", built.name, report.worst_violation);
+            prop_assert!(built.num_edges() <= g.m());
+        }
+    }
+
+    #[test]
+    fn augmented_view_never_shrinks_reachability(g in arb_graph(), u in 0u32..24) {
+        let u = u % g.n() as Node;
+        let built = exact_remote_spanner(&g);
+        let in_g = bfs_distances(&g, u);
+        let view = built.spanner.augmented(u);
+        let in_hu = bfs_distances(&view, u);
+        for v in g.nodes() {
+            // (1,0)-remote-spanner: distances from u are preserved exactly.
+            prop_assert_eq!(in_g[v as usize], in_hu[v as usize]);
+        }
+    }
+}
