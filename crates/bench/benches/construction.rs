@@ -8,9 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rspan_bench::scaled_density_udg;
 use rspan_core::{
     epsilon_remote_spanner, epsilon_remote_spanner_greedy, exact_remote_spanner,
-    k_connecting_remote_spanner, k_connecting_remote_spanner_threads,
+    k_connecting_remote_spanner, k_connecting_remote_spanner_threads, rem_span, rem_span_algo,
     two_connecting_remote_spanner,
 };
+use rspan_domtree::{dom_tree_k_greedy, dom_tree_mis, TreeAlgo};
 
 fn construction_by_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("construction/size");
@@ -60,10 +61,40 @@ fn sequential_versus_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pooled-vs-seed pairs: the epoch-stamped scratch drivers against the
+/// per-node-allocating closure path the seed shipped.  The acceptance bar for
+/// the scratch-pool refactor is `pooled ≥ 2× faster` on the k-greedy strategy
+/// at n = 2000 (see `perf_baseline` for the machine-readable record).
+fn pooled_versus_seed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction/pooled-vs-seed");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let w = scaled_density_udg(n, 12.0, 3);
+        group.bench_with_input(
+            BenchmarkId::new("kgreedy_seed_alloc", n),
+            &w.graph,
+            |b, g| b.iter(|| rem_span(g, |g, u| dom_tree_k_greedy(g, u, 2)).num_edges()),
+        );
+        group.bench_with_input(BenchmarkId::new("kgreedy_pooled", n), &w.graph, |b, g| {
+            b.iter(|| rem_span_algo(g, TreeAlgo::KGreedy { k: 2 }).num_edges())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mis_r3_seed_alloc", n),
+            &w.graph,
+            |b, g| b.iter(|| rem_span(g, |g, u| dom_tree_mis(g, u, 3)).num_edges()),
+        );
+        group.bench_with_input(BenchmarkId::new("mis_r3_pooled", n), &w.graph, |b, g| {
+            b.iter(|| rem_span_algo(g, TreeAlgo::Mis { r: 3 }).num_edges())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     construction_by_size,
     greedy_versus_mis_trees,
-    sequential_versus_parallel
+    sequential_versus_parallel,
+    pooled_versus_seed
 );
 criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Perf trajectory baseline: `BENCH_remspan.json`.
+//!
+//! Measures `rem_span` (k-greedy strategy, k = 2) on constant-density uniform
+//! unit-disk graphs at n ∈ {500, 2000, 8000}, in four configurations:
+//!
+//! * `seed_alloc` — the per-node-allocating closure path the seed shipped,
+//! * `pooled_seq` — one epoch-stamped `DomScratch` across all n trees,
+//! * `pooled_par` — the lock-free chunked parallel driver,
+//!
+//! and emits median ns-per-node figures (plus the pooled/seed speedup) as
+//! JSON so later PRs have a machine-readable trajectory to beat.  The run
+//! also asserts that the parallel edge set equals the sequential one exactly.
+//!
+//! Usage: `cargo run --release -p rspan-bench --bin perf_baseline [out.json]`
+
+use rspan_bench::scaled_density_udg;
+use rspan_core::{rem_span, rem_span_algo, rem_span_algo_parallel};
+use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
+use rspan_graph::CsrGraph;
+use std::time::Instant;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Times the three configurations in interleaved rounds (seed, pooled,
+/// parallel, repeat) so slow machine drift — background load, frequency
+/// scaling — hits all three equally instead of biasing whichever ran last.
+/// Returns the median ns of each plus the edge counts of the last round.
+#[allow(clippy::type_complexity)]
+fn interleaved_medians(
+    reps: usize,
+    mut seed: impl FnMut() -> usize,
+    mut pooled: impl FnMut() -> usize,
+    mut par: impl FnMut() -> usize,
+) -> ((f64, usize), (f64, usize), (f64, usize)) {
+    let mut t = [
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+        Vec::with_capacity(reps),
+    ];
+    let mut edges = [0usize; 3];
+    for _ in 0..reps {
+        for (slot, f) in [
+            (0usize, &mut seed as &mut dyn FnMut() -> usize),
+            (1, &mut pooled),
+            (2, &mut par),
+        ] {
+            let start = Instant::now();
+            edges[slot] = f();
+            t[slot].push(start.elapsed().as_nanos() as f64);
+        }
+    }
+    let [ts, tp, tr] = t;
+    (
+        (median(ts), edges[0]),
+        (median(tp), edges[1]),
+        (median(tr), edges[2]),
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_remspan.json".to_string());
+    let algo = TreeAlgo::KGreedy { k: 2 };
+    let mut rows = Vec::new();
+    for &(n, reps) in &[(500usize, 11usize), (2000, 9), (8000, 5)] {
+        let w = scaled_density_udg(n, 12.0, 3);
+        let g: &CsrGraph = &w.graph;
+
+        let ((seed_ns, seed_edges), (pooled_ns, pooled_edges), (par_ns, _)) = interleaved_medians(
+            reps,
+            || rem_span(g, |g, u| dom_tree_k_greedy(g, u, 2)).num_edges(),
+            || rem_span_algo(g, algo).num_edges(),
+            || rem_span_algo_parallel(g, algo, 0).num_edges(),
+        );
+
+        assert_eq!(
+            seed_edges, pooled_edges,
+            "pooled driver changed the spanner at n={n}"
+        );
+        let par = rem_span_algo_parallel(g, algo, 0);
+        let seq = rem_span_algo(g, algo);
+        assert_eq!(
+            par.edge_set(),
+            seq.edge_set(),
+            "parallel driver diverged from sequential at n={n}"
+        );
+
+        let speedup = seed_ns / pooled_ns;
+        let row = format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", ",
+                "\"seed_alloc_ns_per_node\": {:.0}, \"pooled_seq_ns_per_node\": {:.0}, ",
+                "\"pooled_par_ns_per_node\": {:.0}, \"pooled_speedup\": {:.2}, ",
+                "\"parallel_matches_sequential\": true}}"
+            ),
+            n,
+            g.m(),
+            seed_ns / n as f64,
+            pooled_ns / n as f64,
+            par_ns / n as f64,
+            speedup,
+        );
+        println!(
+            "n={n:>5}  seed {:>9.0} ns/node   pooled {:>9.0} ns/node   par {:>9.0} ns/node   speedup {speedup:.2}x",
+            seed_ns / n as f64,
+            pooled_ns / n as f64,
+            par_ns / n as f64,
+        );
+        rows.push(row);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"rem_span\",\n  \"unit\": \"ns_per_node_median\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}");
+}

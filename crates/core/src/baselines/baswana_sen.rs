@@ -59,9 +59,9 @@ pub fn baswana_sen_spanner(graph: &CsrGraph, k: usize, seed: u64) -> BuiltSpanne
     for _phase in 1..k {
         // Sample surviving cluster centers.
         let mut sampled_center: Vec<bool> = vec![false; n];
-        for c in 0..n {
+        for slot in sampled_center.iter_mut() {
             if rng.next_f64() < p {
-                sampled_center[c] = true;
+                *slot = true;
             }
         }
         let mut new_cluster: Vec<Option<Node>> = vec![None; n];

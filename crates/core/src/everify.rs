@@ -16,7 +16,7 @@
 //! vertex-disjoint witnesses are already edge-disjoint).
 
 use crate::strategies::StretchGuarantee;
-use rspan_flow::{dk_edge_distance, pair_edge_connectivity};
+use rspan_flow::{dk_edge_distance, EdgeConnectivity, FlowScratch};
 use rspan_graph::{Node, Subgraph};
 
 /// Outcome of an edge-connecting stretch verification.
@@ -62,11 +62,15 @@ pub fn verify_k_edge_connecting_pairs(
         worst: None,
     };
     let mut worst_excess = f64::NEG_INFINITY;
+    // The flow network over G is built once and reset between pairs; one
+    // pooled scratch serves the augmenting-path BFS of every pair.
+    let mut connectivity = EdgeConnectivity::new(graph);
+    let mut flow_scratch = FlowScratch::new();
     for &(u, v) in pairs {
         if u == v || graph.has_edge(u, v) {
             continue;
         }
-        let lambda = pair_edge_connectivity(graph, u, v, k);
+        let lambda = connectivity.pair_connectivity(u, v, k, &mut flow_scratch);
         let view = spanner.augmented(u);
         for k_prime in 1..=lambda {
             let Some(dk_g) = dk_edge_distance(graph, u, v, k_prime) else {

@@ -11,7 +11,7 @@
 //! covers larger instances in the experiment harnesses.
 
 use crate::strategies::StretchGuarantee;
-use rspan_flow::{dk_distance, pair_vertex_connectivity};
+use rspan_flow::{dk_distance, pair_vertex_connectivity_with_scratch, FlowScratch};
 use rspan_graph::{CsrGraph, Node, Subgraph};
 
 /// Outcome of a k-connecting stretch verification.
@@ -80,12 +80,14 @@ pub fn verify_k_connecting_pairs(
         max_sum_stretch: 0.0,
     };
     let mut worst_excess = f64::NEG_INFINITY;
+    // One pooled scratch serves the augmenting-path BFS of every pair.
+    let mut flow_scratch = FlowScratch::new();
     for &(u, v) in pairs {
         if u == v || graph.has_edge(u, v) {
             continue;
         }
         // Connectivity of the pair in G caps the k' range to check.
-        let kappa = pair_vertex_connectivity(graph, u, v, k);
+        let kappa = pair_vertex_connectivity_with_scratch(graph, u, v, k, &mut flow_scratch);
         let view = spanner.augmented(u);
         for k_prime in 1..=kappa {
             let Some(dk_g) = dk_distance(graph, u, v, k_prime) else {

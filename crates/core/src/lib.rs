@@ -38,7 +38,10 @@ pub use kverify::{
     all_nonadjacent_pairs, sample_nonadjacent_pairs, verify_k_connecting,
     verify_k_connecting_pairs, KStretchReport, KStretchSample,
 };
-pub use remspan::{rem_span, rem_span_local, rem_span_parallel};
+pub use remspan::{
+    rem_span, rem_span_algo, rem_span_algo_parallel, rem_span_local, rem_span_local_algo,
+    rem_span_parallel,
+};
 pub use stats::{advertisement_cost, spanner_degree, spanner_stats, SpannerStats};
 pub use strategies::{
     effective_epsilon, epsilon_radius, epsilon_remote_spanner, epsilon_remote_spanner_greedy,

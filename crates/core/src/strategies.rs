@@ -5,8 +5,8 @@
 //! benchmark harnesses) can verify the construction against its own claim
 //! without hard-coding stretch parameters in several places.
 
-use crate::remspan::{rem_span, rem_span_parallel};
-use rspan_domtree::{dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis};
+use crate::remspan::{rem_span_algo, rem_span_algo_parallel};
+use rspan_domtree::TreeAlgo;
 use rspan_graph::{CsrGraph, Subgraph};
 
 /// The `(α, β)` stretch (and connectivity order `k`) a construction guarantees.
@@ -97,7 +97,7 @@ pub fn epsilon_remote_spanner_threads(
 ) -> BuiltSpanner<'_> {
     let r = epsilon_radius(eps);
     let eff = effective_epsilon(eps);
-    let spanner = rem_span_parallel(graph, |g, u| dom_tree_mis(g, u, r), threads);
+    let spanner = rem_span_algo_parallel(graph, TreeAlgo::Mis { r }, threads);
     BuiltSpanner {
         spanner,
         guarantee: StretchGuarantee {
@@ -120,7 +120,7 @@ pub fn epsilon_remote_spanner_threads(
 pub fn epsilon_remote_spanner_greedy(graph: &CsrGraph, eps: f64) -> BuiltSpanner<'_> {
     let r = epsilon_radius(eps);
     let eff = effective_epsilon(eps);
-    let spanner = rem_span(graph, |g, u| dom_tree_greedy(g, u, r, 1));
+    let spanner = rem_span_algo(graph, TreeAlgo::Greedy { r, beta: 1 });
     BuiltSpanner {
         spanner,
         guarantee: StretchGuarantee {
@@ -152,7 +152,7 @@ pub fn k_connecting_remote_spanner_threads(
     threads: usize,
 ) -> BuiltSpanner<'_> {
     assert!(k >= 1);
-    let spanner = rem_span_parallel(graph, move |g, u| dom_tree_k_greedy(g, u, k), threads);
+    let spanner = rem_span_algo_parallel(graph, TreeAlgo::KGreedy { k }, threads);
     BuiltSpanner {
         spanner,
         guarantee: StretchGuarantee {
@@ -182,7 +182,7 @@ pub fn two_connecting_remote_spanner(graph: &CsrGraph) -> BuiltSpanner<'_> {
 
 /// [`two_connecting_remote_spanner`] with parallel per-node tree construction.
 pub fn two_connecting_remote_spanner_threads(graph: &CsrGraph, threads: usize) -> BuiltSpanner<'_> {
-    let spanner = rem_span_parallel(graph, |g, u| dom_tree_k_mis(g, u, 2), threads);
+    let spanner = rem_span_algo_parallel(graph, TreeAlgo::KMis { k: 2 }, threads);
     BuiltSpanner {
         spanner,
         guarantee: StretchGuarantee {
@@ -201,7 +201,7 @@ pub fn two_connecting_remote_spanner_threads(graph: &CsrGraph, threads: usize) -
 /// `(2, 1)`-dominating trees and is exposed for the extension experiments).
 pub fn k_mis_remote_spanner(graph: &CsrGraph, k: usize) -> BuiltSpanner<'_> {
     assert!(k >= 1);
-    let spanner = rem_span(graph, move |g, u| dom_tree_k_mis(g, u, k));
+    let spanner = rem_span_algo(graph, TreeAlgo::KMis { k });
     BuiltSpanner {
         spanner,
         guarantee: StretchGuarantee {

@@ -12,7 +12,7 @@
 //! (knowledge lives at the source).
 
 use crate::strategies::StretchGuarantee;
-use rspan_graph::{bfs_distances, CsrGraph, Node, Subgraph};
+use rspan_graph::{bfs_into, CsrGraph, Node, Subgraph, TraversalScratch};
 
 /// Outcome of verifying one spanner against one stretch guarantee.
 #[derive(Clone, Debug)]
@@ -83,18 +83,24 @@ pub fn verify_remote_stretch_on(
     };
     let mut stretch_sum = 0.0f64;
     let mut worst_excess = f64::NEG_INFINITY;
+    // The n² sweep is 2n BFS runs; both directions share pooled scratches so
+    // the whole verification allocates nothing per source.
+    let mut scratch_g = TraversalScratch::with_capacity(n);
+    let mut scratch_h = TraversalScratch::with_capacity(n);
     for u in 0..n as Node {
-        let d_g = bfs_distances(graph, u);
+        bfs_into(graph, u, u32::MAX, &mut scratch_g);
         let view = spanner.augmented(u);
-        let d_hu = bfs_distances(&view, u);
+        bfs_into(&view, u, u32::MAX, &mut scratch_h);
         for v in 0..n as Node {
-            let Some(dg) = d_g[v as usize] else { continue };
+            let Some(dg) = scratch_g.dist(v) else {
+                continue;
+            };
             if dg < 2 {
                 continue; // adjacent or identical pairs are trivially preserved
             }
             report.pairs_checked += 1;
             let allowed = guarantee.allowed(dg);
-            match d_hu[v as usize] {
+            match scratch_h.dist(v) {
                 Some(dh) => {
                     let mult = dh as f64 / dg as f64;
                     let add = dh as i64 - dg as i64;
@@ -156,17 +162,21 @@ pub fn verify_plain_stretch(spanner: &Subgraph<'_>, guarantee: &StretchGuarantee
         disconnected_pairs: 0,
     };
     let mut stretch_sum = 0.0f64;
+    let mut scratch_g = TraversalScratch::with_capacity(n);
+    let mut scratch_h = TraversalScratch::with_capacity(n);
     for u in 0..n as Node {
-        let d_g = bfs_distances(graph, u);
-        let d_h = bfs_distances(spanner, u);
+        bfs_into(graph, u, u32::MAX, &mut scratch_g);
+        bfs_into(spanner, u, u32::MAX, &mut scratch_h);
         for v in 0..n as Node {
-            let Some(dg) = d_g[v as usize] else { continue };
+            let Some(dg) = scratch_g.dist(v) else {
+                continue;
+            };
             if dg < 1 || u == v {
                 continue;
             }
             report.pairs_checked += 1;
             let allowed = guarantee.allowed(dg);
-            match d_h[v as usize] {
+            match scratch_h.dist(v) {
                 Some(dh) => {
                     let mult = dh as f64 / dg as f64;
                     stretch_sum += mult;

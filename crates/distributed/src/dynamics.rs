@@ -8,7 +8,8 @@
 //! incremental recomputation and reports how local the repair is.
 
 use crate::protocol::TreeStrategy;
-use rspan_graph::{bfs_distances_bounded, CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
+use rspan_domtree::DomScratch;
+use rspan_graph::{bfs_into, CsrGraph, EdgeSet, EpochFlags, GraphBuilder, Node, Subgraph};
 
 /// A single topology change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,37 +84,37 @@ pub fn restabilise<'g>(
     let (a, b) = change.endpoints();
     // A node's knowledge (edges incident to its radius-ball) can change only
     // if one endpoint of the changed link lies within `radius` of it in either
-    // the old or the new graph.
-    let mut affected = vec![false; new_graph.n()];
+    // the old or the new graph.  One pooled scratch runs all four bounded
+    // sweeps, and the per-node trees below share another.
+    let mut scratch = DomScratch::with_capacity(new_graph.n());
+    let mut sweep = rspan_graph::TraversalScratch::with_capacity(new_graph.n());
+    let mut affected = EpochFlags::new();
+    affected.begin(new_graph.n());
     for g in [old_graph, new_graph] {
         for endpoint in [a, b] {
-            for (v, d) in bfs_distances_bounded(g, endpoint, radius)
-                .iter()
-                .enumerate()
-            {
-                if d.is_some() {
-                    affected[v] = true;
-                }
+            bfs_into(g, endpoint, radius, &mut sweep);
+            for &v in sweep.visited() {
+                affected.set(v);
             }
         }
     }
     let mut edges = EdgeSet::empty(new_graph);
     let mut recomputed_nodes = Vec::new();
     for u in new_graph.nodes() {
-        let tree = if affected[u as usize] {
+        let tree = if affected.test(u) {
             recomputed_nodes.push(u);
-            strategy.build_tree(new_graph, u)
+            strategy.build_tree_with_scratch(new_graph, u, &mut scratch)
         } else {
             // Unaffected nodes keep their old tree; recomputing on the old
             // graph reproduces it exactly (their local view is unchanged).
-            strategy.build_tree(old_graph, u)
+            strategy.build_tree_with_scratch(old_graph, u, &mut scratch)
         };
-        for (p, c) in tree.edges() {
+        tree.for_each_edge(|p, c| {
             let e = new_graph
                 .edge_id(p, c)
                 .expect("kept tree edge must still exist in the new graph");
             edges.insert(e);
-        }
+        });
     }
     let recomputed_fraction = recomputed_nodes.len() as f64 / new_graph.n().max(1) as f64;
     Restabilisation {

@@ -26,6 +26,8 @@ pub mod tables;
 
 pub use dynamics::{apply_change, restabilise, Restabilisation, TopologyChange};
 pub use protocol::{run_remspan_protocol, DistributedRun, RemSpanMsg, RemSpanNode, TreeStrategy};
-pub use routing::{greedy_route, measure_routing, RouteOutcome, RoutingReport};
+pub use routing::{
+    greedy_route, greedy_route_with_scratch, measure_routing, RouteOutcome, RoutingReport,
+};
 pub use sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
 pub use tables::{tables_are_consistent, RoutingTables};

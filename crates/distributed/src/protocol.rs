@@ -16,9 +16,7 @@
 //! tests) to equal the centralized [`rspan_core::rem_span`] construction.
 
 use crate::sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
-use rspan_domtree::{
-    dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, DominatingTree,
-};
+use rspan_domtree::{DomScratch, DominatingTree, TreeAlgo};
 use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
 use std::collections::{HashMap, HashSet};
 
@@ -50,25 +48,36 @@ pub enum TreeStrategy {
 }
 
 impl TreeStrategy {
+    /// The equivalent [`TreeAlgo`] handle (the pooled build entry point).
+    pub fn algo(&self) -> TreeAlgo {
+        match *self {
+            TreeStrategy::Greedy { r, beta } => TreeAlgo::Greedy { r, beta },
+            TreeStrategy::Mis { r } => TreeAlgo::Mis { r },
+            TreeStrategy::KGreedy { k } => TreeAlgo::KGreedy { k },
+            TreeStrategy::KMis { k } => TreeAlgo::KMis { k },
+        }
+    }
+
     /// The knowledge radius `R = r − 1 + β` Algorithm 3 floods to for this
     /// strategy.
     pub fn knowledge_radius(&self) -> u32 {
-        match *self {
-            TreeStrategy::Greedy { r, beta } => r - 1 + beta,
-            TreeStrategy::Mis { r } => r,      // r - 1 + β with β = 1
-            TreeStrategy::KGreedy { .. } => 1, // r = 2, β = 0
-            TreeStrategy::KMis { .. } => 2,    // r = 2, β = 1
-        }
+        self.algo().knowledge_radius()
     }
 
     /// Runs the strategy on a concrete graph for a root node.
     pub fn build_tree(&self, graph: &CsrGraph, root: Node) -> DominatingTree {
-        match *self {
-            TreeStrategy::Greedy { r, beta } => dom_tree_greedy(graph, root, r, beta),
-            TreeStrategy::Mis { r } => dom_tree_mis(graph, root, r),
-            TreeStrategy::KGreedy { k } => dom_tree_k_greedy(graph, root, k),
-            TreeStrategy::KMis { k } => dom_tree_k_mis(graph, root, k),
-        }
+        self.algo().build(graph, root)
+    }
+
+    /// Pooled form of [`TreeStrategy::build_tree`]; the result borrows from
+    /// `scratch` until the next build.
+    pub fn build_tree_with_scratch<'s>(
+        &self,
+        graph: &CsrGraph,
+        root: Node,
+        scratch: &'s mut DomScratch,
+    ) -> &'s DominatingTree {
+        self.algo().build_with_scratch(graph, root, scratch)
     }
 
     /// Expected protocol duration in rounds: `2R + 1`.
@@ -341,7 +350,7 @@ mod tests {
     fn distributed_matches_centralized_kgreedy() {
         for g in [cycle_graph(12), grid_graph(5, 5), petersen()] {
             let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 1 });
-            let central = rem_span(&g, |g, u| dom_tree_k_greedy(g, u, 1));
+            let central = rem_span(&g, |g, u| rspan_domtree::dom_tree_k_greedy(g, u, 1));
             assert_eq!(run.spanner.edge_set(), central.edge_set());
         }
     }

@@ -11,7 +11,7 @@
 //! realised route lengths against shortest paths in `G`, which is experiment
 //! E10.
 
-use rspan_graph::{bfs_distances, pair_distance, CsrGraph, Node, Subgraph};
+use rspan_graph::{bfs_into, pair_distance_into, CsrGraph, Node, Subgraph, TraversalScratch};
 
 /// Outcome of routing a single packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,6 +42,19 @@ impl RouteOutcome {
 /// Routes one packet from `s` to `t` by greedy forwarding on the augmented
 /// views `H_u` (recomputed at every hop, as each router would).
 pub fn greedy_route(spanner: &Subgraph<'_>, s: Node, t: Node) -> RouteOutcome {
+    let mut scratch = TraversalScratch::new();
+    greedy_route_with_scratch(spanner, s, t, &mut scratch)
+}
+
+/// Pooled form of [`greedy_route`]: the per-hop BFS runs on a caller-held
+/// scratch, so bulk measurements ([`measure_routing`]) allocate nothing per
+/// hop beyond the returned path.
+pub fn greedy_route_with_scratch(
+    spanner: &Subgraph<'_>,
+    s: Node,
+    t: Node,
+    scratch: &mut TraversalScratch,
+) -> RouteOutcome {
     let graph = spanner.parent();
     if s == t {
         return RouteOutcome::Delivered(vec![s]);
@@ -60,10 +73,10 @@ pub fn greedy_route(spanner: &Subgraph<'_>, s: Node, t: Node) -> RouteOutcome {
         // Distances to t inside H_current (BFS from the destination reaches
         // every candidate neighbor in one sweep).
         let view = spanner.augmented(current);
-        let dist_from_t = bfs_distances(&view, t);
+        bfs_into(&view, t, u32::MAX, scratch);
         let mut best: Option<(Node, u32)> = None;
         for &w in graph.neighbors(current) {
-            if let Some(d) = dist_from_t[w as usize] {
+            if let Some(d) = scratch.dist(w) {
                 match best {
                     Some((_, bd)) if bd <= d => {}
                     _ => best = Some((w, d)),
@@ -115,15 +128,17 @@ pub fn measure_routing(spanner: &Subgraph<'_>, pairs: &[(Node, Node)]) -> Routin
         max_extra_hops: 0,
     };
     let mut sum = 0.0;
+    // One scratch serves both the d_G probe and every per-hop sweep.
+    let mut scratch = TraversalScratch::new();
     for &(s, t) in pairs {
         if s == t {
             continue;
         }
-        let Some(dg) = pair_distance(graph, s, t) else {
+        let Some(dg) = pair_distance_into(graph, s, t, u32::MAX, &mut scratch) else {
             continue; // disconnected in G: not a routing failure
         };
         report.pairs += 1;
-        match greedy_route(spanner, s, t) {
+        match greedy_route_with_scratch(spanner, s, t, &mut scratch) {
             RouteOutcome::Delivered(path) => {
                 report.delivered += 1;
                 let hops = (path.len() - 1) as f64;

@@ -110,9 +110,15 @@ impl<'g> SyncNetwork<'g> {
             .map(|(u, s)| s.on_start(u as Node, self.graph.neighbors(u as Node)))
             .collect();
 
+        // Inboxes are pooled across rounds: cleared (capacity kept) instead of
+        // reallocated, so steady-state rounds do no per-node allocation in the
+        // simulator itself.
+        let mut inboxes: Vec<Vec<Envelope<S::Msg>>> = (0..n).map(|_| Vec::new()).collect();
         for round in 0..max_rounds {
             // Expand outgoing requests into envelopes per destination.
-            let mut inboxes: Vec<Vec<Envelope<S::Msg>>> = vec![Vec::new(); n];
+            for inbox in &mut inboxes {
+                inbox.clear();
+            }
             let mut sent_this_round = 0u64;
             for (u, outs) in outgoing.iter().enumerate() {
                 let u = u as Node;

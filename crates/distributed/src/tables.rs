@@ -9,7 +9,7 @@
 //! lets the harnesses check that table-driven forwarding realises exactly the
 //! routes the greedy per-hop rule produces.
 
-use rspan_graph::{bfs_distances, CsrGraph, Node, Subgraph};
+use rspan_graph::{bfs_distances, bfs_into, CsrGraph, Node, Subgraph, TraversalScratch};
 
 /// Next-hop tables for every node of a spanner's parent graph.
 #[derive(Clone, Debug)]
@@ -42,26 +42,28 @@ impl RoutingTables {
         let n = graph.n();
         let mut next = vec![NO_HOP; n * n];
         let mut dist = vec![UNREACH; n * n];
+        // One pooled scratch runs all n per-source sweeps; only the reached
+        // entries of each row are written.
+        let mut scratch = TraversalScratch::with_capacity(n);
         for u in graph.nodes() {
             let view = spanner.augmented(u);
-            let tree = rspan_graph::bfs_tree(&view, u);
-            for v in graph.nodes() {
+            bfs_into(&view, u, u32::MAX, &mut scratch);
+            let row = u as usize * n;
+            dist[row + u as usize] = 0;
+            for &v in scratch.visited() {
                 if v == u {
-                    dist[u as usize * n + v as usize] = 0;
                     continue;
                 }
-                if let Some(d) = tree.dist[v as usize] {
-                    dist[u as usize * n + v as usize] = d;
-                    // Walk the parent chain from v back to the child of u.
-                    let mut cur = v;
-                    while let Some(p) = tree.parent[cur as usize] {
-                        if p == u {
-                            break;
-                        }
-                        cur = p;
+                dist[row + v as usize] = scratch.dist_or_unreached(v);
+                // Walk the parent chain from v back to the child of u.
+                let mut cur = v;
+                while let Some(p) = scratch.parent(cur) {
+                    if p == u {
+                        break;
                     }
-                    next[u as usize * n + v as usize] = cur;
+                    cur = p;
                 }
+                next[row + v as usize] = cur;
             }
         }
         RoutingTables { n, next, dist }
@@ -132,7 +134,7 @@ pub fn tables_are_consistent(spanner: &Subgraph<'_>) -> bool {
                 (Some(d), Some(path)) => {
                     let hops = (path.len() - 1) as u32;
                     let dg = d_g[t as usize].expect("table reached an unreachable node?");
-                    if hops > d || (hops as u32) < dg {
+                    if hops > d || hops < dg {
                         return false;
                     }
                 }

@@ -6,59 +6,86 @@
 //! distance range `[r'−1, r'−1+β]`, which are then connected to the root by a
 //! shortest path.  Proposition 2 bounds the number of edges by
 //! `(1+β)(r+β−1)(1+log Δ)` times the optimum.
+//!
+//! [`dom_tree_greedy_with_scratch`] is the pooled kernel: all working state
+//! (bounded BFS, the cover bitmap reused across the greedy rounds, the output
+//! tree) lives in a caller-held [`DomScratch`], so cost scales with the
+//! `(r−1+β)`-hop ball rather than `n`.  [`dom_tree_greedy`] wraps it with a
+//! private scratch for one-off calls.
 
+use crate::scratch::DomScratch;
 use crate::tree::DominatingTree;
-use rspan_graph::{bfs_tree_bounded, Adjacency, Node};
+use rspan_graph::{bfs_into, Adjacency, Node};
 
-/// Runs `DomTreeGdy_{r,β}(u)` on any adjacency view and returns the computed
-/// dominating tree.
+/// Runs `DomTreeGdy_{r,β}(u)` on any adjacency view using pooled scratch
+/// state.  The returned tree borrows from `scratch` and is valid until the
+/// next build on the same scratch.
 ///
 /// Requirements: `r ≥ 2` (for `r < 2` there is nothing to dominate and the
 /// trivial single-node tree is returned).
-pub fn dom_tree_greedy<A>(graph: &A, u: Node, r: u32, beta: u32) -> DominatingTree
+pub fn dom_tree_greedy_with_scratch<'s, A>(
+    graph: &A,
+    u: Node,
+    r: u32,
+    beta: u32,
+    scratch: &'s mut DomScratch,
+) -> &'s DominatingTree
 where
     A: Adjacency + ?Sized,
 {
     let n = graph.num_nodes();
-    let mut tree = DominatingTree::new(n, u);
+    let DomScratch {
+        bfs,
+        tree,
+        in_s,
+        aux: picked,
+        path,
+        buf_a: candidates,
+        ..
+    } = scratch;
+    tree.reset(n, u);
     if r < 2 {
         return tree;
     }
     // One bounded BFS gives every distance and shortest path needed below.
-    let bfs = bfs_tree_bounded(graph, u, r.max(r - 1 + beta));
-    let dist = |v: Node| bfs.dist[v as usize];
+    bfs_into(graph, u, r.max(r - 1 + beta), bfs);
 
     for r_prime in 2..=r {
         // S: nodes at distance exactly r'.
-        let mut in_s: Vec<bool> = vec![false; n];
+        in_s.begin(n);
         let mut s_count = 0usize;
-        for v in 0..n as Node {
-            if dist(v) == Some(r_prime) {
-                in_s[v as usize] = true;
+        // X: candidate dominators in distance range [r'-1, r'-1+beta],
+        // scanned in increasing node id (the allocating version's order, so
+        // greedy tie-breaks are identical).
+        let lo = r_prime - 1;
+        let hi = r_prime - 1 + beta;
+        candidates.clear();
+        for &v in bfs.visited() {
+            let d = bfs.dist_or_unreached(v);
+            if d == r_prime {
+                in_s.set(v);
                 s_count += 1;
+            }
+            if d >= lo && d <= hi {
+                candidates.push(v);
             }
         }
         if s_count == 0 {
             continue;
         }
-        // X: candidate dominators in distance range [r'-1, r'-1+beta].
-        let lo = r_prime - 1;
-        let hi = r_prime - 1 + beta;
-        let candidates: Vec<Node> = (0..n as Node)
-            .filter(|&x| matches!(dist(x), Some(d) if d >= lo && d <= hi))
-            .collect();
-        let mut picked: Vec<bool> = vec![false; n];
+        candidates.sort_unstable();
+        picked.begin(n);
 
         while s_count > 0 {
             // Pick x ∈ X \ M maximising |B_G(x, 1) ∩ S| (closed neighborhood).
             let mut best: Option<(Node, usize)> = None;
-            for &x in &candidates {
-                if picked[x as usize] {
+            for &x in candidates.iter() {
+                if picked.test(x) {
                     continue;
                 }
-                let mut gain = usize::from(in_s[x as usize]);
+                let mut gain = usize::from(in_s.test(x));
                 graph.for_each_neighbor(x, &mut |w| {
-                    if in_s[w as usize] {
+                    if in_s.test(w) {
                         gain += 1;
                     }
                 });
@@ -74,23 +101,36 @@ where
                 "greedy cover stalled: some node at distance r' has no candidate dominator \
                  (cannot happen: its neighbor at distance r'-1 is always a candidate)",
             );
-            picked[x as usize] = true;
-            let path = bfs.path_to(x).expect("candidate dominator is reachable");
-            tree.add_path_from_root(&path);
+            picked.set(x);
+            assert!(
+                bfs.path_from_source_into(x, path),
+                "candidate dominator is reachable"
+            );
+            tree.add_path_from_root(path);
             // Remove the covered nodes from S.
-            if in_s[x as usize] {
-                in_s[x as usize] = false;
+            if in_s.test(x) {
+                in_s.unset(x);
                 s_count -= 1;
             }
             graph.for_each_neighbor(x, &mut |w| {
-                if in_s[w as usize] {
-                    in_s[w as usize] = false;
+                if in_s.test(w) {
+                    in_s.unset(w);
                     s_count -= 1;
                 }
             });
         }
     }
     tree
+}
+
+/// Runs `DomTreeGdy_{r,β}(u)` on any adjacency view and returns the computed
+/// dominating tree (allocating wrapper over the pooled kernel).
+pub fn dom_tree_greedy<A>(graph: &A, u: Node, r: u32, beta: u32) -> DominatingTree
+where
+    A: Adjacency + ?Sized,
+{
+    let mut scratch = DomScratch::new();
+    dom_tree_greedy_with_scratch(graph, u, r, beta, &mut scratch).clone()
 }
 
 #[cfg(test)]
@@ -123,6 +163,20 @@ mod tests {
                         "{name}: ({r},{beta})-domination fails at node {u}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_builds() {
+        let g = gnp_connected(70, 0.07, 12);
+        let mut scratch = DomScratch::new();
+        for (r, beta) in [(2u32, 0u32), (3, 1), (4, 0)] {
+            for u in g.nodes() {
+                let pooled = dom_tree_greedy_with_scratch(&g, u, r, beta, &mut scratch);
+                let fresh = dom_tree_greedy(&g, u, r, beta);
+                assert_eq!(pooled.edges(), fresh.edges(), "u={u} r={r} beta={beta}");
+                assert_eq!(pooled.root(), fresh.root());
             }
         }
     }
@@ -199,9 +253,10 @@ mod tests {
         let inst = uniform_udg(250, 5.0, 1.0, 77);
         let g = &inst.graph;
         let mut total_edges = 0usize;
+        let mut scratch = DomScratch::new();
         for u in g.nodes() {
-            let t = dom_tree_greedy(g, u, 2, 0);
-            assert!(is_dominating_tree(g, &t, 2, 0));
+            let t = dom_tree_greedy_with_scratch(g, u, 2, 0, &mut scratch);
+            assert!(is_dominating_tree(g, t, 2, 0));
             total_edges += t.num_edges();
         }
         // Dominating trees in a UDG are far smaller than full neighborhoods.

@@ -9,66 +9,88 @@
 //!
 //! The tree always has depth 1: its leaves are the selected relays, which is
 //! exactly the *multipoint relay with k-coverage* notion of OLSR (Section 1.2).
+//!
+//! [`dom_tree_k_greedy_with_scratch`] is the pooled kernel (the per-node
+//! coverage bitmap and counters are epoch-stamped slabs reused across greedy
+//! rounds *and* across root nodes); the classic signatures wrap it.
 
+use crate::scratch::DomScratch;
 use crate::tree::DominatingTree;
-use rspan_graph::{bfs_distances_bounded, Adjacency, Node};
+use rspan_graph::{bfs_into, Adjacency, Node};
 
-/// Runs `DomTreeGdy_{2,0,k}(u)` and returns the dominating tree (depth ≤ 1)
-/// together with the selected relay set `M ⊆ N(u)`.
-pub fn dom_tree_k_greedy_with_set<A>(graph: &A, u: Node, k: usize) -> (DominatingTree, Vec<Node>)
+/// Runs `DomTreeGdy_{2,0,k}(u)` using pooled scratch state; returns the tree
+/// (depth ≤ 1) and the selected relay set `M ⊆ N(u)`, both borrowed from
+/// `scratch` until the next build.
+pub fn dom_tree_k_greedy_with_scratch<'s, A>(
+    graph: &A,
+    u: Node,
+    k: usize,
+    scratch: &'s mut DomScratch,
+) -> (&'s DominatingTree, &'s [Node])
 where
     A: Adjacency + ?Sized,
 {
     assert!(k >= 1, "coverage parameter k must be at least 1");
     let n = graph.num_nodes();
-    let mut tree = DominatingTree::new(n, u);
-    let mut relays = Vec::new();
+    let DomScratch {
+        bfs,
+        tree,
+        in_s,
+        aux: picked,
+        neigh: is_neighbor,
+        cover,
+        remaining,
+        buf_a: s_nodes,
+        buf_b: neighbors,
+        buf_d: relays,
+        ..
+    } = scratch;
+    tree.reset(n, u);
+    relays.clear();
 
-    let dist = bfs_distances_bounded(graph, u, 2);
-    let neighbors: Vec<Node> = graph.neighbors_vec(u);
-    let is_neighbor: Vec<bool> = {
-        let mut v = vec![false; n];
-        for &x in &neighbors {
-            v[x as usize] = true;
-        }
-        v
-    };
+    bfs_into(graph, u, 2, bfs);
+    neighbors.clear();
+    graph.for_each_neighbor(u, &mut |x| neighbors.push(x));
+    is_neighbor.begin(n);
+    for &x in neighbors.iter() {
+        is_neighbor.set(x);
+    }
 
     // S: distance-2 nodes that still need more coverage.
-    let mut in_s: Vec<bool> = vec![false; n];
-    let mut s_nodes: Vec<Node> = Vec::new();
-    for v in 0..n as Node {
-        if dist[v as usize] == Some(2) {
-            in_s[v as usize] = true;
+    in_s.begin(n);
+    s_nodes.clear();
+    for &v in bfs.visited() {
+        if bfs.dist_or_unreached(v) == 2 {
+            in_s.set(v);
             s_nodes.push(v);
         }
     }
     let mut s_count = s_nodes.len();
     // cover[v]: how many selected relays are adjacent to v.
-    let mut cover: Vec<usize> = vec![0; n];
-    // remaining_relays[v]: how many not-yet-selected common neighbors v still has.
-    let mut remaining_relays: Vec<usize> = vec![0; n];
-    for &v in &s_nodes {
-        let mut c = 0usize;
+    cover.begin(n);
+    // remaining[v]: how many not-yet-selected common neighbors v still has.
+    remaining.begin(n);
+    for &v in s_nodes.iter() {
+        let mut c = 0u32;
         graph.for_each_neighbor(v, &mut |w| {
-            if is_neighbor[w as usize] {
+            if is_neighbor.test(w) {
                 c += 1;
             }
         });
-        remaining_relays[v as usize] = c;
+        remaining.set(v, c);
     }
-    let mut picked: Vec<bool> = vec![false; n];
+    picked.begin(n);
 
     while s_count > 0 {
         // Pick x ∈ N(u) \ M with maximal |B_G(x, 1) ∩ S|.
         let mut best: Option<(Node, usize)> = None;
-        for &x in &neighbors {
-            if picked[x as usize] {
+        for &x in neighbors.iter() {
+            if picked.test(x) {
                 continue;
             }
-            let mut gain = usize::from(in_s[x as usize]);
+            let mut gain = usize::from(in_s.test(x));
             graph.for_each_neighbor(x, &mut |w| {
-                if in_s[w as usize] {
+                if in_s.test(w) {
                     gain += 1;
                 }
             });
@@ -84,24 +106,34 @@ where
             "k-coverage greedy stalled: an unsatisfied distance-2 node has no unselected \
              common neighbor left (impossible: it would have been removed from S)",
         );
-        picked[x as usize] = true;
+        picked.set(x);
         relays.push(x);
         tree.add_child(u, x);
         // Update coverage and shrink S:
         // v leaves S when N(v) ∩ N(u) ⊆ M or |N(v) ∩ M| ≥ k.
         graph.for_each_neighbor(x, &mut |v| {
-            if dist[v as usize] == Some(2) {
-                cover[v as usize] += 1;
-                remaining_relays[v as usize] -= 1;
-                if in_s[v as usize] && (cover[v as usize] >= k || remaining_relays[v as usize] == 0)
-                {
-                    in_s[v as usize] = false;
+            if bfs.dist_or_unreached(v) == 2 {
+                let covered = cover.add(v, 1);
+                let rem = remaining.sub(v, 1);
+                if in_s.test(v) && (covered as usize >= k || rem == 0) {
+                    in_s.unset(v);
                     s_count -= 1;
                 }
             }
         });
     }
     (tree, relays)
+}
+
+/// Runs `DomTreeGdy_{2,0,k}(u)` and returns the dominating tree (depth ≤ 1)
+/// together with the selected relay set `M ⊆ N(u)`.
+pub fn dom_tree_k_greedy_with_set<A>(graph: &A, u: Node, k: usize) -> (DominatingTree, Vec<Node>)
+where
+    A: Adjacency + ?Sized,
+{
+    let mut scratch = DomScratch::new();
+    let (tree, relays) = dom_tree_k_greedy_with_scratch(graph, u, k, &mut scratch);
+    (tree.clone(), relays.to_vec())
 }
 
 /// Runs `DomTreeGdy_{2,0,k}(u)` and returns the dominating tree.
@@ -132,6 +164,23 @@ mod tests {
                 assert!(is_dominating_tree(&g, &t, 2, 0));
                 assert!(is_k_connecting_dominating_tree(&g, &t, 0, 1));
                 assert!(t.height() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_builds() {
+        let g = gnp_connected(80, 0.08, 23);
+        let mut scratch = DomScratch::new();
+        for k in 1..=3usize {
+            for u in g.nodes() {
+                let (pooled_tree, pooled_relays) =
+                    dom_tree_k_greedy_with_scratch(&g, u, k, &mut scratch);
+                let pooled_edges = pooled_tree.edges();
+                let pooled_relays = pooled_relays.to_vec();
+                let (fresh_tree, fresh_relays) = dom_tree_k_greedy_with_set(&g, u, k);
+                assert_eq!(pooled_edges, fresh_tree.edges(), "u={u} k={k}");
+                assert_eq!(pooled_relays, fresh_relays, "u={u} k={k}");
             }
         }
     }
@@ -207,10 +256,15 @@ mod tests {
         let inst = uniform_udg(300, 5.0, 1.0, 13);
         let g = &inst.graph;
         let mut prev_total = 0usize;
+        let mut scratch = DomScratch::new();
         for k in [1usize, 2, 3] {
             let total: usize = g
                 .nodes()
-                .map(|u| dom_tree_k_greedy_with_set(g, u, k).1.len())
+                .map(|u| {
+                    dom_tree_k_greedy_with_scratch(g, u, k, &mut scratch)
+                        .1
+                        .len()
+                })
                 .sum();
             assert!(total >= prev_total, "relay totals not monotone in k");
             prev_total = total;
@@ -221,9 +275,14 @@ mod tests {
     fn relay_sets_are_far_smaller_than_degrees_in_udg() {
         let inst = uniform_udg(400, 5.0, 1.0, 21);
         let g = &inst.graph;
+        let mut scratch = DomScratch::new();
         let total_relays: usize = g
             .nodes()
-            .map(|u| dom_tree_k_greedy_with_set(g, u, 1).1.len())
+            .map(|u| {
+                dom_tree_k_greedy_with_scratch(g, u, 1, &mut scratch)
+                    .1
+                    .len()
+            })
             .sum();
         let total_degree: usize = g.nodes().map(|u| g.degree(u)).sum();
         assert!(

@@ -8,80 +8,103 @@
 //! length-≤2 tree paths to the root across the passes.  Proposition 7: the
 //! result is a k-connecting `(2, 1)`-dominating tree with `O(k²)` edges when
 //! the input is the unit ball graph of a doubling metric.
+//!
+//! [`dom_tree_k_mis_with_scratch`] is the pooled kernel; [`dom_tree_k_mis`]
+//! wraps it with a private [`DomScratch`].
 
-use crate::tree::{disjoint_tree_path_count, DominatingTree};
-use rspan_graph::{bfs_distances_bounded, Adjacency, Node};
+use crate::scratch::DomScratch;
+use crate::tree::{disjoint_tree_path_count_with, DominatingTree};
+use rspan_graph::{bfs_into, Adjacency, Node};
 
-/// Runs `DomTreeMIS_{2,1,k}(u)` and returns the dominating tree.
-pub fn dom_tree_k_mis<A>(graph: &A, u: Node, k: usize) -> DominatingTree
+/// Runs `DomTreeMIS_{2,1,k}(u)` using pooled scratch state.  The returned
+/// tree borrows from `scratch` until the next build.
+pub fn dom_tree_k_mis_with_scratch<'s, A>(
+    graph: &A,
+    u: Node,
+    k: usize,
+    scratch: &'s mut DomScratch,
+) -> &'s DominatingTree
 where
     A: Adjacency + ?Sized,
 {
     assert!(k >= 1, "connectivity parameter k must be at least 1");
     let n = graph.num_nodes();
-    let mut tree = DominatingTree::new(n, u);
+    let DomScratch {
+        bfs,
+        tree,
+        in_s,
+        aux: in_x,
+        neigh: is_neighbor_of_u,
+        branches,
+        buf_a: s_nodes,
+        buf_b: neighbors_of_u,
+        buf_c: x_candidates,
+        buf_d: fresh,
+        ..
+    } = scratch;
+    tree.reset(n, u);
 
-    let dist = bfs_distances_bounded(graph, u, 2);
-    let neighbors_of_u: Vec<Node> = graph.neighbors_vec(u);
-    let is_neighbor_of_u: Vec<bool> = {
-        let mut v = vec![false; n];
-        for &x in &neighbors_of_u {
-            v[x as usize] = true;
-        }
-        v
-    };
+    bfs_into(graph, u, 2, bfs);
+    neighbors_of_u.clear();
+    graph.for_each_neighbor(u, &mut |x| neighbors_of_u.push(x));
+    is_neighbor_of_u.begin(n);
+    for &x in neighbors_of_u.iter() {
+        is_neighbor_of_u.set(x);
+    }
 
     // S: distance-2 nodes not yet satisfying the k-connecting domination
-    // condition.
-    let mut in_s: Vec<bool> = vec![false; n];
-    let mut s_nodes: Vec<Node> = Vec::new();
-    for v in 0..n as Node {
-        if dist[v as usize] == Some(2) {
-            in_s[v as usize] = true;
+    // condition, scanned in increasing id (the allocating version's order).
+    in_s.begin(n);
+    s_nodes.clear();
+    for &v in bfs.visited() {
+        if bfs.dist_or_unreached(v) == 2 {
+            in_s.set(v);
             s_nodes.push(v);
         }
     }
+    s_nodes.sort_unstable();
     let mut s_count = s_nodes.len();
 
     // Removal rule shared by every pass: v leaves S once all its common
     // neighbors with u are tree nodes, or once it has k disjoint length-≤2
     // tree paths to the root.
-    let satisfied = |tree: &DominatingTree, v: Node| -> bool {
-        let mut all_common_in_tree = true;
-        graph.for_each_neighbor(v, &mut |w| {
-            if is_neighbor_of_u[w as usize] && !tree.contains(w) {
-                all_common_in_tree = false;
-            }
-        });
-        all_common_in_tree || disjoint_tree_path_count(graph, tree, v, 2) >= k
-    };
+    let satisfied =
+        |tree: &DominatingTree, branches: &mut rspan_graph::EpochFlags, v: Node| -> bool {
+            let mut all_common_in_tree = true;
+            graph.for_each_neighbor(v, &mut |w| {
+                if is_neighbor_of_u.test(w) && !tree.contains(w) {
+                    all_common_in_tree = false;
+                }
+            });
+            all_common_in_tree || disjoint_tree_path_count_with(graph, tree, v, 2, branches) >= k
+        };
 
     for _pass in 1..=k {
         if s_count == 0 {
             break;
         }
         // X := S (the nodes this pass' independent set is drawn from).
-        let mut in_x: Vec<bool> = vec![false; n];
-        let mut x_candidates: Vec<Node> = Vec::new();
-        for &v in &s_nodes {
-            if in_s[v as usize] {
-                in_x[v as usize] = true;
+        in_x.begin(n);
+        x_candidates.clear();
+        for &v in s_nodes.iter() {
+            if in_s.test(v) {
+                in_x.set(v);
                 x_candidates.push(v);
             }
         }
-        for &x in &x_candidates {
+        for &x in x_candidates.iter() {
             if s_count == 0 {
                 break;
             }
             // Pick x ∈ S ∩ X (candidates are scanned in id order; skip the
             // ones that have since left S or X).
-            if !in_x[x as usize] || !in_s[x as usize] {
+            if !in_x.test(x) || !in_s.test(x) {
                 continue;
             }
             // Fresh common neighbors of x and u (not yet in the tree).
-            let mut fresh: Vec<Node> = Vec::new();
+            fresh.clear();
             graph.for_each_neighbor(x, &mut |w| {
-                if is_neighbor_of_u[w as usize] && !tree.contains(w) {
+                if is_neighbor_of_u.test(w) && !tree.contains(w) {
                     fresh.push(w);
                 }
             });
@@ -95,16 +118,16 @@ where
                 }
             }
             // Shrink S using the k-connecting domination condition.
-            for &v in &s_nodes {
-                if in_s[v as usize] && satisfied(&tree, v) {
-                    in_s[v as usize] = false;
+            for &v in s_nodes.iter() {
+                if in_s.test(v) && satisfied(tree, branches, v) {
+                    in_s.unset(v);
                     s_count -= 1;
                 }
             }
             // X := X \ B_G(x, 1)
-            in_x[x as usize] = false;
+            in_x.unset(x);
             graph.for_each_neighbor(x, &mut |w| {
-                in_x[w as usize] = false;
+                in_x.unset(w);
             });
         }
     }
@@ -112,10 +135,21 @@ where
     tree
 }
 
+/// Runs `DomTreeMIS_{2,1,k}(u)` and returns the dominating tree.
+pub fn dom_tree_k_mis<A>(graph: &A, u: Node, k: usize) -> DominatingTree
+where
+    A: Adjacency + ?Sized,
+{
+    let mut scratch = DomScratch::new();
+    dom_tree_k_mis_with_scratch(graph, u, k, &mut scratch).clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tree::{is_dominating_tree, is_k_connecting_dominating_tree};
+    use crate::tree::{
+        disjoint_tree_path_count, is_dominating_tree, is_k_connecting_dominating_tree,
+    };
     use rspan_graph::generators::er::gnp_connected;
     use rspan_graph::generators::structured::{
         complete_bipartite, complete_graph, cycle_graph, grid_graph, petersen,
@@ -135,6 +169,19 @@ mod tests {
                     );
                     assert!(t.height() <= 2);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_builds() {
+        let g = gnp_connected(60, 0.1, 7);
+        let mut scratch = DomScratch::new();
+        for k in 1..=3usize {
+            for u in g.nodes() {
+                let pooled = dom_tree_k_mis_with_scratch(&g, u, k, &mut scratch);
+                let fresh = dom_tree_k_mis(&g, u, k);
+                assert_eq!(pooled.edges(), fresh.edges(), "u={u} k={k}");
             }
         }
     }
@@ -190,11 +237,12 @@ mod tests {
         // metric, independent of the node degree.
         let inst = uniform_udg(500, 5.0, 1.0, 8);
         let g = &inst.graph;
+        let mut scratch = DomScratch::new();
         for k in [1usize, 2, 3] {
             let mut max_edges = 0usize;
             for u in (0..g.n() as Node).step_by(17) {
-                let t = dom_tree_k_mis(g, u, k);
-                assert!(is_k_connecting_dominating_tree(g, &t, 1, k));
+                let t = dom_tree_k_mis_with_scratch(g, u, k, &mut scratch);
+                assert!(is_k_connecting_dominating_tree(g, t, 1, k));
                 max_edges = max_edges.max(t.num_edges());
             }
             // generous constant: c * k² with c ≈ 40 for the unit disk

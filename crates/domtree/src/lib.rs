@@ -18,20 +18,25 @@
 
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod exact;
 pub mod greedy;
 pub mod kgreedy;
 pub mod kmis;
 pub mod mis;
 pub mod mpr;
+pub mod scratch;
 pub mod tree;
 
+pub use algo::TreeAlgo;
 pub use exact::{greedy_guarantee, optimal_k_relay_count, MAX_EXACT_RELAYS};
-pub use greedy::dom_tree_greedy;
-pub use kgreedy::{dom_tree_k_greedy, dom_tree_k_greedy_with_set};
-pub use kmis::dom_tree_k_mis;
-pub use mis::{dom_tree_mis, dom_tree_mis_with_set};
-pub use mpr::{is_valid_mpr_set, mpr_set, total_mpr_selections};
+pub use greedy::{dom_tree_greedy, dom_tree_greedy_with_scratch};
+pub use kgreedy::{dom_tree_k_greedy, dom_tree_k_greedy_with_scratch, dom_tree_k_greedy_with_set};
+pub use kmis::{dom_tree_k_mis, dom_tree_k_mis_with_scratch};
+pub use mis::{dom_tree_mis, dom_tree_mis_with_scratch, dom_tree_mis_with_set};
+pub use mpr::{is_valid_mpr_set, mpr_set, mpr_set_with_scratch, total_mpr_selections};
+pub use scratch::DomScratch;
 pub use tree::{
-    disjoint_tree_path_count, is_dominating_tree, is_k_connecting_dominating_tree, DominatingTree,
+    disjoint_tree_path_count, disjoint_tree_path_count_with, is_dominating_tree,
+    is_k_connecting_dominating_tree, DominatingTree,
 };

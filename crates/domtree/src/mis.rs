@@ -8,9 +8,73 @@
 //! tree has `O(r^{p+1})` edges — which removes the `log Δ` factor of the
 //! greedy set-cover variant and yields Theorem 1's linear-size
 //! `(1+ε, 1−2ε)`-remote-spanners.
+//!
+//! [`dom_tree_mis_with_scratch`] is the pooled kernel; the classic
+//! signatures wrap it with a private [`DomScratch`].
 
+use crate::scratch::DomScratch;
 use crate::tree::DominatingTree;
-use rspan_graph::{bfs_tree_bounded, Adjacency, Node};
+use rspan_graph::{bfs_into, Adjacency, Node};
+
+/// Runs `DomTreeMIS_{r,1}(u)` using pooled scratch state.  The returned tree
+/// and selected-set slice borrow from `scratch` and stay valid until the next
+/// build on the same scratch.
+pub fn dom_tree_mis_with_scratch<'s, A>(
+    graph: &A,
+    u: Node,
+    r: u32,
+    scratch: &'s mut DomScratch,
+) -> (&'s DominatingTree, &'s [Node])
+where
+    A: Adjacency + ?Sized,
+{
+    let n = graph.num_nodes();
+    let DomScratch {
+        bfs,
+        tree,
+        aux: removed,
+        path,
+        buf_a: order,
+        buf_d: selected,
+        ..
+    } = scratch;
+    tree.reset(n, u);
+    selected.clear();
+    if r < 2 {
+        return (tree, selected);
+    }
+    bfs_into(graph, u, r, bfs);
+    // B := B_G(u, r) \ B_G(u, 1), processed by increasing distance then id
+    // ("pick x ∈ B at minimal distance", with the allocating version's
+    // id-order tie-break).
+    order.clear();
+    for &v in bfs.visited() {
+        let d = bfs.dist_or_unreached(v);
+        if d >= 2 && d <= r {
+            order.push(v);
+        }
+    }
+    order.sort_unstable_by_key(|&v| (bfs.dist_or_unreached(v), v));
+    removed.begin(n);
+    for &x in order.iter() {
+        if removed.test(x) {
+            continue;
+        }
+        // x is the closest remaining node of B: select it.
+        selected.push(x);
+        assert!(
+            bfs.path_from_source_into(x, path),
+            "selected node is reachable"
+        );
+        tree.add_path_from_root(path);
+        // B := B \ B_G(x, 1)
+        removed.set(x);
+        graph.for_each_neighbor(x, &mut |w| {
+            removed.set(w);
+        });
+    }
+    (tree, selected)
+}
 
 /// Runs `DomTreeMIS_{r,1}(u)` and returns the computed dominating tree
 /// together with the selected independent set `M` (exposed because tests and
@@ -19,41 +83,9 @@ pub fn dom_tree_mis_with_set<A>(graph: &A, u: Node, r: u32) -> (DominatingTree, 
 where
     A: Adjacency + ?Sized,
 {
-    let n = graph.num_nodes();
-    let mut tree = DominatingTree::new(n, u);
-    let mut selected = Vec::new();
-    if r < 2 {
-        return (tree, selected);
-    }
-    let bfs = bfs_tree_bounded(graph, u, r);
-    // B := B_G(u, r) \ B_G(u, 1), processed by increasing distance.  A simple
-    // counting sort by distance realises "pick x ∈ B at minimal distance".
-    let mut by_distance: Vec<Vec<Node>> = vec![Vec::new(); r as usize + 1];
-    for v in 0..n as Node {
-        if let Some(d) = bfs.dist[v as usize] {
-            if d >= 2 && d <= r {
-                by_distance[d as usize].push(v);
-            }
-        }
-    }
-    let mut removed: Vec<bool> = vec![false; n];
-    for bucket in by_distance.iter().skip(2) {
-        for &x in bucket {
-            if removed[x as usize] {
-                continue;
-            }
-            // x is the closest remaining node of B: select it.
-            selected.push(x);
-            let path = bfs.path_to(x).expect("selected node is reachable");
-            tree.add_path_from_root(&path);
-            // B := B \ B_G(x, 1)
-            removed[x as usize] = true;
-            graph.for_each_neighbor(x, &mut |w| {
-                removed[w as usize] = true;
-            });
-        }
-    }
-    (tree, selected)
+    let mut scratch = DomScratch::new();
+    let (tree, selected) = dom_tree_mis_with_scratch(graph, u, r, &mut scratch);
+    (tree.clone(), selected.to_vec())
 }
 
 /// Runs `DomTreeMIS_{r,1}(u)` and returns the dominating tree.
@@ -92,6 +124,22 @@ mod tests {
                         "(r={r},1)-domination fails at node {u}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_builds() {
+        let g = gnp_connected(60, 0.08, 4);
+        let mut scratch = DomScratch::new();
+        for r in 2..=4 {
+            for u in g.nodes() {
+                let (pooled_tree, pooled_set) = dom_tree_mis_with_scratch(&g, u, r, &mut scratch);
+                let pooled_edges = pooled_tree.edges();
+                let pooled_set = pooled_set.to_vec();
+                let (fresh_tree, fresh_set) = dom_tree_mis_with_set(&g, u, r);
+                assert_eq!(pooled_edges, fresh_tree.edges(), "u={u} r={r}");
+                assert_eq!(pooled_set, fresh_set, "u={u} r={r}");
             }
         }
     }

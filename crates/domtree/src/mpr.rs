@@ -7,8 +7,9 @@
 //! the routing-protocol vocabulary: a relay set is a subset of `N(u)` covering
 //! the two-hop neighborhood.
 
-use crate::kgreedy::dom_tree_k_greedy_with_set;
-use rspan_graph::{bfs_distances_bounded, Adjacency, Node};
+use crate::kgreedy::{dom_tree_k_greedy_with_scratch, dom_tree_k_greedy_with_set};
+use crate::scratch::DomScratch;
+use rspan_graph::{bfs_distances_bounded, Adjacency, EpochFlags, Node};
 
 /// Computes a multipoint-relay set of `u` with coverage parameter `k`
 /// (`k = 1` is the classical OLSR MPR set) using the greedy heuristic of
@@ -20,23 +21,46 @@ where
     dom_tree_k_greedy_with_set(graph, u, k).1
 }
 
+/// Pooled form of [`mpr_set`]: the relay slice borrows from `scratch` and
+/// stays valid until the next build on the same scratch.
+pub fn mpr_set_with_scratch<'s, A>(
+    graph: &A,
+    u: Node,
+    k: usize,
+    scratch: &'s mut DomScratch,
+) -> &'s [Node]
+where
+    A: Adjacency + ?Sized,
+{
+    dom_tree_k_greedy_with_scratch(graph, u, k, scratch).1
+}
+
 /// Checks the k-coverage MPR property: every strict two-hop neighbor of `u`
 /// is adjacent to at least `k` relays, or to all of its common neighbors with
 /// `u` if it has fewer than `k`.
+///
+/// Common-neighbor membership is tested against a neighbor bitmap
+/// ([`EpochFlags`]), so the check costs `O(Σ deg(v))` over the two-hop nodes
+/// instead of the `O(deg(v) · deg(u))` a linear scan of `N(u)` would.
 pub fn is_valid_mpr_set<A>(graph: &A, u: Node, relays: &[Node], k: usize) -> bool
 where
     A: Adjacency + ?Sized,
 {
     let n = graph.num_nodes();
-    let mut is_relay = vec![false; n];
+    let mut is_relay = EpochFlags::new();
+    is_relay.begin(n);
     for &x in relays {
         if !graph.contains_edge(u, x) {
             return false; // relays must be neighbors of u
         }
-        is_relay[x as usize] = true;
+        is_relay.set(x);
     }
+    let mut is_neighbor = EpochFlags::new();
+    is_neighbor.begin(n);
+    graph.for_each_neighbor(u, &mut |w| {
+        is_neighbor.set(w);
+    });
     let dist = bfs_distances_bounded(graph, u, 2);
-    let neighbors_of_u = graph.neighbors_vec(u);
     for v in 0..n as Node {
         if dist[v as usize] != Some(2) {
             continue;
@@ -44,9 +68,9 @@ where
         let mut covered = 0usize;
         let mut common = 0usize;
         graph.for_each_neighbor(v, &mut |w| {
-            if neighbors_of_u.contains(&w) {
+            if is_neighbor.test(w) {
                 common += 1;
-                if is_relay[w as usize] {
+                if is_relay.test(w) {
                     covered += 1;
                 }
             }
@@ -60,13 +84,15 @@ where
 
 /// Total number of relay selections over all nodes of the graph — the
 /// quantity whose expectation is analysed in the paper's reference [14] and
-/// which drives the `O(n^{4/3})` bound of Theorem 2.
+/// which drives the `O(n^{4/3})` bound of Theorem 2.  Runs on a single pooled
+/// scratch across all nodes.
 pub fn total_mpr_selections<A>(graph: &A, k: usize) -> usize
 where
     A: Adjacency + ?Sized,
 {
+    let mut scratch = DomScratch::new();
     (0..graph.num_nodes() as Node)
-        .map(|u| mpr_set(graph, u, k).len())
+        .map(|u| mpr_set_with_scratch(graph, u, k, &mut scratch).len())
         .sum()
 }
 
@@ -85,6 +111,18 @@ mod tests {
                     let relays = mpr_set(&g, u, k);
                     assert!(is_valid_mpr_set(&g, u, &relays, k), "node {u} k={k}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_mpr_matches_allocating() {
+        let g = gnp_connected(50, 0.12, 6);
+        let mut scratch = DomScratch::new();
+        for k in 1..=3usize {
+            for u in g.nodes() {
+                let pooled = mpr_set_with_scratch(&g, u, k, &mut scratch).to_vec();
+                assert_eq!(pooled, mpr_set(&g, u, k), "u={u} k={k}");
             }
         }
     }

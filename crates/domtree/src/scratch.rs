@@ -1,0 +1,92 @@
+//! Pooled working state for the dominating-tree constructions.
+//!
+//! Every algorithm in this crate runs one bounded BFS and a handful of
+//! greedy rounds over boolean / counter side-arrays, then emits a small tree.
+//! [`DomScratch`] owns all of that state — the BFS
+//! [`TraversalScratch`], epoch-stamped flag and counter slabs, node buffers
+//! and a pooled output [`DominatingTree`] — so the `RemSpan` drivers can
+//! build one tree per node of an n-node graph without any per-node `O(n)`
+//! allocation or clearing.
+//!
+//! Hold one `DomScratch` per thread (see the thread-locality rules in
+//! `rspan_graph::scratch`): the `_with_scratch` constructors return a tree
+//! reference *borrowed from the scratch*, valid until the next build on the
+//! same scratch.  Consume it (union its edges, clone it) before reusing.
+
+use crate::tree::DominatingTree;
+use rspan_graph::{EpochCounters, EpochFlags, TraversalScratch};
+
+/// Reusable state for building dominating trees; see the module docs.
+#[derive(Debug)]
+pub struct DomScratch {
+    /// The BFS scratch (distances / parents / visit order).
+    pub(crate) bfs: TraversalScratch,
+    /// Pooled output tree, reset per root.
+    pub(crate) tree: DominatingTree,
+    /// "Still needs domination / coverage" node set `S`.
+    pub(crate) in_s: EpochFlags,
+    /// Picked dominators / per-pass candidate set `X`.
+    pub(crate) aux: EpochFlags,
+    /// Neighbors-of-the-root coverage bitmap, reused across greedy rounds.
+    pub(crate) neigh: EpochFlags,
+    /// Branch-distinctness flags for disjoint-path counting.
+    pub(crate) branches: EpochFlags,
+    /// `cover[v]`: how many selected relays are adjacent to `v`.
+    pub(crate) cover: EpochCounters,
+    /// `remaining[v]`: not-yet-selected common neighbors `v` still has.
+    pub(crate) remaining: EpochCounters,
+    /// Shortest-path reconstruction buffer.
+    pub(crate) path: Vec<rspan_graph::Node>,
+    /// Candidate / member list buffer (sorted where determinism requires it).
+    pub(crate) buf_a: Vec<rspan_graph::Node>,
+    /// Root-neighborhood buffer.
+    pub(crate) buf_b: Vec<rspan_graph::Node>,
+    /// Secondary candidate buffer.
+    pub(crate) buf_c: Vec<rspan_graph::Node>,
+    /// Relay / fresh-neighbor output buffer.
+    pub(crate) buf_d: Vec<rspan_graph::Node>,
+}
+
+impl DomScratch {
+    /// Creates an empty scratch; slabs grow on first use.
+    pub fn new() -> Self {
+        DomScratch {
+            bfs: TraversalScratch::new(),
+            tree: DominatingTree::new(1, 0),
+            in_s: EpochFlags::new(),
+            aux: EpochFlags::new(),
+            neigh: EpochFlags::new(),
+            branches: EpochFlags::new(),
+            cover: EpochCounters::new(),
+            remaining: EpochCounters::new(),
+            path: Vec::new(),
+            buf_a: Vec::new(),
+            buf_b: Vec::new(),
+            buf_c: Vec::new(),
+            buf_d: Vec::new(),
+        }
+    }
+
+    /// Creates a scratch pre-sized for graphs with up to `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::new();
+        s.bfs.ensure(n);
+        s
+    }
+
+    /// The tree produced by the most recent `_with_scratch` build.
+    pub fn tree(&self) -> &DominatingTree {
+        &self.tree
+    }
+
+    /// The BFS scratch, for callers that want to inspect the last traversal.
+    pub fn bfs(&self) -> &TraversalScratch {
+        &self.bfs
+    }
+}
+
+impl Default for DomScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}

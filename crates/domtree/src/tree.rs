@@ -13,13 +13,18 @@
 //! construction algorithms against the definitions rather than against their
 //! own bookkeeping.
 
-use rspan_graph::{bfs_distances_bounded, Adjacency, CsrGraph, Node};
+use rspan_graph::{bfs_distances_bounded, Adjacency, CsrGraph, EpochFlags, Node};
 
 /// A rooted tree sub-graph of a host graph, built by grafting shortest paths.
 ///
 /// All construction algorithms in the paper add only *shortest* paths from the
 /// root, so the tree maintains the invariant `depth(v) = d_G(root, v)` for
 /// every tree node, which keeps grafting trivially consistent.
+///
+/// The tree tracks its member nodes, so a pooled instance can be
+/// [`DominatingTree::reset`] between roots in time proportional to the
+/// *previous tree's size* rather than `n` — the per-node loop of `RemSpan`
+/// relies on this to avoid `O(n²)` clearing.
 #[derive(Clone, Debug)]
 pub struct DominatingTree {
     root: Node,
@@ -28,6 +33,8 @@ pub struct DominatingTree {
     parent: Vec<Option<Node>>,
     /// Depth of each node; `u32::MAX` marks nodes outside the tree.
     depth: Vec<u32>,
+    /// Tree nodes in insertion order, root first.
+    members: Vec<Node>,
     /// Number of tree edges (= number of non-root tree nodes).
     num_edges: usize,
 }
@@ -47,8 +54,31 @@ impl DominatingTree {
             root,
             parent: vec![None; n],
             depth,
+            members: vec![root],
             num_edges: 0,
         }
+    }
+
+    /// Resets a pooled tree to the trivial `({root}, ∅)` over `n` nodes,
+    /// clearing only the slots the previous tree touched.
+    pub fn reset(&mut self, n: usize, root: Node) {
+        assert!(
+            (root as usize) < n,
+            "root {root} out of range for {n} nodes"
+        );
+        for &v in &self.members {
+            self.depth[v as usize] = NOT_IN_TREE;
+            self.parent[v as usize] = None;
+        }
+        if self.depth.len() < n {
+            self.depth.resize(n, NOT_IN_TREE);
+            self.parent.resize(n, None);
+        }
+        self.members.clear();
+        self.root = root;
+        self.depth[root as usize] = 0;
+        self.members.push(root);
+        self.num_edges = 0;
     }
 
     /// The root node `u`.
@@ -86,30 +116,36 @@ impl DominatingTree {
         self.num_edges + 1
     }
 
-    /// All tree nodes, root included.
+    /// All tree nodes, root included, sorted by id.
     pub fn nodes(&self) -> Vec<Node> {
-        self.depth
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &d)| (d != NOT_IN_TREE).then_some(v as Node))
-            .collect()
+        let mut out = self.members.clone();
+        out.sort_unstable();
+        out
     }
 
-    /// All tree edges as `(parent, child)` pairs.
+    /// All tree edges as `(parent, child)` pairs, sorted by child id.
     pub fn edges(&self) -> Vec<(Node, Node)> {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter_map(|(v, p)| p.map(|p| (p, v as Node)))
-            .collect()
+        let mut out: Vec<(Node, Node)> = Vec::with_capacity(self.num_edges);
+        self.for_each_edge(|p, c| out.push((p, c)));
+        out.sort_unstable_by_key(|&(_, c)| c);
+        out
+    }
+
+    /// Calls `f(parent, child)` for every tree edge, in insertion order,
+    /// without allocating (cost `O(|T|)`, not `O(n)`).
+    pub fn for_each_edge<F: FnMut(Node, Node)>(&self, mut f: F) {
+        for &v in &self.members {
+            if let Some(p) = self.parent[v as usize] {
+                f(p, v);
+            }
+        }
     }
 
     /// Maximum depth of any tree node.
     pub fn height(&self) -> u32 {
-        self.depth
+        self.members
             .iter()
-            .filter(|&&d| d != NOT_IN_TREE)
-            .copied()
+            .map(|&v| self.depth[v as usize])
             .max()
             .unwrap_or(0)
     }
@@ -123,6 +159,7 @@ impl DominatingTree {
         }
         self.parent[child as usize] = Some(parent);
         self.depth[child as usize] = self.depth[parent as usize] + 1;
+        self.members.push(child);
         self.num_edges += 1;
     }
 
@@ -183,14 +220,21 @@ impl DominatingTree {
     /// Panics if a tree edge is not an edge of `host` (the tree must be a
     /// sub-graph of the host by definition).
     pub fn edge_ids(&self, host: &CsrGraph) -> Vec<usize> {
-        self.edges()
-            .iter()
-            .map(|&(p, c)| {
-                host.edge_id(p, c).unwrap_or_else(|| {
-                    panic!("tree edge ({p}, {c}) is not an edge of the host graph")
-                })
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.num_edges);
+        self.for_each_edge_id(host, |e| out.push(e));
+        out
+    }
+
+    /// Calls `f(edge_id)` for every tree edge, allocation-free (`O(|T| log Δ)`
+    /// via the host's sorted adjacency).  Panics if a tree edge is not a host
+    /// edge.
+    pub fn for_each_edge_id<F: FnMut(usize)>(&self, host: &CsrGraph, mut f: F) {
+        self.for_each_edge(|p, c| {
+            let e = host
+                .edge_id(p, c)
+                .unwrap_or_else(|| panic!("tree edge ({p}, {c}) is not an edge of the host graph"));
+            f(e);
+        });
     }
 
     /// Structural validation: every tree edge is a host edge, parent chains
@@ -260,17 +304,36 @@ pub fn disjoint_tree_path_count<A>(
 where
     A: Adjacency + ?Sized,
 {
-    let mut branches = std::collections::HashSet::new();
+    let mut flags = EpochFlags::new();
+    disjoint_tree_path_count_with(graph, tree, v, max_depth, &mut flags)
+}
+
+/// Pooled form of [`disjoint_tree_path_count`]: distinct branches are counted
+/// through a reusable [`EpochFlags`] slab instead of a per-call hash set.
+pub fn disjoint_tree_path_count_with<A>(
+    graph: &A,
+    tree: &DominatingTree,
+    v: Node,
+    max_depth: u32,
+    flags: &mut EpochFlags,
+) -> usize
+where
+    A: Adjacency + ?Sized,
+{
+    flags.begin(graph.num_nodes());
+    let mut count = 0usize;
     graph.for_each_neighbor(v, &mut |x| {
         if let Some(dx) = tree.depth(x) {
             if dx >= 1 && dx <= max_depth {
                 if let Some(b) = tree.branch_of(x) {
-                    branches.insert(b);
+                    if flags.set(b) {
+                        count += 1;
+                    }
                 }
             }
         }
     });
-    branches.len()
+    count
 }
 
 /// Checks the *k-connecting* `(2, β)`-dominating-tree property (Section 3):

@@ -1,98 +1,195 @@
 //! Property-based tests of the dominating-tree layer: every algorithm meets
 //! its definition on arbitrary graphs, greedy never beats the exact optimum,
-//! MPR validity, and structural invariants of [`DominatingTree`].
+//! MPR validity, structural invariants of `DominatingTree`, and equivalence
+//! of the pooled-scratch builders with the allocating ones.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these run each property over a deterministic stream of seeded random
+//! instances (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rspan_domtree::{
     dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_greedy_with_set, dom_tree_k_mis, dom_tree_mis,
     dom_tree_mis_with_set, is_dominating_tree, is_k_connecting_dominating_tree, is_valid_mpr_set,
-    mpr_set, optimal_k_relay_count, MAX_EXACT_RELAYS,
+    mpr_set, optimal_k_relay_count, DomScratch, TreeAlgo, MAX_EXACT_RELAYS,
 };
+use rspan_graph::generators::er::gnp_connected;
+use rspan_graph::generators::structured::{grid_graph, petersen};
+use rspan_graph::generators::udg::uniform_udg;
 use rspan_graph::{bfs_distances, CsrGraph, Node};
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (1usize..=20).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=55)
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
-    })
+/// Random graph with 1..=20 nodes and up to 55 (pre-dedup) edges.
+fn arb_graph(rng: &mut SmallRng) -> CsrGraph {
+    let n = rng.gen_range(1usize..=20);
+    let m = rng.gen_range(0usize..=55);
+    let edges: Vec<(Node, Node)> = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u64) as Node,
+                rng.gen_range(0..n as u64) as Node,
+            )
+        })
+        .collect();
+    CsrGraph::from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    #[test]
-    fn greedy_trees_meet_definition_for_all_radii(g in arb_graph(), root in 0u32..20, r in 2u32..5, beta in 0u32..2) {
-        let root = root % g.n() as Node;
+#[test]
+fn greedy_trees_meet_definition_for_all_radii() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
+        let r = rng.gen_range(2u32..5);
+        let beta = rng.gen_range(0u32..2);
         let t = dom_tree_greedy(&g, root, r, beta);
-        prop_assert!(t.validate_structure(&g));
-        prop_assert!(is_dominating_tree(&g, &t, r, beta));
-        prop_assert!(t.height() <= r - 1 + beta || t.num_edges() == 0);
+        assert!(t.validate_structure(&g), "seed {seed}");
+        assert!(is_dominating_tree(&g, &t, r, beta), "seed {seed}");
+        assert!(
+            t.height() <= r - 1 + beta || t.num_edges() == 0,
+            "seed {seed}"
+        );
         // trees only contain nodes from the root's component
         let dist = bfs_distances(&g, root);
         for v in t.nodes() {
-            prop_assert!(dist[v as usize].is_some());
+            assert!(dist[v as usize].is_some(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn mis_trees_meet_definition_and_are_independent(g in arb_graph(), root in 0u32..20, r in 2u32..5) {
-        let root = root % g.n() as Node;
+#[test]
+fn mis_trees_meet_definition_and_are_independent() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
+        let r = rng.gen_range(2u32..5);
         let (t, m) = dom_tree_mis_with_set(&g, root, r);
-        prop_assert!(t.validate_structure(&g));
-        prop_assert!(is_dominating_tree(&g, &t, r, 1));
+        assert!(t.validate_structure(&g), "seed {seed}");
+        assert!(is_dominating_tree(&g, &t, r, 1), "seed {seed}");
         for (i, &x) in m.iter().enumerate() {
             for &y in &m[i + 1..] {
-                prop_assert!(!g.has_edge(x, y), "MIS contains adjacent nodes {x}, {y}");
+                assert!(!g.has_edge(x, y), "seed {seed}: MIS adjacent {x}, {y}");
             }
-            prop_assert!(t.contains(x));
+            assert!(t.contains(x), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn k_greedy_trees_meet_definition(g in arb_graph(), root in 0u32..20, k in 1usize..5) {
-        let root = root % g.n() as Node;
+#[test]
+fn k_greedy_trees_meet_definition() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
+        let k = rng.gen_range(1usize..5);
         let (t, relays) = dom_tree_k_greedy_with_set(&g, root, k);
-        prop_assert!(t.validate_structure(&g));
-        prop_assert!(is_k_connecting_dominating_tree(&g, &t, 0, k));
-        prop_assert!(t.height() <= 1);
-        prop_assert!(is_valid_mpr_set(&g, root, &relays, k));
+        assert!(t.validate_structure(&g), "seed {seed}");
+        assert!(is_k_connecting_dominating_tree(&g, &t, 0, k), "seed {seed}");
+        assert!(t.height() <= 1, "seed {seed}");
+        assert!(is_valid_mpr_set(&g, root, &relays, k), "seed {seed}");
         // relay count is monotone in k
         if k > 1 {
             let smaller = dom_tree_k_greedy(&g, root, k - 1).num_edges();
-            prop_assert!(t.num_edges() >= smaller);
+            assert!(t.num_edges() >= smaller, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn k_mis_trees_meet_definition(g in arb_graph(), root in 0u32..20, k in 1usize..4) {
-        let root = root % g.n() as Node;
+#[test]
+fn k_mis_trees_meet_definition() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
+        let k = rng.gen_range(1usize..4);
         let t = dom_tree_k_mis(&g, root, k);
-        prop_assert!(t.validate_structure(&g));
-        prop_assert!(is_k_connecting_dominating_tree(&g, &t, 1, k));
-        prop_assert!(t.height() <= 2);
+        assert!(t.validate_structure(&g), "seed {seed}");
+        assert!(is_k_connecting_dominating_tree(&g, &t, 1, k), "seed {seed}");
+        assert!(t.height() <= 2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn greedy_is_bounded_by_optimum_and_never_below_it(g in arb_graph(), root in 0u32..20, k in 1usize..3) {
-        let root = root % g.n() as Node;
-        prop_assume!(g.degree(root) <= MAX_EXACT_RELAYS);
+#[test]
+fn greedy_is_bounded_by_optimum_and_never_below_it() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
+        let k = rng.gen_range(1usize..3);
+        if g.degree(root) > MAX_EXACT_RELAYS {
+            continue;
+        }
         let opt = optimal_k_relay_count(&g, root, k);
         let greedy = mpr_set(&g, root, k).len();
-        prop_assert!(greedy >= opt);
+        assert!(greedy >= opt, "seed {seed}");
         let bound = (1.0 + (g.max_degree().max(1) as f64).ln()) * opt as f64;
-        prop_assert!(opt == 0 || greedy as f64 <= bound + 1e-9, "greedy {greedy} > bound {bound}");
+        assert!(
+            opt == 0 || greedy as f64 <= bound + 1e-9,
+            "seed {seed}: greedy {greedy} > bound {bound}"
+        );
     }
+}
 
-    #[test]
-    fn mis_and_greedy_both_dominate_radius_two(g in arb_graph(), root in 0u32..20) {
-        // The two r = 2 constructions are interchangeable as (2,1)-dominating
-        // trees: both satisfy the weaker (2,1) definition.
-        let root = root % g.n() as Node;
+#[test]
+fn mis_and_greedy_both_dominate_radius_two() {
+    // The two r = 2 constructions are interchangeable as (2,1)-dominating
+    // trees: both satisfy the weaker (2,1) definition.
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
         let a = dom_tree_greedy(&g, root, 2, 0);
         let b = dom_tree_mis(&g, root, 2);
-        prop_assert!(is_dominating_tree(&g, &a, 2, 1));
-        prop_assert!(is_dominating_tree(&g, &b, 2, 1));
+        assert!(is_dominating_tree(&g, &a, 2, 1), "seed {seed}");
+        assert!(is_dominating_tree(&g, &b, 2, 1), "seed {seed}");
         // and the (2,0) greedy is also a (2,0)-dominating tree (stronger)
-        prop_assert!(is_dominating_tree(&g, &a, 2, 0));
+        assert!(is_dominating_tree(&g, &a, 2, 0), "seed {seed}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch-pool equivalence: one DomScratch driven across every algorithm,
+// hundreds of roots and several graph families must produce trees
+// bit-identical to the allocating builders (stale-epoch regression for the
+// domtree layer).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pooled_builders_match_allocating_across_graph_families() {
+    let families: Vec<(&str, CsrGraph)> = vec![
+        ("er", gnp_connected(60, 0.08, 11)),
+        ("udg", uniform_udg(80, 4.0, 1.0, 11).graph),
+        ("grid", grid_graph(7, 6)),
+        ("petersen", petersen()),
+    ];
+    let algos = [
+        TreeAlgo::Greedy { r: 2, beta: 0 },
+        TreeAlgo::Greedy { r: 3, beta: 1 },
+        TreeAlgo::Mis { r: 3 },
+        TreeAlgo::KGreedy { k: 1 },
+        TreeAlgo::KGreedy { k: 3 },
+        TreeAlgo::KMis { k: 2 },
+    ];
+    // ONE scratch across all families, algorithms and roots: any stale-epoch
+    // bug shows up as a divergence from the fresh build.
+    let mut scratch = DomScratch::new();
+    let mut builds = 0usize;
+    for (name, g) in &families {
+        for algo in algos {
+            for u in g.nodes() {
+                let pooled = algo.build_with_scratch(g, u, &mut scratch);
+                let fresh = algo.build(g, u);
+                assert_eq!(
+                    pooled.edges(),
+                    fresh.edges(),
+                    "{name} {algo:?} root {u} diverged under scratch reuse"
+                );
+                builds += 1;
+            }
+        }
+    }
+    assert!(builds > 100, "equivalence sweep too small: {builds}");
 }

@@ -68,6 +68,70 @@ impl EdgeNetwork {
         self.arcs[id].cap -= amount;
         self.arcs[id ^ 1].cap += amount;
     }
+
+    /// Restores every arc to its initial unit capacity (forward 1, residual
+    /// 0) without reallocating — arcs are stored as forward/residual pairs.
+    fn reset_caps(&mut self) {
+        for (i, arc) in self.arcs.iter_mut().enumerate() {
+            arc.cap = i64::from(i % 2 == 0);
+        }
+    }
+}
+
+impl crate::scratch::ResidualNet for EdgeNetwork {
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+    fn out_arcs(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+    fn arc_cap(&self, aid: usize) -> i64 {
+        self.arcs[aid].cap
+    }
+    fn arc_to(&self, aid: usize) -> usize {
+        self.arcs[aid].to
+    }
+    fn push_unit(&mut self, aid: usize) {
+        self.push(aid, 1);
+    }
+}
+
+/// A reusable edge-connectivity oracle over one graph: the flow network is
+/// built **once** and reset (allocation-free) between pair queries, so a
+/// verification loop over many pairs does no per-pair network construction.
+pub struct EdgeConnectivity {
+    net: EdgeNetwork,
+}
+
+impl EdgeConnectivity {
+    /// Builds the unit-capacity network for `graph`.
+    pub fn new<A: Adjacency + ?Sized>(graph: &A) -> Self {
+        EdgeConnectivity {
+            net: EdgeNetwork::new(graph),
+        }
+    }
+
+    /// Maximum number of edge-disjoint `s`–`t` paths, capped at `cap`, using
+    /// the pooled `scratch` for the augmenting BFS sweeps.
+    pub fn pair_connectivity(
+        &mut self,
+        s: Node,
+        t: Node,
+        cap: usize,
+        scratch: &mut crate::scratch::FlowScratch,
+    ) -> usize {
+        assert!(s != t, "edge connectivity requires distinct endpoints");
+        if cap == 0 {
+            return 0;
+        }
+        self.net.reset_caps();
+        let (source, sink) = (s as usize, t as usize);
+        let mut flow = 0usize;
+        while flow < cap && crate::scratch::augment_unit(&mut self.net, source, sink, scratch) {
+            flow += 1;
+        }
+        flow
+    }
 }
 
 /// Computes `k` edge-disjoint `s`–`t` paths of minimum total length, or
@@ -101,7 +165,7 @@ pub fn min_sum_edge_disjoint_paths<A: Adjacency + ?Sized>(
                     continue;
                 }
                 let nd = d + arc.cost + potential[v] - potential[arc.to];
-                if dist[arc.to].map_or(true, |cur| nd < cur) {
+                if dist[arc.to].is_none_or(|cur| nd < cur) {
                     dist[arc.to] = Some(nd);
                     parent[arc.to] = Some(aid);
                     heap.push(Reverse((nd, arc.to)));
@@ -171,16 +235,23 @@ pub fn pair_edge_connectivity<A: Adjacency + ?Sized>(
     t: Node,
     cap: usize,
 ) -> usize {
-    // Successive augmentation (BFS is enough for unit capacities, but reuse
-    // the cost machinery for simplicity: existence is all that matters here).
-    let mut k = 0usize;
-    while k < cap {
-        if min_sum_edge_disjoint_paths(graph, s, t, k + 1).is_none() {
-            break;
-        }
-        k += 1;
-    }
-    k
+    let mut scratch = crate::scratch::FlowScratch::new();
+    pair_edge_connectivity_with_scratch(graph, s, t, cap, &mut scratch)
+}
+
+/// Like [`pair_edge_connectivity`] but with the augmenting-BFS state pooled
+/// in a caller-held [`crate::scratch::FlowScratch`].  The flow network is
+/// still constructed per call; loops over many pairs of the *same* graph
+/// should hold an [`EdgeConnectivity`], which builds the network once and
+/// resets it allocation-free between pairs.
+pub fn pair_edge_connectivity_with_scratch<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    cap: usize,
+    scratch: &mut crate::scratch::FlowScratch,
+) -> usize {
+    EdgeConnectivity::new(graph).pair_connectivity(s, t, cap, scratch)
 }
 
 /// Checks that paths are pairwise edge-disjoint `s`–`t` paths of the graph.

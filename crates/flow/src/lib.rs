@@ -17,11 +17,17 @@ pub mod disjoint;
 pub mod edge_disjoint;
 pub mod menger;
 pub mod network;
+pub mod scratch;
 
 pub use disjoint::{dk_distance, min_sum_disjoint_paths, verify_disjoint_paths, DisjointPaths};
 pub use edge_disjoint::{
     dk_edge_distance, min_sum_edge_disjoint_paths, pair_edge_connectivity,
-    verify_edge_disjoint_paths, EdgeDisjointPaths,
+    pair_edge_connectivity_with_scratch, verify_edge_disjoint_paths, EdgeConnectivity,
+    EdgeDisjointPaths,
 };
-pub use menger::{is_k_connected_graph, is_k_connected_pair, pair_vertex_connectivity};
+pub use menger::{
+    is_k_connected_graph, is_k_connected_pair, pair_vertex_connectivity,
+    pair_vertex_connectivity_with_scratch,
+};
 pub use network::{Arc, ArcId, SplitNetwork};
+pub use scratch::FlowScratch;

@@ -7,9 +7,27 @@
 //! vertex-split network computes it in `O(κ · m)` per pair, which is the right
 //! trade-off for the many small queries verification performs.
 
-use crate::network::{ArcId, SplitNetwork};
+use crate::network::SplitNetwork;
+use crate::scratch::{augment_unit, FlowScratch, ResidualNet};
 use rspan_graph::{Adjacency, Node};
-use std::collections::VecDeque;
+
+impl ResidualNet for SplitNetwork {
+    fn num_vertices(&self) -> usize {
+        SplitNetwork::num_vertices(self)
+    }
+    fn out_arcs(&self, v: usize) -> &[usize] {
+        SplitNetwork::out_arcs(self, v)
+    }
+    fn arc_cap(&self, aid: usize) -> i64 {
+        self.arc(aid).cap
+    }
+    fn arc_to(&self, aid: usize) -> usize {
+        self.arc(aid).to
+    }
+    fn push_unit(&mut self, aid: usize) {
+        self.push(aid, 1);
+    }
+}
 
 /// Maximum number of internally vertex-disjoint paths between `s` and `t`,
 /// capped at `cap` (pass `usize::MAX` for the exact value).  Adjacent pairs
@@ -20,6 +38,20 @@ pub fn pair_vertex_connectivity<A: Adjacency + ?Sized>(
     t: Node,
     cap: usize,
 ) -> usize {
+    let mut scratch = FlowScratch::new();
+    pair_vertex_connectivity_with_scratch(graph, s, t, cap, &mut scratch)
+}
+
+/// Pooled form of [`pair_vertex_connectivity`]: the per-augmentation BFS
+/// state lives in a caller-held [`FlowScratch`], so verification loops over
+/// many pairs allocate nothing per BFS sweep.
+pub fn pair_vertex_connectivity_with_scratch<A: Adjacency + ?Sized>(
+    graph: &A,
+    s: Node,
+    t: Node,
+    cap: usize,
+    scratch: &mut FlowScratch,
+) -> usize {
     assert!(s != t, "connectivity is defined for distinct endpoints");
     if cap == 0 {
         return 0;
@@ -28,16 +60,8 @@ pub fn pair_vertex_connectivity<A: Adjacency + ?Sized>(
     let source = SplitNetwork::v_out(s);
     let sink = SplitNetwork::v_in(t);
     let mut flow = 0usize;
-    while flow < cap {
-        match augmenting_path(&net, source, sink) {
-            Some(path_arcs) => {
-                for arc in path_arcs {
-                    net.push(arc, 1);
-                }
-                flow += 1;
-            }
-            None => break,
-        }
+    while flow < cap && augment_unit(&mut net, source, sink, scratch) {
+        flow += 1;
     }
     flow
 }
@@ -65,42 +89,6 @@ pub fn is_k_connected_graph<A: Adjacency + ?Sized>(graph: &A, k: usize) -> bool 
         }
     }
     true
-}
-
-/// BFS for a single augmenting path; returns the arcs of the path (sink to
-/// source order is irrelevant because every arc gets one unit pushed).
-fn augmenting_path(net: &SplitNetwork, source: usize, sink: usize) -> Option<Vec<ArcId>> {
-    let nv = net.num_vertices();
-    let mut parent: Vec<Option<ArcId>> = vec![None; nv];
-    let mut visited = vec![false; nv];
-    let mut queue = VecDeque::new();
-    visited[source] = true;
-    queue.push_back(source);
-    'bfs: while let Some(v) = queue.pop_front() {
-        for &aid in net.out_arcs(v) {
-            let arc = net.arc(aid);
-            if arc.cap <= 0 || visited[arc.to] {
-                continue;
-            }
-            visited[arc.to] = true;
-            parent[arc.to] = Some(aid);
-            if arc.to == sink {
-                break 'bfs;
-            }
-            queue.push_back(arc.to);
-        }
-    }
-    if !visited[sink] {
-        return None;
-    }
-    let mut arcs = Vec::new();
-    let mut v = sink;
-    while v != source {
-        let aid = parent[v].expect("parent arc missing on augmenting path");
-        arcs.push(aid);
-        v = net.arc(aid ^ 1).to;
-    }
-    Some(arcs)
 }
 
 #[cfg(test)]

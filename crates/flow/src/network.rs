@@ -123,7 +123,7 @@ impl SplitNetwork {
 
     /// Flow currently on forward arc `id` (capacity moved onto the twin).
     pub fn flow_on(&self, id: ArcId) -> i64 {
-        debug_assert!(id % 2 == 0, "flow_on expects a forward arc id");
+        debug_assert!(id.is_multiple_of(2), "flow_on expects a forward arc id");
         self.arcs[id ^ 1].cap
     }
 

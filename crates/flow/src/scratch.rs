@@ -1,0 +1,93 @@
+//! Pooled state for the augmenting-path searches of the flow layer.
+//!
+//! The verification layers run one connectivity query per node *pair*, and
+//! each query runs up to `k + 1` BFS sweeps over the flow network.  Without
+//! pooling, every sweep allocates parent/visited/queue arrays of size `O(n)` —
+//! exactly the per-call allocation pattern the traversal-scratch refactor
+//! removes everywhere else.  [`FlowScratch`] holds those arrays with epoch
+//! stamping so one scratch serves every pair of a verification run.
+
+use rspan_graph::EpochFlags;
+
+/// Reusable BFS state over flow-network vertices.
+#[derive(Debug, Default)]
+pub struct FlowScratch {
+    /// Visited flags over network vertices (epoch-stamped, O(1) clear).
+    pub(crate) visited: EpochFlags,
+    /// Incoming arc id per visited vertex (valid only when `visited` is set).
+    pub(crate) parent: Vec<usize>,
+    /// BFS queue, reused across sweeps.
+    pub(crate) queue: Vec<usize>,
+}
+
+impl FlowScratch {
+    /// Creates an empty scratch; slabs grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new sweep over `nv` network vertices.
+    pub(crate) fn begin(&mut self, nv: usize) {
+        self.visited.begin(nv);
+        if self.parent.len() < nv {
+            self.parent.resize(nv, usize::MAX);
+        }
+        self.queue.clear();
+    }
+}
+
+/// The residual-network interface the shared augmenting BFS runs against:
+/// arcs are stored as forward/residual pairs (`aid ^ 1` is the twin).
+pub(crate) trait ResidualNet {
+    /// Number of network vertices.
+    fn num_vertices(&self) -> usize;
+    /// Outgoing arc ids of `v`.
+    fn out_arcs(&self, v: usize) -> &[usize];
+    /// Remaining capacity of arc `aid`.
+    fn arc_cap(&self, aid: usize) -> i64;
+    /// Head vertex of arc `aid`.
+    fn arc_to(&self, aid: usize) -> usize;
+    /// Pushes one unit over arc `aid` (and one back over its twin).
+    fn push_unit(&mut self, aid: usize);
+}
+
+/// BFS for a single augmenting path over pooled scratch; if one exists, one
+/// unit of flow is pushed along it and `true` is returned.  Shared by the
+/// vertex- (Menger) and edge-connectivity residual networks.
+pub(crate) fn augment_unit<N: ResidualNet>(
+    net: &mut N,
+    source: usize,
+    sink: usize,
+    scratch: &mut FlowScratch,
+) -> bool {
+    scratch.begin(net.num_vertices());
+    scratch.visited.set(source as rspan_graph::Node);
+    scratch.queue.push(source);
+    let mut head = 0usize;
+    'bfs: while head < scratch.queue.len() {
+        let v = scratch.queue[head];
+        head += 1;
+        for &aid in net.out_arcs(v) {
+            let to = net.arc_to(aid);
+            if net.arc_cap(aid) <= 0 || !scratch.visited.set(to as rspan_graph::Node) {
+                continue;
+            }
+            scratch.parent[to] = aid;
+            if to == sink {
+                break 'bfs;
+            }
+            scratch.queue.push(to);
+        }
+    }
+    if !scratch.visited.test(sink as rspan_graph::Node) {
+        return false;
+    }
+    // Push one unit along the parent chain (order is irrelevant).
+    let mut v = sink;
+    while v != source {
+        let aid = scratch.parent[v];
+        net.push_unit(aid);
+        v = net.arc_to(aid ^ 1);
+    }
+    true
+}

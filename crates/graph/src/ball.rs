@@ -8,42 +8,59 @@
 //! neighborhood exchange (all edges with both endpoints in `B_G(u, r)`, and
 //! edges from `B_G(u, r)` to `B_G(u, r+1)` if one more hop of neighbor lists
 //! is known).
+//!
+//! The `_into` variants run on a pooled [`TraversalScratch`] so that callers
+//! extracting many balls or views (the `RemSpan` drivers, the distributed
+//! simulator) pay no per-call `O(n)` allocation.
 
 use crate::adjacency::Adjacency;
-use crate::bfs::bfs_distances_bounded;
+use crate::bfs::bfs_into;
 use crate::csr::{CsrGraph, Node};
+use crate::scratch::TraversalScratch;
+
+/// Pooled form of [`ball`]: fills `out` (cleared first) with the nodes at
+/// distance at most `r` from `u`, sorted increasingly.
+pub fn ball_into<A: Adjacency + ?Sized>(
+    graph: &A,
+    u: Node,
+    r: u32,
+    scratch: &mut TraversalScratch,
+    out: &mut Vec<Node>,
+) {
+    bfs_into(graph, u, r, scratch);
+    out.clear();
+    out.extend_from_slice(scratch.visited());
+    out.sort_unstable();
+}
 
 /// Nodes at distance at most `r` from `u` (including `u`), sorted increasingly.
 pub fn ball<A: Adjacency + ?Sized>(graph: &A, u: Node, r: u32) -> Vec<Node> {
-    let dist = bfs_distances_bounded(graph, u, r);
-    dist.iter()
-        .enumerate()
-        .filter_map(|(v, d)| d.map(|_| v as Node))
-        .collect()
+    let mut scratch = TraversalScratch::new();
+    let mut out = Vec::new();
+    ball_into(graph, u, r, &mut scratch, &mut out);
+    out
 }
 
 /// Nodes at distance exactly `r` from `u`, sorted increasingly.
 pub fn ring<A: Adjacency + ?Sized>(graph: &A, u: Node, r: u32) -> Vec<Node> {
-    let dist = bfs_distances_bounded(graph, u, r);
-    dist.iter()
-        .enumerate()
-        .filter_map(|(v, d)| match d {
-            Some(dv) if *dv == r => Some(v as Node),
-            _ => None,
-        })
-        .collect()
+    annulus(graph, u, r, r)
 }
 
 /// Nodes with distance in the inclusive range `[lo, hi]` from `u`.
 pub fn annulus<A: Adjacency + ?Sized>(graph: &A, u: Node, lo: u32, hi: u32) -> Vec<Node> {
-    let dist = bfs_distances_bounded(graph, u, hi);
-    dist.iter()
-        .enumerate()
-        .filter_map(|(v, d)| match d {
-            Some(dv) if *dv >= lo && *dv <= hi => Some(v as Node),
-            _ => None,
+    let mut scratch = TraversalScratch::new();
+    bfs_into(graph, u, hi, &mut scratch);
+    let mut out: Vec<Node> = scratch
+        .visited()
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let d = scratch.dist_or_unreached(v);
+            d >= lo && d <= hi
         })
-        .collect()
+        .collect();
+    out.sort_unstable();
+    out
 }
 
 /// The local view of a node in the LOCAL model after learning the neighbor
@@ -96,33 +113,32 @@ impl LocalView {
     }
 }
 
-/// Extracts the [`LocalView`] of `center` with the given knowledge radius.
-pub fn local_view(graph: &CsrGraph, center: Node, knowledge_radius: u32) -> LocalView {
-    let dist = bfs_distances_bounded(graph, center, knowledge_radius + 1);
-    let mut members: Vec<Node> = dist
-        .iter()
-        .enumerate()
-        .filter_map(|(v, d)| d.map(|_| v as Node))
-        .collect();
+/// Pooled form of [`local_view`]: the bounded BFS runs on `scratch`, and the
+/// member/edge lookups work off the sorted member list instead of a dense
+/// `O(n)` index map, so extraction cost scales with the *view* size only.
+/// (The returned [`LocalView`] itself owns its node/edge arrays — those are
+/// the output, not scratch.)
+pub fn local_view_into(
+    graph: &CsrGraph,
+    center: Node,
+    knowledge_radius: u32,
+    scratch: &mut TraversalScratch,
+) -> LocalView {
+    bfs_into(graph, center, knowledge_radius + 1, scratch);
+    let mut members: Vec<Node> = scratch.visited().to_vec();
     members.sort_unstable();
-    let mut global_to_local = vec![Node::MAX; graph.n()];
-    for (i, &g) in members.iter().enumerate() {
-        global_to_local[g as usize] = i as Node;
-    }
+    let local_of = |g: Node| -> Option<Node> { members.binary_search(&g).ok().map(|i| i as Node) };
     let mut edges: Vec<(Node, Node)> = Vec::new();
-    for &g in &members {
-        let dg = dist[g as usize].expect("member has a distance");
+    for (li, &g) in members.iter().enumerate() {
+        let dg = scratch.dist_or_unreached(g);
         // A node's incident edges are known iff the node itself is within the
         // knowledge radius (its neighbor list has been received).
         if dg > knowledge_radius {
             continue;
         }
-        let lu = global_to_local[g as usize];
+        let lu = li as Node;
         for &w in graph.neighbors(g) {
-            let lw = global_to_local[w as usize];
-            if lw == Node::MAX {
-                continue;
-            }
+            let Some(lw) = local_of(w) else { continue };
             let (a, b) = if lu < lw { (lu, lw) } else { (lw, lu) };
             edges.push((a, b));
         }
@@ -130,7 +146,7 @@ pub fn local_view(graph: &CsrGraph, center: Node, knowledge_radius: u32) -> Loca
     let local_graph = CsrGraph::from_edges(members.len(), &edges);
     let dist_from_center = members
         .iter()
-        .map(|&g| dist[g as usize].expect("member has a distance"))
+        .map(|&g| scratch.dist_or_unreached(g))
         .collect();
     LocalView {
         center,
@@ -139,6 +155,12 @@ pub fn local_view(graph: &CsrGraph, center: Node, knowledge_radius: u32) -> Loca
         local_to_global: members,
         dist_from_center,
     }
+}
+
+/// Extracts the [`LocalView`] of `center` with the given knowledge radius.
+pub fn local_view(graph: &CsrGraph, center: Node, knowledge_radius: u32) -> LocalView {
+    let mut scratch = TraversalScratch::new();
+    local_view_into(graph, center, knowledge_radius, &mut scratch)
 }
 
 #[cfg(test)]
@@ -162,6 +184,19 @@ mod tests {
     fn ball_radius_larger_than_graph_is_everything() {
         let g = cycle_graph(6);
         assert_eq!(ball(&g, 0, 100).len(), 6);
+    }
+
+    #[test]
+    fn pooled_ball_reuses_scratch_and_buffer() {
+        let g = grid_graph(5, 5);
+        let mut scratch = TraversalScratch::new();
+        let mut buf = Vec::new();
+        for u in g.nodes() {
+            for r in 0..4 {
+                ball_into(&g, u, r, &mut scratch, &mut buf);
+                assert_eq!(buf, ball(&g, u, r), "u={u} r={r}");
+            }
+        }
     }
 
     #[test]
@@ -224,6 +259,19 @@ mod tests {
                     "node {gid} local/global distance mismatch"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pooled_local_view_matches_allocating_across_centers() {
+        let g = grid_graph(6, 5);
+        let mut scratch = TraversalScratch::new();
+        for c in g.nodes() {
+            let pooled = local_view_into(&g, c, 2, &mut scratch);
+            let fresh = local_view(&g, c, 2);
+            assert_eq!(pooled.local_to_global, fresh.local_to_global);
+            assert_eq!(pooled.graph, fresh.graph);
+            assert_eq!(pooled.dist_from_center, fresh.dist_from_center);
         }
     }
 }

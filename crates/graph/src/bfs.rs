@@ -3,13 +3,17 @@
 //! Every algorithm of the paper reduces to bounded BFS in some view of the
 //! graph: computing balls `B_G(u, r)`, shortest-path trees for dominating
 //! trees, and the `d_{H_u}(u, v)` distances needed by the verification layer.
+//!
+//! The hot kernels are the `_into` functions, which run on a pooled
+//! [`TraversalScratch`] and allocate nothing: one scratch is reused across an
+//! arbitrary number of sources (epoch stamping makes the reset O(1)).  The
+//! classic allocating signatures ([`bfs_distances`], [`bfs_tree`], …) remain
+//! as thin wrappers that produce the same results from a private scratch.
 
 use crate::adjacency::Adjacency;
 use crate::csr::Node;
+use crate::scratch::{TraversalScratch, NO_NODE};
 use std::collections::VecDeque;
-
-/// Unreached marker used internally; public results use `Option<u32>`.
-const UNREACHED: u32 = u32::MAX;
 
 /// Result of a BFS from a single source: distances and parent pointers.
 #[derive(Clone, Debug)]
@@ -54,6 +58,58 @@ impl BfsTree {
     }
 }
 
+/// Bounded BFS from `source` into a pooled scratch: distances, parents and
+/// visit order land in `scratch` with **zero** allocation (after the scratch
+/// has grown to the graph's size once).
+///
+/// Nodes farther than `radius` hops are not explored.  Query the result with
+/// [`TraversalScratch::dist`], [`TraversalScratch::parent`],
+/// [`TraversalScratch::visited`] and
+/// [`TraversalScratch::path_from_source_into`]; it stays valid until the next
+/// `_into` call on the same scratch.
+pub fn bfs_into<A: Adjacency + ?Sized>(
+    graph: &A,
+    source: Node,
+    radius: u32,
+    scratch: &mut TraversalScratch,
+) {
+    scratch.begin(graph.num_nodes());
+    scratch.visit(source, 0, NO_NODE);
+    scratch.run_bounded(graph, radius);
+}
+
+/// Multi-source bounded BFS into a pooled scratch: each node's distance is
+/// the hop distance to the *nearest* source.
+pub fn multi_source_into<A: Adjacency + ?Sized>(
+    graph: &A,
+    sources: &[Node],
+    radius: u32,
+    scratch: &mut TraversalScratch,
+) {
+    scratch.begin(graph.num_nodes());
+    for &s in sources {
+        scratch.visit(s, 0, NO_NODE);
+    }
+    scratch.run_bounded(graph, radius);
+}
+
+/// Bounded source → target distance using a pooled scratch; stops the sweep
+/// as soon as `target` is settled.  `None` beyond `radius` hops.
+pub fn pair_distance_into<A: Adjacency + ?Sized>(
+    graph: &A,
+    source: Node,
+    target: Node,
+    radius: u32,
+    scratch: &mut TraversalScratch,
+) -> Option<u32> {
+    if source == target {
+        return Some(0);
+    }
+    scratch.begin(graph.num_nodes());
+    scratch.visit(source, 0, NO_NODE);
+    scratch.run_bounded_until(graph, radius, target)
+}
+
 /// BFS distances from `source`, unbounded.
 pub fn bfs_distances<A: Adjacency + ?Sized>(graph: &A, source: Node) -> Vec<Option<u32>> {
     bfs_distances_bounded(graph, source, u32::MAX)
@@ -66,56 +122,20 @@ pub fn bfs_distances_bounded<A: Adjacency + ?Sized>(
     source: Node,
     radius: u32,
 ) -> Vec<Option<u32>> {
-    let n = graph.num_nodes();
-    let mut dist = vec![UNREACHED; n];
-    let mut queue = VecDeque::new();
-    dist[source as usize] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        if du >= radius {
-            continue;
-        }
-        graph.for_each_neighbor(u, &mut |v| {
-            if dist[v as usize] == UNREACHED {
-                dist[v as usize] = du + 1;
-                queue.push_back(v);
-            }
-        });
-    }
-    dist.into_iter()
-        .map(|d| if d == UNREACHED { None } else { Some(d) })
-        .collect()
+    let mut scratch = TraversalScratch::new();
+    bfs_into(graph, source, radius, &mut scratch);
+    scratch.dist_vec(graph.num_nodes())
 }
 
 /// Full BFS tree (distances + parents) from `source`, bounded by `radius`.
 pub fn bfs_tree_bounded<A: Adjacency + ?Sized>(graph: &A, source: Node, radius: u32) -> BfsTree {
+    let mut scratch = TraversalScratch::new();
+    bfs_into(graph, source, radius, &mut scratch);
     let n = graph.num_nodes();
-    let mut dist = vec![UNREACHED; n];
-    let mut parent = vec![None; n];
-    let mut queue = VecDeque::new();
-    dist[source as usize] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        if du >= radius {
-            continue;
-        }
-        graph.for_each_neighbor(u, &mut |v| {
-            if dist[v as usize] == UNREACHED {
-                dist[v as usize] = du + 1;
-                parent[v as usize] = Some(u);
-                queue.push_back(v);
-            }
-        });
-    }
     BfsTree {
         source,
-        dist: dist
-            .into_iter()
-            .map(|d| if d == UNREACHED { None } else { Some(d) })
-            .collect(),
-        parent,
+        dist: scratch.dist_vec(n),
+        parent: (0..n as Node).map(|v| scratch.parent(v)).collect(),
     }
 }
 
@@ -137,34 +157,8 @@ pub fn pair_distance_bounded<A: Adjacency + ?Sized>(
     target: Node,
     radius: u32,
 ) -> Option<u32> {
-    if source == target {
-        return Some(0);
-    }
-    let n = graph.num_nodes();
-    let mut dist = vec![UNREACHED; n];
-    let mut queue = VecDeque::new();
-    dist[source as usize] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        if du >= radius {
-            continue;
-        }
-        let mut found = false;
-        graph.for_each_neighbor(u, &mut |v| {
-            if dist[v as usize] == UNREACHED {
-                dist[v as usize] = du + 1;
-                if v == target {
-                    found = true;
-                }
-                queue.push_back(v);
-            }
-        });
-        if found {
-            return Some(du + 1);
-        }
-    }
-    None
+    let mut scratch = TraversalScratch::new();
+    pair_distance_into(graph, source, target, radius, &mut scratch)
 }
 
 /// Multi-source BFS: distance from the *nearest* source.
@@ -172,36 +166,20 @@ pub fn multi_source_distances<A: Adjacency + ?Sized>(
     graph: &A,
     sources: &[Node],
 ) -> Vec<Option<u32>> {
-    let n = graph.num_nodes();
-    let mut dist = vec![UNREACHED; n];
-    let mut queue = VecDeque::new();
-    for &s in sources {
-        if dist[s as usize] == UNREACHED {
-            dist[s as usize] = 0;
-            queue.push_back(s);
-        }
-    }
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
-        graph.for_each_neighbor(u, &mut |v| {
-            if dist[v as usize] == UNREACHED {
-                dist[v as usize] = du + 1;
-                queue.push_back(v);
-            }
-        });
-    }
-    dist.into_iter()
-        .map(|d| if d == UNREACHED { None } else { Some(d) })
-        .collect()
+    let mut scratch = TraversalScratch::new();
+    multi_source_into(graph, sources, u32::MAX, &mut scratch);
+    scratch.dist_vec(graph.num_nodes())
 }
 
 /// Eccentricity of `source`: the largest finite distance from it, or `None`
 /// if the graph has a single node reachable (eccentricity of isolated node is 0).
 pub fn eccentricity<A: Adjacency + ?Sized>(graph: &A, source: Node) -> u32 {
-    bfs_distances(graph, source)
-        .into_iter()
-        .flatten()
-        .max()
+    let mut scratch = TraversalScratch::new();
+    bfs_into(graph, source, u32::MAX, &mut scratch);
+    scratch
+        .visited()
+        .last()
+        .map(|&v| scratch.dist_or_unreached(v))
         .unwrap_or(0)
 }
 
@@ -211,7 +189,9 @@ pub fn is_connected<A: Adjacency + ?Sized>(graph: &A) -> bool {
     if n <= 1 {
         return true;
     }
-    bfs_distances(graph, 0).iter().all(|d| d.is_some())
+    let mut scratch = TraversalScratch::new();
+    bfs_into(graph, 0, u32::MAX, &mut scratch);
+    scratch.num_visited() == n
 }
 
 /// Connected components; returns `comp[v]` = component index, components
@@ -219,8 +199,8 @@ pub fn is_connected<A: Adjacency + ?Sized>(graph: &A) -> bool {
 pub fn connected_components<A: Adjacency + ?Sized>(graph: &A) -> Vec<usize> {
     let n = graph.num_nodes();
     let mut comp = vec![usize::MAX; n];
-    let mut next = 0usize;
     let mut queue = VecDeque::new();
+    let mut next = 0usize;
     for s in 0..n {
         if comp[s] != usize::MAX {
             continue;
@@ -260,8 +240,8 @@ mod tests {
     fn distances_on_a_path() {
         let g = path_graph(6);
         let d = bfs_distances(&g, 0);
-        for v in 0..6 {
-            assert_eq!(d[v], Some(v as u32));
+        for (v, dv) in d.iter().enumerate() {
+            assert_eq!(*dv, Some(v as u32));
         }
     }
 
@@ -342,5 +322,21 @@ mod tests {
     fn isolated_source_eccentricity_zero() {
         let g = CsrGraph::empty(3);
         assert_eq!(eccentricity(&g, 1), 0);
+    }
+
+    #[test]
+    fn pooled_bfs_matches_allocating_bfs_across_many_sources() {
+        let g = cycle_graph(17);
+        let mut scratch = TraversalScratch::new();
+        for round in 0..3 {
+            for s in g.nodes() {
+                let radius = 2 + round;
+                bfs_into(&g, s, radius, &mut scratch);
+                let reference = bfs_distances_bounded(&g, s, radius);
+                for v in g.nodes() {
+                    assert_eq!(scratch.dist(v), reference[v as usize], "source {s}");
+                }
+            }
+        }
     }
 }

@@ -2,14 +2,16 @@
 //!
 //! Verifying the `(α, β)` remote-stretch of a spanner on a moderate-size graph
 //! requires the exact distance `d_G(u, v)` for every pair, which is `n` BFS
-//! runs.  The runs are independent, so they are distributed over threads with
-//! crossbeam scoped threads (see the Rayon/perf-book guidance: embarrassingly
-//! parallel loops over read-only shared data).
+//! runs.  The runs are independent, so they are split over `std::thread`
+//! scoped workers, each holding its **own** pooled [`TraversalScratch`]
+//! (see the thread-locality rules in [`crate::scratch`]) and writing into a
+//! disjoint row range of the output matrix — no locks, no per-source
+//! allocation.
 
 use crate::adjacency::Adjacency;
-use crate::bfs::bfs_distances;
+use crate::bfs::bfs_into;
 use crate::csr::Node;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::scratch::TraversalScratch;
 
 /// Dense all-pairs hop-distance matrix.
 ///
@@ -60,23 +62,36 @@ impl DistanceMatrix {
     }
 }
 
-/// Computes the all-pairs distance matrix sequentially.
+/// Fills one row of the matrix from a finished traversal: only the visited
+/// entries are written (the row is pre-filled with [`UNREACHABLE`]).
+fn fill_row(scratch: &TraversalScratch, row: &mut [u32]) {
+    for &v in scratch.visited() {
+        row[v as usize] = scratch.dist_or_unreached(v);
+    }
+}
+
+/// Computes the all-pairs distance matrix sequentially with one pooled
+/// scratch across all `n` sources.
 pub fn all_pairs_distances<A: Adjacency + ?Sized>(graph: &A) -> DistanceMatrix {
     let n = graph.num_nodes();
     let mut data = vec![UNREACHABLE; n * n];
-    for u in 0..n {
-        let d = bfs_distances(graph, u as Node);
-        for (v, dv) in d.into_iter().enumerate() {
-            if let Some(x) = dv {
-                data[u * n + v] = x;
-            }
-        }
+    let mut scratch = TraversalScratch::with_capacity(n);
+    for (u, row) in data.chunks_mut(n.max(1)).enumerate().take(n) {
+        bfs_into(graph, u as Node, u32::MAX, &mut scratch);
+        fill_row(&scratch, row);
     }
     DistanceMatrix { n, data }
 }
 
 /// Computes the all-pairs distance matrix with one BFS per source distributed
 /// over `threads` worker threads (defaults to available parallelism when 0).
+///
+/// Rows are dealt to workers in a round-robin stripe (worker `w` gets rows
+/// `w, w + threads, w + 2·threads, …`), so clusters of expensive sources —
+/// e.g. one giant component occupying a contiguous id range — spread across
+/// all workers instead of landing in one contiguous block.  Each worker owns
+/// its rows and a private [`TraversalScratch`]; there is no shared mutable
+/// state and no lock.
 pub fn all_pairs_distances_parallel<A>(graph: &A, threads: usize) -> DistanceMatrix
 where
     A: Adjacency + Sync + ?Sized,
@@ -93,55 +108,25 @@ where
         return all_pairs_distances(graph);
     }
     let mut data = vec![UNREACHABLE; n * n];
-    let counter = AtomicUsize::new(0);
-    // Hand each thread a disjoint set of rows by chunking the output buffer;
-    // rows are claimed dynamically from a shared counter so uneven BFS costs
-    // (e.g. in disconnected or irregular graphs) balance out.
-    let rows: Vec<&mut [u32]> = data.chunks_mut(n).collect();
-    let row_cells: Vec<parking_slot::RowSlot<'_>> =
-        rows.into_iter().map(parking_slot::RowSlot::new).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let u = counter.fetch_add(1, Ordering::Relaxed);
-                if u >= n {
-                    break;
-                }
-                let d = bfs_distances(graph, u as Node);
-                let row = row_cells[u].take();
-                for (v, dv) in d.into_iter().enumerate() {
-                    if let Some(x) = dv {
-                        row[v] = x;
-                    }
+    // Stripe the rows: hand &mut row slices out round-robin.
+    let mut per_worker: Vec<Vec<(usize, &mut [u32])>> = (0..threads)
+        .map(|_| Vec::with_capacity(n / threads + 1))
+        .collect();
+    for (u, row) in data.chunks_mut(n).enumerate() {
+        per_worker[u % threads].push((u, row));
+    }
+    std::thread::scope(|scope| {
+        for rows in per_worker {
+            scope.spawn(move || {
+                let mut scratch = TraversalScratch::with_capacity(n);
+                for (u, row) in rows {
+                    bfs_into(graph, u as Node, u32::MAX, &mut scratch);
+                    fill_row(&scratch, row);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     DistanceMatrix { n, data }
-}
-
-/// Tiny helper giving each row exactly one owner across threads without
-/// unsafe code: each row slot can be taken once.
-mod parking_slot {
-    use std::sync::Mutex;
-
-    pub struct RowSlot<'a>(Mutex<Option<&'a mut [u32]>>);
-
-    impl<'a> RowSlot<'a> {
-        pub fn new(row: &'a mut [u32]) -> Self {
-            RowSlot(Mutex::new(Some(row)))
-        }
-
-        /// Takes the row; panics if taken twice (each row has one owner).
-        pub fn take(&self) -> &'a mut [u32] {
-            self.0
-                .lock()
-                .expect("row mutex poisoned")
-                .take()
-                .expect("row claimed twice")
-        }
-    }
 }
 
 #[cfg(test)]
@@ -206,5 +191,16 @@ mod tests {
         assert_eq!(m0.n(), 0);
         assert!(m0.is_connected());
         assert_eq!(m0.diameter(), None);
+    }
+
+    #[test]
+    fn uneven_thread_partition_covers_all_rows() {
+        // 150 rows over 7 threads exercises the trailing short block.
+        let g = gnp(150, 0.03, 5);
+        let seq = all_pairs_distances(&g);
+        let par = all_pairs_distances_parallel(&g, 7);
+        for u in g.nodes() {
+            assert_eq!(seq.row(u), par.row(u));
+        }
     }
 }

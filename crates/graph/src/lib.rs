@@ -27,14 +27,15 @@ pub mod distance;
 pub mod edgeset;
 pub mod generators;
 pub mod io;
+pub mod scratch;
 pub mod stats;
 
 pub use adjacency::Adjacency;
-pub use ball::{annulus, ball, local_view, ring, LocalView};
+pub use ball::{annulus, ball, ball_into, local_view, local_view_into, ring, LocalView};
 pub use bfs::{
-    bfs_distances, bfs_distances_bounded, bfs_tree, bfs_tree_bounded, connected_components,
-    eccentricity, is_connected, multi_source_distances, num_components, pair_distance,
-    pair_distance_bounded, BfsTree,
+    bfs_distances, bfs_distances_bounded, bfs_into, bfs_tree, bfs_tree_bounded,
+    connected_components, eccentricity, is_connected, multi_source_distances, multi_source_into,
+    num_components, pair_distance, pair_distance_bounded, pair_distance_into, BfsTree,
 };
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, Node};
@@ -43,4 +44,5 @@ pub use distance::{
 };
 pub use edgeset::{AugmentedSubgraph, EdgeSet, Subgraph};
 pub use io::{from_edge_list, to_dot, to_edge_list, ParseError};
+pub use scratch::{EpochCounters, EpochFlags, TraversalScratch};
 pub use stats::{degree_stats, density, linear_fit, power_law_exponent, DegreeStats, LineFit};

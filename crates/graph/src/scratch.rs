@@ -1,0 +1,490 @@
+//! Reusable, epoch-stamped traversal scratch — the zero-allocation BFS
+//! substrate every layer of the workspace pools.
+//!
+//! Every algorithm of the paper reduces to *bounded* BFS: balls `B_G(u, r)`,
+//! local views, dominating-tree shortest paths, and the `d_{H_u}(u, v)`
+//! sweeps of the verification layer.  The paper's headline is that each node
+//! only touches its `(r − 1 + β)`-hop neighborhood — but a kernel that
+//! allocates and zeroes `O(n)` arrays per call pays `O(n)` anyway, turning
+//! `RemSpan` over an n-node graph into `O(n²)` memory traffic even when every
+//! neighborhood is `O(1)`.
+//!
+//! [`TraversalScratch`] fixes this with *generation stamping*: each slot
+//! carries the epoch of the traversal that last wrote it, so "reset" is a
+//! single counter increment and a traversal touches only the slots it visits.
+//! One scratch is meant to be reused across **many** sources — `rem_span`
+//! holds one per worker thread for all of its per-node trees, the
+//! verification layer holds one per sweep direction, the distributed
+//! simulator holds per-node scratch across rounds.
+//!
+//! # Thread-locality rules
+//!
+//! A scratch is plain mutable state: it is `Send` but deliberately not shared
+//! (`&mut` access only).  Pools must be **per thread** — give each worker its
+//! own scratch and merge results (e.g. [`crate::EdgeSet::union_with`]) after
+//! the loop.  Never hand one scratch to two concurrent traversals.
+//!
+//! [`EpochFlags`] and [`EpochCounters`] are the same trick for the boolean
+//! and counter side-arrays the greedy set-cover rounds use.
+
+use crate::adjacency::Adjacency;
+use crate::csr::Node;
+
+/// Sentinel for "no parent" inside the dense parent slab.
+pub const NO_NODE: Node = Node::MAX;
+
+/// Dense, epoch-stamped BFS state (distances, parents, queue) reusable across
+/// traversals without per-call allocation or O(n) clearing.
+///
+/// After a call to [`crate::bfs::bfs_into`] (or one of the other `_into`
+/// kernels) the scratch holds the traversal result until the next `_into`
+/// call on the same scratch: query it with [`TraversalScratch::dist`],
+/// [`TraversalScratch::parent`], [`TraversalScratch::visited`] and
+/// [`TraversalScratch::path_from_source_into`].
+#[derive(Clone, Debug)]
+pub struct TraversalScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    parent: Vec<Node>,
+    /// Visit order of the current traversal; doubles as the BFS queue.
+    queue: Vec<Node>,
+}
+
+impl Default for TraversalScratch {
+    fn default() -> Self {
+        TraversalScratch {
+            // Epochs are always ≥ 1 so the 0-filled stamp slabs can never
+            // collide with the current epoch: a pristine (or freshly grown)
+            // scratch reports every node unreached.
+            epoch: 1,
+            stamp: Vec::new(),
+            dist: Vec::new(),
+            parent: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+}
+
+impl TraversalScratch {
+    /// Creates an empty scratch; it grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for graphs with up to `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::default();
+        s.ensure(n);
+        s
+    }
+
+    /// Grows the slabs to cover node ids `0..n`.  Existing stamps stay valid.
+    pub fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+            self.parent.resize(n, NO_NODE);
+        }
+    }
+
+    /// Starts a new traversal over `n` nodes: O(1) epoch bump (O(n) only on
+    /// first use, growth, or epoch wrap-around every `u32::MAX` traversals).
+    pub fn begin(&mut self, n: usize) {
+        self.ensure(n);
+        self.queue.clear();
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Marks `v` visited with distance `d` and parent `p` (`NO_NODE` for a
+    /// source) and enqueues it.  Returns `false` if `v` was already visited
+    /// in the current traversal.
+    #[inline]
+    pub fn visit(&mut self, v: Node, d: u32, p: Node) -> bool {
+        let slot = &mut self.stamp[v as usize];
+        if *slot == self.epoch {
+            return false;
+        }
+        *slot = self.epoch;
+        self.dist[v as usize] = d;
+        self.parent[v as usize] = p;
+        self.queue.push(v);
+        true
+    }
+
+    /// Whether `v` was reached by the current traversal.
+    #[inline]
+    pub fn reached(&self, v: Node) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    /// Distance of `v` from the source(s), `None` if unreached.
+    #[inline]
+    pub fn dist(&self, v: Node) -> Option<u32> {
+        if self.reached(v) {
+            Some(self.dist[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Distance of `v` with `u32::MAX` as the unreached sentinel (dense form
+    /// for hot loops that avoid the `Option` branch).
+    #[inline]
+    pub fn dist_or_unreached(&self, v: Node) -> u32 {
+        if self.reached(v) {
+            self.dist[v as usize]
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// BFS parent of `v`, `None` for sources and unreached nodes.
+    #[inline]
+    pub fn parent(&self, v: Node) -> Option<Node> {
+        if self.reached(v) && self.parent[v as usize] != NO_NODE {
+            Some(self.parent[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The nodes reached by the current traversal, in visit (BFS) order.
+    #[inline]
+    pub fn visited(&self) -> &[Node] {
+        &self.queue
+    }
+
+    /// Number of nodes reached by the current traversal.
+    pub fn num_visited(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reconstructs the source → `target` path into `out` (cleared first).
+    /// Returns `false` (leaving `out` empty) if `target` was not reached.
+    pub fn path_from_source_into(&self, target: Node, out: &mut Vec<Node>) -> bool {
+        out.clear();
+        if !self.reached(target) {
+            return false;
+        }
+        let mut cur = target;
+        out.push(cur);
+        while self.parent[cur as usize] != NO_NODE {
+            cur = self.parent[cur as usize];
+            out.push(cur);
+        }
+        out.reverse();
+        true
+    }
+
+    /// Allocating convenience form of [`TraversalScratch::path_from_source_into`].
+    pub fn path_from_source(&self, target: Node) -> Option<Vec<Node>> {
+        let mut out = Vec::new();
+        if self.path_from_source_into(target, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Copies the distances of the current traversal into the classic
+    /// `Vec<Option<u32>>` form over `0..n` (used by the compatibility
+    /// wrappers; pooled callers should query the scratch directly).
+    pub fn dist_vec(&self, n: usize) -> Vec<Option<u32>> {
+        (0..n as Node).map(|v| self.dist(v)).collect()
+    }
+
+    /// Internal: runs a bounded BFS from the already-seeded queue.  Callers
+    /// must have called [`TraversalScratch::begin`] and visited the source(s).
+    pub(crate) fn run_bounded<A: Adjacency + ?Sized>(&mut self, graph: &A, radius: u32) {
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            if du >= radius {
+                continue;
+            }
+            // Destructure so the neighbor closure borrows fields, not `self`.
+            let TraversalScratch {
+                epoch,
+                stamp,
+                dist,
+                parent,
+                queue,
+            } = self;
+            graph.for_each_neighbor(u, &mut |v| {
+                let slot = &mut stamp[v as usize];
+                if *slot != *epoch {
+                    *slot = *epoch;
+                    dist[v as usize] = du + 1;
+                    parent[v as usize] = u;
+                    queue.push(v);
+                }
+            });
+        }
+    }
+
+    /// Internal: like [`TraversalScratch::run_bounded`] but returns as soon
+    /// as `target` is discovered, with its distance.
+    pub(crate) fn run_bounded_until<A: Adjacency + ?Sized>(
+        &mut self,
+        graph: &A,
+        radius: u32,
+        target: Node,
+    ) -> Option<u32> {
+        if self.reached(target) {
+            return Some(self.dist[target as usize]);
+        }
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            if du >= radius {
+                continue;
+            }
+            let TraversalScratch {
+                epoch,
+                stamp,
+                dist,
+                parent,
+                queue,
+            } = self;
+            let mut found = false;
+            graph.for_each_neighbor(u, &mut |v| {
+                let slot = &mut stamp[v as usize];
+                if *slot != *epoch {
+                    *slot = *epoch;
+                    dist[v as usize] = du + 1;
+                    parent[v as usize] = u;
+                    queue.push(v);
+                    if v == target {
+                        found = true;
+                    }
+                }
+            });
+            if found {
+                return Some(du + 1);
+            }
+        }
+        None
+    }
+}
+
+/// Epoch-stamped boolean slab: a reusable `vec![false; n]` with O(1) clear.
+#[derive(Clone, Debug)]
+pub struct EpochFlags {
+    epoch: u32,
+    stamp: Vec<u32>,
+}
+
+impl Default for EpochFlags {
+    fn default() -> Self {
+        // Epoch ≥ 1 keeps pristine 0-filled stamps unset (see
+        // `TraversalScratch::default`).
+        EpochFlags {
+            epoch: 1,
+            stamp: Vec::new(),
+        }
+    }
+}
+
+impl EpochFlags {
+    /// Creates an empty flag slab; it grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all flags over `0..n` in O(1) (amortised).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Sets flag `v`; returns `true` if it was previously unset.
+    #[inline]
+    pub fn set(&mut self, v: Node) -> bool {
+        let slot = &mut self.stamp[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+
+    /// Unsets flag `v`.
+    #[inline]
+    pub fn unset(&mut self, v: Node) {
+        // 0 can never equal the current epoch (begin() starts at 1).
+        self.stamp[v as usize] = 0;
+    }
+
+    /// Whether flag `v` is set.
+    #[inline]
+    pub fn test(&self, v: Node) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+}
+
+/// Epoch-stamped counter slab: a reusable `vec![0u32; n]` with O(1) clear.
+#[derive(Clone, Debug)]
+pub struct EpochCounters {
+    epoch: u32,
+    stamp: Vec<u32>,
+    value: Vec<u32>,
+}
+
+impl Default for EpochCounters {
+    fn default() -> Self {
+        // Epoch ≥ 1 keeps pristine 0-filled stamps stale (see
+        // `TraversalScratch::default`).
+        EpochCounters {
+            epoch: 1,
+            stamp: Vec::new(),
+            value: Vec::new(),
+        }
+    }
+}
+
+impl EpochCounters {
+    /// Creates an empty counter slab; it grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all counters over `0..n` to zero in O(1) (amortised).
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.value.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Current value of counter `v` (0 if untouched this epoch).
+    #[inline]
+    pub fn get(&self, v: Node) -> u32 {
+        if self.stamp[v as usize] == self.epoch {
+            self.value[v as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Sets counter `v` to `x`.
+    #[inline]
+    pub fn set(&mut self, v: Node, x: u32) {
+        self.stamp[v as usize] = self.epoch;
+        self.value[v as usize] = x;
+    }
+
+    /// Adds `dx` to counter `v` and returns the new value.
+    #[inline]
+    pub fn add(&mut self, v: Node, dx: u32) -> u32 {
+        let x = self.get(v) + dx;
+        self.set(v, x);
+        x
+    }
+
+    /// Subtracts `dx` (saturating) from counter `v`, returning the new value.
+    #[inline]
+    pub fn sub(&mut self, v: Node, dx: u32) -> u32 {
+        let x = self.get(v).saturating_sub(dx);
+        self.set(v, x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured::path_graph;
+
+    #[test]
+    fn pristine_presized_scratch_reports_nothing_visited() {
+        // Regression: a fresh pre-sized scratch must not report fabricated
+        // distance-0 visits (epoch must never equal the 0-filled stamps).
+        let s = TraversalScratch::with_capacity(8);
+        for v in 0..8 {
+            assert!(!s.reached(v));
+            assert_eq!(s.dist(v), None);
+            assert_eq!(s.parent(v), None);
+        }
+        let mut grown = TraversalScratch::new();
+        grown.ensure(4);
+        assert!(!grown.reached(2));
+        assert_eq!(grown.dist(2), None);
+    }
+
+    #[test]
+    fn epoch_reset_is_logical_clear() {
+        let mut f = EpochFlags::new();
+        f.begin(4);
+        assert!(f.set(2));
+        assert!(!f.set(2));
+        assert!(f.test(2));
+        f.begin(4);
+        assert!(!f.test(2), "stale flag survived the epoch bump");
+        assert!(f.set(2));
+        f.unset(2);
+        assert!(!f.test(2));
+    }
+
+    #[test]
+    fn counters_reset_to_zero_each_epoch() {
+        let mut c = EpochCounters::new();
+        c.begin(3);
+        assert_eq!(c.add(1, 5), 5);
+        assert_eq!(c.sub(1, 2), 3);
+        assert_eq!(c.get(0), 0);
+        c.begin(3);
+        assert_eq!(c.get(1), 0, "stale counter survived the epoch bump");
+    }
+
+    #[test]
+    fn scratch_grows_and_keeps_old_results_until_next_begin() {
+        let g = path_graph(5);
+        let mut s = TraversalScratch::new();
+        crate::bfs::bfs_into(&g, 0, u32::MAX, &mut s);
+        assert_eq!(s.dist(4), Some(4));
+        assert_eq!(s.visited(), &[0, 1, 2, 3, 4]);
+        let bigger = path_graph(9);
+        crate::bfs::bfs_into(&bigger, 8, u32::MAX, &mut s);
+        assert_eq!(s.dist(0), Some(8));
+        assert_eq!(s.num_visited(), 9);
+    }
+
+    #[test]
+    fn path_reconstruction_reuses_buffer() {
+        let g = path_graph(6);
+        let mut s = TraversalScratch::new();
+        let mut buf = Vec::new();
+        crate::bfs::bfs_into(&g, 0, u32::MAX, &mut s);
+        assert!(s.path_from_source_into(3, &mut buf));
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        crate::bfs::bfs_into(&g, 5, 2, &mut s);
+        assert!(s.path_from_source_into(3, &mut buf));
+        assert_eq!(buf, vec![5, 4, 3]);
+        assert!(!s.path_from_source_into(0, &mut buf));
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Heap-allocation accounting for the pooled traversal kernels.
+//!
+//! The zero-allocation claim of `TraversalScratch` is enforced here, not just
+//! asserted in docs: a counting global allocator wraps the system allocator,
+//! and after a warmup traversal (which grows the slabs once) an arbitrary
+//! number of further `bfs_into` / `ball_into` / `pair_distance_into` calls on
+//! the same scratch must perform **zero** heap allocations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rspan_graph::{ball_into, bfs_into, pair_distance_into, CsrGraph, Node, TraversalScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn pooled_bfs_does_not_allocate_after_warmup() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let n = 400usize;
+    let edges: Vec<(Node, Node)> = (0..1600)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u64) as Node,
+                rng.gen_range(0..n as u64) as Node,
+            )
+        })
+        .collect();
+    let g = CsrGraph::from_edges(n, &edges);
+
+    let mut scratch = TraversalScratch::new();
+    let mut ball_buf = Vec::with_capacity(n);
+    let mut checksum = 0u64;
+
+    // Warmup: grows the scratch slabs and the ball buffer once.
+    bfs_into(&g, 0, u32::MAX, &mut scratch);
+    ball_into(&g, 0, 3, &mut scratch, &mut ball_buf);
+
+    let before = allocations();
+    for round in 0..3u32 {
+        for s in g.nodes() {
+            bfs_into(&g, s, 2 + round, &mut scratch);
+            checksum += scratch.num_visited() as u64;
+            ball_into(&g, s, 2, &mut scratch, &mut ball_buf);
+            checksum += ball_buf.len() as u64;
+            let t = (s + 1) % n as Node;
+            if let Some(d) = pair_distance_into(&g, s, t, 4, &mut scratch) {
+                checksum += d as u64;
+            }
+        }
+    }
+    let after = allocations();
+    assert!(checksum > 0, "kernels did no work");
+    assert_eq!(
+        after - before,
+        0,
+        "pooled kernels allocated {} times across {} traversals",
+        after - before,
+        3 * n * 3
+    );
+}

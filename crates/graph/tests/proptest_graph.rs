@@ -1,131 +1,199 @@
 //! Property-based tests of the graph substrate: CSR construction invariants,
 //! builder/IO round-trips, sub-graph views, BFS consistency and ball/ring
-//! algebra, on arbitrary random inputs.
+//! algebra, on randomly generated inputs.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these run each property over a deterministic stream of seeded random
+//! instances — same universal-quantification spirit, reproducible failures
+//! (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rspan_graph::{
-    all_pairs_distances, annulus, ball, bfs_distances, bfs_distances_bounded, bfs_tree,
-    connected_components, from_edge_list, is_connected, local_view, multi_source_distances,
-    num_components, pair_distance_bounded, ring, to_edge_list, CsrGraph, EdgeSet, GraphBuilder,
-    Node, Subgraph,
+    all_pairs_distances, annulus, ball, ball_into, bfs_distances, bfs_distances_bounded, bfs_into,
+    bfs_tree, connected_components, from_edge_list, is_connected, local_view, local_view_into,
+    multi_source_distances, num_components, pair_distance_into, ring, to_edge_list, CsrGraph,
+    EdgeSet, GraphBuilder, Node, Subgraph, TraversalScratch,
 };
 
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (1usize..=22).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=70)
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
-    })
+/// Random graph with 1..=22 nodes and up to 70 (pre-dedup) edges.
+fn arb_graph(rng: &mut SmallRng) -> CsrGraph {
+    let n = rng.gen_range(1usize..=22);
+    let m = rng.gen_range(0usize..=70);
+    let edges: Vec<(Node, Node)> = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u64) as Node,
+                rng.gen_range(0..n as u64) as Node,
+            )
+        })
+        .collect();
+    CsrGraph::from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: u64 = 96;
 
-    #[test]
-    fn builder_matches_from_edges(n in 1usize..=20, edges in proptest::collection::vec((0u32..20, 0u32..20), 0..50)) {
-        let filtered: Vec<(Node, Node)> = edges
-            .iter()
-            .copied()
-            .filter(|&(a, b)| (a as usize) < n && (b as usize) < n)
+#[test]
+fn builder_matches_from_edges() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(1usize..=20);
+        let m = rng.gen_range(0usize..=50);
+        let edges: Vec<(Node, Node)> = (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n as u64) as Node,
+                    rng.gen_range(0..n as u64) as Node,
+                )
+            })
             .collect();
-        let direct = CsrGraph::from_edges(n, &filtered);
+        let direct = CsrGraph::from_edges(n, &edges);
         let mut b = GraphBuilder::new(n);
-        b.extend_edges(filtered.iter().copied());
-        prop_assert_eq!(direct, b.build());
+        b.extend_edges(edges.iter().copied());
+        assert_eq!(direct, b.build(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn edge_list_io_roundtrip(g in arb_graph()) {
+#[test]
+fn edge_list_io_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
         let text = to_edge_list(&g);
         let parsed = from_edge_list(&text).unwrap();
-        prop_assert_eq!(parsed, g);
+        assert_eq!(parsed, g, "seed {seed}");
     }
+}
 
-    #[test]
-    fn bounded_bfs_agrees_with_unbounded(g in arb_graph(), s in 0u32..22, r in 0u32..6) {
-        let s = s % g.n() as Node;
+#[test]
+fn bounded_bfs_agrees_with_unbounded() {
+    let mut scratch = TraversalScratch::new();
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let s = rng.gen_range(0..g.n() as u64) as Node;
+        let r = rng.gen_range(0u32..6);
         let full = bfs_distances(&g, s);
         let bounded = bfs_distances_bounded(&g, s, r);
         for v in g.nodes() {
             match full[v as usize] {
-                Some(d) if d <= r => prop_assert_eq!(bounded[v as usize], Some(d)),
-                _ => prop_assert_eq!(bounded[v as usize], None),
+                Some(d) if d <= r => assert_eq!(bounded[v as usize], Some(d), "seed {seed}"),
+                _ => assert_eq!(bounded[v as usize], None, "seed {seed}"),
             }
         }
-        // pair_distance_bounded agrees with the same truncation rule.
+        // pair_distance (pooled form, one scratch across all cases) agrees
+        // with the same truncation rule.
         for v in g.nodes() {
             let expect = full[v as usize].filter(|&d| d <= r);
-            prop_assert_eq!(pair_distance_bounded(&g, s, v, r), expect);
+            assert_eq!(
+                pair_distance_into(&g, s, v, r, &mut scratch),
+                expect,
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn bfs_tree_paths_have_length_equal_to_distance(g in arb_graph(), s in 0u32..22) {
-        let s = s % g.n() as Node;
+#[test]
+fn bfs_tree_paths_have_length_equal_to_distance() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let s = rng.gen_range(0..g.n() as u64) as Node;
         let t = bfs_tree(&g, s);
         for v in g.nodes() {
             match t.distance(v) {
                 Some(d) => {
                     let path = t.path_to(v).unwrap();
-                    prop_assert_eq!(path.len() as u32 - 1, d);
-                    prop_assert_eq!(path[0], s);
-                    prop_assert_eq!(*path.last().unwrap(), v);
+                    assert_eq!(path.len() as u32 - 1, d, "seed {seed}");
+                    assert_eq!(path[0], s);
+                    assert_eq!(*path.last().unwrap(), v);
                     for w in path.windows(2) {
-                        prop_assert!(g.has_edge(w[0], w[1]));
+                        assert!(g.has_edge(w[0], w[1]), "seed {seed}");
                     }
                 }
-                None => prop_assert!(t.path_to(v).is_none()),
+                None => assert!(t.path_to(v).is_none(), "seed {seed}"),
             }
         }
     }
+}
 
-    #[test]
-    fn ball_ring_annulus_partition(g in arb_graph(), s in 0u32..22, r in 0u32..5) {
-        let s = s % g.n() as Node;
+#[test]
+fn ball_ring_annulus_partition() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let s = rng.gen_range(0..g.n() as u64) as Node;
+        let r = rng.gen_range(0u32..5);
         let b = ball(&g, s, r);
         // The ball is the disjoint union of the rings 0..=r.
         let mut from_rings: Vec<Node> = (0..=r).flat_map(|i| ring(&g, s, i)).collect();
         from_rings.sort_unstable();
-        prop_assert_eq!(&b, &from_rings);
+        assert_eq!(&b, &from_rings, "seed {seed}");
         if r >= 1 {
             let mut ann = annulus(&g, s, 1, r);
             ann.sort_unstable();
             let mut expect: Vec<Node> = b.iter().copied().filter(|&v| v != s).collect();
             // the ball always contains s at distance 0; the annulus [1, r] drops it
             expect.sort_unstable();
-            prop_assert_eq!(ann, expect);
+            assert_eq!(ann, expect, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn components_are_consistent_with_connectivity(g in arb_graph()) {
+#[test]
+fn components_are_consistent_with_connectivity() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
         let comp = connected_components(&g);
-        prop_assert_eq!(comp.len(), g.n());
+        assert_eq!(comp.len(), g.n());
         let d = all_pairs_distances(&g);
         for u in g.nodes() {
             for v in g.nodes() {
-                prop_assert_eq!(comp[u as usize] == comp[v as usize], d.get(u, v).is_some());
+                assert_eq!(
+                    comp[u as usize] == comp[v as usize],
+                    d.get(u, v).is_some(),
+                    "seed {seed}"
+                );
             }
         }
-        prop_assert_eq!(num_components(&g) <= 1, is_connected(&g) || g.n() == 0);
+        assert_eq!(
+            num_components(&g) <= 1,
+            is_connected(&g) || g.n() == 0,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn multi_source_is_min_of_single_sources(g in arb_graph(), picks in proptest::collection::vec(0u32..22, 1..4)) {
-        let sources: Vec<Node> = picks.iter().map(|&p| p % g.n() as Node).collect();
+#[test]
+fn multi_source_is_min_of_single_sources() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let k = rng.gen_range(1usize..4);
+        let sources: Vec<Node> = (0..k)
+            .map(|_| rng.gen_range(0..g.n() as u64) as Node)
+            .collect();
         let multi = multi_source_distances(&g, &sources);
-        let singles: Vec<Vec<Option<u32>>> = sources.iter().map(|&s| bfs_distances(&g, s)).collect();
+        let singles: Vec<Vec<Option<u32>>> =
+            sources.iter().map(|&s| bfs_distances(&g, s)).collect();
         for v in g.nodes() {
             let best = singles.iter().filter_map(|d| d[v as usize]).min();
-            prop_assert_eq!(multi[v as usize], best);
+            assert_eq!(multi[v as usize], best, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn subgraph_distances_never_shrink(g in arb_graph(), bits in proptest::collection::vec(any::<bool>(), 0..70), s in 0u32..22) {
-        let s = s % g.n() as Node;
+#[test]
+fn subgraph_distances_never_shrink() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let s = rng.gen_range(0..g.n() as u64) as Node;
         let mut set = EdgeSet::empty(&g);
-        for (e, keep) in (0..g.m()).zip(bits.iter()) {
-            if *keep {
+        for e in 0..g.m() {
+            if rng.gen_range(0u32..2) == 1 {
                 set.insert(e);
             }
         }
@@ -134,8 +202,8 @@ proptest! {
         let dh = bfs_distances(&h, s);
         for v in g.nodes() {
             match (dg[v as usize], dh[v as usize]) {
-                (Some(a), Some(b)) => prop_assert!(b >= a),
-                (None, Some(_)) => prop_assert!(false, "subgraph reached a node the graph cannot"),
+                (Some(a), Some(b)) => assert!(b >= a, "seed {seed}"),
+                (None, Some(_)) => panic!("seed {seed}: subgraph reached a node the graph cannot"),
                 _ => {}
             }
         }
@@ -143,31 +211,139 @@ proptest! {
         let da = bfs_distances(&h.augmented(s), s);
         for v in g.nodes() {
             if let Some(b) = dh[v as usize] {
-                prop_assert!(da[v as usize].unwrap() <= b);
+                assert!(da[v as usize].unwrap() <= b, "seed {seed}");
             }
             if let Some(a) = da[v as usize] {
-                prop_assert!(a >= dg[v as usize].unwrap());
+                assert!(a >= dg[v as usize].unwrap(), "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn local_view_preserves_in_radius_distances(g in arb_graph(), c in 0u32..22, r in 1u32..4) {
-        let c = c % g.n() as Node;
+#[test]
+fn local_view_preserves_in_radius_distances() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let c = rng.gen_range(0..g.n() as u64) as Node;
+        let r = rng.gen_range(1u32..4);
         let view = local_view(&g, c, r);
         let global = bfs_distances(&g, c);
         let local = bfs_distances(&view.graph, view.center_local());
         for (l, &gid) in view.local_to_global.iter().enumerate() {
             let dg = global[gid as usize].unwrap();
             if dg <= r {
-                prop_assert_eq!(local[l], Some(dg));
+                assert_eq!(local[l], Some(dg), "seed {seed}");
             }
         }
         // Every node within r appears in the view.
         for v in g.nodes() {
             if matches!(global[v as usize], Some(d) if d <= r) {
-                prop_assert!(view.global_to_local(v).is_some());
+                assert!(view.global_to_local(v).is_some(), "seed {seed}");
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scratch-pool equivalence: the pooled `_into` kernels must produce results
+// bit-identical to the allocating wrappers, including under aggressive reuse
+// of a single scratch across many sources, radii and *graphs of different
+// sizes* (the stale-epoch regression: a stamp left by traversal k must never
+// leak into traversal k + 1).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pooled_kernels_match_allocating_wrappers_under_reuse() {
+    let mut scratch = TraversalScratch::new();
+    let mut ball_buf = Vec::new();
+    let mut sources_done = 0usize;
+    for seed in 0..48u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB1F5);
+        let g = arb_graph(&mut rng);
+        for s in g.nodes() {
+            let r = rng.gen_range(0u32..6);
+            bfs_into(&g, s, r, &mut scratch);
+            let reference = bfs_distances_bounded(&g, s, r);
+            let ref_tree = rspan_graph::bfs_tree_bounded(&g, s, r);
+            for v in g.nodes() {
+                assert_eq!(scratch.dist(v), reference[v as usize], "seed {seed} s={s}");
+                assert_eq!(
+                    scratch.parent(v),
+                    ref_tree.parent[v as usize],
+                    "seed {seed} s={s}"
+                );
+            }
+            // Visit order covers exactly the reached set.
+            let mut visited: Vec<Node> = scratch.visited().to_vec();
+            visited.sort_unstable();
+            let mut expect: Vec<Node> = reference
+                .iter()
+                .enumerate()
+                .filter_map(|(v, d)| d.map(|_| v as Node))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(visited, expect, "seed {seed} s={s}");
+
+            ball_into(&g, s, r, &mut scratch, &mut ball_buf);
+            assert_eq!(ball_buf, ball(&g, s, r), "seed {seed} s={s}");
+            sources_done += 1;
+        }
+    }
+    assert!(
+        sources_done > 100,
+        "reuse regression needs 100+ sources through one scratch, got {sources_done}"
+    );
+}
+
+#[test]
+fn pooled_local_view_matches_allocating_under_reuse() {
+    let mut scratch = TraversalScratch::new();
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x10CA1);
+        let g = arb_graph(&mut rng);
+        for c in g.nodes() {
+            let r = rng.gen_range(1u32..4);
+            let pooled = local_view_into(&g, c, r, &mut scratch);
+            let fresh = local_view(&g, c, r);
+            assert_eq!(pooled.local_to_global, fresh.local_to_global, "seed {seed}");
+            assert_eq!(pooled.graph, fresh.graph, "seed {seed}");
+            assert_eq!(
+                pooled.dist_from_center, fresh.dist_from_center,
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scratch_shrink_then_grow_does_not_leak_stale_state() {
+    // Alternate between a large and a small graph so slots above the small
+    // graph's range keep old stamps, then verify the large graph's results.
+    let mut rng = SmallRng::seed_from_u64(0xA11C);
+    let big = {
+        let n = 22usize;
+        let edges: Vec<(Node, Node)> = (0..80)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n as u64) as Node,
+                    rng.gen_range(0..n as u64) as Node,
+                )
+            })
+            .collect();
+        CsrGraph::from_edges(n, &edges)
+    };
+    let small = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+    let mut scratch = TraversalScratch::new();
+    for s in big.nodes() {
+        bfs_into(&big, s, u32::MAX, &mut scratch);
+        let reference = bfs_distances(&big, s);
+        for v in big.nodes() {
+            assert_eq!(scratch.dist(v), reference[v as usize], "s={s}");
+        }
+        bfs_into(&small, s % 3, 1, &mut scratch);
+        assert_eq!(scratch.dist(s % 3), Some(0));
+        // Nodes of the big graph must read as unreached in the small epoch.
+        assert_eq!(scratch.dist(20), None, "stale stamp leaked after shrink");
     }
 }

@@ -59,12 +59,9 @@ fn greedy_half_cover<M: Metric + ?Sized>(metric: &M, center: usize, radius: f64)
     let half = radius / 2.0;
     let mut covered = vec![false; members.len()];
     let mut balls = 0usize;
-    loop {
-        // Pick an uncovered member as the next ball center (greedy net).
-        let next = match covered.iter().position(|&c| !c) {
-            Some(i) => members[i],
-            None => break,
-        };
+    // Pick an uncovered member as the next ball center (greedy net).
+    while let Some(i) = covered.iter().position(|&c| !c) {
+        let next = members[i];
         balls += 1;
         for (idx, &m) in members.iter().enumerate() {
             if !covered[idx] && metric.distance(next, m) <= half {
@@ -95,7 +92,7 @@ mod tests {
         let p = doubling_dimension_estimate(&m, 20);
         // The doubling dimension of the plane is 2; greedy covers give a
         // constant ≤ 7²-ish in the worst case, so the estimate stays small.
-        assert!(p >= 1 && p <= 6, "estimated dimension {p}");
+        assert!((1..=6).contains(&p), "estimated dimension {p}");
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn main() {
         "    d_{{H_u}}(u, v) = {d_hu_uv}  (caption: at most 2·d_G(u, v) − 1 = {})",
         2 * d_uv - 1
     );
-    assert!(d_hu_uv <= 2 * d_uv - 1);
+    assert!(d_hu_uv < 2 * d_uv);
     assert!(verify_remote_stretch(&c.spanner, &c.guarantee).holds());
 
     // (d) a 2-connecting (2, −1)-remote-spanner: Theorem 3.

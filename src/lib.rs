@@ -52,21 +52,22 @@ pub mod prelude {
     pub use rspan_core::{
         baswana_sen_spanner, bfs_tree_spanner, epsilon_remote_spanner,
         epsilon_remote_spanner_greedy, exact_remote_spanner, full_topology, greedy_spanner,
-        k_connecting_remote_spanner, rem_span, rem_span_parallel, spanner_stats,
-        two_connecting_remote_spanner, verify_k_connecting, verify_plain_stretch,
-        verify_remote_stretch, BuiltSpanner, SpannerStats, StretchGuarantee,
+        k_connecting_remote_spanner, rem_span, rem_span_algo, rem_span_algo_parallel,
+        rem_span_local_algo, rem_span_parallel, spanner_stats, two_connecting_remote_spanner,
+        verify_k_connecting, verify_plain_stretch, verify_remote_stretch, BuiltSpanner,
+        SpannerStats, StretchGuarantee,
     };
     pub use rspan_distributed::{
         greedy_route, measure_routing, run_remspan_protocol, TopologyChange, TreeStrategy,
     };
     pub use rspan_domtree::{
         dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, is_dominating_tree,
-        is_k_connecting_dominating_tree, DominatingTree,
+        is_k_connecting_dominating_tree, DomScratch, DominatingTree, TreeAlgo,
     };
     pub use rspan_flow::{dk_distance, min_sum_disjoint_paths, pair_vertex_connectivity};
     pub use rspan_graph::generators::{
         gnp, gnp_connected, grid_graph, poisson_udg, udg_with_density, uniform_udg,
     };
-    pub use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
+    pub use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph, TraversalScratch};
     pub use rspan_metric::{uniform_points, unit_ball_graph, EuclideanMetric, Point};
 }

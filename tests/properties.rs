@@ -1,15 +1,20 @@
-//! Property-based tests (proptest) over randomly generated graphs: data
-//! structure invariants, metric axioms of the distance functions, and the
-//! paper's guarantees as universally-quantified properties.
+//! Property-based tests over randomly generated graphs: data structure
+//! invariants, metric axioms of the distance functions, and the paper's
+//! guarantees as universally-quantified properties.
+//!
+//! The build environment has no registry access, so instead of `proptest`
+//! these run each property over a deterministic stream of seeded random
+//! instances (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use remote_spanners::core::{
-    epsilon_remote_spanner, exact_remote_spanner, k_connecting_remote_spanner,
-    two_connecting_remote_spanner, verify_remote_stretch,
+    epsilon_remote_spanner, exact_remote_spanner, k_connecting_remote_spanner, rem_span_algo,
+    rem_span_algo_parallel, two_connecting_remote_spanner, verify_remote_stretch,
 };
 use remote_spanners::domtree::{
     dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, is_dominating_tree,
-    is_k_connecting_dominating_tree,
+    is_k_connecting_dominating_tree, TreeAlgo,
 };
 use remote_spanners::flow::{
     dk_distance, min_sum_disjoint_paths, pair_vertex_connectivity, verify_disjoint_paths,
@@ -18,153 +23,204 @@ use remote_spanners::graph::{
     all_pairs_distances, bfs_distances, pair_distance, CsrGraph, EdgeSet, Node, Subgraph,
 };
 
-/// Strategy: a random graph given as (n, edge list) with n in 2..=24.
-fn arb_graph() -> impl Strategy<Value = CsrGraph> {
-    (2usize..=24).prop_flat_map(|n| {
-        let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=max_edges.min(60))
-            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
-    })
-}
-
-/// Strategy: a connected-ish random graph (a random spanning path plus random
-/// extra edges), so distance-based properties have something to chew on.
-fn arb_connected_graph() -> impl Strategy<Value = CsrGraph> {
-    (3usize..=20).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as Node, 0..n as Node), 0..=40).prop_map(move |extra| {
-            let mut edges: Vec<(Node, Node)> =
-                (1..n).map(|i| ((i - 1) as Node, i as Node)).collect();
-            edges.extend(extra);
-            CsrGraph::from_edges(n, &edges)
+/// Random graph with 2..=24 nodes and up to 60 (pre-dedup) edges.
+fn arb_graph(rng: &mut SmallRng) -> CsrGraph {
+    let n = rng.gen_range(2usize..=24);
+    let max_edges = (n * (n - 1) / 2).min(60);
+    let m = rng.gen_range(0usize..=max_edges);
+    let edges: Vec<(Node, Node)> = (0..m)
+        .map(|_| {
+            (
+                rng.gen_range(0..n as u64) as Node,
+                rng.gen_range(0..n as u64) as Node,
+            )
         })
-    })
+        .collect();
+    CsrGraph::from_edges(n, &edges)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A connected-ish random graph (a random spanning path plus random extra
+/// edges), so distance-based properties have something to chew on.
+fn arb_connected_graph(rng: &mut SmallRng) -> CsrGraph {
+    let n = rng.gen_range(3usize..=20);
+    let m = rng.gen_range(0usize..=40);
+    let mut edges: Vec<(Node, Node)> = (1..n).map(|i| ((i - 1) as Node, i as Node)).collect();
+    edges.extend((0..m).map(|_| {
+        (
+            rng.gen_range(0..n as u64) as Node,
+            rng.gen_range(0..n as u64) as Node,
+        )
+    }));
+    CsrGraph::from_edges(n, &edges)
+}
 
-    // ---------- CSR graph invariants ----------------------------------------
+const CASES: u64 = 64;
 
-    #[test]
-    fn csr_symmetry_and_sorted_neighbors(g in arb_graph()) {
+// ---------- CSR graph invariants ----------------------------------------
+
+#[test]
+fn csr_symmetry_and_sorted_neighbors() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
         let mut degree_sum = 0usize;
         for u in g.nodes() {
             let ns = g.neighbors(u);
             degree_sum += ns.len();
-            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
             for &v in ns {
-                prop_assert!(g.has_edge(v, u));
-                prop_assert_ne!(v, u);
-                prop_assert_eq!(g.edge_id(u, v), g.edge_id(v, u));
+                assert!(g.has_edge(v, u), "seed {seed}");
+                assert_ne!(v, u, "seed {seed}");
+                assert_eq!(g.edge_id(u, v), g.edge_id(v, u), "seed {seed}");
             }
         }
-        prop_assert_eq!(degree_sum, 2 * g.m());
+        assert_eq!(degree_sum, 2 * g.m(), "seed {seed}");
         // every canonical edge id maps back consistently
         for (u, v) in g.edges() {
             let e = g.edge_id(u, v).unwrap();
-            prop_assert_eq!(g.edge_endpoints(e), (u, v));
+            assert_eq!(g.edge_endpoints(e), (u, v), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn edgeset_roundtrip(g in arb_graph(), bits in proptest::collection::vec(any::<bool>(), 0..60)) {
+#[test]
+fn edgeset_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
         let mut set = EdgeSet::empty(&g);
         let mut expected = std::collections::BTreeSet::new();
-        for (e, keep) in (0..g.m()).zip(bits.iter()) {
-            if *keep {
+        for e in 0..g.m() {
+            if rng.gen_range(0u32..2) == 1 {
                 set.insert(e);
                 expected.insert(e);
             }
         }
-        prop_assert_eq!(set.len(), expected.len());
+        assert_eq!(set.len(), expected.len(), "seed {seed}");
         let collected: Vec<usize> = set.iter().collect();
         let expected_vec: Vec<usize> = expected.iter().copied().collect();
-        prop_assert_eq!(collected, expected_vec);
+        assert_eq!(collected, expected_vec, "seed {seed}");
         let sub = Subgraph::new(&g, set);
-        prop_assert_eq!(sub.to_graph().m(), expected.len());
+        assert_eq!(sub.to_graph().m(), expected.len(), "seed {seed}");
     }
+}
 
-    // ---------- distances ----------------------------------------------------
+// ---------- distances ----------------------------------------------------
 
-    #[test]
-    fn bfs_distance_is_a_metric(g in arb_connected_graph()) {
+#[test]
+fn bfs_distance_is_a_metric() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_connected_graph(&mut rng);
         let d = all_pairs_distances(&g);
         let n = g.n() as Node;
         for u in 0..n {
-            prop_assert_eq!(d.get(u, u), Some(0));
+            assert_eq!(d.get(u, u), Some(0), "seed {seed}");
             for v in 0..n {
-                prop_assert_eq!(d.get(u, v), d.get(v, u));
+                assert_eq!(d.get(u, v), d.get(v, u), "seed {seed}");
                 if let Some(duv) = d.get(u, v) {
                     if u != v {
-                        prop_assert!(duv >= 1);
-                        prop_assert_eq!(duv == 1, g.has_edge(u, v));
+                        assert!(duv >= 1, "seed {seed}");
+                        assert_eq!(duv == 1, g.has_edge(u, v), "seed {seed}");
                     }
                     // triangle inequality through any intermediate node
                     for w in 0..n {
                         if let (Some(duw), Some(dwv)) = (d.get(u, w), d.get(w, v)) {
-                            prop_assert!(duv <= duw + dwv);
+                            assert!(duv <= duw + dwv, "seed {seed}");
                         }
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn pair_distance_agrees_with_bfs(g in arb_graph(), s in 0u32..24, t in 0u32..24) {
-        let n = g.n() as Node;
-        let (s, t) = (s % n, t % n);
+#[test]
+fn pair_distance_agrees_with_bfs() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let n = g.n() as u64;
+        let s = rng.gen_range(0..n) as Node;
+        let t = rng.gen_range(0..n) as Node;
         let by_bfs = bfs_distances(&g, s)[t as usize];
-        prop_assert_eq!(pair_distance(&g, s, t), by_bfs);
+        assert_eq!(pair_distance(&g, s, t), by_bfs, "seed {seed}");
     }
+}
 
-    // ---------- disjoint paths (d^k) ------------------------------------------
+// ---------- disjoint paths (d^k) ------------------------------------------
 
-    #[test]
-    fn dk_properties(g in arb_connected_graph(), s in 0u32..20, t in 0u32..20) {
-        let n = g.n() as Node;
-        let (s, t) = (s % n, t % n);
-        prop_assume!(s != t);
+#[test]
+fn dk_properties() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_connected_graph(&mut rng);
+        let n = g.n() as u64;
+        let s = rng.gen_range(0..n) as Node;
+        let t = rng.gen_range(0..n) as Node;
+        if s == t {
+            continue;
+        }
         let kappa = pair_vertex_connectivity(&g, s, t, usize::MAX);
         // d^1 equals the BFS distance whenever connected.
-        prop_assert_eq!(dk_distance(&g, s, t, 1), pair_distance(&g, s, t).map(u64::from));
+        assert_eq!(
+            dk_distance(&g, s, t, 1),
+            pair_distance(&g, s, t).map(u64::from),
+            "seed {seed}"
+        );
         // d^k exists exactly up to the pair connectivity, and is strictly
         // monotone in k (each extra path adds at least one edge).
         let mut prev = 0u64;
         for k in 1..=kappa {
             let paths = min_sum_disjoint_paths(&g, s, t, k).expect("within connectivity");
-            prop_assert!(verify_disjoint_paths(&g, s, t, &paths.paths));
-            prop_assert_eq!(paths.paths.len(), k);
-            prop_assert!(paths.total_length > prev || k == 1);
+            assert!(verify_disjoint_paths(&g, s, t, &paths.paths), "seed {seed}");
+            assert_eq!(paths.paths.len(), k, "seed {seed}");
+            assert!(paths.total_length > prev || k == 1, "seed {seed}");
             prev = paths.total_length;
         }
-        prop_assert!(dk_distance(&g, s, t, kappa + 1).is_none());
+        assert!(dk_distance(&g, s, t, kappa + 1).is_none(), "seed {seed}");
     }
+}
 
-    // ---------- dominating trees ----------------------------------------------
+// ---------- dominating trees ----------------------------------------------
 
-    #[test]
-    fn dominating_tree_algorithms_meet_their_definitions(g in arb_graph(), root in 0u32..24, r in 2u32..5, k in 1usize..4) {
-        let root = root % g.n() as Node;
+#[test]
+fn dominating_tree_algorithms_meet_their_definitions() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let root = rng.gen_range(0..g.n() as u64) as Node;
+        let r = rng.gen_range(2u32..5);
+        let k = rng.gen_range(1usize..4);
         let t1 = dom_tree_greedy(&g, root, r, 0);
-        prop_assert!(t1.validate_structure(&g));
-        prop_assert!(is_dominating_tree(&g, &t1, r, 0));
+        assert!(t1.validate_structure(&g), "seed {seed}");
+        assert!(is_dominating_tree(&g, &t1, r, 0), "seed {seed}");
         let t1b = dom_tree_greedy(&g, root, r, 1);
-        prop_assert!(is_dominating_tree(&g, &t1b, r, 1));
+        assert!(is_dominating_tree(&g, &t1b, r, 1), "seed {seed}");
         let t2 = dom_tree_mis(&g, root, r);
-        prop_assert!(is_dominating_tree(&g, &t2, r, 1));
+        assert!(is_dominating_tree(&g, &t2, r, 1), "seed {seed}");
         let t4 = dom_tree_k_greedy(&g, root, k);
-        prop_assert!(is_k_connecting_dominating_tree(&g, &t4, 0, k));
-        prop_assert!(t4.height() <= 1);
+        assert!(
+            is_k_connecting_dominating_tree(&g, &t4, 0, k),
+            "seed {seed}"
+        );
+        assert!(t4.height() <= 1, "seed {seed}");
         let t5 = dom_tree_k_mis(&g, root, k);
-        prop_assert!(is_k_connecting_dominating_tree(&g, &t5, 1, k));
-        prop_assert!(t5.height() <= 2);
+        assert!(
+            is_k_connecting_dominating_tree(&g, &t5, 1, k),
+            "seed {seed}"
+        );
+        assert!(t5.height() <= 2, "seed {seed}");
     }
+}
 
-    // ---------- remote-spanner guarantees --------------------------------------
+// ---------- remote-spanner guarantees --------------------------------------
 
-    #[test]
-    fn constructions_always_satisfy_their_guarantee(g in arb_graph()) {
+#[test]
+fn constructions_always_satisfy_their_guarantee() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
         for built in [
             exact_remote_spanner(&g),
             k_connecting_remote_spanner(&g, 2),
@@ -172,21 +228,54 @@ proptest! {
             two_connecting_remote_spanner(&g),
         ] {
             let report = verify_remote_stretch(&built.spanner, &built.guarantee);
-            prop_assert!(report.holds(), "{}: {:?}", built.name, report.worst_violation);
-            prop_assert!(built.num_edges() <= g.m());
+            assert!(
+                report.holds(),
+                "seed {seed} {}: {:?}",
+                built.name,
+                report.worst_violation
+            );
+            assert!(built.num_edges() <= g.m(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn augmented_view_never_shrinks_reachability(g in arb_graph(), u in 0u32..24) {
-        let u = u % g.n() as Node;
+#[test]
+fn augmented_view_never_shrinks_reachability() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = arb_graph(&mut rng);
+        let u = rng.gen_range(0..g.n() as u64) as Node;
         let built = exact_remote_spanner(&g);
         let in_g = bfs_distances(&g, u);
         let view = built.spanner.augmented(u);
         let in_hu = bfs_distances(&view, u);
         for v in g.nodes() {
             // (1,0)-remote-spanner: distances from u are preserved exactly.
-            prop_assert_eq!(in_g[v as usize], in_hu[v as usize]);
+            assert_eq!(in_g[v as usize], in_hu[v as usize], "seed {seed}");
+        }
+    }
+}
+
+// ---------- pooled drivers are exact ---------------------------------------
+
+#[test]
+fn pooled_and_parallel_drivers_agree_on_random_graphs() {
+    for seed in 0..24u64 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x9001);
+        let g = arb_connected_graph(&mut rng);
+        for algo in [
+            TreeAlgo::KGreedy { k: 2 },
+            TreeAlgo::Mis { r: 3 },
+            TreeAlgo::Greedy { r: 2, beta: 0 },
+            TreeAlgo::KMis { k: 2 },
+        ] {
+            let seq = rem_span_algo(&g, algo);
+            let par = rem_span_algo_parallel(&g, algo, 4);
+            assert_eq!(
+                seq.edge_set(),
+                par.edge_set(),
+                "seed {seed} {algo:?}: parallel driver diverged"
+            );
         }
     }
 }
