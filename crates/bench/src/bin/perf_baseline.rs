@@ -1,21 +1,34 @@
-//! Perf trajectory baseline: `BENCH_remspan.json`.
+//! Perf trajectory baselines: `BENCH_remspan.json` and `BENCH_engine.json`.
 //!
-//! Measures `rem_span` (k-greedy strategy, k = 2) on constant-density uniform
-//! unit-disk graphs at n ∈ {500, 2000, 8000}, in four configurations:
+//! Two workloads, selectable from the command line:
 //!
-//! * `seed_alloc` — the per-node-allocating closure path the seed shipped,
-//! * `pooled_seq` — one epoch-stamped `DomScratch` across all n trees,
-//! * `pooled_par` — the lock-free chunked parallel driver,
+//! * **remspan** — `rem_span` (k-greedy strategy, k = 2) on constant-density
+//!   uniform unit-disk graphs, in three configurations: `seed_alloc` (the
+//!   per-node-allocating closure path the seed shipped), `pooled_seq` (one
+//!   epoch-stamped `DomScratch` across all n trees) and `pooled_par` (the
+//!   lock-free chunked parallel driver).  Emits median ns-per-node figures
+//!   plus the pooled/seed speedup.
+//! * **engine_churn** — the incremental engine under link-flap churn: each
+//!   round flips `Poisson(n/200)` links (≈ 1% of the nodes see a link event),
+//!   and the same round is restabilised twice — once by
+//!   `RspanEngine::commit` (dirty-ball recomputation) and once by the full
+//!   pipeline (materialise the CSR snapshot + `rem_span_algo` from scratch).
+//!   The two timings are interleaved round by round, the spanners are
+//!   asserted identical every round, and the medians plus their ratio land
+//!   in the JSON.
 //!
-//! and emits median ns-per-node figures (plus the pooled/seed speedup) as
-//! JSON so later PRs have a machine-readable trajectory to beat.  The run
-//! also asserts that the parallel edge set equals the sequential one exactly.
+//! Usage:
+//!   `perf_baseline [remspan|engine_churn|all] [--quick] [--json PATH]`
 //!
-//! Usage: `cargo run --release -p rspan-bench --bin perf_baseline [out.json]`
+//! `--quick` runs a small smoke configuration (CI keeps the binaries from
+//! rotting); `--json` overrides the output path and is only valid with a
+//! single workload.  Default paths: `BENCH_remspan.json` /
+//! `BENCH_engine.json`.
 
 use rspan_bench::scaled_density_udg;
 use rspan_core::{rem_span, rem_span_algo, rem_span_algo_parallel};
 use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
+use rspan_engine::{ChurnScenario, LinkFlapScenario, RspanEngine};
 use rspan_graph::CsrGraph;
 use std::time::Instant;
 
@@ -24,10 +37,11 @@ fn median(mut samples: Vec<f64>) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Times the three configurations in interleaved rounds (seed, pooled,
-/// parallel, repeat) so slow machine drift — background load, frequency
-/// scaling — hits all three equally instead of biasing whichever ran last.
-/// Returns the median ns of each plus the edge counts of the last round.
+/// Times the three remspan configurations in interleaved rounds (seed,
+/// pooled, parallel, repeat) so slow machine drift — background load,
+/// frequency scaling — hits all three equally instead of biasing whichever
+/// ran last.  Returns the median ns of each plus the edge counts of the last
+/// round.
 #[allow(clippy::type_complexity)]
 fn interleaved_medians(
     reps: usize,
@@ -60,13 +74,24 @@ fn interleaved_medians(
     )
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_remspan.json".to_string());
+fn write_json(out_path: &str, bench: &str, unit: &str, rows: &[String]) {
+    let json = format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"unit\": \"{unit}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}");
+}
+
+fn remspan_workload(quick: bool, out_path: &str) {
     let algo = TreeAlgo::KGreedy { k: 2 };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(300, 3)]
+    } else {
+        &[(500, 11), (2000, 9), (8000, 5)]
+    };
     let mut rows = Vec::new();
-    for &(n, reps) in &[(500usize, 11usize), (2000, 9), (8000, 5)] {
+    for &(n, reps) in sizes {
         let w = scaled_density_udg(n, 12.0, 3);
         let g: &CsrGraph = &w.graph;
 
@@ -112,10 +137,125 @@ fn main() {
         );
         rows.push(row);
     }
-    let json = format!(
-        "{{\n  \"bench\": \"rem_span\",\n  \"unit\": \"ns_per_node_median\",\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
-    std::fs::write(&out_path, &json).expect("write baseline json");
-    println!("wrote {out_path}");
+    write_json(out_path, "rem_span", "ns_per_node_median", &rows);
+}
+
+fn engine_churn_workload(quick: bool, out_path: &str) {
+    let algo = TreeAlgo::KGreedy { k: 2 };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(300, 6)]
+    } else {
+        &[(1000, 25), (4000, 25)]
+    };
+    let mut rows = Vec::new();
+    for &(n, rounds) in sizes {
+        let w = scaled_density_udg(n, 12.0, 3);
+        // ~1% of the nodes experience a link event per round: each flip
+        // touches two endpoints, so flip n/200 links on average.
+        let mean_flaps = (n as f64 / 200.0).max(1.0);
+        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, 7);
+        let mut engine = RspanEngine::new(w.graph.clone(), algo);
+
+        let mut inc_ns = Vec::with_capacity(rounds);
+        let mut full_ns = Vec::with_capacity(rounds);
+        let mut batch_total = 0usize;
+        let mut dirty_total = 0usize;
+        for round in 0..rounds {
+            let batch = scenario.next_batch(engine.graph());
+            batch_total += batch.len();
+
+            // Interleaved: the incremental commit and the full pipeline
+            // restabilise the *same* round, back to back.
+            let start = Instant::now();
+            let delta = engine.commit(&batch);
+            inc_ns.push(start.elapsed().as_nanos() as f64);
+            dirty_total += delta.recomputed.len();
+
+            let start = Instant::now();
+            let csr = engine.to_csr();
+            let full = rem_span_algo(&csr, algo);
+            full_ns.push(start.elapsed().as_nanos() as f64);
+
+            assert_eq!(
+                engine.spanner_on(&csr).edge_set(),
+                full.edge_set(),
+                "incremental spanner diverged from full recompute at n={n} round={round}"
+            );
+        }
+        let inc = median(inc_ns);
+        let full = median(full_ns);
+        let speedup = full / inc;
+        let dirty_fraction = dirty_total as f64 / (rounds * n) as f64;
+        let row = format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
+                "\"mean_flaps_per_round\": {:.1}, \"mean_batch_len\": {:.1}, ",
+                "\"mean_dirty_fraction\": {:.4}, \"incremental_commit_ns\": {:.0}, ",
+                "\"full_recompute_ns\": {:.0}, \"incremental_speedup\": {:.2}, ",
+                "\"matches_full_recompute\": true}}"
+            ),
+            n,
+            w.graph.m(),
+            rounds,
+            mean_flaps,
+            batch_total as f64 / rounds as f64,
+            dirty_fraction,
+            inc,
+            full,
+            speedup,
+        );
+        println!(
+            "n={n:>5}  commit {:>10.0} ns   full {:>11.0} ns   dirty {:>5.1}%   speedup {speedup:.2}x",
+            inc,
+            full,
+            dirty_fraction * 100.0,
+        );
+        rows.push(row);
+    }
+    write_json(out_path, "engine_churn", "ns_per_commit_median", &rows);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Remspan,
+    EngineChurn,
+    All,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: perf_baseline [remspan|engine_churn|all] [--quick] [--json PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workload = Workload::All;
+    let mut quick = false;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "remspan" => workload = Workload::Remspan,
+            "engine_churn" => workload = Workload::EngineChurn,
+            "all" => workload = Workload::All,
+            "--quick" => quick = true,
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if json.is_some() && workload == Workload::All {
+        eprintln!("--json requires a single workload (remspan or engine_churn)");
+        std::process::exit(2);
+    }
+    match workload {
+        Workload::Remspan => {
+            remspan_workload(quick, json.as_deref().unwrap_or("BENCH_remspan.json"))
+        }
+        Workload::EngineChurn => {
+            engine_churn_workload(quick, json.as_deref().unwrap_or("BENCH_engine.json"))
+        }
+        Workload::All => {
+            remspan_workload(quick, "BENCH_remspan.json");
+            engine_churn_workload(quick, "BENCH_engine.json");
+        }
+    }
 }

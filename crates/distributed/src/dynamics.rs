@@ -4,56 +4,34 @@
 //! after a topology change the computed spanner stabilises after one period
 //! plus two floodings up to distance `r − 1 + β`: only nodes within that
 //! distance of the changed link can see a different neighborhood, so only they
-//! need to recompute their dominating trees.  This module implements that
-//! incremental recomputation and reports how local the repair is.
+//! need to recompute their dominating trees.
+//!
+//! The incremental recomputation itself lives in [`rspan_engine`]: the
+//! simulator and the engine share that one code path.  This module keeps the
+//! established dynamics API — [`TopologyChange`] (re-exported from the
+//! engine), [`apply_change`] and [`restabilise`] — as thin wrappers.  Hot
+//! paths that apply *streams* of changes should hold a
+//! [`rspan_engine::RspanEngine`] (or at least a [`DynamicGraph`]) instead of
+//! calling these per-change conveniences in a loop: `apply_change`
+//! materialises a fresh CSR per call by design.
 
 use crate::protocol::TreeStrategy;
-use rspan_domtree::DomScratch;
-use rspan_graph::{bfs_into, CsrGraph, EdgeSet, EpochFlags, GraphBuilder, Node, Subgraph};
-
-/// A single topology change.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum TopologyChange {
-    /// A new link `{u, v}` appears.
-    AddEdge(Node, Node),
-    /// The link `{u, v}` disappears.
-    RemoveEdge(Node, Node),
-}
-
-impl TopologyChange {
-    /// The two endpoints of the changed link.
-    pub fn endpoints(&self) -> (Node, Node) {
-        match *self {
-            TopologyChange::AddEdge(u, v) | TopologyChange::RemoveEdge(u, v) => (u, v),
-        }
-    }
-}
+use rspan_engine::RspanEngine;
+pub use rspan_engine::TopologyChange;
+use rspan_graph::{CsrGraph, DynamicGraph, Node, Subgraph};
 
 /// Applies a change to a graph, returning the new graph.
 /// Panics if an added edge already exists or a removed edge does not.
+///
+/// This is a *convenience wrapper* for one-off edits: it routes through a
+/// [`DynamicGraph`] overlay and compacts straight back to CSR, so it still
+/// costs `O(n + m)` per call.  Do not use it in hot churn loops — feed
+/// batches to [`rspan_engine::RspanEngine::commit`] (or mutate one
+/// [`DynamicGraph`]) instead.
 pub fn apply_change(graph: &CsrGraph, change: TopologyChange) -> CsrGraph {
-    let (u, v) = change.endpoints();
-    assert!(u != v, "self loops are not valid links");
-    let mut b = GraphBuilder::with_capacity(graph.n(), graph.m() + 1);
-    match change {
-        TopologyChange::AddEdge(a, c) => {
-            assert!(!graph.has_edge(a, c), "edge ({a}, {c}) already present");
-            b.extend_edges(graph.edges());
-            b.add_edge(a, c);
-        }
-        TopologyChange::RemoveEdge(a, c) => {
-            assert!(graph.has_edge(a, c), "edge ({a}, {c}) not present");
-            let drop_id = graph.edge_id(a, c).expect("edge id of existing edge");
-            b.extend_edges(
-                graph
-                    .edges()
-                    .enumerate()
-                    .filter(|(e, _)| *e != drop_id)
-                    .map(|(_, uv)| uv),
-            );
-        }
-    }
-    b.build()
+    let mut overlay = DynamicGraph::new(graph.clone());
+    change.apply_to(&mut overlay);
+    overlay.into_csr()
 }
 
 /// Result of an incremental restabilisation.
@@ -73,6 +51,11 @@ pub struct Restabilisation<'g> {
 /// `old_graph` and `new_graph` must be the graphs before and after `change`
 /// (`new_graph` is typically produced by [`apply_change`]); `strategy` is the
 /// per-node tree algorithm (the same one used to build the original spanner).
+///
+/// This wrapper drives a one-shot [`RspanEngine`] so the simulator and the
+/// engine share a single incremental code path; long-lived callers should
+/// keep their own engine across changes and skip the per-call initial build
+/// this convenience pays.
 pub fn restabilise<'g>(
     old_graph: &CsrGraph,
     new_graph: &'g CsrGraph,
@@ -80,46 +63,13 @@ pub fn restabilise<'g>(
     strategy: TreeStrategy,
 ) -> Restabilisation<'g> {
     assert_eq!(old_graph.n(), new_graph.n(), "node set must be unchanged");
-    let radius = strategy.knowledge_radius();
-    let (a, b) = change.endpoints();
-    // A node's knowledge (edges incident to its radius-ball) can change only
-    // if one endpoint of the changed link lies within `radius` of it in either
-    // the old or the new graph.  One pooled scratch runs all four bounded
-    // sweeps, and the per-node trees below share another.
-    let mut scratch = DomScratch::with_capacity(new_graph.n());
-    let mut sweep = rspan_graph::TraversalScratch::with_capacity(new_graph.n());
-    let mut affected = EpochFlags::new();
-    affected.begin(new_graph.n());
-    for g in [old_graph, new_graph] {
-        for endpoint in [a, b] {
-            bfs_into(g, endpoint, radius, &mut sweep);
-            for &v in sweep.visited() {
-                affected.set(v);
-            }
-        }
-    }
-    let mut edges = EdgeSet::empty(new_graph);
-    let mut recomputed_nodes = Vec::new();
-    for u in new_graph.nodes() {
-        let tree = if affected.test(u) {
-            recomputed_nodes.push(u);
-            strategy.build_tree_with_scratch(new_graph, u, &mut scratch)
-        } else {
-            // Unaffected nodes keep their old tree; recomputing on the old
-            // graph reproduces it exactly (their local view is unchanged).
-            strategy.build_tree_with_scratch(old_graph, u, &mut scratch)
-        };
-        tree.for_each_edge(|p, c| {
-            let e = new_graph
-                .edge_id(p, c)
-                .expect("kept tree edge must still exist in the new graph");
-            edges.insert(e);
-        });
-    }
-    let recomputed_fraction = recomputed_nodes.len() as f64 / new_graph.n().max(1) as f64;
+    let mut engine = RspanEngine::new(old_graph.clone(), strategy.algo());
+    let delta = engine.commit(&[change]);
+    debug_assert_eq!(engine.graph().m(), new_graph.m(), "new_graph mismatch");
+    let recomputed_fraction = delta.recomputed_fraction(new_graph.n());
     Restabilisation {
-        spanner: Subgraph::new(new_graph, edges),
-        recomputed_nodes,
+        spanner: engine.spanner_on(new_graph),
+        recomputed_nodes: delta.recomputed,
         recomputed_fraction,
     }
 }

@@ -14,7 +14,9 @@
 //! * [`routing`] — greedy link-state routing on the augmented views `H_u`,
 //!   the application the paper's introduction motivates, and [`tables`] —
 //!   the precomputed next-hop tables a real router would use,
-//! * [`dynamics`] — topology changes and local restabilisation.
+//! * [`dynamics`] — topology changes and local restabilisation, rewired on
+//!   top of the incremental `rspan-engine` so the simulator and the engine
+//!   share one dirty-ball recomputation code path.
 
 #![warn(missing_docs)]
 

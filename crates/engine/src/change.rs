@@ -1,0 +1,51 @@
+//! Topology change events.
+//!
+//! This type used to live in `rspan-distributed::dynamics`; it moved down to
+//! the engine crate so the simulator and the incremental engine share one
+//! vocabulary (the distributed crate re-exports it under its old path).
+
+use rspan_graph::{DynamicGraph, Node};
+
+/// A single topology change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyChange {
+    /// A new link `{u, v}` appears.
+    AddEdge(Node, Node),
+    /// The link `{u, v}` disappears.
+    RemoveEdge(Node, Node),
+}
+
+impl TopologyChange {
+    /// The two endpoints of the changed link.
+    pub fn endpoints(&self) -> (Node, Node) {
+        match *self {
+            TopologyChange::AddEdge(u, v) | TopologyChange::RemoveEdge(u, v) => (u, v),
+        }
+    }
+
+    /// Applies the change to a dynamic graph in `O(deg)`.  Panics if an added
+    /// edge is already present or a removed edge is absent.
+    pub fn apply_to(&self, graph: &mut DynamicGraph) {
+        match *self {
+            TopologyChange::AddEdge(u, v) => graph.add_edge(u, v),
+            TopologyChange::RemoveEdge(u, v) => graph.remove_edge(u, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::structured::cycle_graph;
+
+    #[test]
+    fn endpoints_and_application() {
+        assert_eq!(TopologyChange::AddEdge(1, 2).endpoints(), (1, 2));
+        assert_eq!(TopologyChange::RemoveEdge(4, 3).endpoints(), (4, 3));
+        let mut g = DynamicGraph::new(cycle_graph(6));
+        TopologyChange::AddEdge(0, 3).apply_to(&mut g);
+        assert!(g.has_edge(0, 3));
+        TopologyChange::RemoveEdge(0, 3).apply_to(&mut g);
+        assert!(!g.has_edge(0, 3));
+    }
+}

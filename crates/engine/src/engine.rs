@@ -1,0 +1,463 @@
+//! The incremental remote-spanner maintenance engine.
+//!
+//! Section 2.3 of the paper observes that after a topology change only nodes
+//! within distance `r − 1 + β` of the flipped link can see a different
+//! `(r − 1 + β)`-hop neighborhood — every other node's dominating tree is
+//! *provably unchanged*.  [`RspanEngine`] turns that observation into a
+//! long-lived service:
+//!
+//! * it **owns the topology** as a [`DynamicGraph`] (CSR base + sorted
+//!   overlay, `O(deg)` per link flip, amortised compaction),
+//! * it **caches every node's dominating-tree contribution** (the tree's
+//!   edge list), so a batch commit recomputes only the *dirty ball* — the
+//!   union of `(r − 1 + β)`-balls around the changed endpoints in the old
+//!   and new topology — and leaves all other cached trees untouched,
+//! * it **refcounts spanner edges** across the per-node trees and emits a
+//!   [`SpannerDelta`] per commit: exactly the edges that entered or left the
+//!   spanner, with an epoch number, instead of a full edge set.
+//!
+//! Per-commit cost is `O(Σ |ball| + Σ_{dirty} tree-build)` instead of the
+//! `O(n + m)` rebuild plus `O(n)` tree builds of a full recomputation — the
+//! same *locality = speed* argument the traversal scratch pools made for the
+//! static construction, now applied to churn.
+//!
+//! # Correctness of the dirty ball
+//!
+//! A node `u`'s tree is a deterministic function of its radius-`R` local
+//! view (`R = r − 1 + β`, [`TreeAlgo::knowledge_radius`]): the builders only
+//! inspect distances up to `max(r, R)` from `u` — which are determined by
+//! edges with an endpoint within distance `R` of `u` — and the neighbor
+//! lists of nodes within distance `R`.  An edge flip `{a, b}` can therefore
+//! change `u`'s tree only if `a` or `b` lies within distance `R` of `u`
+//! before or after the batch, i.e. `u ∈ B_old(a, R) ∪ B_old(b, R) ∪
+//! B_new(a, R) ∪ B_new(b, R)`.  Marking those four balls per change (two
+//! pooled bounded BFS sweeps per endpoint) yields a conservative dirty set;
+//! the engine-vs-full-recompute property test pins the result bit-identical
+//! to [`rem_span_algo`] on the final graph.
+//!
+//! # Thread locality
+//!
+//! An engine is a plain mutable owner like every scratch pool in this
+//! workspace: `Send` but not shared.  Hold one engine per thread/shard and
+//! merge emitted deltas downstream; never hand one engine to two concurrent
+//! committers.
+//!
+//! [`rem_span_algo`]: ../rspan_core/fn.rem_span_algo.html
+
+use crate::change::TopologyChange;
+use rspan_domtree::{DomScratch, TreeAlgo};
+use rspan_graph::{
+    bfs_into, CsrGraph, DynamicGraph, EdgeSet, EpochFlags, Node, Subgraph, TraversalScratch,
+};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xorshift hasher for packed `(u, v)` pair keys — the refcount map
+/// is on the commit hot path and the generic SipHash costs more than the
+/// probe it guards.
+#[derive(Clone, Default)]
+pub struct PairHasher(u64);
+
+impl Hasher for PairHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = (x ^ self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+}
+
+type PairMap<V> = HashMap<u64, V, BuildHasherDefault<PairHasher>>;
+
+/// Packs an unordered node pair into one map key (shared with the scenario
+/// layer's per-batch bookkeeping).
+#[inline]
+pub(crate) fn pack(u: Node, v: Node) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    (u64::from(a) << 32) | u64::from(b)
+}
+
+#[inline]
+fn unpack(key: u64) -> (Node, Node) {
+    ((key >> 32) as Node, key as Node)
+}
+
+/// Default overlay fraction above which a commit compacts the topology back
+/// into a fresh CSR base.
+pub const DEFAULT_COMPACT_FRACTION: f64 = 0.25;
+
+/// The net spanner change produced by one [`RspanEngine::commit`].
+///
+/// Applying `removed` then `added` to the pre-commit spanner edge set yields
+/// the post-commit spanner exactly (both lists are sorted and disjoint).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpannerDelta {
+    /// Engine epoch this delta advanced the spanner to (the initial build is
+    /// epoch 0; the first commit emits epoch 1).
+    pub epoch: u64,
+    /// Edges that entered the spanner, as `(u, v)` pairs with `u < v`, sorted.
+    pub added: Vec<(Node, Node)>,
+    /// Edges that left the spanner, as `(u, v)` pairs with `u < v`, sorted.
+    pub removed: Vec<(Node, Node)>,
+    /// Nodes whose dominating tree was recomputed (the dirty ball), sorted.
+    pub recomputed: Vec<Node>,
+    /// Whether this commit folded the topology overlay back into CSR.
+    pub compacted: bool,
+}
+
+impl SpannerDelta {
+    /// Whether the commit left the spanner unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Fraction of nodes that had to recompute their tree.
+    pub fn recomputed_fraction(&self, n: usize) -> f64 {
+        self.recomputed.len() as f64 / n.max(1) as f64
+    }
+}
+
+/// Long-lived incremental maintenance engine; see the module docs.
+pub struct RspanEngine {
+    graph: DynamicGraph,
+    algo: TreeAlgo,
+    epoch: u64,
+    compact_fraction: f64,
+    /// Cached tree contribution per root: the tree's `(parent, child)` edges.
+    trees: Vec<Vec<(Node, Node)>>,
+    /// Refcount per spanner edge: in how many cached trees it appears.
+    counts: PairMap<u32>,
+    /// Pairs touched by the current commit → were they present pre-commit?
+    touched: PairMap<bool>,
+    dom: DomScratch,
+    sweep: TraversalScratch,
+    dirty: EpochFlags,
+    dirty_list: Vec<Node>,
+    /// Endpoints already swept in the current `mark_balls` pass (a batch from
+    /// e.g. a join/leave scenario repeats one endpoint across many changes).
+    endpoint_seen: EpochFlags,
+}
+
+impl RspanEngine {
+    /// Builds the engine over an initial topology: one full pass computes and
+    /// caches every node's dominating tree (epoch 0).  Compaction uses
+    /// [`DEFAULT_COMPACT_FRACTION`].
+    pub fn new(graph: CsrGraph, algo: TreeAlgo) -> Self {
+        Self::with_compaction(graph, algo, DEFAULT_COMPACT_FRACTION)
+    }
+
+    /// Like [`RspanEngine::new`] with an explicit compaction policy: after a
+    /// commit whose overlay exceeds `compact_fraction · m(base)`, the overlay
+    /// is folded back into a fresh CSR base.
+    pub fn with_compaction(graph: CsrGraph, algo: TreeAlgo, compact_fraction: f64) -> Self {
+        assert!(
+            compact_fraction > 0.0,
+            "compaction fraction must be positive"
+        );
+        let n = graph.n();
+        let mut engine = RspanEngine {
+            graph: DynamicGraph::new(graph),
+            algo,
+            epoch: 0,
+            compact_fraction,
+            trees: vec![Vec::new(); n],
+            counts: PairMap::default(),
+            touched: PairMap::default(),
+            dom: DomScratch::with_capacity(n),
+            sweep: TraversalScratch::with_capacity(n),
+            dirty: EpochFlags::new(),
+            dirty_list: Vec::new(),
+            endpoint_seen: EpochFlags::new(),
+        };
+        for u in 0..n as Node {
+            let mut edges = std::mem::take(&mut engine.trees[u as usize]);
+            let tree = engine
+                .algo
+                .build_with_scratch(&engine.graph, u, &mut engine.dom);
+            debug_assert_eq!(tree.root(), u);
+            tree.for_each_edge(|p, c| edges.push((p, c)));
+            for &(p, c) in &edges {
+                *engine.counts.entry(pack(p, c)).or_insert(0) += 1;
+            }
+            engine.trees[u as usize] = edges;
+        }
+        engine
+    }
+
+    /// Engine epoch: 0 after the initial build, incremented by every commit.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The tree algorithm every node runs.
+    pub fn algo(&self) -> TreeAlgo {
+        self.algo
+    }
+
+    /// The dirty-ball radius `r − 1 + β` a commit floods around each changed
+    /// endpoint.
+    pub fn dirty_radius(&self) -> u32 {
+        self.algo.knowledge_radius()
+    }
+
+    /// The current topology.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of edges currently in the spanner.
+    pub fn spanner_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether `{u, v}` is currently a spanner edge.
+    pub fn contains_spanner_edge(&self, u: Node, v: Node) -> bool {
+        self.counts.contains_key(&pack(u, v))
+    }
+
+    /// The cached tree contribution of `root` as `(parent, child)` edges.
+    pub fn tree_edges(&self, root: Node) -> &[(Node, Node)] {
+        &self.trees[root as usize]
+    }
+
+    /// Current spanner edges as sorted `(u, v)` pairs with `u < v`.
+    pub fn spanner_pairs(&self) -> Vec<(Node, Node)> {
+        let mut out: Vec<(Node, Node)> = self.counts.keys().map(|&k| unpack(k)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Materialises the current topology as a standalone CSR snapshot.
+    pub fn to_csr(&self) -> CsrGraph {
+        self.graph.to_csr()
+    }
+
+    /// Exports the current spanner as a [`Subgraph`] of `host`, which must
+    /// have the same topology as [`RspanEngine::graph`] (e.g. the result of
+    /// [`RspanEngine::to_csr`]).  Panics if a spanner edge is not a host edge.
+    pub fn spanner_on<'g>(&self, host: &'g CsrGraph) -> Subgraph<'g> {
+        assert_eq!(host.n(), self.graph.n(), "host has a different node set");
+        let mut edges = EdgeSet::empty(host);
+        for &key in self.counts.keys() {
+            let (u, v) = unpack(key);
+            let e = host
+                .edge_id(u, v)
+                .unwrap_or_else(|| panic!("spanner edge ({u}, {v}) is not an edge of the host"));
+            edges.insert(e);
+        }
+        Subgraph::new(host, edges)
+    }
+
+    /// Absorbs a batch of topology changes and incrementally restores the
+    /// spanner invariant, returning the net [`SpannerDelta`].
+    ///
+    /// The batch is applied sequentially, so it must be *internally valid*:
+    /// an `AddEdge` must be absent and a `RemoveEdge` present at its position
+    /// in the batch (panics otherwise, matching `apply_change`).  Cost is
+    /// proportional to the dirty ball, not to `n + m`.
+    pub fn commit(&mut self, batch: &[TopologyChange]) -> SpannerDelta {
+        let n = self.graph.n();
+        let radius = self.dirty_radius();
+        self.epoch += 1;
+        self.dirty.begin(n);
+        self.dirty_list.clear();
+        self.touched.clear();
+
+        // Dirty balls in the pre-batch topology.
+        self.mark_balls(batch, radius);
+        // Apply the batch (validates each change).
+        for change in batch {
+            change.apply_to(&mut self.graph);
+        }
+        // Dirty balls in the post-batch topology.
+        self.mark_balls(batch, radius);
+
+        // Recompute exactly the dirty trees, tracking net refcount flips.
+        for i in 0..self.dirty_list.len() {
+            let u = self.dirty_list[i];
+            let mut edges = std::mem::take(&mut self.trees[u as usize]);
+            for &(p, c) in &edges {
+                let key = pack(p, c);
+                // First touch of a pair snapshots its pre-commit presence; a
+                // pair being removed is necessarily present.
+                self.touched.entry(key).or_insert(true);
+                let cnt = self
+                    .counts
+                    .get_mut(&key)
+                    .expect("cached tree edge must be refcounted");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    self.counts.remove(&key);
+                }
+            }
+            edges.clear();
+            let tree = self.algo.build_with_scratch(&self.graph, u, &mut self.dom);
+            debug_assert_eq!(tree.root(), u);
+            tree.for_each_edge(|p, c| edges.push((p, c)));
+            for &(p, c) in &edges {
+                let key = pack(p, c);
+                let entry = self.counts.entry(key).or_insert(0);
+                if *entry == 0 {
+                    self.touched.entry(key).or_insert(false);
+                }
+                *entry += 1;
+            }
+            self.trees[u as usize] = edges;
+        }
+
+        // Net delta: pairs whose presence flipped across the commit.
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for (&key, &pre) in &self.touched {
+            let post = self.counts.contains_key(&key);
+            match (pre, post) {
+                (false, true) => added.push(unpack(key)),
+                (true, false) => removed.push(unpack(key)),
+                _ => {}
+            }
+        }
+        added.sort_unstable();
+        removed.sort_unstable();
+        let mut recomputed = self.dirty_list.clone();
+        recomputed.sort_unstable();
+
+        // Amortised compaction keeps neighbor scans near CSR speed.
+        let compacted = self.graph.should_compact(self.compact_fraction);
+        if compacted {
+            self.graph.compact();
+        }
+
+        SpannerDelta {
+            epoch: self.epoch,
+            added,
+            removed,
+            recomputed,
+            compacted,
+        }
+    }
+
+    /// Marks the radius-`radius` ball around every changed endpoint in the
+    /// *current* topology as dirty — one bounded BFS per *distinct* endpoint.
+    fn mark_balls(&mut self, batch: &[TopologyChange], radius: u32) {
+        self.endpoint_seen.begin(self.graph.n());
+        for change in batch {
+            let (a, b) = change.endpoints();
+            for endpoint in [a, b] {
+                if !self.endpoint_seen.set(endpoint) {
+                    continue;
+                }
+                bfs_into(&self.graph, endpoint, radius, &mut self.sweep);
+                for &v in self.sweep.visited() {
+                    if self.dirty.set(v) {
+                        self.dirty_list.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph};
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for (u, v) in [(0u32, 1u32), (7, 3), (1_000_000, 2)] {
+            let (a, b) = unpack(pack(u, v));
+            assert!(a < b);
+            assert_eq!(pack(a, b), pack(u, v));
+        }
+    }
+
+    #[test]
+    fn initial_build_matches_union_of_trees() {
+        let g = grid_graph(5, 5);
+        let algo = TreeAlgo::KGreedy { k: 2 };
+        let engine = RspanEngine::new(g.clone(), algo);
+        assert_eq!(engine.epoch(), 0);
+        let mut scratch = DomScratch::new();
+        let mut expect: Vec<(Node, Node)> = Vec::new();
+        for u in g.nodes() {
+            let tree = algo.build_with_scratch(&g, u, &mut scratch);
+            tree.for_each_edge(|p, c| expect.push(if p < c { (p, c) } else { (c, p) }));
+        }
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(engine.spanner_pairs(), expect);
+        assert_eq!(engine.spanner_len(), expect.len());
+        for &(u, v) in &expect {
+            assert!(engine.contains_spanner_edge(u, v));
+            assert!(engine.contains_spanner_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn empty_commit_is_a_no_op_with_epoch_bump() {
+        let mut engine = RspanEngine::new(cycle_graph(8), TreeAlgo::Mis { r: 2 });
+        let before = engine.spanner_pairs();
+        let delta = engine.commit(&[]);
+        assert_eq!(delta.epoch, 1);
+        assert!(delta.is_empty());
+        assert!(delta.recomputed.is_empty());
+        assert_eq!(engine.spanner_pairs(), before);
+    }
+
+    #[test]
+    fn removed_topology_edges_leave_the_spanner() {
+        let g = gnp_connected(50, 0.1, 4);
+        let mut engine = RspanEngine::new(g.clone(), TreeAlgo::KGreedy { k: 1 });
+        let (u, v) = g.edges().next().unwrap();
+        let delta = engine.commit(&[TopologyChange::RemoveEdge(u, v)]);
+        assert!(!engine.contains_spanner_edge(u, v));
+        assert!(!engine.graph().has_edge(u, v));
+        assert!(delta.recomputed.contains(&u) && delta.recomputed.contains(&v));
+        // every remaining spanner edge is still a topology edge
+        for (a, b) in engine.spanner_pairs() {
+            assert!(engine.graph().has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn spanner_on_exports_the_same_edge_set() {
+        let g = grid_graph(4, 6);
+        let mut engine = RspanEngine::new(g, TreeAlgo::Greedy { r: 2, beta: 0 });
+        engine.commit(&[TopologyChange::AddEdge(0, 23)]);
+        let csr = engine.to_csr();
+        let sub = engine.spanner_on(&csr);
+        let mut pairs: Vec<(Node, Node)> = sub.edges().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, engine.spanner_pairs());
+    }
+
+    #[test]
+    fn commit_reports_compaction_per_policy() {
+        let g = cycle_graph(12);
+        let mut eager = RspanEngine::with_compaction(g.clone(), TreeAlgo::KGreedy { k: 1 }, 0.01);
+        let delta = eager.commit(&[TopologyChange::AddEdge(0, 6)]);
+        assert!(delta.compacted);
+        assert_eq!(eager.graph().overlay_edges(), 0);
+        let mut lazy = RspanEngine::with_compaction(g, TreeAlgo::KGreedy { k: 1 }, 10.0);
+        let delta = lazy.commit(&[TopologyChange::AddEdge(0, 6)]);
+        assert!(!delta.compacted);
+        assert_eq!(lazy.graph().overlay_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_batch_panics() {
+        let mut engine = RspanEngine::new(cycle_graph(5), TreeAlgo::KGreedy { k: 1 });
+        engine.commit(&[TopologyChange::AddEdge(0, 1)]);
+    }
+}

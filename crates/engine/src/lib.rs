@@ -1,0 +1,33 @@
+//! # rspan-engine — incremental remote-spanner maintenance
+//!
+//! The static pipeline of this workspace builds a remote-spanner once from a
+//! frozen [`CsrGraph`].  Real link-state routing — the application the paper
+//! motivates — runs under *churn*: links flap, nodes move, join and leave.
+//! This crate is the long-lived service for that regime:
+//!
+//! * [`RspanEngine`] — owns the topology (as a
+//!   [`rspan_graph::DynamicGraph`] overlay) and the spanner state, absorbs
+//!   batches of [`TopologyChange`]s, recomputes only the `r − 1 + β` *dirty
+//!   ball* around each changed endpoint (Section 2.3's locality bound), and
+//!   emits per-commit [`SpannerDelta`]s — exactly the spanner edges that
+//!   changed, never a full edge set,
+//! * [`scenario`] — seeded, deterministic churn workloads (Poisson link
+//!   flaps, unit-disk node mobility, node join/leave) that feed the engine
+//!   and double as the `engine_churn` benchmark workloads.
+//!
+//! The lifecycle is **batch → commit → delta**: accumulate a round's changes
+//! into a batch, call [`RspanEngine::commit`], and forward the returned
+//! delta (e.g. into routing tables or a replica).  Epochs number the commits
+//! so consumers can detect missed deltas.
+//!
+//! [`CsrGraph`]: rspan_graph::CsrGraph
+
+#![warn(missing_docs)]
+
+pub mod change;
+pub mod engine;
+pub mod scenario;
+
+pub use change::TopologyChange;
+pub use engine::{RspanEngine, SpannerDelta, DEFAULT_COMPACT_FRACTION};
+pub use scenario::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};

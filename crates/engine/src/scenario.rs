@@ -1,0 +1,388 @@
+//! Deterministic churn workloads: seeded event streams feeding the engine.
+//!
+//! Three scenario families cover the dynamics the paper motivates for
+//! link-state routing in ad-hoc networks:
+//!
+//! * [`LinkFlapScenario`] — Poisson-distributed link flaps over the initial
+//!   edge universe (radio links fading in and out),
+//! * [`MobilityScenario`] — node mobility: a subset of nodes takes a
+//!   Gaussian step (via [`rspan_metric::gaussian_step_in_box`]) each round
+//!   and the unit-disk graph flips every link whose pairwise distance
+//!   crossed the radius,
+//! * [`JoinLeaveScenario`] — whole-node churn: a leaving node drops all its
+//!   links, a (re)joining node restores its home links to active peers.
+//!
+//! All scenarios are deterministic per seed and emit batches that are
+//! *sequentially valid* for [`crate::RspanEngine::commit`] — each change is
+//! consistent with the topology produced by the previous changes of the same
+//! batch.  They double as the `engine_churn` benchmark workloads.
+
+use crate::change::TopologyChange;
+use crate::engine::pack as pair_key;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rspan_graph::generators::udg::UnitDiskInstance;
+use rspan_graph::{CsrGraph, DynamicGraph, Node};
+use rspan_metric::{gaussian_step_in_box, sample_poisson, Point};
+use std::collections::HashSet;
+
+/// A seeded generator of topology-change batches.
+///
+/// `next_batch` receives the engine's current topology so the scenario can
+/// emit changes valid against it; implementations must stay deterministic
+/// per seed.
+pub trait ChurnScenario {
+    /// Human-readable description for benchmark tables.
+    fn label(&self) -> &str;
+
+    /// Produces the next round's batch of changes, valid for sequential
+    /// application to `graph`.
+    fn next_batch(&mut self, graph: &DynamicGraph) -> Vec<TopologyChange>;
+}
+
+/// Poisson link flaps: each round, `Poisson(mean_flaps)` distinct edges of
+/// the *initial* edge universe toggle their presence.
+pub struct LinkFlapScenario {
+    label: String,
+    universe: Vec<(Node, Node)>,
+    mean_flaps: f64,
+    rng: SmallRng,
+}
+
+impl LinkFlapScenario {
+    /// Flap scenario over the edges of `graph`, with `mean_flaps_per_round`
+    /// expected toggles per round.
+    pub fn new(graph: &CsrGraph, mean_flaps_per_round: f64, seed: u64) -> Self {
+        assert!(mean_flaps_per_round >= 0.0);
+        LinkFlapScenario {
+            label: format!(
+                "link-flap m={} mean_flaps={mean_flaps_per_round:.1}",
+                graph.m()
+            ),
+            universe: graph.edges().collect(),
+            mean_flaps: mean_flaps_per_round,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ChurnScenario for LinkFlapScenario {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_batch(&mut self, graph: &DynamicGraph) -> Vec<TopologyChange> {
+        if self.universe.is_empty() {
+            return Vec::new();
+        }
+        let flaps = sample_poisson(self.mean_flaps, &mut self.rng).min(self.universe.len());
+        let mut seen: HashSet<u64> = HashSet::with_capacity(flaps * 2);
+        let mut batch = Vec::with_capacity(flaps);
+        // Each edge toggles at most once per batch, so the pre-batch topology
+        // decides every flip direction and the batch stays valid.
+        let mut attempts = 0usize;
+        while batch.len() < flaps && attempts < flaps * 8 + 8 {
+            attempts += 1;
+            let (u, v) = self.universe[self.rng.gen_range(0..self.universe.len())];
+            if !seen.insert(pair_key(u, v)) {
+                continue;
+            }
+            batch.push(if graph.has_edge(u, v) {
+                TopologyChange::RemoveEdge(u, v)
+            } else {
+                TopologyChange::AddEdge(u, v)
+            });
+        }
+        batch
+    }
+}
+
+/// Unit-disk node mobility: `movers_per_round` nodes take a Gaussian step
+/// inside the deployment square each round; every pair whose distance crossed
+/// the connection radius flips its link.
+pub struct MobilityScenario {
+    label: String,
+    positions: Vec<Point>,
+    side: f64,
+    radius: f64,
+    movers_per_round: usize,
+    sigma: f64,
+    rng: SmallRng,
+}
+
+impl MobilityScenario {
+    /// Mobility over an explicit 2-D point set.
+    pub fn new(
+        positions: Vec<(f64, f64)>,
+        side: f64,
+        radius: f64,
+        movers_per_round: usize,
+        sigma: f64,
+        seed: u64,
+    ) -> Self {
+        MobilityScenario {
+            label: format!(
+                "udg-mobility n={} movers={movers_per_round} sigma={sigma:.2}",
+                positions.len()
+            ),
+            positions: positions
+                .into_iter()
+                .map(|(x, y)| Point::xy(x, y))
+                .collect(),
+            side,
+            radius,
+            movers_per_round,
+            sigma,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Mobility seeded from a generated unit-disk instance (start the engine
+    /// on `inst.graph`).
+    pub fn from_udg(
+        inst: &UnitDiskInstance,
+        movers_per_round: usize,
+        sigma: f64,
+        seed: u64,
+    ) -> Self {
+        Self::new(
+            inst.positions.clone(),
+            inst.side,
+            inst.radius,
+            movers_per_round,
+            sigma,
+            seed,
+        )
+    }
+
+    /// Current node positions (after the steps emitted so far).
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+}
+
+impl ChurnScenario for MobilityScenario {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_batch(&mut self, graph: &DynamicGraph) -> Vec<TopologyChange> {
+        let n = self.positions.len();
+        if n < 2 || self.movers_per_round == 0 {
+            return Vec::new();
+        }
+        let mut batch = Vec::new();
+        // Pairs already flipped this batch: the effective link state is the
+        // pre-batch topology XOR this set, which keeps every emitted change
+        // valid under sequential application.
+        let mut toggled: HashSet<u64> = HashSet::new();
+        for _ in 0..self.movers_per_round {
+            let v = self.rng.gen_range(0..n) as Node;
+            self.positions[v as usize] = gaussian_step_in_box(
+                &self.positions[v as usize],
+                self.sigma,
+                self.side,
+                &mut self.rng,
+            );
+            for w in 0..n as Node {
+                if w == v {
+                    continue;
+                }
+                let should = self.positions[v as usize].euclidean(&self.positions[w as usize])
+                    <= self.radius;
+                let key = pair_key(v, w);
+                let has = graph.has_edge(v, w) ^ toggled.contains(&key);
+                if should != has {
+                    // A pair can flip several times in one batch (both
+                    // endpoints moving, or a node drawn twice): *toggle*
+                    // membership so `has` keeps reflecting the effective
+                    // state, never insert-only.
+                    if !toggled.insert(key) {
+                        toggled.remove(&key);
+                    }
+                    batch.push(if should {
+                        TopologyChange::AddEdge(v, w)
+                    } else {
+                        TopologyChange::RemoveEdge(v, w)
+                    });
+                }
+            }
+        }
+        batch
+    }
+}
+
+/// Whole-node churn: each round, `toggles_per_round` nodes flip between
+/// active and inactive.  A leaving node drops every link; a joining node
+/// restores its *home* links (the initial topology) to currently active
+/// peers.  Start the engine on the full home graph.
+pub struct JoinLeaveScenario {
+    label: String,
+    home: CsrGraph,
+    active: Vec<bool>,
+    toggles_per_round: usize,
+    rng: SmallRng,
+}
+
+impl JoinLeaveScenario {
+    /// Join/leave churn over the given home topology (all nodes start active).
+    pub fn new(home: CsrGraph, toggles_per_round: usize, seed: u64) -> Self {
+        let n = home.n();
+        JoinLeaveScenario {
+            label: format!("join-leave n={n} toggles={toggles_per_round}"),
+            home,
+            active: vec![true; n],
+            toggles_per_round,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether node `v` is currently active.
+    pub fn is_active(&self, v: Node) -> bool {
+        self.active[v as usize]
+    }
+}
+
+impl ChurnScenario for JoinLeaveScenario {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_batch(&mut self, _graph: &DynamicGraph) -> Vec<TopologyChange> {
+        let n = self.home.n();
+        if n == 0 || self.toggles_per_round == 0 {
+            return Vec::new();
+        }
+        let mut batch = Vec::new();
+        for _ in 0..self.toggles_per_round {
+            let v = self.rng.gen_range(0..n) as Node;
+            // Invariant: an edge is present iff both endpoints are active, so
+            // toggling one node flips exactly its home links to active peers
+            // — valid sequentially even if a node or pair toggles twice per
+            // round.
+            let joining = !self.active[v as usize];
+            for &w in self.home.neighbors(v) {
+                if self.active[w as usize] {
+                    batch.push(if joining {
+                        TopologyChange::AddEdge(v, w)
+                    } else {
+                        TopologyChange::RemoveEdge(v, w)
+                    });
+                }
+            }
+            self.active[v as usize] = joining;
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_graph::generators::udg::{udg_from_points, uniform_udg};
+
+    fn drive<S: ChurnScenario>(scenario: &mut S, start: &CsrGraph, rounds: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(start.clone());
+        for _ in 0..rounds {
+            for change in scenario.next_batch(&g) {
+                change.apply_to(&mut g); // panics if the batch is invalid
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn link_flap_batches_are_valid_and_deterministic() {
+        let inst = uniform_udg(120, 5.0, 1.0, 3);
+        let mut a = LinkFlapScenario::new(&inst.graph, 4.0, 9);
+        let mut b = LinkFlapScenario::new(&inst.graph, 4.0, 9);
+        let mut ga = DynamicGraph::new(inst.graph.clone());
+        let mut gb = DynamicGraph::new(inst.graph.clone());
+        let mut total = 0usize;
+        for _ in 0..12 {
+            let ba = a.next_batch(&ga);
+            let bb = b.next_batch(&gb);
+            assert_eq!(ba, bb, "same seed diverged");
+            total += ba.len();
+            for c in ba {
+                c.apply_to(&mut ga);
+                c.apply_to(&mut gb);
+            }
+        }
+        assert!(total > 0, "no flaps generated");
+        assert!(!a.label().is_empty());
+    }
+
+    #[test]
+    fn mobility_tracks_the_unit_disk_graph_of_moved_points() {
+        let inst = uniform_udg(90, 5.0, 1.0, 7);
+        let mut scenario = MobilityScenario::from_udg(&inst, 6, 0.3, 11);
+        let g = drive(&mut scenario, &inst.graph, 10);
+        // The tracked topology must equal the UDG of the current positions.
+        let pts: Vec<(f64, f64)> = scenario
+            .positions()
+            .iter()
+            .map(|p| (p.coord(0), p.coord(1)))
+            .collect();
+        assert_eq!(g.to_csr(), udg_from_points(&pts, inst.radius));
+    }
+
+    #[test]
+    fn mobility_survives_repeated_flips_of_one_pair_per_batch() {
+        // Regression: with movers sampled with replacement and a step size on
+        // the order of the radius, one pair can cross the radius several
+        // times inside a single batch — the per-batch toggle bookkeeping must
+        // flip membership, not insert-only, or the emitted batch goes invalid
+        // (double-add panic) and the tracked topology diverges.
+        for seed in 0..40u64 {
+            let positions = vec![(0.2, 0.2), (0.4, 0.2), (0.6, 0.4), (0.3, 0.6)];
+            let start = udg_from_points(
+                &positions.iter().map(|&(x, y)| (x, y)).collect::<Vec<_>>(),
+                0.5,
+            );
+            let mut scenario = MobilityScenario::new(positions, 1.0, 0.5, 30, 0.4, seed);
+            let g = drive(&mut scenario, &start, 20); // panics on invalid batches
+            let pts: Vec<(f64, f64)> = scenario
+                .positions()
+                .iter()
+                .map(|p| (p.coord(0), p.coord(1)))
+                .collect();
+            assert_eq!(g.to_csr(), udg_from_points(&pts, 0.5), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn join_leave_keeps_the_active_invariant() {
+        let inst = uniform_udg(80, 5.0, 1.0, 5);
+        let mut scenario = JoinLeaveScenario::new(inst.graph.clone(), 5, 13);
+        let g = drive(&mut scenario, &inst.graph, 15);
+        let csr = g.to_csr();
+        for (u, v) in inst.graph.edges() {
+            let expect = scenario.is_active(u) && scenario.is_active(v);
+            assert_eq!(csr.has_edge(u, v), expect, "edge ({u},{v})");
+        }
+        assert_eq!(csr.m(), {
+            inst.graph
+                .edges()
+                .filter(|&(u, v)| scenario.is_active(u) && scenario.is_active(v))
+                .count()
+        });
+    }
+
+    #[test]
+    fn empty_and_degenerate_scenarios() {
+        let empty = CsrGraph::empty(4);
+        let mut flap = LinkFlapScenario::new(&empty, 3.0, 1);
+        assert!(flap
+            .next_batch(&DynamicGraph::new(empty.clone()))
+            .is_empty());
+        let mut mob = MobilityScenario::new(vec![(0.0, 0.0)], 1.0, 1.0, 3, 0.5, 2);
+        assert!(mob
+            .next_batch(&DynamicGraph::new(CsrGraph::empty(1)))
+            .is_empty());
+        let mut jl = JoinLeaveScenario::new(CsrGraph::empty(0), 2, 3);
+        assert!(jl
+            .next_batch(&DynamicGraph::new(CsrGraph::empty(0)))
+            .is_empty());
+    }
+}

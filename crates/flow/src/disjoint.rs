@@ -7,6 +7,14 @@
 //! and, with Johnson potentials keeping reduced costs non-negative, each of
 //! the `k` phases is a Dijkstra run, so the whole query is
 //! `O(k · m log n)`.
+//!
+//! The verification layers run one query per node *pair*; rebuilding the
+//! split network and the Dijkstra arrays for every pair is the same per-call
+//! `O(n)` tax the scratch pools removed elsewhere.  [`DisjointPathsOracle`]
+//! builds the network **once** per graph view and resets it allocation-free
+//! between pairs (mirroring [`crate::EdgeConnectivity`] /
+//! [`crate::FlowScratch`]); the free functions below are one-shot wrappers
+//! over a throwaway oracle.
 
 use crate::network::{ArcId, SplitNetwork};
 use rspan_graph::{Adjacency, Node};
@@ -29,138 +37,194 @@ impl DisjointPaths {
     }
 }
 
+/// A reusable `d^k` oracle over one adjacency view: the vertex-split network
+/// is built **once**, and every pair query resets capacities, Johnson
+/// potentials and the pooled Dijkstra arrays without allocating — mirroring
+/// the [`crate::EdgeConnectivity`] oracle on the edge-connectivity side.
+///
+/// Like every scratch pool in this workspace, an oracle is `Send` but meant
+/// for `&mut` access from a single thread; verification loops hold one per
+/// worker.
+pub struct DisjointPathsOracle {
+    net: SplitNetwork,
+    /// Johnson potentials per split vertex, zeroed per pair query.
+    potential: Vec<i64>,
+    /// Epoch-stamped Dijkstra distances (valid when `stamp[v] == epoch`).
+    dist: Vec<i64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Arc used to reach each vertex in the current Dijkstra round.
+    parent_arc: Vec<ArcId>,
+    heap: BinaryHeap<Reverse<(i64, usize)>>,
+    /// Epoch-stamped per-arc marks for the flow decomposition.
+    used: Vec<u32>,
+    used_epoch: u32,
+}
+
+impl DisjointPathsOracle {
+    /// Builds the split network of `graph` once; subsequent pair queries are
+    /// allocation-free (up to the returned path vectors).
+    pub fn new<A: Adjacency + ?Sized>(graph: &A) -> Self {
+        let net = SplitNetwork::for_graph(graph);
+        let nv = net.num_vertices();
+        let na = net.num_arcs();
+        DisjointPathsOracle {
+            net,
+            potential: vec![0; nv],
+            dist: vec![0; nv],
+            stamp: vec![0; nv],
+            epoch: 0,
+            parent_arc: vec![0; na.max(1)],
+            heap: BinaryHeap::new(),
+            used: vec![0; na],
+            used_epoch: 0,
+        }
+    }
+
+    /// Computes `k` internally-vertex-disjoint `s`–`t` paths of minimum total
+    /// length; see [`min_sum_disjoint_paths`] for the contract.
+    pub fn min_sum_disjoint_paths(&mut self, s: Node, t: Node, k: usize) -> Option<DisjointPaths> {
+        assert!(s != t, "d^k(s, t) requires distinct endpoints");
+        assert!(k >= 1, "k must be at least 1");
+        self.net.reset_for_pair(s, t);
+        self.potential.fill(0);
+        let source = SplitNetwork::v_out(s);
+        let sink = SplitNetwork::v_in(t);
+        for _round in 0..k {
+            if !self.dijkstra(source, sink) {
+                return None;
+            }
+            // Update potentials (unreachable vertices keep their old
+            // potential; they can never appear on a shortest path in later
+            // rounds without first becoming reachable, at which point reduced
+            // costs stay valid because their potential is only ever too
+            // large).
+            for v in 0..self.net.num_vertices() {
+                if self.stamp[v] == self.epoch {
+                    self.potential[v] += self.dist[v];
+                }
+            }
+            // Augment one unit along the shortest path.
+            let mut v = sink;
+            while v != source {
+                let arc = self.parent_arc[v];
+                self.net.push(arc, 1);
+                v = self.net.arc(arc ^ 1).to;
+            }
+        }
+        let paths = self.extract_paths(s, t, k);
+        debug_assert_eq!(paths.len(), k);
+        let total_length: u64 = paths.iter().map(|p| (p.len() - 1) as u64).sum();
+        Some(DisjointPaths {
+            paths,
+            total_length,
+        })
+    }
+
+    /// The paper's `d^k(s, t)` through the pooled network.
+    pub fn dk_distance(&mut self, s: Node, t: Node, k: usize) -> Option<u64> {
+        self.min_sum_disjoint_paths(s, t, k).map(|d| d.total_length)
+    }
+
+    /// Dijkstra on reduced costs from `source` over the pooled arrays.
+    /// Returns whether `sink` was reached.
+    fn dijkstra(&mut self, source: usize, sink: usize) -> bool {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+        self.stamp[source] = self.epoch;
+        self.dist[source] = 0;
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if self.stamp[v] != self.epoch || self.dist[v] != d {
+                continue;
+            }
+            for &aid in self.net.out_arcs(v) {
+                let arc = self.net.arc(aid);
+                if arc.cap <= 0 {
+                    continue;
+                }
+                let u = arc.to;
+                let reduced = arc.cost + self.potential[v] - self.potential[u];
+                debug_assert!(reduced >= 0, "negative reduced cost");
+                let nd = d + reduced;
+                if self.stamp[u] != self.epoch || nd < self.dist[u] {
+                    self.stamp[u] = self.epoch;
+                    self.dist[u] = nd;
+                    self.parent_arc[u] = aid;
+                    self.heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        self.stamp[sink] == self.epoch
+    }
+
+    /// Decomposes the integral flow into `k` node-disjoint `s`–`t` paths.
+    fn extract_paths(&mut self, s: Node, t: Node, k: usize) -> Vec<Vec<Node>> {
+        self.used_epoch = self.used_epoch.wrapping_add(1);
+        if self.used_epoch == 0 {
+            self.used.fill(0);
+            self.used_epoch = 1;
+        }
+        let mut paths = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut path = vec![s];
+            let mut cur = s;
+            loop {
+                if cur == t {
+                    break;
+                }
+                let out = SplitNetwork::v_out(cur);
+                let mut advanced = false;
+                for &aid in self.net.out_arcs(out) {
+                    if aid % 2 != 0 || self.used[aid] == self.used_epoch {
+                        continue; // skip residual twins and already-traced arcs
+                    }
+                    let arc = self.net.arc(aid);
+                    if arc.cost != 1 || self.net.flow_on(aid) <= 0 {
+                        continue;
+                    }
+                    // Edge arc carrying flow: follow it to the next graph node.
+                    self.used[aid] = self.used_epoch;
+                    let next = (arc.to / 2) as Node;
+                    path.push(next);
+                    cur = next;
+                    advanced = true;
+                    break;
+                }
+                assert!(advanced, "flow decomposition got stuck at node {cur}");
+            }
+            paths.push(path);
+        }
+        paths
+    }
+}
+
 /// Computes `k` internally-vertex-disjoint `s`–`t` paths of minimum total
 /// length in any adjacency view.  Returns `None` if fewer than `k` disjoint
 /// paths exist (including the degenerate cases `s == t` or `k == 0`, which are
 /// rejected with a panic since the paper's `d^k` is only defined for distinct
 /// non-adjacent pairs — adjacency is allowed here, the single edge then counts
 /// as a path of length 1).
+///
+/// One-shot wrapper: builds a throwaway [`DisjointPathsOracle`].  Loops over
+/// many pairs of the same view should hold one oracle instead.
 pub fn min_sum_disjoint_paths<A: Adjacency + ?Sized>(
     graph: &A,
     s: Node,
     t: Node,
     k: usize,
 ) -> Option<DisjointPaths> {
-    assert!(s != t, "d^k(s, t) requires distinct endpoints");
-    assert!(k >= 1, "k must be at least 1");
-    let mut net = SplitNetwork::for_pair(graph, s, t);
-    let source = SplitNetwork::v_out(s);
-    let sink = SplitNetwork::v_in(t);
-    let nv = net.num_vertices();
-    // Johnson potentials; all original costs are non-negative so the zero
-    // potential is valid initially.
-    let mut potential = vec![0i64; nv];
-    for _round in 0..k {
-        let (dist, parent_arc) = dijkstra(&net, source, &potential);
-        dist[sink]?;
-        // Update potentials (unreachable vertices keep their old potential;
-        // they can never appear on a shortest path in later rounds without
-        // first becoming reachable, at which point reduced costs stay valid
-        // because their potential is only ever too large).
-        for v in 0..nv {
-            if let Some(dv) = dist[v] {
-                potential[v] += dv;
-            }
-        }
-        // Augment one unit along the shortest path.
-        let mut v = sink;
-        while v != source {
-            let arc = parent_arc[v].expect("path arc missing");
-            net.push(arc, 1);
-            v = twin_tail(&net, arc);
-        }
-    }
-    let paths = extract_paths(&net, s, t, k);
-    debug_assert_eq!(paths.len(), k);
-    let total_length: u64 = paths.iter().map(|p| (p.len() - 1) as u64).sum();
-    Some(DisjointPaths {
-        paths,
-        total_length,
-    })
+    DisjointPathsOracle::new(graph).min_sum_disjoint_paths(s, t, k)
 }
 
 /// The paper's `d^k(s, t)`: minimum total length of `k` disjoint paths, or
 /// `None` when `u` and `v` are not `k`-connected.
 pub fn dk_distance<A: Adjacency + ?Sized>(graph: &A, s: Node, t: Node, k: usize) -> Option<u64> {
     min_sum_disjoint_paths(graph, s, t, k).map(|d| d.total_length)
-}
-
-/// Tail vertex of the forward arc `arc` (i.e. head of its residual twin).
-fn twin_tail(net: &SplitNetwork, arc: ArcId) -> usize {
-    net.arc(arc ^ 1).to
-}
-
-/// Dijkstra on reduced costs.  Returns distances (None = unreachable) and the
-/// arc used to reach each vertex.
-fn dijkstra(
-    net: &SplitNetwork,
-    source: usize,
-    potential: &[i64],
-) -> (Vec<Option<i64>>, Vec<Option<ArcId>>) {
-    let nv = net.num_vertices();
-    let mut dist: Vec<Option<i64>> = vec![None; nv];
-    let mut parent: Vec<Option<ArcId>> = vec![None; nv];
-    let mut heap: BinaryHeap<Reverse<(i64, usize)>> = BinaryHeap::new();
-    dist[source] = Some(0);
-    heap.push(Reverse((0, source)));
-    while let Some(Reverse((d, v))) = heap.pop() {
-        if dist[v] != Some(d) {
-            continue;
-        }
-        for &aid in net.out_arcs(v) {
-            let arc = net.arc(aid);
-            if arc.cap <= 0 {
-                continue;
-            }
-            let u = arc.to;
-            let reduced = arc.cost + potential[v] - potential[u];
-            debug_assert!(reduced >= 0, "negative reduced cost");
-            let nd = d + reduced;
-            if dist[u].is_none_or(|cur| nd < cur) {
-                dist[u] = Some(nd);
-                parent[u] = Some(aid);
-                heap.push(Reverse((nd, u)));
-            }
-        }
-    }
-    (dist, parent)
-}
-
-/// Decomposes the integral flow into `k` node-disjoint paths from `s` to `t`.
-fn extract_paths(net: &SplitNetwork, s: Node, t: Node, k: usize) -> Vec<Vec<Node>> {
-    // Build, for each graph node, the list of outgoing *edge* arcs carrying flow.
-    let mut used = vec![false; net.num_arcs()];
-    let mut paths = Vec::with_capacity(k);
-    for _ in 0..k {
-        let mut path = vec![s];
-        let mut cur = s;
-        loop {
-            if cur == t {
-                break;
-            }
-            let out = SplitNetwork::v_out(cur);
-            let mut advanced = false;
-            for &aid in net.out_arcs(out) {
-                if aid % 2 != 0 || used[aid] {
-                    continue; // skip residual twins and already-traced arcs
-                }
-                let arc = net.arc(aid);
-                if arc.cost != 1 || net.flow_on(aid) <= 0 {
-                    continue;
-                }
-                // Edge arc carrying flow: follow it to the next graph node.
-                used[aid] = true;
-                let next = (arc.to / 2) as Node;
-                path.push(next);
-                cur = next;
-                advanced = true;
-                break;
-            }
-            assert!(advanced, "flow decomposition got stuck at node {cur}");
-        }
-        paths.push(path);
-    }
-    paths
 }
 
 /// Checks that a set of paths are pairwise internally vertex-disjoint
@@ -323,6 +387,48 @@ mod tests {
             3,
             &[vec![0, 1, 2, 3], vec![0, 5, 4, 3]]
         ));
+    }
+
+    #[test]
+    fn pooled_oracle_matches_one_shot_queries_across_pairs() {
+        // One oracle serves many (pair, k) queries; every answer must equal
+        // the throwaway-network wrapper's.
+        let g = petersen();
+        let mut oracle = DisjointPathsOracle::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u >= v {
+                    continue;
+                }
+                for k in 1..=4 {
+                    assert_eq!(
+                        oracle.dk_distance(u, v, k),
+                        dk_distance(&g, u, v, k),
+                        "pair ({u},{v}) k={k}"
+                    );
+                }
+                let (pooled, fresh) = (
+                    oracle.min_sum_disjoint_paths(u, v, 3),
+                    min_sum_disjoint_paths(&g, u, v, 3),
+                );
+                assert_eq!(pooled, fresh, "witness paths diverged for ({u},{v})");
+                if let Some(p) = pooled {
+                    assert!(verify_disjoint_paths(&g, u, v, &p.paths));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_reset_recovers_from_saturating_queries() {
+        // A k-saturated query must not poison the next pair (capacities and
+        // potentials are reset, not rebuilt).
+        let g = complete_graph(6);
+        let mut oracle = DisjointPathsOracle::new(&g);
+        assert_eq!(oracle.dk_distance(0, 5, 5), Some(1 + 4 * 2));
+        assert_eq!(oracle.dk_distance(0, 5, 6), None);
+        assert_eq!(oracle.dk_distance(0, 5, 1), Some(1));
+        assert_eq!(oracle.dk_distance(1, 4, 5), Some(1 + 4 * 2));
     }
 
     #[test]

@@ -19,7 +19,9 @@ pub mod menger;
 pub mod network;
 pub mod scratch;
 
-pub use disjoint::{dk_distance, min_sum_disjoint_paths, verify_disjoint_paths, DisjointPaths};
+pub use disjoint::{
+    dk_distance, min_sum_disjoint_paths, verify_disjoint_paths, DisjointPaths, DisjointPathsOracle,
+};
 pub use edge_disjoint::{
     dk_edge_distance, min_sum_edge_disjoint_paths, pair_edge_connectivity,
     pair_edge_connectivity_with_scratch, verify_edge_disjoint_paths, EdgeConnectivity,

@@ -52,10 +52,28 @@ impl SplitNetwork {
         2 * v as usize + 1
     }
 
+    /// Vertex capacity given to the two terminals of a pair query.
+    pub(crate) const TERMINAL_CAP: i64 = i64::MAX / 4;
+
     /// Builds the split network of `graph` for a disjoint-path query between
     /// `s` and `t`.  The terminals get unbounded vertex capacity; every other
     /// node gets capacity 1, enforcing internal disjointness.
+    ///
+    /// For loops over many pairs of the *same* graph, build once with
+    /// [`SplitNetwork::for_graph`] and switch terminals allocation-free with
+    /// [`SplitNetwork::reset_for_pair`] (this is what
+    /// [`crate::DisjointPathsOracle`] does).
     pub fn for_pair<A: Adjacency + ?Sized>(graph: &A, s: Node, t: Node) -> Self {
+        let mut net = Self::for_graph(graph);
+        net.arcs[Self::vertex_arc(s)].cap = Self::TERMINAL_CAP;
+        net.arcs[Self::vertex_arc(t)].cap = Self::TERMINAL_CAP;
+        net
+    }
+
+    /// Builds the split network of `graph` with every vertex arc at capacity
+    /// 1 (no terminals yet); pair queries call
+    /// [`SplitNetwork::reset_for_pair`] before each run.
+    pub fn for_graph<A: Adjacency + ?Sized>(graph: &A) -> Self {
         let n = graph.num_nodes();
         let mut net = SplitNetwork {
             num_vertices: 2 * n,
@@ -63,9 +81,10 @@ impl SplitNetwork {
             adj: vec![Vec::new(); 2 * n],
             graph_nodes: n,
         };
+        // Vertex arcs first: the forward arc of node v is arc id 2v, which is
+        // what lets `reset_for_pair` restore capacities without bookkeeping.
         for v in 0..n as Node {
-            let cap = if v == s || v == t { i64::MAX / 4 } else { 1 };
-            net.add_arc(Self::v_in(v), Self::v_out(v), cap, 0);
+            net.add_arc(Self::v_in(v), Self::v_out(v), 1, 0);
         }
         for u in 0..n as Node {
             graph.for_each_neighbor(u, &mut |v| {
@@ -78,6 +97,25 @@ impl SplitNetwork {
             });
         }
         net
+    }
+
+    /// Forward-arc id of the vertex arc `v_in → v_out` (its residual twin is
+    /// the next id), by the construction order of [`SplitNetwork::for_graph`].
+    #[inline]
+    pub(crate) fn vertex_arc(v: Node) -> usize {
+        2 * v as usize
+    }
+
+    /// Restores every arc to its pristine capacity (vertex and edge arcs 1,
+    /// residual twins 0) and grants `s` and `t` terminal capacity — an
+    /// allocation-free reset that readies a pooled network for the next pair
+    /// query, mirroring the edge-connectivity oracle's `reset_caps`.
+    pub fn reset_for_pair(&mut self, s: Node, t: Node) {
+        for (i, arc) in self.arcs.iter_mut().enumerate() {
+            arc.cap = i64::from(i % 2 == 0);
+        }
+        self.arcs[Self::vertex_arc(s)].cap = Self::TERMINAL_CAP;
+        self.arcs[Self::vertex_arc(t)].cap = Self::TERMINAL_CAP;
     }
 
     /// Number of split vertices.
@@ -157,6 +195,32 @@ mod tests {
         assert!(net.arc(arc_id).cap > 1_000_000);
         let arc_id0 = net.out_arcs(SplitNetwork::v_in(0))[0];
         assert_eq!(net.arc(arc_id0).cap, 1);
+    }
+
+    #[test]
+    fn reset_for_pair_restores_pristine_capacities() {
+        let g = complete_graph(4);
+        let mut net = SplitNetwork::for_graph(&g);
+        // saturate a couple of arcs, then reset for a different pair
+        let &eid = net
+            .out_arcs(SplitNetwork::v_out(0))
+            .iter()
+            .find(|&&id| net.arc(id).cost == 1)
+            .unwrap();
+        net.push(eid, 1);
+        net.reset_for_pair(1, 2);
+        assert_eq!(net.arc(eid).cap, 1);
+        assert_eq!(net.arc(eid ^ 1).cap, 0);
+        assert!(net.arc(SplitNetwork::vertex_arc(1)).cap > 1_000_000);
+        assert!(net.arc(SplitNetwork::vertex_arc(2)).cap > 1_000_000);
+        assert_eq!(net.arc(SplitNetwork::vertex_arc(0)).cap, 1);
+        // the reset network matches a freshly built for_pair network
+        let fresh = SplitNetwork::for_pair(&g, 1, 2);
+        for aid in 0..net.num_arcs() {
+            assert_eq!(net.arc(aid).cap, fresh.arc(aid).cap, "arc {aid}");
+            assert_eq!(net.arc(aid).cost, fresh.arc(aid).cost, "arc {aid}");
+            assert_eq!(net.arc(aid).to, fresh.arc(aid).to, "arc {aid}");
+        }
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! [`DynamicGraph`]: an adjacency overlay over an immutable CSR base.
+//!
+//! The dynamics layer of the paper (Section 2.3) applies streams of single
+//! link flips to a topology.  Rebuilding a [`CsrGraph`] per flip costs
+//! `O(n + m)` — the exact anti-pattern the scratch pools removed from the
+//! traversal kernels.  `DynamicGraph` instead keeps the last compacted CSR
+//! snapshot as an immutable *base* plus two small per-node sorted deltas:
+//!
+//! * `added[u]` — neighbors gained since the last compaction,
+//! * `removed[u]` — base neighbors lost since the last compaction,
+//!
+//! so a link flip is `O(deg)` (one sorted insert per endpoint) and every
+//! pooled kernel keeps working unchanged: the overlay implements
+//! [`Adjacency`] and yields neighbors in **sorted order**, exactly like the
+//! CSR it stands in for — algorithms that are deterministic over a
+//! [`CsrGraph`] produce bit-identical results over the overlay.
+//!
+//! The overlay is *amortised*: once it exceeds a caller-chosen fraction of
+//! the base edge count (see [`DynamicGraph::should_compact`]), a single
+//! `O(n + m)` [`DynamicGraph::compact`] folds it back into a fresh CSR base,
+//! so a churn stream of `T` flips pays `O(T · deg + (T / (f·m)) · (n + m))`
+//! instead of `O(T · (n + m))`.
+
+use crate::adjacency::Adjacency;
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, Node};
+
+/// A mutable graph view: an immutable CSR base plus per-node sorted
+/// insert/delete deltas.  See the module docs for the cost model.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    base: CsrGraph,
+    /// Per-node sorted neighbors added on top of the base (disjoint from the
+    /// base neighbor list).
+    added: Vec<Vec<Node>>,
+    /// Per-node sorted subset of base neighbors currently deleted.
+    removed: Vec<Vec<Node>>,
+    /// One-byte "node has overlay entries" flags: neighbor scans of clean
+    /// nodes check a single cache-dense byte instead of two `Vec` headers.
+    touched: Vec<bool>,
+    /// Number of undirected edges in `added` / `removed`.
+    added_edges: usize,
+    removed_edges: usize,
+}
+
+fn sorted_insert(list: &mut Vec<Node>, v: Node) {
+    let pos = list.binary_search(&v).unwrap_err();
+    list.insert(pos, v);
+}
+
+fn sorted_remove(list: &mut Vec<Node>, v: Node) -> bool {
+    match list.binary_search(&v) {
+        Ok(pos) => {
+            list.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl DynamicGraph {
+    /// Wraps a CSR graph as the base of an empty overlay.
+    pub fn new(base: CsrGraph) -> Self {
+        let n = base.n();
+        DynamicGraph {
+            base,
+            added: vec![Vec::new(); n],
+            removed: vec![Vec::new(); n],
+            touched: vec![false; n],
+            added_edges: 0,
+            removed_edges: 0,
+        }
+    }
+
+    /// Refreshes the overlay flags of `u` and `v` after a mutation.
+    fn refresh_touched(&mut self, u: Node, v: Node) {
+        for w in [u as usize, v as usize] {
+            self.touched[w] = !self.added[w].is_empty() || !self.removed[w].is_empty();
+        }
+    }
+
+    /// Number of nodes (fixed for the lifetime of the overlay).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.base.n()
+    }
+
+    /// Current number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.base.m() + self.added_edges - self.removed_edges
+    }
+
+    /// The immutable CSR snapshot underneath the overlay.
+    pub fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// Number of undirected edges currently recorded in the overlay
+    /// (additions plus deletions since the last compaction).
+    #[inline]
+    pub fn overlay_edges(&self) -> usize {
+        self.added_edges + self.removed_edges
+    }
+
+    /// Overlay size as a fraction of the base edge count.
+    pub fn overlay_fraction(&self) -> f64 {
+        self.overlay_edges() as f64 / self.base.m().max(1) as f64
+    }
+
+    /// Whether the overlay has outgrown `max_fraction` of the base and a
+    /// [`DynamicGraph::compact`] would restore CSR-speed scans.
+    pub fn should_compact(&self, max_fraction: f64) -> bool {
+        self.overlay_fraction() > max_fraction
+    }
+
+    /// Current degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: Node) -> usize {
+        self.base.degree(u) + self.added[u as usize].len() - self.removed[u as usize].len()
+    }
+
+    /// Whether `{u, v}` is currently an edge.
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        if self.base.has_edge(u, v) {
+            self.removed[u as usize].binary_search(&v).is_err()
+        } else {
+            self.added[u as usize].binary_search(&v).is_ok()
+        }
+    }
+
+    /// Adds the edge `{u, v}` in `O(deg)`.  Panics if it is already present,
+    /// if `u == v`, or if an endpoint is out of range — the same contract as
+    /// the dynamics layer's change application.
+    pub fn add_edge(&mut self, u: Node, v: Node) {
+        assert!(u != v, "self loops are not valid links");
+        let n = self.n();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} nodes"
+        );
+        assert!(!self.has_edge(u, v), "edge ({u}, {v}) already present");
+        if self.base.has_edge(u, v) {
+            // Resurrect a base edge: drop the deletion markers.
+            sorted_remove(&mut self.removed[u as usize], v);
+            sorted_remove(&mut self.removed[v as usize], u);
+            self.removed_edges -= 1;
+        } else {
+            sorted_insert(&mut self.added[u as usize], v);
+            sorted_insert(&mut self.added[v as usize], u);
+            self.added_edges += 1;
+        }
+        self.refresh_touched(u, v);
+    }
+
+    /// Removes the edge `{u, v}` in `O(deg)`.  Panics if it is not present.
+    pub fn remove_edge(&mut self, u: Node, v: Node) {
+        assert!(self.has_edge(u, v), "edge ({u}, {v}) not present");
+        if self.base.has_edge(u, v) {
+            sorted_insert(&mut self.removed[u as usize], v);
+            sorted_insert(&mut self.removed[v as usize], u);
+            self.removed_edges += 1;
+        } else {
+            sorted_remove(&mut self.added[u as usize], v);
+            sorted_remove(&mut self.added[v as usize], u);
+            self.added_edges -= 1;
+        }
+        self.refresh_touched(u, v);
+    }
+
+    /// Calls `f` for every current edge `(u, v)` with `u < v`.
+    pub fn for_each_edge<F: FnMut(Node, Node)>(&self, mut f: F) {
+        for (u, v) in self.base.edges() {
+            if self.removed[u as usize].binary_search(&v).is_err() {
+                f(u, v);
+            }
+        }
+        for (u, list) in self.added.iter().enumerate() {
+            for &v in list {
+                if (u as Node) < v {
+                    f(u as Node, v);
+                }
+            }
+        }
+    }
+
+    /// Materialises the current topology as a standalone [`CsrGraph`]
+    /// (`O(n + m)`), leaving the overlay untouched.
+    pub fn to_csr(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.n(), self.m());
+        self.for_each_edge(|u, v| {
+            b.add_edge(u, v);
+        });
+        b.build()
+    }
+
+    /// Folds the overlay back into a fresh CSR base (`O(n + m)`).  After
+    /// compaction the overlay is empty and neighbor scans run at full CSR
+    /// speed again.
+    pub fn compact(&mut self) {
+        if self.overlay_edges() == 0 {
+            return;
+        }
+        self.base = self.to_csr();
+        for list in &mut self.added {
+            list.clear();
+        }
+        for list in &mut self.removed {
+            list.clear();
+        }
+        self.touched.fill(false);
+        self.added_edges = 0;
+        self.removed_edges = 0;
+    }
+
+    /// Consumes the overlay into a compacted [`CsrGraph`].
+    pub fn into_csr(mut self) -> CsrGraph {
+        if self.overlay_edges() == 0 {
+            return self.base;
+        }
+        self.compact();
+        self.base
+    }
+}
+
+impl Adjacency for DynamicGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.n()
+    }
+
+    /// Merges the (sorted) surviving base neighbors with the (sorted) added
+    /// neighbors, yielding the current neighbor list of `u` in sorted order —
+    /// the property that keeps tree constructions bit-identical between the
+    /// overlay and a compacted CSR.
+    #[inline]
+    fn for_each_neighbor(&self, u: Node, f: &mut dyn FnMut(Node)) {
+        let base_ns = self.base.neighbors(u);
+        if !self.touched[u as usize] {
+            // The hot path: nodes untouched since the last compaction scan at
+            // full CSR speed — one cache-dense byte decides, instead of two
+            // `Vec` header loads and per-neighbor merge bookkeeping.
+            for &v in base_ns {
+                f(v);
+            }
+            return;
+        }
+        let rem = &self.removed[u as usize];
+        let add = &self.added[u as usize];
+        let mut r = 0usize;
+        let mut a = 0usize;
+        for &v in base_ns {
+            if r < rem.len() && rem[r] == v {
+                r += 1;
+                continue;
+            }
+            while a < add.len() && add[a] < v {
+                f(add[a]);
+                a += 1;
+            }
+            f(v);
+        }
+        while a < add.len() {
+            f(add[a]);
+            a += 1;
+        }
+    }
+
+    #[inline]
+    fn degree_hint(&self, u: Node) -> usize {
+        self.degree(u)
+    }
+
+    #[inline]
+    fn contains_edge(&self, u: Node, v: Node) -> bool {
+        self.has_edge(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{bfs_distances, bfs_into};
+    use crate::generators::er::gnp_connected;
+    use crate::generators::structured::{cycle_graph, grid_graph};
+    use crate::scratch::TraversalScratch;
+
+    /// Asserts the overlay and its compacted CSR present identical adjacency.
+    fn assert_matches_csr(g: &DynamicGraph) {
+        let csr = g.to_csr();
+        assert_eq!(g.n(), csr.n());
+        assert_eq!(g.m(), csr.m());
+        for u in csr.nodes() {
+            assert_eq!(
+                g.neighbors_vec(u),
+                csr.neighbors(u).to_vec(),
+                "neighbor list of {u} diverged"
+            );
+            assert_eq!(g.degree(u), csr.degree(u));
+        }
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut g = DynamicGraph::new(cycle_graph(6));
+        assert_eq!(g.m(), 6);
+        assert!(!g.has_edge(0, 3));
+        g.add_edge(0, 3);
+        assert!(g.has_edge(0, 3) && g.has_edge(3, 0));
+        assert_eq!(g.m(), 7);
+        assert_eq!(g.overlay_edges(), 1);
+        g.remove_edge(3, 0); // removing an added edge shrinks the overlay
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.overlay_edges(), 0);
+        g.remove_edge(0, 1);
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.m(), 5);
+        g.add_edge(1, 0); // resurrecting a base edge shrinks the overlay
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.overlay_edges(), 0);
+        assert_matches_csr(&g);
+    }
+
+    #[test]
+    fn neighbor_merge_is_sorted() {
+        let mut g = DynamicGraph::new(grid_graph(4, 4));
+        g.remove_edge(5, 6);
+        g.add_edge(5, 15);
+        g.add_edge(5, 0);
+        let ns = g.neighbors_vec(5);
+        assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted: {ns:?}");
+        assert_matches_csr(&g);
+    }
+
+    #[test]
+    fn bfs_on_overlay_matches_compacted() {
+        let mut g = DynamicGraph::new(gnp_connected(60, 0.07, 11));
+        let edges: Vec<_> = g.base().edges().collect();
+        for &(u, v) in edges.iter().take(8) {
+            g.remove_edge(u, v);
+        }
+        for (u, v) in [(0u32, 30u32), (1, 45), (2, 59)] {
+            if !g.has_edge(u, v) {
+                g.add_edge(u, v);
+            }
+        }
+        let csr = g.to_csr();
+        let mut s = TraversalScratch::new();
+        bfs_into(&g, 0, u32::MAX, &mut s);
+        let over: Vec<_> = (0..g.n() as Node).map(|v| s.dist(v)).collect();
+        assert_eq!(over, bfs_distances(&csr, 0));
+        // visit order must match too (sorted neighbor iteration)
+        bfs_into(&csr, 0, u32::MAX, &mut s);
+        let order_csr = s.visited().to_vec();
+        bfs_into(&g, 0, u32::MAX, &mut s);
+        assert_eq!(s.visited(), &order_csr[..]);
+    }
+
+    #[test]
+    fn compaction_preserves_topology_and_clears_overlay() {
+        let mut g = DynamicGraph::new(cycle_graph(8));
+        g.remove_edge(0, 1);
+        g.add_edge(0, 4);
+        g.add_edge(2, 6);
+        let before = g.to_csr();
+        assert!(g.should_compact(0.25));
+        g.compact();
+        assert_eq!(g.overlay_edges(), 0);
+        assert_eq!(g.overlay_fraction(), 0.0);
+        assert_eq!(g.to_csr(), before);
+        assert_eq!(g.base(), &before);
+        // mutations keep working after compaction
+        g.add_edge(0, 1);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.clone().into_csr().m(), before.m() + 1);
+    }
+
+    #[test]
+    fn for_each_edge_covers_exactly_current_edges() {
+        let mut g = DynamicGraph::new(grid_graph(3, 3));
+        g.remove_edge(0, 1);
+        g.add_edge(0, 8);
+        let mut edges = Vec::new();
+        g.for_each_edge(|u, v| edges.push((u, v)));
+        edges.sort_unstable();
+        let csr = g.to_csr();
+        let mut expect: Vec<_> = csr.edges().collect();
+        expect.sort_unstable();
+        assert_eq!(edges, expect);
+        assert_eq!(edges.len(), g.m());
+    }
+
+    #[test]
+    #[should_panic]
+    fn adding_existing_edge_panics() {
+        let mut g = DynamicGraph::new(cycle_graph(5));
+        g.add_edge(0, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_missing_edge_panics() {
+        let mut g = DynamicGraph::new(cycle_graph(5));
+        g.remove_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let mut g = DynamicGraph::new(cycle_graph(5));
+        g.add_edge(2, 2);
+    }
+}

@@ -8,6 +8,9 @@
 //! * [`EdgeSet`] / [`Subgraph`] / [`AugmentedSubgraph`] — spanner sub-graphs
 //!   `H ⊆ G` and the augmented views `H_u` from the remote-spanner
 //!   definition,
+//! * [`DynamicGraph`] — a sorted insert/delete overlay over an immutable CSR
+//!   base, so churn streams mutate the topology in `O(deg)` per link flip
+//!   with amortised compaction (the substrate of `rspan-engine`),
 //! * BFS and bounded BFS over any [`Adjacency`] view, balls `B_G(u, r)`,
 //!   rings and LOCAL-model neighborhood views,
 //! * all-pairs distance matrices (sequential and thread-parallel),
@@ -24,6 +27,7 @@ pub mod bfs;
 pub mod builder;
 pub mod csr;
 pub mod distance;
+pub mod dynamic;
 pub mod edgeset;
 pub mod generators;
 pub mod io;
@@ -42,6 +46,7 @@ pub use csr::{CsrGraph, Node};
 pub use distance::{
     all_pairs_distances, all_pairs_distances_parallel, DistanceMatrix, UNREACHABLE,
 };
+pub use dynamic::DynamicGraph;
 pub use edgeset::{AugmentedSubgraph, EdgeSet, Subgraph};
 pub use io::{from_edge_list, to_dot, to_edge_list, ParseError};
 pub use scratch::{EpochCounters, EpochFlags, TraversalScratch};

@@ -12,12 +12,14 @@
 
 pub mod doubling;
 pub mod metric;
+pub mod mobility;
 pub mod point;
 pub mod poisson;
 pub mod unitball;
 
 pub use doubling::{doubling_constant_estimate, doubling_dimension_estimate};
 pub use metric::{ChebyshevMetric, EuclideanMetric, ExplicitMetric, Metric, TorusMetric};
+pub use mobility::{gaussian_step, gaussian_step_in_box, standard_normal};
 pub use point::Point;
 pub use poisson::{curve_points, poisson_points, sample_poisson, uniform_points};
 pub use unitball::{unit_ball_graph, unit_ball_instance, UnitBallInstance};

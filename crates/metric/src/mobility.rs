@@ -1,0 +1,93 @@
+//! Point perturbation for mobility workloads.
+//!
+//! The paper's setting is an ad-hoc radio network: nodes *move*, and the
+//! unit-ball graph over their positions flips links as pairwise distances
+//! cross the connection radius.  This module provides the seeded,
+//! deterministic random-step kernels the churn scenarios in `rspan-engine`
+//! drive their node-mobility model with: Gaussian jitter (random waypoint
+//! noise) with optional clamping into the deployment box.
+
+use crate::point::Point;
+use rand::Rng;
+
+/// One standard normal variate via Box–Muller (deterministic per RNG stream).
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Returns `p` displaced by an isotropic Gaussian step of standard deviation
+/// `sigma` per coordinate.
+pub fn gaussian_step<R: Rng>(p: &Point, sigma: f64, rng: &mut R) -> Point {
+    assert!(sigma >= 0.0, "step deviation must be non-negative");
+    Point::new(
+        p.coords()
+            .iter()
+            .map(|&c| c + sigma * standard_normal(rng))
+            .collect(),
+    )
+}
+
+/// Like [`gaussian_step`], but every coordinate is clamped into `[0, side]` —
+/// the mobility model of a deployment square with reflecting-ish walls.
+pub fn gaussian_step_in_box<R: Rng>(p: &Point, sigma: f64, side: f64, rng: &mut R) -> Point {
+    assert!(side > 0.0, "box side must be positive");
+    let stepped = gaussian_step(p, sigma, rng);
+    Point::new(
+        stepped
+            .coords()
+            .iter()
+            .map(|&c| c.clamp(0.0, side))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steps_are_deterministic_per_seed() {
+        let p = Point::xy(1.0, 2.0);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(
+            gaussian_step(&p, 0.5, &mut a),
+            gaussian_step(&p, 0.5, &mut b)
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let p = Point::xyz(1.0, 2.0, 3.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let q = gaussian_step(&p, 0.0, &mut rng);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_standard() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn box_step_stays_inside() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut p = Point::xy(0.1, 9.9);
+        for _ in 0..200 {
+            p = gaussian_step_in_box(&p, 2.0, 10.0, &mut rng);
+            for &c in p.coords() {
+                assert!((0.0..=10.0).contains(&c), "escaped the box: {c}");
+            }
+        }
+    }
+}

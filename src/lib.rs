@@ -18,6 +18,8 @@
 //! * [`domtree`] — dominating trees (Algorithms 1, 2, 4, 5),
 //! * [`core`] — remote-spanner constructions (Theorems 1, 2, 3), verification
 //!   and classical baselines,
+//! * [`engine`] — incremental spanner maintenance under churn (dynamic
+//!   topology overlay, dirty-ball recomputation, spanner deltas),
 //! * [`distributed`] — LOCAL-model protocol, greedy link-state routing,
 //!   topology dynamics.
 //!
@@ -43,6 +45,7 @@
 pub use rspan_core as core;
 pub use rspan_distributed as distributed;
 pub use rspan_domtree as domtree;
+pub use rspan_engine as engine;
 pub use rspan_flow as flow;
 pub use rspan_graph as graph;
 pub use rspan_metric as metric;
@@ -63,6 +66,10 @@ pub mod prelude {
     pub use rspan_domtree::{
         dom_tree_greedy, dom_tree_k_greedy, dom_tree_k_mis, dom_tree_mis, is_dominating_tree,
         is_k_connecting_dominating_tree, DomScratch, DominatingTree, TreeAlgo,
+    };
+    pub use rspan_engine::{
+        ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario, RspanEngine,
+        SpannerDelta,
     };
     pub use rspan_flow::{dk_distance, min_sum_disjoint_paths, pair_vertex_connectivity};
     pub use rspan_graph::generators::{
