@@ -1,6 +1,7 @@
-//! Perf trajectory baselines: `BENCH_remspan.json` and `BENCH_engine.json`.
+//! Perf trajectory baselines: `BENCH_remspan.json`, `BENCH_engine.json` and
+//! `BENCH_routing.json`.
 //!
-//! Two workloads, selectable from the command line:
+//! Three workloads, selectable from the command line:
 //!
 //! * **remspan** — `rem_span` (k-greedy strategy, k = 2) on constant-density
 //!   uniform unit-disk graphs, in three configurations: `seed_alloc` (the
@@ -16,17 +17,26 @@
 //!   The two timings are interleaved round by round, the spanners are
 //!   asserted identical every round, and the medians plus their ratio land
 //!   in the JSON.
+//! * **routing_churn** — the full batch → commit → delta → table-repair
+//!   pipeline under the same link-flap regime: per round, one engine commits
+//!   sequentially and one in parallel (deltas asserted identical, and a
+//!   forced multi-thread commit cross-checked on top), then the delta feeds a
+//!   long-lived `DeltaRouter` whose incremental repair is timed against a
+//!   from-scratch `RoutingTables::build` on the same round — with the
+//!   repaired tables asserted **bit-identical** to the full rebuild every
+//!   round.
 //!
 //! Usage:
-//!   `perf_baseline [remspan|engine_churn|all] [--quick] [--json PATH]`
+//!   `perf_baseline [remspan|engine_churn|routing_churn|all] [--quick] [--json PATH]`
 //!
 //! `--quick` runs a small smoke configuration (CI keeps the binaries from
 //! rotting); `--json` overrides the output path and is only valid with a
 //! single workload.  Default paths: `BENCH_remspan.json` /
-//! `BENCH_engine.json`.
+//! `BENCH_engine.json` / `BENCH_routing.json`.
 
 use rspan_bench::scaled_density_udg;
 use rspan_core::{rem_span, rem_span_algo, rem_span_algo_parallel};
+use rspan_distributed::{DeltaRouter, RoutingTables};
 use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
 use rspan_engine::{ChurnScenario, LinkFlapScenario, RspanEngine};
 use rspan_graph::CsrGraph;
@@ -215,15 +225,130 @@ fn engine_churn_workload(quick: bool, out_path: &str) {
     write_json(out_path, "engine_churn", "ns_per_commit_median", &rows);
 }
 
+fn routing_churn_workload(quick: bool, out_path: &str) {
+    let algo = TreeAlgo::KGreedy { k: 2 };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(400, 4)]
+    } else {
+        &[(2000, 8), (4000, 4)]
+    };
+    let mut rows = Vec::new();
+    for &(n, rounds) in sizes {
+        let w = scaled_density_udg(n, 12.0, 3);
+        // Same churn regime as engine_churn: ~1% of the nodes see a link
+        // event per round.
+        let mean_flaps = (n as f64 / 200.0).max(1.0);
+        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, 7);
+        // Three engines absorb the same batches: sequential commit (timed),
+        // auto-threaded parallel commit (timed), and a forced multi-thread
+        // commit that cross-checks the sharded rebuild even on single-core
+        // machines (untimed).
+        let mut engine_seq = RspanEngine::new(w.graph.clone(), algo);
+        let mut engine_par = RspanEngine::new(w.graph.clone(), algo);
+        let mut engine_forced = RspanEngine::new(w.graph.clone(), algo);
+        let mut router = DeltaRouter::new(&engine_seq);
+
+        let mut seq_ns = Vec::with_capacity(rounds);
+        let mut par_ns = Vec::with_capacity(rounds);
+        let mut repair_ns = Vec::with_capacity(rounds);
+        let mut full_ns = Vec::with_capacity(rounds);
+        let mut batch_total = 0usize;
+        let mut flips_total = 0usize;
+        let mut repaired_total = 0usize;
+        for round in 0..rounds {
+            let batch = scenario.next_batch(engine_seq.graph());
+            batch_total += batch.len();
+
+            let start = Instant::now();
+            let delta = engine_seq.commit(&batch);
+            seq_ns.push(start.elapsed().as_nanos() as f64);
+
+            let start = Instant::now();
+            let delta_par = engine_par.commit_parallel(&batch, 0);
+            par_ns.push(start.elapsed().as_nanos() as f64);
+
+            let delta_forced = engine_forced.commit_parallel(&batch, 4);
+            assert_eq!(
+                delta, delta_par,
+                "parallel commit delta diverged at n={n} round={round}"
+            );
+            assert_eq!(
+                delta, delta_forced,
+                "forced 4-thread commit delta diverged at n={n} round={round}"
+            );
+            flips_total += delta.added.len() + delta.removed.len();
+
+            // Interleaved: incremental repair and full table rebuild restore
+            // the *same* round, back to back.
+            let start = Instant::now();
+            let stats = router.apply(&engine_seq, &batch, &delta);
+            repair_ns.push(start.elapsed().as_nanos() as f64);
+            repaired_total += stats.rows_recomputed;
+
+            let start = Instant::now();
+            let csr = engine_seq.to_csr();
+            let full = RoutingTables::build(&engine_seq.spanner_on(&csr));
+            full_ns.push(start.elapsed().as_nanos() as f64);
+
+            assert_eq!(
+                router.tables(),
+                &full,
+                "repaired tables diverged from full rebuild at n={n} round={round}"
+            );
+        }
+        let seq = median(seq_ns);
+        let par = median(par_ns);
+        let repair = median(repair_ns);
+        let full = median(full_ns);
+        let commit_speedup = seq / par;
+        let repair_speedup = full / repair;
+        let repaired_fraction = repaired_total as f64 / (rounds * n) as f64;
+        let row = format!(
+            concat!(
+                "    {{\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
+                "\"mean_batch_len\": {:.1}, \"mean_spanner_flips\": {:.1}, ",
+                "\"mean_repaired_row_fraction\": {:.4}, ",
+                "\"seq_commit_ns\": {:.0}, \"par_commit_ns\": {:.0}, ",
+                "\"parallel_commit_speedup\": {:.2}, \"parallel_matches_sequential\": true, ",
+                "\"table_repair_ns\": {:.0}, \"full_table_build_ns\": {:.0}, ",
+                "\"table_repair_speedup\": {:.2}, \"tables_match_full_rebuild\": true}}"
+            ),
+            n,
+            w.graph.m(),
+            rounds,
+            batch_total as f64 / rounds as f64,
+            flips_total as f64 / rounds as f64,
+            repaired_fraction,
+            seq,
+            par,
+            commit_speedup,
+            repair,
+            full,
+            repair_speedup,
+        );
+        println!(
+            "n={n:>5}  commit seq {seq:>10.0} ns  par {par:>10.0} ns ({commit_speedup:.2}x)   \
+             repair {repair:>10.0} ns  full build {full:>11.0} ns ({repair_speedup:.2}x, \
+             {:.1}% rows)",
+            repaired_fraction * 100.0,
+        );
+        rows.push(row);
+    }
+    write_json(out_path, "routing_churn", "ns_per_round_median", &rows);
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Workload {
     Remspan,
     EngineChurn,
+    RoutingChurn,
     All,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: perf_baseline [remspan|engine_churn|all] [--quick] [--json PATH]");
+    eprintln!(
+        "usage: perf_baseline [remspan|engine_churn|routing_churn|all] [--quick] [--json PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -236,6 +361,7 @@ fn main() {
         match arg.as_str() {
             "remspan" => workload = Workload::Remspan,
             "engine_churn" => workload = Workload::EngineChurn,
+            "routing_churn" => workload = Workload::RoutingChurn,
             "all" => workload = Workload::All,
             "--quick" => quick = true,
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
@@ -243,7 +369,7 @@ fn main() {
         }
     }
     if json.is_some() && workload == Workload::All {
-        eprintln!("--json requires a single workload (remspan or engine_churn)");
+        eprintln!("--json requires a single workload (remspan, engine_churn or routing_churn)");
         std::process::exit(2);
     }
     match workload {
@@ -253,9 +379,13 @@ fn main() {
         Workload::EngineChurn => {
             engine_churn_workload(quick, json.as_deref().unwrap_or("BENCH_engine.json"))
         }
+        Workload::RoutingChurn => {
+            routing_churn_workload(quick, json.as_deref().unwrap_or("BENCH_routing.json"))
+        }
         Workload::All => {
             remspan_workload(quick, "BENCH_remspan.json");
             engine_churn_workload(quick, "BENCH_engine.json");
+            routing_churn_workload(quick, "BENCH_routing.json");
         }
     }
 }

@@ -27,7 +27,8 @@
 
 use rspan_domtree::{DomScratch, DominatingTree, TreeAlgo};
 use rspan_graph::{
-    local_view_into, CsrGraph, EdgeSet, LocalView, Node, Subgraph, TraversalScratch,
+    local_view_into, resolve_threads, CsrGraph, EdgeSet, LocalView, Node, Subgraph,
+    TraversalScratch,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -35,16 +36,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// drivers: large enough to keep contention negligible, small enough to
 /// balance irregular per-node tree costs.
 const NODE_CHUNK: usize = 64;
-
-fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-}
 
 /// Builds the remote-spanner `H = ⋃_u T_u` sequentially with one pooled
 /// scratch across all `n` per-node trees.
@@ -64,9 +55,13 @@ pub fn rem_span_algo(graph: &CsrGraph, algo: TreeAlgo) -> Subgraph<'_> {
 /// Shared scaffold of both parallel drivers: `threads` scoped workers claim
 /// [`NODE_CHUNK`]-sized chunks of nodes from an atomic counter; each worker
 /// holds private state from `init` plus a private [`EdgeSet`], and the worker
-/// sets are merged word-by-word after the scope ends — **no mutex is acquired
-/// anywhere**, in particular not in the per-node loop.  The result equals the
-/// sequential union exactly because edge-set union is commutative.
+/// sets are merged after the scope ends through the *sharded* word-level
+/// union ([`EdgeSet::union_with_all`]): the merge itself fans the bit words
+/// back out across the same worker count, so combining `t` per-worker sets
+/// costs one parallel pass over the words instead of `t` sequential ones —
+/// **no mutex is acquired anywhere**, in particular not in the per-node loop.
+/// The result equals the sequential union exactly because edge-set union is
+/// associative and commutative.
 fn parallel_union<S, I, F>(graph: &CsrGraph, threads: usize, init: I, per_node: F) -> EdgeSet
 where
     I: Fn() -> S + Sync,
@@ -102,9 +97,7 @@ where
             .collect()
     });
     let mut edges = EdgeSet::empty(graph);
-    for local in &locals {
-        edges.union_with(local);
-    }
+    edges.union_with_all(&locals, threads);
     edges
 }
 

@@ -1,0 +1,492 @@
+//! Delta-driven routing-table repair: the consumer side of the engine's
+//! **batch → commit → delta** pipeline.
+//!
+//! [`crate::tables::RoutingTables::build`] recomputes all `n` rows from
+//! scratch at `O(n · (n + m))` after *every* topology change — even though
+//! [`rspan_engine::RspanEngine::commit`] already emits the exact
+//! [`SpannerDelta`] (which edges entered or left the spanner) that bounds
+//! what can have changed.  [`DeltaRouter`] closes that gap: it owns a
+//! [`RoutingTables`] and repairs it in place, recomputing **only the rows a
+//! flip can actually affect**, with the repaired table pinned *bit-identical*
+//! to a from-scratch rebuild.
+//!
+//! # Which rows can a flip affect?
+//!
+//! Row `u` records, per destination `v`, the distance `d_{H_u}(u, v)`, the
+//! *canonical* next hop (smallest first hop over all shortest paths,
+//! [`crate::tables::fill_row`]) and that hop's *support* — how many
+//! predecessors of `v` realise it.  All three are pure functions of the
+//! `H_u` metric, so whether a flipped spanner edge `{x, y}` changes row `u`
+//! is decided **exactly** by O(1) reads of the row itself — the table *is*
+//! the precomputed reverse-BFS from the flipped endpoints.  With `lo`/`hi`
+//! the endpoints ordered by `dist` from `u`:
+//!
+//! * **`dist(x) == dist(y)`** (including both unreachable): an edge between
+//!   equal-depth endpoints lies on no shortest path from `u` and creates
+//!   none, and neither endpoint is a predecessor of the other.  Skip.
+//! * **Added edge, `Δdist == 1`**: no distance changes, but `hi` gains `lo`
+//!   as a predecessor.  `hop(lo) < hop(hi)`: the canonical hop improves —
+//!   recompute.  `hop(lo) == hop(hi)`: nothing changes except `hi`'s
+//!   support, incremented in place.  `hop(lo) > hop(hi)`: skip.
+//! * **Added edge, `Δdist ≥ 2`** or exactly one endpoint reachable:
+//!   distances (or reachability) genuinely change.  Recompute.
+//! * **Removed edge** (a present edge forces `Δdist ≤ 1`): `hi` loses
+//!   predecessor `lo`.  `hop(lo) > hop(hi)`: `lo` never realised the
+//!   canonical hop — skip.  `hop(lo) == hop(hi)` with support ≥ 2: another
+//!   predecessor realises the same hop, so distance and hop both survive;
+//!   decrement the support in place and skip.  Support 1: the hop (or, if
+//!   `lo` was the only predecessor, the distance) was inherited through the
+//!   removed edge — recompute.
+//! * **Topology change `{a, b}`**: `H_u` contains *all* of `u`'s incident
+//!   `G`-edges, so a plain link flip affects exactly rows `a` and `b` —
+//!   always recomputed.  Conversely, a spanner flip of an edge incident to
+//!   `u` never changes `H_u` while the edge exists in `G` (it stays present
+//!   through `u`'s own incident set), so rows `x` and `y` are skipped in the
+//!   spanner pass.
+//!
+//! Every skip is provably change-free and every mark provably changes the
+//! row (a smaller distance, a smaller or forced-larger hop), so the marked
+//! set equals the truly-affected set.  Multiple flips per commit compose:
+//! the in-place support maintenance keeps a skipped row's entries exact
+//! after each flip, so evaluating the next flip against it stays sound, and
+//! a marked row is rebuilt once from the final state.  Repair cost is
+//! `O(flips · n)` column reads plus one sweep per affected row — and each
+//! repair sweep runs over the router's own **sparse spanner adjacency**
+//! (sorted per-node spanner neighbor lists maintained from the deltas),
+//! touching `O(m_{H_u})` edges instead of filtering all of `G`'s like the
+//! from-scratch build does.  The canonical entries are iteration-order
+//! independent, so the sparse sweep still lands bit-identical.
+
+use crate::tables::{fill_row, RoutingTables, NO_HOP, UNREACH};
+use rspan_engine::{RspanEngine, SpannerDelta, TopologyChange};
+use rspan_graph::{sorted_insert, sorted_remove, Adjacency, EpochFlags, Node};
+
+/// The augmented view `H_u` assembled from the router's own spanner
+/// adjacency plus the source's incident edges (provided by the caller per
+/// row): for `w != u`, the spanner neighbors of `w` with `u` merged in when
+/// `{u, w} ∈ G`; for the source, all of `u`'s `G`-neighbors.
+struct SparseView<'r> {
+    n: usize,
+    spanner_adj: &'r [Vec<Node>],
+    /// The source's `G`-neighborhood, sorted.
+    src_neighbors: &'r [Node],
+    /// Membership flags for `src_neighbors`.
+    src_adj: &'r EpochFlags,
+    source: Node,
+}
+
+impl Adjacency for SparseView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, w: Node, f: &mut dyn FnMut(Node)) {
+        if w == self.source {
+            for &v in self.src_neighbors {
+                f(v);
+            }
+            return;
+        }
+        let list = &self.spanner_adj[w as usize];
+        if self.src_adj.test(w) {
+            // Merge the source into the sorted spanner list (once: the edge
+            // may also be a spanner edge).
+            let source = self.source;
+            let mut inserted = false;
+            for &v in list {
+                if !inserted && source < v {
+                    f(source);
+                    inserted = true;
+                }
+                if v == source {
+                    inserted = true;
+                }
+                f(v);
+            }
+            if !inserted {
+                f(source);
+            }
+        } else {
+            for &v in list {
+                f(v);
+            }
+        }
+    }
+
+    fn degree_hint(&self, w: Node) -> usize {
+        self.spanner_adj[w as usize].len() + 1
+    }
+
+    fn contains_edge(&self, w: Node, v: Node) -> bool {
+        if w == self.source {
+            self.src_adj.test(v)
+        } else if v == self.source {
+            self.src_adj.test(w)
+        } else {
+            self.spanner_adj[w as usize].binary_search(&v).is_ok()
+        }
+    }
+}
+
+/// What one [`DeltaRouter::apply`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Router epoch after the repair (mirrors the consumed delta's epoch).
+    pub epoch: u64,
+    /// Rows recomputed by this repair.
+    pub rows_recomputed: usize,
+    /// Topology changes in the consumed batch.
+    pub batch_changes: usize,
+    /// Spanner edges that entered or left (the flips scanned against every
+    /// row).
+    pub spanner_flips: usize,
+}
+
+impl RepairStats {
+    /// Fraction of rows this repair had to recompute.
+    pub fn repaired_fraction(&self, n: usize) -> f64 {
+        self.rows_recomputed as f64 / n.max(1) as f64
+    }
+}
+
+/// Long-lived owner of [`RoutingTables`], repaired incrementally from engine
+/// commits; see the module docs for the affected-row analysis.
+///
+/// Lifecycle: build once from an engine ([`DeltaRouter::new`]), then call
+/// [`DeltaRouter::apply`] with every `(batch, delta)` pair the engine
+/// commits, *in order* — epochs are checked, so a missed delta panics rather
+/// than silently serving stale routes.
+pub struct DeltaRouter {
+    n: usize,
+    epoch: u64,
+    tables: RoutingTables,
+    /// `support[u * n + v]` = how many predecessors of `v` realise `v`'s
+    /// canonical hop in row `u` (0 for the source and unreached nodes).
+    support: Vec<u32>,
+    /// Sorted spanner neighbor lists, maintained from the deltas — the
+    /// sparse substrate every repair sweep runs on.
+    spanner_adj: Vec<Vec<Node>>,
+    queue: Vec<Node>,
+    src_neighbors: Vec<Node>,
+    src_adj: EpochFlags,
+    affected: EpochFlags,
+    affected_rows: Vec<Node>,
+}
+
+impl DeltaRouter {
+    /// Builds the full tables for the engine's *current* spanner and
+    /// topology (one sweep per node, same result as
+    /// [`RoutingTables::build`] on a compacted snapshot).
+    pub fn new(engine: &RspanEngine) -> Self {
+        let n = engine.graph().n();
+        let mut spanner_adj: Vec<Vec<Node>> = vec![Vec::new(); n];
+        for (u, v) in engine.spanner_pairs() {
+            spanner_adj[u as usize].push(v);
+            spanner_adj[v as usize].push(u);
+        }
+        for list in &mut spanner_adj {
+            list.sort_unstable();
+        }
+        let mut router = DeltaRouter {
+            n,
+            epoch: engine.epoch(),
+            tables: RoutingTables {
+                n,
+                next: vec![NO_HOP; n * n],
+                dist: vec![UNREACH; n * n],
+            },
+            support: vec![0; n * n],
+            spanner_adj,
+            queue: Vec::with_capacity(n),
+            src_neighbors: Vec::new(),
+            src_adj: EpochFlags::new(),
+            affected: EpochFlags::new(),
+            affected_rows: Vec::new(),
+        };
+        for u in 0..n as Node {
+            router.fill(engine, u);
+        }
+        router
+    }
+
+    /// Recomputes row `u` over the sparse spanner adjacency, with the
+    /// source's incident edges read from the engine's live topology.
+    fn fill(&mut self, engine: &RspanEngine, u: Node) {
+        let n = self.n;
+        self.src_neighbors.clear();
+        engine
+            .graph()
+            .for_each_neighbor(u, &mut |v| self.src_neighbors.push(v));
+        self.src_adj.begin(n);
+        for &v in &self.src_neighbors {
+            self.src_adj.set(v);
+        }
+        let view = SparseView {
+            n,
+            spanner_adj: &self.spanner_adj,
+            src_neighbors: &self.src_neighbors,
+            src_adj: &self.src_adj,
+            source: u,
+        };
+        let row = u as usize * n;
+        fill_row(
+            &view,
+            u,
+            &mut self.queue,
+            &mut self.tables.next[row..row + n],
+            &mut self.tables.dist[row..row + n],
+            &mut self.support[row..row + n],
+        );
+    }
+
+    /// Engine epoch the tables currently reflect.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The maintained next-hop tables (always consistent with the last
+    /// applied delta).
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// Number of nodes routed.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn mark(&mut self, u: Node) {
+        if self.affected.set(u) {
+            self.affected_rows.push(u);
+        }
+    }
+
+    /// Consumes one engine commit — the batch it absorbed and the
+    /// [`SpannerDelta`] it emitted — and repairs exactly the affected rows.
+    ///
+    /// `engine` must be the engine that produced `delta` (post-commit), and
+    /// deltas must arrive in epoch order; both are asserted.
+    pub fn apply(
+        &mut self,
+        engine: &RspanEngine,
+        batch: &[TopologyChange],
+        delta: &SpannerDelta,
+    ) -> RepairStats {
+        assert_eq!(
+            delta.epoch,
+            self.epoch + 1,
+            "router missed a delta (have epoch {}, got {})",
+            self.epoch,
+            delta.epoch
+        );
+        assert_eq!(
+            engine.epoch(),
+            delta.epoch,
+            "delta does not match the engine's current epoch"
+        );
+        let n = self.n;
+        self.affected.begin(n);
+        self.affected_rows.clear();
+
+        // A link flip changes H_a and H_b directly (their incident sets).
+        for change in batch {
+            let (a, b) = change.endpoints();
+            self.mark(a);
+            self.mark(b);
+        }
+        // Spanner flips: O(1) column reads per row decide who recomputes —
+        // exactly (see the module docs), with the in-place support updates
+        // keeping skipped rows correct for the next flip.
+        for &(x, y) in &delta.added {
+            for u in 0..n as Node {
+                if self.affected.test(u) || u == x || u == y {
+                    continue;
+                }
+                let row = u as usize * n;
+                let dx = self.tables.dist[row + x as usize];
+                let dy = self.tables.dist[row + y as usize];
+                if dx == dy {
+                    continue;
+                }
+                let (lo, hi) = if dx < dy { (x, y) } else { (y, x) };
+                let (dlo, dhi) = if dx < dy { (dx, dy) } else { (dy, dx) };
+                if dhi != UNREACH && dhi - dlo == 1 {
+                    let hop_lo = self.tables.next[row + lo as usize];
+                    let hop_hi = self.tables.next[row + hi as usize];
+                    if hop_lo > hop_hi {
+                        continue; // hi's canonical hop already beats lo's
+                    }
+                    if hop_lo == hop_hi {
+                        // One more predecessor realises the same hop.
+                        self.support[row + hi as usize] += 1;
+                        continue;
+                    }
+                }
+                self.mark(u);
+            }
+        }
+        for &(x, y) in &delta.removed {
+            for u in 0..n as Node {
+                if self.affected.test(u) || u == x || u == y {
+                    continue;
+                }
+                let row = u as usize * n;
+                let dx = self.tables.dist[row + x as usize];
+                let dy = self.tables.dist[row + y as usize];
+                if dx == dy {
+                    continue;
+                }
+                let (lo, hi) = if dx < dy { (x, y) } else { (y, x) };
+                let hop_lo = self.tables.next[row + lo as usize];
+                let hop_hi = self.tables.next[row + hi as usize];
+                if hop_lo > hop_hi {
+                    continue; // lo never realised hi's canonical hop
+                }
+                debug_assert_eq!(
+                    hop_lo, hop_hi,
+                    "a predecessor's hop can never beat its successor's"
+                );
+                let support = &mut self.support[row + hi as usize];
+                if *support >= 2 {
+                    *support -= 1; // another predecessor keeps hop and distance
+                    continue;
+                }
+                self.mark(u);
+            }
+        }
+
+        // Update the sparse spanner adjacency, then rebuild the marked rows
+        // over the post-flip structure.
+        for &(x, y) in &delta.removed {
+            let ok = sorted_remove(&mut self.spanner_adj[x as usize], y)
+                && sorted_remove(&mut self.spanner_adj[y as usize], x);
+            assert!(
+                ok,
+                "spanner adjacency is missing the removed edge ({x}, {y})"
+            );
+        }
+        for &(x, y) in &delta.added {
+            sorted_insert(&mut self.spanner_adj[x as usize], y);
+            sorted_insert(&mut self.spanner_adj[y as usize], x);
+        }
+        let rows = std::mem::take(&mut self.affected_rows);
+        for &u in &rows {
+            self.fill(engine, u);
+        }
+        self.affected_rows = rows;
+        self.epoch = delta.epoch;
+        RepairStats {
+            epoch: self.epoch,
+            rows_recomputed: self.affected_rows.len(),
+            batch_changes: batch.len(),
+            spanner_flips: delta.added.len() + delta.removed.len(),
+        }
+    }
+
+    /// Next hop from `u` toward `v` (`None` if unreachable or `u == v`).
+    pub fn next_hop(&self, u: Node, v: Node) -> Option<Node> {
+        self.tables.next_hop(u, v)
+    }
+
+    /// `d_{H_u}(u, v)` as recorded in the maintained table.
+    pub fn table_distance(&self, u: Node, v: Node) -> Option<u32> {
+        self.tables.table_distance(u, v)
+    }
+
+    /// Forwards a packet from `s` to `t` by table lookups at every hop.
+    pub fn forward(&self, s: Node, t: Node) -> Option<Vec<Node>> {
+        self.tables.forward(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_domtree::TreeAlgo;
+    use rspan_graph::generators::er::gnp_connected;
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph};
+
+    fn assert_matches_full_build(router: &DeltaRouter, engine: &RspanEngine, context: &str) {
+        let csr = engine.to_csr();
+        let spanner = engine.spanner_on(&csr);
+        let full = RoutingTables::build(&spanner);
+        assert_eq!(router.tables(), &full, "{context}");
+    }
+
+    #[test]
+    fn fresh_router_matches_from_scratch_build() {
+        for g in [cycle_graph(9), grid_graph(4, 5), gnp_connected(40, 0.1, 3)] {
+            let engine = RspanEngine::new(g, TreeAlgo::KGreedy { k: 2 });
+            let router = DeltaRouter::new(&engine);
+            assert_matches_full_build(&router, &engine, "initial build");
+        }
+    }
+
+    #[test]
+    fn repair_tracks_single_flips_bit_identically() {
+        let g = gnp_connected(50, 0.08, 5);
+        let mut engine = RspanEngine::new(g.clone(), TreeAlgo::KGreedy { k: 1 });
+        let mut router = DeltaRouter::new(&engine);
+        let (eu, ev) = g.edges().next().unwrap();
+        for change in [
+            TopologyChange::RemoveEdge(eu, ev),
+            TopologyChange::AddEdge(eu, ev),
+        ] {
+            let batch = [change];
+            let delta = engine.commit(&batch);
+            let stats = router.apply(&engine, &batch, &delta);
+            assert_eq!(stats.epoch, engine.epoch());
+            assert!(stats.rows_recomputed >= 2, "endpoint rows always repair");
+            assert_matches_full_build(&router, &engine, "after flip");
+        }
+    }
+
+    #[test]
+    fn empty_commit_repairs_nothing() {
+        let mut engine = RspanEngine::new(grid_graph(5, 5), TreeAlgo::Mis { r: 2 });
+        let mut router = DeltaRouter::new(&engine);
+        let delta = engine.commit(&[]);
+        let stats = router.apply(&engine, &[], &delta);
+        assert_eq!(stats.rows_recomputed, 0);
+        assert_eq!(stats.repaired_fraction(25), 0.0);
+        assert_matches_full_build(&router, &engine, "empty commit");
+    }
+
+    #[test]
+    #[should_panic(expected = "missed a delta")]
+    fn skipping_a_delta_panics() {
+        let mut engine = RspanEngine::new(cycle_graph(8), TreeAlgo::KGreedy { k: 1 });
+        let mut router = DeltaRouter::new(&engine);
+        engine.commit(&[]); // epoch 1, never given to the router
+        let batch = [TopologyChange::AddEdge(0, 4)];
+        let delta = engine.commit(&batch); // epoch 2
+        router.apply(&engine, &batch, &delta);
+    }
+
+    #[test]
+    fn routing_through_repaired_tables_stays_consistent() {
+        let g = gnp_connected(40, 0.1, 9);
+        let mut engine = RspanEngine::new(g.clone(), TreeAlgo::KGreedy { k: 2 });
+        let mut router = DeltaRouter::new(&engine);
+        let (eu, ev) = g.edges().nth(3).unwrap();
+        let batch = [TopologyChange::RemoveEdge(eu, ev)];
+        let delta = engine.commit(&batch);
+        router.apply(&engine, &batch, &delta);
+        for t in 0..router.n() as Node {
+            if t == 0 {
+                continue;
+            }
+            match (router.table_distance(0, t), router.forward(0, t)) {
+                (Some(d), Some(path)) => {
+                    assert!(path.len() as u32 - 1 <= d);
+                    assert_eq!(path[0], 0);
+                    assert_eq!(*path.last().unwrap(), t);
+                    assert_eq!(router.next_hop(0, t), Some(path[1]));
+                }
+                (None, None) => {}
+                other => panic!("inconsistent table entries for (0, {t}): {other:?}"),
+            }
+        }
+    }
+}

@@ -7,17 +7,20 @@
 //! need to recompute their dominating trees.
 //!
 //! The incremental recomputation itself lives in [`rspan_engine`]: the
-//! simulator and the engine share that one code path.  This module keeps the
-//! established dynamics API — [`TopologyChange`] (re-exported from the
-//! engine), [`apply_change`] and [`restabilise`] — as thin wrappers.  Hot
-//! paths that apply *streams* of changes should hold a
-//! [`rspan_engine::RspanEngine`] (or at least a [`DynamicGraph`]) instead of
-//! calling these per-change conveniences in a loop: `apply_change`
-//! materialises a fresh CSR per call by design.
+//! simulator and the engine share that one code path.  The session forms are
+//! the real API for churn streams — [`restabilise_with`] commits against a
+//! caller-held engine, and [`ChurnSession`] bundles an engine with a
+//! [`crate::delta::DeltaRouter`] so one handle carries the whole
+//! batch → commit → delta → table-repair pipeline across rounds.  The
+//! established one-shot conveniences — [`TopologyChange`] (re-exported from
+//! the engine), [`apply_change`] and [`restabilise`] — remain as thin
+//! wrappers, but they materialise a fresh CSR (and, for `restabilise`, a
+//! fresh engine) per call by design: never loop over them on a hot path.
 
+use crate::delta::{DeltaRouter, RepairStats};
 use crate::protocol::TreeStrategy;
-use rspan_engine::RspanEngine;
 pub use rspan_engine::TopologyChange;
+use rspan_engine::{RspanEngine, SpannerDelta};
 use rspan_graph::{CsrGraph, DynamicGraph, Node, Subgraph};
 
 /// Applies a change to a graph, returning the new graph.
@@ -44,6 +47,20 @@ pub struct Restabilisation<'g> {
     pub recomputed_fraction: f64,
 }
 
+/// Restabilises the spanner of a *caller-held* engine after one change: the
+/// session form every churn loop should use.  The engine keeps its topology
+/// overlay, cached trees, and scratch pools across calls, so a stream of
+/// changes pays only dirty-ball work — no per-change engine construction,
+/// no initial full build.
+///
+/// Returns the engine's [`SpannerDelta`] (which also lists the recomputed
+/// nodes).  Batched callers can pass several changes at once straight to
+/// [`RspanEngine::commit`]; this wrapper exists for the established
+/// one-change-at-a-time dynamics API.
+pub fn restabilise_with(engine: &mut RspanEngine, change: TopologyChange) -> SpannerDelta {
+    engine.commit(&[change])
+}
+
 /// Recomputes the remote-spanner after a topology change, re-running the tree
 /// construction only for the nodes whose `(r − 1 + β)`-hop knowledge could
 /// have changed — every other node keeps its previous tree verbatim.
@@ -52,10 +69,11 @@ pub struct Restabilisation<'g> {
 /// (`new_graph` is typically produced by [`apply_change`]); `strategy` is the
 /// per-node tree algorithm (the same one used to build the original spanner).
 ///
-/// This wrapper drives a one-shot [`RspanEngine`] so the simulator and the
-/// engine share a single incremental code path; long-lived callers should
-/// keep their own engine across changes and skip the per-call initial build
-/// this convenience pays.
+/// This is a *convenience wrapper*: it constructs a one-shot [`RspanEngine`]
+/// (paying a full initial build) and forwards to [`restabilise_with`].  Churn
+/// loops must hold their own engine — or a whole [`ChurnSession`] — and call
+/// [`restabilise_with`] / [`RspanEngine::commit`] so overlay, tree caches and
+/// scratch pools are reused across changes.
 pub fn restabilise<'g>(
     old_graph: &CsrGraph,
     new_graph: &'g CsrGraph,
@@ -64,13 +82,66 @@ pub fn restabilise<'g>(
 ) -> Restabilisation<'g> {
     assert_eq!(old_graph.n(), new_graph.n(), "node set must be unchanged");
     let mut engine = RspanEngine::new(old_graph.clone(), strategy.algo());
-    let delta = engine.commit(&[change]);
+    let delta = restabilise_with(&mut engine, change);
     debug_assert_eq!(engine.graph().m(), new_graph.m(), "new_graph mismatch");
     let recomputed_fraction = delta.recomputed_fraction(new_graph.n());
     Restabilisation {
         spanner: engine.spanner_on(new_graph),
         recomputed_nodes: delta.recomputed,
         recomputed_fraction,
+    }
+}
+
+/// One caller-held engine + router pair that a whole churn stream flows
+/// through: the end-to-end **batch → commit → delta → table-repair**
+/// pipeline as a single handle.
+///
+/// Each [`ChurnSession::step`] absorbs one round's batch into the engine
+/// (optionally sharding the dirty-tree rebuild across threads) and feeds the
+/// emitted [`SpannerDelta`] to the owned [`DeltaRouter`], so both the spanner
+/// and the next-hop tables stay current at incremental cost — nothing is
+/// rebuilt per change.
+pub struct ChurnSession {
+    engine: RspanEngine,
+    router: DeltaRouter,
+    threads: usize,
+}
+
+impl ChurnSession {
+    /// Builds the session over an initial topology: one full spanner build
+    /// plus one full table build (sequential commits thereafter).
+    pub fn new(graph: CsrGraph, strategy: TreeStrategy) -> Self {
+        Self::with_threads(graph, strategy, 1)
+    }
+
+    /// Like [`ChurnSession::new`] with commits sharded across `threads`
+    /// rebuild workers (0 = available parallelism).
+    pub fn with_threads(graph: CsrGraph, strategy: TreeStrategy, threads: usize) -> Self {
+        let engine = RspanEngine::new(graph, strategy.algo());
+        let router = DeltaRouter::new(&engine);
+        ChurnSession {
+            engine,
+            router,
+            threads,
+        }
+    }
+
+    /// Absorbs one round's batch of changes: commits it to the engine and
+    /// repairs the routing tables from the emitted delta.
+    pub fn step(&mut self, batch: &[TopologyChange]) -> (SpannerDelta, RepairStats) {
+        let delta = self.engine.commit_parallel(batch, self.threads);
+        let stats = self.router.apply(&self.engine, batch, &delta);
+        (delta, stats)
+    }
+
+    /// The owned engine (topology + spanner state).
+    pub fn engine(&self) -> &RspanEngine {
+        &self.engine
+    }
+
+    /// The owned router (incrementally repaired next-hop tables).
+    pub fn router(&self) -> &DeltaRouter {
+        &self.router
     }
 }
 

@@ -14,20 +14,31 @@
 //! * [`routing`] — greedy link-state routing on the augmented views `H_u`,
 //!   the application the paper's introduction motivates, and [`tables`] —
 //!   the precomputed next-hop tables a real router would use,
+//! * [`delta`] — the [`DeltaRouter`]: long-lived routing tables repaired
+//!   incrementally from the engine's per-commit [`rspan_engine::SpannerDelta`]s
+//!   (the batch → commit → delta → table-repair pipeline),
 //! * [`dynamics`] — topology changes and local restabilisation, rewired on
 //!   top of the incremental `rspan-engine` so the simulator and the engine
-//!   share one dirty-ball recomputation code path.
+//!   share one dirty-ball recomputation code path; [`ChurnSession`] bundles
+//!   one caller-held engine + router for whole churn streams.
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod dynamics;
 pub mod protocol;
 pub mod routing;
 pub mod sim;
 pub mod tables;
 
-pub use dynamics::{apply_change, restabilise, Restabilisation, TopologyChange};
-pub use protocol::{run_remspan_protocol, DistributedRun, RemSpanMsg, RemSpanNode, TreeStrategy};
+pub use delta::{DeltaRouter, RepairStats};
+pub use dynamics::{
+    apply_change, restabilise, restabilise_with, ChurnSession, Restabilisation, TopologyChange,
+};
+pub use protocol::{
+    restabilise_flood, run_remspan_protocol, DistributedRun, IncrementalRun, RemSpanMsg,
+    RemSpanNode, TreeStrategy,
+};
 pub use routing::{
     greedy_route, greedy_route_with_scratch, measure_routing, RouteOutcome, RoutingReport,
 };

@@ -14,9 +14,16 @@
 //! The protocol finishes in `2R + 1 = 2r − 1 + 2β` rounds, matching the
 //! paper's time bound, and the union of advertised trees is asserted (in the
 //! tests) to equal the centralized [`rspan_core::rem_span`] construction.
+//!
+//! Under churn the full protocol never re-runs: [`restabilise_flood`] plays
+//! §2.3's stabilisation — after an [`rspan_engine::RspanEngine::commit`],
+//! only the recomputed nodes re-flood (their link state and new trees, to
+//! distance `R`), over the engine's live topology, so per-change message
+//! cost is proportional to the dirty balls rather than to `n`.
 
 use crate::sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
 use rspan_domtree::{DomScratch, DominatingTree, TreeAlgo};
+use rspan_engine::{RspanEngine, SpannerDelta};
 use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
 use std::collections::{HashMap, HashSet};
 
@@ -328,6 +335,173 @@ pub fn run_remspan_protocol(graph: &CsrGraph, strategy: TreeStrategy) -> Distrib
     }
 }
 
+/// Per-node state of the *incremental* restabilisation flood (§2.3): after
+/// an engine commit, only the nodes whose dominating tree was recomputed
+/// re-flood — their current neighbor list and their new tree, both to
+/// distance `R = r − 1 + β` — while every other node merely forwards and
+/// refreshes its incident-spanner-edge knowledge.  This is the protocol-level
+/// counterpart of the engine's dirty ball: transmission cost is proportional
+/// to the dirty nodes' `R`-ball sizes, not to `n`.
+struct RepairNode {
+    radius: u32,
+    /// `Some(tree edges)` iff this node was recomputed by the commit.
+    dirty_tree: Option<Vec<(Node, Node)>>,
+    seen_ls: HashSet<Node>,
+    seen_tree: HashSet<Node>,
+    /// Dirty origins whose refreshed link state this node collected.
+    refreshed_link_state: HashSet<Node>,
+    /// Spanner edges incident to this node learned from the re-adverts.
+    incident_updates: HashSet<(Node, Node)>,
+    done: bool,
+}
+
+impl NodeState for RepairNode {
+    type Msg = RemSpanMsg;
+
+    fn on_start(&mut self, me: Node, neighbors: &[Node]) -> Vec<Outgoing<Self::Msg>> {
+        let Some(tree) = self.dirty_tree.clone() else {
+            return Vec::new(); // clean nodes originate nothing
+        };
+        self.seen_ls.insert(me);
+        self.seen_tree.insert(me);
+        self.refreshed_link_state.insert(me);
+        for &(a, b) in &tree {
+            if a == me || b == me {
+                self.incident_updates.insert(ordered(a, b));
+            }
+        }
+        if self.radius == 0 || neighbors.is_empty() {
+            return Vec::new();
+        }
+        vec![
+            Outgoing::Broadcast(RemSpanMsg::LinkState(me, neighbors.to_vec(), self.radius)),
+            Outgoing::Broadcast(RemSpanMsg::TreeAdvert(me, tree, self.radius)),
+        ]
+    }
+
+    fn on_round(
+        &mut self,
+        me: Node,
+        _neighbors: &[Node],
+        _round: u32,
+        inbox: &[Envelope<Self::Msg>],
+    ) -> Vec<Outgoing<Self::Msg>> {
+        let mut out = Vec::new();
+        for env in inbox {
+            match &env.payload {
+                RemSpanMsg::Hello(_) => unreachable!("repair floods exchange no hellos"),
+                RemSpanMsg::LinkState(origin, list, ttl) => {
+                    if self.seen_ls.insert(*origin) {
+                        self.refreshed_link_state.insert(*origin);
+                        if *ttl > 1 {
+                            out.push(Outgoing::Broadcast(RemSpanMsg::LinkState(
+                                *origin,
+                                list.clone(),
+                                ttl - 1,
+                            )));
+                        }
+                    }
+                }
+                RemSpanMsg::TreeAdvert(origin, edges, ttl) => {
+                    if self.seen_tree.insert(*origin) {
+                        for &(a, b) in edges {
+                            if a == me || b == me {
+                                self.incident_updates.insert(ordered(a, b));
+                            }
+                        }
+                        if *ttl > 1 {
+                            out.push(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
+                                *origin,
+                                edges.clone(),
+                                ttl - 1,
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if out.is_empty() {
+            self.done = true;
+        }
+        out
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+/// Transcript of one incremental restabilisation flood.
+pub struct IncrementalRun {
+    /// Simulator statistics (rounds, transmissions).
+    pub stats: RunStats,
+    /// Nodes that originated re-floods (the commit's recomputed set).
+    pub dirty_nodes: usize,
+    /// Per node: how many dirty origins' refreshed link state it collected
+    /// (dirty nodes count themselves).
+    pub refreshed_link_state_counts: Vec<usize>,
+    /// Per node: spanner edges incident to it learned from the re-adverts.
+    pub incident_update_counts: Vec<usize>,
+}
+
+/// Runs the §2.3 restabilisation flood for one engine commit: the simulator
+/// is built straight over the engine's live overlay topology
+/// ([`SyncNetwork::from_adjacency`] — no CSR snapshot), the commit's
+/// recomputed nodes re-flood their link state and new trees to distance
+/// `R = r − 1 + β`, and everyone else forwards.  An empty delta floods
+/// nothing.
+///
+/// `engine` must be the engine that produced `delta`, *after* that commit
+/// (asserted via the epoch).
+pub fn restabilise_flood(engine: &RspanEngine, delta: &SpannerDelta) -> IncrementalRun {
+    assert_eq!(
+        engine.epoch(),
+        delta.epoch,
+        "delta does not match the engine's current epoch"
+    );
+    let radius = engine.dirty_radius();
+    let n = engine.graph().n();
+    if delta.recomputed.is_empty() {
+        // Nothing re-floods: skip the whole network materialisation (a
+        // no-churn round must cost nothing, not Θ(n + m)).
+        return IncrementalRun {
+            stats: RunStats {
+                rounds: 0,
+                messages: 0,
+                messages_per_round: Vec::new(),
+                all_done: true,
+            },
+            dirty_nodes: 0,
+            refreshed_link_state_counts: vec![0; n],
+            incident_update_counts: vec![0; n],
+        };
+    }
+    let dirty: HashSet<Node> = delta.recomputed.iter().copied().collect();
+    let net = SyncNetwork::from_adjacency(engine.graph());
+    // One round per TTL hop, plus the originating round and quiescence.
+    let (states, stats) = net.run(
+        |u| RepairNode {
+            radius,
+            dirty_tree: dirty.contains(&u).then(|| engine.tree_edges(u).to_vec()),
+            seen_ls: HashSet::new(),
+            seen_tree: HashSet::new(),
+            refreshed_link_state: HashSet::new(),
+            incident_updates: HashSet::new(),
+            done: false,
+        },
+        radius + 2,
+    );
+    IncrementalRun {
+        stats,
+        dirty_nodes: dirty.len(),
+        refreshed_link_state_counts: states
+            .iter()
+            .map(|s| s.refreshed_link_state.len())
+            .collect(),
+        incident_update_counts: states.iter().map(|s| s.incident_updates.len()).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +601,60 @@ mod tests {
                 per_node[u].len()
             );
         }
+    }
+
+    #[test]
+    fn restabilise_flood_reaches_exactly_the_dirty_balls() {
+        use rspan_engine::TopologyChange;
+        let inst = uniform_udg(120, 5.0, 1.0, 21);
+        let mut engine = RspanEngine::new(inst.graph.clone(), TreeAlgo::KGreedy { k: 2 });
+        let (eu, ev) = inst.graph.edges().next().unwrap();
+        let batch = [TopologyChange::RemoveEdge(eu, ev)];
+        let delta = engine.commit(&batch);
+        let run = restabilise_flood(&engine, &delta);
+        assert_eq!(run.dirty_nodes, delta.recomputed.len());
+        let radius = engine.dirty_radius();
+        // Each flood is TTL-bounded, so the whole repair quiesces within
+        // radius + 1 rounds (§2.3's "one period plus two floodings" — the
+        // floods run concurrently here).
+        assert!(
+            run.stats.rounds <= radius + 1,
+            "rounds {}",
+            run.stats.rounds
+        );
+        assert!(run.stats.messages > 0);
+        // A node hears a dirty origin's refreshed link state iff it lies
+        // within the flood radius of that origin in the *new* topology.
+        let csr = engine.to_csr();
+        let mut scratch = rspan_graph::TraversalScratch::with_capacity(csr.n());
+        let mut expect = vec![0usize; csr.n()];
+        for &d in &delta.recomputed {
+            rspan_graph::bfs_into(&csr, d, radius, &mut scratch);
+            for &v in scratch.visited() {
+                expect[v as usize] += 1;
+            }
+        }
+        assert_eq!(run.refreshed_link_state_counts, expect);
+        // The incremental flood is far cheaper than re-running the full
+        // protocol on the new topology.
+        let full = run_remspan_protocol(&csr, TreeStrategy::KGreedy { k: 2 });
+        assert!(
+            run.stats.messages < full.stats.messages / 2,
+            "incremental {} vs full {}",
+            run.stats.messages,
+            full.stats.messages
+        );
+    }
+
+    #[test]
+    fn restabilise_flood_of_empty_delta_is_silent() {
+        let mut engine = RspanEngine::new(grid_graph(5, 5), TreeAlgo::KGreedy { k: 1 });
+        let delta = engine.commit(&[]);
+        let run = restabilise_flood(&engine, &delta);
+        assert_eq!(run.dirty_nodes, 0);
+        assert_eq!(run.stats.messages, 0);
+        assert_eq!(run.stats.rounds, 0);
+        assert!(run.incident_update_counts.iter().all(|&c| c == 0));
     }
 
     #[test]

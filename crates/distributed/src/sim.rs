@@ -13,7 +13,7 @@
 //! claims is *what information can reach a node in how many rounds*, which the
 //! synchronous model captures exactly.
 
-use rspan_graph::{CsrGraph, Node};
+use rspan_graph::{Adjacency, CsrGraph, Node};
 
 /// A message in flight: payload plus addressing metadata.
 #[derive(Clone, Debug)]
@@ -72,20 +72,72 @@ pub struct RunStats {
     pub all_done: bool,
 }
 
+/// The simulator's communication topology: either a borrowed CSR snapshot
+/// (the static protocol runs) or neighbor lists materialised once from any
+/// [`Adjacency`] — which is how a protocol runs directly over a live
+/// [`rspan_graph::DynamicGraph`] / engine topology without a per-change CSR
+/// rebuild.
+enum Topology<'g> {
+    Csr(&'g CsrGraph),
+    Owned(Vec<Vec<Node>>),
+}
+
 /// The synchronous network simulator.
 pub struct SyncNetwork<'g> {
-    graph: &'g CsrGraph,
+    topo: Topology<'g>,
 }
 
 impl<'g> SyncNetwork<'g> {
     /// Creates a simulator over the given communication graph.
     pub fn new(graph: &'g CsrGraph) -> Self {
-        SyncNetwork { graph }
+        SyncNetwork {
+            topo: Topology::Csr(graph),
+        }
     }
 
-    /// The communication graph.
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    /// Creates a simulator over *any* adjacency — e.g. the
+    /// [`rspan_graph::DynamicGraph`] a live [`rspan_engine::RspanEngine`]
+    /// owns — by materialising the (sorted) neighbor lists once.  This is the
+    /// churn-loop entry point: the engine's overlay topology feeds the
+    /// simulator directly, with no CSR snapshot per change.
+    pub fn from_adjacency<A: Adjacency + ?Sized>(graph: &A) -> SyncNetwork<'static> {
+        let n = graph.num_nodes();
+        let mut neighbors: Vec<Vec<Node>> = (0..n).map(|_| Vec::new()).collect();
+        for (u, list) in neighbors.iter_mut().enumerate() {
+            list.reserve(graph.degree_hint(u as Node));
+            graph.for_each_neighbor(u as Node, &mut |v| list.push(v));
+            // The Adjacency contract leaves neighbor order unspecified, but
+            // `has_edge` binary-searches these lists — sort (a no-op for the
+            // already-sorted in-repo impls) rather than depend on it.
+            list.sort_unstable();
+        }
+        SyncNetwork {
+            topo: Topology::Owned(neighbors),
+        }
+    }
+
+    /// Number of nodes in the communication topology.
+    pub fn n(&self) -> usize {
+        match &self.topo {
+            Topology::Csr(g) => g.n(),
+            Topology::Owned(lists) => lists.len(),
+        }
+    }
+
+    /// Neighbor list of `u`, in sorted order.
+    fn neighbors(&self, u: Node) -> &[Node] {
+        match &self.topo {
+            Topology::Csr(g) => g.neighbors(u),
+            Topology::Owned(lists) => &lists[u as usize],
+        }
+    }
+
+    /// Whether `{u, v}` is a communication link.
+    fn has_edge(&self, u: Node, v: Node) -> bool {
+        match &self.topo {
+            Topology::Csr(g) => g.has_edge(u, v),
+            Topology::Owned(lists) => lists[u as usize].binary_search(&v).is_ok(),
+        }
     }
 
     /// Runs one protocol instance per node until no message is in flight (or
@@ -95,7 +147,7 @@ impl<'g> SyncNetwork<'g> {
         S: NodeState,
         F: FnMut(Node) -> S,
     {
-        let n = self.graph.n();
+        let n = self.n();
         let mut states: Vec<S> = (0..n as Node).map(&mut make_node).collect();
         let mut stats = RunStats {
             rounds: 0,
@@ -107,7 +159,7 @@ impl<'g> SyncNetwork<'g> {
         let mut outgoing: Vec<Vec<Outgoing<S::Msg>>> = states
             .iter_mut()
             .enumerate()
-            .map(|(u, s)| s.on_start(u as Node, self.graph.neighbors(u as Node)))
+            .map(|(u, s)| s.on_start(u as Node, self.neighbors(u as Node)))
             .collect();
 
         // Inboxes are pooled across rounds: cleared (capacity kept) instead of
@@ -126,7 +178,7 @@ impl<'g> SyncNetwork<'g> {
                     match out {
                         Outgoing::Unicast(to, m) => {
                             assert!(
-                                self.graph.has_edge(u, *to),
+                                self.has_edge(u, *to),
                                 "node {u} attempted to send to non-neighbor {to}"
                             );
                             sent_this_round += 1;
@@ -137,7 +189,7 @@ impl<'g> SyncNetwork<'g> {
                             });
                         }
                         Outgoing::Broadcast(m) => {
-                            for &w in self.graph.neighbors(u) {
+                            for &w in self.neighbors(u) {
                                 sent_this_round += 1;
                                 inboxes[w as usize].push(Envelope {
                                     from: u,
@@ -159,14 +211,7 @@ impl<'g> SyncNetwork<'g> {
             outgoing = states
                 .iter_mut()
                 .enumerate()
-                .map(|(u, s)| {
-                    s.on_round(
-                        u as Node,
-                        self.graph.neighbors(u as Node),
-                        round,
-                        &inboxes[u],
-                    )
-                })
+                .map(|(u, s)| s.on_round(u as Node, self.neighbors(u as Node), round, &inboxes[u]))
                 .collect();
         }
         stats.all_done = states.iter().all(|s| s.is_done());
@@ -271,6 +316,22 @@ mod tests {
         // Round 2: every node forwards the 2 fresh origins it just heard.
         assert_eq!(stats.messages_per_round[1], 40);
         assert!(stats.rounds >= 2);
+    }
+
+    #[test]
+    fn owned_topology_runs_identically_to_csr() {
+        // The same protocol over the same topology must produce the same
+        // transcript whether the simulator borrows a CSR or materialised the
+        // neighbor lists from a dynamic overlay.
+        let g = path_graph(9);
+        let mut dynamic = rspan_graph::DynamicGraph::new(cycle_graph(9));
+        dynamic.remove_edge(0, 8); // cycle minus one edge = the same path
+        let (states_csr, stats_csr) = SyncNetwork::new(&g).run(flood(3), 100);
+        let (states_dyn, stats_dyn) = SyncNetwork::from_adjacency(&dynamic).run(flood(3), 100);
+        assert_eq!(stats_csr, stats_dyn);
+        for (a, b) in states_csr.iter().zip(&states_dyn) {
+            assert_eq!(a.seen, b.seen);
+        }
     }
 
     #[test]

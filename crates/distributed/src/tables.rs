@@ -9,62 +9,111 @@
 //! lets the harnesses check that table-driven forwarding realises exactly the
 //! routes the greedy per-hop rule produces.
 
-use rspan_graph::{bfs_distances, bfs_into, CsrGraph, Node, Subgraph, TraversalScratch};
+use rspan_graph::{bfs_distances, Adjacency, CsrGraph, Node, Subgraph};
 
 /// Next-hop tables for every node of a spanner's parent graph.
-#[derive(Clone, Debug)]
+///
+/// Two tables are `==` exactly when every `(source, destination)` entry —
+/// next hop and recorded distance — matches; the incremental
+/// [`crate::delta::DeltaRouter`] uses this to pin its repairs bit-identical
+/// to a from-scratch [`RoutingTables::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoutingTables {
-    n: usize,
+    pub(crate) n: usize,
     /// `next[u * n + v]` = next hop from `u` toward `v`, or `Node::MAX` when
     /// `v` is unreachable from `u` in `H_u` (or `v == u`).
-    next: Vec<Node>,
+    pub(crate) next: Vec<Node>,
     /// `dist[u * n + v]` = `d_{H_u}(u, v)` (`u32::MAX` when unreachable).
-    dist: Vec<u32>,
+    pub(crate) dist: Vec<u32>,
 }
 
-const NO_HOP: Node = Node::MAX;
-const UNREACH: u32 = u32::MAX;
+pub(crate) const NO_HOP: Node = Node::MAX;
+pub(crate) const UNREACH: u32 = u32::MAX;
+
+/// Fills row `u` of a routing table: one *canonical-hop BFS* from `u` over
+/// `view` (which must present `H_u`).  The row slices are reset to their
+/// sentinels first, so the same routine serves both the from-scratch build
+/// and the in-place repair of a stale row; `queue` is a reusable BFS buffer.
+///
+/// The next hop recorded for `v` is the **canonical** one: the smallest
+/// first hop over *all* shortest `u → v` paths in `H_u`, computed by folding
+/// `hop(v) = min over predecessors p of hop(p)` into the BFS (every
+/// predecessor of `v` is dequeued before `v`, so the min is final by then).
+/// Alongside it, `support_row[v]` counts how many predecessors realise that
+/// minimum.  Together the three arrays make every entry — and its
+/// sensitivity to an edge flip — a pure function of the `H_u` *metric*, with
+/// no dependence on neighbor iteration order or BFS tie-breaking: that is
+/// what lets [`crate::delta::DeltaRouter`] decide *exactly*, from O(1) row
+/// reads, whether a spanner flip changes a row.
+pub(crate) fn fill_row<A: Adjacency + ?Sized>(
+    view: &A,
+    u: Node,
+    queue: &mut Vec<Node>,
+    next_row: &mut [Node],
+    dist_row: &mut [u32],
+    support_row: &mut [u32],
+) {
+    next_row.fill(NO_HOP);
+    dist_row.fill(UNREACH);
+    support_row.fill(0);
+    queue.clear();
+    dist_row[u as usize] = 0;
+    queue.push(u);
+    let mut head = 0usize;
+    while head < queue.len() {
+        let w = queue[head];
+        head += 1;
+        let dw = dist_row[w as usize];
+        let hw = next_row[w as usize];
+        view.for_each_neighbor(w, &mut |v| {
+            let dv = &mut dist_row[v as usize];
+            if *dv == UNREACH {
+                *dv = dw + 1;
+                // A depth-1 node is its own first hop; deeper nodes inherit.
+                next_row[v as usize] = if w == u { v } else { hw };
+                support_row[v as usize] = 1;
+                queue.push(v);
+            } else if *dv == dw + 1 && w != u {
+                let hv = &mut next_row[v as usize];
+                if hw < *hv {
+                    *hv = hw;
+                    support_row[v as usize] = 1;
+                } else if hw == *hv {
+                    support_row[v as usize] += 1;
+                }
+            }
+        });
+    }
+}
 
 impl RoutingTables {
-    /// Computes the tables for every source node.
-    ///
-    /// For each `u` this is one BFS per *destination-side* sweep: a single BFS
-    /// from `u` in `H_u` gives the distances, and the next hop toward `v` is
-    /// any neighbor `w` of `u` (in `G`, since `H_u` contains all of `u`'s
-    /// incident edges) minimising `d_{H_u}(w, v)`; those distances come from
-    /// one BFS per neighbor, bounded by the ball that matters.  To keep the
-    /// cost at `O(n · (n + m))` overall we instead run, for every `u`, one BFS
-    /// from each destination `v` *restricted to `H_u`* lazily: in practice the
-    /// table is filled by running BFS from `u` and storing parent pointers
-    /// reversed — the first hop of a shortest `u → v` path in `H_u`.
+    /// Computes the tables for every source node with a *canonical-hop BFS
+    /// sweep*: for each `u`, one BFS from `u` over `H_u` records distances
+    /// and, folded into the same edge scans, the canonical next hop toward
+    /// every destination (the smallest first hop over all shortest paths —
+    /// see [`fill_row`]).  Total cost is `O(n · (n + m_{H_u}))`: `n` sweeps,
+    /// each touching every `H_u` edge a constant number of times, with one
+    /// pooled queue buffer shared by all sweeps.
     pub fn build(spanner: &Subgraph<'_>) -> Self {
         let graph: &CsrGraph = spanner.parent();
         let n = graph.n();
         let mut next = vec![NO_HOP; n * n];
         let mut dist = vec![UNREACH; n * n];
-        // One pooled scratch runs all n per-source sweeps; only the reached
-        // entries of each row are written.
-        let mut scratch = TraversalScratch::with_capacity(n);
+        // The build has no later repairs to decide, so the per-destination
+        // support counts land in one reusable row buffer.
+        let mut support = vec![0u32; n];
+        let mut queue = Vec::with_capacity(n);
         for u in graph.nodes() {
             let view = spanner.augmented(u);
-            bfs_into(&view, u, u32::MAX, &mut scratch);
             let row = u as usize * n;
-            dist[row + u as usize] = 0;
-            for &v in scratch.visited() {
-                if v == u {
-                    continue;
-                }
-                dist[row + v as usize] = scratch.dist_or_unreached(v);
-                // Walk the parent chain from v back to the child of u.
-                let mut cur = v;
-                while let Some(p) = scratch.parent(cur) {
-                    if p == u {
-                        break;
-                    }
-                    cur = p;
-                }
-                next[row + v as usize] = cur;
-            }
+            fill_row(
+                &view,
+                u,
+                &mut queue,
+                &mut next[row..row + n],
+                &mut dist[row..row + n],
+                &mut support,
+            );
         }
         RoutingTables { n, next, dist }
     }

@@ -47,7 +47,8 @@
 use crate::change::TopologyChange;
 use rspan_domtree::{DomScratch, TreeAlgo};
 use rspan_graph::{
-    bfs_into, CsrGraph, DynamicGraph, EdgeSet, EpochFlags, Node, Subgraph, TraversalScratch,
+    bfs_into, resolve_threads, CsrGraph, DynamicGraph, EdgeSet, EpochFlags, Node, Subgraph,
+    TraversalScratch,
 };
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -145,7 +146,25 @@ pub struct RspanEngine {
     /// Endpoints already swept in the current `mark_balls` pass (a batch from
     /// e.g. a join/leave scenario repeats one endpoint across many changes).
     endpoint_seen: EpochFlags,
+    /// Rebuild work list of the current commit: `(root, edge buffer)` per
+    /// dirty node.  Kept on the engine so the spine allocation amortises
+    /// across commits (the edge buffers themselves rotate through `trees`).
+    work: Vec<RebuildItem>,
+    /// One pooled [`DomScratch`] per parallel-commit worker, grown on demand
+    /// and reused across commits — the per-shard pool of
+    /// [`RspanEngine::commit_parallel`].
+    par_dom: Vec<DomScratch>,
 }
+
+/// Dirty nodes per work-chunk claimed by a parallel-commit worker: small
+/// enough to balance irregular tree costs, large enough that the round-robin
+/// chunk distribution stays coarse.  Chunks follow `dirty_list` order — ball
+/// BFS order — so a chunk's roots share CSR neighborhoods.
+const DIRTY_CHUNK: usize = 16;
+
+/// One rebuild work item: a dirty root and the edge buffer its new tree is
+/// written into (rotated through the engine's tree cache).
+type RebuildItem = (Node, Vec<(Node, Node)>);
 
 impl RspanEngine {
     /// Builds the engine over an initial topology: one full pass computes and
@@ -177,6 +196,8 @@ impl RspanEngine {
             dirty: EpochFlags::new(),
             dirty_list: Vec::new(),
             endpoint_seen: EpochFlags::new(),
+            work: Vec::new(),
+            par_dom: Vec::new(),
         };
         for u in 0..n as Node {
             let mut edges = std::mem::take(&mut engine.trees[u as usize]);
@@ -265,6 +286,28 @@ impl RspanEngine {
     /// in the batch (panics otherwise, matching `apply_change`).  Cost is
     /// proportional to the dirty ball, not to `n + m`.
     pub fn commit(&mut self, batch: &[TopologyChange]) -> SpannerDelta {
+        self.commit_parallel(batch, 1)
+    }
+
+    /// Like [`RspanEngine::commit`], but rebuilds the dirty trees on
+    /// `threads` scoped worker threads (0 = available parallelism), each with
+    /// its own pooled [`DomScratch`].
+    ///
+    /// The dirty list is cut into [`DIRTY_CHUNK`]-node chunks (ball-BFS
+    /// order, so chunks stay CSR-local) distributed round-robin across the
+    /// workers; each worker writes finished tree edge lists into its own
+    /// disjoint work slots, so the rebuild needs **no lock**.  The refcount
+    /// merge of the per-shard contributions runs in the sequential install
+    /// phase: unlike the full-build drivers, whose per-worker [`EdgeSet`]s
+    /// merge with the word-level sharded union, a commit must track *counts*
+    /// (and spanner pairs may live in the overlay, outside the base CSR's
+    /// edge-id space), so the merge goes through the pair-keyed refcount map
+    /// instead.  Every tree is a deterministic function of `(graph, root)`,
+    /// and retire/install run in `dirty_list` order either way, so the
+    /// result — spanner, delta, epoch — is **bit-identical** to the
+    /// sequential [`RspanEngine::commit`].
+    pub fn commit_parallel(&mut self, batch: &[TopologyChange], threads: usize) -> SpannerDelta {
+        let threads = resolve_threads(threads);
         let n = self.graph.n();
         let radius = self.dirty_radius();
         self.epoch += 1;
@@ -281,14 +324,20 @@ impl RspanEngine {
         // Dirty balls in the post-batch topology.
         self.mark_balls(batch, radius);
 
-        // Recompute exactly the dirty trees, tracking net refcount flips.
+        // Phase 1 — retire: pull every dirty tree out of the cache and undo
+        // its refcount contribution, snapshotting each pair's pre-commit
+        // presence on first touch (a pair being decremented is necessarily
+        // present; increments later only snapshot pairs whose count is 0,
+        // i.e. pairs no retired tree held — so the all-decrements-first
+        // phasing records exactly the same pre-commit presence the
+        // interleaved sequential sweep did).
+        let mut work = std::mem::take(&mut self.work);
+        work.clear();
         for i in 0..self.dirty_list.len() {
             let u = self.dirty_list[i];
             let mut edges = std::mem::take(&mut self.trees[u as usize]);
             for &(p, c) in &edges {
                 let key = pack(p, c);
-                // First touch of a pair snapshots its pre-commit presence; a
-                // pair being removed is necessarily present.
                 self.touched.entry(key).or_insert(true);
                 let cnt = self
                     .counts
@@ -300,10 +349,47 @@ impl RspanEngine {
                 }
             }
             edges.clear();
-            let tree = self.algo.build_with_scratch(&self.graph, u, &mut self.dom);
-            debug_assert_eq!(tree.root(), u);
-            tree.for_each_edge(|p, c| edges.push((p, c)));
-            for &(p, c) in &edges {
+            work.push((u, edges));
+        }
+
+        // Phase 2 — rebuild: recompute exactly the dirty trees, sharded
+        // across workers when the dirty set is worth the fan-out.
+        if threads > 1 && work.len() >= 2 * DIRTY_CHUNK {
+            while self.par_dom.len() < threads {
+                self.par_dom.push(DomScratch::with_capacity(n));
+            }
+            let graph = &self.graph;
+            let algo = self.algo;
+            let mut buckets: Vec<Vec<&mut [RebuildItem]>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (i, chunk) in work.chunks_mut(DIRTY_CHUNK).enumerate() {
+                buckets[i % threads].push(chunk);
+            }
+            std::thread::scope(|scope| {
+                for (bucket, dom) in buckets.into_iter().zip(self.par_dom.iter_mut()) {
+                    scope.spawn(move || {
+                        for chunk in bucket {
+                            for (u, edges) in chunk.iter_mut() {
+                                let tree = algo.build_with_scratch(graph, *u, dom);
+                                debug_assert_eq!(tree.root(), *u);
+                                tree.for_each_edge(|p, c| edges.push((p, c)));
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for (u, edges) in work.iter_mut() {
+                let tree = self.algo.build_with_scratch(&self.graph, *u, &mut self.dom);
+                debug_assert_eq!(tree.root(), *u);
+                tree.for_each_edge(|p, c| edges.push((p, c)));
+            }
+        }
+
+        // Phase 3 — install: merge the per-shard contributions back into the
+        // refcounted spanner, in `dirty_list` order.
+        for (u, edges) in work.iter_mut() {
+            for &(p, c) in edges.iter() {
                 let key = pack(p, c);
                 let entry = self.counts.entry(key).or_insert(0);
                 if *entry == 0 {
@@ -311,8 +397,9 @@ impl RspanEngine {
                 }
                 *entry += 1;
             }
-            self.trees[u as usize] = edges;
+            self.trees[*u as usize] = std::mem::take(edges);
         }
+        self.work = work;
 
         // Net delta: pairs whose presence flipped across the commit.
         let mut added = Vec::new();
@@ -452,6 +539,27 @@ mod tests {
         let delta = lazy.commit(&[TopologyChange::AddEdge(0, 6)]);
         assert!(!delta.compacted);
         assert_eq!(lazy.graph().overlay_edges(), 1);
+    }
+
+    #[test]
+    fn parallel_commit_is_bit_identical_to_sequential() {
+        let g = gnp_connected(300, 0.03, 11);
+        let algo = TreeAlgo::KGreedy { k: 2 };
+        let mut seq = RspanEngine::new(g.clone(), algo);
+        let mut par = RspanEngine::new(g, algo);
+        // A batch big enough to actually engage the sharded rebuild.
+        let edges: Vec<(Node, Node)> = seq.graph().base().edges().take(12).collect();
+        let batch: Vec<TopologyChange> = edges
+            .into_iter()
+            .map(|(u, v)| TopologyChange::RemoveEdge(u, v))
+            .collect();
+        let d_seq = seq.commit(&batch);
+        let d_par = par.commit_parallel(&batch, 4);
+        assert_eq!(d_seq, d_par, "delta diverged under sharded rebuild");
+        assert_eq!(seq.spanner_pairs(), par.spanner_pairs());
+        for u in 0..seq.graph().n() as Node {
+            assert_eq!(seq.tree_edges(u), par.tree_edges(u), "tree cache of {u}");
+        }
     }
 
     #[test]

@@ -99,6 +99,39 @@ fn interleaved_batches_stay_bit_identical_to_full_recompute() {
 }
 
 #[test]
+fn parallel_commits_stay_bit_identical_to_sequential_commits() {
+    // Satellite invariant of the sharded rebuild: over arbitrary interleaved
+    // batches, a parallel-committing engine emits the same deltas, caches the
+    // same trees, and holds the same spanner as a sequential one — for every
+    // thread count, including ones far above the dirty-chunk parallelism.
+    for algo in [TreeAlgo::KGreedy { k: 2 }, TreeAlgo::Mis { r: 2 }] {
+        for seed in [3u64, 4] {
+            let start = gnp_connected(120, 0.05, seed);
+            let mut tracker = DynamicGraph::new(start.clone());
+            let mut seq = RspanEngine::new(start.clone(), algo);
+            let mut par2 = RspanEngine::new(start.clone(), algo);
+            let mut par8 = RspanEngine::new(start, algo);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xAB5E);
+            for round in 0..8 {
+                let batch = random_batch(&mut tracker, &mut rng, 10);
+                let d_seq = seq.commit(&batch);
+                let d_par2 = par2.commit_parallel(&batch, 2);
+                let d_par8 = par8.commit_parallel(&batch, 8);
+                assert_eq!(d_seq, d_par2, "{algo:?} seed {seed} round {round} (2)");
+                assert_eq!(d_seq, d_par8, "{algo:?} seed {seed} round {round} (8)");
+                assert_eq!(seq.spanner_pairs(), par2.spanner_pairs());
+                assert_eq!(seq.spanner_pairs(), par8.spanner_pairs());
+            }
+            for u in 0..seq.graph().n() as Node {
+                assert_eq!(seq.tree_edges(u), par2.tree_edges(u));
+                assert_eq!(seq.tree_edges(u), par8.tree_edges(u));
+            }
+            assert_matches_full_recompute(&par8, &format!("{algo:?} seed {seed} parallel"));
+        }
+    }
+}
+
+#[test]
 fn udg_churn_stays_bit_identical_with_eager_compaction() {
     // A compaction fraction of ~0 forces a base rebuild on every commit:
     // compaction must be invisible to the spanner state.

@@ -43,12 +43,17 @@ pub struct DynamicGraph {
     removed_edges: usize,
 }
 
-fn sorted_insert(list: &mut Vec<Node>, v: Node) {
-    let pos = list.binary_search(&v).unwrap_err();
+/// Inserts `v` into a sorted list, keeping it sorted.  Panics if `v` is
+/// already present — sorted adjacency lists never hold duplicates.
+pub fn sorted_insert(list: &mut Vec<Node>, v: Node) {
+    let pos = list
+        .binary_search(&v)
+        .expect_err("sorted list already contains the inserted value");
     list.insert(pos, v);
 }
 
-fn sorted_remove(list: &mut Vec<Node>, v: Node) -> bool {
+/// Removes `v` from a sorted list; returns whether it was present.
+pub fn sorted_remove(list: &mut Vec<Node>, v: Node) -> bool {
     match list.binary_search(&v) {
         Ok(pos) => {
             list.remove(pos);

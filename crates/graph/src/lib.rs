@@ -46,8 +46,22 @@ pub use csr::{CsrGraph, Node};
 pub use distance::{
     all_pairs_distances, all_pairs_distances_parallel, DistanceMatrix, UNREACHABLE,
 };
-pub use dynamic::DynamicGraph;
+pub use dynamic::{sorted_insert, sorted_remove, DynamicGraph};
 pub use edgeset::{AugmentedSubgraph, EdgeSet, Subgraph};
 pub use io::{from_edge_list, to_dot, to_edge_list, ParseError};
 pub use scratch::{EpochCounters, EpochFlags, TraversalScratch};
 pub use stats::{degree_stats, density, linear_fit, power_law_exponent, DegreeStats, LineFit};
+
+/// Resolves a caller-facing worker-thread count: `0` means "use the
+/// machine's available parallelism", anything else is taken literally.  The
+/// one policy every parallel driver in the workspace shares (spanner
+/// builds, sharded edge-set merges, parallel engine commits).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}

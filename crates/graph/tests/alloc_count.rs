@@ -5,20 +5,34 @@
 //! and after a warmup traversal (which grows the slabs once) an arbitrary
 //! number of further `bfs_into` / `ball_into` / `pair_distance_into` calls on
 //! the same scratch must perform **zero** heap allocations.
+//!
+//! The count is kept **per thread**: the kernels under test run on the test
+//! thread, while libtest's harness threads allocate at their own
+//! (timing-dependent) pace — a process-wide counter made this test flaky.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rspan_graph::{ball_into, bfs_into, pair_distance_into, CsrGraph, Node, TraversalScratch};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 struct CountingAlloc;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    // Const-initialised so touching it from allocator context never recurses
+    // into the allocator itself.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // TLS is unavailable during thread teardown; those allocations belong to
+    // no measured window, so dropping the count is fine.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.alloc(layout) }
     }
 
@@ -27,7 +41,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        bump();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -36,7 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
+    THREAD_ALLOCATIONS.with(|c| c.get())
 }
 
 #[test]

@@ -7,8 +7,8 @@ use remote_spanners::core::{
     two_connecting_remote_spanner, verify_remote_stretch,
 };
 use remote_spanners::distributed::{
-    apply_change, greedy_route, measure_routing, restabilise, RouteOutcome, TopologyChange,
-    TreeStrategy,
+    apply_change, greedy_route, measure_routing, restabilise, restabilise_with, ChurnSession,
+    RouteOutcome, RoutingTables, TopologyChange, TreeStrategy,
 };
 use remote_spanners::graph::generators::{gnp_connected, grid_graph, uniform_udg};
 use remote_spanners::graph::{CsrGraph, Node};
@@ -108,6 +108,68 @@ fn restabilisation_after_changes_stays_correct_and_local() {
             assert!(result.recomputed_fraction <= 1.0);
             assert!(!result.recomputed_nodes.is_empty());
         }
+    }
+}
+
+#[test]
+fn churn_session_routes_correctly_through_repaired_tables() {
+    // End-to-end: one caller-held engine + router (a ChurnSession) absorbs a
+    // stream of changes; after every round the repaired tables must equal a
+    // from-scratch build and still deliver packets along shortest H_u paths.
+    let g = uniform_udg(80, 4.0, 1.0, 11).graph;
+    let strategy = TreeStrategy::KGreedy { k: 2 };
+    let mut session = ChurnSession::new(g.clone(), strategy);
+    let mut reference = g.clone();
+    let edges: Vec<(Node, Node)> = g.edges().take(4).collect();
+    for (round, &(u, v)) in edges.iter().enumerate() {
+        let change = TopologyChange::RemoveEdge(u, v);
+        let (delta, stats) = session.step(&[change]);
+        assert_eq!(delta.epoch, round as u64 + 1);
+        assert!(stats.rows_recomputed >= 2);
+        reference = apply_change(&reference, change);
+        let full = RoutingTables::build(&session.engine().spanner_on(&reference));
+        assert_eq!(
+            session.router().tables(),
+            &full,
+            "round {round}: session tables diverged from a from-scratch build"
+        );
+    }
+    // Spot-check forwarding against true shortest-path lower bounds.
+    let router = session.router();
+    for s in [0u32, 17, 42] {
+        for t in [5u32, 63, 79] {
+            if s == t {
+                continue;
+            }
+            if let Some(path) = router.forward(s, t) {
+                let d = router.table_distance(s, t).unwrap();
+                assert!(path.len() as u32 - 1 <= d);
+            }
+        }
+    }
+}
+
+#[test]
+fn session_restabilisation_matches_the_one_shot_wrapper() {
+    // restabilise_with on a caller-held engine must agree with the
+    // engine-per-change convenience wrapper, change for change.
+    let g = gnp_connected(60, 0.08, 21);
+    let strategy = TreeStrategy::KGreedy { k: 1 };
+    let mut engine = remote_spanners::engine::RspanEngine::new(g.clone(), strategy.algo());
+    let mut current = g.clone();
+    let edges: Vec<(Node, Node)> = g.edges().take(3).collect();
+    for &(u, v) in &edges {
+        let change = TopologyChange::RemoveEdge(u, v);
+        let next = apply_change(&current, change);
+        let one_shot = restabilise(&current, &next, change, strategy);
+        let delta = restabilise_with(&mut engine, change);
+        let session_edges: Vec<(Node, Node)> = engine.spanner_on(&next).edges().collect();
+        let one_shot_edges: Vec<(Node, Node)> = one_shot.spanner.edges().collect();
+        assert_eq!(session_edges, one_shot_edges);
+        let mut recomputed = delta.recomputed.clone();
+        recomputed.sort_unstable();
+        assert_eq!(recomputed, one_shot.recomputed_nodes);
+        current = next;
     }
 }
 
