@@ -1,0 +1,317 @@
+//! Churn on the event timeline: engine commits, stabilisation floods and
+//! crash/recover interleaved on one virtual clock.
+//!
+//! Every `churn_interval` ticks one scenario batch ([`ChurnScenario`]) is
+//! committed to the caller's [`RspanEngine`]; the commit's dirty nodes
+//! originate a §2.3 repair wave ([`rspan_distributed::RepairNode`], stamped
+//! with the commit epoch) while messages from earlier waves may still be in
+//! flight — the asynchronous regime the synchronous
+//! [`rspan_distributed::restabilise_flood`] cannot express.  Optionally a
+//! random node crashes at each churn instant and recovers `downtime` ticks
+//! later, re-originating its pending wave on recovery.
+//!
+//! Convergence accounting: a round is *converged* when no protocol event
+//! (delivery or timer) is pending at the next churn instant — externally
+//! scheduled recover events do not count, and the final round is held to
+//! the same window rule.  Its `quiesced_at` is the time of the last
+//! processed event — virtual stabilisation latency under the configured
+//! loss/latency/crash regime.
+
+use crate::model::{AsimConfig, VTime};
+use crate::sim::{AsimStats, AsyncNetwork};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rspan_distributed::RepairNode;
+use rspan_engine::{ChurnScenario, RspanEngine, TopologyChange};
+use rspan_graph::Node;
+
+/// Configuration of one asynchronous churn run.
+#[derive(Clone, Debug)]
+pub struct AsyncChurnConfig {
+    /// Link/clock model of the underlying simulator.
+    pub sim: AsimConfig,
+    /// Virtual ticks between scenario commits.
+    pub churn_interval: VTime,
+    /// Number of churn rounds to drive.
+    pub rounds: usize,
+    /// Probability that a churn instant also crashes one random node.
+    pub crash_prob: f64,
+    /// Ticks a crashed node stays down.
+    pub downtime: VTime,
+    /// Safety cutoff on processed events for the final drain.
+    pub max_events: u64,
+}
+
+impl Default for AsyncChurnConfig {
+    fn default() -> Self {
+        AsyncChurnConfig {
+            sim: AsimConfig::default(),
+            churn_interval: 8,
+            rounds: 20,
+            crash_prob: 0.0,
+            downtime: 12,
+            max_events: 20_000_000,
+        }
+    }
+}
+
+/// Per-churn-round transcript.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Round index.
+    pub round: usize,
+    /// Virtual time of the commit.
+    pub at: VTime,
+    /// Topology changes in the round's batch.
+    pub batch_len: usize,
+    /// Dirty nodes the commit recomputed (wave originators).
+    pub dirty: usize,
+    /// Spanner edges that entered or left.
+    pub spanner_flips: usize,
+    /// Node crashed at this churn instant, if any.
+    pub crashed: Option<Node>,
+    /// Time the network quiesced, if it drained before the next commit
+    /// (`None` = the wave was still in flight when new churn arrived).
+    pub quiesced_at: Option<VTime>,
+}
+
+impl RoundReport {
+    /// Stabilisation latency in ticks, for converged rounds.
+    pub fn convergence_ticks(&self) -> Option<VTime> {
+        self.quiesced_at.map(|q| q.saturating_sub(self.at))
+    }
+}
+
+/// Transcript of a whole asynchronous churn run.
+#[derive(Debug)]
+pub struct AsyncChurnRun {
+    /// One report per churn round.
+    pub rounds: Vec<RoundReport>,
+    /// Simulator accounting over the whole timeline.
+    pub stats: AsimStats,
+    /// Virtual time of the last processed event.
+    pub final_time: VTime,
+    /// Total dirty nodes across all commits.
+    pub dirty_total: usize,
+    /// Whether the final drain completed within the event budget.
+    pub drained: bool,
+}
+
+impl AsyncChurnRun {
+    /// Rounds whose repair wave drained before the next churn instant.
+    pub fn converged_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.quiesced_at.is_some())
+            .count()
+    }
+
+    /// Mean stabilisation latency over the converged rounds, in ticks.
+    pub fn mean_convergence_ticks(&self) -> f64 {
+        let (sum, count) = self
+            .rounds
+            .iter()
+            .filter_map(RoundReport::convergence_ticks)
+            .fold((0u64, 0u64), |(s, c), t| (s + t, c + 1));
+        if count == 0 {
+            f64::NAN
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+/// Drives `scenario` against `engine` for `cfg.rounds` commits on one
+/// asynchronous event timeline, stabilising each commit with an epoch-
+/// stamped [`RepairNode`] wave, and returns the full transcript.
+///
+/// The engine is the topology/spanner authority; the simulator mirrors its
+/// link flips ([`AsyncNetwork::set_link`]) so floods run over the live
+/// adjacency.  The run is deterministic: scenario, engine and simulator all
+/// draw from seeded streams.
+pub fn run_repair_churn<S: ChurnScenario>(
+    engine: &mut RspanEngine,
+    scenario: &mut S,
+    cfg: &AsyncChurnConfig,
+) -> AsyncChurnRun {
+    assert!(cfg.churn_interval >= 1, "churn interval must be >= 1 tick");
+    assert!(
+        (0.0..=1.0).contains(&cfg.crash_prob),
+        "crash probability out of [0, 1]"
+    );
+    let radius = engine.dirty_radius();
+    let n = engine.graph().n();
+    let mut sim: AsyncNetwork<RepairNode> =
+        AsyncNetwork::from_adjacency(engine.graph(), cfg.sim.clone(), |_| RepairNode::new(radius));
+    // Crash draws come from their own stream so enabling crashes does not
+    // perturb the loss/latency draw sequence of the link model.
+    let mut crash_rng = SmallRng::seed_from_u64(cfg.sim.seed ^ 0xCAFE_F00D_u64);
+    let mut rounds: Vec<RoundReport> = Vec::with_capacity(cfg.rounds);
+    let mut dirty_total = 0usize;
+
+    for round in 0..cfg.rounds {
+        let at = round as VTime * cfg.churn_interval;
+        // Drain the window belonging to the previous round; whatever is
+        // still queued past `at` keeps flying across the boundary.  A round
+        // converged iff no *protocol* event (delivery or timer) is pending
+        // at the boundary — an externally scheduled recover event further
+        // out does not count as in-flight stabilisation traffic.
+        sim.run_until(at);
+        if let Some(prev) = rounds.last_mut() {
+            prev.quiesced_at = (sim.protocol_pending() == 0).then(|| sim.now());
+        }
+
+        // Crash/recover: scheduled and immediately processed, so a dirty
+        // node crashed at the churn instant misses its origination and
+        // re-floods on recovery instead.
+        let mut crashed = None;
+        if cfg.crash_prob > 0.0 && crash_rng.gen_range(0.0..1.0) < cfg.crash_prob {
+            let v = crash_rng.gen_range(0..n as u64) as Node;
+            if sim.is_alive(v) {
+                sim.schedule_crash(at, v);
+                sim.schedule_recover(at + cfg.downtime, v);
+                sim.run_until(at); // take the crash into effect now
+                crashed = Some(v);
+            }
+        }
+        sim.advance_to(at);
+
+        // Commit the round's churn and mirror it onto the live adjacency.
+        let batch = scenario.next_batch(engine.graph());
+        let delta = engine.commit(&batch);
+        for change in &batch {
+            match *change {
+                TopologyChange::AddEdge(u, v) => sim.set_link(u, v, true),
+                TopologyChange::RemoveEdge(u, v) => sim.set_link(u, v, false),
+            }
+        }
+        // Arm this commit's wave; alive dirty nodes originate now, crashed
+        // ones on recovery.
+        dirty_total += delta.recomputed.len();
+        for &d in &delta.recomputed {
+            let tree = engine.tree_edges(d).to_vec();
+            if sim.is_alive(d) {
+                sim.inject(d, |node, net| {
+                    node.begin_wave(delta.epoch, Some(tree));
+                    node.originate(net);
+                });
+            } else {
+                sim.node_mut(d).begin_wave(delta.epoch, Some(tree));
+            }
+        }
+        rounds.push(RoundReport {
+            round,
+            at,
+            batch_len: batch.len(),
+            dirty: delta.recomputed.len(),
+            spanner_flips: delta.added.len() + delta.removed.len(),
+            crashed,
+            quiesced_at: None,
+        });
+    }
+
+    // The final round is held to the same window rule as every other round
+    // (quiescent by the next would-be churn instant); the unbounded drain
+    // afterwards only completes the accounting.
+    sim.run_until(cfg.rounds as VTime * cfg.churn_interval);
+    if let Some(last) = rounds.last_mut() {
+        last.quiesced_at = (sim.protocol_pending() == 0).then(|| sim.now());
+    }
+    let drained = sim.run_to_quiescence(cfg.max_events);
+    AsyncChurnRun {
+        rounds,
+        final_time: sim.now(),
+        dirty_total,
+        drained,
+        stats: sim.into_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LatencyModel;
+    use rspan_domtree::TreeAlgo;
+    use rspan_engine::LinkFlapScenario;
+    use rspan_graph::generators::udg::uniform_udg;
+
+    fn small_engine(seed: u64) -> (RspanEngine, LinkFlapScenario) {
+        let inst = uniform_udg(80, 5.0, 1.0, seed);
+        let scenario = LinkFlapScenario::new(&inst.graph, 2.0, seed + 4);
+        let engine = RspanEngine::new(inst.graph, TreeAlgo::KGreedy { k: 2 });
+        (engine, scenario)
+    }
+
+    #[test]
+    fn zero_loss_churn_converges_every_round() {
+        let (mut engine, mut scenario) = small_engine(31);
+        let cfg = AsyncChurnConfig {
+            churn_interval: 16, // comfortably above radius + 1
+            rounds: 10,
+            ..AsyncChurnConfig::default()
+        };
+        let run = run_repair_churn(&mut engine, &mut scenario, &cfg);
+        assert!(run.drained);
+        assert_eq!(run.rounds.len(), 10);
+        assert_eq!(run.converged_rounds(), 10);
+        assert!(run.mean_convergence_ticks() <= 16.0);
+        assert_eq!(run.stats.dropped_loss, 0);
+        assert!(run.stats.delivered > 0);
+        assert!(run.dirty_total > 0);
+    }
+
+    #[test]
+    fn loss_costs_retransmissions_and_can_defer_convergence() {
+        let (mut engine, mut scenario) = small_engine(32);
+        let cfg = AsyncChurnConfig {
+            sim: AsimConfig {
+                loss: 0.4,
+                max_retries: 2,
+                ..AsimConfig::default()
+            },
+            churn_interval: 8,
+            rounds: 8,
+            ..AsyncChurnConfig::default()
+        };
+        let run = run_repair_churn(&mut engine, &mut scenario, &cfg);
+        assert!(run.drained);
+        assert!(run.stats.dropped_loss > 0, "40% loss must drop something");
+        assert!(
+            run.stats.transmissions > run.stats.logical_messages(),
+            "retries must inflate the attempt count"
+        );
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let run_once = || {
+            let (mut engine, mut scenario) = small_engine(33);
+            let cfg = AsyncChurnConfig {
+                sim: AsimConfig {
+                    latency: LatencyModel::HeavyTailed {
+                        min: 1,
+                        alpha: 1.5,
+                        cap: 16,
+                    },
+                    loss: 0.2,
+                    max_retries: 1,
+                    seed: 99,
+                    ..AsimConfig::default()
+                },
+                crash_prob: 0.5,
+                rounds: 6,
+                ..AsyncChurnConfig::default()
+            };
+            let run = run_repair_churn(&mut engine, &mut scenario, &cfg);
+            (
+                run.stats.clone(),
+                run.final_time,
+                run.rounds
+                    .iter()
+                    .map(|r| (r.batch_len, r.dirty, r.crashed, r.quiesced_at))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

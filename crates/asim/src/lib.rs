@@ -1,0 +1,69 @@
+//! # rspan-asim — the asynchronous execution layer
+//!
+//! The paper specifies its distributed construction in synchronized rounds,
+//! and [`rspan_distributed::SyncNetwork`] executes exactly that model.  Real
+//! OLSR-style wireless networks are asynchronous: frames are delayed by
+//! contention, reordered, lost, and nodes crash and recover.  This crate is
+//! a **deterministic discrete-event simulator** for that regime, running the
+//! *same* [`ProtocolNode`] state machines the synchronous simulator runs —
+//! the round scheduler and the event scheduler are two scheduling policies
+//! over one protocol implementation.
+//!
+//! * [`sim`] — the event core: a binary-heap queue over a virtual clock,
+//!   with crash/recover, delivery and timer events totally ordered by
+//!   `(time, class, seq)`; per-node message and byte accounting; an optional
+//!   replay trace.
+//! * [`model`] — link models: constant / uniform / heavy-tailed latency,
+//!   Bernoulli loss with bounded link-layer retransmission.
+//! * [`churn`] — engine-driven topology churn on the same timeline:
+//!   [`rspan_engine::RspanEngine`] commits, epoch-stamped §2.3 repair waves,
+//!   crash/recovery interleaving, per-round convergence accounting.
+//!
+//! ## Determinism
+//!
+//! Same seed + same config ⇒ identical event trace (property-tested): all
+//! tie-breaks are explicit (`(time, class, seq)`), all randomness flows from
+//! seeded [`rand::rngs::SmallRng`] streams, and node state machines are
+//! deterministic functions of their callback sequence.  With unit latency
+//! and zero loss the event schedule *is* the synchronous round schedule:
+//! the equivalence is pinned bit-for-bit against [`SyncNetwork`] in
+//! `tests/proptest_asim.rs`.
+//!
+//! [`SyncNetwork`]: rspan_distributed::SyncNetwork
+//! [`ProtocolNode`]: rspan_distributed::ProtocolNode
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod model;
+pub mod sim;
+
+pub use churn::{run_repair_churn, AsyncChurnConfig, AsyncChurnRun, RoundReport};
+pub use model::{AsimConfig, LatencyModel, VTime};
+pub use sim::{AsimStats, AsyncNetwork, TraceEvent};
+
+use rspan_distributed::{RemSpanNode, TreeStrategy};
+use rspan_graph::CsrGraph;
+
+/// Runs the full RemSpan protocol ([`RemSpanNode`]) on the event scheduler
+/// until quiescence: the asynchronous counterpart of
+/// [`rspan_distributed::run_remspan_protocol`].
+///
+/// Under loss or latency spread a node's collection deadline can fire before
+/// its whole `R`-ball reported, so the computed trees may degrade — that
+/// degradation (and its message cost) is what the returned network's states
+/// and [`AsimStats`] measure.
+pub fn run_remspan_protocol_async(
+    graph: &CsrGraph,
+    strategy: TreeStrategy,
+    cfg: AsimConfig,
+    max_events: u64,
+) -> AsyncNetwork<RemSpanNode> {
+    let mut net = AsyncNetwork::from_adjacency(graph, cfg, |_| RemSpanNode::new(strategy));
+    net.start();
+    assert!(
+        net.run_to_quiescence(max_events),
+        "protocol did not quiesce within {max_events} events"
+    );
+    net
+}

@@ -1,0 +1,210 @@
+//! Link models and simulator configuration: latency distributions, Bernoulli
+//! loss with bounded retransmission, and the virtual clock's unit.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Virtual time, in abstract clock ticks.  One tick is the synchronous
+/// round length: a constant-latency-1, zero-loss simulation reproduces the
+/// [`rspan_distributed::SyncNetwork`] round schedule exactly.
+pub type VTime = u64;
+
+/// Per-transmission latency distribution of a link.
+///
+/// All models draw integer tick counts `≥ 1` (a message can never arrive at
+/// the instant it was sent — that would let effect precede cause at equal
+/// timestamps).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every transmission takes exactly this many ticks.
+    Constant(VTime),
+    /// Uniform over `lo..=hi` ticks.
+    Uniform {
+        /// Minimum latency (inclusive, ≥ 1).
+        lo: VTime,
+        /// Maximum latency (inclusive).
+        hi: VTime,
+    },
+    /// Discretised bounded Pareto: `min / U^{1/alpha}` rounded and clamped
+    /// to `[min, cap]`.  Small `alpha` (e.g. 1.0–1.5) gives the occasional
+    /// very slow delivery that wireless contention produces.
+    HeavyTailed {
+        /// Scale (and minimum) latency in ticks (≥ 1).
+        min: VTime,
+        /// Tail exponent (> 0; smaller = heavier tail).
+        alpha: f64,
+        /// Hard clamp so a single draw cannot stall the virtual clock.
+        cap: VTime,
+    },
+}
+
+impl LatencyModel {
+    /// Panics if the model parameters are degenerate.
+    pub fn validate(&self) {
+        match *self {
+            LatencyModel::Constant(c) => assert!(c >= 1, "latency must be >= 1 tick"),
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo >= 1, "latency must be >= 1 tick");
+                assert!(lo <= hi, "empty uniform latency range");
+            }
+            LatencyModel::HeavyTailed { min, alpha, cap } => {
+                assert!(min >= 1, "latency must be >= 1 tick");
+                assert!(min <= cap, "heavy-tail cap below its minimum");
+                assert!(alpha > 0.0, "tail exponent must be positive");
+            }
+        }
+    }
+
+    /// Draws one latency in ticks.
+    pub fn sample(&self, rng: &mut SmallRng) -> VTime {
+        match *self {
+            LatencyModel::Constant(c) => c,
+            LatencyModel::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            LatencyModel::HeavyTailed { min, alpha, cap } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let x = min as f64 / u.powf(1.0 / alpha);
+                (x.round() as VTime).clamp(min, cap)
+            }
+        }
+    }
+
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> String {
+        match *self {
+            LatencyModel::Constant(c) => format!("const_{c}"),
+            LatencyModel::Uniform { lo, hi } => format!("uniform_{lo}_{hi}"),
+            LatencyModel::HeavyTailed { min, alpha, cap } => {
+                format!("pareto_{min}_a{alpha:.1}_cap{cap}")
+            }
+        }
+    }
+}
+
+/// Configuration of one asynchronous simulation.
+///
+/// Determinism guarantee: the whole run — event order, loss draws, latency
+/// draws — is a pure function of the configuration, the initial topology,
+/// the node state machines, and the scheduled external events.  Same seed +
+/// same config ⇒ identical event trace (the replay property test pins this).
+#[derive(Clone, Debug)]
+pub struct AsimConfig {
+    /// Per-transmission latency model.
+    pub latency: LatencyModel,
+    /// Bernoulli per-transmission loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Link-layer retransmissions after a lost attempt (0 = no retries; a
+    /// message is dropped on the first loss).
+    pub max_retries: u32,
+    /// Ticks between retransmission attempts.
+    pub retry_timeout: VTime,
+    /// Seed of the simulator's RNG (loss and latency draws).
+    pub seed: u64,
+    /// Record a [`crate::sim::TraceEvent`] per processed event (costs
+    /// memory on long runs; enable for replay/debug).
+    pub record_trace: bool,
+}
+
+impl Default for AsimConfig {
+    fn default() -> Self {
+        AsimConfig {
+            latency: LatencyModel::Constant(1),
+            loss: 0.0,
+            max_retries: 0,
+            retry_timeout: 2,
+            seed: 0x5eed,
+            record_trace: false,
+        }
+    }
+}
+
+impl AsimConfig {
+    /// Panics if the configuration is degenerate.
+    pub fn validate(&self) {
+        self.latency.validate();
+        assert!(
+            (0.0..=1.0).contains(&self.loss),
+            "loss probability out of [0, 1]"
+        );
+        assert!(self.retry_timeout >= 1, "retry timeout must be >= 1 tick");
+    }
+
+    /// Synchronous-equivalent configuration: unit latency, no loss.  With
+    /// this config the event scheduler reproduces [`SyncNetwork`] rounds
+    /// exactly (property-tested).
+    ///
+    /// [`SyncNetwork`]: rspan_distributed::SyncNetwork
+    pub fn lockstep(seed: u64) -> Self {
+        AsimConfig {
+            seed,
+            ..AsimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for model in [
+            LatencyModel::Constant(3),
+            LatencyModel::Uniform { lo: 1, hi: 5 },
+            LatencyModel::HeavyTailed {
+                min: 1,
+                alpha: 1.2,
+                cap: 40,
+            },
+        ] {
+            model.validate();
+            let (lo, hi) = match model {
+                LatencyModel::Constant(c) => (c, c),
+                LatencyModel::Uniform { lo, hi } => (lo, hi),
+                LatencyModel::HeavyTailed { min, cap, .. } => (min, cap),
+            };
+            for _ in 0..2_000 {
+                let s = model.sample(&mut rng);
+                assert!((lo..=hi).contains(&s), "{model:?} drew {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_actually_spreads() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let model = LatencyModel::HeavyTailed {
+            min: 1,
+            alpha: 1.1,
+            cap: 64,
+        };
+        let draws: Vec<VTime> = (0..4_000).map(|_| model.sample(&mut rng)).collect();
+        let slow = draws.iter().filter(|&&d| d >= 8).count();
+        let fast = draws.iter().filter(|&&d| d == 1).count();
+        assert!(slow > 40, "tail too light: {slow}");
+        assert!(fast > 1_000, "body too thin: {fast}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be >= 1")]
+    fn zero_latency_rejected() {
+        LatencyModel::Constant(0).validate();
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(LatencyModel::Constant(1).label(), "const_1");
+        assert_eq!(
+            LatencyModel::Uniform { lo: 1, hi: 4 }.label(),
+            "uniform_1_4"
+        );
+        assert!(LatencyModel::HeavyTailed {
+            min: 1,
+            alpha: 1.5,
+            cap: 32
+        }
+        .label()
+        .starts_with("pareto_1"));
+    }
+}

@@ -1,7 +1,7 @@
-//! Perf trajectory baselines: `BENCH_remspan.json`, `BENCH_engine.json` and
-//! `BENCH_routing.json`.
+//! Perf trajectory baselines: `BENCH_remspan.json`, `BENCH_engine.json`,
+//! `BENCH_routing.json` and `BENCH_async.json`.
 //!
-//! Three workloads, selectable from the command line:
+//! Four workloads, selectable from the command line:
 //!
 //! * **remspan** — `rem_span` (k-greedy strategy, k = 2) on constant-density
 //!   uniform unit-disk graphs, in three configurations: `seed_alloc` (the
@@ -25,22 +25,46 @@
 //!   from-scratch `RoutingTables::build` on the same round — with the
 //!   repaired tables asserted **bit-identical** to the full rebuild every
 //!   round.
+//! * **async_churn** — the `rspan-asim` event simulator driving §2.3 repair
+//!   waves under three scenario families: a **loss sweep** (link-flap churn,
+//!   Bernoulli loss with bounded retransmission), a **latency sweep** (UDG
+//!   mobility churn under constant / uniform / heavy-tailed link latency)
+//!   and a **crash-recover** regime (join-leave churn plus node crashes).
+//!   Each row records convergence (rounds that quiesced before the next
+//!   commit, mean stabilisation ticks), delivered/dropped message and byte
+//!   counts, and wall-time per simulated event.
 //!
 //! Usage:
-//!   `perf_baseline [remspan|engine_churn|routing_churn|all] [--quick] [--json PATH]`
+//!   `perf_baseline [remspan|engine_churn|routing_churn|async_churn|all]
+//!                  [--quick] [--seed N] [--json PATH]`
 //!
 //! `--quick` runs a small smoke configuration (CI keeps the binaries from
-//! rotting); `--json` overrides the output path and is only valid with a
-//! single workload.  Default paths: `BENCH_remspan.json` /
-//! `BENCH_engine.json` / `BENCH_routing.json`.
+//! rotting); `--seed` makes every workload reproducible from the command
+//! line (default 3 — graphs draw from `seed`, churn scenarios from
+//! `seed + 4`, the event simulator from `seed + 9`; the defaults reproduce
+//! the recorded baselines exactly); `--json` overrides the output path and
+//! is only valid with a single workload.  Default paths:
+//! `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json` /
+//! `BENCH_async.json`.
 
+use rspan_asim::{run_repair_churn, AsimConfig, AsyncChurnConfig, LatencyModel};
 use rspan_bench::scaled_density_udg;
 use rspan_core::{rem_span, rem_span_algo, rem_span_algo_parallel};
 use rspan_distributed::{DeltaRouter, RoutingTables};
 use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
-use rspan_engine::{ChurnScenario, LinkFlapScenario, RspanEngine};
+use rspan_engine::{
+    ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario, RspanEngine,
+};
+use rspan_graph::generators::udg::udg_with_density;
 use rspan_graph::CsrGraph;
 use std::time::Instant;
+
+/// Churn scenarios draw from an offset stream so `--seed N` varies graph and
+/// churn together while the default (3) reproduces the recorded baselines
+/// (graph seed 3, scenario seed 7).
+const SCENARIO_SEED_OFFSET: u64 = 4;
+/// The event simulator's loss/latency stream offset.
+const SIM_SEED_OFFSET: u64 = 9;
 
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.total_cmp(b));
@@ -93,7 +117,7 @@ fn write_json(out_path: &str, bench: &str, unit: &str, rows: &[String]) {
     println!("wrote {out_path}");
 }
 
-fn remspan_workload(quick: bool, out_path: &str) {
+fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
     let algo = TreeAlgo::KGreedy { k: 2 };
     let sizes: &[(usize, usize)] = if quick {
         &[(300, 3)]
@@ -102,7 +126,7 @@ fn remspan_workload(quick: bool, out_path: &str) {
     };
     let mut rows = Vec::new();
     for &(n, reps) in sizes {
-        let w = scaled_density_udg(n, 12.0, 3);
+        let w = scaled_density_udg(n, 12.0, seed);
         let g: &CsrGraph = &w.graph;
 
         let ((seed_ns, seed_edges), (pooled_ns, pooled_edges), (par_ns, _)) = interleaved_medians(
@@ -150,7 +174,7 @@ fn remspan_workload(quick: bool, out_path: &str) {
     write_json(out_path, "rem_span", "ns_per_node_median", &rows);
 }
 
-fn engine_churn_workload(quick: bool, out_path: &str) {
+fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
     let algo = TreeAlgo::KGreedy { k: 2 };
     let sizes: &[(usize, usize)] = if quick {
         &[(300, 6)]
@@ -159,11 +183,11 @@ fn engine_churn_workload(quick: bool, out_path: &str) {
     };
     let mut rows = Vec::new();
     for &(n, rounds) in sizes {
-        let w = scaled_density_udg(n, 12.0, 3);
+        let w = scaled_density_udg(n, 12.0, seed);
         // ~1% of the nodes experience a link event per round: each flip
         // touches two endpoints, so flip n/200 links on average.
         let mean_flaps = (n as f64 / 200.0).max(1.0);
-        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, 7);
+        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, seed + SCENARIO_SEED_OFFSET);
         let mut engine = RspanEngine::new(w.graph.clone(), algo);
 
         let mut inc_ns = Vec::with_capacity(rounds);
@@ -225,7 +249,7 @@ fn engine_churn_workload(quick: bool, out_path: &str) {
     write_json(out_path, "engine_churn", "ns_per_commit_median", &rows);
 }
 
-fn routing_churn_workload(quick: bool, out_path: &str) {
+fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
     let algo = TreeAlgo::KGreedy { k: 2 };
     let sizes: &[(usize, usize)] = if quick {
         &[(400, 4)]
@@ -234,11 +258,11 @@ fn routing_churn_workload(quick: bool, out_path: &str) {
     };
     let mut rows = Vec::new();
     for &(n, rounds) in sizes {
-        let w = scaled_density_udg(n, 12.0, 3);
+        let w = scaled_density_udg(n, 12.0, seed);
         // Same churn regime as engine_churn: ~1% of the nodes see a link
         // event per round.
         let mean_flaps = (n as f64 / 200.0).max(1.0);
-        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, 7);
+        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, seed + SCENARIO_SEED_OFFSET);
         // Three engines absorb the same batches: sequential commit (timed),
         // auto-threaded parallel commit (timed), and a forced multi-thread
         // commit that cross-checks the sharded rebuild even on single-core
@@ -337,17 +361,182 @@ fn routing_churn_workload(quick: bool, out_path: &str) {
     write_json(out_path, "routing_churn", "ns_per_round_median", &rows);
 }
 
+/// One async-simulation configuration: runs the scenario to completion on a
+/// fresh engine and renders its JSON row.
+#[allow(clippy::too_many_arguments)]
+fn async_row<S: ChurnScenario>(
+    family: &str,
+    graph: &CsrGraph,
+    mut scenario: S,
+    algo: TreeAlgo,
+    cfg: &AsyncChurnConfig,
+) -> String {
+    let mut engine = RspanEngine::new(graph.clone(), algo);
+    let start = Instant::now();
+    let run = run_repair_churn(&mut engine, &mut scenario, cfg);
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    assert!(run.drained, "async run exhausted its event budget");
+    let s = &run.stats;
+    let dropped = s.dropped_loss + s.dropped_down + s.dropped_no_link;
+    let events = s.events.max(1);
+    let convergence = run.mean_convergence_ticks();
+    let row = format!(
+        concat!(
+            "    {{\"family\": \"{}\", \"scenario\": \"{}\", \"n\": {}, \"m\": {}, ",
+            "\"rounds\": {}, \"churn_interval\": {}, \"latency\": \"{}\", ",
+            "\"loss\": {:.2}, \"max_retries\": {}, \"crash_prob\": {:.2}, ",
+            "\"dirty_total\": {}, \"converged_rounds\": {}, ",
+            "\"mean_convergence_ticks\": {:.2}, \"final_virtual_time\": {}, ",
+            "\"delivered\": {}, \"dropped\": {}, \"dropped_loss\": {}, ",
+            "\"dropped_down\": {}, \"transmissions\": {}, \"bytes_delivered\": {}, ",
+            "\"events\": {}, \"wall_ns_per_event\": {:.0}}}"
+        ),
+        family,
+        scenario.label(),
+        graph.n(),
+        graph.m(),
+        cfg.rounds,
+        cfg.churn_interval,
+        cfg.sim.latency.label(),
+        cfg.sim.loss,
+        cfg.sim.max_retries,
+        cfg.crash_prob,
+        run.dirty_total,
+        run.converged_rounds(),
+        if convergence.is_nan() {
+            -1.0
+        } else {
+            convergence
+        },
+        run.final_time,
+        s.delivered,
+        dropped,
+        s.dropped_loss,
+        s.dropped_down,
+        s.transmissions,
+        s.bytes_delivered,
+        s.events,
+        wall_ns / events as f64,
+    );
+    println!(
+        "{family:>8}  {:<20} loss {:.2} crash {:.2}  conv {:>2}/{:<2} ({:>5.1} ticks)  \
+         delivered {:>8}  dropped {:>6}  {:>6.0} ns/event",
+        cfg.sim.latency.label(),
+        cfg.sim.loss,
+        cfg.crash_prob,
+        run.converged_rounds(),
+        cfg.rounds,
+        convergence,
+        s.delivered,
+        dropped,
+        wall_ns / events as f64,
+    );
+    row
+}
+
+fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
+    let algo = TreeAlgo::KGreedy { k: 2 };
+    let (n, rounds) = if quick { (300, 6) } else { (1500, 30) };
+    let inst = udg_with_density(n, 12.0, seed);
+    let scenario_seed = seed + SCENARIO_SEED_OFFSET;
+    let sim_seed = seed + SIM_SEED_OFFSET;
+    // Same churn regime as the other workloads: ~1% of the nodes see a link
+    // event per round.
+    let mean_flaps = (n as f64 / 200.0).max(1.0);
+    let base = AsyncChurnConfig {
+        sim: AsimConfig {
+            seed: sim_seed,
+            ..AsimConfig::default()
+        },
+        churn_interval: 16,
+        rounds,
+        ..AsyncChurnConfig::default()
+    };
+    let mut rows = Vec::new();
+
+    // Family 1 — loss sweep: link-flap churn, constant latency, bounded
+    // link-layer retransmission.
+    for &loss in &[0.0, 0.05, 0.2] {
+        let cfg = AsyncChurnConfig {
+            sim: AsimConfig {
+                loss,
+                max_retries: 2,
+                retry_timeout: 2,
+                ..base.sim.clone()
+            },
+            ..base.clone()
+        };
+        rows.push(async_row(
+            "loss",
+            &inst.graph,
+            LinkFlapScenario::new(&inst.graph, mean_flaps, scenario_seed),
+            algo,
+            &cfg,
+        ));
+    }
+
+    // Family 2 — latency sweep: mobility churn, zero loss, spreading link
+    // delays from lock-step to heavy-tailed.
+    let movers = (n / 100).max(1);
+    for latency in [
+        LatencyModel::Constant(1),
+        LatencyModel::Uniform { lo: 1, hi: 4 },
+        LatencyModel::HeavyTailed {
+            min: 1,
+            alpha: 1.5,
+            cap: 32,
+        },
+    ] {
+        let cfg = AsyncChurnConfig {
+            sim: AsimConfig {
+                latency,
+                ..base.sim.clone()
+            },
+            ..base.clone()
+        };
+        rows.push(async_row(
+            "latency",
+            &inst.graph,
+            MobilityScenario::from_udg(&inst, movers, inst.radius * 0.25, scenario_seed),
+            algo,
+            &cfg,
+        ));
+    }
+
+    // Family 3 — crash-recover: join-leave churn plus random node crashes
+    // with recovery re-floods.
+    let toggles = (n / 200).max(1);
+    for &crash_prob in &[0.3, 0.7] {
+        let cfg = AsyncChurnConfig {
+            crash_prob,
+            downtime: 24,
+            ..base.clone()
+        };
+        rows.push(async_row(
+            "crash",
+            &inst.graph,
+            JoinLeaveScenario::new(inst.graph.clone(), toggles, scenario_seed),
+            algo,
+            &cfg,
+        ));
+    }
+
+    write_json(out_path, "async_churn", "per_run_totals", &rows);
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Workload {
     Remspan,
     EngineChurn,
     RoutingChurn,
+    AsyncChurn,
     All,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf_baseline [remspan|engine_churn|routing_churn|all] [--quick] [--json PATH]"
+        "usage: perf_baseline [remspan|engine_churn|routing_churn|async_churn|all] \
+         [--quick] [--seed N] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -355,6 +544,7 @@ fn usage() -> ! {
 fn main() {
     let mut workload = Workload::All;
     let mut quick = false;
+    let mut seed = 3u64;
     let mut json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -362,30 +552,43 @@ fn main() {
             "remspan" => workload = Workload::Remspan,
             "engine_churn" => workload = Workload::EngineChurn,
             "routing_churn" => workload = Workload::RoutingChurn,
+            "async_churn" => workload = Workload::AsyncChurn,
             "all" => workload = Workload::All,
             "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     if json.is_some() && workload == Workload::All {
-        eprintln!("--json requires a single workload (remspan, engine_churn or routing_churn)");
+        eprintln!(
+            "--json requires a single workload (remspan, engine_churn, routing_churn or async_churn)"
+        );
         std::process::exit(2);
     }
     match workload {
         Workload::Remspan => {
-            remspan_workload(quick, json.as_deref().unwrap_or("BENCH_remspan.json"))
+            remspan_workload(quick, seed, json.as_deref().unwrap_or("BENCH_remspan.json"))
         }
         Workload::EngineChurn => {
-            engine_churn_workload(quick, json.as_deref().unwrap_or("BENCH_engine.json"))
+            engine_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_engine.json"))
         }
         Workload::RoutingChurn => {
-            routing_churn_workload(quick, json.as_deref().unwrap_or("BENCH_routing.json"))
+            routing_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_routing.json"))
+        }
+        Workload::AsyncChurn => {
+            async_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_async.json"))
         }
         Workload::All => {
-            remspan_workload(quick, "BENCH_remspan.json");
-            engine_churn_workload(quick, "BENCH_engine.json");
-            routing_churn_workload(quick, "BENCH_routing.json");
+            remspan_workload(quick, seed, "BENCH_remspan.json");
+            engine_churn_workload(quick, seed, "BENCH_engine.json");
+            routing_churn_workload(quick, seed, "BENCH_routing.json");
+            async_churn_workload(quick, seed, "BENCH_async.json");
         }
     }
 }

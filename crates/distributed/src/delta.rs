@@ -49,11 +49,19 @@
 //! set equals the truly-affected set.  Multiple flips per commit compose:
 //! the in-place support maintenance keeps a skipped row's entries exact
 //! after each flip, so evaluating the next flip against it stays sound, and
-//! a marked row is rebuilt once from the final state.  Repair cost is
-//! `O(flips · n)` column reads plus one sweep per affected row — and each
-//! repair sweep runs over the router's own **sparse spanner adjacency**
-//! (sorted per-node spanner neighbor lists maintained from the deltas),
-//! touching `O(m_{H_u})` edges instead of filtering all of `G`'s like the
+//! a marked row is rebuilt once from the final state.
+//!
+//! The flip scan is **batched row-major**: all of a commit's flips (adds
+//! first, then removals, in delta order) are evaluated row by row in a
+//! single pass over the table, so each row's column entries are pulled
+//! through the cache once per commit instead of once per flip, and a row
+//! stops at its first marking flip.  Because rows are independent and the
+//! per-row flip order is preserved, the batched pass marks exactly the rows
+//! the one-scan-per-flip order would (the in-place support updates only ever
+//! feed later flips of the *same* row).  On top of the scan, each repair
+//! sweep runs over the router's own **sparse spanner adjacency** (sorted
+//! per-node spanner neighbor lists maintained from the deltas), touching
+//! `O(m_{H_u})` edges instead of filtering all of `G`'s like the
 //! from-scratch build does.  The canonical entries are iteration-order
 //! independent, so the sparse sweep still lands bit-identical.
 
@@ -172,6 +180,9 @@ pub struct DeltaRouter {
     src_adj: EpochFlags,
     affected: EpochFlags,
     affected_rows: Vec<Node>,
+    /// The commit's spanner flips flattened for the batched row-major scan:
+    /// `(x, y, is_add)`, adds first, both groups in delta order.
+    flips: Vec<(Node, Node, bool)>,
 }
 
 impl DeltaRouter {
@@ -203,6 +214,7 @@ impl DeltaRouter {
             src_adj: EpochFlags::new(),
             affected: EpochFlags::new(),
             affected_rows: Vec::new(),
+            flips: Vec::new(),
         };
         for u in 0..n as Node {
             router.fill(engine, u);
@@ -295,64 +307,66 @@ impl DeltaRouter {
             self.mark(a);
             self.mark(b);
         }
-        // Spanner flips: O(1) column reads per row decide who recomputes —
-        // exactly (see the module docs), with the in-place support updates
-        // keeping skipped rows correct for the next flip.
-        for &(x, y) in &delta.added {
+        // Spanner flips: O(1) column reads per (row, flip) decide who
+        // recomputes — exactly (see the module docs), with the in-place
+        // support updates keeping skipped rows correct for the next flip of
+        // the same row.  The scan is batched row-major: one pass over the
+        // table evaluates every flip against a row while its entries are
+        // cache-resident, stopping at the first marking flip, instead of
+        // one full table pass per flip.
+        self.flips.clear();
+        self.flips
+            .extend(delta.added.iter().map(|&(x, y)| (x, y, true)));
+        self.flips
+            .extend(delta.removed.iter().map(|&(x, y)| (x, y, false)));
+        if !self.flips.is_empty() {
             for u in 0..n as Node {
-                if self.affected.test(u) || u == x || u == y {
+                if self.affected.test(u) {
                     continue;
                 }
                 let row = u as usize * n;
-                let dx = self.tables.dist[row + x as usize];
-                let dy = self.tables.dist[row + y as usize];
-                if dx == dy {
-                    continue;
-                }
-                let (lo, hi) = if dx < dy { (x, y) } else { (y, x) };
-                let (dlo, dhi) = if dx < dy { (dx, dy) } else { (dy, dx) };
-                if dhi != UNREACH && dhi - dlo == 1 {
-                    let hop_lo = self.tables.next[row + lo as usize];
-                    let hop_hi = self.tables.next[row + hi as usize];
-                    if hop_lo > hop_hi {
-                        continue; // hi's canonical hop already beats lo's
-                    }
-                    if hop_lo == hop_hi {
-                        // One more predecessor realises the same hop.
-                        self.support[row + hi as usize] += 1;
+                for fi in 0..self.flips.len() {
+                    let (x, y, is_add) = self.flips[fi];
+                    if u == x || u == y {
                         continue;
                     }
+                    let dx = self.tables.dist[row + x as usize];
+                    let dy = self.tables.dist[row + y as usize];
+                    if dx == dy {
+                        continue;
+                    }
+                    let (lo, hi) = if dx < dy { (x, y) } else { (y, x) };
+                    let hop_lo = self.tables.next[row + lo as usize];
+                    let hop_hi = self.tables.next[row + hi as usize];
+                    if is_add {
+                        let (dlo, dhi) = if dx < dy { (dx, dy) } else { (dy, dx) };
+                        if dhi != UNREACH && dhi - dlo == 1 {
+                            if hop_lo > hop_hi {
+                                continue; // hi's canonical hop already beats lo's
+                            }
+                            if hop_lo == hop_hi {
+                                // One more predecessor realises the same hop.
+                                self.support[row + hi as usize] += 1;
+                                continue;
+                            }
+                        }
+                    } else {
+                        if hop_lo > hop_hi {
+                            continue; // lo never realised hi's canonical hop
+                        }
+                        debug_assert_eq!(
+                            hop_lo, hop_hi,
+                            "a predecessor's hop can never beat its successor's"
+                        );
+                        let support = &mut self.support[row + hi as usize];
+                        if *support >= 2 {
+                            *support -= 1; // another predecessor keeps hop and distance
+                            continue;
+                        }
+                    }
+                    self.mark(u);
+                    break; // later flips cannot unmark; the row rebuilds once
                 }
-                self.mark(u);
-            }
-        }
-        for &(x, y) in &delta.removed {
-            for u in 0..n as Node {
-                if self.affected.test(u) || u == x || u == y {
-                    continue;
-                }
-                let row = u as usize * n;
-                let dx = self.tables.dist[row + x as usize];
-                let dy = self.tables.dist[row + y as usize];
-                if dx == dy {
-                    continue;
-                }
-                let (lo, hi) = if dx < dy { (x, y) } else { (y, x) };
-                let hop_lo = self.tables.next[row + lo as usize];
-                let hop_hi = self.tables.next[row + hi as usize];
-                if hop_lo > hop_hi {
-                    continue; // lo never realised hi's canonical hop
-                }
-                debug_assert_eq!(
-                    hop_lo, hop_hi,
-                    "a predecessor's hop can never beat its successor's"
-                );
-                let support = &mut self.support[row + hi as usize];
-                if *support >= 2 {
-                    *support -= 1; // another predecessor keeps hop and distance
-                    continue;
-                }
-                self.mark(u);
             }
         }
 

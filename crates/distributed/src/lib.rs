@@ -5,12 +5,17 @@
 //! and the spanner is the union of those independent decisions.  This crate
 //! makes that executable:
 //!
+//! * [`transport`] — the scheduler-agnostic protocol substrate: per-node
+//!   [`transport::ProtocolNode`] state machines talking to a
+//!   [`transport::Transport`], shared between the synchronous round
+//!   scheduler here and the asynchronous event scheduler in `rspan-asim`,
 //! * [`sim`] — a synchronous message-passing simulator with round and
 //!   transmission accounting (the substitute for a real ad-hoc radio network,
-//!   see DESIGN.md),
+//!   see DESIGN.md) — one scheduling policy over the shared node machines,
 //! * [`protocol`] — the `RemSpan_{r,β}` protocol of Algorithm 3 as a per-node
 //!   state machine (hello, link-state flooding, local tree computation, tree
-//!   advertisement), finishing in `2r − 1 + 2β` rounds,
+//!   advertisement), finishing in `2r − 1 + 2β` rounds, plus the §2.3
+//!   [`protocol::RepairNode`] stabilisation floods,
 //! * [`routing`] — greedy link-state routing on the augmented views `H_u`,
 //!   the application the paper's introduction motivates, and [`tables`] —
 //!   the precomputed next-hop tables a real router would use,
@@ -30,6 +35,7 @@ pub mod protocol;
 pub mod routing;
 pub mod sim;
 pub mod tables;
+pub mod transport;
 
 pub use delta::{DeltaRouter, RepairStats};
 pub use dynamics::{
@@ -37,10 +43,13 @@ pub use dynamics::{
 };
 pub use protocol::{
     restabilise_flood, run_remspan_protocol, DistributedRun, IncrementalRun, RemSpanMsg,
-    RemSpanNode, TreeStrategy,
+    RemSpanNode, RepairMsg, RepairNode, TreeStrategy,
 };
 pub use routing::{
     greedy_route, greedy_route_with_scratch, measure_routing, RouteOutcome, RoutingReport,
 };
-pub use sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
+pub use sim::{NodeState, RunStats, SyncNetwork};
 pub use tables::{tables_are_consistent, RoutingTables};
+pub use transport::{
+    BufferedTransport, Envelope, Outgoing, PendingOps, ProtocolNode, Transport, WireSize,
+};

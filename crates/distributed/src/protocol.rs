@@ -1,27 +1,37 @@
 //! The `RemSpan_{r,β}` protocol (Algorithm 3) as a per-node state machine.
 //!
-//! Each node runs four operations, realised here as message rounds on the
-//! [`crate::sim::SyncNetwork`]:
+//! Each node runs four operations, realised here as message-driven
+//! [`ProtocolNode`] callbacks:
 //!
 //! 1. **Hello** — broadcast its identity, learn its neighbor list;
 //! 2. **Link-state flooding** — flood its neighbor list to every node within
 //!    `R = r − 1 + β` hops (TTL-limited flooding);
-//! 3. **Local tree computation** — from the collected neighbor lists, rebuild
-//!    the local view and run the chosen dominating-tree algorithm;
+//! 3. **Local tree computation** — `R` time units after the hello exchange
+//!    (a [`Transport::set_timer`] deadline), rebuild the local view from the
+//!    collected neighbor lists and run the chosen dominating-tree algorithm;
 //! 4. **Tree advertisement** — flood the computed tree within `R` hops so
 //!    every node learns which of its incident edges belong to the spanner.
 //!
-//! The protocol finishes in `2R + 1 = 2r − 1 + 2β` rounds, matching the
-//! paper's time bound, and the union of advertised trees is asserted (in the
-//! tests) to equal the centralized [`rspan_core::rem_span`] construction.
+//! The node logic is scheduler-agnostic: under the synchronous rounds of
+//! [`SyncNetwork::run_protocol`] the protocol finishes in `2R + 1 =
+//! 2r − 1 + 2β` rounds, matching the paper's time bound, and the union of
+//! advertised trees is asserted (in the tests) to equal the centralized
+//! [`rspan_core::rem_span`] construction.  The same state machines run
+//! unchanged on the `rspan-asim` event scheduler, where latency spread and
+//! packet loss make the timer fire against a *partial* view — exactly the
+//! degradation a real asynchronous deployment exhibits, now measurable.
 //!
 //! Under churn the full protocol never re-runs: [`restabilise_flood`] plays
 //! §2.3's stabilisation — after an [`rspan_engine::RspanEngine::commit`],
 //! only the recomputed nodes re-flood (their link state and new trees, to
 //! distance `R`), over the engine's live topology, so per-change message
-//! cost is proportional to the dirty balls rather than to `n`.
+//! cost is proportional to the dirty balls rather than to `n`.  The
+//! [`RepairNode`] state machine is epoch-stamped ([`RepairMsg`]) so that
+//! successive stabilisation waves stay distinguishable when they interleave
+//! on one asynchronous event timeline.
 
-use crate::sim::{Envelope, NodeState, Outgoing, RunStats, SyncNetwork};
+use crate::sim::{RunStats, SyncNetwork};
+use crate::transport::{Outgoing, ProtocolNode, Transport, WireSize};
 use rspan_domtree::{DomScratch, DominatingTree, TreeAlgo};
 use rspan_engine::{RspanEngine, SpannerDelta};
 use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
@@ -104,6 +114,21 @@ pub enum RemSpanMsg {
     TreeAdvert(Node, Vec<(Node, Node)>, u32),
 }
 
+impl WireSize for RemSpanMsg {
+    fn wire_bytes(&self) -> u64 {
+        // 4-byte node ids, 4-byte ttl, 4-byte tag.
+        match self {
+            RemSpanMsg::Hello(_) => 8,
+            RemSpanMsg::LinkState(_, list, _) => 12 + 4 * list.len() as u64,
+            RemSpanMsg::TreeAdvert(_, edges, _) => 12 + 8 * edges.len() as u64,
+        }
+    }
+}
+
+/// Timer token: the link-state collection deadline after which a node
+/// computes its dominating tree.
+const COMPUTE_TIMER: u32 = 0;
+
 /// Per-node state of the RemSpan protocol.
 pub struct RemSpanNode {
     strategy: TreeStrategy,
@@ -140,15 +165,25 @@ impl RemSpanNode {
     }
 
     /// Tree edges this node computed for itself (empty before the computation
-    /// round).
+    /// deadline).
     pub fn tree_edges(&self) -> &[(Node, Node)] {
         &self.computed_tree_edges
+    }
+
+    /// Whether the computation deadline has passed for this node.
+    pub fn has_computed(&self) -> bool {
+        self.computed
     }
 
     /// Spanner edges incident to this node that it learned from tree
     /// advertisements (including its own tree's edges).
     pub fn incident_spanner_edges(&self) -> &HashSet<(Node, Node)> {
         &self.incident_spanner_edges
+    }
+
+    /// Link-state origins collected so far (including this node itself).
+    pub fn link_state_count(&self) -> usize {
+        self.link_state.len()
     }
 
     /// Reconstructs the local view graph from the collected link state and
@@ -196,102 +231,96 @@ fn ordered(a: Node, b: Node) -> (Node, Node) {
     }
 }
 
-impl NodeState for RemSpanNode {
+impl ProtocolNode for RemSpanNode {
     type Msg = RemSpanMsg;
 
-    fn on_start(&mut self, me: Node, neighbors: &[Node]) -> Vec<Outgoing<Self::Msg>> {
-        if neighbors.is_empty() {
+    fn on_start(&mut self, net: &mut dyn Transport<RemSpanMsg>) {
+        if net.neighbors().is_empty() {
             // An isolated node has nothing to dominate and nobody to talk to.
             self.computed = true;
             self.done = true;
-            return Vec::new();
+            return;
         }
-        vec![Outgoing::Broadcast(RemSpanMsg::Hello(me))]
+        net.send(Outgoing::Broadcast(RemSpanMsg::Hello(net.me())));
     }
 
-    fn on_round(
-        &mut self,
-        me: Node,
-        neighbors: &[Node],
-        round: u32,
-        inbox: &[Envelope<Self::Msg>],
-    ) -> Vec<Outgoing<Self::Msg>> {
+    fn on_message(&mut self, net: &mut dyn Transport<RemSpanMsg>, from: Node, msg: &RemSpanMsg) {
+        let me = net.me();
         let radius = self.strategy.knowledge_radius();
-        let mut out = Vec::new();
-        let mut heard_hello = false;
-        for env in inbox {
-            match &env.payload {
-                RemSpanMsg::Hello(origin) => {
-                    heard_hello = true;
-                    debug_assert_eq!(*origin, env.from);
+        match msg {
+            RemSpanMsg::Hello(origin) => {
+                debug_assert_eq!(*origin, from);
+                if !self.my_neighbors.is_empty() {
+                    return; // only the first hello starts the flooding phase
                 }
-                RemSpanMsg::LinkState(origin, list, ttl) => {
-                    if self.seen_ls.insert(*origin) {
-                        self.link_state.insert(*origin, list.clone());
-                        if *ttl > 1 {
-                            out.push(Outgoing::Broadcast(RemSpanMsg::LinkState(
-                                *origin,
-                                list.clone(),
-                                ttl - 1,
-                            )));
-                        }
+                // The hello exchange just completed: record neighbors, start
+                // the link-state flooding of our own list, and arm the
+                // collection deadline `R` time units out.
+                self.my_neighbors = net.neighbors().to_vec();
+                self.link_state.insert(me, self.my_neighbors.clone());
+                self.seen_ls.insert(me);
+                if radius >= 1 {
+                    net.send(Outgoing::Broadcast(RemSpanMsg::LinkState(
+                        me,
+                        self.my_neighbors.clone(),
+                        radius,
+                    )));
+                    net.set_timer(u64::from(radius), COMPUTE_TIMER);
+                } else {
+                    // Degenerate radius 0: compute from the neighbor list alone.
+                    self.compute_tree(me);
+                    self.done = true;
+                }
+            }
+            RemSpanMsg::LinkState(origin, list, ttl) => {
+                if self.seen_ls.insert(*origin) {
+                    self.link_state.insert(*origin, list.clone());
+                    if *ttl > 1 {
+                        net.send(Outgoing::Broadcast(RemSpanMsg::LinkState(
+                            *origin,
+                            list.clone(),
+                            ttl - 1,
+                        )));
                     }
                 }
-                RemSpanMsg::TreeAdvert(origin, edges, ttl) => {
-                    if self.seen_tree.insert(*origin) {
-                        for &(a, b) in edges {
-                            if a == me || b == me {
-                                self.incident_spanner_edges.insert(ordered(a, b));
-                            }
+            }
+            RemSpanMsg::TreeAdvert(origin, edges, ttl) => {
+                if self.seen_tree.insert(*origin) {
+                    for &(a, b) in edges {
+                        if a == me || b == me {
+                            self.incident_spanner_edges.insert(ordered(a, b));
                         }
-                        if *ttl > 1 {
-                            out.push(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
-                                *origin,
-                                edges.clone(),
-                                ttl - 1,
-                            )));
-                        }
+                    }
+                    if *ttl > 1 {
+                        net.send(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
+                            *origin,
+                            edges.clone(),
+                            ttl - 1,
+                        )));
                     }
                 }
             }
         }
-        if heard_hello && self.my_neighbors.is_empty() {
-            // The hello round just completed: record neighbors and start the
-            // link-state flooding of our own list.
-            self.my_neighbors = neighbors.to_vec();
-            self.link_state.insert(me, self.my_neighbors.clone());
-            self.seen_ls.insert(me);
-            if radius >= 1 {
-                out.push(Outgoing::Broadcast(RemSpanMsg::LinkState(
-                    me,
-                    self.my_neighbors.clone(),
-                    radius,
-                )));
-            } else {
-                // Degenerate radius 0: compute from the neighbor list alone.
-                self.compute_tree(me);
-                self.done = true;
-            }
+    }
+
+    fn on_timer(&mut self, net: &mut dyn Transport<RemSpanMsg>, _token: u32) {
+        if self.computed {
+            return;
         }
-        // The synchronous schedule is deterministic: hellos arrive in round 0,
-        // and a link-state advertisement originated at distance `d` arrives in
-        // round `d`.  After processing round `radius`, every neighbor list
-        // within the knowledge radius has been collected, so the node computes
-        // its dominating tree and starts advertising it.
-        if !self.computed && !self.my_neighbors.is_empty() && round >= radius {
-            self.compute_tree(me);
-            if radius >= 1 && !self.computed_tree_edges.is_empty() {
-                out.push(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
-                    me,
-                    self.computed_tree_edges.clone(),
-                    radius,
-                )));
-            }
+        // The collection deadline: every neighbor list within the knowledge
+        // radius has arrived (always true under the synchronous schedule;
+        // best-effort under loss/latency), so compute the dominating tree
+        // and start advertising it.
+        let me = net.me();
+        self.compute_tree(me);
+        if !self.computed_tree_edges.is_empty() {
+            net.send(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
+                me,
+                self.computed_tree_edges.clone(),
+                self.strategy.knowledge_radius(),
+            )));
         }
-        if self.computed && out.is_empty() {
-            self.done = true;
-        }
-        out
+        self.done = true;
     }
 
     fn is_done(&self) -> bool {
@@ -314,7 +343,7 @@ pub struct DistributedRun<'g> {
 pub fn run_remspan_protocol(graph: &CsrGraph, strategy: TreeStrategy) -> DistributedRun<'_> {
     let net = SyncNetwork::new(graph);
     let max_rounds = strategy.expected_rounds() + 4;
-    let (states, stats) = net.run(|_u| RemSpanNode::new(strategy), max_rounds);
+    let (states, stats) = net.run_protocol(|_u| RemSpanNode::new(strategy), max_rounds);
     let mut edges = EdgeSet::empty(graph);
     for (u, st) in states.iter().enumerate() {
         for &(a, b) in st.tree_edges() {
@@ -335,6 +364,29 @@ pub fn run_remspan_protocol(graph: &CsrGraph, strategy: TreeStrategy) -> Distrib
     }
 }
 
+/// Messages of the §2.3 stabilisation floods.  Every wave is stamped with
+/// the engine epoch that produced it: under the synchronous one-shot
+/// [`restabilise_flood`] the stamp is constant, but on an asynchronous event
+/// timeline successive waves from the same origin interleave and the stamp
+/// keeps their duplicate suppression separate.
+#[derive(Clone, Debug)]
+pub enum RepairMsg {
+    /// Refreshed link state: `(epoch, origin, origin's neighbor list, ttl)`.
+    LinkState(u64, Node, Vec<Node>, u32),
+    /// New-tree advertisement: `(epoch, origin, tree edges, ttl)`.
+    TreeAdvert(u64, Node, Vec<(Node, Node)>, u32),
+}
+
+impl WireSize for RepairMsg {
+    fn wire_bytes(&self) -> u64 {
+        // RemSpanMsg layout plus the 8-byte epoch stamp.
+        match self {
+            RepairMsg::LinkState(_, _, list, _) => 20 + 4 * list.len() as u64,
+            RepairMsg::TreeAdvert(_, _, edges, _) => 20 + 8 * edges.len() as u64,
+        }
+    }
+}
+
 /// Per-node state of the *incremental* restabilisation flood (§2.3): after
 /// an engine commit, only the nodes whose dominating tree was recomputed
 /// re-flood — their current neighbor list and their new tree, both to
@@ -342,92 +394,169 @@ pub fn run_remspan_protocol(graph: &CsrGraph, strategy: TreeStrategy) -> Distrib
 /// refreshes its incident-spanner-edge knowledge.  This is the protocol-level
 /// counterpart of the engine's dirty ball: transmission cost is proportional
 /// to the dirty nodes' `R`-ball sizes, not to `n`.
-struct RepairNode {
+///
+/// A `RepairNode` is long-lived across commits: each commit arms one *wave*
+/// ([`RepairNode::begin_wave`]) that dirty nodes originate
+/// ([`RepairNode::originate`], or [`ProtocolNode::on_start`] for one-shot
+/// runs).  A dirty node that is crashed when its wave begins originates it
+/// on recovery instead ([`ProtocolNode::on_recover`]).
+pub struct RepairNode {
     radius: u32,
-    /// `Some(tree edges)` iff this node was recomputed by the commit.
+    /// Wave currently armed on this node.
+    epoch: u64,
+    /// `Some(tree edges)` iff this node was recomputed by the commit that
+    /// armed the current wave.
     dirty_tree: Option<Vec<(Node, Node)>>,
-    seen_ls: HashSet<Node>,
-    seen_tree: HashSet<Node>,
-    /// Dirty origins whose refreshed link state this node collected.
-    refreshed_link_state: HashSet<Node>,
+    /// Whether this node already originated the current wave.
+    originated: bool,
+    seen_ls: HashSet<(u64, Node)>,
+    seen_tree: HashSet<(u64, Node)>,
+    /// `(epoch, origin)` pairs whose refreshed link state this node collected.
+    refreshed_link_state: HashSet<(u64, Node)>,
     /// Spanner edges incident to this node learned from the re-adverts.
     incident_updates: HashSet<(Node, Node)>,
-    done: bool,
 }
 
-impl NodeState for RepairNode {
-    type Msg = RemSpanMsg;
+impl RepairNode {
+    /// Creates an idle repair node flooding to the given radius.
+    pub fn new(radius: u32) -> Self {
+        RepairNode {
+            radius,
+            epoch: 0,
+            dirty_tree: None,
+            originated: true, // nothing to originate until a wave is armed
+            seen_ls: HashSet::new(),
+            seen_tree: HashSet::new(),
+            refreshed_link_state: HashSet::new(),
+            incident_updates: HashSet::new(),
+        }
+    }
 
-    fn on_start(&mut self, me: Node, neighbors: &[Node]) -> Vec<Outgoing<Self::Msg>> {
+    /// Arms one stabilisation wave: `dirty_tree` is `Some(new tree edges)`
+    /// iff this node was recomputed by the commit stamped `epoch`.
+    pub fn begin_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
+        self.epoch = epoch;
+        self.originated = dirty_tree.is_none();
+        self.dirty_tree = dirty_tree;
+        // Keep the per-wave dedup state bounded on long-lived nodes: a wave
+        // more than two epochs stale has no frames in flight worth
+        // suppressing (and a straggler that slipped past the window is
+        // merely re-forwarded once, TTL-bounded), so its entries are dead
+        // weight.
+        let keep = epoch.saturating_sub(2);
+        self.seen_ls.retain(|&(e, _)| e >= keep);
+        self.seen_tree.retain(|&(e, _)| e >= keep);
+        self.refreshed_link_state.retain(|&(e, _)| e >= keep);
+    }
+
+    /// Originates the armed wave (no-op for clean nodes): records the node's
+    /// own refreshed state and floods its link state plus new tree to the
+    /// repair radius.
+    pub fn originate(&mut self, net: &mut dyn Transport<RepairMsg>) {
+        self.originated = true;
         let Some(tree) = self.dirty_tree.clone() else {
-            return Vec::new(); // clean nodes originate nothing
+            return; // clean nodes originate nothing
         };
-        self.seen_ls.insert(me);
-        self.seen_tree.insert(me);
-        self.refreshed_link_state.insert(me);
+        let me = net.me();
+        self.seen_ls.insert((self.epoch, me));
+        self.seen_tree.insert((self.epoch, me));
+        self.refreshed_link_state.insert((self.epoch, me));
         for &(a, b) in &tree {
             if a == me || b == me {
                 self.incident_updates.insert(ordered(a, b));
             }
         }
-        if self.radius == 0 || neighbors.is_empty() {
-            return Vec::new();
+        if self.radius == 0 || net.neighbors().is_empty() {
+            return;
         }
-        vec![
-            Outgoing::Broadcast(RemSpanMsg::LinkState(me, neighbors.to_vec(), self.radius)),
-            Outgoing::Broadcast(RemSpanMsg::TreeAdvert(me, tree, self.radius)),
-        ]
+        net.send(Outgoing::Broadcast(RepairMsg::LinkState(
+            self.epoch,
+            me,
+            net.neighbors().to_vec(),
+            self.radius,
+        )));
+        net.send(Outgoing::Broadcast(RepairMsg::TreeAdvert(
+            self.epoch,
+            me,
+            tree,
+            self.radius,
+        )));
     }
 
-    fn on_round(
-        &mut self,
-        me: Node,
-        _neighbors: &[Node],
-        _round: u32,
-        inbox: &[Envelope<Self::Msg>],
-    ) -> Vec<Outgoing<Self::Msg>> {
-        let mut out = Vec::new();
-        for env in inbox {
-            match &env.payload {
-                RemSpanMsg::Hello(_) => unreachable!("repair floods exchange no hellos"),
-                RemSpanMsg::LinkState(origin, list, ttl) => {
-                    if self.seen_ls.insert(*origin) {
-                        self.refreshed_link_state.insert(*origin);
-                        if *ttl > 1 {
-                            out.push(Outgoing::Broadcast(RemSpanMsg::LinkState(
-                                *origin,
-                                list.clone(),
-                                ttl - 1,
-                            )));
-                        }
+    /// How many `(epoch, origin)` refreshed link-state advertisements this
+    /// node collected in total (dirty nodes count themselves).
+    pub fn refreshed_link_state_count(&self) -> usize {
+        self.refreshed_link_state.len()
+    }
+
+    /// Whether this node collected `origin`'s refreshed link state for the
+    /// wave stamped `epoch`.
+    pub fn has_refreshed(&self, epoch: u64, origin: Node) -> bool {
+        self.refreshed_link_state.contains(&(epoch, origin))
+    }
+
+    /// Spanner edges incident to this node learned from re-adverts (all waves).
+    pub fn incident_update_count(&self) -> usize {
+        self.incident_updates.len()
+    }
+}
+
+impl ProtocolNode for RepairNode {
+    type Msg = RepairMsg;
+
+    fn on_start(&mut self, net: &mut dyn Transport<RepairMsg>) {
+        self.originate(net);
+    }
+
+    fn on_message(&mut self, net: &mut dyn Transport<RepairMsg>, _from: Node, msg: &RepairMsg) {
+        match msg {
+            RepairMsg::LinkState(epoch, origin, list, ttl) => {
+                if self.seen_ls.insert((*epoch, *origin)) {
+                    self.refreshed_link_state.insert((*epoch, *origin));
+                    if *ttl > 1 {
+                        net.send(Outgoing::Broadcast(RepairMsg::LinkState(
+                            *epoch,
+                            *origin,
+                            list.clone(),
+                            ttl - 1,
+                        )));
                     }
                 }
-                RemSpanMsg::TreeAdvert(origin, edges, ttl) => {
-                    if self.seen_tree.insert(*origin) {
-                        for &(a, b) in edges {
-                            if a == me || b == me {
-                                self.incident_updates.insert(ordered(a, b));
-                            }
+            }
+            RepairMsg::TreeAdvert(epoch, origin, edges, ttl) => {
+                if self.seen_tree.insert((*epoch, *origin)) {
+                    let me = net.me();
+                    for &(a, b) in edges {
+                        if a == me || b == me {
+                            self.incident_updates.insert(ordered(a, b));
                         }
-                        if *ttl > 1 {
-                            out.push(Outgoing::Broadcast(RemSpanMsg::TreeAdvert(
-                                *origin,
-                                edges.clone(),
-                                ttl - 1,
-                            )));
-                        }
+                    }
+                    if *ttl > 1 {
+                        net.send(Outgoing::Broadcast(RepairMsg::TreeAdvert(
+                            *epoch,
+                            *origin,
+                            edges.clone(),
+                            ttl - 1,
+                        )));
                     }
                 }
             }
         }
-        if out.is_empty() {
-            self.done = true;
+    }
+
+    fn on_recover(&mut self, net: &mut dyn Transport<RepairMsg>) {
+        // A dirty node that was down when its wave began re-floods now; its
+        // neighbors' duplicate suppression has never seen this (epoch,
+        // origin), so the late flood propagates like a fresh one.
+        if !self.originated {
+            self.originate(net);
         }
-        out
     }
 
     fn is_done(&self) -> bool {
-        self.done
+        // Purely reactive after origination: forwarding imposes no further
+        // obligations of its own.
+        self.originated
     }
 }
 
@@ -479,15 +608,14 @@ pub fn restabilise_flood(engine: &RspanEngine, delta: &SpannerDelta) -> Incremen
     let dirty: HashSet<Node> = delta.recomputed.iter().copied().collect();
     let net = SyncNetwork::from_adjacency(engine.graph());
     // One round per TTL hop, plus the originating round and quiescence.
-    let (states, stats) = net.run(
-        |u| RepairNode {
-            radius,
-            dirty_tree: dirty.contains(&u).then(|| engine.tree_edges(u).to_vec()),
-            seen_ls: HashSet::new(),
-            seen_tree: HashSet::new(),
-            refreshed_link_state: HashSet::new(),
-            incident_updates: HashSet::new(),
-            done: false,
+    let (states, stats) = net.run_protocol(
+        |u| {
+            let mut node = RepairNode::new(radius);
+            node.begin_wave(
+                delta.epoch,
+                dirty.contains(&u).then(|| engine.tree_edges(u).to_vec()),
+            );
+            node
         },
         radius + 2,
     );
@@ -496,9 +624,9 @@ pub fn restabilise_flood(engine: &RspanEngine, delta: &SpannerDelta) -> Incremen
         dirty_nodes: dirty.len(),
         refreshed_link_state_counts: states
             .iter()
-            .map(|s| s.refreshed_link_state.len())
+            .map(|s| s.refreshed_link_state_count())
             .collect(),
-        incident_update_counts: states.iter().map(|s| s.incident_updates.len()).collect(),
+        incident_update_counts: states.iter().map(|s| s.incident_update_count()).collect(),
     }
 }
 
@@ -507,7 +635,7 @@ mod tests {
     use super::*;
     use rspan_core::{rem_span, verify_remote_stretch, StretchGuarantee};
     use rspan_graph::generators::er::gnp_connected;
-    use rspan_graph::generators::structured::{cycle_graph, grid_graph, petersen};
+    use rspan_graph::generators::structured::{cycle_graph, grid_graph, path_graph, petersen};
     use rspan_graph::generators::udg::uniform_udg;
 
     #[test]
@@ -546,6 +674,26 @@ mod tests {
                 central.edge_set(),
                 "strategy {strategy:?} diverged from the centralized construction"
             );
+        }
+    }
+
+    #[test]
+    fn deadline_fires_even_after_floods_die_early() {
+        // On a tiny graph the TTL floods die before the compute deadline
+        // (R = 3 but the flood quiesces by round 2): the round scheduler
+        // must keep the clock alive for the pending timers instead of
+        // stranding every node uncomputed.
+        let strategy = TreeStrategy::Greedy { r: 3, beta: 1 };
+        for g in [path_graph(2), path_graph(4), cycle_graph(5)] {
+            let run = run_remspan_protocol(&g, strategy);
+            let central = rem_span(&g, |g, u| strategy.build_tree(g, u));
+            assert_eq!(
+                run.spanner.edge_set(),
+                central.edge_set(),
+                "n={}: deadline never fired",
+                g.n()
+            );
+            assert!(run.stats.all_done);
         }
     }
 
@@ -665,5 +813,17 @@ mod tests {
         let run = run_remspan_protocol(&g, TreeStrategy::KGreedy { k: 1 });
         assert!(run.stats.messages < (g.n() * g.n()) as u64 / 4);
         assert!(run.stats.messages >= g.n() as u64);
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payloads() {
+        assert_eq!(RemSpanMsg::Hello(3).wire_bytes(), 8);
+        assert_eq!(RemSpanMsg::LinkState(0, vec![1, 2, 3], 2).wire_bytes(), 24);
+        assert_eq!(RemSpanMsg::TreeAdvert(0, vec![(0, 1)], 2).wire_bytes(), 20);
+        assert_eq!(
+            RepairMsg::LinkState(9, 0, vec![1, 2], 2).wire_bytes(),
+            RemSpanMsg::LinkState(0, vec![1, 2], 2).wire_bytes() + 8
+        );
+        assert_eq!(RepairMsg::TreeAdvert(9, 0, vec![], 1).wire_bytes(), 20);
     }
 }

@@ -8,32 +8,19 @@
 //! that claim checkable: nodes exchange messages with their graph neighbors in
 //! synchronous rounds, and the harness counts rounds and transmissions.
 //!
-//! The simulator substitutes the asynchronous radio network of a real ad-hoc
-//! deployment (see DESIGN.md, substitution note): what matters for the paper's
-//! claims is *what information can reach a node in how many rounds*, which the
-//! synchronous model captures exactly.
+//! The synchronous rounds substitute the asynchronous radio network of a real
+//! ad-hoc deployment (see DESIGN.md, substitution note): what matters for the
+//! paper's claims is *what information can reach a node in how many rounds*,
+//! which the synchronous model captures exactly.  When the asynchronous
+//! regime itself is the object of study — lossy links, latency spread, crash
+//! churn — the same [`crate::transport::ProtocolNode`] state machines run
+//! unchanged on the `rspan-asim` discrete-event simulator instead; this
+//! module's round loop is just one scheduling policy
+//! ([`SyncNetwork::run_protocol`]).
 
+use crate::transport::{BufferedTransport, PendingOps, ProtocolNode};
+pub use crate::transport::{Envelope, Outgoing};
 use rspan_graph::{Adjacency, CsrGraph, Node};
-
-/// A message in flight: payload plus addressing metadata.
-#[derive(Clone, Debug)]
-pub struct Envelope<M> {
-    /// Sending node.
-    pub from: Node,
-    /// Receiving node (always a graph neighbor of `from`).
-    pub to: Node,
-    /// Protocol payload.
-    pub payload: M,
-}
-
-/// Outgoing transmission request produced by a node in one round.
-#[derive(Clone, Debug)]
-pub enum Outgoing<M> {
-    /// Send to one specific neighbor.
-    Unicast(Node, M),
-    /// Send to every neighbor.
-    Broadcast(M),
-}
 
 /// Per-node protocol state machine.
 pub trait NodeState {
@@ -57,16 +44,34 @@ pub trait NodeState {
     /// early-termination statistics; the simulator also stops when no message
     /// is in flight).
     fn is_done(&self) -> bool;
+
+    /// Whether this node still has armed timers the scheduler must keep the
+    /// clock alive for even when no message is in flight.  Plain round-based
+    /// protocols have none; the [`ProtocolNode`] adapter reports its pending
+    /// [`crate::transport::Transport::set_timer`] deadlines so a quiet round
+    /// does not strand them (the event scheduler pops them from its heap
+    /// regardless — without this hook the two schedulers would diverge on
+    /// protocols whose floods die before a deadline fires).
+    fn has_pending_timers(&self) -> bool {
+        false
+    }
 }
 
 /// Transcript of a protocol execution.
+///
+/// Produced by both schedulers: under [`SyncNetwork`] a *round* is one
+/// synchronous message exchange; under the `rspan-asim` event scheduler the
+/// same accounting is kept per virtual clock tick (with unit latency and no
+/// loss the two transcripts are identical — property-tested in `rspan-asim`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunStats {
-    /// Number of rounds executed (a round = one synchronous message exchange).
+    /// Number of rounds executed (synchronous exchanges, or virtual ticks
+    /// that delivered at least one message up to quiescence).
     pub rounds: u32,
     /// Total point-to-point transmissions (a broadcast to `d` neighbors counts `d`).
     pub messages: u64,
-    /// Transmissions per round.
+    /// Transmissions per round.  A round kept alive only by a pending timer
+    /// records 0.
     pub messages_per_round: Vec<u64>,
     /// Whether every node reported `is_done` when the run stopped.
     pub all_done: bool,
@@ -101,18 +106,8 @@ impl<'g> SyncNetwork<'g> {
     /// churn-loop entry point: the engine's overlay topology feeds the
     /// simulator directly, with no CSR snapshot per change.
     pub fn from_adjacency<A: Adjacency + ?Sized>(graph: &A) -> SyncNetwork<'static> {
-        let n = graph.num_nodes();
-        let mut neighbors: Vec<Vec<Node>> = (0..n).map(|_| Vec::new()).collect();
-        for (u, list) in neighbors.iter_mut().enumerate() {
-            list.reserve(graph.degree_hint(u as Node));
-            graph.for_each_neighbor(u as Node, &mut |v| list.push(v));
-            // The Adjacency contract leaves neighbor order unspecified, but
-            // `has_edge` binary-searches these lists — sort (a no-op for the
-            // already-sorted in-repo impls) rather than depend on it.
-            list.sort_unstable();
-        }
         SyncNetwork {
-            topo: Topology::Owned(neighbors),
+            topo: Topology::Owned(rspan_graph::sorted_neighbor_lists(graph)),
         }
     }
 
@@ -201,7 +196,7 @@ impl<'g> SyncNetwork<'g> {
                     }
                 }
             }
-            if sent_this_round == 0 {
+            if sent_this_round == 0 && !states.iter().any(|s| s.has_pending_timers()) {
                 break;
             }
             stats.rounds = round + 1;
@@ -216,6 +211,123 @@ impl<'g> SyncNetwork<'g> {
         }
         stats.all_done = states.iter().all(|s| s.is_done());
         (states, stats)
+    }
+
+    /// Runs one [`ProtocolNode`] instance per node under the synchronous
+    /// round policy: every transmission takes exactly one round, all
+    /// deliveries of a round are handed to [`ProtocolNode::on_message`] in
+    /// deterministic (sender-ascending) order, and timers due at that round
+    /// fire afterwards.  This is the round-scheduler entry point for the
+    /// protocol code shared with the `rspan-asim` event scheduler.
+    pub fn run_protocol<P, F>(&self, mut make_node: F, max_rounds: u32) -> (Vec<P>, RunStats)
+    where
+        P: ProtocolNode,
+        F: FnMut(Node) -> P,
+    {
+        let (driven, stats) = self.run(|u| RoundDriven::new(make_node(u)), max_rounds);
+        (driven.into_iter().map(|d| d.node).collect(), stats)
+    }
+}
+
+/// Adapter that runs a message-driven [`ProtocolNode`] under the round-based
+/// [`NodeState`] scheduler: the round-`r` callback is abstract time `r + 1`
+/// (a message sent at time `t` arrives at time `t + 1`), deliveries are
+/// processed one by one in inbox order, and timers armed for time `≤ r + 1`
+/// fire after the round's deliveries — matching the event scheduler's
+/// deliveries-before-timers order at equal timestamps.
+struct RoundDriven<P: ProtocolNode> {
+    node: P,
+    /// Armed timers as `(fire_time, token)`, in arming order.
+    timers: Vec<(u64, u32)>,
+    ops: PendingOps<P::Msg>,
+    due: Vec<u32>,
+}
+
+impl<P: ProtocolNode> RoundDriven<P> {
+    fn new(node: P) -> Self {
+        RoundDriven {
+            node,
+            timers: Vec::new(),
+            ops: PendingOps::default(),
+            due: Vec::new(),
+        }
+    }
+
+    /// Converts this callback's buffered timer requests into absolute fire
+    /// times and returns the buffered sends.
+    fn drain_ops(&mut self, now: u64) -> Vec<Outgoing<P::Msg>> {
+        for (delay, token) in self.ops.timers.drain(..) {
+            self.timers.push((now + delay, token));
+        }
+        std::mem::take(&mut self.ops.sends)
+    }
+}
+
+impl<P: ProtocolNode> NodeState for RoundDriven<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, me: Node, neighbors: &[Node]) -> Vec<Outgoing<Self::Msg>> {
+        let mut net = BufferedTransport {
+            me,
+            now: 0,
+            neighbors,
+            ops: &mut self.ops,
+        };
+        self.node.on_start(&mut net);
+        self.drain_ops(0)
+    }
+
+    fn on_round(
+        &mut self,
+        me: Node,
+        neighbors: &[Node],
+        round: u32,
+        inbox: &[Envelope<Self::Msg>],
+    ) -> Vec<Outgoing<Self::Msg>> {
+        let now = u64::from(round) + 1;
+        {
+            let mut net = BufferedTransport {
+                me,
+                now,
+                neighbors,
+                ops: &mut self.ops,
+            };
+            for env in inbox {
+                self.node.on_message(&mut net, env.from, &env.payload);
+            }
+        }
+        // Timers due now fire after the deliveries.  Timers armed during
+        // these callbacks have delay ≥ 1, so they are strictly future and
+        // one collection pass suffices.
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        self.timers.retain(|&(fire, token)| {
+            if fire <= now {
+                due.push(token);
+                false
+            } else {
+                true
+            }
+        });
+        self.due = due;
+        let mut net = BufferedTransport {
+            me,
+            now,
+            neighbors,
+            ops: &mut self.ops,
+        };
+        for i in 0..self.due.len() {
+            self.node.on_timer(&mut net, self.due[i]);
+        }
+        self.drain_ops(now)
+    }
+
+    fn is_done(&self) -> bool {
+        self.node.is_done()
+    }
+
+    fn has_pending_timers(&self) -> bool {
+        !self.timers.is_empty()
     }
 }
 

@@ -54,6 +54,23 @@ pub trait Adjacency {
     }
 }
 
+/// Materialises sorted per-node neighbor lists from any adjacency — the
+/// canonical bridge from a live [`Adjacency`] view (CSR, dynamic overlay,
+/// sparse spanner lists) to index-based simulators.  The `Adjacency`
+/// contract leaves neighbor order unspecified, but consumers binary-search
+/// these lists, so they are sorted here (a no-op for the already-sorted
+/// in-repo implementations).
+pub fn sorted_neighbor_lists<A: Adjacency + ?Sized>(graph: &A) -> Vec<Vec<Node>> {
+    let n = graph.num_nodes();
+    let mut neighbors: Vec<Vec<Node>> = (0..n).map(|_| Vec::new()).collect();
+    for (u, list) in neighbors.iter_mut().enumerate() {
+        list.reserve(graph.degree_hint(u as Node));
+        graph.for_each_neighbor(u as Node, &mut |v| list.push(v));
+        list.sort_unstable();
+    }
+    neighbors
+}
+
 impl<T: Adjacency + ?Sized> Adjacency for &T {
     fn num_nodes(&self) -> usize {
         (**self).num_nodes()

@@ -34,7 +34,7 @@ pub mod io;
 pub mod scratch;
 pub mod stats;
 
-pub use adjacency::Adjacency;
+pub use adjacency::{sorted_neighbor_lists, Adjacency};
 pub use ball::{annulus, ball, ball_into, local_view, local_view_into, ring, LocalView};
 pub use bfs::{
     bfs_distances, bfs_distances_bounded, bfs_into, bfs_tree, bfs_tree_bounded,

@@ -21,7 +21,10 @@
 //! * [`engine`] — incremental spanner maintenance under churn (dynamic
 //!   topology overlay, dirty-ball recomputation, spanner deltas),
 //! * [`distributed`] — LOCAL-model protocol, greedy link-state routing,
-//!   topology dynamics.
+//!   topology dynamics,
+//! * [`asim`] — deterministic discrete-event asynchronous simulation (lossy
+//!   links, latency models, crash-recovery churn) over the same protocol
+//!   state machines.
 //!
 //! ## Quick start
 //!
@@ -42,6 +45,7 @@
 //! assert!(report.holds());
 //! ```
 
+pub use rspan_asim as asim;
 pub use rspan_core as core;
 pub use rspan_distributed as distributed;
 pub use rspan_domtree as domtree;
