@@ -22,7 +22,7 @@ use crate::sim::{AsimStats, AsyncNetwork};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rspan_distributed::RepairNode;
-use rspan_engine::{ChurnScenario, RspanEngine, TopologyChange};
+use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::Node;
 
 /// Configuration of one asynchronous churn run.
@@ -55,8 +55,23 @@ impl Default for AsyncChurnConfig {
     }
 }
 
+impl AsyncChurnConfig {
+    /// Checks the configuration, returning a description of the first
+    /// problem instead of panicking (the session builder's validation path).
+    pub fn check(&self) -> Result<(), String> {
+        self.sim.check()?;
+        if self.churn_interval < 1 {
+            return Err("churn interval must be >= 1 tick".into());
+        }
+        if !(0.0..=1.0).contains(&self.crash_prob) {
+            return Err("crash probability out of [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
 /// Per-churn-round transcript.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RoundReport {
     /// Round index.
     pub round: usize,
@@ -83,7 +98,7 @@ impl RoundReport {
 }
 
 /// Transcript of a whole asynchronous churn run.
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct AsyncChurnRun {
     /// One report per churn round.
     pub rounds: Vec<RoundReport>,
@@ -121,6 +136,239 @@ impl AsyncChurnRun {
     }
 }
 
+/// What [`RepairChurnDriver::begin_round`] observed at the churn boundary,
+/// *before* the round's commit: the boundary time, whether the previous
+/// round's wave had drained by then, and the node crashed at this instant
+/// (if the crash draw fired).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundaryInfo {
+    /// Virtual time of the boundary (= the upcoming commit instant).
+    pub at: VTime,
+    /// Whether the previous round quiesced before this boundary; `None` on
+    /// the first round (there is no previous wave).
+    pub prev_quiesced: Option<bool>,
+    /// Node crashed at this churn instant, if any.
+    pub crashed: Option<Node>,
+}
+
+/// One committed churn round: the per-round transcript plus the batch the
+/// scenario drew and the [`SpannerDelta`] the engine emitted — everything a
+/// downstream consumer (e.g. a routing-table repairer) needs to follow the
+/// commit.
+#[derive(Clone, Debug)]
+pub struct CommittedRound {
+    /// The transcript entry pushed for this round (`quiesced_at` is still
+    /// `None`; it is filled at the *next* boundary).
+    pub report: RoundReport,
+    /// The topology changes the scenario drew for this round.
+    pub batch: Vec<TopologyChange>,
+    /// The spanner delta the engine's commit emitted.
+    pub delta: SpannerDelta,
+}
+
+/// The stepping core of [`run_repair_churn`]: one churn round at a time on
+/// the asynchronous event timeline, split at the churn boundary so callers
+/// (the session layer) can observe the network *between* draining the
+/// previous round's window and committing the next batch — the instant
+/// routing-table staleness is measurable.
+///
+/// Protocol per round: [`RepairChurnDriver::begin_round`] (drain to the
+/// boundary, record the previous round's convergence, draw and apply the
+/// crash/recover pair) then [`RepairChurnDriver::commit_round`] (draw the
+/// batch, commit it, mirror link flips onto the live adjacency, originate
+/// the epoch-stamped repair wave).  [`RepairChurnDriver::finish`] applies
+/// the same window rule to the final round and drains the queue.
+///
+/// [`run_repair_churn`] is the one-shot wrapper; driving the phases by hand
+/// produces the *identical* event timeline (property-tested).
+pub struct RepairChurnDriver {
+    sim: AsyncNetwork<RepairNode>,
+    crash_rng: SmallRng,
+    cfg: AsyncChurnConfig,
+    rounds: Vec<RoundReport>,
+    dirty_total: usize,
+    n: usize,
+    /// Crash drawn by the current `begin_round`, consumed by `commit_round`.
+    pending_crash: Option<Node>,
+    mid_round: bool,
+}
+
+impl RepairChurnDriver {
+    /// Builds the event simulator over the engine's live adjacency.  The
+    /// `rounds` field of `cfg` is ignored — the caller decides how many
+    /// rounds to drive.  Panics on a degenerate configuration
+    /// ([`AsyncChurnConfig::check`] is the non-panicking form).
+    pub fn new(engine: &RspanEngine, cfg: AsyncChurnConfig) -> Self {
+        if let Err(e) = cfg.check() {
+            panic!("{e}");
+        }
+        let radius = engine.dirty_radius();
+        let n = engine.graph().n();
+        let sim: AsyncNetwork<RepairNode> =
+            AsyncNetwork::from_adjacency(engine.graph(), cfg.sim.clone(), |_| {
+                RepairNode::new(radius)
+            });
+        // Crash draws come from their own stream so enabling crashes does
+        // not perturb the loss/latency draw sequence of the link model.
+        let crash_rng = SmallRng::seed_from_u64(cfg.sim.seed ^ 0xCAFE_F00D_u64);
+        RepairChurnDriver {
+            sim,
+            crash_rng,
+            cfg,
+            rounds: Vec::new(),
+            dirty_total: 0,
+            n,
+            pending_crash: None,
+            mid_round: false,
+        }
+    }
+
+    /// Rounds committed so far.
+    pub fn round(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Per-round transcripts so far (the last entry's `quiesced_at` is
+    /// filled at the next boundary).
+    pub fn rounds(&self) -> &[RoundReport] {
+        &self.rounds
+    }
+
+    /// Total dirty nodes across all commits so far.
+    pub fn dirty_total(&self) -> usize {
+        self.dirty_total
+    }
+
+    /// The simulator's accounting so far.
+    pub fn stats(&self) -> &AsimStats {
+        self.sim.stats()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VTime {
+        self.sim.now()
+    }
+
+    /// Drains the previous round's window up to this round's churn boundary,
+    /// records whether the previous wave converged, and applies this
+    /// instant's crash draw.  Must alternate with
+    /// [`RepairChurnDriver::commit_round`].
+    pub fn begin_round(&mut self) -> BoundaryInfo {
+        assert!(!self.mid_round, "begin_round called twice without a commit");
+        self.mid_round = true;
+        let at = self.rounds.len() as VTime * self.cfg.churn_interval;
+        // Drain the window belonging to the previous round; whatever is
+        // still queued past `at` keeps flying across the boundary.  A round
+        // converged iff no *protocol* event (delivery or timer) is pending
+        // at the boundary — an externally scheduled recover event further
+        // out does not count as in-flight stabilisation traffic.
+        self.sim.run_until(at);
+        let mut prev_quiesced = None;
+        if let Some(prev) = self.rounds.last_mut() {
+            prev.quiesced_at = (self.sim.protocol_pending() == 0).then(|| self.sim.now());
+            prev_quiesced = Some(prev.quiesced_at.is_some());
+        }
+
+        // Crash/recover: scheduled and immediately processed, so a dirty
+        // node crashed at the churn instant misses its origination and
+        // re-floods on recovery instead.
+        let mut crashed = None;
+        if self.cfg.crash_prob > 0.0 && self.crash_rng.gen_range(0.0..1.0) < self.cfg.crash_prob {
+            let v = self.crash_rng.gen_range(0..self.n as u64) as Node;
+            if self.sim.is_alive(v) {
+                self.sim.schedule_crash(at, v);
+                self.sim.schedule_recover(at + self.cfg.downtime, v);
+                self.sim.run_until(at); // take the crash into effect now
+                crashed = Some(v);
+            }
+        }
+        self.sim.advance_to(at);
+        self.pending_crash = crashed;
+        BoundaryInfo {
+            at,
+            prev_quiesced,
+            crashed,
+        }
+    }
+
+    /// Commits one churn round: draws the batch, commits it to the engine,
+    /// mirrors the link flips onto the live adjacency and originates the
+    /// commit's epoch-stamped repair wave (alive dirty nodes flood now,
+    /// crashed ones on recovery).
+    pub fn commit_round(
+        &mut self,
+        engine: &mut RspanEngine,
+        scenario: &mut dyn ChurnScenario,
+    ) -> CommittedRound {
+        assert!(self.mid_round, "commit_round requires begin_round first");
+        self.mid_round = false;
+        let round = self.rounds.len();
+        let at = round as VTime * self.cfg.churn_interval;
+        // Commit the round's churn and mirror it onto the live adjacency.
+        let batch = scenario.next_batch(engine.graph());
+        let delta = engine.commit(&batch);
+        for change in &batch {
+            match *change {
+                TopologyChange::AddEdge(u, v) => self.sim.set_link(u, v, true),
+                TopologyChange::RemoveEdge(u, v) => self.sim.set_link(u, v, false),
+            }
+        }
+        // Arm this commit's wave; alive dirty nodes originate now, crashed
+        // ones on recovery.
+        self.dirty_total += delta.recomputed.len();
+        for &d in &delta.recomputed {
+            let tree = engine.tree_edges(d).to_vec();
+            if self.sim.is_alive(d) {
+                let epoch = delta.epoch;
+                self.sim.inject(d, |node, net| {
+                    node.begin_wave(epoch, Some(tree));
+                    node.originate(net);
+                });
+            } else {
+                self.sim.node_mut(d).begin_wave(delta.epoch, Some(tree));
+            }
+        }
+        let report = RoundReport {
+            round,
+            at,
+            batch_len: batch.len(),
+            dirty: delta.recomputed.len(),
+            spanner_flips: delta.added.len() + delta.removed.len(),
+            crashed: self.pending_crash.take(),
+            quiesced_at: None,
+        };
+        self.rounds.push(report.clone());
+        CommittedRound {
+            report,
+            batch,
+            delta,
+        }
+    }
+
+    /// Applies the window rule to the final round (quiescent by the next
+    /// would-be churn instant), drains the remaining queue, and returns the
+    /// full transcript.
+    pub fn finish(mut self) -> AsyncChurnRun {
+        assert!(!self.mid_round, "finish called between begin and commit");
+        // The final round is held to the same window rule as every other
+        // round; the unbounded drain afterwards only completes the
+        // accounting.
+        self.sim
+            .run_until(self.rounds.len() as VTime * self.cfg.churn_interval);
+        if let Some(last) = self.rounds.last_mut() {
+            last.quiesced_at = (self.sim.protocol_pending() == 0).then(|| self.sim.now());
+        }
+        let drained = self.sim.run_to_quiescence(self.cfg.max_events);
+        AsyncChurnRun {
+            rounds: self.rounds,
+            final_time: self.sim.now(),
+            dirty_total: self.dirty_total,
+            drained,
+            stats: self.sim.into_stats(),
+        }
+    }
+}
+
 /// Drives `scenario` against `engine` for `cfg.rounds` commits on one
 /// asynchronous event timeline, stabilising each commit with an epoch-
 /// stamped [`RepairNode`] wave, and returns the full transcript.
@@ -129,102 +377,20 @@ impl AsyncChurnRun {
 /// link flips ([`AsyncNetwork::set_link`]) so floods run over the live
 /// adjacency.  The run is deterministic: scenario, engine and simulator all
 /// draw from seeded streams.
+///
+/// This is the one-shot wrapper over [`RepairChurnDriver`]; the session
+/// layer drives the same phases round by round and is pinned bit-identical.
 pub fn run_repair_churn<S: ChurnScenario>(
     engine: &mut RspanEngine,
     scenario: &mut S,
     cfg: &AsyncChurnConfig,
 ) -> AsyncChurnRun {
-    assert!(cfg.churn_interval >= 1, "churn interval must be >= 1 tick");
-    assert!(
-        (0.0..=1.0).contains(&cfg.crash_prob),
-        "crash probability out of [0, 1]"
-    );
-    let radius = engine.dirty_radius();
-    let n = engine.graph().n();
-    let mut sim: AsyncNetwork<RepairNode> =
-        AsyncNetwork::from_adjacency(engine.graph(), cfg.sim.clone(), |_| RepairNode::new(radius));
-    // Crash draws come from their own stream so enabling crashes does not
-    // perturb the loss/latency draw sequence of the link model.
-    let mut crash_rng = SmallRng::seed_from_u64(cfg.sim.seed ^ 0xCAFE_F00D_u64);
-    let mut rounds: Vec<RoundReport> = Vec::with_capacity(cfg.rounds);
-    let mut dirty_total = 0usize;
-
-    for round in 0..cfg.rounds {
-        let at = round as VTime * cfg.churn_interval;
-        // Drain the window belonging to the previous round; whatever is
-        // still queued past `at` keeps flying across the boundary.  A round
-        // converged iff no *protocol* event (delivery or timer) is pending
-        // at the boundary — an externally scheduled recover event further
-        // out does not count as in-flight stabilisation traffic.
-        sim.run_until(at);
-        if let Some(prev) = rounds.last_mut() {
-            prev.quiesced_at = (sim.protocol_pending() == 0).then(|| sim.now());
-        }
-
-        // Crash/recover: scheduled and immediately processed, so a dirty
-        // node crashed at the churn instant misses its origination and
-        // re-floods on recovery instead.
-        let mut crashed = None;
-        if cfg.crash_prob > 0.0 && crash_rng.gen_range(0.0..1.0) < cfg.crash_prob {
-            let v = crash_rng.gen_range(0..n as u64) as Node;
-            if sim.is_alive(v) {
-                sim.schedule_crash(at, v);
-                sim.schedule_recover(at + cfg.downtime, v);
-                sim.run_until(at); // take the crash into effect now
-                crashed = Some(v);
-            }
-        }
-        sim.advance_to(at);
-
-        // Commit the round's churn and mirror it onto the live adjacency.
-        let batch = scenario.next_batch(engine.graph());
-        let delta = engine.commit(&batch);
-        for change in &batch {
-            match *change {
-                TopologyChange::AddEdge(u, v) => sim.set_link(u, v, true),
-                TopologyChange::RemoveEdge(u, v) => sim.set_link(u, v, false),
-            }
-        }
-        // Arm this commit's wave; alive dirty nodes originate now, crashed
-        // ones on recovery.
-        dirty_total += delta.recomputed.len();
-        for &d in &delta.recomputed {
-            let tree = engine.tree_edges(d).to_vec();
-            if sim.is_alive(d) {
-                sim.inject(d, |node, net| {
-                    node.begin_wave(delta.epoch, Some(tree));
-                    node.originate(net);
-                });
-            } else {
-                sim.node_mut(d).begin_wave(delta.epoch, Some(tree));
-            }
-        }
-        rounds.push(RoundReport {
-            round,
-            at,
-            batch_len: batch.len(),
-            dirty: delta.recomputed.len(),
-            spanner_flips: delta.added.len() + delta.removed.len(),
-            crashed,
-            quiesced_at: None,
-        });
+    let mut driver = RepairChurnDriver::new(engine, cfg.clone());
+    for _ in 0..cfg.rounds {
+        driver.begin_round();
+        driver.commit_round(engine, scenario);
     }
-
-    // The final round is held to the same window rule as every other round
-    // (quiescent by the next would-be churn instant); the unbounded drain
-    // afterwards only completes the accounting.
-    sim.run_until(cfg.rounds as VTime * cfg.churn_interval);
-    if let Some(last) = rounds.last_mut() {
-        last.quiesced_at = (sim.protocol_pending() == 0).then(|| sim.now());
-    }
-    let drained = sim.run_to_quiescence(cfg.max_events);
-    AsyncChurnRun {
-        rounds,
-        final_time: sim.now(),
-        dirty_total,
-        drained,
-        stats: sim.into_stats(),
-    }
+    driver.finish()
 }
 
 #[cfg(test)]

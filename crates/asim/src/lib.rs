@@ -38,7 +38,10 @@ pub mod churn;
 pub mod model;
 pub mod sim;
 
-pub use churn::{run_repair_churn, AsyncChurnConfig, AsyncChurnRun, RoundReport};
+pub use churn::{
+    run_repair_churn, AsyncChurnConfig, AsyncChurnRun, BoundaryInfo, CommittedRound,
+    RepairChurnDriver, RoundReport,
+};
 pub use model::{AsimConfig, LatencyModel, VTime};
 pub use sim::{AsimStats, AsyncNetwork, TraceEvent};
 

@@ -39,19 +39,42 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
-    /// Panics if the model parameters are degenerate.
-    pub fn validate(&self) {
+    /// Checks the model parameters, returning a description of the first
+    /// problem instead of panicking (the session builder's validation path).
+    pub fn check(&self) -> Result<(), String> {
         match *self {
-            LatencyModel::Constant(c) => assert!(c >= 1, "latency must be >= 1 tick"),
+            LatencyModel::Constant(c) => {
+                if c < 1 {
+                    return Err("latency must be >= 1 tick".into());
+                }
+            }
             LatencyModel::Uniform { lo, hi } => {
-                assert!(lo >= 1, "latency must be >= 1 tick");
-                assert!(lo <= hi, "empty uniform latency range");
+                if lo < 1 {
+                    return Err("latency must be >= 1 tick".into());
+                }
+                if lo > hi {
+                    return Err("empty uniform latency range".into());
+                }
             }
             LatencyModel::HeavyTailed { min, alpha, cap } => {
-                assert!(min >= 1, "latency must be >= 1 tick");
-                assert!(min <= cap, "heavy-tail cap below its minimum");
-                assert!(alpha > 0.0, "tail exponent must be positive");
+                if min < 1 {
+                    return Err("latency must be >= 1 tick".into());
+                }
+                if min > cap {
+                    return Err("heavy-tail cap below its minimum".into());
+                }
+                if alpha <= 0.0 {
+                    return Err("tail exponent must be positive".into());
+                }
             }
+        }
+        Ok(())
+    }
+
+    /// Panics if the model parameters are degenerate.
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
     }
 
@@ -86,7 +109,7 @@ impl LatencyModel {
 /// draws — is a pure function of the configuration, the initial topology,
 /// the node state machines, and the scheduled external events.  Same seed +
 /// same config ⇒ identical event trace (the replay property test pins this).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AsimConfig {
     /// Per-transmission latency model.
     pub latency: LatencyModel,
@@ -118,14 +141,24 @@ impl Default for AsimConfig {
 }
 
 impl AsimConfig {
+    /// Checks the configuration, returning a description of the first
+    /// problem instead of panicking (the session builder's validation path).
+    pub fn check(&self) -> Result<(), String> {
+        self.latency.check()?;
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err("loss probability out of [0, 1]".into());
+        }
+        if self.retry_timeout < 1 {
+            return Err("retry timeout must be >= 1 tick".into());
+        }
+        Ok(())
+    }
+
     /// Panics if the configuration is degenerate.
     pub fn validate(&self) {
-        self.latency.validate();
-        assert!(
-            (0.0..=1.0).contains(&self.loss),
-            "loss probability out of [0, 1]"
-        );
-        assert!(self.retry_timeout >= 1, "retry timeout must be >= 1 tick");
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// Synchronous-equivalent configuration: unit latency, no loss.  With

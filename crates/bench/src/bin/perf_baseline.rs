@@ -26,13 +26,22 @@
 //!   repaired tables asserted **bit-identical** to the full rebuild every
 //!   round.
 //! * **async_churn** — the `rspan-asim` event simulator driving §2.3 repair
-//!   waves under three scenario families: a **loss sweep** (link-flap churn,
+//!   waves under four scenario families: a **loss sweep** (link-flap churn,
 //!   Bernoulli loss with bounded retransmission), a **latency sweep** (UDG
-//!   mobility churn under constant / uniform / heavy-tailed link latency)
-//!   and a **crash-recover** regime (join-leave churn plus node crashes).
+//!   mobility churn under constant / uniform / heavy-tailed link latency),
+//!   a **crash-recover** regime (join-leave churn plus node crashes), and a
+//!   **staleness** pair (delta routing + the session's staleness counter:
+//!   rows where converged distributed state lags the post-commit tables
+//!   while repair waves are in flight, under fast vs heavy-tailed links).
 //!   Each row records convergence (rounds that quiesced before the next
 //!   commit, mean stabilisation ticks), delivered/dropped message and byte
 //!   counts, and wall-time per simulated event.
+//!
+//! Every workload runs through the `rspan-session` façade (`Session` /
+//! `SpannerAlgo`), which is property-tested bit-identical to the hand-wired
+//! pipelines these baselines were first recorded on; rows are composed from
+//! `Metrics::json_fields()` plus the harness's own timing fields, so the
+//! session snapshot and the `BENCH_*.json` shape stay in lock-step.
 //!
 //! Usage:
 //!   `perf_baseline [remspan|engine_churn|routing_churn|async_churn|all]
@@ -47,16 +56,15 @@
 //! `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json` /
 //! `BENCH_async.json`.
 
-use rspan_asim::{run_repair_churn, AsimConfig, AsyncChurnConfig, LatencyModel};
+use rspan_asim::{AsimConfig, LatencyModel, VTime};
 use rspan_bench::scaled_density_udg;
-use rspan_core::{rem_span, rem_span_algo, rem_span_algo_parallel};
-use rspan_distributed::{DeltaRouter, RoutingTables};
+use rspan_core::{rem_span, rem_span_algo};
+use rspan_distributed::RoutingTables;
 use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
-use rspan_engine::{
-    ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario, RspanEngine,
-};
+use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};
 use rspan_graph::generators::udg::udg_with_density;
 use rspan_graph::CsrGraph;
+use rspan_session::{Repair, Scheduler, Session, SpannerAlgo};
 use std::time::Instant;
 
 /// Churn scenarios draw from an offset stream so `--seed N` varies graph and
@@ -118,7 +126,7 @@ fn write_json(out_path: &str, bench: &str, unit: &str, rows: &[String]) {
 }
 
 fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
-    let algo = TreeAlgo::KGreedy { k: 2 };
+    let algo = SpannerAlgo::KConnecting { k: 2 };
     let sizes: &[(usize, usize)] = if quick {
         &[(300, 3)]
     } else {
@@ -132,19 +140,23 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
         let ((seed_ns, seed_edges), (pooled_ns, pooled_edges), (par_ns, _)) = interleaved_medians(
             reps,
             || rem_span(g, |g, u| dom_tree_k_greedy(g, u, 2)).num_edges(),
-            || rem_span_algo(g, algo).num_edges(),
-            || rem_span_algo_parallel(g, algo, 0).num_edges(),
+            || algo.build(g).expect("valid algorithm").num_edges(),
+            || {
+                algo.build_threads(g, 0)
+                    .expect("valid algorithm")
+                    .num_edges()
+            },
         );
 
         assert_eq!(
             seed_edges, pooled_edges,
             "pooled driver changed the spanner at n={n}"
         );
-        let par = rem_span_algo_parallel(g, algo, 0);
-        let seq = rem_span_algo(g, algo);
+        let par = algo.build_threads(g, 0).expect("valid algorithm");
+        let seq = algo.build(g).expect("valid algorithm");
         assert_eq!(
-            par.edge_set(),
-            seq.edge_set(),
+            par.spanner.edge_set(),
+            seq.spanner.edge_set(),
             "parallel driver diverged from sequential at n={n}"
         );
 
@@ -188,34 +200,37 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
         // touches two endpoints, so flip n/200 links on average.
         let mean_flaps = (n as f64 / 200.0).max(1.0);
         let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, seed + SCENARIO_SEED_OFFSET);
-        let mut engine = RspanEngine::new(w.graph.clone(), algo);
+        // Engine-only session (no routing): batches are drawn outside the
+        // timed region, so the commit timing covers exactly the engine.
+        let mut session = Session::builder(w.graph.clone())
+            .algo(SpannerAlgo::KConnecting { k: 2 })
+            .build()
+            .expect("valid engine-only configuration");
 
         let mut inc_ns = Vec::with_capacity(rounds);
         let mut full_ns = Vec::with_capacity(rounds);
         let mut batch_total = 0usize;
-        let mut dirty_total = 0usize;
         for round in 0..rounds {
-            let batch = scenario.next_batch(engine.graph());
+            let batch = scenario.next_batch(session.engine().graph());
             batch_total += batch.len();
 
             // Interleaved: the incremental commit and the full pipeline
             // restabilise the *same* round, back to back.
-            let start = Instant::now();
-            let delta = engine.commit(&batch);
-            inc_ns.push(start.elapsed().as_nanos() as f64);
-            dirty_total += delta.recomputed.len();
+            let report = session.commit(&batch).expect("sync session");
+            inc_ns.push(report.commit_ns as f64);
 
             let start = Instant::now();
-            let csr = engine.to_csr();
+            let csr = session.to_csr();
             let full = rem_span_algo(&csr, algo);
             full_ns.push(start.elapsed().as_nanos() as f64);
 
             assert_eq!(
-                engine.spanner_on(&csr).edge_set(),
+                session.spanner_on(&csr).edge_set(),
                 full.edge_set(),
                 "incremental spanner diverged from full recompute at n={n} round={round}"
             );
         }
+        let dirty_total = session.metrics().dirty_total;
         let inc = median(inc_ns);
         let full = median(full_ns);
         let speedup = full / inc;
@@ -250,7 +265,6 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
 }
 
 fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
-    let algo = TreeAlgo::KGreedy { k: 2 };
     let sizes: &[(usize, usize)] = if quick {
         &[(400, 4)]
     } else {
@@ -263,14 +277,28 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
         // event per round.
         let mean_flaps = (n as f64 / 200.0).max(1.0);
         let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, seed + SCENARIO_SEED_OFFSET);
-        // Three engines absorb the same batches: sequential commit (timed),
-        // auto-threaded parallel commit (timed), and a forced multi-thread
-        // commit that cross-checks the sharded rebuild even on single-core
-        // machines (untimed).
-        let mut engine_seq = RspanEngine::new(w.graph.clone(), algo);
-        let mut engine_par = RspanEngine::new(w.graph.clone(), algo);
-        let mut engine_forced = RspanEngine::new(w.graph.clone(), algo);
-        let mut router = DeltaRouter::new(&engine_seq);
+        // Three sessions absorb the same batches: sequential commit + delta
+        // routing (both timed via the step report), an auto-threaded
+        // parallel commit (timed), and a forced multi-thread commit that
+        // cross-checks the sharded rebuild even on single-core machines
+        // (untimed).
+        let spanner_algo = SpannerAlgo::KConnecting { k: 2 };
+        let mut session_seq = Session::builder(w.graph.clone())
+            .algo(spanner_algo.clone())
+            .routing(Repair::Delta)
+            .threads(1)
+            .build()
+            .expect("valid routing configuration");
+        let mut session_par = Session::builder(w.graph.clone())
+            .algo(spanner_algo.clone())
+            .threads(0)
+            .build()
+            .expect("valid engine-only configuration");
+        let mut session_forced = Session::builder(w.graph.clone())
+            .algo(spanner_algo.clone())
+            .threads(4)
+            .build()
+            .expect("valid engine-only configuration");
 
         let mut seq_ns = Vec::with_capacity(rounds);
         let mut par_ns = Vec::with_capacity(rounds);
@@ -280,42 +308,40 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let mut flips_total = 0usize;
         let mut repaired_total = 0usize;
         for round in 0..rounds {
-            let batch = scenario.next_batch(engine_seq.graph());
+            let batch = scenario.next_batch(session_seq.engine().graph());
             batch_total += batch.len();
 
-            let start = Instant::now();
-            let delta = engine_seq.commit(&batch);
-            seq_ns.push(start.elapsed().as_nanos() as f64);
+            let report = session_seq.commit(&batch).expect("sync session");
+            seq_ns.push(report.commit_ns as f64);
 
-            let start = Instant::now();
-            let delta_par = engine_par.commit_parallel(&batch, 0);
-            par_ns.push(start.elapsed().as_nanos() as f64);
+            let report_par = session_par.commit(&batch).expect("sync session");
+            par_ns.push(report_par.commit_ns as f64);
 
-            let delta_forced = engine_forced.commit_parallel(&batch, 4);
+            let report_forced = session_forced.commit(&batch).expect("sync session");
             assert_eq!(
-                delta, delta_par,
+                report.delta, report_par.delta,
                 "parallel commit delta diverged at n={n} round={round}"
             );
             assert_eq!(
-                delta, delta_forced,
+                report.delta, report_forced.delta,
                 "forced 4-thread commit delta diverged at n={n} round={round}"
             );
-            flips_total += delta.added.len() + delta.removed.len();
+            flips_total += report.delta.added.len() + report.delta.removed.len();
 
-            // Interleaved: incremental repair and full table rebuild restore
-            // the *same* round, back to back.
-            let start = Instant::now();
-            let stats = router.apply(&engine_seq, &batch, &delta);
-            repair_ns.push(start.elapsed().as_nanos() as f64);
+            // Interleaved: incremental repair (already timed inside the
+            // step) and full table rebuild restore the *same* round, back
+            // to back.
+            let stats = report.repair.expect("delta routing configured");
+            repair_ns.push(report.repair_ns as f64);
             repaired_total += stats.rows_recomputed;
 
             let start = Instant::now();
-            let csr = engine_seq.to_csr();
-            let full = RoutingTables::build(&engine_seq.spanner_on(&csr));
+            let csr = session_seq.to_csr();
+            let full = RoutingTables::build(&session_seq.spanner_on(&csr));
             full_ns.push(start.elapsed().as_nanos() as f64);
 
             assert_eq!(
-                router.tables(),
+                session_seq.tables().expect("delta routing configured"),
                 &full,
                 "repaired tables diverged from full rebuild at n={n} round={round}"
             );
@@ -361,81 +387,82 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
     write_json(out_path, "routing_churn", "ns_per_round_median", &rows);
 }
 
-/// One async-simulation configuration: runs the scenario to completion on a
-/// fresh engine and renders its JSON row.
-#[allow(clippy::too_many_arguments)]
-fn async_row<S: ChurnScenario>(
+/// Per-family knobs of one async row beyond the simulator config.
+struct AsyncRowCfg {
+    churn_interval: VTime,
+    rounds: usize,
+    crash_prob: f64,
+    downtime: VTime,
+    /// Delta routing + the session staleness counter (the "staleness"
+    /// family); the other families run router-free like the recorded
+    /// baselines.
+    staleness: bool,
+}
+
+/// One async-simulation configuration: runs the scenario to completion
+/// through a `Session` and renders its JSON row from the uniform metrics
+/// snapshot plus the harness's wall-clock timing.
+fn async_row<S: ChurnScenario + 'static>(
     family: &str,
     graph: &CsrGraph,
-    mut scenario: S,
-    algo: TreeAlgo,
-    cfg: &AsyncChurnConfig,
+    scenario: S,
+    algo: SpannerAlgo,
+    sim: AsimConfig,
+    row_cfg: &AsyncRowCfg,
 ) -> String {
-    let mut engine = RspanEngine::new(graph.clone(), algo);
+    let mut builder = Session::builder(graph.clone())
+        .algo(algo)
+        .churn(scenario)
+        .scheduler(Scheduler::Async(sim))
+        .churn_interval(row_cfg.churn_interval)
+        .crash(row_cfg.crash_prob, row_cfg.downtime);
+    if row_cfg.staleness {
+        builder = builder.routing(Repair::Delta).measure_staleness(true);
+    }
+    let mut session = builder.build().expect("valid async configuration");
     let start = Instant::now();
-    let run = run_repair_churn(&mut engine, &mut scenario, cfg);
+    session.run(row_cfg.rounds).expect("scenario configured");
+    let metrics = session.finish();
     let wall_ns = start.elapsed().as_nanos() as f64;
-    assert!(run.drained, "async run exhausted its event budget");
-    let s = &run.stats;
+    let asim = metrics.asim.as_ref().expect("async session");
+    assert_eq!(
+        asim.drained,
+        Some(true),
+        "async run exhausted its event budget"
+    );
+    let s = &asim.stats;
     let dropped = s.dropped_loss + s.dropped_down + s.dropped_no_link;
     let events = s.events.max(1);
-    let convergence = run.mean_convergence_ticks();
     let row = format!(
-        concat!(
-            "    {{\"family\": \"{}\", \"scenario\": \"{}\", \"n\": {}, \"m\": {}, ",
-            "\"rounds\": {}, \"churn_interval\": {}, \"latency\": \"{}\", ",
-            "\"loss\": {:.2}, \"max_retries\": {}, \"crash_prob\": {:.2}, ",
-            "\"dirty_total\": {}, \"converged_rounds\": {}, ",
-            "\"mean_convergence_ticks\": {:.2}, \"final_virtual_time\": {}, ",
-            "\"delivered\": {}, \"dropped\": {}, \"dropped_loss\": {}, ",
-            "\"dropped_down\": {}, \"transmissions\": {}, \"bytes_delivered\": {}, ",
-            "\"events\": {}, \"wall_ns_per_event\": {:.0}}}"
-        ),
-        family,
-        scenario.label(),
-        graph.n(),
-        graph.m(),
-        cfg.rounds,
-        cfg.churn_interval,
-        cfg.sim.latency.label(),
-        cfg.sim.loss,
-        cfg.sim.max_retries,
-        cfg.crash_prob,
-        run.dirty_total,
-        run.converged_rounds(),
-        if convergence.is_nan() {
-            -1.0
-        } else {
-            convergence
-        },
-        run.final_time,
-        s.delivered,
-        dropped,
-        s.dropped_loss,
-        s.dropped_down,
-        s.transmissions,
-        s.bytes_delivered,
-        s.events,
+        "    {{\"family\": \"{family}\", {}, \"wall_ns_per_event\": {:.0}}}",
+        metrics.json_fields(),
         wall_ns / events as f64,
     );
     println!(
-        "{family:>8}  {:<20} loss {:.2} crash {:.2}  conv {:>2}/{:<2} ({:>5.1} ticks)  \
-         delivered {:>8}  dropped {:>6}  {:>6.0} ns/event",
-        cfg.sim.latency.label(),
-        cfg.sim.loss,
-        cfg.crash_prob,
-        run.converged_rounds(),
-        cfg.rounds,
-        convergence,
+        "{family:>9}  {:<20} loss {:.2} crash {:.2}  conv {:>2}/{:<2} ({:>5.1} ticks)  \
+         delivered {:>8}  dropped {:>6}  {:>6.0} ns/event{}",
+        asim.latency,
+        asim.loss,
+        asim.crash_prob,
+        asim.converged_rounds(),
+        row_cfg.rounds,
+        asim.mean_convergence_ticks(),
         s.delivered,
         dropped,
         wall_ns / events as f64,
+        match &metrics.staleness {
+            Some(st) => format!(
+                "  stale rows {} over {} in-flight boundaries",
+                st.stale_rows_total, st.inflight_checks
+            ),
+            None => String::new(),
+        },
     );
     row
 }
 
 fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
-    let algo = TreeAlgo::KGreedy { k: 2 };
+    let algo = SpannerAlgo::KConnecting { k: 2 };
     let (n, rounds) = if quick { (300, 6) } else { (1500, 30) };
     let inst = udg_with_density(n, 12.0, seed);
     let scenario_seed = seed + SCENARIO_SEED_OFFSET;
@@ -443,35 +470,35 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
     // Same churn regime as the other workloads: ~1% of the nodes see a link
     // event per round.
     let mean_flaps = (n as f64 / 200.0).max(1.0);
-    let base = AsyncChurnConfig {
-        sim: AsimConfig {
-            seed: sim_seed,
-            ..AsimConfig::default()
-        },
+    let base_sim = AsimConfig {
+        seed: sim_seed,
+        ..AsimConfig::default()
+    };
+    let base_row = AsyncRowCfg {
         churn_interval: 16,
         rounds,
-        ..AsyncChurnConfig::default()
+        crash_prob: 0.0,
+        downtime: 12,
+        staleness: false,
     };
     let mut rows = Vec::new();
 
     // Family 1 — loss sweep: link-flap churn, constant latency, bounded
     // link-layer retransmission.
     for &loss in &[0.0, 0.05, 0.2] {
-        let cfg = AsyncChurnConfig {
-            sim: AsimConfig {
-                loss,
-                max_retries: 2,
-                retry_timeout: 2,
-                ..base.sim.clone()
-            },
-            ..base.clone()
+        let sim = AsimConfig {
+            loss,
+            max_retries: 2,
+            retry_timeout: 2,
+            ..base_sim.clone()
         };
         rows.push(async_row(
             "loss",
             &inst.graph,
             LinkFlapScenario::new(&inst.graph, mean_flaps, scenario_seed),
-            algo,
-            &cfg,
+            algo.clone(),
+            sim,
+            &base_row,
         ));
     }
 
@@ -487,19 +514,17 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
             cap: 32,
         },
     ] {
-        let cfg = AsyncChurnConfig {
-            sim: AsimConfig {
-                latency,
-                ..base.sim.clone()
-            },
-            ..base.clone()
+        let sim = AsimConfig {
+            latency,
+            ..base_sim.clone()
         };
         rows.push(async_row(
             "latency",
             &inst.graph,
             MobilityScenario::from_udg(&inst, movers, inst.radius * 0.25, scenario_seed),
-            algo,
-            &cfg,
+            algo.clone(),
+            sim,
+            &base_row,
         ));
     }
 
@@ -507,17 +532,50 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
     // with recovery re-floods.
     let toggles = (n / 200).max(1);
     for &crash_prob in &[0.3, 0.7] {
-        let cfg = AsyncChurnConfig {
-            crash_prob,
-            downtime: 24,
-            ..base.clone()
-        };
         rows.push(async_row(
             "crash",
             &inst.graph,
             JoinLeaveScenario::new(inst.graph.clone(), toggles, scenario_seed),
-            algo,
-            &cfg,
+            algo.clone(),
+            base_sim.clone(),
+            &AsyncRowCfg {
+                crash_prob,
+                downtime: 24,
+                ..base_row
+            },
+        ));
+    }
+
+    // Family 4 — routing-table staleness: delta routing rides the same
+    // link-flap churn while the session counts, at every churn boundary
+    // with a wave still in flight, the rows on which converged distributed
+    // state lags the post-commit tables.  Fast links quiesce inside the
+    // (shortened) window; heavy-tailed links leave waves in flight and
+    // accumulate stale rows — the measurement half of the ROADMAP's "async
+    // routing-table staleness" lever.
+    for latency in [
+        LatencyModel::Constant(1),
+        LatencyModel::HeavyTailed {
+            min: 2,
+            alpha: 1.2,
+            cap: 48,
+        },
+    ] {
+        let sim = AsimConfig {
+            latency,
+            ..base_sim.clone()
+        };
+        rows.push(async_row(
+            "staleness",
+            &inst.graph,
+            LinkFlapScenario::new(&inst.graph, mean_flaps, scenario_seed),
+            algo.clone(),
+            sim,
+            &AsyncRowCfg {
+                churn_interval: 8,
+                staleness: true,
+                ..base_row
+            },
         ));
     }
 

@@ -69,11 +69,18 @@ pub fn restabilise_with(engine: &mut RspanEngine, change: TopologyChange) -> Spa
 /// (`new_graph` is typically produced by [`apply_change`]); `strategy` is the
 /// per-node tree algorithm (the same one used to build the original spanner).
 ///
-/// This is a *convenience wrapper*: it constructs a one-shot [`RspanEngine`]
-/// (paying a full initial build) and forwards to [`restabilise_with`].  Churn
-/// loops must hold their own engine — or a whole [`ChurnSession`] — and call
+/// This is a *deprecated convenience wrapper*: it constructs a one-shot
+/// [`RspanEngine`] (paying a full initial build) and forwards to
+/// [`restabilise_with`] — there is exactly one incremental code path, and
+/// this is not it.  Churn loops must hold their own engine — a
+/// `rspan_session::Session`, a [`ChurnSession`], or a bare engine — and call
 /// [`restabilise_with`] / [`RspanEngine::commit`] so overlay, tree caches and
 /// scratch pools are reused across changes.
+#[deprecated(
+    since = "0.1.0",
+    note = "hold a long-lived session (rspan_session::Session, ChurnSession, or RspanEngine) \
+            and use restabilise_with / commit; this wrapper rebuilds an engine per call"
+)]
 pub fn restabilise<'g>(
     old_graph: &CsrGraph,
     new_graph: &'g CsrGraph,
@@ -101,6 +108,12 @@ pub fn restabilise<'g>(
 /// emitted [`SpannerDelta`] to the owned [`DeltaRouter`], so both the spanner
 /// and the next-hop tables stay current at incremental cost — nothing is
 /// rebuilt per change.
+///
+/// This is the minimal non-facade bundle.  The `rspan-session` crate's
+/// `Session` builder fronts the same pipeline (plus scenario ownership,
+/// scheduler choice and a uniform metrics snapshot) and is pinned
+/// bit-identical to stepping a `ChurnSession` by hand — prefer it unless you
+/// need to own the pieces directly.
 pub struct ChurnSession {
     engine: RspanEngine,
     router: DeltaRouter,
@@ -146,6 +159,7 @@ impl ChurnSession {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // `restabilise` stays covered until it is removed
 mod tests {
     use super::*;
     use rspan_core::{rem_span, verify_remote_stretch, StretchGuarantee};

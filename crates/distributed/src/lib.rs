@@ -38,6 +38,7 @@ pub mod tables;
 pub mod transport;
 
 pub use delta::{DeltaRouter, RepairStats};
+#[allow(deprecated)] // the deprecated one-shot `restabilise` stays re-exported until removal
 pub use dynamics::{
     apply_change, restabilise, restabilise_with, ChurnSession, Restabilisation, TopologyChange,
 };

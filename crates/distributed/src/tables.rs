@@ -17,7 +17,7 @@ use rspan_graph::{bfs_distances, Adjacency, CsrGraph, Node, Subgraph};
 /// next hop and recorded distance — matches; the incremental
 /// [`crate::delta::DeltaRouter`] uses this to pin its repairs bit-identical
 /// to a from-scratch [`RoutingTables::build`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct RoutingTables {
     pub(crate) n: usize,
     /// `next[u * n + v]` = next hop from `u` toward `v`, or `Node::MAX` when
@@ -25,6 +25,25 @@ pub struct RoutingTables {
     pub(crate) next: Vec<Node>,
     /// `dist[u * n + v]` = `d_{H_u}(u, v)` (`u32::MAX` when unreachable).
     pub(crate) dist: Vec<u32>,
+}
+
+impl Clone for RoutingTables {
+    fn clone(&self) -> Self {
+        RoutingTables {
+            n: self.n,
+            next: self.next.clone(),
+            dist: self.dist.clone(),
+        }
+    }
+
+    /// Copies into the existing allocations when the node counts match —
+    /// the session layer re-snapshots `n × n` tables at every quiescent
+    /// churn boundary, which must not reallocate tens of megabytes.
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.next.clone_from(&source.next);
+        self.dist.clone_from(&source.dist);
+    }
 }
 
 pub(crate) const NO_HOP: Node = Node::MAX;
@@ -164,6 +183,22 @@ impl RoutingTables {
         }
         let filled = self.next.iter().filter(|&&h| h != NO_HOP).count();
         filled as f64 / self.n as f64
+    }
+
+    /// Number of *rows* (source nodes) on which the two tables disagree in
+    /// any entry — the routing-table staleness figure the session layer
+    /// records while repair waves are still in flight.  Panics if the tables
+    /// route different node counts.
+    pub fn rows_differing(&self, other: &Self) -> usize {
+        assert_eq!(self.n, other.n, "tables cover different node sets");
+        let n = self.n;
+        (0..n)
+            .filter(|&u| {
+                let row = u * n;
+                self.next[row..row + n] != other.next[row..row + n]
+                    || self.dist[row..row + n] != other.dist[row..row + n]
+            })
+            .count()
     }
 }
 

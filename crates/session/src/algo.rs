@@ -1,0 +1,300 @@
+//! One algorithm enum over every spanner construction in the workspace.
+//!
+//! The paper's constructions (Theorems 1–3 and their ablations) and the
+//! classical baselines ship as free constructor functions in `rspan-core`;
+//! [`SpannerAlgo`] names each of them as data, so callers can hold "which
+//! construction" in a config struct, iterate over families in a harness, or
+//! hand one to a [`crate::SessionBuilder`] — instead of wiring a different
+//! function per variant.  [`SpannerAlgo::build`] is pinned bit-identical to
+//! the free constructor it fronts (property-tested).
+
+use crate::error::RspanError;
+use rspan_core::effective_epsilon;
+use rspan_core::{
+    baswana_sen_spanner, bfs_tree_spanner, epsilon_radius, epsilon_remote_spanner_greedy,
+    epsilon_remote_spanner_threads, full_topology, greedy_spanner,
+    k_connecting_remote_spanner_threads, k_mis_remote_spanner,
+    two_connecting_remote_spanner_threads, BuiltSpanner, StretchGuarantee,
+};
+use rspan_domtree::TreeAlgo;
+use rspan_graph::CsrGraph;
+
+/// Every spanner construction the workspace knows, as one closed family.
+///
+/// The first six variants are the paper's remote-spanner constructions; they
+/// are backed by a per-node dominating-tree algorithm ([`TreeAlgo`]) and can
+/// therefore also be maintained *incrementally* by an engine-backed session.
+/// The last four are classical whole-graph baselines for the comparison
+/// tables; they build once and have no incremental form
+/// ([`SpannerAlgo::tree_algo`] returns `None`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpannerAlgo {
+    /// **Theorem 2 with k = 1**: the `(1, 0)`-remote-spanner (exact
+    /// distances from every augmented view) — the multipoint-relay union of
+    /// OLSR.
+    Exact,
+    /// **Theorem 2**: the k-connecting `(1, 0)`-remote-spanner via greedy
+    /// k-coverage relay trees (Algorithm 4).
+    KConnecting {
+        /// Connectivity order `k ≥ 1`.
+        k: usize,
+    },
+    /// **Theorem 1**: the `(1 + ε, 1 − 2ε)`-remote-spanner via MIS
+    /// dominating trees (Algorithm 2).
+    Epsilon {
+        /// Requested ε in `(0, 1]` (the construction rounds it to
+        /// `1/(⌈1/ε⌉)`; see [`rspan_core::effective_epsilon`]).
+        eps: f64,
+    },
+    /// Ablation of Theorem 1 using greedy set-cover trees (Algorithm 1)
+    /// instead of MIS trees: same stretch, different size constant.
+    EpsilonGreedy {
+        /// Requested ε in `(0, 1]`.
+        eps: f64,
+    },
+    /// **Theorem 3**: the 2-connecting `(2, −1)`-remote-spanner via k-MIS
+    /// trees with `k = 2` (Algorithm 5).
+    TwoConnecting,
+    /// Generalisation of Theorem 3's construction to arbitrary `k` (the
+    /// stretch is proved only for `k = 2`).
+    KMis {
+        /// Coverage parameter `k ≥ 1`.
+        k: usize,
+    },
+    /// Baseline: the greedy `(2k−1, 0)`-spanner of Althöfer et al.
+    GreedySpanner {
+        /// Stretch parameter `k ≥ 1`.
+        k: usize,
+    },
+    /// Baseline: the randomized Baswana–Sen `(2k−1, 0)`-spanner.
+    BaswanaSen {
+        /// Stretch parameter `k ≥ 1`.
+        k: usize,
+        /// Seed of the construction's internal generator.
+        seed: u64,
+    },
+    /// Baseline: one BFS tree (the minimal connected advertisement).
+    BfsTree,
+    /// Baseline: the full topology (OSPF-style link-state flooding).
+    FullTopology,
+}
+
+impl SpannerAlgo {
+    /// Validates the variant's parameters.
+    pub fn check(&self) -> Result<(), RspanError> {
+        let bad = |reason: String| Err(RspanError::InvalidAlgo { reason });
+        match *self {
+            SpannerAlgo::Exact
+            | SpannerAlgo::TwoConnecting
+            | SpannerAlgo::BfsTree
+            | SpannerAlgo::FullTopology => Ok(()),
+            SpannerAlgo::KConnecting { k } | SpannerAlgo::KMis { k } => {
+                if k < 1 {
+                    bad(format!("connectivity order k must be >= 1, got {k}"))
+                } else {
+                    Ok(())
+                }
+            }
+            SpannerAlgo::Epsilon { eps } | SpannerAlgo::EpsilonGreedy { eps } => {
+                if eps > 0.0 && eps <= 1.0 {
+                    Ok(())
+                } else {
+                    bad(format!("ε must lie in (0, 1], got {eps}"))
+                }
+            }
+            SpannerAlgo::GreedySpanner { k } | SpannerAlgo::BaswanaSen { k, .. } => {
+                if k < 1 {
+                    bad(format!("stretch parameter k must be >= 1, got {k}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// The per-node dominating-tree algorithm backing this construction, or
+    /// `None` for the whole-graph baselines (which cannot be maintained
+    /// incrementally).
+    pub fn tree_algo(&self) -> Option<TreeAlgo> {
+        match *self {
+            SpannerAlgo::Exact => Some(TreeAlgo::KGreedy { k: 1 }),
+            SpannerAlgo::KConnecting { k } => Some(TreeAlgo::KGreedy { k }),
+            SpannerAlgo::Epsilon { eps } => Some(TreeAlgo::Mis {
+                r: epsilon_radius(eps),
+            }),
+            SpannerAlgo::EpsilonGreedy { eps } => Some(TreeAlgo::Greedy {
+                r: epsilon_radius(eps),
+                beta: 1,
+            }),
+            SpannerAlgo::TwoConnecting => Some(TreeAlgo::KMis { k: 2 }),
+            SpannerAlgo::KMis { k } => Some(TreeAlgo::KMis { k }),
+            SpannerAlgo::GreedySpanner { .. }
+            | SpannerAlgo::BaswanaSen { .. }
+            | SpannerAlgo::BfsTree
+            | SpannerAlgo::FullTopology => None,
+        }
+    }
+
+    /// Whether an engine-backed session can maintain this construction under
+    /// churn.
+    pub fn is_incremental(&self) -> bool {
+        self.tree_algo().is_some()
+    }
+
+    /// The `(α, β, k)` guarantee the construction proves, when it is
+    /// independent of the input graph (`None` for [`SpannerAlgo::BfsTree`],
+    /// whose recorded trivial stretch depends on `n`).  Matches the
+    /// `guarantee` field of [`SpannerAlgo::build`]'s result exactly.
+    pub fn guarantee(&self) -> Option<StretchGuarantee> {
+        match *self {
+            SpannerAlgo::Exact => Some(StretchGuarantee {
+                alpha: 1.0,
+                beta: 0.0,
+                k: 1,
+            }),
+            SpannerAlgo::KConnecting { k } => Some(StretchGuarantee {
+                alpha: 1.0,
+                beta: 0.0,
+                k,
+            }),
+            SpannerAlgo::Epsilon { eps } | SpannerAlgo::EpsilonGreedy { eps } => {
+                let eff = effective_epsilon(eps);
+                Some(StretchGuarantee {
+                    alpha: 1.0 + eff,
+                    beta: 1.0 - 2.0 * eff,
+                    k: 1,
+                })
+            }
+            SpannerAlgo::TwoConnecting => Some(StretchGuarantee {
+                alpha: 2.0,
+                beta: -1.0,
+                k: 2,
+            }),
+            SpannerAlgo::KMis { k } => Some(StretchGuarantee {
+                alpha: 2.0,
+                beta: -1.0,
+                k: k.min(2),
+            }),
+            SpannerAlgo::GreedySpanner { k } | SpannerAlgo::BaswanaSen { k, .. } => {
+                Some(StretchGuarantee {
+                    alpha: (2 * k - 1) as f64,
+                    beta: 0.0,
+                    k: 1,
+                })
+            }
+            SpannerAlgo::BfsTree => None,
+            SpannerAlgo::FullTopology => Some(StretchGuarantee {
+                alpha: 1.0,
+                beta: 0.0,
+                k: 1,
+            }),
+        }
+    }
+
+    /// Stable snake-case label for benchmark tables and metrics JSON.
+    pub fn label(&self) -> String {
+        match *self {
+            SpannerAlgo::Exact => "exact".into(),
+            SpannerAlgo::KConnecting { k } => format!("kconnecting_k{k}"),
+            SpannerAlgo::Epsilon { eps } => format!("epsilon_{eps}"),
+            SpannerAlgo::EpsilonGreedy { eps } => format!("epsilon_greedy_{eps}"),
+            SpannerAlgo::TwoConnecting => "two_connecting".into(),
+            SpannerAlgo::KMis { k } => format!("kmis_k{k}"),
+            SpannerAlgo::GreedySpanner { k } => format!("greedy_spanner_k{k}"),
+            SpannerAlgo::BaswanaSen { k, .. } => format!("baswana_sen_k{k}"),
+            SpannerAlgo::BfsTree => "bfs_tree".into(),
+            SpannerAlgo::FullTopology => "full_topology".into(),
+        }
+    }
+
+    /// Builds the spanner on `graph`, returning the sub-graph together with
+    /// its proved [`StretchGuarantee`].  Delegates to the exact free
+    /// constructor the variant names (bit-identical output,
+    /// property-tested); fails only on invalid parameters
+    /// ([`SpannerAlgo::check`]).
+    pub fn build<'g>(&self, graph: &'g CsrGraph) -> Result<BuiltSpanner<'g>, RspanError> {
+        self.build_threads(graph, 1)
+    }
+
+    /// [`SpannerAlgo::build`] with per-node tree construction parallelised
+    /// over `threads` workers (0 = available parallelism) for the variants
+    /// with a parallel driver; the others ignore `threads`.
+    pub fn build_threads<'g>(
+        &self,
+        graph: &'g CsrGraph,
+        threads: usize,
+    ) -> Result<BuiltSpanner<'g>, RspanError> {
+        self.check()?;
+        Ok(match *self {
+            SpannerAlgo::Exact => k_connecting_remote_spanner_threads(graph, 1, threads),
+            SpannerAlgo::KConnecting { k } => {
+                k_connecting_remote_spanner_threads(graph, k, threads)
+            }
+            SpannerAlgo::Epsilon { eps } => epsilon_remote_spanner_threads(graph, eps, threads),
+            SpannerAlgo::EpsilonGreedy { eps } => epsilon_remote_spanner_greedy(graph, eps),
+            SpannerAlgo::TwoConnecting => two_connecting_remote_spanner_threads(graph, threads),
+            SpannerAlgo::KMis { k } => k_mis_remote_spanner(graph, k),
+            SpannerAlgo::GreedySpanner { k } => greedy_spanner(graph, k),
+            SpannerAlgo::BaswanaSen { k, seed } => baswana_sen_spanner(graph, k, seed),
+            SpannerAlgo::BfsTree => bfs_tree_spanner(graph),
+            SpannerAlgo::FullTopology => full_topology(graph),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_parameters_are_rejected_not_panicked() {
+        assert!(matches!(
+            SpannerAlgo::Epsilon { eps: 0.0 }.check(),
+            Err(RspanError::InvalidAlgo { .. })
+        ));
+        assert!(matches!(
+            SpannerAlgo::Epsilon { eps: 1.5 }.check(),
+            Err(RspanError::InvalidAlgo { .. })
+        ));
+        assert!(matches!(
+            SpannerAlgo::KConnecting { k: 0 }.check(),
+            Err(RspanError::InvalidAlgo { .. })
+        ));
+        assert!(matches!(
+            SpannerAlgo::GreedySpanner { k: 0 }.check(),
+            Err(RspanError::InvalidAlgo { .. })
+        ));
+        let g = rspan_graph::generators::structured::cycle_graph(6);
+        assert!(SpannerAlgo::Epsilon { eps: 0.0 }.build(&g).is_err());
+    }
+
+    #[test]
+    fn incremental_split_matches_tree_algo() {
+        for algo in [
+            SpannerAlgo::Exact,
+            SpannerAlgo::KConnecting { k: 2 },
+            SpannerAlgo::Epsilon { eps: 0.5 },
+            SpannerAlgo::EpsilonGreedy { eps: 0.5 },
+            SpannerAlgo::TwoConnecting,
+            SpannerAlgo::KMis { k: 3 },
+        ] {
+            assert!(algo.is_incremental(), "{algo:?}");
+            assert!(algo.guarantee().is_some());
+        }
+        for algo in [
+            SpannerAlgo::GreedySpanner { k: 2 },
+            SpannerAlgo::BaswanaSen { k: 2, seed: 1 },
+            SpannerAlgo::BfsTree,
+            SpannerAlgo::FullTopology,
+        ] {
+            assert!(!algo.is_incremental(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SpannerAlgo::Exact.label(), "exact");
+        assert_eq!(SpannerAlgo::KConnecting { k: 2 }.label(), "kconnecting_k2");
+        assert_eq!(SpannerAlgo::Epsilon { eps: 0.5 }.label(), "epsilon_0.5");
+    }
+}

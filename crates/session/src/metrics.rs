@@ -1,0 +1,238 @@
+//! The uniform metrics snapshot every session configuration emits.
+//!
+//! One struct covers all four pipeline shapes — static build, synchronous
+//! churn, churn + delta routing, asynchronous event-driven repair — with the
+//! sections that do not apply left `None`.  [`Metrics::to_json`] serializes
+//! to the flat object shape the `BENCH_*.json` baselines use, so a session
+//! row and a hand-written harness row are interchangeable (the bench
+//! harness composes its rows from [`Metrics::json_fields`] plus its own
+//! timing fields, and CI validates the result's shape).
+
+use rspan_asim::{AsimStats, RoundReport, VTime};
+use rspan_core::StretchGuarantee;
+use rspan_distributed::RunStats;
+
+/// Totals of the incremental routing-table repairs a session performed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairTotals {
+    /// Rows recomputed across all repairs.
+    pub rows_recomputed: usize,
+    /// Repairs applied (equals the committed rounds when routing is on).
+    pub repairs: usize,
+}
+
+/// Totals of the per-commit §2.3 synchronous restabilisation floods.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FloodTotals {
+    /// Protocol rounds across all floods.
+    pub rounds: u64,
+    /// Point-to-point transmissions across all floods.
+    pub messages: u64,
+}
+
+impl FloodTotals {
+    /// Folds one flood's [`RunStats`] into the totals.
+    pub fn absorb(&mut self, stats: &RunStats) {
+        self.rounds += u64::from(stats.rounds);
+        self.messages += stats.messages;
+    }
+}
+
+/// Routing-table staleness observed while repair waves were in flight: at
+/// each churn boundary where the previous wave had **not** quiesced, the
+/// session counts the rows on which the live [`rspan_distributed::DeltaRouter`]
+/// (the post-commit truth) disagrees with the tables as of the last quiescent
+/// boundary (what converged distributed nodes still hold).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StalenessStats {
+    /// Churn boundaries inspected.
+    pub checks: usize,
+    /// Boundaries where the previous wave was still in flight.
+    pub inflight_checks: usize,
+    /// Stale rows summed over the in-flight boundaries.
+    pub stale_rows_total: usize,
+    /// Largest single-boundary stale-row count.
+    pub stale_rows_max: usize,
+}
+
+/// The asynchronous scheduler's section of the snapshot: simulator
+/// accounting plus the per-round convergence transcript.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsyncMetrics {
+    /// Simulator accounting (deliveries, drops, retransmissions, bytes).
+    pub stats: AsimStats,
+    /// Per-churn-round transcript (the last round's `quiesced_at` is only
+    /// final after [`crate::Session::finish`]).
+    pub rounds: Vec<RoundReport>,
+    /// Virtual time of the last processed event.
+    pub final_time: VTime,
+    /// Total dirty nodes across all commits.
+    pub dirty_total: usize,
+    /// Whether the final drain completed within the event budget
+    /// (`None` until [`crate::Session::finish`]).
+    pub drained: Option<bool>,
+    /// Ticks between scenario commits.
+    pub churn_interval: VTime,
+    /// Latency model label.
+    pub latency: String,
+    /// Bernoulli per-transmission loss probability.
+    pub loss: f64,
+    /// Link-layer retransmission budget.
+    pub max_retries: u32,
+    /// Per-boundary crash probability.
+    pub crash_prob: f64,
+}
+
+impl AsyncMetrics {
+    /// Rounds whose repair wave drained before the next churn instant.
+    pub fn converged_rounds(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.quiesced_at.is_some())
+            .count()
+    }
+
+    /// Mean stabilisation latency over the converged rounds, in ticks
+    /// (`NaN` when no round converged).
+    pub fn mean_convergence_ticks(&self) -> f64 {
+        let (sum, count) = self
+            .rounds
+            .iter()
+            .filter_map(RoundReport::convergence_ticks)
+            .fold((0u64, 0u64), |(s, c), t| (s + t, c + 1));
+        if count == 0 {
+            f64::NAN
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+}
+
+/// The uniform snapshot: what one session did, across every configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Stable label of the spanner algorithm ([`crate::SpannerAlgo::label`]).
+    pub algo: String,
+    /// The construction's proved stretch guarantee.
+    pub guarantee: StretchGuarantee,
+    /// Label of the owned churn scenario, if any.
+    pub scenario: Option<String>,
+    /// Nodes of the session's *initial* topology (the workload-instance
+    /// identity benchmark rows key on — stable under churn; read the
+    /// current topology off the engine).
+    pub n: usize,
+    /// Edges of the initial topology (see [`Metrics::n`]).
+    pub m: usize,
+    /// Engine epoch (commits absorbed; the initial build is epoch 0).
+    pub epoch: u64,
+    /// Current spanner edge count.
+    pub spanner_edges: usize,
+    /// Churn rounds driven through [`crate::Session::step`] /
+    /// [`crate::Session::commit`].
+    pub rounds: usize,
+    /// Topology changes across all batches.
+    pub batch_changes: usize,
+    /// Dirty (recomputed) nodes across all commits.
+    pub dirty_total: usize,
+    /// Spanner edges that entered or left across all commits.
+    pub spanner_flips: usize,
+    /// Routing-repair totals (present iff delta routing is configured).
+    pub repair: Option<RepairTotals>,
+    /// Synchronous flood totals (present iff per-commit floods are on).
+    pub flood: Option<FloodTotals>,
+    /// Asynchronous scheduler section (present iff the async scheduler is
+    /// configured).
+    pub asim: Option<AsyncMetrics>,
+    /// Staleness section (present iff staleness measurement is on).
+    pub staleness: Option<StalenessStats>,
+}
+
+/// Formats an `f64` the way the bench JSON does: finite values with two
+/// decimals, non-finite as `-1.0` (the "no data" sentinel the validators
+/// accept).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}")
+    } else {
+        "-1.0".to_string()
+    }
+}
+
+impl Metrics {
+    /// The snapshot as the *fields* of a flat JSON object — `"key": value`
+    /// pairs joined by `", "`, without the surrounding braces — so harnesses
+    /// can splice in their own fields (timings, workload family) and stay
+    /// bit-compatible with the `BENCH_*.json` row shape.
+    pub fn json_fields(&self) -> String {
+        let mut fields: Vec<String> = Vec::new();
+        if let Some(scenario) = &self.scenario {
+            fields.push(format!("\"scenario\": \"{scenario}\""));
+        }
+        fields.push(format!("\"algo\": \"{}\"", self.algo));
+        fields.push(format!("\"n\": {}", self.n));
+        fields.push(format!("\"m\": {}", self.m));
+        fields.push(format!("\"epoch\": {}", self.epoch));
+        fields.push(format!("\"spanner_edges\": {}", self.spanner_edges));
+        fields.push(format!("\"rounds\": {}", self.rounds));
+        fields.push(format!("\"batch_changes\": {}", self.batch_changes));
+        fields.push(format!("\"dirty_total\": {}", self.dirty_total));
+        fields.push(format!("\"spanner_flips\": {}", self.spanner_flips));
+        if let Some(repair) = &self.repair {
+            fields.push(format!("\"rows_recomputed\": {}", repair.rows_recomputed));
+            fields.push(format!("\"repairs\": {}", repair.repairs));
+        }
+        if let Some(flood) = &self.flood {
+            fields.push(format!("\"flood_rounds\": {}", flood.rounds));
+            fields.push(format!("\"flood_messages\": {}", flood.messages));
+        }
+        if let Some(asim) = &self.asim {
+            let s = &asim.stats;
+            let dropped = s.dropped_loss + s.dropped_down + s.dropped_no_link;
+            fields.push(format!("\"churn_interval\": {}", asim.churn_interval));
+            fields.push(format!("\"latency\": \"{}\"", asim.latency));
+            fields.push(format!("\"loss\": {:.2}", asim.loss));
+            fields.push(format!("\"max_retries\": {}", asim.max_retries));
+            fields.push(format!("\"crash_prob\": {:.2}", asim.crash_prob));
+            fields.push(format!("\"converged_rounds\": {}", asim.converged_rounds()));
+            fields.push(format!(
+                "\"mean_convergence_ticks\": {}",
+                json_f64(asim.mean_convergence_ticks())
+            ));
+            fields.push(format!("\"final_virtual_time\": {}", asim.final_time));
+            fields.push(format!("\"delivered\": {}", s.delivered));
+            fields.push(format!("\"dropped\": {dropped}"));
+            fields.push(format!("\"dropped_loss\": {}", s.dropped_loss));
+            fields.push(format!("\"dropped_down\": {}", s.dropped_down));
+            fields.push(format!("\"transmissions\": {}", s.transmissions));
+            fields.push(format!("\"bytes_delivered\": {}", s.bytes_delivered));
+            fields.push(format!("\"events\": {}", s.events));
+        }
+        if let Some(st) = &self.staleness {
+            fields.push(format!("\"staleness_checks\": {}", st.checks));
+            fields.push(format!(
+                "\"staleness_inflight_checks\": {}",
+                st.inflight_checks
+            ));
+            fields.push(format!("\"stale_rows_total\": {}", st.stale_rows_total));
+            fields.push(format!("\"stale_rows_max\": {}", st.stale_rows_max));
+        }
+        fields.join(", ")
+    }
+
+    /// The snapshot as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!("{{{}}}", self.json_fields())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_sentinels() {
+        assert_eq!(json_f64(1.25), "1.25");
+        assert_eq!(json_f64(f64::NAN), "-1.0");
+        assert_eq!(json_f64(f64::INFINITY), "-1.0");
+    }
+}

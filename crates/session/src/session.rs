@@ -1,0 +1,689 @@
+//! The typed session builder: one entry point over the whole pipeline.
+//!
+//! A [`Session`] owns every piece the workspace's churn pipelines used to
+//! wire by hand — the incremental [`RspanEngine`], an optional
+//! [`DeltaRouter`], an optional churn scenario, and one of two protocol
+//! schedulers — behind a builder that validates the configuration up front
+//! and returns [`RspanError`] instead of panicking deep in a layer.
+//!
+//! Every configuration is pinned **bit-identical** to the hand-wired
+//! pipeline it replaces (property-tested): a sync session steps exactly like
+//! [`ChurnSession`], an async session replays
+//! [`rspan_asim::run_repair_churn`]'s event timeline, and the initial build
+//! equals the [`SpannerAlgo`]'s free constructor.
+
+use crate::algo::SpannerAlgo;
+use crate::error::RspanError;
+use crate::metrics::{AsyncMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats};
+use rspan_asim::{AsimConfig, AsyncChurnConfig, RepairChurnDriver, RoundReport, VTime};
+use rspan_core::{spanner_stats, SpannerStats, StretchGuarantee};
+use rspan_distributed::{restabilise_flood, DeltaRouter, RoutingTables, TopologyChange};
+use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta};
+use rspan_graph::{CsrGraph, Subgraph};
+use std::time::Instant;
+
+/// How the session maintains routing state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Repair {
+    /// No routing tables: the session maintains the spanner only.
+    #[default]
+    None,
+    /// A [`DeltaRouter`]: next-hop tables repaired incrementally from every
+    /// commit's [`SpannerDelta`] (bit-identical to a from-scratch rebuild).
+    Delta,
+}
+
+/// Which protocol scheduler drives stabilisation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scheduler {
+    /// The synchronous round model: commits apply instantly; optionally each
+    /// commit's §2.3 repair flood runs to quiescence under
+    /// [`rspan_distributed::SyncNetwork`] rounds
+    /// ([`SessionBuilder::flood`]).
+    Sync,
+    /// The deterministic discrete-event simulator of `rspan-asim`: commits
+    /// land on a virtual timeline and epoch-stamped repair waves propagate
+    /// under the configured latency/loss/crash model while later churn
+    /// arrives.
+    Async(AsimConfig),
+}
+
+/// What one [`Session::step`] / [`Session::commit`] did.
+#[derive(Clone, Debug)]
+pub struct StepReport {
+    /// Zero-based index of the round this report describes.
+    pub step: usize,
+    /// The spanner delta the engine's commit emitted.
+    pub delta: SpannerDelta,
+    /// The routing repair performed from that delta, when delta routing is
+    /// configured.
+    pub repair: Option<rspan_distributed::RepairStats>,
+    /// Wall nanoseconds of the engine commit (0 under the async scheduler,
+    /// whose timing is virtual).
+    pub commit_ns: u64,
+    /// Wall nanoseconds of the routing repair (0 without delta routing or
+    /// under the async scheduler).
+    pub repair_ns: u64,
+    /// The async scheduler's per-round transcript entry (its `quiesced_at`
+    /// is filled at the *next* boundary), `None` under the sync scheduler.
+    pub round: Option<RoundReport>,
+}
+
+struct AsyncState {
+    /// `None` once [`Session::finish`] has drained the timeline.
+    driver: Option<RepairChurnDriver>,
+    /// The validated configuration the driver was built from (kept here so
+    /// the metrics snapshot outlives the driver).
+    cfg: AsyncChurnConfig,
+    finished: Option<rspan_asim::AsyncChurnRun>,
+}
+
+impl AsyncState {
+    /// Snapshots the timeline (live driver or finished run) together with
+    /// the configuration slice.
+    fn snapshot(&self) -> AsyncMetrics {
+        let (stats, rounds, final_time, dirty_total, drained) = match (&self.finished, &self.driver)
+        {
+            (Some(run), _) => (
+                run.stats.clone(),
+                run.rounds.clone(),
+                run.final_time,
+                run.dirty_total,
+                Some(run.drained),
+            ),
+            (None, Some(driver)) => (
+                driver.stats().clone(),
+                driver.rounds().to_vec(),
+                driver.now(),
+                driver.dirty_total(),
+                None,
+            ),
+            (None, None) => unreachable!("a session is either live or finished"),
+        };
+        AsyncMetrics {
+            stats,
+            rounds,
+            final_time,
+            dirty_total,
+            drained,
+            churn_interval: self.cfg.churn_interval,
+            latency: self.cfg.sim.latency.label(),
+            loss: self.cfg.sim.loss,
+            max_retries: self.cfg.sim.max_retries,
+            crash_prob: self.cfg.crash_prob,
+        }
+    }
+}
+
+enum Mode {
+    Sync,
+    Async(Box<AsyncState>),
+}
+
+struct StalenessState {
+    /// Router tables as of the last quiescent churn boundary — what
+    /// converged distributed nodes still hold.
+    snapshot: RoutingTables,
+    stats: StalenessStats,
+}
+
+/// Builder for a [`Session`]; see [`Session::builder`].
+///
+/// Defaults: [`SpannerAlgo::Exact`], no churn scenario, [`Repair::None`],
+/// [`Scheduler::Sync`], sequential commits, no flood accounting, no
+/// staleness measurement.
+pub struct SessionBuilder {
+    graph: CsrGraph,
+    algo: SpannerAlgo,
+    churn: Option<Box<dyn ChurnScenario>>,
+    routing: Repair,
+    scheduler: Scheduler,
+    threads: usize,
+    flood: bool,
+    measure_staleness: bool,
+    churn_interval: VTime,
+    crash_prob: f64,
+    downtime: VTime,
+    max_events: u64,
+    /// Async-only setters the caller invoked, so `build()` can reject them
+    /// under the sync scheduler instead of silently ignoring them.
+    async_only_set: Vec<&'static str>,
+    /// Whether `threads(..)` was invoked (sync-only; rejected under async).
+    threads_set: bool,
+}
+
+impl SessionBuilder {
+    /// The spanner construction to build and maintain.  Must be one of the
+    /// incremental (tree-backed) variants; the whole-graph baselines build
+    /// once via [`SpannerAlgo::build`] and cannot ride an engine.
+    pub fn algo(mut self, algo: SpannerAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Gives the session a churn scenario to draw per-round batches from
+    /// ([`Session::step`]).  Without one, drive batches explicitly through
+    /// [`Session::commit`].
+    pub fn churn(mut self, scenario: impl ChurnScenario + 'static) -> Self {
+        self.churn = Some(Box::new(scenario));
+        self
+    }
+
+    /// Like [`SessionBuilder::churn`] for an already-boxed scenario.
+    pub fn churn_boxed(mut self, scenario: Box<dyn ChurnScenario>) -> Self {
+        self.churn = Some(scenario);
+        self
+    }
+
+    /// Routing-table maintenance policy.
+    pub fn routing(mut self, routing: Repair) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Stabilisation scheduler.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Worker threads for the sync scheduler's dirty-tree rebuilds
+    /// (0 = available parallelism).  Sync scheduler only: the async
+    /// scheduler always commits sequentially, matching
+    /// [`rspan_asim::run_repair_churn`], so `build()` rejects this under
+    /// [`Scheduler::Async`] instead of silently ignoring it.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self.threads_set = true;
+        self
+    }
+
+    /// Runs each sync commit's §2.3 restabilisation flood
+    /// ([`restabilise_flood`]) and folds its [`rspan_distributed::RunStats`]
+    /// into the metrics snapshot.  Sync scheduler only.
+    pub fn flood(mut self, flood: bool) -> Self {
+        self.flood = flood;
+        self
+    }
+
+    /// Records the routing-table staleness counter: at every churn boundary
+    /// where the previous repair wave is still in flight, counts the rows on
+    /// which the live [`DeltaRouter`] disagrees with the tables as of the
+    /// last quiescent boundary.  Requires [`Repair::Delta`] and the async
+    /// scheduler.
+    pub fn measure_staleness(mut self, measure: bool) -> Self {
+        self.measure_staleness = measure;
+        self
+    }
+
+    /// Virtual ticks between scenario commits under the async scheduler.
+    pub fn churn_interval(mut self, ticks: VTime) -> Self {
+        self.churn_interval = ticks;
+        self.async_only_set.push("churn_interval(..)");
+        self
+    }
+
+    /// Probability that an async churn boundary also crashes one random
+    /// node, and the ticks it stays down.
+    pub fn crash(mut self, prob: f64, downtime: VTime) -> Self {
+        self.crash_prob = prob;
+        self.downtime = downtime;
+        self.async_only_set.push("crash(..)");
+        self
+    }
+
+    /// Safety cutoff on processed events for the async final drain.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self.async_only_set.push("max_events(..)");
+        self
+    }
+
+    /// Validates the whole configuration and assembles the session: one full
+    /// spanner build (plus one full table build under [`Repair::Delta`]);
+    /// everything after is incremental.
+    pub fn build(self) -> Result<Session, RspanError> {
+        self.algo.check()?;
+        let Some(tree_algo) = self.algo.tree_algo() else {
+            return Err(RspanError::AlgoNotIncremental {
+                algo: self.algo.label(),
+            });
+        };
+        let guarantee = self
+            .algo
+            .guarantee()
+            .expect("incremental constructions always know their guarantee");
+
+        let async_cfg = match &self.scheduler {
+            Scheduler::Sync => {
+                if self.measure_staleness {
+                    return Err(RspanError::IncompatibleOptions {
+                        reason: "staleness measurement needs the async scheduler \
+                                 (synchronous tables are never stale)"
+                            .into(),
+                    });
+                }
+                if !self.async_only_set.is_empty() {
+                    return Err(RspanError::IncompatibleOptions {
+                        reason: format!(
+                            "{} configured, but the scheduler is Sync — these options \
+                             only drive the async event timeline \
+                             (Scheduler::Async(AsimConfig))",
+                            self.async_only_set.join(", ")
+                        ),
+                    });
+                }
+                None
+            }
+            Scheduler::Async(sim) => {
+                if self.churn.is_none() {
+                    return Err(RspanError::MissingChurn {
+                        feature: "the async scheduler",
+                    });
+                }
+                if self.threads_set {
+                    return Err(RspanError::IncompatibleOptions {
+                        reason: "threads(..) configured, but the async scheduler always \
+                                 commits sequentially (matching run_repair_churn's \
+                                 event timeline)"
+                            .into(),
+                    });
+                }
+                if self.flood {
+                    return Err(RspanError::IncompatibleOptions {
+                        reason: "per-commit synchronous floods cannot run under the async \
+                                 scheduler; repair waves already flood on the event timeline"
+                            .into(),
+                    });
+                }
+                if self.measure_staleness && self.routing != Repair::Delta {
+                    return Err(RspanError::IncompatibleOptions {
+                        reason: "staleness measurement compares DeltaRouter tables; \
+                                 configure routing(Repair::Delta)"
+                            .into(),
+                    });
+                }
+                sim.check()
+                    .map_err(|reason| RspanError::InvalidSim { reason })?;
+                let cfg = AsyncChurnConfig {
+                    sim: sim.clone(),
+                    churn_interval: self.churn_interval,
+                    rounds: 0, // the session decides how many rounds to drive
+                    crash_prob: self.crash_prob,
+                    downtime: self.downtime,
+                    max_events: self.max_events,
+                };
+                cfg.check()
+                    .map_err(|reason| RspanError::InvalidChurn { reason })?;
+                Some(cfg)
+            }
+        };
+
+        let engine = RspanEngine::new(self.graph, tree_algo);
+        let router = match self.routing {
+            Repair::None => None,
+            Repair::Delta => Some(DeltaRouter::new(&engine)),
+        };
+        let mode = match async_cfg {
+            None => Mode::Sync,
+            Some(cfg) => {
+                let state = AsyncState {
+                    driver: Some(RepairChurnDriver::new(&engine, cfg.clone())),
+                    cfg,
+                    finished: None,
+                };
+                Mode::Async(Box::new(state))
+            }
+        };
+        let staleness = if self.measure_staleness {
+            Some(StalenessState {
+                snapshot: router
+                    .as_ref()
+                    .expect("validated above: staleness requires Repair::Delta")
+                    .tables()
+                    .clone(),
+                stats: StalenessStats::default(),
+            })
+        } else {
+            None
+        };
+        Ok(Session {
+            algo_label: self.algo.label(),
+            algo: self.algo,
+            guarantee,
+            initial_n: engine.graph().n(),
+            initial_m: engine.graph().m(),
+            engine,
+            router,
+            scenario: self.churn,
+            threads: self.threads,
+            flood: self.flood,
+            mode,
+            staleness,
+            rounds: 0,
+            batch_changes: 0,
+            dirty_total: 0,
+            spanner_flips: 0,
+            repair_totals: match self.routing {
+                Repair::Delta => Some(RepairTotals::default()),
+                Repair::None => None,
+            },
+            flood_totals: self.flood.then(FloodTotals::default),
+        })
+    }
+}
+
+/// One handle over the whole **build → churn → commit → repair →
+/// stabilise** pipeline; construct with [`Session::builder`].
+///
+/// Drive it with [`Session::step`] (scenario-drawn rounds) or
+/// [`Session::commit`] (explicit batches, sync scheduler only), snapshot
+/// uniform [`Metrics`] at any point, and [`Session::finish`] to drain the
+/// async timeline and take the final snapshot.
+pub struct Session {
+    algo: SpannerAlgo,
+    algo_label: String,
+    guarantee: StretchGuarantee,
+    /// Nodes/edges of the *initial* topology: the workload-instance
+    /// identity benchmark rows key on, stable under churn.
+    initial_n: usize,
+    initial_m: usize,
+    engine: RspanEngine,
+    router: Option<DeltaRouter>,
+    scenario: Option<Box<dyn ChurnScenario>>,
+    threads: usize,
+    flood: bool,
+    mode: Mode,
+    staleness: Option<StalenessState>,
+    rounds: usize,
+    batch_changes: usize,
+    dirty_total: usize,
+    spanner_flips: usize,
+    repair_totals: Option<RepairTotals>,
+    flood_totals: Option<FloodTotals>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("algo", &self.algo_label)
+            .field("n", &self.engine.graph().n())
+            .field("m", &self.engine.graph().m())
+            .field("epoch", &self.engine.epoch())
+            .field("rounds", &self.rounds)
+            .field("routing", &self.router.is_some())
+            .field(
+                "scheduler",
+                &match self.mode {
+                    Mode::Sync => "sync",
+                    Mode::Async(_) => "async",
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Starts a builder over the initial topology.
+    pub fn builder(graph: CsrGraph) -> SessionBuilder {
+        let defaults = AsyncChurnConfig::default();
+        SessionBuilder {
+            graph,
+            algo: SpannerAlgo::Exact,
+            churn: None,
+            routing: Repair::None,
+            scheduler: Scheduler::Sync,
+            threads: 1,
+            flood: false,
+            measure_staleness: false,
+            churn_interval: defaults.churn_interval,
+            crash_prob: defaults.crash_prob,
+            downtime: defaults.downtime,
+            max_events: defaults.max_events,
+            async_only_set: Vec::new(),
+            threads_set: false,
+        }
+    }
+
+    /// Drives one churn round drawn from the owned scenario: under the sync
+    /// scheduler a batch → commit → repair step (exactly a
+    /// [`ChurnSession`](rspan_distributed::ChurnSession) step), under the
+    /// async scheduler one churn boundary on the event timeline (exactly a
+    /// [`rspan_asim::run_repair_churn`] round).
+    pub fn step(&mut self) -> Result<StepReport, RspanError> {
+        if self.scenario.is_none() {
+            return Err(RspanError::MissingChurn { feature: "step()" });
+        }
+        match &self.mode {
+            Mode::Sync => {
+                let batch = {
+                    let scenario = self.scenario.as_mut().expect("checked above");
+                    scenario.next_batch(self.engine.graph())
+                };
+                Ok(self.commit_sync(&batch))
+            }
+            Mode::Async(_) => self.step_async(),
+        }
+    }
+
+    /// Commits an explicit batch under the sync scheduler (the form the
+    /// benchmark harnesses use so they can draw batches outside the timed
+    /// region).  Errors under the async scheduler, which owns its timeline.
+    pub fn commit(&mut self, batch: &[TopologyChange]) -> Result<StepReport, RspanError> {
+        match &self.mode {
+            Mode::Sync => Ok(self.commit_sync(batch)),
+            Mode::Async(_) => Err(RspanError::Unsupported {
+                reason: "the async scheduler owns the event timeline; drive it with step()".into(),
+            }),
+        }
+    }
+
+    fn commit_sync(&mut self, batch: &[TopologyChange]) -> StepReport {
+        let start = Instant::now();
+        let delta = self.engine.commit_parallel(batch, self.threads);
+        let commit_ns = start.elapsed().as_nanos() as u64;
+        let (repair, repair_ns) = match &mut self.router {
+            Some(router) => {
+                let start = Instant::now();
+                let stats = router.apply(&self.engine, batch, &delta);
+                (Some(stats), start.elapsed().as_nanos() as u64)
+            }
+            None => (None, 0),
+        };
+        if self.flood {
+            let run = restabilise_flood(&self.engine, &delta);
+            self.flood_totals
+                .as_mut()
+                .expect("flood totals allocated at build time")
+                .absorb(&run.stats);
+        }
+        self.absorb(batch.len(), &delta, repair.as_ref());
+        StepReport {
+            step: self.rounds - 1,
+            delta,
+            repair,
+            commit_ns,
+            repair_ns,
+            round: None,
+        }
+    }
+
+    fn step_async(&mut self) -> Result<StepReport, RspanError> {
+        let Session {
+            mode,
+            engine,
+            router,
+            scenario,
+            staleness,
+            ..
+        } = self;
+        let Mode::Async(state) = mode else {
+            unreachable!("step_async called on a sync session");
+        };
+        let Some(driver) = state.driver.as_mut() else {
+            return Err(RspanError::Unsupported {
+                reason: "the session is finished; the event timeline is drained".into(),
+            });
+        };
+        let boundary = driver.begin_round();
+        // Staleness is observable exactly here: the previous window has been
+        // drained, nothing new is committed yet.
+        if let Some(st) = staleness {
+            let tables = router
+                .as_ref()
+                .expect("staleness requires Repair::Delta (validated at build)")
+                .tables();
+            match boundary.prev_quiesced {
+                None => {}
+                Some(true) => {
+                    // The wave drained: distributed state caught up with the
+                    // router.  Re-snapshot.
+                    st.stats.checks += 1;
+                    st.snapshot.clone_from(tables);
+                }
+                Some(false) => {
+                    st.stats.checks += 1;
+                    st.stats.inflight_checks += 1;
+                    let stale = st.snapshot.rows_differing(tables);
+                    st.stats.stale_rows_total += stale;
+                    st.stats.stale_rows_max = st.stats.stale_rows_max.max(stale);
+                }
+            }
+        }
+        let committed = driver.commit_round(
+            engine,
+            scenario
+                .as_mut()
+                .expect("step() checked the scenario exists")
+                .as_mut(),
+        );
+        let repair = router
+            .as_mut()
+            .map(|r| r.apply(engine, &committed.batch, &committed.delta));
+        self.absorb(committed.batch.len(), &committed.delta, repair.as_ref());
+        Ok(StepReport {
+            step: self.rounds - 1,
+            delta: committed.delta,
+            repair,
+            commit_ns: 0,
+            repair_ns: 0,
+            round: Some(committed.report),
+        })
+    }
+
+    fn absorb(
+        &mut self,
+        batch_len: usize,
+        delta: &SpannerDelta,
+        repair: Option<&rspan_distributed::RepairStats>,
+    ) {
+        self.rounds += 1;
+        self.batch_changes += batch_len;
+        self.dirty_total += delta.recomputed.len();
+        self.spanner_flips += delta.added.len() + delta.removed.len();
+        if let (Some(totals), Some(stats)) = (&mut self.repair_totals, repair) {
+            totals.rows_recomputed += stats.rows_recomputed;
+            totals.repairs += 1;
+        }
+    }
+
+    /// Drives `rounds` steps and returns the resulting snapshot.
+    pub fn run(&mut self, rounds: usize) -> Result<Metrics, RspanError> {
+        for _ in 0..rounds {
+            self.step()?;
+        }
+        Ok(self.metrics())
+    }
+
+    /// Applies the final-window rule to the async timeline (the last round
+    /// is held to the same convergence window as every other), drains the
+    /// remaining events, performs the final staleness check, and returns the
+    /// final snapshot.  A sync session just snapshots.
+    pub fn finish(mut self) -> Metrics {
+        if let Mode::Async(state) = &mut self.mode {
+            if let Some(driver) = state.driver.take() {
+                let run = driver.finish();
+                if let (Some(st), Some(router)) = (&mut self.staleness, &self.router) {
+                    if let Some(last) = run.rounds.last() {
+                        st.stats.checks += 1;
+                        if last.quiesced_at.is_none() {
+                            st.stats.inflight_checks += 1;
+                            let stale = st.snapshot.rows_differing(router.tables());
+                            st.stats.stale_rows_total += stale;
+                            st.stats.stale_rows_max = st.stats.stale_rows_max.max(stale);
+                        }
+                    }
+                }
+                state.finished = Some(run);
+            }
+        }
+        self.metrics()
+    }
+
+    /// The uniform snapshot of everything the session has done so far.
+    pub fn metrics(&self) -> Metrics {
+        let asim = match &self.mode {
+            Mode::Sync => None,
+            Mode::Async(state) => Some(state.snapshot()),
+        };
+        Metrics {
+            algo: self.algo_label.clone(),
+            guarantee: self.guarantee,
+            scenario: self.scenario.as_ref().map(|s| s.label().to_string()),
+            n: self.initial_n,
+            m: self.initial_m,
+            epoch: self.engine.epoch(),
+            spanner_edges: self.engine.spanner_len(),
+            rounds: self.rounds,
+            batch_changes: self.batch_changes,
+            dirty_total: self.dirty_total,
+            spanner_flips: self.spanner_flips,
+            repair: self.repair_totals.clone(),
+            flood: self.flood_totals.clone(),
+            asim,
+            staleness: self.staleness.as_ref().map(|s| s.stats.clone()),
+        }
+    }
+
+    /// The spanner algorithm this session maintains.
+    pub fn algo(&self) -> &SpannerAlgo {
+        &self.algo
+    }
+
+    /// The construction's proved stretch guarantee.
+    pub fn guarantee(&self) -> StretchGuarantee {
+        self.guarantee
+    }
+
+    /// The owned engine (topology + spanner state).
+    pub fn engine(&self) -> &RspanEngine {
+        &self.engine
+    }
+
+    /// The owned router, when [`Repair::Delta`] is configured.
+    pub fn router(&self) -> Option<&DeltaRouter> {
+        self.router.as_ref()
+    }
+
+    /// The maintained next-hop tables, when [`Repair::Delta`] is configured.
+    pub fn tables(&self) -> Option<&RoutingTables> {
+        self.router.as_ref().map(DeltaRouter::tables)
+    }
+
+    /// Materialises the current topology as a CSR snapshot.
+    pub fn to_csr(&self) -> CsrGraph {
+        self.engine.to_csr()
+    }
+
+    /// The current spanner as a sub-graph of `host` (a CSR snapshot of the
+    /// current topology, e.g. from [`Session::to_csr`]).
+    pub fn spanner_on<'g>(&self, host: &'g CsrGraph) -> Subgraph<'g> {
+        self.engine.spanner_on(host)
+    }
+
+    /// Size/degree statistics of the current spanner.
+    pub fn spanner_stats(&self) -> SpannerStats {
+        let csr = self.to_csr();
+        spanner_stats(&self.engine.spanner_on(&csr))
+    }
+}

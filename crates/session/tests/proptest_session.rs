@@ -1,0 +1,547 @@
+//! Property tests pinning every `Session` configuration **bit-identical** to
+//! the hand-wired pipeline it replaces:
+//!
+//! * each [`SpannerAlgo`] variant against its free constructor,
+//! * sync churn + delta repair against stepping a [`ChurnSession`] by hand,
+//! * async repair churn against [`run_repair_churn`],
+//!
+//! plus builder-validation coverage (structured errors instead of panics),
+//! staleness-counter semantics, and the metrics JSON shape the `BENCH_*.json`
+//! validators expect.
+
+use rspan_asim::{run_repair_churn, AsimConfig, AsyncChurnConfig, LatencyModel};
+use rspan_core::{
+    baswana_sen_spanner, epsilon_remote_spanner, epsilon_remote_spanner_greedy,
+    exact_remote_spanner, full_topology, greedy_spanner, k_connecting_remote_spanner,
+    k_mis_remote_spanner, two_connecting_remote_spanner,
+};
+use rspan_distributed::ChurnSession;
+use rspan_distributed::TreeStrategy;
+use rspan_domtree::TreeAlgo;
+use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, RspanEngine};
+use rspan_graph::generators::udg_with_density;
+use rspan_graph::Node;
+use rspan_session::{Repair, RspanError, Scheduler, Session, SpannerAlgo};
+
+fn sorted(mut pairs: Vec<(Node, Node)>) -> Vec<(Node, Node)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+// ---------------------------------------------------------------------------
+// SpannerAlgo ≡ free constructors
+// ---------------------------------------------------------------------------
+
+#[test]
+fn algo_build_bit_identical_to_free_constructors() {
+    for seed in [3u64, 11] {
+        let inst = udg_with_density(90, 9.0, seed);
+        let g = &inst.graph;
+        let cases: Vec<(SpannerAlgo, rspan_core::BuiltSpanner<'_>)> = vec![
+            (SpannerAlgo::Exact, exact_remote_spanner(g)),
+            (
+                SpannerAlgo::KConnecting { k: 2 },
+                k_connecting_remote_spanner(g, 2),
+            ),
+            (
+                SpannerAlgo::Epsilon { eps: 0.5 },
+                epsilon_remote_spanner(g, 0.5),
+            ),
+            (
+                SpannerAlgo::EpsilonGreedy { eps: 0.5 },
+                epsilon_remote_spanner_greedy(g, 0.5),
+            ),
+            (SpannerAlgo::TwoConnecting, two_connecting_remote_spanner(g)),
+            (SpannerAlgo::KMis { k: 3 }, k_mis_remote_spanner(g, 3)),
+            (SpannerAlgo::GreedySpanner { k: 2 }, greedy_spanner(g, 2)),
+            (
+                SpannerAlgo::BaswanaSen { k: 2, seed: 5 },
+                baswana_sen_spanner(g, 2, 5),
+            ),
+            (SpannerAlgo::FullTopology, full_topology(g)),
+        ];
+        for (algo, direct) in cases {
+            let built = algo.build(g).expect("valid parameters");
+            assert_eq!(
+                built.spanner.edge_set(),
+                direct.spanner.edge_set(),
+                "{algo:?} diverged from its constructor (seed {seed})"
+            );
+            assert_eq!(built.guarantee, direct.guarantee, "{algo:?}");
+            assert_eq!(built.name, direct.name, "{algo:?}");
+            if let Some(g2) = algo.guarantee() {
+                assert_eq!(g2, direct.guarantee, "{algo:?} metadata guarantee");
+            }
+            // The parallel driver stays bit-identical too.
+            let par = algo.build_threads(g, 4).expect("valid parameters");
+            assert_eq!(par.spanner.edge_set(), direct.spanner.edge_set());
+        }
+    }
+}
+
+#[test]
+fn session_initial_build_matches_algo_constructor() {
+    let inst = udg_with_density(100, 10.0, 4);
+    let direct = SpannerAlgo::KConnecting { k: 2 }
+        .build(&inst.graph)
+        .unwrap();
+    let session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .build()
+        .unwrap();
+    let csr = session.to_csr();
+    assert_eq!(
+        session.spanner_on(&csr).edge_set(),
+        direct.spanner.edge_set()
+    );
+    assert_eq!(session.guarantee(), direct.guarantee);
+}
+
+// ---------------------------------------------------------------------------
+// Sync scheduler ≡ hand-wired ChurnSession
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sync_session_bit_identical_to_churn_session() {
+    for (seed, threads) in [(1u64, 1usize), (2, 4), (9, 0)] {
+        let inst = udg_with_density(120, 10.0, seed);
+        let strategy = TreeStrategy::KGreedy { k: 2 };
+
+        let mut hand = ChurnSession::with_threads(inst.graph.clone(), strategy, threads);
+        let mut hand_scenario = LinkFlapScenario::new(&inst.graph, 2.5, seed + 100);
+
+        let mut session = Session::builder(inst.graph.clone())
+            .algo(SpannerAlgo::KConnecting { k: 2 })
+            .churn(LinkFlapScenario::new(&inst.graph, 2.5, seed + 100))
+            .routing(Repair::Delta)
+            .scheduler(Scheduler::Sync)
+            .threads(threads)
+            .build()
+            .unwrap();
+
+        for round in 0..12 {
+            let batch = hand_scenario.next_batch(hand.engine().graph());
+            let (hand_delta, hand_stats) = hand.step(&batch);
+            let report = session.step().expect("scenario configured");
+            assert_eq!(
+                report.delta, hand_delta,
+                "delta diverged seed {seed} round {round}"
+            );
+            assert_eq!(
+                report.repair.as_ref(),
+                Some(&hand_stats),
+                "repair stats diverged seed {seed} round {round}"
+            );
+            assert_eq!(
+                session.tables().unwrap(),
+                hand.router().tables(),
+                "tables diverged seed {seed} round {round}"
+            );
+            assert_eq!(
+                sorted(session.engine().spanner_pairs()),
+                sorted(hand.engine().spanner_pairs()),
+                "spanner diverged seed {seed} round {round}"
+            );
+        }
+        let metrics = session.metrics();
+        assert_eq!(metrics.rounds, 12);
+        assert_eq!(metrics.epoch, 12);
+        assert!(metrics.repair.is_some());
+        assert!(metrics.asim.is_none());
+    }
+}
+
+#[test]
+fn sync_flood_session_accounts_messages() {
+    let inst = udg_with_density(80, 9.0, 6);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::Exact)
+        .churn(LinkFlapScenario::new(&inst.graph, 2.0, 13))
+        .flood(true)
+        .build()
+        .unwrap();
+    session.run(6).unwrap();
+    let metrics = session.finish();
+    let flood = metrics.flood.expect("flood accounting configured");
+    assert!(flood.rounds > 0, "floods must run under churn");
+    assert!(flood.messages > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Async scheduler ≡ run_repair_churn
+// ---------------------------------------------------------------------------
+
+fn async_cfg(seed: u64, rounds: usize) -> AsyncChurnConfig {
+    AsyncChurnConfig {
+        sim: AsimConfig {
+            latency: LatencyModel::HeavyTailed {
+                min: 1,
+                alpha: 1.5,
+                cap: 16,
+            },
+            loss: 0.2,
+            max_retries: 1,
+            seed: seed ^ 0xA51C,
+            ..AsimConfig::default()
+        },
+        churn_interval: 8,
+        rounds,
+        crash_prob: 0.5,
+        downtime: 12,
+        max_events: 20_000_000,
+    }
+}
+
+#[test]
+fn async_session_bit_identical_to_run_repair_churn() {
+    for seed in [31u64, 32] {
+        let inst = udg_with_density(80, 9.0, seed);
+        let cfg = async_cfg(seed, 8);
+
+        // Hand-wired pipeline: bare engine + the one-shot driver.
+        let mut engine = RspanEngine::new(inst.graph.clone(), TreeAlgo::KGreedy { k: 2 });
+        let mut scenario = LinkFlapScenario::new(&inst.graph, 2.0, seed + 4);
+        let run = run_repair_churn(&mut engine, &mut scenario, &cfg);
+
+        // The same configuration through the session builder.
+        let mut session = Session::builder(inst.graph.clone())
+            .algo(SpannerAlgo::KConnecting { k: 2 })
+            .churn(LinkFlapScenario::new(&inst.graph, 2.0, seed + 4))
+            .scheduler(Scheduler::Async(cfg.sim.clone()))
+            .churn_interval(cfg.churn_interval)
+            .crash(cfg.crash_prob, cfg.downtime)
+            .max_events(cfg.max_events)
+            .build()
+            .unwrap();
+        session.run(cfg.rounds).unwrap();
+        let metrics = session.finish();
+
+        let asim = metrics.asim.expect("async session");
+        assert_eq!(
+            asim.stats, run.stats,
+            "simulator accounting diverged, seed {seed}"
+        );
+        assert_eq!(
+            asim.rounds, run.rounds,
+            "round transcripts diverged, seed {seed}"
+        );
+        assert_eq!(asim.final_time, run.final_time);
+        assert_eq!(asim.dirty_total, run.dirty_total);
+        assert_eq!(asim.drained, Some(run.drained));
+        assert_eq!(metrics.dirty_total, run.dirty_total);
+    }
+}
+
+#[test]
+fn async_session_engine_state_matches_hand_wired_engine() {
+    let inst = udg_with_density(70, 9.0, 44);
+    let cfg = AsyncChurnConfig {
+        rounds: 6,
+        churn_interval: 16,
+        ..AsyncChurnConfig::default()
+    };
+    let mut engine = RspanEngine::new(inst.graph.clone(), TreeAlgo::KGreedy { k: 2 });
+    let mut scenario = JoinLeaveScenario::new(inst.graph.clone(), 2, 77);
+    let _ = run_repair_churn(&mut engine, &mut scenario, &cfg);
+
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(JoinLeaveScenario::new(inst.graph.clone(), 2, 77))
+        .scheduler(Scheduler::Async(cfg.sim.clone()))
+        .churn_interval(cfg.churn_interval)
+        .build()
+        .unwrap();
+    session.run(cfg.rounds).unwrap();
+    assert_eq!(
+        sorted(session.engine().spanner_pairs()),
+        sorted(engine.spanner_pairs())
+    );
+    assert_eq!(session.engine().epoch(), engine.epoch());
+}
+
+// ---------------------------------------------------------------------------
+// Staleness counter
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lockstep_fast_waves_are_never_stale() {
+    let inst = udg_with_density(80, 9.0, 21);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 2.0, 5))
+        .routing(Repair::Delta)
+        .scheduler(Scheduler::Async(AsimConfig::lockstep(9)))
+        .churn_interval(16) // comfortably above the wave TTL
+        .measure_staleness(true)
+        .build()
+        .unwrap();
+    session.run(8).unwrap();
+    let metrics = session.finish();
+    let st = metrics.staleness.expect("staleness measurement configured");
+    assert!(st.checks > 0);
+    assert_eq!(
+        st.inflight_checks, 0,
+        "lock-step waves drain inside a round"
+    );
+    assert_eq!(st.stale_rows_total, 0);
+}
+
+#[test]
+fn slow_waves_record_staleness() {
+    let inst = udg_with_density(80, 9.0, 22);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 3.0, 6))
+        .routing(Repair::Delta)
+        .scheduler(Scheduler::Async(AsimConfig {
+            latency: LatencyModel::Constant(6),
+            seed: 10,
+            ..AsimConfig::default()
+        }))
+        .churn_interval(2) // new churn arrives long before a wave can drain
+        .measure_staleness(true)
+        .build()
+        .unwrap();
+    session.run(10).unwrap();
+    // The tables themselves are the post-commit truth the whole time.
+    let csr = session.to_csr();
+    let full = rspan_distributed::RoutingTables::build(&session.spanner_on(&csr));
+    assert_eq!(session.tables().unwrap(), &full);
+    let metrics = session.finish();
+    let st = metrics.staleness.expect("staleness measurement configured");
+    assert!(
+        st.inflight_checks > 0,
+        "slow waves must still be in flight at churn boundaries"
+    );
+    assert!(
+        st.stale_rows_total > 0,
+        "in-flight repairs must leave stale rows"
+    );
+    assert!(st.stale_rows_max <= inst.graph.n());
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation: structured errors, no panics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn builder_rejects_bad_configurations_with_structured_errors() {
+    let g = || udg_with_density(40, 8.0, 1).graph;
+    let flap = |graph: &rspan_graph::CsrGraph| LinkFlapScenario::new(graph, 1.0, 2);
+
+    // Algorithm parameter out of range.
+    let err = Session::builder(g())
+        .algo(SpannerAlgo::Epsilon { eps: 0.0 })
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidAlgo { .. }), "{err}");
+
+    // Baselines have no incremental form.
+    let err = Session::builder(g())
+        .algo(SpannerAlgo::BaswanaSen { k: 3, seed: 1 })
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::AlgoNotIncremental { .. }),
+        "{err}"
+    );
+
+    // Async scheduler needs a scenario.
+    let err = Session::builder(g())
+        .scheduler(Scheduler::Async(AsimConfig::default()))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RspanError::MissingChurn { .. }), "{err}");
+
+    // Degenerate simulator configuration.
+    let graph = g();
+    let err = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .scheduler(Scheduler::Async(AsimConfig {
+            loss: 2.0,
+            ..AsimConfig::default()
+        }))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidSim { .. }), "{err}");
+
+    // Degenerate churn driving configuration.
+    let graph = g();
+    let err = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .scheduler(Scheduler::Async(AsimConfig::default()))
+        .churn_interval(0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidChurn { .. }), "{err}");
+
+    // Staleness needs the async scheduler + delta routing.
+    let err = Session::builder(g())
+        .measure_staleness(true)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+    let graph = g();
+    let err = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .scheduler(Scheduler::Async(AsimConfig::default()))
+        .measure_staleness(true)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+
+    // Async-only knobs are rejected (not silently ignored) under Sync.
+    let graph = g();
+    let err = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .crash(0.7, 24)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("crash"), "{err}");
+    let err = Session::builder(g()).churn_interval(4).build().unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+
+    // Threaded commits are a sync-scheduler option (the async timeline
+    // always commits sequentially, matching run_repair_churn).
+    let graph = g();
+    let err = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .scheduler(Scheduler::Async(AsimConfig::default()))
+        .threads(8)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("threads"), "{err}");
+
+    // Sync floods cannot run under the async scheduler.
+    let graph = g();
+    let err = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .scheduler(Scheduler::Async(AsimConfig::default()))
+        .flood(true)
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+
+    // Explicit commits are a sync-scheduler operation.
+    let graph = g();
+    let mut session = Session::builder(graph.clone())
+        .churn(flap(&graph))
+        .scheduler(Scheduler::Async(AsimConfig::default()))
+        .build()
+        .unwrap();
+    let err = session.commit(&[]).unwrap_err();
+    assert!(matches!(err, RspanError::Unsupported { .. }), "{err}");
+
+    // step() without a scenario.
+    let mut session = Session::builder(g()).build().unwrap();
+    let err = session.step().unwrap_err();
+    assert!(matches!(err, RspanError::MissingChurn { .. }), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics JSON shape: what the BENCH_*.json validators expect
+// ---------------------------------------------------------------------------
+
+fn assert_has_keys(json: &str, keys: &[&str]) {
+    for key in keys {
+        assert!(
+            json.contains(&format!("\"{key}\":")),
+            "metrics JSON missing key `{key}`: {json}"
+        );
+    }
+}
+
+#[test]
+fn metrics_json_shape_matches_bench_validators() {
+    // Async session: must provide every BENCH_async.json row field except
+    // the harness-owned `family` and `wall_ns_per_event`.
+    let inst = udg_with_density(60, 9.0, 8);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 1.5, 3))
+        .routing(Repair::Delta)
+        .scheduler(Scheduler::Async(AsimConfig::lockstep(4)))
+        .churn_interval(16)
+        .measure_staleness(true)
+        .build()
+        .unwrap();
+    session.run(4).unwrap();
+    let json = session.finish().to_json();
+    assert_has_keys(
+        &json,
+        &[
+            "scenario",
+            "n",
+            "m",
+            "rounds",
+            "churn_interval",
+            "latency",
+            "loss",
+            "max_retries",
+            "crash_prob",
+            "dirty_total",
+            "converged_rounds",
+            "mean_convergence_ticks",
+            "final_virtual_time",
+            "delivered",
+            "dropped",
+            "dropped_loss",
+            "dropped_down",
+            "transmissions",
+            "bytes_delivered",
+            "events",
+            // The staleness section (new BENCH_async.json family).
+            "staleness_checks",
+            "staleness_inflight_checks",
+            "stale_rows_total",
+            "stale_rows_max",
+        ],
+    );
+    assert!(json.starts_with('{') && json.ends_with('}'));
+
+    // Sync session with routing: the engine/routing churn row fields.
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 1.5, 3))
+        .routing(Repair::Delta)
+        .build()
+        .unwrap();
+    session.run(4).unwrap();
+    let json = session.finish().to_json();
+    assert_has_keys(
+        &json,
+        &[
+            "algo",
+            "n",
+            "m",
+            "epoch",
+            "spanner_edges",
+            "rounds",
+            "batch_changes",
+            "dirty_total",
+            "spanner_flips",
+            "rows_recomputed",
+            "repairs",
+        ],
+    );
+}

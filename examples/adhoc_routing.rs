@@ -43,19 +43,20 @@ fn main() {
         "advertised sub-graph", "edges", "adv/node", "max stretch", "mean stretch"
     );
 
-    let full = full_topology(graph);
+    // Every advertised sub-graph is one `SpannerAlgo` variant.
+    let full = SpannerAlgo::FullTopology.build(graph).unwrap();
     row("full topology (OSPF-style)", &full, &pairs);
 
-    let exact = exact_remote_spanner(graph);
+    let exact = SpannerAlgo::Exact.build(graph).unwrap();
     row("(1,0)-remote-spanner  [Thm 2, k=1]", &exact, &pairs);
 
-    let kconn = k_connecting_remote_spanner(graph, 2);
+    let kconn = SpannerAlgo::KConnecting { k: 2 }.build(graph).unwrap();
     row("2-connecting (1,0)-RS [Thm 2, k=2]", &kconn, &pairs);
 
-    let eps = epsilon_remote_spanner(graph, 0.5);
+    let eps = SpannerAlgo::Epsilon { eps: 0.5 }.build(graph).unwrap();
     row("(1.5, 0)-RS           [Thm 1, ε=1/2]", &eps, &pairs);
 
-    let two = two_connecting_remote_spanner(graph);
+    let two = SpannerAlgo::TwoConnecting.build(graph).unwrap();
     row("2-connecting (2,-1)-RS [Thm 3]", &two, &pairs);
 
     // End-to-end distributed execution of the k = 1 construction.

@@ -49,7 +49,7 @@ fn main() {
     );
 
     // (b) a (1, 0)-remote-spanner: Theorem 2 with k = 1.
-    let b = exact_remote_spanner(&graph);
+    let b = SpannerAlgo::Exact.build(&graph).unwrap();
     println!(
         "\n(b) (1,0)-remote-spanner H^b: {} of {} edges",
         b.num_edges(),
@@ -65,7 +65,7 @@ fn main() {
     assert!(verify_remote_stretch(&b.spanner, &b.guarantee).holds());
 
     // (c) a (2, −1)-remote-spanner: Theorem 1 with ε = 1 (radius-2 MIS trees).
-    let c = epsilon_remote_spanner(&graph, 1.0);
+    let c = SpannerAlgo::Epsilon { eps: 1.0 }.build(&graph).unwrap();
     println!(
         "\n(c) (2,-1)-remote-spanner H^c: {} of {} edges",
         c.num_edges(),
@@ -81,7 +81,7 @@ fn main() {
     assert!(verify_remote_stretch(&c.spanner, &c.guarantee).holds());
 
     // (d) a 2-connecting (2, −1)-remote-spanner: Theorem 3.
-    let d = two_connecting_remote_spanner(&graph);
+    let d = SpannerAlgo::TwoConnecting.build(&graph).unwrap();
     println!(
         "\n(d) 2-connecting (2,-1)-remote-spanner H^d: {} of {} edges",
         d.num_edges(),

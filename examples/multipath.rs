@@ -24,9 +24,10 @@ fn main() {
         graph.avg_degree()
     );
 
-    let one_connecting = exact_remote_spanner(graph);
-    let two_connecting = k_connecting_remote_spanner(graph, 2);
-    let thm3 = two_connecting_remote_spanner(graph);
+    // The three constructions, named through the `SpannerAlgo` API.
+    let one_connecting = SpannerAlgo::Exact.build(graph).unwrap();
+    let two_connecting = SpannerAlgo::KConnecting { k: 2 }.build(graph).unwrap();
+    let thm3 = SpannerAlgo::TwoConnecting.build(graph).unwrap();
     println!(
         "spanner sizes: (1,0)-RS {} edges, 2-connecting (1,0)-RS {} edges, 2-connecting (2,-1)-RS {} edges, full graph {} edges",
         one_connecting.num_edges(),

@@ -1,5 +1,7 @@
-//! Quickstart: build a random ad-hoc network, construct the paper's three
-//! remote-spanner families, and verify each against its stretch guarantee.
+//! Quickstart: build a random ad-hoc network, construct the paper's
+//! remote-spanner families through the [`SpannerAlgo`] API, verify each
+//! against its stretch guarantee, and then maintain one under churn with a
+//! [`Session`].
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -19,28 +21,54 @@ fn main() {
     );
     println!();
 
-    // --- Theorem 2, k = 1: (1, 0)-remote-spanner (exact distances). ---------
-    let exact = exact_remote_spanner(graph);
-    report("Theorem 2 (k=1)", &exact);
-
-    // --- Theorem 2, k = 2: 2-connecting (1, 0)-remote-spanner. --------------
-    let kconn = k_connecting_remote_spanner(graph, 2);
-    report("Theorem 2 (k=2)", &kconn);
-
-    // --- Theorem 1: (1 + ε, 1 − 2ε)-remote-spanner with ε = 1/2. ------------
-    let eps = epsilon_remote_spanner(graph, 0.5);
-    report("Theorem 1 (ε=1/2)", &eps);
-
-    // --- Theorem 3: 2-connecting (2, −1)-remote-spanner. --------------------
-    let two = two_connecting_remote_spanner(graph);
-    report("Theorem 3", &two);
+    // One enum names every construction: Theorems 1–3 and the baselines.
+    for (label, algo) in [
+        ("Theorem 2 (k=1)", SpannerAlgo::Exact),
+        ("Theorem 2 (k=2)", SpannerAlgo::KConnecting { k: 2 }),
+        ("Theorem 1 (ε=1/2)", SpannerAlgo::Epsilon { eps: 0.5 }),
+        ("Theorem 3", SpannerAlgo::TwoConnecting),
+    ] {
+        let built = algo.build(graph).expect("valid construction parameters");
+        report(label, &built);
+    }
 
     // --- Baseline: what plain link-state routing advertises. ----------------
-    let full = full_topology(graph);
+    let full = SpannerAlgo::FullTopology
+        .build(graph)
+        .expect("the full topology always builds");
     println!(
         "baseline full topology: {} edges ({:.2} advertised per node)",
         full.num_edges(),
         2.0 * full.num_edges() as f64 / graph.n() as f64
+    );
+
+    // --- The same construction maintained under churn. ----------------------
+    // A Session owns the engine, the delta-repaired routing tables and the
+    // churn scenario; each step commits one batch incrementally.
+    let scenario = LinkFlapScenario::new(graph, 2.0, 7);
+    let mut session = Session::builder(instance.graph.clone())
+        .algo(SpannerAlgo::Exact)
+        .churn(scenario)
+        .routing(Repair::Delta)
+        .build()
+        .expect("valid session configuration");
+    let metrics = session.run(10).expect("scenario is configured");
+    println!(
+        "\nchurn session: {} rounds, {} link events, {} nodes recomputed, \
+         {} spanner flips, {} routing rows repaired",
+        metrics.rounds,
+        metrics.batch_changes,
+        metrics.dirty_total,
+        metrics.spanner_flips,
+        metrics.repair.as_ref().map_or(0, |r| r.rows_recomputed),
+    );
+    // The maintained spanner still satisfies the construction's guarantee.
+    let csr = session.to_csr();
+    let verification = verify_remote_stretch(&session.spanner_on(&csr), &session.guarantee());
+    assert!(verification.holds(), "incremental spanner must stay valid");
+    println!(
+        "after churn the spanner still satisfies its (α, β) guarantee over {} pairs ✔",
+        verification.pairs_checked
     );
 }
 

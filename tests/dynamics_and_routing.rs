@@ -2,6 +2,9 @@
 //! remote-spanners and incremental restabilisation after topology changes —
 //! the two behaviours the paper's introduction and §2.3 promise.
 
+// The deprecated one-shot `restabilise` wrapper stays covered until removal.
+#![allow(deprecated)]
+
 use remote_spanners::core::{
     advertisement_cost, epsilon_remote_spanner, exact_remote_spanner, full_topology,
     two_connecting_remote_spanner, verify_remote_stretch,
