@@ -18,12 +18,50 @@
 //! loss/latency/crash regime.
 
 use crate::model::{AsimConfig, VTime};
-use crate::sim::{AsimStats, AsyncNetwork};
+use crate::sim::{AsimStats, AsyncNetwork, FaultHook};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rspan_distributed::rb::{Auth, RbNode};
+use rspan_distributed::transport::{ProtocolNode, Transport, WireSize};
 use rspan_distributed::RepairNode;
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::Node;
+
+/// A protocol node the churn driver can arm and fire §2.3 repair waves on —
+/// the seam that lets one driver run both the plain [`RepairNode`] flood and
+/// its Byzantine-tolerant [`RbNode`] wrapping without duplicating the
+/// commit/crash/window machinery.
+pub trait WaveNode: ProtocolNode {
+    /// Arms one stabilisation wave (cf. [`RepairNode::begin_wave`]).
+    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>);
+
+    /// Originates the armed wave on the wire (cf. [`RepairNode::originate`]).
+    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>);
+}
+
+impl WaveNode for RepairNode {
+    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
+        self.begin_wave(epoch, dirty_tree);
+    }
+
+    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>) {
+        self.originate(net);
+    }
+}
+
+impl<A: Auth> WaveNode for RbNode<RepairNode, A> {
+    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
+        // Arming also advances the wrapper's replay-rejection epoch (and
+        // garbage-collects its instance state) in lockstep with the inner
+        // node's dedup window.
+        self.advance_epoch(epoch);
+        self.inner_mut().begin_wave(epoch, dirty_tree);
+    }
+
+    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>) {
+        self.with_inner(net, |inner, t| inner.originate(t));
+    }
+}
 
 /// Configuration of one asynchronous churn run.
 #[derive(Clone, Debug)]
@@ -181,8 +219,17 @@ pub struct CommittedRound {
 ///
 /// [`run_repair_churn`] is the one-shot wrapper; driving the phases by hand
 /// produces the *identical* event timeline (property-tested).
-pub struct RepairChurnDriver {
-    sim: AsyncNetwork<RepairNode>,
+///
+/// The driver is generic over the [`WaveNode`] it floods with: the default
+/// [`RepairNode`] is the plain trusting flood, and
+/// `RepairChurnDriver<RbNode<RepairNode, _>>` (via
+/// [`RepairChurnDriver::with_nodes`]) runs the same churn timeline under
+/// reliable broadcast.
+pub struct RepairChurnDriver<P: WaveNode = RepairNode>
+where
+    P::Msg: WireSize,
+{
+    sim: AsyncNetwork<P>,
     crash_rng: SmallRng,
     cfg: AsyncChurnConfig,
     rounds: Vec<RoundReport>,
@@ -193,21 +240,35 @@ pub struct RepairChurnDriver {
     mid_round: bool,
 }
 
-impl RepairChurnDriver {
-    /// Builds the event simulator over the engine's live adjacency.  The
-    /// `rounds` field of `cfg` is ignored — the caller decides how many
-    /// rounds to drive.  Panics on a degenerate configuration
-    /// ([`AsyncChurnConfig::check`] is the non-panicking form).
+impl RepairChurnDriver<RepairNode> {
+    /// Builds the event simulator over the engine's live adjacency with the
+    /// default plain [`RepairNode`] flood.  The `rounds` field of `cfg` is
+    /// ignored — the caller decides how many rounds to drive.  Panics on a
+    /// degenerate configuration ([`AsyncChurnConfig::check`] is the
+    /// non-panicking form).
     pub fn new(engine: &RspanEngine, cfg: AsyncChurnConfig) -> Self {
+        let radius = engine.dirty_radius();
+        Self::with_nodes(engine, cfg, |_| RepairNode::new(radius))
+    }
+}
+
+impl<P: WaveNode> RepairChurnDriver<P>
+where
+    P::Msg: WireSize,
+{
+    /// Builds the event simulator over the engine's live adjacency with a
+    /// caller-chosen [`WaveNode`] per node (the reliable-broadcast entry
+    /// point).  Panics on a degenerate configuration.
+    pub fn with_nodes<F>(engine: &RspanEngine, cfg: AsyncChurnConfig, make_node: F) -> Self
+    where
+        F: FnMut(Node) -> P,
+    {
         if let Err(e) = cfg.check() {
             panic!("{e}");
         }
-        let radius = engine.dirty_radius();
         let n = engine.graph().n();
-        let sim: AsyncNetwork<RepairNode> =
-            AsyncNetwork::from_adjacency(engine.graph(), cfg.sim.clone(), |_| {
-                RepairNode::new(radius)
-            });
+        let sim: AsyncNetwork<P> =
+            AsyncNetwork::from_adjacency(engine.graph(), cfg.sim.clone(), make_node);
         // Crash draws come from their own stream so enabling crashes does
         // not perturb the loss/latency draw sequence of the link model.
         let crash_rng = SmallRng::seed_from_u64(cfg.sim.seed ^ 0xCAFE_F00D_u64);
@@ -221,6 +282,17 @@ impl RepairChurnDriver {
             pending_crash: None,
             mid_round: false,
         }
+    }
+
+    /// Installs a Byzantine [`FaultHook`] on the underlying simulator's
+    /// transmissions (see [`AsyncNetwork::set_fault_hook`]).
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook<P::Msg>>) {
+        self.sim.set_fault_hook(hook);
+    }
+
+    /// The protocol nodes, in id order (e.g. for agreement checks mid-run).
+    pub fn nodes(&self) -> &[P] {
+        self.sim.nodes()
     }
 
     /// Rounds committed so far.
@@ -321,11 +393,11 @@ impl RepairChurnDriver {
             if self.sim.is_alive(d) {
                 let epoch = delta.epoch;
                 self.sim.inject(d, |node, net| {
-                    node.begin_wave(epoch, Some(tree));
-                    node.originate(net);
+                    node.arm_wave(epoch, Some(tree));
+                    node.fire_wave(net);
                 });
             } else {
-                self.sim.node_mut(d).begin_wave(delta.epoch, Some(tree));
+                self.sim.node_mut(d).arm_wave(delta.epoch, Some(tree));
             }
         }
         let report = RoundReport {
@@ -348,7 +420,14 @@ impl RepairChurnDriver {
     /// Applies the window rule to the final round (quiescent by the next
     /// would-be churn instant), drains the remaining queue, and returns the
     /// full transcript.
-    pub fn finish(mut self) -> AsyncChurnRun {
+    pub fn finish(self) -> AsyncChurnRun {
+        self.finish_with_nodes().0
+    }
+
+    /// Like [`RepairChurnDriver::finish`], additionally handing back the
+    /// final node states — what end-of-run honest-agreement checks and
+    /// reliable-broadcast accounting read.
+    pub fn finish_with_nodes(mut self) -> (AsyncChurnRun, Vec<P>) {
         assert!(!self.mid_round, "finish called between begin and commit");
         // The final round is held to the same window rule as every other
         // round; the unbounded drain afterwards only completes the
@@ -359,13 +438,16 @@ impl RepairChurnDriver {
             last.quiesced_at = (self.sim.protocol_pending() == 0).then(|| self.sim.now());
         }
         let drained = self.sim.run_to_quiescence(self.cfg.max_events);
-        AsyncChurnRun {
+        let final_time = self.sim.now();
+        let (nodes, stats) = self.sim.into_nodes_and_stats();
+        let run = AsyncChurnRun {
             rounds: self.rounds,
-            final_time: self.sim.now(),
+            final_time,
             dirty_total: self.dirty_total,
             drained,
-            stats: self.sim.into_stats(),
-        }
+            stats,
+        };
+        (run, nodes)
     }
 }
 

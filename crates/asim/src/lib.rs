@@ -18,6 +18,11 @@
 //! * [`churn`] — engine-driven topology churn on the same timeline:
 //!   [`rspan_engine::RspanEngine`] commits, epoch-stamped §2.3 repair waves,
 //!   crash/recovery interleaving, per-round convergence accounting.
+//! * [`byz`] — Byzantine fault plans: wire-level injectors (forge /
+//!   equivocate / suppress / replay) installed as [`FaultHook`]s on the
+//!   network, plus the honest-agreement acceptance check.  Combined with
+//!   the [`Adversary`] schedulers in [`model`] this is the crate's
+//!   adversarial test harness.
 //!
 //! ## Determinism
 //!
@@ -34,16 +39,21 @@
 
 #![warn(missing_docs)]
 
+pub mod byz;
 pub mod churn;
 pub mod model;
 pub mod sim;
 
+pub use byz::{
+    honest_agreement, AgreementReport, ByzBehaviour, FaultPlan, RbFaultInjector,
+    RepairFaultInjector,
+};
 pub use churn::{
     run_repair_churn, AsyncChurnConfig, AsyncChurnRun, BoundaryInfo, CommittedRound,
-    RepairChurnDriver, RoundReport,
+    RepairChurnDriver, RoundReport, WaveNode,
 };
-pub use model::{AsimConfig, LatencyModel, VTime};
-pub use sim::{AsimStats, AsyncNetwork, TraceEvent};
+pub use model::{Adversary, AsimConfig, LatencyModel, VTime};
+pub use sim::{AsimStats, AsyncNetwork, FaultHook, FaultVerdict, TraceEvent};
 
 use rspan_distributed::{RemSpanNode, TreeStrategy};
 use rspan_graph::CsrGraph;

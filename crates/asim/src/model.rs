@@ -1,8 +1,10 @@
 //! Link models and simulator configuration: latency distributions, Bernoulli
-//! loss with bounded retransmission, and the virtual clock's unit.
+//! loss with bounded retransmission, adversarial schedulers, and the virtual
+//! clock's unit.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+use rspan_graph::Node;
 
 /// Virtual time, in abstract clock ticks.  One tick is the synchronous
 /// round length: a constant-latency-1, zero-loss simulation reproduces the
@@ -103,6 +105,115 @@ impl LatencyModel {
     }
 }
 
+/// An adversarial scheduler: a *deterministic* worst-case delay policy
+/// stacked on top of the random [`LatencyModel`] draw.  The asynchronous
+/// model lets the scheduler pick any admissible delivery order; random
+/// latency explores a benign sample of that space, while these policies
+/// steer deliveries towards the orders that hurt the repair waves most —
+/// the ROADMAP's "adversarial schedulers" item.
+///
+/// The extra delay is a pure function of the link, the transmission index
+/// and the base draw (no RNG consumed), so an adversarial run stays
+/// replay-deterministic and its random-draw stream stays aligned with the
+/// baseline run under the same seed.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum Adversary {
+    /// No adversary: the latency model alone (the random baseline).
+    #[default]
+    None,
+    /// Worst-case-link delay: a fixed (hash-selected) half of the links
+    /// runs `factor×` slower, so every wave crosses a consistently slow
+    /// cut instead of averaging out.
+    WorstLink {
+        /// Multiplier applied to the slow links' latency draws (≥ 2).
+        factor: VTime,
+    },
+    /// Laggard node: every frame from or to one node is delayed by `lag`
+    /// extra ticks — the node quorums and floods keep waiting for.
+    Laggard {
+        /// The straggling node.
+        node: Node,
+        /// Extra ticks on each of its transmissions (≥ 1).
+        lag: VTime,
+    },
+    /// Wave-splitting reordering: every other transmission is delayed by
+    /// `stretch` ticks, tearing each flood wave into an early and a late
+    /// half so frames from different waves interleave maximally.
+    WaveSplit {
+        /// Extra ticks on the delayed half (≥ 1).
+        stretch: VTime,
+    },
+}
+
+impl Adversary {
+    /// Checks the policy parameters, returning a description of the first
+    /// problem instead of panicking (the session builder's validation path).
+    pub fn check(&self) -> Result<(), String> {
+        match *self {
+            Adversary::None => {}
+            Adversary::WorstLink { factor } => {
+                if factor < 2 {
+                    return Err("worst-link factor must be >= 2 (1 is no adversary)".into());
+                }
+            }
+            Adversary::Laggard { lag, .. } => {
+                if lag < 1 {
+                    return Err("laggard lag must be >= 1 tick".into());
+                }
+            }
+            Adversary::WaveSplit { stretch } => {
+                if stretch < 1 {
+                    return Err("wave-split stretch must be >= 1 tick".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The delivery delay after the adversary's interference: `base` is the
+    /// latency model's draw, `seq` the global transmission index.
+    pub fn delay(&self, from: Node, to: Node, seq: u64, base: VTime) -> VTime {
+        match *self {
+            Adversary::None => base,
+            Adversary::WorstLink { factor } => {
+                // Undirected link hash: both directions of a link are slow
+                // together, like a congested physical channel.
+                let (a, b) = if from <= to { (from, to) } else { (to, from) };
+                let h = ((u64::from(a) << 32) | u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                if h & (1 << 63) != 0 {
+                    base.saturating_mul(factor)
+                } else {
+                    base
+                }
+            }
+            Adversary::Laggard { node, lag } => {
+                if from == node || to == node {
+                    base.saturating_add(lag)
+                } else {
+                    base
+                }
+            }
+            Adversary::WaveSplit { stretch } => {
+                if seq & 1 == 1 {
+                    base.saturating_add(stretch)
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Short label for benchmark tables.
+    pub fn label(&self) -> String {
+        match *self {
+            Adversary::None => "none".into(),
+            Adversary::WorstLink { factor } => format!("worst_link_x{factor}"),
+            Adversary::Laggard { node, lag } => format!("laggard_{node}_lag{lag}"),
+            Adversary::WaveSplit { stretch } => format!("wave_split_{stretch}"),
+        }
+    }
+}
+
 /// Configuration of one asynchronous simulation.
 ///
 /// Determinism guarantee: the whole run — event order, loss draws, latency
@@ -125,6 +236,8 @@ pub struct AsimConfig {
     /// Record a [`crate::sim::TraceEvent`] per processed event (costs
     /// memory on long runs; enable for replay/debug).
     pub record_trace: bool,
+    /// Deterministic worst-case delay policy on top of the latency draws.
+    pub adversary: Adversary,
 }
 
 impl Default for AsimConfig {
@@ -136,6 +249,7 @@ impl Default for AsimConfig {
             retry_timeout: 2,
             seed: 0x5eed,
             record_trace: false,
+            adversary: Adversary::None,
         }
     }
 }
@@ -151,6 +265,7 @@ impl AsimConfig {
         if self.retry_timeout < 1 {
             return Err("retry timeout must be >= 1 tick".into());
         }
+        self.adversary.check()?;
         Ok(())
     }
 
@@ -223,6 +338,55 @@ mod tests {
     #[should_panic(expected = "latency must be >= 1")]
     fn zero_latency_rejected() {
         LatencyModel::Constant(0).validate();
+    }
+
+    #[test]
+    fn adversaries_delay_deterministically_and_only_where_claimed() {
+        let worst = Adversary::WorstLink { factor: 3 };
+        worst.check().unwrap();
+        // Direction-independent, repeatable, and either 1× or factor×.
+        for (a, b) in [(0u32, 1u32), (2, 5), (7, 3)] {
+            let d = worst.delay(a, b, 0, 4);
+            assert_eq!(d, worst.delay(b, a, 9, 4));
+            assert!(d == 4 || d == 12, "drew {d}");
+        }
+        // Some link must actually be slow.
+        assert!((0u32..20).any(|v| worst.delay(v, v + 1, 0, 1) == 3));
+
+        let lag = Adversary::Laggard { node: 3, lag: 5 };
+        lag.check().unwrap();
+        assert_eq!(lag.delay(3, 1, 0, 2), 7);
+        assert_eq!(lag.delay(1, 3, 0, 2), 7);
+        assert_eq!(lag.delay(1, 2, 0, 2), 2);
+
+        let split = Adversary::WaveSplit { stretch: 6 };
+        split.check().unwrap();
+        assert_eq!(split.delay(0, 1, 0, 1), 1);
+        assert_eq!(split.delay(0, 1, 1, 1), 7);
+
+        assert!(Adversary::WorstLink { factor: 1 }.check().is_err());
+        assert!(Adversary::Laggard { node: 0, lag: 0 }.check().is_err());
+        assert!(Adversary::WaveSplit { stretch: 0 }.check().is_err());
+        assert_eq!(Adversary::None.delay(0, 1, 5, 9), 9);
+    }
+
+    #[test]
+    fn adversary_labels_are_stable() {
+        assert_eq!(Adversary::None.label(), "none");
+        assert_eq!(Adversary::WorstLink { factor: 3 }.label(), "worst_link_x3");
+        assert_eq!(
+            Adversary::Laggard { node: 4, lag: 8 }.label(),
+            "laggard_4_lag8"
+        );
+        assert_eq!(Adversary::WaveSplit { stretch: 6 }.label(), "wave_split_6");
+        let cfg = AsimConfig {
+            adversary: Adversary::WaveSplit { stretch: 0 },
+            ..AsimConfig::default()
+        };
+        assert!(
+            cfg.check().is_err(),
+            "config check must cover the adversary"
+        );
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub struct AsimStats {
     /// ticks ascending, zero ticks omitted.  The async counterpart of
     /// [`rspan_distributed::RunStats::messages_per_round`].
     pub delivered_at: Vec<(VTime, u64)>,
+    /// Transmissions a Byzantine fault hook suppressed before they entered
+    /// the link (selective drops by a faulty sender, not channel loss).
+    pub byz_suppressed: u64,
+    /// Transmissions a Byzantine fault hook rewrote in the sender's radio
+    /// (forged, equivocated or replayed frames that then travelled normally).
+    pub byz_rewritten: u64,
 }
 
 impl AsimStats {
@@ -129,6 +135,37 @@ impl AsimStats {
     pub fn logical_messages(&self) -> u64 {
         self.delivered + self.dropped_loss + self.dropped_down + self.dropped_no_link
     }
+}
+
+/// What a [`FaultHook`] decided about one outgoing transmission.
+pub enum FaultVerdict<M> {
+    /// Transmit the frame unmodified (every honest sender's verdict).
+    Pass,
+    /// Suppress the frame: it never enters the link (distinct from channel
+    /// loss — no retransmission happens, and no loss draw is consumed).
+    Drop,
+    /// Transmit this frame instead (forgery, equivocation, replay).
+    Replace(M),
+}
+
+/// Wire-level Byzantine fault injection: inspects every transmission at the
+/// sender's radio, *before* the loss and latency draws, and may suppress or
+/// rewrite it.  The hook draws its randomness from its own seeded stream so
+/// installing one never perturbs the channel draws — a faulty run and its
+/// honest baseline stay draw-for-draw comparable under the same sim seed
+/// (the RNG-decoupling idiom the churn driver uses for crash draws).
+pub trait FaultHook<M> {
+    /// The verdict for one `from → to` transmission of `msg`.
+    fn intercept(&mut self, from: Node, to: Node, msg: &M, rng: &mut SmallRng) -> FaultVerdict<M>;
+}
+
+/// Stream-decoupling offset for the fault hook's RNG (cf. the churn
+/// driver's `^ 0xCAFE_F00D` crash stream).
+const FAULT_SEED_OFFSET: u64 = 0xB12A_17E5_FA01_75ED;
+
+struct FaultState<M> {
+    hook: Box<dyn FaultHook<M>>,
+    rng: SmallRng,
 }
 
 /// The deterministic discrete-event network simulator.
@@ -155,6 +192,7 @@ pub struct AsyncNetwork<P: ProtocolNode> {
     trace: Vec<TraceEvent>,
     pending: PendingOps<P::Msg>,
     bcast_scratch: Vec<Node>,
+    fault: Option<FaultState<P::Msg>>,
 }
 
 impl<P: ProtocolNode> AsyncNetwork<P>
@@ -186,7 +224,19 @@ where
             cfg,
             pending: PendingOps::default(),
             bcast_scratch: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Installs a Byzantine [`FaultHook`] on every transmission.  The hook's
+    /// RNG is seeded from the simulator seed through a fixed offset, so a
+    /// faulty run is exactly as replay-deterministic as an honest one.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook<P::Msg>>) {
+        let seed = self.cfg.seed ^ FAULT_SEED_OFFSET;
+        self.fault = Some(FaultState {
+            hook,
+            rng: SmallRng::seed_from_u64(seed),
+        });
     }
 
     /// Number of nodes.
@@ -252,6 +302,11 @@ where
     /// Consumes the simulator, returning the node states.
     pub fn into_nodes(self) -> Vec<P> {
         self.nodes
+    }
+
+    /// Consumes the simulator, returning the node states and the accounting.
+    pub fn into_nodes_and_stats(self) -> (Vec<P>, AsimStats) {
+        (self.nodes, self.stats)
     }
 
     /// Sorted live neighbor list of `v`.
@@ -376,6 +431,23 @@ where
     /// of the first successful one (attempt `k` launches `k · retry_timeout`
     /// ticks after the first), or drops after the retransmission budget.
     fn transmit(&mut self, from: Node, to: Node, msg: P::Msg) {
+        // Byzantine interception happens in the sender's radio, before the
+        // channel: suppressed frames consume no loss/latency draws, and
+        // rewritten frames travel like any other.
+        let msg = match self.fault.as_mut() {
+            Some(fault) => match fault.hook.intercept(from, to, &msg, &mut fault.rng) {
+                FaultVerdict::Pass => msg,
+                FaultVerdict::Drop => {
+                    self.stats.byz_suppressed += 1;
+                    return;
+                }
+                FaultVerdict::Replace(forged) => {
+                    self.stats.byz_rewritten += 1;
+                    forged
+                }
+            },
+            None => msg,
+        };
         let bytes = msg.wire_bytes();
         let mut attempt: u32 = 0;
         loop {
@@ -384,7 +456,11 @@ where
             self.stats.bytes_sent += bytes;
             let lost = self.cfg.loss > 0.0 && self.rng.gen_range(0.0..1.0) < self.cfg.loss;
             if !lost {
-                let latency = self.cfg.latency.sample(&mut self.rng);
+                let drawn = self.cfg.latency.sample(&mut self.rng);
+                let latency = self
+                    .cfg
+                    .adversary
+                    .delay(from, to, self.stats.transmissions, drawn);
                 let at = self.now + VTime::from(attempt) * self.cfg.retry_timeout + latency;
                 self.push(at, CLASS_DELIVER, EventKind::Deliver { from, to, msg });
                 return;

@@ -12,7 +12,9 @@
 //! * **Replay determinism** — same seed + same config ⇒ identical event
 //!   trace, under loss, heavy-tailed latency and crashes simultaneously.
 
-use rspan_asim::{run_remspan_protocol_async, AsimConfig, AsyncNetwork, LatencyModel, VTime};
+use rspan_asim::{
+    run_remspan_protocol_async, Adversary, AsimConfig, AsyncNetwork, LatencyModel, VTime,
+};
 use rspan_distributed::{restabilise_flood, run_remspan_protocol, RepairNode, TreeStrategy};
 use rspan_domtree::TreeAlgo;
 use rspan_engine::{RspanEngine, TopologyChange};
@@ -306,6 +308,7 @@ fn replay_full_protocol_trace_is_identical_per_seed() {
         retry_timeout: 3,
         seed: 2024,
         record_trace: true,
+        adversary: Adversary::None,
     };
     let run = |cfg: AsimConfig| {
         let mut net = AsyncNetwork::from_adjacency(&g, cfg, |_| {

@@ -1,7 +1,7 @@
 //! Perf trajectory baselines: `BENCH_remspan.json`, `BENCH_engine.json`,
-//! `BENCH_routing.json` and `BENCH_async.json`.
+//! `BENCH_routing.json`, `BENCH_async.json` and `BENCH_byz.json`.
 //!
-//! Four workloads, selectable from the command line:
+//! Five workloads, selectable from the command line:
 //!
 //! * **remspan** — `rem_span` (k-greedy strategy, k = 2) on constant-density
 //!   uniform unit-disk graphs, in three configurations: `seed_alloc` (the
@@ -36,6 +36,13 @@
 //!   Each row records convergence (rounds that quiesced before the next
 //!   commit, mean stabilisation ticks), delivered/dropped message and byte
 //!   counts, and wall-time per simulated event.
+//! * **byz_churn** — the Byzantine robustness trajectory: reliable-broadcast
+//!   **amplification** against plain flooding on an honest network (with the
+//!   `f = 0` wrapper pinned wire-silent), honest-**agreement** under a mixed
+//!   Byzantine cohort (forge / equivocate / suppress / replay) where the
+//!   echo-quorum rows must close every check and the plain rows record the
+//!   divergence, and convergence under the scheduler **adversary** models
+//!   (worst-case links, laggard node, wave splitting) vs the random baseline.
 //!
 //! Every workload runs through the `rspan-session` façade (`Session` /
 //! `SpannerAlgo`), which is property-tested bit-identical to the hand-wired
@@ -56,7 +63,7 @@
 //! `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json` /
 //! `BENCH_async.json`.
 
-use rspan_asim::{AsimConfig, LatencyModel, VTime};
+use rspan_asim::{Adversary, AsimConfig, ByzBehaviour, FaultPlan, LatencyModel, VTime};
 use rspan_bench::scaled_density_udg;
 use rspan_core::{rem_span, rem_span_algo};
 use rspan_distributed::RoutingTables;
@@ -64,7 +71,7 @@ use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
 use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};
 use rspan_graph::generators::udg::udg_with_density;
 use rspan_graph::CsrGraph;
-use rspan_session::{Repair, Scheduler, Session, SpannerAlgo};
+use rspan_session::{Broadcast, Repair, Scheduler, Session, SpannerAlgo};
 use std::time::Instant;
 
 /// Churn scenarios draw from an offset stream so `--seed N` varies graph and
@@ -582,18 +589,209 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
     write_json(out_path, "async_churn", "per_run_totals", &rows);
 }
 
+/// Per-row knobs of one Byzantine-churn configuration.
+struct ByzRowCfg {
+    broadcast: Broadcast,
+    faults: FaultPlan,
+    rounds: usize,
+}
+
+/// One Byzantine-churn configuration: link-flap churn through a `Session`
+/// with the chosen broadcast layer, fault plan and scheduler adversary; the
+/// row is the uniform metrics snapshot (including the `byz` section) plus
+/// wall-clock timing.
+fn byz_row(
+    family: &str,
+    graph: &CsrGraph,
+    scenario_seed: u64,
+    mean_flaps: f64,
+    sim: AsimConfig,
+    cfg: &ByzRowCfg,
+) -> (String, rspan_session::Metrics) {
+    let mut session = Session::builder(graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(graph, mean_flaps, scenario_seed))
+        .scheduler(Scheduler::Async(sim))
+        .churn_interval(48)
+        .broadcast(cfg.broadcast)
+        .faults(cfg.faults.clone())
+        .build()
+        .expect("valid byzantine configuration");
+    let start = Instant::now();
+    session.run(cfg.rounds).expect("scenario configured");
+    let metrics = session.finish();
+    let wall_ns = start.elapsed().as_nanos() as f64;
+    let asim = metrics.asim.as_ref().expect("async session");
+    let events = asim.stats.events.max(1);
+    let row = format!(
+        "    {{\"family\": \"{family}\", {}, \"wall_ns_per_event\": {:.0}}}",
+        metrics.json_fields(),
+        wall_ns / events as f64,
+    );
+    let (label, agreement) = match &metrics.byz {
+        Some(b) => (
+            format!("{:<12} faults {:<22}", b.broadcast, b.fault_plan),
+            format!(
+                "agree {}/{} (mac rejects {})",
+                b.agreement_checks - b.agreement_violations,
+                b.agreement_checks,
+                b.rejected_mac
+            ),
+        ),
+        None => (
+            format!("{:<12}", "plain"),
+            String::from("agreement unmeasured"),
+        ),
+    };
+    println!(
+        "{family:>13}  {label}  conv {:>2}/{:<2} ({:>5.1} ticks)  delivered {:>8}  {agreement}  {:>6.0} ns/event",
+        asim.converged_rounds(),
+        cfg.rounds,
+        asim.mean_convergence_ticks(),
+        asim.stats.delivered,
+        wall_ns / events as f64,
+    );
+    (row, metrics)
+}
+
+/// `byz_churn` — the Byzantine robustness trajectory, three families:
+///
+/// * **amplification** — honest network, plain flooding vs the `f = 0`
+///   wrapper (pinned wire-silent) vs `f = 2` echo quorums: what the
+///   authenticated witness traffic costs on the same topology, churn and
+///   latency draws.
+/// * **agreement** — a mixed fault plan (forger, equivocator, suppressor,
+///   replayer) against plain flooding and against `Reliable { f }`: the
+///   reliable rows must close every honest-agreement check, the plain rows
+///   record how far unauthenticated flooding diverges.
+/// * **adversary** — the same reliable configuration under the scheduler
+///   adversaries (worst-case links, laggard node, wave splitting) vs the
+///   random-latency baseline: convergence degradation without any fault.
+fn byz_churn_workload(quick: bool, seed: u64, out_path: &str) {
+    let (n, rounds) = if quick { (40, 3) } else { (80, 6) };
+    let inst = udg_with_density(n, 10.0, seed);
+    let scenario_seed = seed + SCENARIO_SEED_OFFSET;
+    let sim_seed = seed + SIM_SEED_OFFSET;
+    let mean_flaps = (n as f64 / 200.0).max(1.0);
+    let base_sim = AsimConfig {
+        seed: sim_seed,
+        latency: LatencyModel::Uniform { lo: 1, hi: 3 },
+        ..AsimConfig::default()
+    };
+    let honest = |rounds| ByzRowCfg {
+        broadcast: Broadcast::Plain,
+        faults: FaultPlan::none(),
+        rounds,
+    };
+    let mut rows = Vec::new();
+
+    // Family 1 — amplification: honest network, increasing broadcast
+    // strength on identical topology/churn/latency draws.
+    for broadcast in [
+        Broadcast::Plain,
+        Broadcast::Reliable { f: 0 },
+        Broadcast::Reliable { f: 2 },
+    ] {
+        let cfg = ByzRowCfg {
+            broadcast,
+            ..honest(rounds)
+        };
+        let (row, metrics) = byz_row(
+            "amplification",
+            &inst.graph,
+            scenario_seed,
+            mean_flaps,
+            base_sim.clone(),
+            &cfg,
+        );
+        if let Broadcast::Reliable { f: 0 } = broadcast {
+            let byz = metrics.byz.as_ref().expect("byz section present");
+            assert_eq!(byz.echo_sent, 0, "f = 0 must stay wire-silent");
+            assert_eq!(byz.ready_sent, 0, "f = 0 must stay wire-silent");
+        }
+        rows.push(row);
+    }
+
+    // Family 2 — agreement: a mixed Byzantine cohort (n > 3f) against
+    // unauthenticated flooding and against echo quorums.
+    let plan = FaultPlan {
+        f: 4,
+        byzantine: vec![
+            (5, ByzBehaviour::Forge),
+            (11, ByzBehaviour::Equivocate),
+            (17, ByzBehaviour::Suppress),
+            (23, ByzBehaviour::Replay),
+        ],
+        seed: sim_seed,
+    };
+    for broadcast in [Broadcast::Plain, Broadcast::Reliable { f: 4 }] {
+        let cfg = ByzRowCfg {
+            broadcast,
+            faults: plan.clone(),
+            rounds,
+        };
+        let (row, metrics) = byz_row(
+            "agreement",
+            &inst.graph,
+            scenario_seed,
+            mean_flaps,
+            base_sim.clone(),
+            &cfg,
+        );
+        let byz = metrics.byz.as_ref().expect("byz section present");
+        if matches!(broadcast, Broadcast::Reliable { .. }) {
+            assert!(
+                byz.agreement_ok(),
+                "echo quorums must preserve honest agreement"
+            );
+        }
+        rows.push(row);
+    }
+
+    // Family 3 — adversary: scheduler-level worst cases against the random
+    // baseline, honest nodes, reliable broadcast (the regime the quorum
+    // timing actually has to survive).
+    for adversary in [
+        Adversary::None,
+        Adversary::WorstLink { factor: 6 },
+        Adversary::Laggard { node: 0, lag: 12 },
+        Adversary::WaveSplit { stretch: 8 },
+    ] {
+        let sim = AsimConfig {
+            adversary,
+            ..base_sim.clone()
+        };
+        let cfg = ByzRowCfg {
+            broadcast: Broadcast::Reliable { f: 2 },
+            ..honest(rounds)
+        };
+        let (row, _) = byz_row(
+            "adversary",
+            &inst.graph,
+            scenario_seed,
+            mean_flaps,
+            sim,
+            &cfg,
+        );
+        rows.push(row);
+    }
+
+    write_json(out_path, "byz_churn", "per_run_totals", &rows);
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Workload {
     Remspan,
     EngineChurn,
     RoutingChurn,
     AsyncChurn,
+    ByzChurn,
     All,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf_baseline [remspan|engine_churn|routing_churn|async_churn|all] \
+        "usage: perf_baseline [remspan|engine_churn|routing_churn|async_churn|byz_churn|all] \
          [--quick] [--seed N] [--json PATH]"
     );
     std::process::exit(2);
@@ -611,6 +809,7 @@ fn main() {
             "engine_churn" => workload = Workload::EngineChurn,
             "routing_churn" => workload = Workload::RoutingChurn,
             "async_churn" => workload = Workload::AsyncChurn,
+            "byz_churn" => workload = Workload::ByzChurn,
             "all" => workload = Workload::All,
             "--quick" => quick = true,
             "--seed" => {
@@ -625,7 +824,8 @@ fn main() {
     }
     if json.is_some() && workload == Workload::All {
         eprintln!(
-            "--json requires a single workload (remspan, engine_churn, routing_churn or async_churn)"
+            "--json requires a single workload (remspan, engine_churn, routing_churn, \
+             async_churn or byz_churn)"
         );
         std::process::exit(2);
     }
@@ -642,11 +842,15 @@ fn main() {
         Workload::AsyncChurn => {
             async_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_async.json"))
         }
+        Workload::ByzChurn => {
+            byz_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_byz.json"))
+        }
         Workload::All => {
             remspan_workload(quick, seed, "BENCH_remspan.json");
             engine_churn_workload(quick, seed, "BENCH_engine.json");
             routing_churn_workload(quick, seed, "BENCH_routing.json");
             async_churn_workload(quick, seed, "BENCH_async.json");
+            byz_churn_workload(quick, seed, "BENCH_byz.json");
         }
     }
 }

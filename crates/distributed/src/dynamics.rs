@@ -12,16 +12,15 @@
 //! caller-held engine, and [`ChurnSession`] bundles an engine with a
 //! [`crate::delta::DeltaRouter`] so one handle carries the whole
 //! batch → commit → delta → table-repair pipeline across rounds.  The
-//! established one-shot conveniences — [`TopologyChange`] (re-exported from
-//! the engine), [`apply_change`] and [`restabilise`] — remain as thin
-//! wrappers, but they materialise a fresh CSR (and, for `restabilise`, a
-//! fresh engine) per call by design: never loop over them on a hot path.
+//! one-shot [`apply_change`] convenience ([`TopologyChange`] is re-exported
+//! from the engine) remains as a thin wrapper, but it materialises a fresh
+//! CSR per call by design: never loop over it on a hot path.
 
 use crate::delta::{DeltaRouter, RepairStats};
 use crate::protocol::TreeStrategy;
 pub use rspan_engine::TopologyChange;
 use rspan_engine::{RspanEngine, SpannerDelta};
-use rspan_graph::{CsrGraph, DynamicGraph, Node, Subgraph};
+use rspan_graph::{CsrGraph, DynamicGraph};
 
 /// Applies a change to a graph, returning the new graph.
 /// Panics if an added edge already exists or a removed edge does not.
@@ -37,16 +36,6 @@ pub fn apply_change(graph: &CsrGraph, change: TopologyChange) -> CsrGraph {
     overlay.into_csr()
 }
 
-/// Result of an incremental restabilisation.
-pub struct Restabilisation<'g> {
-    /// The spanner over the new graph.
-    pub spanner: Subgraph<'g>,
-    /// Nodes that recomputed their dominating tree.
-    pub recomputed_nodes: Vec<Node>,
-    /// Fraction of nodes that had to recompute.
-    pub recomputed_fraction: f64,
-}
-
 /// Restabilises the spanner of a *caller-held* engine after one change: the
 /// session form every churn loop should use.  The engine keeps its topology
 /// overlay, cached trees, and scratch pools across calls, so a stream of
@@ -59,44 +48,6 @@ pub struct Restabilisation<'g> {
 /// one-change-at-a-time dynamics API.
 pub fn restabilise_with(engine: &mut RspanEngine, change: TopologyChange) -> SpannerDelta {
     engine.commit(&[change])
-}
-
-/// Recomputes the remote-spanner after a topology change, re-running the tree
-/// construction only for the nodes whose `(r − 1 + β)`-hop knowledge could
-/// have changed — every other node keeps its previous tree verbatim.
-///
-/// `old_graph` and `new_graph` must be the graphs before and after `change`
-/// (`new_graph` is typically produced by [`apply_change`]); `strategy` is the
-/// per-node tree algorithm (the same one used to build the original spanner).
-///
-/// This is a *deprecated convenience wrapper*: it constructs a one-shot
-/// [`RspanEngine`] (paying a full initial build) and forwards to
-/// [`restabilise_with`] — there is exactly one incremental code path, and
-/// this is not it.  Churn loops must hold their own engine — a
-/// `rspan_session::Session`, a [`ChurnSession`], or a bare engine — and call
-/// [`restabilise_with`] / [`RspanEngine::commit`] so overlay, tree caches and
-/// scratch pools are reused across changes.
-#[deprecated(
-    since = "0.1.0",
-    note = "hold a long-lived session (rspan_session::Session, ChurnSession, or RspanEngine) \
-            and use restabilise_with / commit; this wrapper rebuilds an engine per call"
-)]
-pub fn restabilise<'g>(
-    old_graph: &CsrGraph,
-    new_graph: &'g CsrGraph,
-    change: TopologyChange,
-    strategy: TreeStrategy,
-) -> Restabilisation<'g> {
-    assert_eq!(old_graph.n(), new_graph.n(), "node set must be unchanged");
-    let mut engine = RspanEngine::new(old_graph.clone(), strategy.algo());
-    let delta = restabilise_with(&mut engine, change);
-    debug_assert_eq!(engine.graph().m(), new_graph.m(), "new_graph mismatch");
-    let recomputed_fraction = delta.recomputed_fraction(new_graph.n());
-    Restabilisation {
-        spanner: engine.spanner_on(new_graph),
-        recomputed_nodes: delta.recomputed,
-        recomputed_fraction,
-    }
 }
 
 /// One caller-held engine + router pair that a whole churn stream flows
@@ -159,7 +110,6 @@ impl ChurnSession {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // `restabilise` stays covered until it is removed
 mod tests {
     use super::*;
     use rspan_core::{rem_span, verify_remote_stretch, StretchGuarantee};
@@ -221,14 +171,16 @@ mod tests {
                 TopologyChange::AddEdge(add.unwrap().0, add.unwrap().1),
             ] {
                 let g2 = apply_change(&g, change);
-                let incremental = restabilise(&g, &g2, change, strategy);
+                let mut engine = RspanEngine::new(g.clone(), strategy.algo());
+                restabilise_with(&mut engine, change);
+                let incremental = engine.spanner_on(&g2);
                 let full = rem_span(&g2, |g, u| strategy.build_tree(g, u));
                 assert_eq!(
-                    incremental.spanner.edge_set(),
+                    incremental.edge_set(),
                     full.edge_set(),
                     "seed {seed} change {change:?}"
                 );
-                assert!(verify_remote_stretch(&incremental.spanner, &exact()).holds());
+                assert!(verify_remote_stretch(&incremental, &exact()).holds());
             }
         }
     }
@@ -239,16 +191,17 @@ mod tests {
         let g = &inst.graph;
         let (eu, ev) = g.edges().next().unwrap();
         let change = TopologyChange::RemoveEdge(eu, ev);
-        let g2 = apply_change(g, change);
         let strategy = TreeStrategy::KGreedy { k: 2 };
-        let r = restabilise(g, &g2, change, strategy);
+        let mut engine = RspanEngine::new(g.clone(), strategy.algo());
+        let delta = restabilise_with(&mut engine, change);
+        let fraction = delta.recomputed_fraction(g.n());
         assert!(
-            r.recomputed_fraction < 0.25,
+            fraction < 0.25,
             "repair touched {:.0}% of the nodes",
-            r.recomputed_fraction * 100.0
+            fraction * 100.0
         );
-        assert!(!r.recomputed_nodes.is_empty());
-        assert!(r.recomputed_nodes.contains(&eu));
+        assert!(!delta.recomputed.is_empty());
+        assert!(delta.recomputed.contains(&eu));
     }
 
     #[test]
@@ -257,8 +210,9 @@ mod tests {
         let change = TopologyChange::AddEdge(0, 35);
         let g2 = apply_change(&g, change);
         let strategy = TreeStrategy::Mis { r: 3 };
-        let r = restabilise(&g, &g2, change, strategy);
+        let mut engine = RspanEngine::new(g.clone(), strategy.algo());
+        restabilise_with(&mut engine, change);
         let full = rem_span(&g2, |g, u| strategy.build_tree(g, u));
-        assert_eq!(r.spanner.edge_set(), full.edge_set());
+        assert_eq!(engine.spanner_on(&g2).edge_set(), full.edge_set());
     }
 }

@@ -25,27 +25,30 @@
 //! * [`dynamics`] — topology changes and local restabilisation, rewired on
 //!   top of the incremental `rspan-engine` so the simulator and the engine
 //!   share one dirty-ball recomputation code path; [`ChurnSession`] bundles
-//!   one caller-held engine + router for whole churn streams.
+//!   one caller-held engine + router for whole churn streams,
+//! * [`rb`] — Byzantine tolerance: the [`rb::RbNode`] reliable-broadcast
+//!   wrapper delivers repair waves to the inner node only after an
+//!   authenticated echo quorum, so up to `f` forging / equivocating /
+//!   suppressing peers (with `n > 3f`) cannot break honest agreement.
 
 #![warn(missing_docs)]
 
 pub mod delta;
 pub mod dynamics;
 pub mod protocol;
+pub mod rb;
 pub mod routing;
 pub mod sim;
 pub mod tables;
 pub mod transport;
 
 pub use delta::{DeltaRouter, RepairStats};
-#[allow(deprecated)] // the deprecated one-shot `restabilise` stays re-exported until removal
-pub use dynamics::{
-    apply_change, restabilise, restabilise_with, ChurnSession, Restabilisation, TopologyChange,
-};
+pub use dynamics::{apply_change, restabilise_with, ChurnSession, TopologyChange};
 pub use protocol::{
     restabilise_flood, run_remspan_protocol, DistributedRun, IncrementalRun, RemSpanMsg,
     RemSpanNode, RepairMsg, RepairNode, TreeStrategy,
 };
+pub use rb::{Auth, Fnv64, RbMsg, RbNode, RbPayload, RbStats, SeededAuth};
 pub use routing::{
     greedy_route, greedy_route_with_scratch, measure_routing, RouteOutcome, RoutingReport,
 };

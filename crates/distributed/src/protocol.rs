@@ -415,6 +415,12 @@ pub struct RepairNode {
     refreshed_link_state: HashSet<(u64, Node)>,
     /// Spanner edges incident to this node learned from the re-adverts.
     incident_updates: HashSet<(Node, Node)>,
+    /// Content digest of the link state accepted per `(epoch, origin)` —
+    /// the agreement witness the Byzantine harness compares across honest
+    /// nodes (dirty nodes record their own flood).
+    accepted_ls: HashMap<(u64, Node), u64>,
+    /// Content digest of the tree advert accepted per `(epoch, origin)`.
+    accepted_tree: HashMap<(u64, Node), u64>,
 }
 
 impl RepairNode {
@@ -429,6 +435,8 @@ impl RepairNode {
             seen_tree: HashSet::new(),
             refreshed_link_state: HashSet::new(),
             incident_updates: HashSet::new(),
+            accepted_ls: HashMap::new(),
+            accepted_tree: HashMap::new(),
         }
     }
 
@@ -447,6 +455,8 @@ impl RepairNode {
         self.seen_ls.retain(|&(e, _)| e >= keep);
         self.seen_tree.retain(|&(e, _)| e >= keep);
         self.refreshed_link_state.retain(|&(e, _)| e >= keep);
+        self.accepted_ls.retain(|&(e, _), _| e >= keep);
+        self.accepted_tree.retain(|&(e, _), _| e >= keep);
     }
 
     /// Originates the armed wave (no-op for clean nodes): records the node's
@@ -466,21 +476,19 @@ impl RepairNode {
                 self.incident_updates.insert(ordered(a, b));
             }
         }
+        // Record what this node itself floods: the agreement reference the
+        // Byzantine harness compares every honest acceptor against.
+        let ls = RepairMsg::LinkState(self.epoch, me, net.neighbors().to_vec(), self.radius);
+        let ta = RepairMsg::TreeAdvert(self.epoch, me, tree, self.radius);
+        self.accepted_ls
+            .insert((self.epoch, me), crate::rb::RbPayload::digest(&ls));
+        self.accepted_tree
+            .insert((self.epoch, me), crate::rb::RbPayload::digest(&ta));
         if self.radius == 0 || net.neighbors().is_empty() {
             return;
         }
-        net.send(Outgoing::Broadcast(RepairMsg::LinkState(
-            self.epoch,
-            me,
-            net.neighbors().to_vec(),
-            self.radius,
-        )));
-        net.send(Outgoing::Broadcast(RepairMsg::TreeAdvert(
-            self.epoch,
-            me,
-            tree,
-            self.radius,
-        )));
+        net.send(Outgoing::Broadcast(ls));
+        net.send(Outgoing::Broadcast(ta));
     }
 
     /// How many `(epoch, origin)` refreshed link-state advertisements this
@@ -499,6 +507,18 @@ impl RepairNode {
     pub fn incident_update_count(&self) -> usize {
         self.incident_updates.len()
     }
+
+    /// Per `(epoch, origin)`: content digest of the link state this node
+    /// accepted (its own, for waves it originated).  Honest nodes agreeing
+    /// on every shared key is the Byzantine-harness acceptance criterion.
+    pub fn accepted_link_state(&self) -> &HashMap<(u64, Node), u64> {
+        &self.accepted_ls
+    }
+
+    /// Per `(epoch, origin)`: content digest of the tree advert accepted.
+    pub fn accepted_tree_adverts(&self) -> &HashMap<(u64, Node), u64> {
+        &self.accepted_tree
+    }
 }
 
 impl ProtocolNode for RepairNode {
@@ -513,6 +533,8 @@ impl ProtocolNode for RepairNode {
             RepairMsg::LinkState(epoch, origin, list, ttl) => {
                 if self.seen_ls.insert((*epoch, *origin)) {
                     self.refreshed_link_state.insert((*epoch, *origin));
+                    self.accepted_ls
+                        .insert((*epoch, *origin), crate::rb::RbPayload::digest(msg));
                     if *ttl > 1 {
                         net.send(Outgoing::Broadcast(RepairMsg::LinkState(
                             *epoch,
@@ -525,6 +547,8 @@ impl ProtocolNode for RepairNode {
             }
             RepairMsg::TreeAdvert(epoch, origin, edges, ttl) => {
                 if self.seen_tree.insert((*epoch, *origin)) {
+                    self.accepted_tree
+                        .insert((*epoch, *origin), crate::rb::RbPayload::digest(msg));
                     let me = net.me();
                     for &(a, b) in edges {
                         if a == me || b == me {
@@ -825,5 +849,105 @@ mod tests {
             RemSpanMsg::LinkState(0, vec![1, 2], 2).wire_bytes() + 8
         );
         assert_eq!(RepairMsg::TreeAdvert(9, 0, vec![], 1).wire_bytes(), 20);
+    }
+
+    #[test]
+    fn on_recover_originates_once_and_duplicate_waves_dedup() {
+        use crate::transport::{BufferedTransport, PendingOps};
+
+        // A dirty node that was down when its wave began: the first
+        // on_recover must originate the armed wave, a second must not.
+        let mut dirty = RepairNode::new(2);
+        dirty.begin_wave(1, Some(vec![(0, 1)]));
+        let mut ops = PendingOps::default();
+        let neighbors = [1 as Node];
+        let mut t = BufferedTransport {
+            me: 0,
+            now: 0,
+            neighbors: &neighbors,
+            ops: &mut ops,
+        };
+        dirty.on_recover(&mut t);
+        let first_flood = t.ops.sends.len();
+        assert!(first_flood >= 2, "recovery floods link state + tree advert");
+        dirty.on_recover(&mut t);
+        dirty.on_recover(&mut t);
+        assert_eq!(
+            t.ops.sends.len(),
+            first_flood,
+            "repeated recovery must not re-originate the same wave"
+        );
+
+        // A receiver that already collected the wave: replaying the same
+        // epoch's frames is absorbed without relays or state changes.
+        let mut recv = RepairNode::new(2);
+        recv.begin_wave(1, None);
+        let ls = RepairMsg::LinkState(1, 0, vec![1], 2);
+        let ta = RepairMsg::TreeAdvert(1, 0, vec![(0, 1)], 2);
+        let mut rops = PendingOps::default();
+        let rneighbors = [0 as Node, 2];
+        let mut rt = BufferedTransport {
+            me: 1,
+            now: 0,
+            neighbors: &rneighbors,
+            ops: &mut rops,
+        };
+        recv.on_message(&mut rt, 0, &ls);
+        recv.on_message(&mut rt, 0, &ta);
+        let accepted_ls = recv.accepted_link_state().clone();
+        let accepted_ta = recv.accepted_tree_adverts().clone();
+        let relays = rt.ops.sends.len();
+        assert!(relays > 0, "the first copy is relayed");
+        for _ in 0..3 {
+            recv.on_message(&mut rt, 0, &ls);
+            recv.on_message(&mut rt, 0, &ta);
+        }
+        assert_eq!(rt.ops.sends.len(), relays, "duplicates are not relayed");
+        assert_eq!(recv.accepted_link_state(), &accepted_ls);
+        assert_eq!(recv.accepted_tree_adverts(), &accepted_ta);
+        assert_eq!(recv.refreshed_link_state_count(), 1);
+
+        // The origin re-originating the same epoch (a recovered node whose
+        // wave already circulated) changes nothing at the receiver either.
+        recv.on_message(&mut rt, 0, &ls.clone());
+        assert_eq!(rt.ops.sends.len(), relays);
+
+        // A stale replay after a newer commit, inside the retain window:
+        // the epoch-2 wave supersedes epoch 1 but keeps its dedup entries
+        // (two-epoch window), so replayed epoch-1 frames are absorbed.
+        recv.begin_wave(2, None);
+        let ls2 = RepairMsg::LinkState(2, 0, vec![1, 2], 2);
+        recv.on_message(&mut rt, 0, &ls2);
+        let digest2 = recv.accepted_link_state()[&(2, 0)];
+        let count2 = recv.refreshed_link_state_count();
+        let relays2 = rt.ops.sends.len();
+        recv.on_message(&mut rt, 0, &ls);
+        recv.on_message(&mut rt, 0, &ta);
+        assert_eq!(
+            rt.ops.sends.len(),
+            relays2,
+            "in-window replays are deduped, not re-relayed"
+        );
+        assert_eq!(recv.refreshed_link_state_count(), count2);
+        assert_eq!(recv.accepted_link_state()[&(2, 0)], digest2);
+
+        // Beyond the window (epoch 9 commits, epoch-1 entries pruned) a
+        // straggler is re-forwarded once, TTL-bounded — but it must never
+        // regress the newer wave's accepted state.
+        recv.begin_wave(9, None);
+        let ls9 = RepairMsg::LinkState(9, 0, vec![1, 2], 2);
+        recv.on_message(&mut rt, 0, &ls9);
+        let digest9 = recv.accepted_link_state()[&(9, 0)];
+        recv.on_message(&mut rt, 0, &ls);
+        assert_eq!(
+            recv.accepted_link_state()[&(9, 0)],
+            digest9,
+            "a stale replay must not overwrite the newer wave's digest"
+        );
+        assert!(recv.has_refreshed(9, 0));
+        assert!(
+            !recv.accepted_link_state().contains_key(&(2, 0)),
+            "the superseded epoch was garbage-collected"
+        );
     }
 }

@@ -38,6 +38,15 @@ pub enum RspanError {
         /// Human-readable description of the offending parameter.
         reason: String,
     },
+    /// The Byzantine fault configuration is inconsistent: the quorum
+    /// arithmetic needs `n > 3f`, the marked node set must lie inside the
+    /// node range with no duplicates, and no more than the tolerated `f`
+    /// nodes may be marked — from [`rspan_asim::FaultPlan::check`] or the
+    /// [`crate::Broadcast::Reliable`] cross-check.
+    InvalidFaults {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
     /// A feature was requested that needs a churn scenario, but none was
     /// configured.
     MissingChurn {
@@ -74,6 +83,9 @@ impl fmt::Display for RspanError {
             RspanError::InvalidChurn { reason } => {
                 write!(f, "invalid churn configuration: {reason}")
             }
+            RspanError::InvalidFaults { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
             RspanError::MissingChurn { feature } => {
                 write!(
                     f,
@@ -105,5 +117,10 @@ mod tests {
         };
         assert!(e.to_string().contains("baswana_sen_k3"));
         assert!(std::error::Error::source(&e).is_none());
+        let e = RspanError::InvalidFaults {
+            reason: "echo quorums need n > 3f (n = 3, f = 1)".into(),
+        };
+        assert!(e.to_string().starts_with("invalid fault plan:"));
+        assert!(e.to_string().contains("n > 3f"));
     }
 }

@@ -62,5 +62,5 @@ mod session;
 
 pub use algo::SpannerAlgo;
 pub use error::RspanError;
-pub use metrics::{AsyncMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats};
-pub use session::{Repair, Scheduler, Session, SessionBuilder, StepReport};
+pub use metrics::{AsyncMetrics, ByzMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats};
+pub use session::{Broadcast, Repair, Scheduler, Session, SessionBuilder, StepReport};

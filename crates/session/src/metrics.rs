@@ -75,6 +75,8 @@ pub struct AsyncMetrics {
     pub churn_interval: VTime,
     /// Latency model label.
     pub latency: String,
+    /// Scheduler adversary label (`"none"` for the random baseline).
+    pub adversary: String,
     /// Bernoulli per-transmission loss probability.
     pub loss: f64,
     /// Link-layer retransmission budget.
@@ -105,6 +107,66 @@ impl AsyncMetrics {
         } else {
             sum as f64 / count as f64
         }
+    }
+}
+
+/// The Byzantine / reliable-broadcast section of the snapshot: broadcast
+/// mode, fault plan, the wrapper's message accounting summed over all
+/// nodes, the fault injector's wire counters, and the honest-agreement
+/// check over accepted wave digests.
+///
+/// Present iff the async scheduler runs with
+/// [`Broadcast::Reliable`](crate::Broadcast::Reliable) or an active
+/// [`FaultPlan`](rspan_asim::FaultPlan) — the configurations where "did the
+/// honest nodes agree, and what did it cost" is the question.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ByzMetrics {
+    /// Broadcast mode label: `plain` or `reliable_f{f}`.
+    pub broadcast: String,
+    /// Fault-plan label ([`rspan_asim::FaultPlan::label`]): `honest` or
+    /// e.g. `f2_forge3_replay7`.
+    pub fault_plan: String,
+    /// Nodes marked Byzantine.
+    pub byz_nodes: usize,
+    /// `Init` frames originated (reliable broadcast only; 0 under plain).
+    pub init_sent: u64,
+    /// `Echo` witness frames sent.
+    pub echo_sent: u64,
+    /// `Ready` commitment frames sent.
+    pub ready_sent: u64,
+    /// Frames relayed onward in the dedup flood.
+    pub relayed: u64,
+    /// Payloads delivered to inner protocol nodes after a ready quorum.
+    pub rb_delivered: u64,
+    /// Frames rejected for a bad MAC (tampered relays).
+    pub rejected_mac: u64,
+    /// Frames rejected as stale replays (outside the epoch retain window).
+    pub rejected_stale: u64,
+    /// Inner forward-sends suppressed by the wrapper (RB owns relaying).
+    pub suppressed_inner: u64,
+    /// Transmissions the fault injector silently dropped.
+    pub byz_suppressed: u64,
+    /// Transmissions the fault injector rewrote in flight.
+    pub byz_rewritten: u64,
+    /// `(wave key, honest acceptor)` pairs the agreement sweep inspected.
+    pub agreement_checks: usize,
+    /// Inspected pairs that disagreed with the reference digest.
+    pub agreement_violations: usize,
+}
+
+impl ByzMetrics {
+    /// Whether every honest acceptance agreed (the Byzantine-tolerance
+    /// acceptance criterion).
+    pub fn agreement_ok(&self) -> bool {
+        self.agreement_violations == 0
+    }
+
+    /// Witness-frame amplification relative to the payload-bearing `Init`
+    /// floods: `(echo_sent + ready_sent) / max(init_sent + relayed, 1)` —
+    /// the price of tolerating `f` forgers (`0.0` under plain flooding).
+    pub fn amplification(&self) -> f64 {
+        let base = (self.init_sent + self.relayed).max(1);
+        (self.echo_sent + self.ready_sent) as f64 / base as f64
     }
 }
 
@@ -145,6 +207,9 @@ pub struct Metrics {
     pub asim: Option<AsyncMetrics>,
     /// Staleness section (present iff staleness measurement is on).
     pub staleness: Option<StalenessStats>,
+    /// Byzantine / reliable-broadcast section (present iff the async
+    /// scheduler runs with reliable broadcast or an active fault plan).
+    pub byz: Option<ByzMetrics>,
 }
 
 /// Formats an `f64` the way the bench JSON does: finite values with two
@@ -190,6 +255,7 @@ impl Metrics {
             let dropped = s.dropped_loss + s.dropped_down + s.dropped_no_link;
             fields.push(format!("\"churn_interval\": {}", asim.churn_interval));
             fields.push(format!("\"latency\": \"{}\"", asim.latency));
+            fields.push(format!("\"adversary\": \"{}\"", asim.adversary));
             fields.push(format!("\"loss\": {:.2}", asim.loss));
             fields.push(format!("\"max_retries\": {}", asim.max_retries));
             fields.push(format!("\"crash_prob\": {:.2}", asim.crash_prob));
@@ -215,6 +281,30 @@ impl Metrics {
             ));
             fields.push(format!("\"stale_rows_total\": {}", st.stale_rows_total));
             fields.push(format!("\"stale_rows_max\": {}", st.stale_rows_max));
+        }
+        if let Some(byz) = &self.byz {
+            fields.push(format!("\"broadcast\": \"{}\"", byz.broadcast));
+            fields.push(format!("\"fault_plan\": \"{}\"", byz.fault_plan));
+            fields.push(format!("\"byz_nodes\": {}", byz.byz_nodes));
+            fields.push(format!("\"rb_init_sent\": {}", byz.init_sent));
+            fields.push(format!("\"rb_echo_sent\": {}", byz.echo_sent));
+            fields.push(format!("\"rb_ready_sent\": {}", byz.ready_sent));
+            fields.push(format!("\"rb_relayed\": {}", byz.relayed));
+            fields.push(format!("\"rb_delivered\": {}", byz.rb_delivered));
+            fields.push(format!("\"rb_rejected_mac\": {}", byz.rejected_mac));
+            fields.push(format!("\"rb_rejected_stale\": {}", byz.rejected_stale));
+            fields.push(format!("\"rb_suppressed_inner\": {}", byz.suppressed_inner));
+            fields.push(format!("\"byz_suppressed\": {}", byz.byz_suppressed));
+            fields.push(format!("\"byz_rewritten\": {}", byz.byz_rewritten));
+            fields.push(format!(
+                "\"rb_amplification\": {}",
+                json_f64(byz.amplification())
+            ));
+            fields.push(format!("\"agreement_checks\": {}", byz.agreement_checks));
+            fields.push(format!(
+                "\"agreement_violations\": {}",
+                byz.agreement_violations
+            ));
         }
         fields.join(", ")
     }

@@ -14,13 +14,26 @@
 
 use crate::algo::SpannerAlgo;
 use crate::error::RspanError;
-use crate::metrics::{AsyncMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats};
-use rspan_asim::{AsimConfig, AsyncChurnConfig, RepairChurnDriver, RoundReport, VTime};
+use crate::metrics::{
+    AsyncMetrics, ByzMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats,
+};
+use rspan_asim::{
+    honest_agreement, AsimConfig, AsimStats, AsyncChurnConfig, BoundaryInfo, CommittedRound,
+    FaultPlan, RbFaultInjector, RepairChurnDriver, RepairFaultInjector, RoundReport, VTime,
+};
 use rspan_core::{spanner_stats, SpannerStats, StretchGuarantee};
-use rspan_distributed::{restabilise_flood, DeltaRouter, RoutingTables, TopologyChange};
+use rspan_distributed::rb::{RbNode, RbStats, SeededAuth};
+use rspan_distributed::{
+    restabilise_flood, DeltaRouter, RepairNode, RoutingTables, TopologyChange,
+};
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta};
-use rspan_graph::{CsrGraph, Subgraph};
+use rspan_graph::{CsrGraph, Node, Subgraph};
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// XOR-folded into the simulator seed to derive the [`SeededAuth`] master
+/// key, so the MAC keys and the event draws come from decoupled streams.
+const AUTH_SEED_XOR: u64 = 0x0A17_5EED_C0DE_B00C;
 
 /// How the session maintains routing state.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,6 +61,34 @@ pub enum Scheduler {
     Async(AsimConfig),
 }
 
+/// How repair waves are broadcast under the async scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Broadcast {
+    /// The paper's trusting TTL flood: every relayed frame is believed.  A
+    /// single Byzantine forger on a relay path corrupts honest agreement.
+    #[default]
+    Plain,
+    /// Authenticated echo-quorum reliable broadcast
+    /// ([`rspan_distributed::rb::RbNode`]): payloads are delivered to the
+    /// inner protocol only after `2f + 1` witnesses, tolerating up to `f`
+    /// Byzantine nodes (requires `n > 3f`).  `f = 0` degenerates exactly to
+    /// [`Broadcast::Plain`] — no witness frames go on the wire at all.
+    Reliable {
+        /// Byzantine nodes the echo quorums must tolerate.
+        f: usize,
+    },
+}
+
+impl Broadcast {
+    /// Stable label for metrics/benchmark rows: `plain` or `reliable_f{f}`.
+    pub fn label(&self) -> String {
+        match self {
+            Broadcast::Plain => "plain".into(),
+            Broadcast::Reliable { f } => format!("reliable_f{f}"),
+        }
+    }
+}
+
 /// What one [`Session::step`] / [`Session::commit`] did.
 #[derive(Clone, Debug)]
 pub struct StepReport {
@@ -69,16 +110,164 @@ pub struct StepReport {
     pub round: Option<RoundReport>,
 }
 
+/// The async scheduler's driver, one variant per [`Broadcast`] mode: the
+/// same churn timeline over plain [`RepairNode`] floods or over
+/// [`RbNode`]-wrapped reliable broadcast.
+enum AsyncDriver {
+    Plain(RepairChurnDriver<RepairNode>),
+    Reliable(RepairChurnDriver<RbNode<RepairNode, SeededAuth>>),
+}
+
+impl AsyncDriver {
+    fn begin_round(&mut self) -> BoundaryInfo {
+        match self {
+            AsyncDriver::Plain(d) => d.begin_round(),
+            AsyncDriver::Reliable(d) => d.begin_round(),
+        }
+    }
+
+    fn commit_round(
+        &mut self,
+        engine: &mut RspanEngine,
+        scenario: &mut dyn ChurnScenario,
+    ) -> CommittedRound {
+        match self {
+            AsyncDriver::Plain(d) => d.commit_round(engine, scenario),
+            AsyncDriver::Reliable(d) => d.commit_round(engine, scenario),
+        }
+    }
+
+    fn stats(&self) -> &AsimStats {
+        match self {
+            AsyncDriver::Plain(d) => d.stats(),
+            AsyncDriver::Reliable(d) => d.stats(),
+        }
+    }
+
+    fn rounds(&self) -> &[RoundReport] {
+        match self {
+            AsyncDriver::Plain(d) => d.rounds(),
+            AsyncDriver::Reliable(d) => d.rounds(),
+        }
+    }
+
+    fn now(&self) -> VTime {
+        match self {
+            AsyncDriver::Plain(d) => d.now(),
+            AsyncDriver::Reliable(d) => d.now(),
+        }
+    }
+
+    fn dirty_total(&self) -> usize {
+        match self {
+            AsyncDriver::Plain(d) => d.dirty_total(),
+            AsyncDriver::Reliable(d) => d.dirty_total(),
+        }
+    }
+
+    /// Sums the reliable-broadcast accounting and sweeps honest agreement
+    /// over the live nodes' accepted-digest maps.
+    fn byz_counters(&self, plan: &FaultPlan) -> (RbStats, usize, usize) {
+        match self {
+            AsyncDriver::Plain(d) => {
+                let (checks, violations) = agreement_over(d.nodes().iter(), plan);
+                (RbStats::default(), checks, violations)
+            }
+            AsyncDriver::Reliable(d) => {
+                let mut rb = RbStats::default();
+                for node in d.nodes() {
+                    rb.absorb(node.stats());
+                }
+                let (checks, violations) =
+                    agreement_over(d.nodes().iter().map(RbNode::inner), plan);
+                (rb, checks, violations)
+            }
+        }
+    }
+}
+
+/// Sweeps [`honest_agreement`] over both accepted-digest maps (link state
+/// and tree adverts) of the repair nodes, skipping the plan's Byzantine
+/// set.
+fn agreement_over<'a>(
+    nodes: impl Iterator<Item = &'a RepairNode>,
+    plan: &FaultPlan,
+) -> (usize, usize) {
+    let nodes: Vec<&RepairNode> = nodes.collect();
+    let byz = plan.byzantine_nodes();
+    let ls: Vec<&HashMap<(u64, Node), u64>> =
+        nodes.iter().map(|n| n.accepted_link_state()).collect();
+    let ta: Vec<&HashMap<(u64, Node), u64>> =
+        nodes.iter().map(|n| n.accepted_tree_adverts()).collect();
+    let a = honest_agreement(&ls, &byz);
+    let b = honest_agreement(&ta, &byz);
+    (a.checks + b.checks, a.violations + b.violations)
+}
+
 struct AsyncState {
     /// `None` once [`Session::finish`] has drained the timeline.
-    driver: Option<RepairChurnDriver>,
+    driver: Option<AsyncDriver>,
     /// The validated configuration the driver was built from (kept here so
     /// the metrics snapshot outlives the driver).
     cfg: AsyncChurnConfig,
+    broadcast: Broadcast,
+    faults: FaultPlan,
     finished: Option<rspan_asim::AsyncChurnRun>,
+    /// The Byzantine section frozen by [`Session::finish`] (the driver and
+    /// its nodes are gone afterwards).
+    byz_final: Option<ByzMetrics>,
 }
 
 impl AsyncState {
+    /// Whether the snapshot carries a Byzantine section at all.
+    fn byz_section_wanted(&self) -> bool {
+        self.broadcast != Broadcast::Plain || self.faults.is_active()
+    }
+
+    /// Assembles the Byzantine section from the wrapper/injector counters
+    /// and an agreement sweep.
+    fn byz_metrics(&self, rb: RbStats, checks: usize, violations: usize) -> ByzMetrics {
+        let stats = match (&self.finished, &self.driver) {
+            (Some(run), _) => &run.stats,
+            (None, Some(driver)) => driver.stats(),
+            (None, None) => unreachable!("a session is either live or finished"),
+        };
+        ByzMetrics {
+            broadcast: self.broadcast.label(),
+            fault_plan: self.faults.label(),
+            byz_nodes: self.faults.byzantine.len(),
+            init_sent: rb.init_sent,
+            echo_sent: rb.echo_sent,
+            ready_sent: rb.ready_sent,
+            relayed: rb.relayed,
+            rb_delivered: rb.delivered,
+            rejected_mac: rb.rejected_mac,
+            rejected_stale: rb.rejected_stale,
+            suppressed_inner: rb.suppressed_inner,
+            byz_suppressed: stats.byz_suppressed,
+            byz_rewritten: stats.byz_rewritten,
+            agreement_checks: checks,
+            agreement_violations: violations,
+        }
+    }
+
+    /// The Byzantine section: the frozen final snapshot after
+    /// [`Session::finish`], a live sweep over the driver's nodes before.
+    fn byz_snapshot(&self) -> Option<ByzMetrics> {
+        if !self.byz_section_wanted() {
+            return None;
+        }
+        if let Some(byz) = &self.byz_final {
+            return Some(byz.clone());
+        }
+        let driver = self
+            .driver
+            .as_ref()
+            .expect("a session is either live or finished");
+        let (rb, checks, violations) = driver.byz_counters(&self.faults);
+        Some(self.byz_metrics(rb, checks, violations))
+    }
+
     /// Snapshots the timeline (live driver or finished run) together with
     /// the configuration slice.
     fn snapshot(&self) -> AsyncMetrics {
@@ -108,6 +297,7 @@ impl AsyncState {
             drained,
             churn_interval: self.cfg.churn_interval,
             latency: self.cfg.sim.latency.label(),
+            adversary: self.cfg.sim.adversary.label(),
             loss: self.cfg.sim.loss,
             max_retries: self.cfg.sim.max_retries,
             crash_prob: self.cfg.crash_prob,
@@ -145,6 +335,8 @@ pub struct SessionBuilder {
     crash_prob: f64,
     downtime: VTime,
     max_events: u64,
+    broadcast: Broadcast,
+    faults: FaultPlan,
     /// Async-only setters the caller invoked, so `build()` can reject them
     /// under the sync scheduler instead of silently ignoring them.
     async_only_set: Vec<&'static str>,
@@ -239,6 +431,27 @@ impl SessionBuilder {
         self
     }
 
+    /// How repair waves are broadcast: the paper's trusting TTL flood
+    /// ([`Broadcast::Plain`], the default) or authenticated echo-quorum
+    /// reliable broadcast ([`Broadcast::Reliable`]).  Async scheduler only —
+    /// the sync round model has no wire to defend.
+    pub fn broadcast(mut self, broadcast: Broadcast) -> Self {
+        self.broadcast = broadcast;
+        self.async_only_set.push("broadcast(..)");
+        self
+    }
+
+    /// Marks nodes Byzantine for the run ([`FaultPlan`]): their
+    /// transmissions are forged, equivocated, suppressed or replayed at the
+    /// wire, under both broadcast modes.  `build()` validates the plan
+    /// ([`FaultPlan::check`]) into [`RspanError::InvalidFaults`] instead of
+    /// panicking.  Async scheduler only.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self.async_only_set.push("faults(..)");
+        self
+    }
+
     /// Validates the whole configuration and assembles the session: one full
     /// spanner build (plus one full table build under [`Repair::Delta`]);
     /// everything after is incremental.
@@ -305,6 +518,26 @@ impl SessionBuilder {
                 }
                 sim.check()
                     .map_err(|reason| RspanError::InvalidSim { reason })?;
+                let n = self.graph.n();
+                self.faults
+                    .check(n)
+                    .map_err(|reason| RspanError::InvalidFaults { reason })?;
+                if let Broadcast::Reliable { f } = self.broadcast {
+                    if f > 0 && n <= 3 * f {
+                        return Err(RspanError::InvalidFaults {
+                            reason: format!("echo quorums need n > 3f (n = {n}, f = {f})"),
+                        });
+                    }
+                    if self.faults.byzantine.len() > f {
+                        return Err(RspanError::InvalidFaults {
+                            reason: format!(
+                                "{} nodes marked Byzantine but Broadcast::Reliable only \
+                                 tolerates f = {f}",
+                                self.faults.byzantine.len()
+                            ),
+                        });
+                    }
+                }
                 let cfg = AsyncChurnConfig {
                     sim: sim.clone(),
                     churn_interval: self.churn_interval,
@@ -327,10 +560,45 @@ impl SessionBuilder {
         let mode = match async_cfg {
             None => Mode::Sync,
             Some(cfg) => {
+                let driver = match self.broadcast {
+                    Broadcast::Plain => {
+                        let mut driver = RepairChurnDriver::new(&engine, cfg.clone());
+                        if self.faults.is_active() {
+                            driver.set_fault_hook(Box::new(RepairFaultInjector::new(
+                                self.faults.clone(),
+                            )));
+                        }
+                        AsyncDriver::Plain(driver)
+                    }
+                    Broadcast::Reliable { f } => {
+                        let radius = engine.dirty_radius();
+                        let n = engine.graph().n();
+                        // f = 0: plain-flood reach, bit-identical to Plain.
+                        // f > 0: witness frames must span the network for
+                        // quorums to fill, so the relay TTL covers it all.
+                        let ttl = if f == 0 { radius.max(1) } else { n as u32 };
+                        let auth = SeededAuth::new(cfg.sim.seed ^ AUTH_SEED_XOR);
+                        let node_auth = auth.clone();
+                        let mut driver =
+                            RepairChurnDriver::with_nodes(&engine, cfg.clone(), |_| {
+                                RbNode::new(RepairNode::new(radius), node_auth.clone(), f, n, ttl)
+                            });
+                        if self.faults.is_active() {
+                            driver.set_fault_hook(Box::new(RbFaultInjector::new(
+                                self.faults.clone(),
+                                auth,
+                            )));
+                        }
+                        AsyncDriver::Reliable(driver)
+                    }
+                };
                 let state = AsyncState {
-                    driver: Some(RepairChurnDriver::new(&engine, cfg.clone())),
+                    driver: Some(driver),
                     cfg,
+                    broadcast: self.broadcast,
+                    faults: self.faults,
                     finished: None,
+                    byz_final: None,
                 };
                 Mode::Async(Box::new(state))
             }
@@ -440,6 +708,8 @@ impl Session {
             crash_prob: defaults.crash_prob,
             downtime: defaults.downtime,
             max_events: defaults.max_events,
+            broadcast: Broadcast::Plain,
+            faults: FaultPlan::none(),
             async_only_set: Vec::new(),
             threads_set: false,
         }
@@ -602,7 +872,30 @@ impl Session {
     pub fn finish(mut self) -> Metrics {
         if let Mode::Async(state) = &mut self.mode {
             if let Some(driver) = state.driver.take() {
-                let run = driver.finish();
+                let byz_wanted = state.byz_section_wanted();
+                let (run, byz_parts) = match driver {
+                    AsyncDriver::Plain(d) => {
+                        let (run, nodes) = d.finish_with_nodes();
+                        let parts = byz_wanted.then(|| {
+                            let (checks, violations) = agreement_over(nodes.iter(), &state.faults);
+                            (RbStats::default(), checks, violations)
+                        });
+                        (run, parts)
+                    }
+                    AsyncDriver::Reliable(d) => {
+                        let (run, nodes) = d.finish_with_nodes();
+                        let parts = byz_wanted.then(|| {
+                            let mut rb = RbStats::default();
+                            for node in &nodes {
+                                rb.absorb(node.stats());
+                            }
+                            let (checks, violations) =
+                                agreement_over(nodes.iter().map(RbNode::inner), &state.faults);
+                            (rb, checks, violations)
+                        });
+                        (run, parts)
+                    }
+                };
                 if let (Some(st), Some(router)) = (&mut self.staleness, &self.router) {
                     if let Some(last) = run.rounds.last() {
                         st.stats.checks += 1;
@@ -615,6 +908,8 @@ impl Session {
                     }
                 }
                 state.finished = Some(run);
+                state.byz_final = byz_parts
+                    .map(|(rb, checks, violations)| state.byz_metrics(rb, checks, violations));
             }
         }
         self.metrics()
@@ -622,9 +917,9 @@ impl Session {
 
     /// The uniform snapshot of everything the session has done so far.
     pub fn metrics(&self) -> Metrics {
-        let asim = match &self.mode {
-            Mode::Sync => None,
-            Mode::Async(state) => Some(state.snapshot()),
+        let (asim, byz) = match &self.mode {
+            Mode::Sync => (None, None),
+            Mode::Async(state) => (Some(state.snapshot()), state.byz_snapshot()),
         };
         Metrics {
             algo: self.algo_label.clone(),
@@ -642,6 +937,7 @@ impl Session {
             flood: self.flood_totals.clone(),
             asim,
             staleness: self.staleness.as_ref().map(|s| s.stats.clone()),
+            byz,
         }
     }
 

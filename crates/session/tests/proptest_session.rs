@@ -9,7 +9,10 @@
 //! staleness-counter semantics, and the metrics JSON shape the `BENCH_*.json`
 //! validators expect.
 
-use rspan_asim::{run_repair_churn, AsimConfig, AsyncChurnConfig, LatencyModel};
+use rspan_asim::{
+    run_repair_churn, Adversary, AsimConfig, AsyncChurnConfig, ByzBehaviour, FaultPlan,
+    LatencyModel,
+};
 use rspan_core::{
     baswana_sen_spanner, epsilon_remote_spanner, epsilon_remote_spanner_greedy,
     exact_remote_spanner, full_topology, greedy_spanner, k_connecting_remote_spanner,
@@ -21,7 +24,7 @@ use rspan_domtree::TreeAlgo;
 use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, RspanEngine};
 use rspan_graph::generators::udg_with_density;
 use rspan_graph::Node;
-use rspan_session::{Repair, RspanError, Scheduler, Session, SpannerAlgo};
+use rspan_session::{Broadcast, Repair, RspanError, Scheduler, Session, SpannerAlgo};
 
 fn sorted(mut pairs: Vec<(Node, Node)>) -> Vec<(Node, Node)> {
     pairs.sort_unstable();
@@ -321,6 +324,175 @@ fn slow_waves_record_staleness() {
 }
 
 // ---------------------------------------------------------------------------
+// Byzantine tolerance: reliable broadcast, fault plans, agreement
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reliable_f0_bit_identical_to_plain_flooding() {
+    // Broadcast::Reliable { f: 0 } puts no witness frames on the wire at
+    // all, so the whole run — spanner evolution, routing tables, round
+    // transcript, message timing — must match plain flooding exactly.
+    for seed in [5u64, 13] {
+        let inst = udg_with_density(50, 9.0, seed);
+        let run = |broadcast: Broadcast| {
+            let mut session = Session::builder(inst.graph.clone())
+                .algo(SpannerAlgo::KConnecting { k: 2 })
+                .churn(LinkFlapScenario::new(&inst.graph, 2.0, seed + 1))
+                .routing(Repair::Delta)
+                .scheduler(Scheduler::Async(AsimConfig::lockstep(seed ^ 0x51)))
+                .churn_interval(16)
+                .broadcast(broadcast)
+                .build()
+                .unwrap();
+            session.run(6).unwrap();
+            let spanner = sorted(session.engine().spanner_pairs());
+            let tables = session.tables().unwrap().clone();
+            (spanner, tables, session.finish())
+        };
+        let (spanner_p, tables_p, plain) = run(Broadcast::Plain);
+        let (spanner_r, tables_r, reliable) = run(Broadcast::Reliable { f: 0 });
+        assert_eq!(spanner_p, spanner_r, "spanner diverged, seed {seed}");
+        assert_eq!(tables_p, tables_r, "tables diverged, seed {seed}");
+        let (ap, ar) = (plain.asim.unwrap(), reliable.asim.unwrap());
+        assert_eq!(ap.rounds, ar.rounds, "round transcripts diverged");
+        assert_eq!(ap.stats.delivered, ar.stats.delivered);
+        assert_eq!(ap.stats.transmissions, ar.stats.transmissions);
+        assert_eq!(ap.final_time, ar.final_time);
+        // The wrapper still accounts its section: f = 0 sends no witnesses.
+        let byz = reliable.byz.expect("reliable broadcast has a byz section");
+        assert_eq!(byz.echo_sent, 0);
+        assert_eq!(byz.ready_sent, 0);
+        assert!(byz.rb_delivered > 0);
+        assert!(byz.agreement_ok());
+        assert!(plain.byz.is_none(), "plain + no faults has no byz section");
+    }
+}
+
+fn byz_async_cfg(seed: u64, adversary: Adversary) -> AsimConfig {
+    AsimConfig {
+        latency: LatencyModel::Uniform { lo: 1, hi: 3 },
+        seed,
+        adversary,
+        ..AsimConfig::default()
+    }
+}
+
+fn mixed_fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan {
+        f: 4,
+        byzantine: vec![
+            (3, ByzBehaviour::Forge),
+            (8, ByzBehaviour::Equivocate),
+            (14, ByzBehaviour::Suppress),
+            (19, ByzBehaviour::Replay),
+        ],
+        seed,
+    }
+}
+
+/// Runs one Byzantine churn session and returns its metrics.
+fn byz_run(seed: u64, broadcast: Broadcast, adversary: Adversary) -> rspan_session::Metrics {
+    let inst = udg_with_density(26, 8.0, seed);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 2.0, seed + 9))
+        .scheduler(Scheduler::Async(byz_async_cfg(seed ^ 0xB1, adversary)))
+        .churn_interval(24)
+        .broadcast(broadcast)
+        .faults(mixed_fault_plan(seed))
+        .build()
+        .unwrap();
+    session.run(5).unwrap();
+    session.finish()
+}
+
+#[test]
+fn honest_nodes_agree_under_byzantine_faults_with_reliable_broadcast() {
+    // The headline property: n > 3f, f nodes forging / equivocating /
+    // suppressing / replaying — every honest node still accepts identical
+    // wave digests under reliable broadcast, while the same plan corrupts
+    // plain flooding (the undefended paper protocol).
+    let mut plain_violations = 0;
+    for seed in [2u64, 7, 11] {
+        let reliable = byz_run(seed, Broadcast::Reliable { f: 4 }, Adversary::None);
+        let byz = reliable.byz.expect("byz section present");
+        assert_eq!(
+            byz.agreement_violations, 0,
+            "reliable broadcast must keep honest nodes in agreement, seed {seed}"
+        );
+        assert!(byz.agreement_checks > 0, "the sweep inspected acceptances");
+        assert!(
+            byz.rejected_mac > 0,
+            "tampered relays must be caught by the MAC, seed {seed}"
+        );
+        assert!(byz.echo_sent > 0 && byz.ready_sent > 0);
+        assert!(byz.byz_rewritten > 0 && byz.byz_suppressed > 0);
+
+        let plain = byz_run(seed, Broadcast::Plain, Adversary::None);
+        let pbyz = plain.byz.expect("faults are active");
+        assert!(pbyz.agreement_checks > 0);
+        plain_violations += pbyz.agreement_violations;
+    }
+    assert!(
+        plain_violations > 0,
+        "the same fault plan must corrupt plain flooding somewhere across the seeds"
+    );
+}
+
+#[test]
+fn byzantine_runs_replay_deterministically() {
+    // Same seed + same fault plan + same adversarial scheduler ⇒ the whole
+    // metrics snapshot (stats, transcripts, agreement, rejections) is
+    // identical.
+    for adversary in [
+        Adversary::None,
+        Adversary::WorstLink { factor: 3 },
+        Adversary::Laggard { node: 4, lag: 5 },
+        Adversary::WaveSplit { stretch: 2 },
+    ] {
+        let a = byz_run(21, Broadcast::Reliable { f: 4 }, adversary.clone());
+        let b = byz_run(21, Broadcast::Reliable { f: 4 }, adversary.clone());
+        assert_eq!(a, b, "replay diverged under {adversary:?}");
+    }
+}
+
+#[test]
+fn adversarial_schedulers_delay_convergence() {
+    // The worst-case-link adversary only re-prices latency draws — the
+    // draw streams stay aligned — so the run stays deterministic but the
+    // waves take longer to drain than under the honest scheduler.
+    let inst = udg_with_density(40, 9.0, 17);
+    let run = |adversary: Adversary| {
+        let mut session = Session::builder(inst.graph.clone())
+            .algo(SpannerAlgo::KConnecting { k: 2 })
+            .churn(LinkFlapScenario::new(&inst.graph, 2.0, 3))
+            .scheduler(Scheduler::Async(AsimConfig {
+                latency: LatencyModel::Uniform { lo: 1, hi: 4 },
+                seed: 40,
+                adversary,
+                ..AsimConfig::default()
+            }))
+            .churn_interval(40)
+            .build()
+            .unwrap();
+        session.run(6).unwrap();
+        let m = session.finish();
+        m.asim.unwrap().mean_convergence_ticks()
+    };
+    let baseline = run(Adversary::None);
+    let worst = run(Adversary::WorstLink { factor: 6 });
+    assert!(
+        baseline.is_finite() && worst.is_finite(),
+        "both runs must converge within the window"
+    );
+    assert!(
+        worst > baseline,
+        "slowing the worst-case links must delay convergence \
+         (baseline {baseline}, adversarial {worst})"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Builder validation: structured errors, no panics
 // ---------------------------------------------------------------------------
 
@@ -442,6 +614,98 @@ fn builder_rejects_bad_configurations_with_structured_errors() {
         "{err}"
     );
 
+    // Byzantine knobs are async-only too.
+    let err = Session::builder(g())
+        .broadcast(Broadcast::Reliable { f: 1 })
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("broadcast"), "{err}");
+    let err = Session::builder(g())
+        .faults(FaultPlan {
+            f: 1,
+            byzantine: vec![(0, ByzBehaviour::Forge)],
+            seed: 1,
+        })
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, RspanError::IncompatibleOptions { .. }),
+        "{err}"
+    );
+
+    // Fault-plan misconfiguration must never panic: quorum arithmetic
+    // (n > 3f), node range, duplicates, over-marking.
+    let byz_builder = |plan: FaultPlan, broadcast: Broadcast| {
+        let graph = g();
+        let scenario = flap(&graph);
+        Session::builder(graph)
+            .churn(scenario)
+            .scheduler(Scheduler::Async(AsimConfig::default()))
+            .faults(plan)
+            .broadcast(broadcast)
+            .build()
+    };
+    // n = 40 here, so f = 14 breaks n > 3f.
+    let err = byz_builder(
+        FaultPlan {
+            f: 14,
+            byzantine: vec![],
+            seed: 0,
+        },
+        Broadcast::Plain,
+    )
+    .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidFaults { .. }), "{err}");
+    assert!(err.to_string().contains("n > 3f"), "{err}");
+    let err = byz_builder(
+        FaultPlan {
+            f: 1,
+            byzantine: vec![(99, ByzBehaviour::Forge)],
+            seed: 0,
+        },
+        Broadcast::Plain,
+    )
+    .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidFaults { .. }), "{err}");
+    let err = byz_builder(
+        FaultPlan {
+            f: 2,
+            byzantine: vec![(1, ByzBehaviour::Forge), (1, ByzBehaviour::Replay)],
+            seed: 0,
+        },
+        Broadcast::Plain,
+    )
+    .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidFaults { .. }), "{err}");
+    // More nodes marked than Broadcast::Reliable tolerates.
+    let err = byz_builder(
+        FaultPlan {
+            f: 2,
+            byzantine: vec![(1, ByzBehaviour::Forge), (2, ByzBehaviour::Forge)],
+            seed: 0,
+        },
+        Broadcast::Reliable { f: 1 },
+    )
+    .unwrap_err();
+    assert!(matches!(err, RspanError::InvalidFaults { .. }), "{err}");
+    // Reliable quorums themselves need n > 3f even with an empty plan.
+    let err = byz_builder(FaultPlan::none(), Broadcast::Reliable { f: 14 }).unwrap_err();
+    assert!(matches!(err, RspanError::InvalidFaults { .. }), "{err}");
+    // A consistent plan builds.
+    byz_builder(
+        FaultPlan {
+            f: 2,
+            byzantine: vec![(1, ByzBehaviour::Forge), (2, ByzBehaviour::Suppress)],
+            seed: 0,
+        },
+        Broadcast::Reliable { f: 2 },
+    )
+    .unwrap();
+
     // Explicit commits are a sync-scheduler operation.
     let graph = g();
     let mut session = Session::builder(graph.clone())
@@ -543,5 +807,49 @@ fn metrics_json_shape_matches_bench_validators() {
             "rows_recomputed",
             "repairs",
         ],
+    );
+
+    // Byzantine session: the BENCH_byz.json row fields.
+    let inst = udg_with_density(26, 8.0, 12);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 1.5, 3))
+        .scheduler(Scheduler::Async(AsimConfig::lockstep(6)))
+        .churn_interval(24)
+        .broadcast(Broadcast::Reliable { f: 2 })
+        .faults(FaultPlan {
+            f: 2,
+            byzantine: vec![(3, ByzBehaviour::Forge), (9, ByzBehaviour::Suppress)],
+            seed: 1,
+        })
+        .build()
+        .unwrap();
+    session.run(3).unwrap();
+    let json = session.finish().to_json();
+    assert_has_keys(
+        &json,
+        &[
+            "broadcast",
+            "fault_plan",
+            "byz_nodes",
+            "rb_init_sent",
+            "rb_echo_sent",
+            "rb_ready_sent",
+            "rb_relayed",
+            "rb_delivered",
+            "rb_rejected_mac",
+            "rb_rejected_stale",
+            "rb_suppressed_inner",
+            "byz_suppressed",
+            "byz_rewritten",
+            "rb_amplification",
+            "agreement_checks",
+            "agreement_violations",
+        ],
+    );
+    assert!(json.contains("\"broadcast\": \"reliable_f2\""), "{json}");
+    assert!(
+        json.contains("\"fault_plan\": \"f2_forge3_suppress9\""),
+        "{json}"
     );
 }

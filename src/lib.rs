@@ -78,7 +78,8 @@ pub mod prelude {
     // The typed session facade: the one entry point over construction,
     // churn, routing repair and both schedulers.
     pub use rspan_session::{
-        Metrics, Repair, RspanError, Scheduler, Session, SessionBuilder, SpannerAlgo, StepReport,
+        Broadcast, ByzMetrics, Metrics, Repair, RspanError, Scheduler, Session, SessionBuilder,
+        SpannerAlgo, StepReport,
     };
     // Constructions and verification (prefer `SpannerAlgo`; the free
     // constructors remain the bit-identical building blocks).
@@ -98,9 +99,10 @@ pub mod prelude {
         greedy_route, measure_routing, restabilise_flood, run_remspan_protocol, ChurnSession,
         DeltaRouter, ProtocolNode, RepairStats, RoutingTables, RunStats, Transport, TreeStrategy,
     };
-    // Asynchronous event-driven simulation.
+    // Asynchronous event-driven simulation and adversarial fault injection.
     pub use rspan_asim::{
-        run_repair_churn, AsimConfig, AsimStats, AsyncChurnConfig, AsyncNetwork, LatencyModel,
+        run_repair_churn, Adversary, AsimConfig, AsimStats, AsyncChurnConfig, AsyncNetwork,
+        ByzBehaviour, FaultPlan, LatencyModel,
     };
     // Dominating trees.
     pub use rspan_domtree::{

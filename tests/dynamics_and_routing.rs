@@ -2,17 +2,15 @@
 //! remote-spanners and incremental restabilisation after topology changes —
 //! the two behaviours the paper's introduction and §2.3 promise.
 
-// The deprecated one-shot `restabilise` wrapper stays covered until removal.
-#![allow(deprecated)]
-
 use remote_spanners::core::{
     advertisement_cost, epsilon_remote_spanner, exact_remote_spanner, full_topology,
     two_connecting_remote_spanner, verify_remote_stretch,
 };
 use remote_spanners::distributed::{
-    apply_change, greedy_route, measure_routing, restabilise, restabilise_with, ChurnSession,
-    RouteOutcome, RoutingTables, TopologyChange, TreeStrategy,
+    apply_change, greedy_route, measure_routing, restabilise_with, ChurnSession, RouteOutcome,
+    RoutingTables, TopologyChange, TreeStrategy,
 };
+use remote_spanners::engine::RspanEngine;
 use remote_spanners::graph::generators::{gnp_connected, grid_graph, uniform_udg};
 use remote_spanners::graph::{CsrGraph, Node};
 
@@ -95,7 +93,8 @@ fn restabilisation_after_changes_stays_correct_and_local() {
         let change = TopologyChange::RemoveEdge(eu, ev);
         let g2 = apply_change(&g, change);
         for strategy in strategies {
-            let result = restabilise(&g, &g2, change, strategy);
+            let mut engine = RspanEngine::new(g.clone(), strategy.algo());
+            let delta = restabilise_with(&mut engine, change);
             // The incremental result must still be a valid remote-spanner of
             // the new graph (checked against the strategy's implied guarantee:
             // at least (2, 1), which every strategy here satisfies).
@@ -105,11 +104,11 @@ fn restabilisation_after_changes_stays_correct_and_local() {
                 k: 1,
             };
             assert!(
-                verify_remote_stretch(&result.spanner, &loose).holds(),
+                verify_remote_stretch(&engine.spanner_on(&g2), &loose).holds(),
                 "seed {seed}, {strategy:?}: restabilised spanner invalid"
             );
-            assert!(result.recomputed_fraction <= 1.0);
-            assert!(!result.recomputed_nodes.is_empty());
+            assert!(delta.recomputed_fraction(g.n()) <= 1.0);
+            assert!(!delta.recomputed.is_empty());
         }
     }
 }
@@ -153,25 +152,29 @@ fn churn_session_routes_correctly_through_repaired_tables() {
 }
 
 #[test]
-fn session_restabilisation_matches_the_one_shot_wrapper() {
-    // restabilise_with on a caller-held engine must agree with the
-    // engine-per-change convenience wrapper, change for change.
+fn long_lived_engine_matches_a_fresh_engine_per_change() {
+    // restabilise_with on a caller-held engine (overlay, tree caches and
+    // scratch pools reused across changes) must agree with rebuilding a
+    // fresh engine before every change, change for change.
     let g = gnp_connected(60, 0.08, 21);
     let strategy = TreeStrategy::KGreedy { k: 1 };
-    let mut engine = remote_spanners::engine::RspanEngine::new(g.clone(), strategy.algo());
+    let mut engine = RspanEngine::new(g.clone(), strategy.algo());
     let mut current = g.clone();
     let edges: Vec<(Node, Node)> = g.edges().take(3).collect();
     for &(u, v) in &edges {
         let change = TopologyChange::RemoveEdge(u, v);
         let next = apply_change(&current, change);
-        let one_shot = restabilise(&current, &next, change, strategy);
+        let mut fresh = RspanEngine::new(current.clone(), strategy.algo());
+        let fresh_delta = restabilise_with(&mut fresh, change);
         let delta = restabilise_with(&mut engine, change);
         let session_edges: Vec<(Node, Node)> = engine.spanner_on(&next).edges().collect();
-        let one_shot_edges: Vec<(Node, Node)> = one_shot.spanner.edges().collect();
-        assert_eq!(session_edges, one_shot_edges);
+        let fresh_edges: Vec<(Node, Node)> = fresh.spanner_on(&next).edges().collect();
+        assert_eq!(session_edges, fresh_edges);
         let mut recomputed = delta.recomputed.clone();
         recomputed.sort_unstable();
-        assert_eq!(recomputed, one_shot.recomputed_nodes);
+        let mut fresh_recomputed = fresh_delta.recomputed.clone();
+        fresh_recomputed.sort_unstable();
+        assert_eq!(recomputed, fresh_recomputed);
         current = next;
     }
 }
@@ -196,11 +199,12 @@ fn repeated_changes_converge_to_the_from_scratch_construction() {
             }
         }
     }
+    let mut engine = RspanEngine::new(current.clone(), strategy.algo());
     let mut spanner_edges: Option<Vec<(Node, Node)>> = None;
     for change in changes {
         let next = apply_change(&current, change);
-        let result = restabilise(&current, &next, change, strategy);
-        spanner_edges = Some(result.spanner.edges().collect());
+        restabilise_with(&mut engine, change);
+        spanner_edges = Some(engine.spanner_on(&next).edges().collect());
         current = next;
     }
     let from_scratch = remote_spanners::core::rem_span(&current, |g, u| strategy.build_tree(g, u));
