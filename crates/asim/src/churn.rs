@@ -26,6 +26,7 @@ use rspan_distributed::transport::{ProtocolNode, Transport, WireSize};
 use rspan_distributed::RepairNode;
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::Node;
+use rspan_obs::{ObsEvent, ObsHandle, WaveId};
 
 /// A protocol node the churn driver can arm and fire §2.3 repair waves on —
 /// the seam that lets one driver run both the plain [`RepairNode`] flood and
@@ -238,6 +239,9 @@ where
     /// Crash drawn by the current `begin_round`, consumed by `commit_round`.
     pending_crash: Option<Node>,
     mid_round: bool,
+    /// Observability sink: commit phases and wave-start events flow here
+    /// when attached (the simulator gets its own clone for frame events).
+    obs: ObsHandle,
 }
 
 impl RepairChurnDriver<RepairNode> {
@@ -281,6 +285,7 @@ where
             n,
             pending_crash: None,
             mid_round: false,
+            obs: ObsHandle::off(),
         }
     }
 
@@ -288,6 +293,22 @@ where
     /// transmissions (see [`AsyncNetwork::set_fault_hook`]).
     pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook<P::Msg>>) {
         self.sim.set_fault_hook(hook);
+    }
+
+    /// Attaches an observability recorder: the driver emits engine-commit
+    /// phases and per-commit [`ObsEvent::WaveStart`] events (one per dirty
+    /// originator, keyed by the commit epoch), and the underlying simulator
+    /// gets a clone for per-frame deliver/drop events on the same virtual
+    /// clock.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.sim.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
+    /// Mutable access to node `v`'s protocol state, out of band (e.g. to
+    /// attach per-node observability after construction).
+    pub fn node_mut(&mut self, v: Node) -> &mut P {
+        self.sim.node_mut(v)
     }
 
     /// The protocol nodes, in id order (e.g. for agreement checks mid-run).
@@ -377,8 +398,13 @@ where
         let round = self.rounds.len();
         let at = round as VTime * self.cfg.churn_interval;
         // Commit the round's churn and mirror it onto the live adjacency.
+        // The observed commit profiles the engine's phases and emits the
+        // commit record at the boundary's virtual time.
         let batch = scenario.next_batch(engine.graph());
-        let delta = engine.commit(&batch);
+        if self.obs.on() {
+            self.obs.set_now(at);
+        }
+        let delta = engine.commit_observed(&batch, 1, &self.obs);
         for change in &batch {
             match *change {
                 TopologyChange::AddEdge(u, v) => self.sim.set_link(u, v, true),
@@ -390,6 +416,14 @@ where
         self.dirty_total += delta.recomputed.len();
         for &d in &delta.recomputed {
             let tree = engine.tree_edges(d).to_vec();
+            if self.obs.on() {
+                self.obs.emit(ObsEvent::WaveStart {
+                    wave: WaveId {
+                        origin: d,
+                        epoch: delta.epoch,
+                    },
+                });
+            }
             if self.sim.is_alive(d) {
                 let epoch = delta.epoch;
                 self.sim.inject(d, |node, net| {

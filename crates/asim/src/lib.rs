@@ -53,6 +53,7 @@ pub use churn::{
     RepairChurnDriver, RoundReport, WaveNode,
 };
 pub use model::{Adversary, AsimConfig, LatencyModel, VTime};
+pub use rspan_obs::DropCause;
 pub use sim::{AsimStats, AsyncNetwork, FaultHook, FaultVerdict, TraceEvent};
 
 use rspan_distributed::{RemSpanNode, TreeStrategy};

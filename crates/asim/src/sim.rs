@@ -22,6 +22,7 @@ use rspan_distributed::transport::{
     BufferedTransport, Outgoing, PendingOps, ProtocolNode, Transport, WireSize,
 };
 use rspan_graph::{sorted_insert, sorted_remove, Adjacency, Node};
+use rspan_obs::{DropCause, ObsEvent, ObsHandle};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -31,12 +32,27 @@ const CLASS_NODE: u8 = 0;
 const CLASS_DELIVER: u8 = 1;
 /// Event class: timer firing — processed last at equal timestamps.
 const CLASS_TIMER: u8 = 2;
+/// Trace-only class: a transmit-time drop (loss exhaustion, missing link,
+/// Byzantine suppression).  Never queued — drops happen at the sender's
+/// radio, so the record is stamped at the sending instant.
+const CLASS_DROP: u8 = 3;
 
 enum EventKind<M> {
     Crash(Node),
     Recover(Node),
-    Deliver { from: Node, to: Node, msg: M },
-    Timer { node: Node, token: u32 },
+    Deliver {
+        from: Node,
+        to: Node,
+        /// Virtual time the logical message left the sender's radio —
+        /// `delivery time − sent` is the observed end-to-end latency
+        /// (retransmission backoff included).
+        sent: VTime,
+        msg: M,
+    },
+    Timer {
+        node: Node,
+        token: u32,
+    },
 }
 
 struct Event<M> {
@@ -77,13 +93,21 @@ impl<M> Ord for Event<M> {
 pub struct TraceEvent {
     /// Virtual time the event was processed at.
     pub time: VTime,
-    /// Event class (0 = crash/recover, 1 = delivery, 2 = timer).
+    /// Event class (0 = crash/recover, 1 = delivery, 2 = timer,
+    /// 3 = transmit-time drop).
     pub class: u8,
-    /// The node the event acted on (receiver for deliveries).
+    /// The node the event acted on (receiver for deliveries and drops).
     pub node: Node,
-    /// Class-specific detail: sender for deliveries, token for timers,
-    /// 0/1 for crash/recover.
+    /// Class-specific detail: sender for deliveries and drops, token for
+    /// timers, 0/1 for crash/recover.
     pub aux: u32,
+    /// Wire bytes of the frame (deliveries and drops; 0 otherwise).
+    pub bytes: u64,
+    /// Disposition of the frame: [`DropCause::None`] for consumed
+    /// deliveries and non-frame events, otherwise why it went nowhere —
+    /// channel loss, receiver down, missing link, Byzantine suppression, or
+    /// the receiving protocol's own rejection (dedup / MAC / stale replay).
+    pub cause: DropCause,
 }
 
 /// Aggregate accounting of one simulation.
@@ -193,6 +217,9 @@ pub struct AsyncNetwork<P: ProtocolNode> {
     pending: PendingOps<P::Msg>,
     bcast_scratch: Vec<Node>,
     fault: Option<FaultState<P::Msg>>,
+    /// Observability sink: per-frame deliver/drop events with wave metadata
+    /// flow here when attached (independent of [`AsimConfig::record_trace`]).
+    obs: ObsHandle,
 }
 
 impl<P: ProtocolNode> AsyncNetwork<P>
@@ -225,7 +252,16 @@ where
             pending: PendingOps::default(),
             bcast_scratch: Vec::new(),
             fault: None,
+            obs: ObsHandle::off(),
         }
+    }
+
+    /// Attaches an observability recorder: every frame delivery and drop is
+    /// emitted through it with byte size, cause and wave metadata, stamped
+    /// on the simulator's virtual clock (which the handle's shared clock
+    /// tracks).  The default handle is off and costs one branch per site.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Installs a Byzantine [`FaultHook`] on every transmission.  The hook's
@@ -412,6 +448,7 @@ where
                         self.transmit(from, to, msg);
                     } else {
                         self.stats.dropped_no_link += 1;
+                        self.record_drop(from, to, &msg, DropCause::NoLink);
                     }
                 }
                 Outgoing::Broadcast(msg) => {
@@ -427,6 +464,35 @@ where
         }
     }
 
+    /// Records a frame that went nowhere: a trace entry (class
+    /// [`CLASS_DROP`] for transmit-time drops, the delivery entry's `cause`
+    /// otherwise) plus an [`ObsEvent::Drop`] when a recorder is attached.
+    fn record_drop(&mut self, from: Node, to: Node, msg: &P::Msg, cause: DropCause) {
+        let bytes = msg.wire_bytes();
+        if self.cfg.record_trace {
+            self.trace.push(TraceEvent {
+                time: self.now,
+                class: CLASS_DROP,
+                node: to,
+                aux: from,
+                bytes,
+                cause,
+            });
+        }
+        if self.obs.on() {
+            self.obs.emit_at(
+                self.now,
+                ObsEvent::Drop {
+                    from,
+                    to,
+                    bytes,
+                    cause,
+                    meta: msg.meta(),
+                },
+            );
+        }
+    }
+
     /// One logical message: draws the lossy attempts, schedules the delivery
     /// of the first successful one (attempt `k` launches `k · retry_timeout`
     /// ticks after the first), or drops after the retransmission budget.
@@ -434,19 +500,21 @@ where
         // Byzantine interception happens in the sender's radio, before the
         // channel: suppressed frames consume no loss/latency draws, and
         // rewritten frames travel like any other.
-        let msg = match self.fault.as_mut() {
-            Some(fault) => match fault.hook.intercept(from, to, &msg, &mut fault.rng) {
-                FaultVerdict::Pass => msg,
-                FaultVerdict::Drop => {
-                    self.stats.byz_suppressed += 1;
-                    return;
-                }
-                FaultVerdict::Replace(forged) => {
-                    self.stats.byz_rewritten += 1;
-                    forged
-                }
-            },
-            None => msg,
+        let verdict = match self.fault.as_mut() {
+            Some(fault) => fault.hook.intercept(from, to, &msg, &mut fault.rng),
+            None => FaultVerdict::Pass,
+        };
+        let msg = match verdict {
+            FaultVerdict::Pass => msg,
+            FaultVerdict::Drop => {
+                self.stats.byz_suppressed += 1;
+                self.record_drop(from, to, &msg, DropCause::Suppressed);
+                return;
+            }
+            FaultVerdict::Replace(forged) => {
+                self.stats.byz_rewritten += 1;
+                forged
+            }
         };
         let bytes = msg.wire_bytes();
         let mut attempt: u32 = 0;
@@ -462,11 +530,22 @@ where
                     .adversary
                     .delay(from, to, self.stats.transmissions, drawn);
                 let at = self.now + VTime::from(attempt) * self.cfg.retry_timeout + latency;
-                self.push(at, CLASS_DELIVER, EventKind::Deliver { from, to, msg });
+                let sent = self.now;
+                self.push(
+                    at,
+                    CLASS_DELIVER,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        sent,
+                        msg,
+                    },
+                );
                 return;
             }
             if attempt >= self.cfg.max_retries {
                 self.stats.dropped_loss += 1;
+                self.record_drop(from, to, &msg, DropCause::Loss);
                 return;
             }
             attempt += 1;
@@ -484,19 +563,24 @@ where
             self.protocol_pending -= 1;
         }
         self.now = ev.time;
+        if self.obs.on() {
+            self.obs.set_now(ev.time);
+        }
         self.stats.events += 1;
         if self.cfg.record_trace {
-            let (node, aux) = match &ev.kind {
-                EventKind::Crash(v) => (*v, 0),
-                EventKind::Recover(v) => (*v, 1),
-                EventKind::Deliver { from, to, .. } => (*to, *from),
-                EventKind::Timer { node, token } => (*node, *token),
+            let (node, aux, bytes) = match &ev.kind {
+                EventKind::Crash(v) => (*v, 0, 0),
+                EventKind::Recover(v) => (*v, 1, 0),
+                EventKind::Deliver { from, to, msg, .. } => (*to, *from, msg.wire_bytes()),
+                EventKind::Timer { node, token } => (*node, *token, 0),
             };
             self.trace.push(TraceEvent {
                 time: ev.time,
                 class: ev.class,
                 node,
                 aux,
+                bytes,
+                cause: DropCause::None,
             });
         }
         match ev.kind {
@@ -507,9 +591,28 @@ where
                 self.alive[v as usize] = true;
                 self.callback(v, |node, net| node.on_recover(net));
             }
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                sent,
+                msg,
+            } => {
                 if !self.alive[to as usize] {
                     self.stats.dropped_down += 1;
+                    if self.cfg.record_trace {
+                        if let Some(last) = self.trace.last_mut() {
+                            last.cause = DropCause::Down;
+                        }
+                    }
+                    if self.obs.on() {
+                        self.obs.emit(ObsEvent::Drop {
+                            from,
+                            to,
+                            bytes: msg.wire_bytes(),
+                            cause: DropCause::Down,
+                            meta: msg.meta(),
+                        });
+                    }
                 } else {
                     self.stats.delivered += 1;
                     self.stats.per_node_delivered[to as usize] += 1;
@@ -518,7 +621,42 @@ where
                         Some((t, count)) if *t == ev.time => *count += 1,
                         _ => self.stats.delivered_at.push((ev.time, 1)),
                     }
+                    // Remember this delivery's trace slot: the callback's
+                    // own sends may append transmit-drop entries behind it.
+                    let slot = self.trace.len().checked_sub(1);
                     self.callback(to, |node, net| node.on_message(net, from, &msg));
+                    // The receiving protocol's own disposition (advisory):
+                    // a consumed frame stays `None`; dedup / MAC-reject /
+                    // stale-replay rejections get attributed in the trace
+                    // and recorder even though transport-level delivery
+                    // succeeded.
+                    let cause = self.nodes[to as usize].last_rx();
+                    if cause != DropCause::None && self.cfg.record_trace {
+                        if let Some(entry) = slot.and_then(|i| self.trace.get_mut(i)) {
+                            entry.cause = cause;
+                        }
+                    }
+                    if self.obs.on() {
+                        let bytes = msg.wire_bytes();
+                        let meta = msg.meta();
+                        if cause == DropCause::None {
+                            self.obs.emit(ObsEvent::Deliver {
+                                from,
+                                to,
+                                bytes,
+                                latency: ev.time - sent,
+                                meta,
+                            });
+                        } else {
+                            self.obs.emit(ObsEvent::Drop {
+                                from,
+                                to,
+                                bytes,
+                                cause,
+                                meta,
+                            });
+                        }
+                    }
                 }
             }
             EventKind::Timer { node, token } => {
@@ -553,6 +691,9 @@ where
             "advancing over unprocessed events"
         );
         self.now = self.now.max(t);
+        if self.obs.on() {
+            self.obs.set_now(self.now);
+        }
     }
 
     /// Processes events until the queue drains or `max_events` have been

@@ -328,6 +328,32 @@ fn replay_full_protocol_trace_is_identical_per_seed() {
     assert_eq!(end_a, end_b);
     assert!(stats_a.dropped_loss > 0, "25% loss must drop something");
 
+    // Schema of the enriched trace: deliveries carry the frame's wire size,
+    // transmit-time drops carry a structured cause, and the stats and trace
+    // agree on how many frames were lost.
+    let loss_drops = trace_a
+        .iter()
+        .filter(|e| e.class == 3 && e.cause == rspan_asim::DropCause::Loss)
+        .count() as u64;
+    assert_eq!(
+        loss_drops, stats_a.dropped_loss,
+        "trace/stats loss mismatch"
+    );
+    for ev in &trace_a {
+        match ev.class {
+            1 => {
+                assert!(ev.bytes > 0, "delivery with no wire size: {ev:?}");
+                // A frame delivered into a live node was not dropped.
+            }
+            3 => assert_ne!(
+                ev.cause,
+                rspan_asim::DropCause::None,
+                "transmit-time drop without a cause: {ev:?}"
+            ),
+            _ => assert_eq!(ev.bytes, 0, "non-frame event carries bytes: {ev:?}"),
+        }
+    }
+
     let (trace_c, _, _) = run(AsimConfig { seed: 4048, ..cfg });
     assert_ne!(trace_a, trace_c, "a different seed must reorder the run");
 }

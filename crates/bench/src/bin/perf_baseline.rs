@@ -52,16 +52,23 @@
 //!
 //! Usage:
 //!   `perf_baseline [remspan|engine_churn|routing_churn|async_churn|all]
-//!                  [--quick] [--seed N] [--json PATH]`
+//!                  [--quick] [--seed N] [--json PATH] [--trace-out PATH]`
 //!
 //! `--quick` runs a small smoke configuration (CI keeps the binaries from
 //! rotting); `--seed` makes every workload reproducible from the command
 //! line (default 3 — graphs draw from `seed`, churn scenarios from
 //! `seed + 4`, the event simulator from `seed + 9`; the defaults reproduce
 //! the recorded baselines exactly); `--json` overrides the output path and
-//! is only valid with a single workload.  Default paths:
-//! `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json` /
-//! `BENCH_async.json`.
+//! is only valid with a single workload; `--trace-out` (async_churn only)
+//! additionally runs every row with the `rspan-obs` recorder on and writes
+//! the concatenated deterministic JSONL traces — each row prefixed with a
+//! `"kind": "run"` header naming its family and seed — to `PATH`.  Default
+//! paths: `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json`
+//! / `BENCH_async.json`.
+//!
+//! Every row carries uniform run metadata — `workload`, `seed`, `wall_ms` —
+//! alongside its family-specific figures, so the CI validators can pin
+//! reproducibility info across all five BENCH files.
 
 use rspan_asim::{Adversary, AsimConfig, ByzBehaviour, FaultPlan, LatencyModel, VTime};
 use rspan_bench::scaled_density_udg;
@@ -71,7 +78,7 @@ use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
 use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};
 use rspan_graph::generators::udg::udg_with_density;
 use rspan_graph::CsrGraph;
-use rspan_session::{Broadcast, Repair, Scheduler, Session, SpannerAlgo};
+use rspan_session::{Broadcast, ObsConfig, Repair, Scheduler, Session, SpannerAlgo};
 use std::time::Instant;
 
 /// Churn scenarios draw from an offset stream so `--seed N` varies graph and
@@ -144,6 +151,7 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
         let w = scaled_density_udg(n, 12.0, seed);
         let g: &CsrGraph = &w.graph;
 
+        let row_start = Instant::now();
         let ((seed_ns, seed_edges), (pooled_ns, pooled_edges), (par_ns, _)) = interleaved_medians(
             reps,
             || rem_span(g, |g, u| dom_tree_k_greedy(g, u, 2)).num_edges(),
@@ -170,11 +178,14 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
         let speedup = seed_ns / pooled_ns;
         let row = format!(
             concat!(
-                "    {{\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", ",
+                "    {{\"workload\": \"remspan\", \"seed\": {}, \"wall_ms\": {:.1}, ",
+                "\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", ",
                 "\"seed_alloc_ns_per_node\": {:.0}, \"pooled_seq_ns_per_node\": {:.0}, ",
                 "\"pooled_par_ns_per_node\": {:.0}, \"pooled_speedup\": {:.2}, ",
                 "\"parallel_matches_sequential\": true}}"
             ),
+            seed,
+            row_start.elapsed().as_secs_f64() * 1e3,
             n,
             g.m(),
             seed_ns / n as f64,
@@ -217,6 +228,7 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let mut inc_ns = Vec::with_capacity(rounds);
         let mut full_ns = Vec::with_capacity(rounds);
         let mut batch_total = 0usize;
+        let row_start = Instant::now();
         for round in 0..rounds {
             let batch = scenario.next_batch(session.engine().graph());
             batch_total += batch.len();
@@ -244,12 +256,15 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let dirty_fraction = dirty_total as f64 / (rounds * n) as f64;
         let row = format!(
             concat!(
-                "    {{\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
+                "    {{\"workload\": \"engine_churn\", \"seed\": {}, \"wall_ms\": {:.1}, ",
+                "\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
                 "\"mean_flaps_per_round\": {:.1}, \"mean_batch_len\": {:.1}, ",
                 "\"mean_dirty_fraction\": {:.4}, \"incremental_commit_ns\": {:.0}, ",
                 "\"full_recompute_ns\": {:.0}, \"incremental_speedup\": {:.2}, ",
                 "\"matches_full_recompute\": true}}"
             ),
+            seed,
+            row_start.elapsed().as_secs_f64() * 1e3,
             n,
             w.graph.m(),
             rounds,
@@ -314,6 +329,7 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let mut batch_total = 0usize;
         let mut flips_total = 0usize;
         let mut repaired_total = 0usize;
+        let row_start = Instant::now();
         for round in 0..rounds {
             let batch = scenario.next_batch(session_seq.engine().graph());
             batch_total += batch.len();
@@ -362,7 +378,8 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let repaired_fraction = repaired_total as f64 / (rounds * n) as f64;
         let row = format!(
             concat!(
-                "    {{\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
+                "    {{\"workload\": \"routing_churn\", \"seed\": {}, \"wall_ms\": {:.1}, ",
+                "\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
                 "\"mean_batch_len\": {:.1}, \"mean_spanner_flips\": {:.1}, ",
                 "\"mean_repaired_row_fraction\": {:.4}, ",
                 "\"seq_commit_ns\": {:.0}, \"par_commit_ns\": {:.0}, ",
@@ -370,6 +387,8 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
                 "\"table_repair_ns\": {:.0}, \"full_table_build_ns\": {:.0}, ",
                 "\"table_repair_speedup\": {:.2}, \"tables_match_full_rebuild\": true}}"
             ),
+            seed,
+            row_start.elapsed().as_secs_f64() * 1e3,
             n,
             w.graph.m(),
             rounds,
@@ -408,7 +427,10 @@ struct AsyncRowCfg {
 
 /// One async-simulation configuration: runs the scenario to completion
 /// through a `Session` and renders its JSON row from the uniform metrics
-/// snapshot plus the harness's wall-clock timing.
+/// snapshot plus the harness's wall-clock timing.  Staleness rows run with
+/// the `rspan-obs` recorder on (the episode histogram needs it); any row
+/// also turns it on when `trace` collects JSONL for `--trace-out`.
+#[allow(clippy::too_many_arguments)]
 fn async_row<S: ChurnScenario + 'static>(
     family: &str,
     graph: &CsrGraph,
@@ -416,6 +438,8 @@ fn async_row<S: ChurnScenario + 'static>(
     algo: SpannerAlgo,
     sim: AsimConfig,
     row_cfg: &AsyncRowCfg,
+    seed: u64,
+    trace: Option<&mut Vec<String>>,
 ) -> String {
     let mut builder = Session::builder(graph.clone())
         .algo(algo)
@@ -426,10 +450,15 @@ fn async_row<S: ChurnScenario + 'static>(
     if row_cfg.staleness {
         builder = builder.routing(Repair::Delta).measure_staleness(true);
     }
+    if row_cfg.staleness || trace.is_some() {
+        builder = builder.observe(ObsConfig {
+            events: trace.is_some(),
+        });
+    }
     let mut session = builder.build().expect("valid async configuration");
     let start = Instant::now();
     session.run(row_cfg.rounds).expect("scenario configured");
-    let metrics = session.finish();
+    let (metrics, report) = session.finish_observed();
     let wall_ns = start.elapsed().as_nanos() as f64;
     let asim = metrics.asim.as_ref().expect("async session");
     assert_eq!(
@@ -440,11 +469,27 @@ fn async_row<S: ChurnScenario + 'static>(
     let s = &asim.stats;
     let dropped = s.dropped_loss + s.dropped_down + s.dropped_no_link;
     let events = s.events.max(1);
+    // Staleness rows carry the per-row stale-duration histogram (how many
+    // virtual ticks each routing row stayed stale before repair caught up).
+    let stale_hist = match (&report, row_cfg.staleness) {
+        (Some(r), true) => format!(", {}", r.stale_ticks_fields()),
+        _ => String::new(),
+    };
     let row = format!(
-        "    {{\"family\": \"{family}\", {}, \"wall_ns_per_event\": {:.0}}}",
+        "    {{\"workload\": \"async_churn\", \"seed\": {seed}, \"wall_ms\": {:.1}, \
+         \"family\": \"{family}\", {}{stale_hist}, \"wall_ns_per_event\": {:.0}}}",
+        wall_ns / 1e6,
         metrics.json_fields(),
         wall_ns / events as f64,
     );
+    if let Some(buf) = trace {
+        let r = report.expect("observed session produces a report");
+        buf.push(format!(
+            "{{\"t\":0,\"kind\":\"run\",\"workload\":\"async_churn\",\
+             \"family\":\"{family}\",\"seed\":{seed}}}"
+        ));
+        buf.extend(r.lines.iter().cloned());
+    }
     println!(
         "{family:>9}  {:<20} loss {:.2} crash {:.2}  conv {:>2}/{:<2} ({:>5.1} ticks)  \
          delivered {:>8}  dropped {:>6}  {:>6.0} ns/event{}",
@@ -468,7 +513,7 @@ fn async_row<S: ChurnScenario + 'static>(
     row
 }
 
-fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
+fn async_churn_workload(quick: bool, seed: u64, out_path: &str, trace_out: Option<&str>) {
     let algo = SpannerAlgo::KConnecting { k: 2 };
     let (n, rounds) = if quick { (300, 6) } else { (1500, 30) };
     let inst = udg_with_density(n, 12.0, seed);
@@ -489,6 +534,7 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
         staleness: false,
     };
     let mut rows = Vec::new();
+    let mut trace: Option<Vec<String>> = trace_out.map(|_| Vec::new());
 
     // Family 1 — loss sweep: link-flap churn, constant latency, bounded
     // link-layer retransmission.
@@ -506,6 +552,8 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
             algo.clone(),
             sim,
             &base_row,
+            seed,
+            trace.as_mut(),
         ));
     }
 
@@ -532,6 +580,8 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
             algo.clone(),
             sim,
             &base_row,
+            seed,
+            trace.as_mut(),
         ));
     }
 
@@ -550,6 +600,8 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
                 downtime: 24,
                 ..base_row
             },
+            seed,
+            trace.as_mut(),
         ));
     }
 
@@ -583,10 +635,18 @@ fn async_churn_workload(quick: bool, seed: u64, out_path: &str) {
                 staleness: true,
                 ..base_row
             },
+            seed,
+            trace.as_mut(),
         ));
     }
 
     write_json(out_path, "async_churn", "per_run_totals", &rows);
+    if let (Some(path), Some(lines)) = (trace_out, &trace) {
+        let mut out = lines.join("\n");
+        out.push('\n');
+        std::fs::write(path, out).expect("write trace jsonl");
+        println!("wrote {path} ({} events)", lines.len());
+    }
 }
 
 /// Per-row knobs of one Byzantine-churn configuration.
@@ -603,6 +663,7 @@ struct ByzRowCfg {
 fn byz_row(
     family: &str,
     graph: &CsrGraph,
+    seed: u64,
     scenario_seed: u64,
     mean_flaps: f64,
     sim: AsimConfig,
@@ -624,7 +685,9 @@ fn byz_row(
     let asim = metrics.asim.as_ref().expect("async session");
     let events = asim.stats.events.max(1);
     let row = format!(
-        "    {{\"family\": \"{family}\", {}, \"wall_ns_per_event\": {:.0}}}",
+        "    {{\"workload\": \"byz_churn\", \"seed\": {seed}, \"wall_ms\": {:.1}, \
+         \"family\": \"{family}\", {}, \"wall_ns_per_event\": {:.0}}}",
+        wall_ns / 1e6,
         metrics.json_fields(),
         wall_ns / events as f64,
     );
@@ -699,6 +762,7 @@ fn byz_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let (row, metrics) = byz_row(
             "amplification",
             &inst.graph,
+            seed,
             scenario_seed,
             mean_flaps,
             base_sim.clone(),
@@ -733,6 +797,7 @@ fn byz_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let (row, metrics) = byz_row(
             "agreement",
             &inst.graph,
+            seed,
             scenario_seed,
             mean_flaps,
             base_sim.clone(),
@@ -768,6 +833,7 @@ fn byz_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let (row, _) = byz_row(
             "adversary",
             &inst.graph,
+            seed,
             scenario_seed,
             mean_flaps,
             sim,
@@ -792,7 +858,7 @@ enum Workload {
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [remspan|engine_churn|routing_churn|async_churn|byz_churn|all] \
-         [--quick] [--seed N] [--json PATH]"
+         [--quick] [--seed N] [--json PATH] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -802,6 +868,7 @@ fn main() {
     let mut quick = false;
     let mut seed = 3u64;
     let mut json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -819,6 +886,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -827,6 +895,10 @@ fn main() {
             "--json requires a single workload (remspan, engine_churn, routing_churn, \
              async_churn or byz_churn)"
         );
+        std::process::exit(2);
+    }
+    if trace_out.is_some() && workload != Workload::AsyncChurn {
+        eprintln!("--trace-out requires the async_churn workload");
         std::process::exit(2);
     }
     match workload {
@@ -839,9 +911,12 @@ fn main() {
         Workload::RoutingChurn => {
             routing_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_routing.json"))
         }
-        Workload::AsyncChurn => {
-            async_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_async.json"))
-        }
+        Workload::AsyncChurn => async_churn_workload(
+            quick,
+            seed,
+            json.as_deref().unwrap_or("BENCH_async.json"),
+            trace_out.as_deref(),
+        ),
         Workload::ByzChurn => {
             byz_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_byz.json"))
         }
@@ -849,7 +924,7 @@ fn main() {
             remspan_workload(quick, seed, "BENCH_remspan.json");
             engine_churn_workload(quick, seed, "BENCH_engine.json");
             routing_churn_workload(quick, seed, "BENCH_routing.json");
-            async_churn_workload(quick, seed, "BENCH_async.json");
+            async_churn_workload(quick, seed, "BENCH_async.json", None);
             byz_churn_workload(quick, seed, "BENCH_byz.json");
         }
     }

@@ -68,6 +68,8 @@
 use crate::tables::{fill_row, RoutingTables, NO_HOP, UNREACH};
 use rspan_engine::{RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::{sorted_insert, sorted_remove, Adjacency, EpochFlags, Node};
+use rspan_obs::{ObsEvent, ObsHandle, Phase};
+use std::time::Instant;
 
 /// The augmented view `H_u` assembled from the router's own spanner
 /// adjacency plus the source's incident edges (provided by the caller per
@@ -285,6 +287,25 @@ impl DeltaRouter {
         batch: &[TopologyChange],
         delta: &SpannerDelta,
     ) -> RepairStats {
+        self.apply_observed(engine, batch, delta, &ObsHandle::off())
+    }
+
+    /// Like [`DeltaRouter::apply`], with the repair attributed into `obs`:
+    /// the flip scan and row refill are wall-clock profiled
+    /// ([`Phase::RepairSweep`] / [`Phase::RepairFill`], profile channel
+    /// only), and a deterministic [`ObsEvent::Repair`] summary records how
+    /// many rows the batch marked directly, how many the flip scan marked,
+    /// how many the scan proved unaffected and how many were recomputed.
+    /// With the off handle this *is* `apply` — one branch, no timing, no
+    /// allocation.
+    pub fn apply_observed(
+        &mut self,
+        engine: &RspanEngine,
+        batch: &[TopologyChange],
+        delta: &SpannerDelta,
+        obs: &ObsHandle,
+    ) -> RepairStats {
+        let on = obs.on();
         assert_eq!(
             delta.epoch,
             self.epoch + 1,
@@ -307,6 +328,7 @@ impl DeltaRouter {
             self.mark(a);
             self.mark(b);
         }
+        let marked_batch = self.affected_rows.len();
         // Spanner flips: O(1) column reads per (row, flip) decide who
         // recomputes — exactly (see the module docs), with the in-place
         // support updates keeping skipped rows correct for the next flip of
@@ -319,6 +341,7 @@ impl DeltaRouter {
             .extend(delta.added.iter().map(|&(x, y)| (x, y, true)));
         self.flips
             .extend(delta.removed.iter().map(|&(x, y)| (x, y, false)));
+        let mut stamp = on.then(Instant::now);
         if !self.flips.is_empty() {
             for u in 0..n as Node {
                 if self.affected.test(u) {
@@ -369,6 +392,13 @@ impl DeltaRouter {
                 }
             }
         }
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::RepairSweep,
+                start.elapsed().as_nanos() as u64,
+                self.flips.len() as u64,
+            );
+        }
 
         // Update the sparse spanner adjacency, then rebuild the marked rows
         // over the post-flip structure.
@@ -384,11 +414,29 @@ impl DeltaRouter {
             sorted_insert(&mut self.spanner_adj[x as usize], y);
             sorted_insert(&mut self.spanner_adj[y as usize], x);
         }
+        stamp = on.then(Instant::now);
         let rows = std::mem::take(&mut self.affected_rows);
         for &u in &rows {
             self.fill(engine, u);
         }
         self.affected_rows = rows;
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::RepairFill,
+                start.elapsed().as_nanos() as u64,
+                self.affected_rows.len() as u64,
+            );
+        }
+        if on {
+            obs.emit(ObsEvent::Repair {
+                epoch: delta.epoch,
+                marked_batch: marked_batch as u32,
+                marked_flips: (self.affected_rows.len() - marked_batch) as u32,
+                skipped: (n - self.affected_rows.len()) as u32,
+                repaired: self.affected_rows.len() as u32,
+                flips: self.flips.len() as u32,
+            });
+        }
         self.epoch = delta.epoch;
         RepairStats {
             epoch: self.epoch,
@@ -476,6 +524,36 @@ mod tests {
         let batch = [TopologyChange::AddEdge(0, 4)];
         let delta = engine.commit(&batch); // epoch 2
         router.apply(&engine, &batch, &delta);
+    }
+
+    #[test]
+    fn observed_apply_matches_plain_and_attributes_rows() {
+        use rspan_obs::ObsConfig;
+        let g = gnp_connected(50, 0.08, 5);
+        let algo = TreeAlgo::KGreedy { k: 1 };
+        let mut engine_a = RspanEngine::new(g.clone(), algo);
+        let mut engine_b = RspanEngine::new(g.clone(), algo);
+        let mut plain = DeltaRouter::new(&engine_a);
+        let mut observed = DeltaRouter::new(&engine_b);
+        let (eu, ev) = g.edges().next().unwrap();
+        let batch = [TopologyChange::RemoveEdge(eu, ev)];
+        let delta_a = engine_a.commit(&batch);
+        let delta_b = engine_b.commit(&batch);
+        assert_eq!(delta_a, delta_b);
+        let obs = ObsHandle::mem(ObsConfig::default());
+        let stats_plain = plain.apply(&engine_a, &batch, &delta_a);
+        let stats_obs = observed.apply_observed(&engine_b, &batch, &delta_b, &obs);
+        assert_eq!(stats_plain, stats_obs, "observation changed the repair");
+        assert_eq!(plain.tables(), observed.tables());
+        let report = obs.take_report().expect("recorder attached");
+        assert_eq!(report.lines.len(), 1);
+        let line = &report.lines[0];
+        assert!(line.contains("\"kind\":\"repair\""), "{line}");
+        assert!(line.contains(&format!("\"repaired\":{}", stats_obs.rows_recomputed)));
+        assert!(report
+            .phases
+            .iter()
+            .any(|p| p.phase == Phase::RepairFill && p.items == stats_obs.rows_recomputed as u64));
     }
 
     #[test]

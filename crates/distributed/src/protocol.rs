@@ -35,6 +35,7 @@ use crate::transport::{Outgoing, ProtocolNode, Transport, WireSize};
 use rspan_domtree::{DomScratch, DominatingTree, TreeAlgo};
 use rspan_engine::{RspanEngine, SpannerDelta};
 use rspan_graph::{CsrGraph, EdgeSet, GraphBuilder, Node, Subgraph};
+use rspan_obs::{DropCause, FrameKind, FrameMeta, WaveId};
 use std::collections::{HashMap, HashSet};
 
 /// Which dominating-tree algorithm each node runs on its local view.
@@ -385,6 +386,20 @@ impl WireSize for RepairMsg {
             RepairMsg::TreeAdvert(_, _, edges, _) => 20 + 8 * edges.len() as u64,
         }
     }
+
+    fn meta(&self) -> FrameMeta {
+        // The wave identity `(origin, epoch)` is already on the wire — the
+        // observability layer reads it, it never adds bytes.
+        let (kind, epoch, origin, ttl) = match self {
+            RepairMsg::LinkState(e, o, _, ttl) => (FrameKind::LinkState, *e, *o, *ttl),
+            RepairMsg::TreeAdvert(e, o, _, ttl) => (FrameKind::TreeAdvert, *e, *o, *ttl),
+        };
+        FrameMeta {
+            kind,
+            wave: Some(WaveId { origin, epoch }),
+            ttl,
+        }
+    }
 }
 
 /// Per-node state of the *incremental* restabilisation flood (§2.3): after
@@ -421,6 +436,9 @@ pub struct RepairNode {
     accepted_ls: HashMap<(u64, Node), u64>,
     /// Content digest of the tree advert accepted per `(epoch, origin)`.
     accepted_tree: HashMap<(u64, Node), u64>,
+    /// Disposition of the most recent delivery (consumed vs dedup), exposed
+    /// through [`ProtocolNode::last_rx`] for trace/observability attribution.
+    last_rx: DropCause,
 }
 
 impl RepairNode {
@@ -437,6 +455,7 @@ impl RepairNode {
             incident_updates: HashSet::new(),
             accepted_ls: HashMap::new(),
             accepted_tree: HashMap::new(),
+            last_rx: DropCause::None,
         }
     }
 
@@ -529,6 +548,7 @@ impl ProtocolNode for RepairNode {
     }
 
     fn on_message(&mut self, net: &mut dyn Transport<RepairMsg>, _from: Node, msg: &RepairMsg) {
+        self.last_rx = DropCause::None;
         match msg {
             RepairMsg::LinkState(epoch, origin, list, ttl) => {
                 if self.seen_ls.insert((*epoch, *origin)) {
@@ -543,6 +563,8 @@ impl ProtocolNode for RepairNode {
                             ttl - 1,
                         )));
                     }
+                } else {
+                    self.last_rx = DropCause::Dedup;
                 }
             }
             RepairMsg::TreeAdvert(epoch, origin, edges, ttl) => {
@@ -563,6 +585,8 @@ impl ProtocolNode for RepairNode {
                             ttl - 1,
                         )));
                     }
+                } else {
+                    self.last_rx = DropCause::Dedup;
                 }
             }
         }
@@ -581,6 +605,10 @@ impl ProtocolNode for RepairNode {
         // Purely reactive after origination: forwarding imposes no further
         // obligations of its own.
         self.originated
+    }
+
+    fn last_rx(&self) -> DropCause {
+        self.last_rx
     }
 }
 

@@ -42,6 +42,7 @@ use crate::transport::{
     BufferedTransport, Outgoing, PendingOps, ProtocolNode, Transport, WireSize,
 };
 use rspan_graph::Node;
+use rspan_obs::{DropCause, FrameKind, FrameMeta, ObsEvent, ObsHandle, WaveId};
 use std::collections::{HashMap, HashSet};
 
 /// Incremental 64-bit FNV-1a: the deterministic hash primitive behind
@@ -248,13 +249,30 @@ impl<M: RbPayload> RbMsg<M> {
     }
 }
 
-impl<M: WireSize> WireSize for RbMsg<M> {
+impl<M: WireSize + RbPayload> WireSize for RbMsg<M> {
     fn wire_bytes(&self) -> u64 {
         // 4-byte tag + 8-byte MAC + 4-byte ttl (+ 4-byte signer id for
         // echo/ready) on top of the carried payload.
         match self {
             RbMsg::Init(m, _, _) => 16 + m.wire_bytes(),
             RbMsg::Echo(_, m, _, _) | RbMsg::Ready(_, m, _, _) => 20 + m.wire_bytes(),
+        }
+    }
+
+    fn meta(&self) -> FrameMeta {
+        let (kind, ttl) = match self {
+            RbMsg::Init(_, _, ttl) => (FrameKind::RbInit, *ttl),
+            RbMsg::Echo(_, _, _, ttl) => (FrameKind::RbEcho, *ttl),
+            RbMsg::Ready(_, _, _, ttl) => (FrameKind::RbReady, *ttl),
+        };
+        let p = self.payload();
+        FrameMeta {
+            kind,
+            wave: Some(WaveId {
+                origin: p.origin(),
+                epoch: p.epoch(),
+            }),
+            ttl,
         }
     }
 }
@@ -380,6 +398,10 @@ pub struct RbNode<N: ProtocolNode, A: Auth> {
     fwd_ready: HashSet<(Key, Node)>,
     stats: RbStats,
     inner_ops: PendingOps<N::Msg>,
+    /// Disposition of the last received frame (advisory, for tracing).
+    last_rx: DropCause,
+    /// Observability sink: quorum-progress events flow here when attached.
+    obs: ObsHandle,
 }
 
 impl<N, A> RbNode<N, A>
@@ -410,7 +432,16 @@ where
             fwd_ready: HashSet::new(),
             stats: RbStats::default(),
             inner_ops: PendingOps::default(),
+            last_rx: DropCause::None,
+            obs: ObsHandle::off(),
         }
+    }
+
+    /// Attaches an observability recorder: quorum-echo / quorum-deliver
+    /// transitions of every RB instance are emitted through it, keyed by the
+    /// wave id `(origin, epoch)` and slot that name the instance.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
     }
 
     /// Echoes required before a node turns ready:
@@ -576,6 +607,26 @@ where
             }
             (send_ready, deliver)
         };
+        if self.obs.on() {
+            let wave = WaveId {
+                origin: key.0,
+                epoch: key.1,
+            };
+            if send_ready.is_some() {
+                self.obs.emit(ObsEvent::QuorumEcho {
+                    node: me,
+                    wave,
+                    slot: u64::from(key.2),
+                });
+            }
+            if deliver.is_some() {
+                self.obs.emit(ObsEvent::QuorumDeliver {
+                    node: me,
+                    wave,
+                    slot: u64::from(key.2),
+                });
+            }
+        }
         if let Some(payload) = send_ready.filter(|_| self.f > 0) {
             let mac = self.auth.tag(me, mac_data(KIND_READY, digest));
             self.fwd_ready.insert((key, me));
@@ -598,6 +649,7 @@ where
     /// The RB receive path: authenticate, dedup-relay, count, progress.
     fn handle_rb(&mut self, net: &mut dyn Transport<RbMsg<N::Msg>>, msg: &RbMsg<N::Msg>) {
         let me = net.me();
+        self.last_rx = DropCause::None;
         let (payload, kind, signer, mac, ttl) = match msg {
             RbMsg::Init(p, mac, ttl) => (p, KIND_INIT, p.origin(), *mac, *ttl),
             RbMsg::Echo(s, p, mac, ttl) => (p, KIND_ECHO, *s, *mac, *ttl),
@@ -608,6 +660,7 @@ where
         // it can re-create collected state.
         if payload.epoch().saturating_add(2) < self.epoch {
             self.stats.rejected_stale += 1;
+            self.last_rx = DropCause::Stale;
             return;
         }
         let digest = payload.digest();
@@ -616,6 +669,7 @@ where
         // MAC no longer verifies.  Honest nodes never relay such frames.
         if !self.auth.verify(signer, mac_data(kind, digest), mac) {
             self.stats.rejected_mac += 1;
+            self.last_rx = DropCause::MacReject;
             return;
         }
         let key = key_of(payload);
@@ -630,6 +684,10 @@ where
             _ => self.fwd_ready.insert((key, signer)),
         };
         if !fresh {
+            // Either a plain dedup-flood duplicate or equivocation evidence
+            // (same signer, different digest) — dropped identically either
+            // way, and attributed as a dedup for the trace.
+            self.last_rx = DropCause::Dedup;
             return;
         }
         if ttl > 1 {
@@ -691,6 +749,10 @@ where
 
     fn on_message(&mut self, net: &mut dyn Transport<Self::Msg>, _from: Node, msg: &Self::Msg) {
         self.handle_rb(net, msg);
+    }
+
+    fn last_rx(&self) -> DropCause {
+        self.last_rx
     }
 
     fn on_timer(&mut self, net: &mut dyn Transport<Self::Msg>, token: u32) {

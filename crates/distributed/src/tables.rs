@@ -191,14 +191,19 @@ impl RoutingTables {
     /// route different node counts.
     pub fn rows_differing(&self, other: &Self) -> usize {
         assert_eq!(self.n, other.n, "tables cover different node sets");
+        (0..self.n).filter(|&u| self.row_differs(other, u)).count()
+    }
+
+    /// Whether row `u` (source node) disagrees between the two tables in any
+    /// entry — the per-row probe behind [`RoutingTables::rows_differing`],
+    /// used by the observability layer to track *which* rows are stale and
+    /// for how long.  Panics if the tables route different node counts.
+    pub fn row_differs(&self, other: &Self, u: usize) -> bool {
+        assert_eq!(self.n, other.n, "tables cover different node sets");
         let n = self.n;
-        (0..n)
-            .filter(|&u| {
-                let row = u * n;
-                self.next[row..row + n] != other.next[row..row + n]
-                    || self.dist[row..row + n] != other.dist[row..row + n]
-            })
-            .count()
+        let row = u * n;
+        self.next[row..row + n] != other.next[row..row + n]
+            || self.dist[row..row + n] != other.dist[row..row + n]
     }
 }
 

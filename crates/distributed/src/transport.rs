@@ -23,6 +23,7 @@
 //! tests pin that equivalence bit-for-bit.
 
 use rspan_graph::Node;
+use rspan_obs::{DropCause, FrameMeta};
 
 /// A message in flight: payload plus addressing metadata.
 #[derive(Clone, Debug)]
@@ -102,6 +103,17 @@ pub trait ProtocolNode {
     /// termination statistics ([`crate::sim::RunStats::all_done`]); the
     /// schedulers stop on quiescence regardless.
     fn is_done(&self) -> bool;
+
+    /// Disposition of the most recent [`ProtocolNode::on_message`] delivery:
+    /// [`DropCause::None`] when the frame was consumed, otherwise why it was
+    /// discarded (flood dedup, stale epoch, MAC reject, …).  Queried by the
+    /// asynchronous scheduler *after* the callback to attribute deliveries in
+    /// its replay trace and observability events; purely advisory, so the
+    /// default of "always consumed" keeps existing protocols working
+    /// unchanged.
+    fn last_rx(&self) -> DropCause {
+        DropCause::None
+    }
 }
 
 /// Wire-size model for protocol messages, used by the asynchronous
@@ -110,6 +122,14 @@ pub trait ProtocolNode {
 pub trait WireSize {
     /// Serialized size of this message in bytes.
     fn wire_bytes(&self) -> u64;
+
+    /// Observability metadata the frame already carries on the wire: its
+    /// kind, repair-wave identity `(origin, epoch)` and remaining TTL.  The
+    /// default is unattributed, so message types that predate the
+    /// wave-causality index need no changes.
+    fn meta(&self) -> FrameMeta {
+        FrameMeta::default()
+    }
 }
 
 /// Send/timer requests buffered during one callback, drained by the

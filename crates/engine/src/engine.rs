@@ -50,8 +50,10 @@ use rspan_graph::{
     bfs_into, resolve_threads, CsrGraph, DynamicGraph, EdgeSet, EpochFlags, Node, Subgraph,
     TraversalScratch,
 };
+use rspan_obs::{ObsEvent, ObsHandle, Phase};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::time::Instant;
 
 /// Multiply-xorshift hasher for packed `(u, v)` pair keys — the refcount map
 /// is on the commit hot path and the generic SipHash costs more than the
@@ -307,6 +309,27 @@ impl RspanEngine {
     /// result — spanner, delta, epoch — is **bit-identical** to the
     /// sequential [`RspanEngine::commit`].
     pub fn commit_parallel(&mut self, batch: &[TopologyChange], threads: usize) -> SpannerDelta {
+        self.commit_observed(batch, threads, &ObsHandle::off())
+    }
+
+    /// Like [`RspanEngine::commit_parallel`], with the commit's phases
+    /// (dirty-ball marking, tree retire/rebuild/install, delta assembly,
+    /// compaction) profiled into `obs` and a deterministic
+    /// [`ObsEvent::Commit`] summary emitted at the recorder's current virtual
+    /// time.  With the off handle this *is* `commit_parallel` — every
+    /// instrumentation site hides behind one predictable branch, and no
+    /// timing, event construction or allocation happens (the recorder-off
+    /// bit-identity property tests pin this).
+    ///
+    /// Wall-clock phase timings flow only through the recorder's profile
+    /// channel, never into the deterministic event log.
+    pub fn commit_observed(
+        &mut self,
+        batch: &[TopologyChange],
+        threads: usize,
+        obs: &ObsHandle,
+    ) -> SpannerDelta {
+        let on = obs.on();
         let threads = resolve_threads(threads);
         let n = self.graph.n();
         let radius = self.dirty_radius();
@@ -316,6 +339,7 @@ impl RspanEngine {
         self.touched.clear();
 
         // Dirty balls in the pre-batch topology.
+        let mut stamp = on.then(Instant::now);
         self.mark_balls(batch, radius);
         // Apply the batch (validates each change).
         for change in batch {
@@ -323,6 +347,13 @@ impl RspanEngine {
         }
         // Dirty balls in the post-batch topology.
         self.mark_balls(batch, radius);
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::Mark,
+                start.elapsed().as_nanos() as u64,
+                self.dirty_list.len() as u64,
+            );
+        }
 
         // Phase 1 — retire: pull every dirty tree out of the cache and undo
         // its refcount contribution, snapshotting each pair's pre-commit
@@ -331,6 +362,7 @@ impl RspanEngine {
         // i.e. pairs no retired tree held — so the all-decrements-first
         // phasing records exactly the same pre-commit presence the
         // interleaved sequential sweep did).
+        stamp = on.then(Instant::now);
         let mut work = std::mem::take(&mut self.work);
         work.clear();
         for i in 0..self.dirty_list.len() {
@@ -351,9 +383,19 @@ impl RspanEngine {
             edges.clear();
             work.push((u, edges));
         }
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::Retire,
+                start.elapsed().as_nanos() as u64,
+                work.len() as u64,
+            );
+        }
 
         // Phase 2 — rebuild: recompute exactly the dirty trees, sharded
-        // across workers when the dirty set is worth the fan-out.
+        // across workers when the dirty set is worth the fan-out.  The
+        // profile wraps the whole phase from the committing thread (the
+        // handle is single-threaded and never crosses into the scope).
+        stamp = on.then(Instant::now);
         if threads > 1 && work.len() >= 2 * DIRTY_CHUNK {
             while self.par_dom.len() < threads {
                 self.par_dom.push(DomScratch::with_capacity(n));
@@ -385,9 +427,17 @@ impl RspanEngine {
                 tree.for_each_edge(|p, c| edges.push((p, c)));
             }
         }
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::Rebuild,
+                start.elapsed().as_nanos() as u64,
+                work.len() as u64,
+            );
+        }
 
         // Phase 3 — install: merge the per-shard contributions back into the
         // refcounted spanner, in `dirty_list` order.
+        stamp = on.then(Instant::now);
         for (u, edges) in work.iter_mut() {
             for &(p, c) in edges.iter() {
                 let key = pack(p, c);
@@ -400,8 +450,16 @@ impl RspanEngine {
             self.trees[*u as usize] = std::mem::take(edges);
         }
         self.work = work;
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::Install,
+                start.elapsed().as_nanos() as u64,
+                self.dirty_list.len() as u64,
+            );
+        }
 
         // Net delta: pairs whose presence flipped across the commit.
+        stamp = on.then(Instant::now);
         let mut added = Vec::new();
         let mut removed = Vec::new();
         for (&key, &pre) in &self.touched {
@@ -416,11 +474,32 @@ impl RspanEngine {
         removed.sort_unstable();
         let mut recomputed = self.dirty_list.clone();
         recomputed.sort_unstable();
+        if let Some(start) = stamp {
+            obs.phase(
+                Phase::Delta,
+                start.elapsed().as_nanos() as u64,
+                (added.len() + removed.len()) as u64,
+            );
+        }
 
         // Amortised compaction keeps neighbor scans near CSR speed.
         let compacted = self.graph.should_compact(self.compact_fraction);
         if compacted {
+            stamp = on.then(Instant::now);
             self.graph.compact();
+            if let Some(start) = stamp {
+                obs.phase(Phase::Compact, start.elapsed().as_nanos() as u64, 1);
+            }
+        }
+
+        if on {
+            obs.emit(ObsEvent::Commit {
+                epoch: self.epoch,
+                batch: batch.len() as u32,
+                dirty: recomputed.len() as u32,
+                added: added.len() as u32,
+                removed: removed.len() as u32,
+            });
         }
 
         SpannerDelta {
@@ -560,6 +639,36 @@ mod tests {
         for u in 0..seq.graph().n() as Node {
             assert_eq!(seq.tree_edges(u), par.tree_edges(u), "tree cache of {u}");
         }
+    }
+
+    #[test]
+    fn observed_commit_matches_plain_and_profiles_phases() {
+        use rspan_obs::ObsConfig;
+        let g = gnp_connected(60, 0.08, 5);
+        let algo = TreeAlgo::KGreedy { k: 2 };
+        let mut plain = RspanEngine::new(g.clone(), algo);
+        let mut observed = RspanEngine::new(g.clone(), algo);
+        let (u, v) = g.edges().next().unwrap();
+        let batch = [TopologyChange::RemoveEdge(u, v)];
+        let obs = ObsHandle::mem(ObsConfig::default());
+        obs.set_now(3);
+        let d_plain = plain.commit(&batch);
+        let d_obs = observed.commit_observed(&batch, 1, &obs);
+        assert_eq!(d_plain, d_obs, "observation changed the commit result");
+        assert_eq!(plain.spanner_pairs(), observed.spanner_pairs());
+        let report = obs.take_report().expect("recorder attached");
+        assert_eq!(report.commits, 1);
+        for phase in [Phase::Mark, Phase::Retire, Phase::Rebuild, Phase::Install] {
+            assert!(
+                report
+                    .phases
+                    .iter()
+                    .any(|p| p.phase == phase && p.calls == 1),
+                "missing profile for {phase:?}"
+            );
+        }
+        assert_eq!(report.lines.len(), 1);
+        assert!(report.lines[0].starts_with("{\"t\":3,\"kind\":\"commit\",\"epoch\":1,"));
     }
 
     #[test]

@@ -63,4 +63,5 @@ mod session;
 pub use algo::SpannerAlgo;
 pub use error::RspanError;
 pub use metrics::{AsyncMetrics, ByzMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats};
+pub use rspan_obs::{ObsConfig, ObsReport};
 pub use session::{Broadcast, Repair, Scheduler, Session, SessionBuilder, StepReport};

@@ -223,6 +223,25 @@ fn json_f64(x: f64) -> String {
     }
 }
 
+/// Escapes a label for embedding inside a JSON string literal: backslashes
+/// and double quotes are escaped, control characters become `\u00XX`.
+/// Labels are normally tame identifiers, but scenario names are caller-
+/// supplied strings and must not be able to break the row out of its field.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl Metrics {
     /// The snapshot as the *fields* of a flat JSON object — `"key": value`
     /// pairs joined by `", "`, without the surrounding braces — so harnesses
@@ -231,9 +250,9 @@ impl Metrics {
     pub fn json_fields(&self) -> String {
         let mut fields: Vec<String> = Vec::new();
         if let Some(scenario) = &self.scenario {
-            fields.push(format!("\"scenario\": \"{scenario}\""));
+            fields.push(format!("\"scenario\": \"{}\"", json_escape(scenario)));
         }
-        fields.push(format!("\"algo\": \"{}\"", self.algo));
+        fields.push(format!("\"algo\": \"{}\"", json_escape(&self.algo)));
         fields.push(format!("\"n\": {}", self.n));
         fields.push(format!("\"m\": {}", self.m));
         fields.push(format!("\"epoch\": {}", self.epoch));
@@ -254,8 +273,11 @@ impl Metrics {
             let s = &asim.stats;
             let dropped = s.dropped_loss + s.dropped_down + s.dropped_no_link;
             fields.push(format!("\"churn_interval\": {}", asim.churn_interval));
-            fields.push(format!("\"latency\": \"{}\"", asim.latency));
-            fields.push(format!("\"adversary\": \"{}\"", asim.adversary));
+            fields.push(format!("\"latency\": \"{}\"", json_escape(&asim.latency)));
+            fields.push(format!(
+                "\"adversary\": \"{}\"",
+                json_escape(&asim.adversary)
+            ));
             fields.push(format!("\"loss\": {:.2}", asim.loss));
             fields.push(format!("\"max_retries\": {}", asim.max_retries));
             fields.push(format!("\"crash_prob\": {:.2}", asim.crash_prob));
@@ -283,8 +305,14 @@ impl Metrics {
             fields.push(format!("\"stale_rows_max\": {}", st.stale_rows_max));
         }
         if let Some(byz) = &self.byz {
-            fields.push(format!("\"broadcast\": \"{}\"", byz.broadcast));
-            fields.push(format!("\"fault_plan\": \"{}\"", byz.fault_plan));
+            fields.push(format!(
+                "\"broadcast\": \"{}\"",
+                json_escape(&byz.broadcast)
+            ));
+            fields.push(format!(
+                "\"fault_plan\": \"{}\"",
+                json_escape(&byz.fault_plan)
+            ));
             fields.push(format!("\"byz_nodes\": {}", byz.byz_nodes));
             fields.push(format!("\"rb_init_sent\": {}", byz.init_sent));
             fields.push(format!("\"rb_echo_sent\": {}", byz.echo_sent));
@@ -324,5 +352,50 @@ mod tests {
         assert_eq!(json_f64(1.25), "1.25");
         assert_eq!(json_f64(f64::NAN), "-1.0");
         assert_eq!(json_f64(f64::INFINITY), "-1.0");
+    }
+
+    #[test]
+    fn json_escape_neutralises_adversarial_labels() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(json_escape(r"a\b"), r"a\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\u000ab\\u0009c");
+        // A label trying to break out of its field and inject a sibling key
+        // stays one (escaped) string.
+        let hostile = r#"x", "agreement_violations": 0, "y": "z"#;
+        let escaped = json_escape(hostile);
+        assert!(!escaped.contains(r#"x", "#), "unescaped quote survived");
+        assert_eq!(escaped, r#"x\", \"agreement_violations\": 0, \"y\": \"z"#);
+    }
+
+    #[test]
+    fn metrics_with_hostile_scenario_label_stay_parseable() {
+        let metrics = Metrics {
+            algo: "exact".into(),
+            guarantee: StretchGuarantee {
+                alpha: 1.0,
+                beta: 0.0,
+                k: 1,
+            },
+            scenario: Some(r#"flap"2.0\x"#.into()),
+            n: 4,
+            m: 3,
+            epoch: 0,
+            spanner_edges: 3,
+            rounds: 0,
+            batch_changes: 0,
+            dirty_total: 0,
+            spanner_flips: 0,
+            repair: None,
+            flood: None,
+            asim: None,
+            staleness: None,
+            byz: None,
+        };
+        let json = metrics.to_json();
+        assert!(json.contains(r#""scenario": "flap\"2.0\\x""#));
+        // Balanced quotes: an even count means no string leaks out.
+        let unescaped = json.replace("\\\"", "");
+        assert_eq!(unescaped.matches('"').count() % 2, 0);
     }
 }

@@ -28,6 +28,7 @@ use rspan_distributed::{
 };
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta};
 use rspan_graph::{CsrGraph, Node, Subgraph};
+use rspan_obs::{ObsConfig, ObsEvent, ObsHandle, ObsReport};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -315,6 +316,12 @@ struct StalenessState {
     /// converged distributed nodes still hold.
     snapshot: RoutingTables,
     stats: StalenessStats,
+    /// Per-row open staleness episode: the boundary time the row was first
+    /// observed stale, `None` while the row agrees with the snapshot.
+    /// Maintained only when an observability recorder is attached — episode
+    /// durations live in the [`ObsReport`], never in [`Metrics`], so
+    /// observing cannot perturb the scalar staleness counters.
+    stale_since: Vec<Option<VTime>>,
 }
 
 /// Builder for a [`Session`]; see [`Session::builder`].
@@ -337,6 +344,7 @@ pub struct SessionBuilder {
     max_events: u64,
     broadcast: Broadcast,
     faults: FaultPlan,
+    observe: Option<ObsConfig>,
     /// Async-only setters the caller invoked, so `build()` can reject them
     /// under the sync scheduler instead of silently ignoring them.
     async_only_set: Vec<&'static str>,
@@ -438,6 +446,19 @@ impl SessionBuilder {
     pub fn broadcast(mut self, broadcast: Broadcast) -> Self {
         self.broadcast = broadcast;
         self.async_only_set.push("broadcast(..)");
+        self
+    }
+
+    /// Attaches the deterministic observability recorder ([`ObsConfig`]):
+    /// engine commit phases, router repair attribution, per-frame
+    /// deliver/drop events with wave-level causality, RB quorum progress
+    /// and per-row staleness episodes all flow into one [`ObsReport`],
+    /// retrieved via [`Session::finish_observed`].  Works under both
+    /// schedulers; recorder-off sessions are bit-identical to unobserved
+    /// ones (property-tested), and the same seed + config yields a
+    /// byte-identical JSONL export.
+    pub fn observe(mut self, cfg: ObsConfig) -> Self {
+        self.observe = Some(cfg);
         self
     }
 
@@ -552,6 +573,10 @@ impl SessionBuilder {
             }
         };
 
+        let obs = match self.observe {
+            Some(obs_cfg) => ObsHandle::mem(obs_cfg),
+            None => ObsHandle::off(),
+        };
         let engine = RspanEngine::new(self.graph, tree_algo);
         let router = match self.routing {
             Repair::None => None,
@@ -568,6 +593,7 @@ impl SessionBuilder {
                                 self.faults.clone(),
                             )));
                         }
+                        driver.set_obs(obs.clone());
                         AsyncDriver::Plain(driver)
                     }
                     Broadcast::Reliable { f } => {
@@ -579,9 +605,18 @@ impl SessionBuilder {
                         let ttl = if f == 0 { radius.max(1) } else { n as u32 };
                         let auth = SeededAuth::new(cfg.sim.seed ^ AUTH_SEED_XOR);
                         let node_auth = auth.clone();
+                        let node_obs = obs.clone();
                         let mut driver =
                             RepairChurnDriver::with_nodes(&engine, cfg.clone(), |_| {
-                                RbNode::new(RepairNode::new(radius), node_auth.clone(), f, n, ttl)
+                                let mut node = RbNode::new(
+                                    RepairNode::new(radius),
+                                    node_auth.clone(),
+                                    f,
+                                    n,
+                                    ttl,
+                                );
+                                node.set_obs(node_obs.clone());
+                                node
                             });
                         if self.faults.is_active() {
                             driver.set_fault_hook(Box::new(RbFaultInjector::new(
@@ -589,6 +624,7 @@ impl SessionBuilder {
                                 auth,
                             )));
                         }
+                        driver.set_obs(obs.clone());
                         AsyncDriver::Reliable(driver)
                     }
                 };
@@ -611,11 +647,13 @@ impl SessionBuilder {
                     .tables()
                     .clone(),
                 stats: StalenessStats::default(),
+                stale_since: vec![None; engine.graph().n()],
             })
         } else {
             None
         };
         Ok(Session {
+            obs,
             algo_label: self.algo.label(),
             algo: self.algo,
             guarantee,
@@ -662,6 +700,9 @@ pub struct Session {
     threads: usize,
     flood: bool,
     mode: Mode,
+    /// Observability sink (off unless [`SessionBuilder::observe`] was
+    /// configured); every layer the session drives holds a clone.
+    obs: ObsHandle,
     staleness: Option<StalenessState>,
     rounds: usize,
     batch_changes: usize,
@@ -710,6 +751,7 @@ impl Session {
             max_events: defaults.max_events,
             broadcast: Broadcast::Plain,
             faults: FaultPlan::none(),
+            observe: None,
             async_only_set: Vec::new(),
             threads_set: false,
         }
@@ -749,13 +791,17 @@ impl Session {
     }
 
     fn commit_sync(&mut self, batch: &[TopologyChange]) -> StepReport {
+        // Under the sync scheduler the round index is the virtual clock.
+        if self.obs.on() {
+            self.obs.set_now(self.rounds as VTime);
+        }
         let start = Instant::now();
-        let delta = self.engine.commit_parallel(batch, self.threads);
+        let delta = self.engine.commit_observed(batch, self.threads, &self.obs);
         let commit_ns = start.elapsed().as_nanos() as u64;
         let (repair, repair_ns) = match &mut self.router {
             Some(router) => {
                 let start = Instant::now();
-                let stats = router.apply(&self.engine, batch, &delta);
+                let stats = router.apply_observed(&self.engine, batch, &delta, &self.obs);
                 (Some(stats), start.elapsed().as_nanos() as u64)
             }
             None => (None, 0),
@@ -785,6 +831,7 @@ impl Session {
             router,
             scenario,
             staleness,
+            obs,
             ..
         } = self;
         let Mode::Async(state) = mode else {
@@ -807,8 +854,24 @@ impl Session {
                 None => {}
                 Some(true) => {
                     // The wave drained: distributed state caught up with the
-                    // router.  Re-snapshot.
+                    // router.  Close every open staleness episode, then
+                    // re-snapshot.
                     st.stats.checks += 1;
+                    if obs.on() {
+                        for (row, since) in st.stale_since.iter_mut().enumerate() {
+                            if let Some(s) = since.take() {
+                                obs.emit_at(
+                                    boundary.at,
+                                    ObsEvent::StaleRow {
+                                        row: row as Node,
+                                        since: s,
+                                        ticks: boundary.at - s,
+                                        censored: false,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     st.snapshot.clone_from(tables);
                 }
                 Some(false) => {
@@ -817,6 +880,32 @@ impl Session {
                     let stale = st.snapshot.rows_differing(tables);
                     st.stats.stale_rows_total += stale;
                     st.stats.stale_rows_max = st.stats.stale_rows_max.max(stale);
+                    // Per-row episodes (recorder only; the scalar counters
+                    // above are identical with or without a recorder): a row
+                    // opens when first seen stale, closes when it stops
+                    // differing at a later boundary.
+                    if obs.on() {
+                        for row in 0..st.stale_since.len() {
+                            let differs = st.snapshot.row_differs(tables, row);
+                            let since = &mut st.stale_since[row];
+                            match (differs, since.is_some()) {
+                                (true, false) => *since = Some(boundary.at),
+                                (false, true) => {
+                                    let s = since.take().expect("checked is_some");
+                                    obs.emit_at(
+                                        boundary.at,
+                                        ObsEvent::StaleRow {
+                                            row: row as Node,
+                                            since: s,
+                                            ticks: boundary.at - s,
+                                            censored: false,
+                                        },
+                                    );
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -829,7 +918,7 @@ impl Session {
         );
         let repair = router
             .as_mut()
-            .map(|r| r.apply(engine, &committed.batch, &committed.delta));
+            .map(|r| r.apply_observed(engine, &committed.batch, &committed.delta, obs));
         self.absorb(committed.batch.len(), &committed.delta, repair.as_ref());
         Ok(StepReport {
             step: self.rounds - 1,
@@ -869,7 +958,24 @@ impl Session {
     /// is held to the same convergence window as every other), drains the
     /// remaining events, performs the final staleness check, and returns the
     /// final snapshot.  A sync session just snapshots.
-    pub fn finish(mut self) -> Metrics {
+    pub fn finish(self) -> Metrics {
+        self.finish_observed().0
+    }
+
+    /// Like [`Session::finish`], additionally handing back the
+    /// [`ObsReport`] when [`SessionBuilder::observe`] was configured:
+    /// aggregated histograms (per-wave deliveries/bytes, frame latencies,
+    /// staleness-episode durations), drop attribution, phase profiles, and
+    /// the deterministic JSONL event log ([`ObsReport::to_jsonl`]).
+    pub fn finish_observed(mut self) -> (Metrics, Option<ObsReport>) {
+        self.drain();
+        let metrics = self.metrics();
+        let report = self.obs.take_report();
+        (metrics, report)
+    }
+
+    /// The shared body of [`Session::finish`] / [`Session::finish_observed`].
+    fn drain(&mut self) {
         if let Mode::Async(state) = &mut self.mode {
             if let Some(driver) = state.driver.take() {
                 let byz_wanted = state.byz_section_wanted();
@@ -897,6 +1003,10 @@ impl Session {
                     }
                 };
                 if let (Some(st), Some(router)) = (&mut self.staleness, &self.router) {
+                    let still_inflight = run
+                        .rounds
+                        .last()
+                        .is_some_and(|last| last.quiesced_at.is_none());
                     if let Some(last) = run.rounds.last() {
                         st.stats.checks += 1;
                         if last.quiesced_at.is_none() {
@@ -906,13 +1016,34 @@ impl Session {
                             st.stats.stale_rows_max = st.stats.stale_rows_max.max(stale);
                         }
                     }
+                    // Close every still-open staleness episode at the end of
+                    // the timeline: an episode whose row still differs while
+                    // the final wave never drained is right-censored (the
+                    // repair was never observed landing).
+                    if self.obs.on() {
+                        let tables = router.tables();
+                        for (row, since) in st.stale_since.iter_mut().enumerate() {
+                            if let Some(s) = since.take() {
+                                let censored =
+                                    still_inflight && st.snapshot.row_differs(tables, row);
+                                self.obs.emit_at(
+                                    run.final_time,
+                                    ObsEvent::StaleRow {
+                                        row: row as Node,
+                                        since: s,
+                                        ticks: run.final_time.saturating_sub(s),
+                                        censored,
+                                    },
+                                );
+                            }
+                        }
+                    }
                 }
                 state.finished = Some(run);
                 state.byz_final = byz_parts
                     .map(|(rb, checks, violations)| state.byz_metrics(rb, checks, violations));
             }
         }
-        self.metrics()
     }
 
     /// The uniform snapshot of everything the session has done so far.

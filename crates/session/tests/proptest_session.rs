@@ -24,7 +24,7 @@ use rspan_domtree::TreeAlgo;
 use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, RspanEngine};
 use rspan_graph::generators::udg_with_density;
 use rspan_graph::Node;
-use rspan_session::{Broadcast, Repair, RspanError, Scheduler, Session, SpannerAlgo};
+use rspan_session::{Broadcast, ObsConfig, Repair, RspanError, Scheduler, Session, SpannerAlgo};
 
 fn sorted(mut pairs: Vec<(Node, Node)>) -> Vec<(Node, Node)> {
     pairs.sort_unstable();
@@ -720,6 +720,144 @@ fn builder_rejects_bad_configurations_with_structured_errors() {
     let mut session = Session::builder(g()).build().unwrap();
     let err = session.step().unwrap_err();
     assert!(matches!(err, RspanError::MissingChurn { .. }), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Observability: recorder on ⇒ same run; same seed ⇒ same JSONL
+// ---------------------------------------------------------------------------
+
+/// Runs one session — sync or async, optionally under Byzantine faults —
+/// with or without the recorder, and returns everything the run computed:
+/// the spanner, the routing tables, the metrics, and the observation report.
+fn observed_run(
+    seed: u64,
+    scheduler: Scheduler,
+    byz: bool,
+    observe: bool,
+) -> (
+    Vec<(Node, Node)>,
+    rspan_distributed::RoutingTables,
+    rspan_session::Metrics,
+    Option<rspan_session::ObsReport>,
+) {
+    let n = if byz { 26 } else { 60 };
+    let inst = udg_with_density(n, 8.5, seed);
+    let mut builder = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 2.0, seed + 9))
+        .routing(Repair::Delta);
+    let async_sched = matches!(scheduler, Scheduler::Async(_));
+    builder = builder.scheduler(scheduler);
+    if async_sched {
+        builder = builder
+            .churn_interval(8)
+            .crash(0.4, 10)
+            .measure_staleness(true);
+    }
+    if byz {
+        builder = builder
+            .broadcast(Broadcast::Reliable { f: 4 })
+            .faults(mixed_fault_plan(seed));
+    }
+    if observe {
+        builder = builder.observe(ObsConfig::default());
+    }
+    let mut session = builder.build().unwrap();
+    session.run(5).unwrap();
+    let spanner = sorted(session.engine().spanner_pairs());
+    let tables = session.tables().unwrap().clone();
+    let (metrics, report) = session.finish_observed();
+    (spanner, tables, metrics, report)
+}
+
+#[test]
+fn observe_on_is_bit_identical_to_observe_off() {
+    // Turning the recorder on must not perturb the run: spanner evolution,
+    // routing tables and the full Metrics snapshot stay bit-identical across
+    // both schedulers, under crash churn and under Byzantine faults.
+    for seed in [7u64, 23] {
+        let cases: Vec<(&str, Scheduler, bool)> = vec![
+            ("sync", Scheduler::Sync, false),
+            (
+                "async",
+                Scheduler::Async(AsimConfig {
+                    latency: LatencyModel::Uniform { lo: 1, hi: 3 },
+                    loss: 0.15,
+                    max_retries: 1,
+                    seed: seed ^ 0x0B5,
+                    ..AsimConfig::default()
+                }),
+                false,
+            ),
+            (
+                "byz",
+                Scheduler::Async(byz_async_cfg(seed ^ 0x0B5, Adversary::None)),
+                true,
+            ),
+        ];
+        for (label, sched, byz) in cases {
+            let (sp_off, tb_off, m_off, r_off) = observed_run(seed, sched.clone(), byz, false);
+            let (sp_on, tb_on, m_on, r_on) = observed_run(seed, sched, byz, true);
+            assert!(r_off.is_none(), "off run must produce no report");
+            let report = r_on.expect("observed run must produce a report");
+            assert_eq!(sp_off, sp_on, "{label}: spanner diverged, seed {seed}");
+            assert_eq!(tb_off, tb_on, "{label}: tables diverged, seed {seed}");
+            assert_eq!(m_off, m_on, "{label}: metrics diverged, seed {seed}");
+            assert!(!report.lines.is_empty(), "{label}: recorder saw no events");
+            if label != "sync" {
+                assert!(report.delivered > 0, "{label}: no deliveries observed");
+                assert!(report.waves > 0, "{label}: no waves observed");
+            }
+        }
+    }
+}
+
+#[test]
+fn observed_jsonl_replays_byte_identical() {
+    // Same seed + same config ⇒ the exported JSONL trace is byte-identical,
+    // across both schedulers and under Byzantine faults.
+    for (label, sched, byz) in [
+        ("sync", Scheduler::Sync, false),
+        (
+            "async",
+            Scheduler::Async(AsimConfig {
+                latency: LatencyModel::HeavyTailed {
+                    min: 1,
+                    alpha: 1.5,
+                    cap: 12,
+                },
+                loss: 0.2,
+                max_retries: 1,
+                seed: 0x5EED,
+                ..AsimConfig::default()
+            }),
+            false,
+        ),
+        (
+            "byz",
+            Scheduler::Async(byz_async_cfg(0x5EED, Adversary::WaveSplit { stretch: 2 })),
+            true,
+        ),
+    ] {
+        let (_, _, _, r1) = observed_run(19, sched.clone(), byz, true);
+        let (_, _, _, r2) = observed_run(19, sched, byz, true);
+        let (a, b) = (r1.unwrap(), r2.unwrap());
+        let (ja, jb) = (a.to_jsonl(), b.to_jsonl());
+        assert!(!ja.is_empty(), "{label}: empty trace");
+        assert_eq!(ja, jb, "{label}: JSONL replay diverged");
+        assert_eq!(a.lines.len(), ja.lines().count(), "{label}: line count");
+        // Timestamps are monotone non-decreasing down the file.
+        let mut last = 0u64;
+        for line in ja.lines() {
+            let t = line
+                .strip_prefix("{\"t\":")
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{label}: malformed line {line}"));
+            assert!(t >= last, "{label}: time went backwards at {line}");
+            last = t;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
