@@ -24,7 +24,18 @@
 //!   long-lived `DeltaRouter` whose incremental repair is timed against a
 //!   from-scratch `RoutingTables::build` on the same round — with the
 //!   repaired tables asserted **bit-identical** to the full rebuild every
-//!   round.
+//!   round.  Selecting `routing_churn` also runs the `route_local` family
+//!   below; both land in `BENCH_routing.json`.
+//! * **route_local** — compact routing (`Repair::Local`) under the same
+//!   link-flap regime: ball-local exact rows + landmark/tree forwarding +
+//!   the LRU row cache, repaired per commit.  Rows record per-node state
+//!   bytes against the dense `O(n)`-per-node tables, cache traffic from a
+//!   hot exact-query loop, and measured stretch percentiles against true
+//!   graph distances (asserted within [`STRETCH_BOUND`]); at `n ≤ 4000` the
+//!   cached exact rows are additionally asserted identical to a dense
+//!   `RoutingTables::build`.  The n = 100 000 row is the table-wall
+//!   headline: sublinear state where the dense build no longer fits the
+//!   benchmark budget.
 //! * **async_churn** — the `rspan-asim` event simulator driving §2.3 repair
 //!   waves under four scenario families: a **loss sweep** (link-flap churn,
 //!   Bernoulli loss with bounded retransmission), a **latency sweep** (UDG
@@ -51,7 +62,8 @@
 //! session snapshot and the `BENCH_*.json` shape stay in lock-step.
 //!
 //! Usage:
-//!   `perf_baseline [remspan|engine_churn|routing_churn|async_churn|all]
+//!   `perf_baseline [remspan|engine_churn|routing_churn|route_local|
+//!                   async_churn|byz_churn|all]
 //!                  [--quick] [--seed N] [--json PATH] [--trace-out PATH]`
 //!
 //! `--quick` runs a small smoke configuration (CI keeps the binaries from
@@ -59,16 +71,19 @@
 //! line (default 3 — graphs draw from `seed`, churn scenarios from
 //! `seed + 4`, the event simulator from `seed + 9`; the defaults reproduce
 //! the recorded baselines exactly); `--json` overrides the output path and
-//! is only valid with a single workload; `--trace-out` (async_churn only)
+//! is only valid with a single workload; `--trace-out` (async_churn and
+//! route_local)
 //! additionally runs every row with the `rspan-obs` recorder on and writes
 //! the concatenated deterministic JSONL traces — each row prefixed with a
 //! `"kind": "run"` header naming its family and seed — to `PATH`.  Default
 //! paths: `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json`
 //! / `BENCH_async.json`.
 //!
-//! Every row carries uniform run metadata — `workload`, `seed`, `wall_ms` —
-//! alongside its family-specific figures, so the CI validators can pin
-//! reproducibility info across all five BENCH files.
+//! Every row carries uniform run metadata — `workload`, `seed`, `wall_ms`,
+//! `threads` (the effective worker count of the row's timed commits) and
+//! `routing` (`none` / `delta` / `local`) — alongside its family-specific
+//! figures, so the CI validators can pin reproducibility info across all
+//! five BENCH files.
 
 use rspan_asim::{Adversary, AsimConfig, ByzBehaviour, FaultPlan, LatencyModel, VTime};
 use rspan_bench::scaled_density_udg;
@@ -77,8 +92,8 @@ use rspan_distributed::RoutingTables;
 use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
 use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};
 use rspan_graph::generators::udg::udg_with_density;
-use rspan_graph::CsrGraph;
-use rspan_session::{Broadcast, ObsConfig, Repair, Scheduler, Session, SpannerAlgo};
+use rspan_graph::{CsrGraph, Node};
+use rspan_session::{Broadcast, LocalConfig, ObsConfig, Repair, Scheduler, Session, SpannerAlgo};
 use std::time::Instant;
 
 /// Churn scenarios draw from an offset stream so `--seed N` varies graph and
@@ -87,6 +102,17 @@ use std::time::Instant;
 const SCENARIO_SEED_OFFSET: u64 = 4;
 /// The event simulator's loss/latency stream offset.
 const SIM_SEED_OFFSET: u64 = 9;
+/// Measured-stretch ceiling the `route_local` rows assert: compact
+/// forwarding must stay within this factor of true graph distance at p99.
+const STRETCH_BOUND: f64 = 4.0;
+
+/// The worker count `threads(0)` resolves to — what a row whose timed
+/// commits run auto-parallel records in its `threads` metadata key.
+fn effective_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
 
 fn median(mut samples: Vec<f64>) -> f64 {
     samples.sort_by(|a, b| a.total_cmp(b));
@@ -179,6 +205,7 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
         let row = format!(
             concat!(
                 "    {{\"workload\": \"remspan\", \"seed\": {}, \"wall_ms\": {:.1}, ",
+                "\"threads\": {}, \"routing\": \"none\", ",
                 "\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", ",
                 "\"seed_alloc_ns_per_node\": {:.0}, \"pooled_seq_ns_per_node\": {:.0}, ",
                 "\"pooled_par_ns_per_node\": {:.0}, \"pooled_speedup\": {:.2}, ",
@@ -186,6 +213,7 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
             ),
             seed,
             row_start.elapsed().as_secs_f64() * 1e3,
+            effective_threads(),
             n,
             g.m(),
             seed_ns / n as f64,
@@ -257,6 +285,7 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let row = format!(
             concat!(
                 "    {{\"workload\": \"engine_churn\", \"seed\": {}, \"wall_ms\": {:.1}, ",
+                "\"threads\": 1, \"routing\": \"none\", ",
                 "\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
                 "\"mean_flaps_per_round\": {:.1}, \"mean_batch_len\": {:.1}, ",
                 "\"mean_dirty_fraction\": {:.4}, \"incremental_commit_ns\": {:.0}, ",
@@ -286,7 +315,7 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
     write_json(out_path, "engine_churn", "ns_per_commit_median", &rows);
 }
 
-fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
+fn routing_churn_rows(quick: bool, seed: u64) -> Vec<String> {
     let sizes: &[(usize, usize)] = if quick {
         &[(400, 4)]
     } else {
@@ -379,6 +408,7 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
         let row = format!(
             concat!(
                 "    {{\"workload\": \"routing_churn\", \"seed\": {}, \"wall_ms\": {:.1}, ",
+                "\"threads\": {}, \"routing\": \"delta\", ",
                 "\"n\": {}, \"m\": {}, \"strategy\": \"kgreedy_k2\", \"rounds\": {}, ",
                 "\"mean_batch_len\": {:.1}, \"mean_spanner_flips\": {:.1}, ",
                 "\"mean_repaired_row_fraction\": {:.4}, ",
@@ -389,6 +419,7 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
             ),
             seed,
             row_start.elapsed().as_secs_f64() * 1e3,
+            effective_threads(),
             n,
             w.graph.m(),
             rounds,
@@ -410,7 +441,155 @@ fn routing_churn_workload(quick: bool, seed: u64, out_path: &str) {
         );
         rows.push(row);
     }
-    write_json(out_path, "routing_churn", "ns_per_round_median", &rows);
+    rows
+}
+
+/// The compact-routing trajectory: `Repair::Local` sessions under the same
+/// link-flap regime, measuring per-node state against the dense tables,
+/// cache traffic, repair time and measured stretch; exact queries verified
+/// bit-identical to a dense `RoutingTables::build` at small `n`.
+fn route_local_rows(quick: bool, seed: u64, mut trace: Option<&mut Vec<String>>) -> Vec<String> {
+    // (n, churn rounds, stretch samples)
+    let sizes: &[(usize, usize, usize)] = if quick {
+        &[(400, 4, 60)]
+    } else {
+        &[(2000, 8, 300), (4000, 4, 300), (100_000, 2, 120)]
+    };
+    let mut rows = Vec::new();
+    for &(n, rounds, samples) in sizes {
+        let w = scaled_density_udg(n, 12.0, seed);
+        let mean_flaps = (n as f64 / 200.0).max(1.0);
+        let mut scenario = LinkFlapScenario::new(&w.graph, mean_flaps, seed + SCENARIO_SEED_OFFSET);
+        let mut builder = Session::builder(w.graph.clone())
+            .algo(SpannerAlgo::KConnecting { k: 2 })
+            .routing(Repair::Local(LocalConfig::default()))
+            .threads(1);
+        if trace.is_some() {
+            builder = builder.observe(ObsConfig { events: true });
+        }
+        let mut session = builder
+            .build()
+            .expect("valid compact-routing configuration");
+
+        let mut repair_ns = Vec::with_capacity(rounds);
+        let row_start = Instant::now();
+        for _ in 0..rounds {
+            let batch = scenario.next_batch(session.engine().graph());
+            let report = session.commit(&batch).expect("sync session");
+            assert!(
+                report.local_repair.is_some(),
+                "local routing configured but no compact repair ran"
+            );
+            repair_ns.push(report.repair_ns as f64);
+        }
+
+        // Hot exact-query traffic so the cache counters mean something: a
+        // few sources query a revisited destination set repeatedly (first
+        // pass misses and materialises, later passes hit).
+        let stride = (n / 64).max(1);
+        let hot: Vec<Node> = (0..n).step_by(stride).take(64).map(|v| v as Node).collect();
+        for _ in 0..3 {
+            for s in 0..4u32.min(n as u32) {
+                for &d in &hot {
+                    session.exact_next_hop(s, d);
+                }
+            }
+        }
+
+        let sampled = session.sample_local_stretch(samples, seed ^ 0x57E7);
+
+        // Exact verification against the dense tables — small n only (the
+        // dense O(n²) build is the wall this family exists to break).
+        let tables_match = n <= 4000;
+        if tables_match {
+            let csr = session.to_csr();
+            let tables = RoutingTables::build(&session.spanner_on(&csr));
+            for u in (0..n).step_by((n / 32).max(1)) {
+                let u = u as Node;
+                for v in 0..n as Node {
+                    assert_eq!(
+                        session.exact_next_hop(u, v),
+                        tables.next_hop(u, v),
+                        "exact query diverged from dense tables at ({u}, {v}), n={n}"
+                    );
+                }
+            }
+        }
+
+        let metrics = session.metrics();
+        let local = metrics.local.clone().expect("local routing configured");
+        assert_eq!(local.stretch_samples, sampled, "sampler count drifted");
+        assert!(
+            local.stretch_p99 <= STRETCH_BOUND,
+            "stretch p99 {} exceeded the configured bound {STRETCH_BOUND} at n={n}",
+            local.stretch_p99
+        );
+        let dense_bytes_per_node = 12.0 * n as f64; // hop + dist + support
+        let repair = median(repair_ns);
+        let row = format!(
+            "    {{\"workload\": \"route_local\", \"seed\": {seed}, \"wall_ms\": {:.1}, \
+             \"threads\": 1, \"routing\": \"local\", \"strategy\": \"kgreedy_k2\", {}, \
+             \"local_repair_ns\": {:.0}, \"dense_bytes_per_node\": {:.0}, \
+             \"state_fraction_of_dense\": {:.4}, \"stretch_bound\": {STRETCH_BOUND:.1}, \
+             \"stretch_within_bound\": true{}}}",
+            row_start.elapsed().as_secs_f64() * 1e3,
+            metrics.json_fields(),
+            repair,
+            dense_bytes_per_node,
+            local.state_bytes_per_node / dense_bytes_per_node,
+            if tables_match {
+                ", \"tables_match\": true"
+            } else {
+                ""
+            },
+        );
+        println!(
+            "n={n:>6}  state {:>7.0} B/node ({:>5.1}% of dense)  landmarks {:>4}  \
+             repair {:>10.0} ns   cache hit {:>5.1}%   stretch p50 {:.2} p99 {:.2}",
+            local.state_bytes_per_node,
+            100.0 * local.state_bytes_per_node / dense_bytes_per_node,
+            local.landmarks,
+            repair,
+            100.0 * local.cache_hit_rate(),
+            local.stretch_p50,
+            local.stretch_p99,
+        );
+        rows.push(row);
+        if let Some(buf) = trace.as_deref_mut() {
+            let (_, report) = session.finish_observed();
+            let r = report.expect("observed session produces a report");
+            buf.push(format!(
+                "{{\"t\":0,\"kind\":\"run\",\"workload\":\"route_local\",\
+                 \"family\":\"local\",\"seed\":{seed}}}"
+            ));
+            buf.extend(r.lines.iter().cloned());
+        }
+    }
+    rows
+}
+
+/// Writes `BENCH_routing.json`: the dense delta-repair family
+/// (`routing_churn`) plus the compact-routing family (`route_local`) in one
+/// file, distinguished row by row through the `workload` key.
+fn routing_workload(quick: bool, seed: u64, out_path: &str) {
+    let mut rows = routing_churn_rows(quick, seed);
+    rows.extend(route_local_rows(quick, seed, None));
+    write_json(out_path, "routing", "per_family_medians", &rows);
+}
+
+/// Writes only the `route_local` family (the CI smoke entry point); with
+/// `--trace-out`, also dumps the deterministic commit/local-repair JSONL
+/// trace the schema validator checks.
+fn route_local_workload(quick: bool, seed: u64, out_path: &str, trace_out: Option<&str>) {
+    let mut trace: Option<Vec<String>> = trace_out.map(|_| Vec::new());
+    let rows = route_local_rows(quick, seed, trace.as_mut());
+    write_json(out_path, "routing", "per_family_medians", &rows);
+    if let (Some(path), Some(lines)) = (trace_out, &trace) {
+        let mut out = lines.join("\n");
+        out.push('\n');
+        std::fs::write(path, out).expect("write trace jsonl");
+        println!("wrote {path} ({} events)", lines.len());
+    }
 }
 
 /// Per-family knobs of one async row beyond the simulator config.
@@ -475,8 +654,11 @@ fn async_row<S: ChurnScenario + 'static>(
         (Some(r), true) => format!(", {}", r.stale_ticks_fields()),
         _ => String::new(),
     };
+    // The async scheduler always commits sequentially (validated at build).
+    let routing = if row_cfg.staleness { "delta" } else { "none" };
     let row = format!(
         "    {{\"workload\": \"async_churn\", \"seed\": {seed}, \"wall_ms\": {:.1}, \
+         \"threads\": 1, \"routing\": \"{routing}\", \
          \"family\": \"{family}\", {}{stale_hist}, \"wall_ns_per_event\": {:.0}}}",
         wall_ns / 1e6,
         metrics.json_fields(),
@@ -686,6 +868,7 @@ fn byz_row(
     let events = asim.stats.events.max(1);
     let row = format!(
         "    {{\"workload\": \"byz_churn\", \"seed\": {seed}, \"wall_ms\": {:.1}, \
+         \"threads\": 1, \"routing\": \"none\", \
          \"family\": \"{family}\", {}, \"wall_ns_per_event\": {:.0}}}",
         wall_ns / 1e6,
         metrics.json_fields(),
@@ -850,6 +1033,7 @@ enum Workload {
     Remspan,
     EngineChurn,
     RoutingChurn,
+    RouteLocal,
     AsyncChurn,
     ByzChurn,
     All,
@@ -857,8 +1041,8 @@ enum Workload {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: perf_baseline [remspan|engine_churn|routing_churn|async_churn|byz_churn|all] \
-         [--quick] [--seed N] [--json PATH] [--trace-out PATH]"
+        "usage: perf_baseline [remspan|engine_churn|routing_churn|route_local|async_churn|\
+         byz_churn|all] [--quick] [--seed N] [--json PATH] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -875,6 +1059,7 @@ fn main() {
             "remspan" => workload = Workload::Remspan,
             "engine_churn" => workload = Workload::EngineChurn,
             "routing_churn" => workload = Workload::RoutingChurn,
+            "route_local" => workload = Workload::RouteLocal,
             "async_churn" => workload = Workload::AsyncChurn,
             "byz_churn" => workload = Workload::ByzChurn,
             "all" => workload = Workload::All,
@@ -893,12 +1078,12 @@ fn main() {
     if json.is_some() && workload == Workload::All {
         eprintln!(
             "--json requires a single workload (remspan, engine_churn, routing_churn, \
-             async_churn or byz_churn)"
+             route_local, async_churn or byz_churn)"
         );
         std::process::exit(2);
     }
-    if trace_out.is_some() && workload != Workload::AsyncChurn {
-        eprintln!("--trace-out requires the async_churn workload");
+    if trace_out.is_some() && !matches!(workload, Workload::AsyncChurn | Workload::RouteLocal) {
+        eprintln!("--trace-out requires the async_churn or route_local workload");
         std::process::exit(2);
     }
     match workload {
@@ -909,8 +1094,14 @@ fn main() {
             engine_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_engine.json"))
         }
         Workload::RoutingChurn => {
-            routing_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_routing.json"))
+            routing_workload(quick, seed, json.as_deref().unwrap_or("BENCH_routing.json"))
         }
+        Workload::RouteLocal => route_local_workload(
+            quick,
+            seed,
+            json.as_deref().unwrap_or("BENCH_routing.json"),
+            trace_out.as_deref(),
+        ),
         Workload::AsyncChurn => async_churn_workload(
             quick,
             seed,
@@ -923,7 +1114,7 @@ fn main() {
         Workload::All => {
             remspan_workload(quick, seed, "BENCH_remspan.json");
             engine_churn_workload(quick, seed, "BENCH_engine.json");
-            routing_churn_workload(quick, seed, "BENCH_routing.json");
+            routing_workload(quick, seed, "BENCH_routing.json");
             async_churn_workload(quick, seed, "BENCH_async.json", None);
             byz_churn_workload(quick, seed, "BENCH_byz.json");
         }

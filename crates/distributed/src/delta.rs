@@ -75,14 +75,14 @@ use std::time::Instant;
 /// adjacency plus the source's incident edges (provided by the caller per
 /// row): for `w != u`, the spanner neighbors of `w` with `u` merged in when
 /// `{u, w} ∈ G`; for the source, all of `u`'s `G`-neighbors.
-struct SparseView<'r> {
-    n: usize,
-    spanner_adj: &'r [Vec<Node>],
+pub(crate) struct SparseView<'r> {
+    pub(crate) n: usize,
+    pub(crate) spanner_adj: &'r [Vec<Node>],
     /// The source's `G`-neighborhood, sorted.
-    src_neighbors: &'r [Node],
+    pub(crate) src_neighbors: &'r [Node],
     /// Membership flags for `src_neighbors`.
-    src_adj: &'r EpochFlags,
-    source: Node,
+    pub(crate) src_adj: &'r EpochFlags,
+    pub(crate) source: Node,
 }
 
 impl Adjacency for SparseView<'_> {

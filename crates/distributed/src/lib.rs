@@ -22,6 +22,9 @@
 //! * [`delta`] — the [`DeltaRouter`]: long-lived routing tables repaired
 //!   incrementally from the engine's per-commit [`rspan_engine::SpannerDelta`]s
 //!   (the batch → commit → delta → table-repair pipeline),
+//! * [`compact`] — the [`CompactRouter`]: sublinear per-node routing state
+//!   (exact ball-local rows + landmark/tree routing + an LRU cache of
+//!   materialised rows), same delta-driven repair pipeline,
 //! * [`dynamics`] — topology changes and local restabilisation, rewired on
 //!   top of the incremental `rspan-engine` so the simulator and the engine
 //!   share one dirty-ball recomputation code path; [`ChurnSession`] bundles
@@ -33,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod delta;
 pub mod dynamics;
 pub mod protocol;
@@ -42,6 +46,7 @@ pub mod sim;
 pub mod tables;
 pub mod transport;
 
+pub use compact::{CacheStats, CompactRouter, LocalConfig, LocalRepairStats};
 pub use delta::{DeltaRouter, RepairStats};
 pub use dynamics::{apply_change, restabilise_with, ChurnSession, TopologyChange};
 pub use protocol::{

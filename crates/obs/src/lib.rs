@@ -186,10 +186,17 @@ pub enum Phase {
     RepairSweep,
     /// Router: refilling the marked rows.
     RepairFill,
+    /// Compact router: rebuilding dirty ball-local rows.
+    BallRepair,
+    /// Compact router: re-electing landmarks and rebuilding dirty trees.
+    LandmarkRepair,
+    /// Compact router: on-demand full-row materialisation (accumulated on
+    /// the query path, flushed at the next commit).
+    Materialize,
 }
 
 /// Number of distinct [`Phase`] values (array-indexing bound).
-pub const PHASES: usize = 8;
+pub const PHASES: usize = 11;
 
 impl Phase {
     /// Stable lowercase label used in report rendering.
@@ -203,6 +210,9 @@ impl Phase {
             Phase::Compact => "compact",
             Phase::RepairSweep => "repair_sweep",
             Phase::RepairFill => "repair_fill",
+            Phase::BallRepair => "ball_repair",
+            Phase::LandmarkRepair => "landmark_repair",
+            Phase::Materialize => "materialize",
         }
     }
 
@@ -217,6 +227,9 @@ impl Phase {
             Phase::Compact,
             Phase::RepairSweep,
             Phase::RepairFill,
+            Phase::BallRepair,
+            Phase::LandmarkRepair,
+            Phase::Materialize,
         ]
     }
 }
@@ -285,6 +298,27 @@ pub enum ObsEvent {
         repaired: u32,
         /// Spanner flips processed.
         flips: u32,
+    },
+    /// The compact router repaired its ball rows, landmark trees and row
+    /// cache after a commit.  Cache counters are deltas since the previous
+    /// commit — deterministic because the query stream is.
+    LocalRepair {
+        /// Engine epoch the repair follows.
+        epoch: u64,
+        /// Ball rows rebuilt.
+        ball_rows: u32,
+        /// Landmark trees rebuilt (dirty or newly elected).
+        landmark_trees: u32,
+        /// Landmark-set size after the repair.
+        landmarks: u32,
+        /// Cached rows dropped by the flip predicate or batch endpoints.
+        cache_dropped: u32,
+        /// Cache hits since the previous commit.
+        cache_hits: u32,
+        /// Cache misses (materialisations) since the previous commit.
+        cache_misses: u32,
+        /// LRU evictions since the previous commit.
+        cache_evictions: u32,
     },
     /// A reliable-broadcast instance reached its echo quorum on a node.
     QuorumEcho {
@@ -552,6 +586,8 @@ pub struct ObsReport {
     pub quorum_delivers: u64,
     /// Engine commits observed.
     pub commits: u64,
+    /// Compact-router repairs observed.
+    pub local_repairs: u64,
     /// Wall-clock phase profile (phases with at least one call).
     pub phases: Vec<PhaseRow>,
 }
@@ -623,6 +659,7 @@ pub struct MemRecorder {
     quorum_echoes: u64,
     quorum_delivers: u64,
     commits: u64,
+    local_repairs: u64,
     waves: BTreeMap<(u64, Node), WaveStats>,
     phases: [PhaseRow; PHASES],
 }
@@ -645,6 +682,7 @@ impl MemRecorder {
             quorum_echoes: 0,
             quorum_delivers: 0,
             commits: 0,
+            local_repairs: 0,
             waves: BTreeMap::new(),
             phases,
         }
@@ -717,6 +755,22 @@ impl MemRecorder {
                  \"marked_batch\":{marked_batch},\"marked_flips\":{marked_flips},\
                  \"skipped\":{skipped},\"repaired\":{repaired},\"flips\":{flips}}}"
             ),
+            ObsEvent::LocalRepair {
+                epoch,
+                ball_rows,
+                landmark_trees,
+                landmarks,
+                cache_dropped,
+                cache_hits,
+                cache_misses,
+                cache_evictions,
+            } => format!(
+                "{{\"t\":{t},\"kind\":\"local_repair\",\"epoch\":{epoch},\
+                 \"ball_rows\":{ball_rows},\"landmark_trees\":{landmark_trees},\
+                 \"landmarks\":{landmarks},\"cache_dropped\":{cache_dropped},\
+                 \"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
+                 \"cache_evictions\":{cache_evictions}}}"
+            ),
             ObsEvent::QuorumEcho { node, wave, slot } => format!(
                 "{{\"t\":{t},\"kind\":\"quorum_echo\",\"node\":{node},\
                  \"origin\":{},\"epoch\":{},\"slot\":{slot}}}",
@@ -771,6 +825,7 @@ impl Recorder for MemRecorder {
             }
             ObsEvent::Commit { .. } => self.commits += 1,
             ObsEvent::Repair { .. } => {}
+            ObsEvent::LocalRepair { .. } => self.local_repairs += 1,
             ObsEvent::QuorumEcho { .. } => self.quorum_echoes += 1,
             ObsEvent::QuorumDeliver { .. } => self.quorum_delivers += 1,
             ObsEvent::StaleRow {
@@ -817,6 +872,7 @@ impl Recorder for MemRecorder {
             quorum_echoes: self.quorum_echoes,
             quorum_delivers: self.quorum_delivers,
             commits: self.commits,
+            local_repairs: self.local_repairs,
             phases: self
                 .phases
                 .iter()

@@ -62,6 +62,9 @@ mod session;
 
 pub use algo::SpannerAlgo;
 pub use error::RspanError;
-pub use metrics::{AsyncMetrics, ByzMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats};
+pub use metrics::{
+    AsyncMetrics, ByzMetrics, FloodTotals, LocalMetrics, Metrics, RepairTotals, StalenessStats,
+};
+pub use rspan_distributed::{CompactRouter, LocalConfig, LocalRepairStats};
 pub use rspan_obs::{ObsConfig, ObsReport};
 pub use session::{Broadcast, Repair, Scheduler, Session, SessionBuilder, StepReport};

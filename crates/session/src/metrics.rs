@@ -55,6 +55,55 @@ pub struct StalenessStats {
     pub stale_rows_max: usize,
 }
 
+/// The compact-routing section of the snapshot, present iff
+/// [`Repair::Local`](crate::Repair::Local) is configured: per-node state
+/// accounting, row-cache traffic, repair totals and (when
+/// [`crate::Session::sample_local_stretch`] ran) the measured stretch
+/// distribution of compact forwarding against true graph distances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalMetrics {
+    /// Current landmark-set size.
+    pub landmarks: usize,
+    /// Ball radius (`r − 1 + β`).
+    pub ball_radius: u32,
+    /// Total compact routing state in bytes (balls + trees + cache).
+    pub state_bytes: usize,
+    /// State bytes divided by `n` — the sublinearity headline.
+    pub state_bytes_per_node: f64,
+    /// Mean exact ball entries per node.
+    pub ball_entries_mean: f64,
+    /// Row-cache hits across all exact queries.
+    pub cache_hits: u64,
+    /// Row-cache misses (each materialises a row).
+    pub cache_misses: u64,
+    /// LRU evictions.
+    pub cache_evictions: u64,
+    /// Full rows materialised on demand.
+    pub rows_materialized: u64,
+    /// Ball rows rebuilt across all repairs.
+    pub ball_rows_repaired: usize,
+    /// Landmark trees rebuilt across all repairs.
+    pub landmark_trees_rebuilt: usize,
+    /// Cached rows invalidated across all repairs.
+    pub cache_invalidated: usize,
+    /// Stretch samples taken (0 when never sampled).
+    pub stretch_samples: usize,
+    /// Median measured stretch (compact hops / true distance); `NaN` when
+    /// unsampled (serialized as the `-1.0` sentinel).
+    pub stretch_p50: f64,
+    /// 99th-percentile measured stretch (`NaN` when unsampled).
+    pub stretch_p99: f64,
+    /// Largest measured stretch (`NaN` when unsampled).
+    pub stretch_max: f64,
+}
+
+impl LocalMetrics {
+    /// Cache hit rate over all exact queries (`NaN` when no queries ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / (self.cache_hits + self.cache_misses) as f64
+    }
+}
+
 /// The asynchronous scheduler's section of the snapshot: simulator
 /// accounting plus the per-round convergence transcript.
 #[derive(Clone, Debug, PartialEq)]
@@ -200,6 +249,8 @@ pub struct Metrics {
     pub spanner_flips: usize,
     /// Routing-repair totals (present iff delta routing is configured).
     pub repair: Option<RepairTotals>,
+    /// Compact-routing section (present iff local routing is configured).
+    pub local: Option<LocalMetrics>,
     /// Synchronous flood totals (present iff per-commit floods are on).
     pub flood: Option<FloodTotals>,
     /// Asynchronous scheduler section (present iff the async scheduler is
@@ -264,6 +315,46 @@ impl Metrics {
         if let Some(repair) = &self.repair {
             fields.push(format!("\"rows_recomputed\": {}", repair.rows_recomputed));
             fields.push(format!("\"repairs\": {}", repair.repairs));
+        }
+        if let Some(local) = &self.local {
+            fields.push(format!("\"landmarks\": {}", local.landmarks));
+            fields.push(format!("\"ball_radius\": {}", local.ball_radius));
+            fields.push(format!("\"state_bytes\": {}", local.state_bytes));
+            fields.push(format!(
+                "\"state_bytes_per_node\": {}",
+                json_f64(local.state_bytes_per_node)
+            ));
+            fields.push(format!(
+                "\"ball_entries_mean\": {}",
+                json_f64(local.ball_entries_mean)
+            ));
+            fields.push(format!("\"cache_hits\": {}", local.cache_hits));
+            fields.push(format!("\"cache_misses\": {}", local.cache_misses));
+            fields.push(format!("\"cache_evictions\": {}", local.cache_evictions));
+            fields.push(format!(
+                "\"rows_materialized\": {}",
+                local.rows_materialized
+            ));
+            fields.push(format!(
+                "\"cache_hit_rate\": {}",
+                json_f64(local.cache_hit_rate())
+            ));
+            fields.push(format!(
+                "\"ball_rows_repaired\": {}",
+                local.ball_rows_repaired
+            ));
+            fields.push(format!(
+                "\"landmark_trees_rebuilt\": {}",
+                local.landmark_trees_rebuilt
+            ));
+            fields.push(format!(
+                "\"cache_invalidated\": {}",
+                local.cache_invalidated
+            ));
+            fields.push(format!("\"stretch_samples\": {}", local.stretch_samples));
+            fields.push(format!("\"stretch_p50\": {}", json_f64(local.stretch_p50)));
+            fields.push(format!("\"stretch_p99\": {}", json_f64(local.stretch_p99)));
+            fields.push(format!("\"stretch_max\": {}", json_f64(local.stretch_max)));
         }
         if let Some(flood) = &self.flood {
             fields.push(format!("\"flood_rounds\": {}", flood.rounds));
@@ -387,6 +478,7 @@ mod tests {
             dirty_total: 0,
             spanner_flips: 0,
             repair: None,
+            local: None,
             flood: None,
             asim: None,
             staleness: None,

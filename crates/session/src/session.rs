@@ -15,7 +15,7 @@
 use crate::algo::SpannerAlgo;
 use crate::error::RspanError;
 use crate::metrics::{
-    AsyncMetrics, ByzMetrics, FloodTotals, Metrics, RepairTotals, StalenessStats,
+    AsyncMetrics, ByzMetrics, FloodTotals, LocalMetrics, Metrics, RepairTotals, StalenessStats,
 };
 use rspan_asim::{
     honest_agreement, AsimConfig, AsimStats, AsyncChurnConfig, BoundaryInfo, CommittedRound,
@@ -24,10 +24,11 @@ use rspan_asim::{
 use rspan_core::{spanner_stats, SpannerStats, StretchGuarantee};
 use rspan_distributed::rb::{RbNode, RbStats, SeededAuth};
 use rspan_distributed::{
-    restabilise_flood, DeltaRouter, RepairNode, RoutingTables, TopologyChange,
+    restabilise_flood, CompactRouter, DeltaRouter, LocalConfig, LocalRepairStats, RepairNode,
+    RoutingTables, TopologyChange,
 };
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta};
-use rspan_graph::{CsrGraph, Node, Subgraph};
+use rspan_graph::{bfs_into, CsrGraph, Node, Subgraph, TraversalScratch};
 use rspan_obs::{ObsConfig, ObsEvent, ObsHandle, ObsReport};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -45,6 +46,11 @@ pub enum Repair {
     /// A [`DeltaRouter`]: next-hop tables repaired incrementally from every
     /// commit's [`SpannerDelta`] (bit-identical to a from-scratch rebuild).
     Delta,
+    /// A [`CompactRouter`]: sublinear per-node state — exact ball-local
+    /// rows, landmark/tree routing for far targets, and an LRU cache of
+    /// on-demand materialised exact rows ([`Session::exact_next_hop`]) —
+    /// repaired incrementally from every commit's [`SpannerDelta`].
+    Local(LocalConfig),
 }
 
 /// Which protocol scheduler drives stabilisation.
@@ -100,6 +106,9 @@ pub struct StepReport {
     /// The routing repair performed from that delta, when delta routing is
     /// configured.
     pub repair: Option<rspan_distributed::RepairStats>,
+    /// The compact-routing repair performed from that delta, when
+    /// [`Repair::Local`] is configured.
+    pub local_repair: Option<LocalRepairStats>,
     /// Wall nanoseconds of the engine commit (0 under the async scheduler,
     /// whose timing is virtual).
     pub commit_ns: u64,
@@ -309,6 +318,49 @@ impl AsyncState {
 enum Mode {
     Sync,
     Async(Box<AsyncState>),
+}
+
+/// The session's owned routing state, one variant per [`Repair`] mode.
+enum RouterState {
+    None,
+    Delta(Box<DeltaRouter>),
+    Local(Box<CompactRouter>),
+}
+
+impl RouterState {
+    fn delta(&self) -> Option<&DeltaRouter> {
+        match self {
+            RouterState::Delta(router) => Some(router),
+            _ => None,
+        }
+    }
+}
+
+/// Running totals of [`LocalRepairStats`] across the session's commits.
+#[derive(Clone, Debug, Default)]
+struct LocalTotals {
+    ball_rows: usize,
+    trees_rebuilt: usize,
+    cache_invalidated: usize,
+}
+
+/// Percentiles over the recorded stretch samples (ratio × 1000 fixed
+/// point); `NaN` triple when nothing was sampled.
+fn stretch_quantiles(millis: &[u64]) -> (f64, f64, f64) {
+    if millis.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
+    let mut sorted = millis.to_vec();
+    sorted.sort_unstable();
+    let at = |p: f64| {
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx] as f64 / 1000.0
+    };
+    (
+        at(0.50),
+        at(0.99),
+        *sorted.last().expect("non-empty") as f64 / 1000.0,
+    )
 }
 
 struct StalenessState {
@@ -579,8 +631,9 @@ impl SessionBuilder {
         };
         let engine = RspanEngine::new(self.graph, tree_algo);
         let router = match self.routing {
-            Repair::None => None,
-            Repair::Delta => Some(DeltaRouter::new(&engine)),
+            Repair::None => RouterState::None,
+            Repair::Delta => RouterState::Delta(Box::new(DeltaRouter::new(&engine))),
+            Repair::Local(cfg) => RouterState::Local(Box::new(CompactRouter::new(&engine, cfg))),
         };
         let mode = match async_cfg {
             None => Mode::Sync,
@@ -640,12 +693,11 @@ impl SessionBuilder {
             }
         };
         let staleness = if self.measure_staleness {
+            let RouterState::Delta(delta_router) = &router else {
+                unreachable!("validated above: staleness requires Repair::Delta")
+            };
             Some(StalenessState {
-                snapshot: router
-                    .as_ref()
-                    .expect("validated above: staleness requires Repair::Delta")
-                    .tables()
-                    .clone(),
+                snapshot: delta_router.tables().clone(),
                 stats: StalenessStats::default(),
                 stale_since: vec![None; engine.graph().n()],
             })
@@ -672,8 +724,10 @@ impl SessionBuilder {
             spanner_flips: 0,
             repair_totals: match self.routing {
                 Repair::Delta => Some(RepairTotals::default()),
-                Repair::None => None,
+                _ => None,
             },
+            local_totals: matches!(self.routing, Repair::Local(_)).then(LocalTotals::default),
+            stretch_millis: Vec::new(),
             flood_totals: self.flood.then(FloodTotals::default),
         })
     }
@@ -695,7 +749,7 @@ pub struct Session {
     initial_n: usize,
     initial_m: usize,
     engine: RspanEngine,
-    router: Option<DeltaRouter>,
+    router: RouterState,
     scenario: Option<Box<dyn ChurnScenario>>,
     threads: usize,
     flood: bool,
@@ -709,6 +763,10 @@ pub struct Session {
     dirty_total: usize,
     spanner_flips: usize,
     repair_totals: Option<RepairTotals>,
+    local_totals: Option<LocalTotals>,
+    /// Measured compact-forwarding stretch samples, as ratio × 1000 fixed
+    /// point ([`Session::sample_local_stretch`]).
+    stretch_millis: Vec<u64>,
     flood_totals: Option<FloodTotals>,
 }
 
@@ -720,7 +778,14 @@ impl std::fmt::Debug for Session {
             .field("m", &self.engine.graph().m())
             .field("epoch", &self.engine.epoch())
             .field("rounds", &self.rounds)
-            .field("routing", &self.router.is_some())
+            .field(
+                "routing",
+                &match self.router {
+                    RouterState::None => "none",
+                    RouterState::Delta(_) => "delta",
+                    RouterState::Local(_) => "local",
+                },
+            )
             .field(
                 "scheduler",
                 &match self.mode {
@@ -798,13 +863,18 @@ impl Session {
         let start = Instant::now();
         let delta = self.engine.commit_observed(batch, self.threads, &self.obs);
         let commit_ns = start.elapsed().as_nanos() as u64;
-        let (repair, repair_ns) = match &mut self.router {
-            Some(router) => {
+        let (repair, local_repair, repair_ns) = match &mut self.router {
+            RouterState::None => (None, None, 0),
+            RouterState::Delta(router) => {
                 let start = Instant::now();
                 let stats = router.apply_observed(&self.engine, batch, &delta, &self.obs);
-                (Some(stats), start.elapsed().as_nanos() as u64)
+                (Some(stats), None, start.elapsed().as_nanos() as u64)
             }
-            None => (None, 0),
+            RouterState::Local(router) => {
+                let start = Instant::now();
+                let stats = router.apply_observed(&self.engine, batch, &delta, &self.obs);
+                (None, Some(stats), start.elapsed().as_nanos() as u64)
+            }
         };
         if self.flood {
             let run = restabilise_flood(&self.engine, &delta);
@@ -813,11 +883,12 @@ impl Session {
                 .expect("flood totals allocated at build time")
                 .absorb(&run.stats);
         }
-        self.absorb(batch.len(), &delta, repair.as_ref());
+        self.absorb(batch.len(), &delta, repair.as_ref(), local_repair.as_ref());
         StepReport {
             step: self.rounds - 1,
             delta,
             repair,
+            local_repair,
             commit_ns,
             repair_ns,
             round: None,
@@ -846,10 +917,10 @@ impl Session {
         // Staleness is observable exactly here: the previous window has been
         // drained, nothing new is committed yet.
         if let Some(st) = staleness {
-            let tables = router
-                .as_ref()
-                .expect("staleness requires Repair::Delta (validated at build)")
-                .tables();
+            let RouterState::Delta(delta_router) = &*router else {
+                unreachable!("staleness requires Repair::Delta (validated at build)")
+            };
+            let tables = delta_router.tables();
             match boundary.prev_quiesced {
                 None => {}
                 Some(true) => {
@@ -916,14 +987,28 @@ impl Session {
                 .expect("step() checked the scenario exists")
                 .as_mut(),
         );
-        let repair = router
-            .as_mut()
-            .map(|r| r.apply_observed(engine, &committed.batch, &committed.delta, obs));
-        self.absorb(committed.batch.len(), &committed.delta, repair.as_ref());
+        let (repair, local_repair) = match router {
+            RouterState::None => (None, None),
+            RouterState::Delta(r) => (
+                Some(r.apply_observed(engine, &committed.batch, &committed.delta, obs)),
+                None,
+            ),
+            RouterState::Local(r) => (
+                None,
+                Some(r.apply_observed(engine, &committed.batch, &committed.delta, obs)),
+            ),
+        };
+        self.absorb(
+            committed.batch.len(),
+            &committed.delta,
+            repair.as_ref(),
+            local_repair.as_ref(),
+        );
         Ok(StepReport {
             step: self.rounds - 1,
             delta: committed.delta,
             repair,
+            local_repair,
             commit_ns: 0,
             repair_ns: 0,
             round: Some(committed.report),
@@ -935,6 +1020,7 @@ impl Session {
         batch_len: usize,
         delta: &SpannerDelta,
         repair: Option<&rspan_distributed::RepairStats>,
+        local_repair: Option<&LocalRepairStats>,
     ) {
         self.rounds += 1;
         self.batch_changes += batch_len;
@@ -943,6 +1029,11 @@ impl Session {
         if let (Some(totals), Some(stats)) = (&mut self.repair_totals, repair) {
             totals.rows_recomputed += stats.rows_recomputed;
             totals.repairs += 1;
+        }
+        if let (Some(totals), Some(stats)) = (&mut self.local_totals, local_repair) {
+            totals.ball_rows += stats.ball_rows;
+            totals.trees_rebuilt += stats.landmark_trees;
+            totals.cache_invalidated += stats.cache_invalidated;
         }
     }
 
@@ -1002,7 +1093,8 @@ impl Session {
                         (run, parts)
                     }
                 };
-                if let (Some(st), Some(router)) = (&mut self.staleness, &self.router) {
+                if let (Some(st), RouterState::Delta(router)) = (&mut self.staleness, &self.router)
+                {
                     let still_inflight = run
                         .rounds
                         .last()
@@ -1052,6 +1144,33 @@ impl Session {
             Mode::Sync => (None, None),
             Mode::Async(state) => (Some(state.snapshot()), state.byz_snapshot()),
         };
+        let local = match (&self.router, &self.local_totals) {
+            (RouterState::Local(router), Some(totals)) => {
+                let n = router.n().max(1) as f64;
+                let cache = router.cache_stats();
+                let (stretch_p50, stretch_p99, stretch_max) =
+                    stretch_quantiles(&self.stretch_millis);
+                Some(LocalMetrics {
+                    landmarks: router.landmarks().len(),
+                    ball_radius: router.radius(),
+                    state_bytes: router.state_bytes(),
+                    state_bytes_per_node: router.state_bytes() as f64 / n,
+                    ball_entries_mean: router.ball_entries() as f64 / n,
+                    cache_hits: cache.hits,
+                    cache_misses: cache.misses,
+                    cache_evictions: cache.evictions,
+                    rows_materialized: cache.materialized,
+                    ball_rows_repaired: totals.ball_rows,
+                    landmark_trees_rebuilt: totals.trees_rebuilt,
+                    cache_invalidated: totals.cache_invalidated,
+                    stretch_samples: self.stretch_millis.len(),
+                    stretch_p50,
+                    stretch_p99,
+                    stretch_max,
+                })
+            }
+            _ => None,
+        };
         Metrics {
             algo: self.algo_label.clone(),
             guarantee: self.guarantee,
@@ -1065,6 +1184,7 @@ impl Session {
             dirty_total: self.dirty_total,
             spanner_flips: self.spanner_flips,
             repair: self.repair_totals.clone(),
+            local,
             flood: self.flood_totals.clone(),
             asim,
             staleness: self.staleness.as_ref().map(|s| s.stats.clone()),
@@ -1089,12 +1209,80 @@ impl Session {
 
     /// The owned router, when [`Repair::Delta`] is configured.
     pub fn router(&self) -> Option<&DeltaRouter> {
-        self.router.as_ref()
+        self.router.delta()
     }
 
     /// The maintained next-hop tables, when [`Repair::Delta`] is configured.
     pub fn tables(&self) -> Option<&RoutingTables> {
-        self.router.as_ref().map(DeltaRouter::tables)
+        self.router.delta().map(DeltaRouter::tables)
+    }
+
+    /// The owned compact router, when [`Repair::Local`] is configured.
+    pub fn local_router(&self) -> Option<&CompactRouter> {
+        match &self.router {
+            RouterState::Local(router) => Some(router),
+            _ => None,
+        }
+    }
+
+    /// Exact canonical next hop from `u` towards `v` through the compact
+    /// router's LRU row cache (materialising the full row on a miss).
+    /// `None` when [`Repair::Local`] is not configured, `u == v`, or `v` is
+    /// unreachable from `u`.
+    pub fn exact_next_hop(&mut self, u: Node, v: Node) -> Option<Node> {
+        let RouterState::Local(router) = &mut self.router else {
+            return None;
+        };
+        router.exact_next_hop(&self.engine, u, v)
+    }
+
+    /// Samples the measured stretch of compact forwarding against true graph
+    /// distances: up to `samples` distinct connected pairs are drawn from a
+    /// deterministic SplitMix64 stream seeded with `seed`, each is routed
+    /// with [`CompactRouter::forward`], and `hops / d_G(s, t)` lands in the
+    /// snapshot's `stretch_p50`/`stretch_p99`/`stretch_max`
+    /// ([`LocalMetrics`]).  Returns the number of pairs recorded; `0`
+    /// (recording nothing) unless [`Repair::Local`] is configured.
+    pub fn sample_local_stretch(&mut self, samples: usize, seed: u64) -> usize {
+        let RouterState::Local(router) = &self.router else {
+            return 0;
+        };
+        let n = self.engine.graph().n();
+        if n < 2 || samples == 0 {
+            return 0;
+        }
+        let mut scratch = TraversalScratch::with_capacity(n);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut taken = 0;
+        // Rejection sampling over (s, t): bound the draw count so a heavily
+        // disconnected topology terminates instead of spinning.
+        let mut attempts = samples.saturating_mul(20);
+        while taken < samples && attempts > 0 {
+            attempts -= 1;
+            let s = (next() % n as u64) as Node;
+            let t = (next() % n as u64) as Node;
+            if s == t {
+                continue;
+            }
+            let Some(path) = router.forward(s, t) else {
+                continue;
+            };
+            bfs_into(self.engine.graph(), s, u32::MAX, &mut scratch);
+            let Some(d) = scratch.dist(t) else {
+                continue;
+            };
+            let hops = (path.len() - 1) as u64;
+            self.stretch_millis.push((hops * 1000).div_ceil(d as u64));
+            taken += 1;
+        }
+        taken
     }
 
     /// Materialises the current topology as a CSR snapshot.

@@ -991,3 +991,71 @@ fn metrics_json_shape_matches_bench_validators() {
         "{json}"
     );
 }
+
+#[test]
+fn session_local_routing_matches_hand_wired_compact_router() {
+    // The session façade (Repair::Local) must behave exactly like the
+    // hand-wired engine + CompactRouter pair: same repairs, same routes,
+    // same exact answers, and a stretch sample that lands in the metrics.
+    use rspan_graph::generators::udg::uniform_udg;
+    use rspan_session::{CompactRouter, LocalConfig};
+
+    let seed = 31u64;
+    let cfg = LocalConfig {
+        landmarks: 24,
+        cache_capacity: 8,
+    };
+    let inst = uniform_udg(90, 5.0, 1.0, seed);
+    let mut session = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 3.0, seed))
+        .routing(Repair::Local(cfg))
+        .build()
+        .expect("valid configuration");
+    let algo = TreeAlgo::KGreedy { k: 2 };
+    let mut engine = RspanEngine::new(inst.graph.clone(), algo);
+    let mut router = CompactRouter::new(&engine, cfg);
+    let mut hand_scenario = LinkFlapScenario::new(&inst.graph, 3.0, seed);
+    for round in 0..6 {
+        let batch = hand_scenario.next_batch(engine.graph());
+        let delta = engine.commit(&batch);
+        let hand = router.apply(&engine, &batch, &delta);
+        let report = session.step().expect("scenario configured");
+        assert_eq!(report.delta, delta, "round {round}: engine diverged");
+        assert_eq!(
+            report.local_repair.expect("local routing configured"),
+            hand,
+            "round {round}: session repair diverged from hand-wired"
+        );
+    }
+    let n = engine.graph().n() as Node;
+    for s in (0..n).step_by(7) {
+        for t in 0..n {
+            assert_eq!(
+                session
+                    .local_router()
+                    .expect("local routing configured")
+                    .forward(s, t),
+                router.forward(s, t),
+                "session route diverged at ({s}, {t})"
+            );
+            assert_eq!(
+                session.exact_next_hop(s, t),
+                router.exact_next_hop(&engine, s, t),
+                "session exact query diverged at ({s}, {t})"
+            );
+        }
+    }
+    let sampled = session.sample_local_stretch(40, seed);
+    assert!(sampled > 0, "stretch sampler found no connected pairs");
+    let metrics = session.metrics();
+    let local = metrics.local.expect("local section present");
+    assert_eq!(local.stretch_samples, sampled);
+    assert!(local.stretch_p50 >= 1.0, "stretch below 1 is impossible");
+    assert!(
+        local.stretch_p99 <= 4.0,
+        "p99 {} exceeds the configured bound",
+        local.stretch_p99
+    );
+    assert!(local.state_bytes > 0 && local.landmarks > 0);
+}
