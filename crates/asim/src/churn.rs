@@ -27,6 +27,7 @@ use rspan_distributed::RepairNode;
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::Node;
 use rspan_obs::{ObsEvent, ObsHandle, WaveId};
+use rspan_telemetry::TelemetryHandle;
 
 /// A protocol node the churn driver can arm and fire §2.3 repair waves on —
 /// the seam that lets one driver run both the plain [`RepairNode`] flood and
@@ -303,6 +304,12 @@ where
     pub fn set_obs(&mut self, obs: ObsHandle) {
         self.sim.set_obs(obs.clone());
         self.obs = obs;
+    }
+
+    /// Installs a live telemetry handle on the underlying simulator's event
+    /// loop (see [`AsyncNetwork::set_telemetry`]).
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle) {
+        self.sim.set_telemetry(tel);
     }
 
     /// Mutable access to node `v`'s protocol state, out of band (e.g. to

@@ -23,6 +23,7 @@ use rspan_distributed::transport::{
 };
 use rspan_graph::{sorted_insert, sorted_remove, Adjacency, Node};
 use rspan_obs::{DropCause, ObsEvent, ObsHandle};
+use rspan_telemetry::{Counter, Gauge, Hist, Span, TelemetryHandle};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -220,6 +221,22 @@ pub struct AsyncNetwork<P: ProtocolNode> {
     /// Observability sink: per-frame deliver/drop events with wave metadata
     /// flow here when attached (independent of [`AsimConfig::record_trace`]).
     obs: ObsHandle,
+    tel: TelemetryHandle,
+}
+
+/// The live-telemetry counter charged for a dropped frame (`None` only for
+/// [`DropCause::None`], which is not a drop).
+fn drop_counter(cause: DropCause) -> Option<Counter> {
+    match cause {
+        DropCause::None => None,
+        DropCause::Loss => Some(Counter::SimDropLoss),
+        DropCause::Down => Some(Counter::SimDropDown),
+        DropCause::NoLink => Some(Counter::SimDropNoLink),
+        DropCause::Suppressed => Some(Counter::SimDropSuppressed),
+        DropCause::Dedup => Some(Counter::SimDropDedup),
+        DropCause::MacReject => Some(Counter::SimDropMacReject),
+        DropCause::Stale => Some(Counter::SimDropStale),
+    }
 }
 
 impl<P: ProtocolNode> AsyncNetwork<P>
@@ -253,6 +270,7 @@ where
             bcast_scratch: Vec::new(),
             fault: None,
             obs: ObsHandle::off(),
+            tel: TelemetryHandle::off(),
         }
     }
 
@@ -262,6 +280,16 @@ where
     /// tracks).  The default handle is off and costs one branch per site.
     pub fn set_obs(&mut self, obs: ObsHandle) {
         self.obs = obs;
+    }
+
+    /// Installs a live telemetry handle: the event loop counts events,
+    /// transmissions, deliveries and drops by cause, tracks the heap depth
+    /// ([`Gauge::SimHeapDepth`] / [`Hist::HeapDepth`]) and wraps
+    /// [`AsyncNetwork::run_until`] / [`AsyncNetwork::run_to_quiescence`] in
+    /// [`Span::SimRun`] timers.  The default handle is off and costs one
+    /// branch per site — virtual-time behaviour is identical either way.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle) {
+        self.tel = tel;
     }
 
     /// Installs a Byzantine [`FaultHook`] on every transmission.  The hook's
@@ -363,6 +391,7 @@ where
             seq,
             kind,
         });
+        self.tel.gauge_add(Gauge::SimHeapDepth, 1);
     }
 
     /// Calls `on_start` on every alive node (node-id order) at the current
@@ -491,6 +520,9 @@ where
                 },
             );
         }
+        if let Some(c) = drop_counter(cause) {
+            self.tel.incr(c);
+        }
     }
 
     /// One logical message: draws the lossy attempts, schedules the delivery
@@ -522,6 +554,8 @@ where
             self.stats.transmissions += 1;
             self.stats.per_node_sent[from as usize] += 1;
             self.stats.bytes_sent += bytes;
+            self.tel.incr(Counter::SimTransmissions);
+            self.tel.add(Counter::SimBytesSent, bytes);
             let lost = self.cfg.loss > 0.0 && self.rng.gen_range(0.0..1.0) < self.cfg.loss;
             if !lost {
                 let drawn = self.cfg.latency.sample(&mut self.rng);
@@ -567,6 +601,13 @@ where
             self.obs.set_now(ev.time);
         }
         self.stats.events += 1;
+        if self.tel.on() {
+            self.tel.incr(Counter::SimEvents);
+            self.tel.gauge_add(Gauge::SimHeapDepth, -1);
+            // Depth at pop time, counting the event just taken.
+            self.tel
+                .observe(Hist::HeapDepth, self.heap.len() as u64 + 1);
+        }
         if self.cfg.record_trace {
             let (node, aux, bytes) = match &ev.kind {
                 EventKind::Crash(v) => (*v, 0, 0),
@@ -599,6 +640,7 @@ where
             } => {
                 if !self.alive[to as usize] {
                     self.stats.dropped_down += 1;
+                    self.tel.incr(Counter::SimDropDown);
                     if self.cfg.record_trace {
                         if let Some(last) = self.trace.last_mut() {
                             last.cause = DropCause::Down;
@@ -617,6 +659,8 @@ where
                     self.stats.delivered += 1;
                     self.stats.per_node_delivered[to as usize] += 1;
                     self.stats.bytes_delivered += msg.wire_bytes();
+                    self.tel.incr(Counter::SimDelivered);
+                    self.tel.add(Counter::SimBytesDelivered, msg.wire_bytes());
                     match self.stats.delivered_at.last_mut() {
                         Some((t, count)) if *t == ev.time => *count += 1,
                         _ => self.stats.delivered_at.push((ev.time, 1)),
@@ -631,6 +675,9 @@ where
                     // and recorder even though transport-level delivery
                     // succeeded.
                     let cause = self.nodes[to as usize].last_rx();
+                    if let Some(c) = drop_counter(cause) {
+                        self.tel.incr(c);
+                    }
                     if cause != DropCause::None && self.cfg.record_trace {
                         if let Some(entry) = slot.and_then(|i| self.trace.get_mut(i)) {
                             entry.cause = cause;
@@ -672,6 +719,7 @@ where
     /// queued (in-flight messages carry across churn windows).  Returns the
     /// number of events processed.
     pub fn run_until(&mut self, deadline: VTime) -> u64 {
+        let mut span = self.tel.span(Span::SimRun);
         let mut processed = 0;
         while let Some(ev) = self.heap.peek() {
             if ev.time > deadline {
@@ -680,6 +728,7 @@ where
             self.step();
             processed += 1;
         }
+        span.add_items(processed);
         processed
     }
 
@@ -700,11 +749,14 @@ where
     /// processed in this call.  Returns `true` iff the queue drained (the
     /// network is quiescent).
     pub fn run_to_quiescence(&mut self, max_events: u64) -> bool {
-        for _ in 0..max_events {
+        let mut span = self.tel.span(Span::SimRun);
+        for processed in 0..max_events {
             if !self.step() {
+                span.add_items(processed);
                 return true;
             }
         }
+        span.add_items(max_events);
         self.heap.is_empty()
     }
 }

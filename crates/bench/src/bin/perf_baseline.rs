@@ -64,7 +64,8 @@
 //! Usage:
 //!   `perf_baseline [remspan|engine_churn|routing_churn|route_local|
 //!                   async_churn|byz_churn|all]
-//!                  [--quick] [--seed N] [--json PATH] [--trace-out PATH]`
+//!                  [--quick] [--seed N] [--json PATH] [--trace-out PATH]
+//!                  [--telemetry-out PATH]`
 //!
 //! `--quick` runs a small smoke configuration (CI keeps the binaries from
 //! rotting); `--seed` makes every workload reproducible from the command
@@ -77,13 +78,21 @@
 //! the concatenated deterministic JSONL traces — each row prefixed with a
 //! `"kind": "run"` header naming its family and seed — to `PATH`.  Default
 //! paths: `BENCH_remspan.json` / `BENCH_engine.json` / `BENCH_routing.json`
-//! / `BENCH_async.json`.
+//! / `BENCH_async.json`.  `--telemetry-out` writes the final fold of the
+//! process-wide `rspan-telemetry` registry (every session this binary
+//! builds shares one enabled handle) as Prometheus text exposition — what a
+//! scrape endpoint would serve if this process were long-lived.
 //!
 //! Every row carries uniform run metadata — `workload`, `seed`, `wall_ms`,
 //! `threads` (the effective worker count of the row's timed commits) and
 //! `routing` (`none` / `delta` / `local`) — alongside its family-specific
 //! figures, so the CI validators can pin reproducibility info across all
-//! five BENCH files.
+//! five BENCH files.  On top of that, every row stamps the phase wall-times
+//! the telemetry spans attribute to its slice of the run — `wall_commit_ms`
+//! (engine commit phases), `wall_repair_ms` (router repair) and
+//! `wall_sim_ms` (the event-simulator loop) — folded as pre/post snapshot
+//! deltas of the shared registry.  Like `wall_ms`, these are wall-clock and
+//! nondeterministic; the bench gate never diffs them numerically.
 
 use rspan_asim::{Adversary, AsimConfig, ByzBehaviour, FaultPlan, LatencyModel, VTime};
 use rspan_bench::scaled_density_udg;
@@ -93,7 +102,11 @@ use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
 use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};
 use rspan_graph::generators::udg::udg_with_density;
 use rspan_graph::{CsrGraph, Node};
-use rspan_session::{Broadcast, LocalConfig, ObsConfig, Repair, Scheduler, Session, SpannerAlgo};
+use rspan_session::{
+    Broadcast, LocalConfig, ObsConfig, Repair, Scheduler, Session, SpannerAlgo, TelemetryHandle,
+    TelemetrySnapshot,
+};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Churn scenarios draw from an offset stream so `--seed N` varies graph and
@@ -105,6 +118,41 @@ const SIM_SEED_OFFSET: u64 = 9;
 /// Measured-stretch ceiling the `route_local` rows assert: compact
 /// forwarding must stay within this factor of true graph distance at p99.
 const STRETCH_BOUND: f64 = 4.0;
+
+/// One process-wide enabled telemetry registry: every session this binary
+/// builds shares it, each row folds a pre/post snapshot delta into its
+/// `wall_commit_ms` / `wall_repair_ms` / `wall_sim_ms` keys, and
+/// `--telemetry-out` renders the final fold as Prometheus exposition.
+fn telemetry() -> &'static TelemetryHandle {
+    static TEL: OnceLock<TelemetryHandle> = OnceLock::new();
+    TEL.get_or_init(TelemetryHandle::enabled)
+}
+
+/// Folds the shared registry (always enabled in this binary).
+fn tel_snapshot() -> TelemetrySnapshot {
+    telemetry().snapshot().expect("registry enabled")
+}
+
+/// The per-row phase wall-time keys: milliseconds the telemetry spans
+/// attribute to engine commits, routing repair and the event simulator
+/// since the `pre` fold.  Wall-clock and therefore nondeterministic — the
+/// bench gate treats `wall_*` keys as presence-only, never as regressions.
+fn phase_wall_fields(pre: &TelemetrySnapshot) -> String {
+    let post = tel_snapshot();
+    let ms = |pre_ns: u64, post_ns: u64| post_ns.saturating_sub(pre_ns) as f64 / 1e6;
+    format!(
+        "\"wall_commit_ms\": {:.3}, \"wall_repair_ms\": {:.3}, \"wall_sim_ms\": {:.3}",
+        ms(pre.commit_wall_ns(), post.commit_wall_ns()),
+        ms(pre.repair_wall_ns(), post.repair_wall_ns()),
+        ms(pre.sim_wall_ns(), post.sim_wall_ns()),
+    )
+}
+
+/// Splices the phase wall-time keys into a finished row object.
+fn with_phase_fields(row: String, pre: &TelemetrySnapshot) -> String {
+    let body = row.strip_suffix('}').expect("row is a JSON object");
+    format!("{body}, {}}}", phase_wall_fields(pre))
+}
 
 /// The worker count `threads(0)` resolves to — what a row whose timed
 /// commits run auto-parallel records in its `threads` metadata key.
@@ -177,6 +225,7 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
         let w = scaled_density_udg(n, 12.0, seed);
         let g: &CsrGraph = &w.graph;
 
+        let pre = tel_snapshot();
         let row_start = Instant::now();
         let ((seed_ns, seed_edges), (pooled_ns, pooled_edges), (par_ns, _)) = interleaved_medians(
             reps,
@@ -227,7 +276,7 @@ fn remspan_workload(quick: bool, seed: u64, out_path: &str) {
             pooled_ns / n as f64,
             par_ns / n as f64,
         );
-        rows.push(row);
+        rows.push(with_phase_fields(row, &pre));
     }
     write_json(out_path, "rem_span", "ns_per_node_median", &rows);
 }
@@ -250,12 +299,14 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
         // timed region, so the commit timing covers exactly the engine.
         let mut session = Session::builder(w.graph.clone())
             .algo(SpannerAlgo::KConnecting { k: 2 })
+            .telemetry(telemetry().clone())
             .build()
             .expect("valid engine-only configuration");
 
         let mut inc_ns = Vec::with_capacity(rounds);
         let mut full_ns = Vec::with_capacity(rounds);
         let mut batch_total = 0usize;
+        let pre = tel_snapshot();
         let row_start = Instant::now();
         for round in 0..rounds {
             let batch = scenario.next_batch(session.engine().graph());
@@ -310,7 +361,7 @@ fn engine_churn_workload(quick: bool, seed: u64, out_path: &str) {
             full,
             dirty_fraction * 100.0,
         );
-        rows.push(row);
+        rows.push(with_phase_fields(row, &pre));
     }
     write_json(out_path, "engine_churn", "ns_per_commit_median", &rows);
 }
@@ -338,16 +389,19 @@ fn routing_churn_rows(quick: bool, seed: u64) -> Vec<String> {
             .algo(spanner_algo.clone())
             .routing(Repair::Delta)
             .threads(1)
+            .telemetry(telemetry().clone())
             .build()
             .expect("valid routing configuration");
         let mut session_par = Session::builder(w.graph.clone())
             .algo(spanner_algo.clone())
             .threads(0)
+            .telemetry(telemetry().clone())
             .build()
             .expect("valid engine-only configuration");
         let mut session_forced = Session::builder(w.graph.clone())
             .algo(spanner_algo.clone())
             .threads(4)
+            .telemetry(telemetry().clone())
             .build()
             .expect("valid engine-only configuration");
 
@@ -358,6 +412,7 @@ fn routing_churn_rows(quick: bool, seed: u64) -> Vec<String> {
         let mut batch_total = 0usize;
         let mut flips_total = 0usize;
         let mut repaired_total = 0usize;
+        let pre = tel_snapshot();
         let row_start = Instant::now();
         for round in 0..rounds {
             let batch = scenario.next_batch(session_seq.engine().graph());
@@ -439,7 +494,7 @@ fn routing_churn_rows(quick: bool, seed: u64) -> Vec<String> {
              {:.1}% rows)",
             repaired_fraction * 100.0,
         );
-        rows.push(row);
+        rows.push(with_phase_fields(row, &pre));
     }
     rows
 }
@@ -463,7 +518,8 @@ fn route_local_rows(quick: bool, seed: u64, mut trace: Option<&mut Vec<String>>)
         let mut builder = Session::builder(w.graph.clone())
             .algo(SpannerAlgo::KConnecting { k: 2 })
             .routing(Repair::Local(LocalConfig::default()))
-            .threads(1);
+            .threads(1)
+            .telemetry(telemetry().clone());
         if trace.is_some() {
             builder = builder.observe(ObsConfig { events: true });
         }
@@ -472,6 +528,7 @@ fn route_local_rows(quick: bool, seed: u64, mut trace: Option<&mut Vec<String>>)
             .expect("valid compact-routing configuration");
 
         let mut repair_ns = Vec::with_capacity(rounds);
+        let pre = tel_snapshot();
         let row_start = Instant::now();
         for _ in 0..rounds {
             let batch = scenario.next_batch(session.engine().graph());
@@ -554,7 +611,7 @@ fn route_local_rows(quick: bool, seed: u64, mut trace: Option<&mut Vec<String>>)
             local.stretch_p50,
             local.stretch_p99,
         );
-        rows.push(row);
+        rows.push(with_phase_fields(row, &pre));
         if let Some(buf) = trace.as_deref_mut() {
             let (_, report) = session.finish_observed();
             let r = report.expect("observed session produces a report");
@@ -625,7 +682,8 @@ fn async_row<S: ChurnScenario + 'static>(
         .churn(scenario)
         .scheduler(Scheduler::Async(sim))
         .churn_interval(row_cfg.churn_interval)
-        .crash(row_cfg.crash_prob, row_cfg.downtime);
+        .crash(row_cfg.crash_prob, row_cfg.downtime)
+        .telemetry(telemetry().clone());
     if row_cfg.staleness {
         builder = builder.routing(Repair::Delta).measure_staleness(true);
     }
@@ -635,6 +693,7 @@ fn async_row<S: ChurnScenario + 'static>(
         });
     }
     let mut session = builder.build().expect("valid async configuration");
+    let pre = tel_snapshot();
     let start = Instant::now();
     session.run(row_cfg.rounds).expect("scenario configured");
     let (metrics, report) = session.finish_observed();
@@ -664,6 +723,7 @@ fn async_row<S: ChurnScenario + 'static>(
         metrics.json_fields(),
         wall_ns / events as f64,
     );
+    let row = with_phase_fields(row, &pre);
     if let Some(buf) = trace {
         let r = report.expect("observed session produces a report");
         buf.push(format!(
@@ -858,8 +918,10 @@ fn byz_row(
         .churn_interval(48)
         .broadcast(cfg.broadcast)
         .faults(cfg.faults.clone())
+        .telemetry(telemetry().clone())
         .build()
         .expect("valid byzantine configuration");
+    let pre = tel_snapshot();
     let start = Instant::now();
     session.run(cfg.rounds).expect("scenario configured");
     let metrics = session.finish();
@@ -874,6 +936,7 @@ fn byz_row(
         metrics.json_fields(),
         wall_ns / events as f64,
     );
+    let row = with_phase_fields(row, &pre);
     let (label, agreement) = match &metrics.byz {
         Some(b) => (
             format!("{:<12} faults {:<22}", b.broadcast, b.fault_plan),
@@ -1042,7 +1105,8 @@ enum Workload {
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [remspan|engine_churn|routing_churn|route_local|async_churn|\
-         byz_churn|all] [--quick] [--seed N] [--json PATH] [--trace-out PATH]"
+         byz_churn|all] [--quick] [--seed N] [--json PATH] [--trace-out PATH] \
+         [--telemetry-out PATH]"
     );
     std::process::exit(2);
 }
@@ -1053,6 +1117,7 @@ fn main() {
     let mut seed = 3u64;
     let mut json: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut telemetry_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -1072,6 +1137,7 @@ fn main() {
             }
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--trace-out" => trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--telemetry-out" => telemetry_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -1118,5 +1184,13 @@ fn main() {
             async_churn_workload(quick, seed, "BENCH_async.json", None);
             byz_churn_workload(quick, seed, "BENCH_byz.json");
         }
+    }
+    // The final fold across everything the selected workloads ran, in
+    // Prometheus text exposition format — what a scrape endpoint would
+    // serve if this process were long-lived.
+    if let Some(path) = telemetry_out {
+        let exposition = tel_snapshot().render_prometheus();
+        std::fs::write(&path, &exposition).expect("write telemetry exposition");
+        println!("wrote {path}");
     }
 }

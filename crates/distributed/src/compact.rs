@@ -72,6 +72,7 @@ use rspan_graph::{
     TraversalScratch,
 };
 use rspan_obs::{ObsEvent, ObsHandle, Phase};
+use rspan_telemetry::{Counter, Gauge, Hist, Span, TelemetryHandle};
 use std::time::Instant;
 
 /// Pure-spanner adjacency view (no incident-edge augmentation) — the
@@ -376,6 +377,9 @@ pub struct CompactRouter {
     pending_materialized: u64,
     /// Cache counters at the last commit, for per-commit event deltas.
     cache_mark: CacheStats,
+    tel: TelemetryHandle,
+    /// Cache population at the last telemetry flush, for the gauge delta.
+    cache_entries_mark: i64,
 }
 
 impl CompactRouter {
@@ -417,6 +421,8 @@ impl CompactRouter {
             pending_materialize_ns: 0,
             pending_materialized: 0,
             cache_mark: CacheStats::default(),
+            tel: TelemetryHandle::off(),
+            cache_entries_mark: 0,
         };
         for u in 0..n as Node {
             router.fill_ball(engine, u);
@@ -435,6 +441,15 @@ impl CompactRouter {
             router.trees.push(tree);
         }
         router
+    }
+
+    /// Installs a live telemetry handle: repairs record wall-clock spans
+    /// ([`Span::BallRepair`] / [`Span::LandmarkRepair`] /
+    /// [`Span::Materialize`]), compact + cache counters, the
+    /// [`Gauge::CacheEntries`] population and a [`Hist::RepairNs`] sample.
+    /// Never consulted on the off handle.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle) {
+        self.tel = tel;
     }
 
     /// Engine epoch the compact state currently reflects.
@@ -605,6 +620,9 @@ impl CompactRouter {
         obs: &ObsHandle,
     ) -> LocalRepairStats {
         let on = obs.on();
+        let tel_on = self.tel.on();
+        let timed = on || tel_on;
+        let repair_start = tel_on.then(Instant::now);
         assert_eq!(
             delta.epoch,
             self.epoch + 1,
@@ -680,7 +698,7 @@ impl CompactRouter {
                 }
             }
         }
-        let mut stamp = on.then(Instant::now);
+        let mut stamp = timed.then(Instant::now);
         let dirty_rows = std::mem::take(&mut self.dirty_list);
         for &u in &dirty_rows {
             self.fill_ball(engine, u);
@@ -688,17 +706,17 @@ impl CompactRouter {
         self.dirty_list = dirty_rows;
         let ball_rows = self.dirty_list.len();
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::BallRepair,
-                start.elapsed().as_nanos() as u64,
-                ball_rows as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            if on {
+                obs.phase(Phase::BallRepair, ns, ball_rows as u64);
+            }
+            self.tel.span_record(Span::BallRepair, ns, ball_rows as u64);
         }
 
         // Landmark set + trees: re-elect on any spanner flip (component
         // structure may have changed), rebuild dirty and new trees, retire
         // trees of demoted landmarks into the spare pool.
-        stamp = on.then(Instant::now);
+        stamp = timed.then(Instant::now);
         let mut trees_rebuilt = 0usize;
         if !self.flips.is_empty() {
             let old_landmarks = std::mem::take(&mut self.landmarks);
@@ -746,21 +764,51 @@ impl CompactRouter {
                 .extend(keep.into_iter().flatten().map(|(tree, _)| tree));
         }
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::LandmarkRepair,
-                start.elapsed().as_nanos() as u64,
-                trees_rebuilt as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            if on {
+                obs.phase(Phase::LandmarkRepair, ns, trees_rebuilt as u64);
+            }
+            self.tel
+                .span_record(Span::LandmarkRepair, ns, trees_rebuilt as u64);
         }
 
-        if on {
-            if self.pending_materialized > 0 {
+        if timed && self.pending_materialized > 0 {
+            if on {
                 obs.phase(
                     Phase::Materialize,
                     self.pending_materialize_ns,
                     self.pending_materialized,
                 );
             }
+            self.tel.span_record(
+                Span::Materialize,
+                self.pending_materialize_ns,
+                self.pending_materialized,
+            );
+        }
+        if tel_on {
+            let s = self.cache.stats;
+            let m = self.cache_mark;
+            self.tel.incr(Counter::CompactRepairs);
+            self.tel.add(Counter::CompactBallRows, ball_rows as u64);
+            self.tel
+                .add(Counter::CompactTreesRebuilt, trees_rebuilt as u64);
+            self.tel.add(Counter::CacheHits, s.hits - m.hits);
+            self.tel.add(Counter::CacheMisses, s.misses - m.misses);
+            self.tel
+                .add(Counter::CacheMaterialized, s.materialized - m.materialized);
+            self.tel
+                .add(Counter::CacheEvictions, s.evictions - m.evictions);
+            let entries = self.cache.slots.len() as i64;
+            self.tel
+                .gauge_add(Gauge::CacheEntries, entries - self.cache_entries_mark);
+            self.cache_entries_mark = entries;
+            if let Some(start) = repair_start {
+                self.tel
+                    .observe(Hist::RepairNs, start.elapsed().as_nanos() as u64);
+            }
+        }
+        if on {
             let s = self.cache.stats;
             let m = self.cache_mark;
             obs.emit(ObsEvent::LocalRepair {

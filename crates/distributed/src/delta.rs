@@ -69,6 +69,7 @@ use crate::tables::{fill_row, RoutingTables, NO_HOP, UNREACH};
 use rspan_engine::{RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::{sorted_insert, sorted_remove, Adjacency, EpochFlags, Node};
 use rspan_obs::{ObsEvent, ObsHandle, Phase};
+use rspan_telemetry::{Counter, Hist, Span, TelemetryHandle};
 use std::time::Instant;
 
 /// The augmented view `H_u` assembled from the router's own spanner
@@ -185,6 +186,7 @@ pub struct DeltaRouter {
     /// The commit's spanner flips flattened for the batched row-major scan:
     /// `(x, y, is_add)`, adds first, both groups in delta order.
     flips: Vec<(Node, Node, bool)>,
+    tel: TelemetryHandle,
 }
 
 impl DeltaRouter {
@@ -217,6 +219,7 @@ impl DeltaRouter {
             affected: EpochFlags::new(),
             affected_rows: Vec::new(),
             flips: Vec::new(),
+            tel: TelemetryHandle::off(),
         };
         for u in 0..n as Node {
             router.fill(engine, u);
@@ -252,6 +255,14 @@ impl DeltaRouter {
             &mut self.tables.dist[row..row + n],
             &mut self.support[row..row + n],
         );
+    }
+
+    /// Installs a live telemetry handle: every repair records wall-clock
+    /// spans ([`Span::RepairSweep`] / [`Span::RepairFill`]), router counters
+    /// and a [`Hist::RepairNs`] sample.  Never consulted on the off handle —
+    /// repairs stay branch-for-branch identical.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle) {
+        self.tel = tel;
     }
 
     /// Engine epoch the tables currently reflect.
@@ -306,6 +317,9 @@ impl DeltaRouter {
         obs: &ObsHandle,
     ) -> RepairStats {
         let on = obs.on();
+        let tel_on = self.tel.on();
+        let timed = on || tel_on;
+        let repair_start = tel_on.then(Instant::now);
         assert_eq!(
             delta.epoch,
             self.epoch + 1,
@@ -341,7 +355,7 @@ impl DeltaRouter {
             .extend(delta.added.iter().map(|&(x, y)| (x, y, true)));
         self.flips
             .extend(delta.removed.iter().map(|&(x, y)| (x, y, false)));
-        let mut stamp = on.then(Instant::now);
+        let mut stamp = timed.then(Instant::now);
         if !self.flips.is_empty() {
             for u in 0..n as Node {
                 if self.affected.test(u) {
@@ -393,11 +407,12 @@ impl DeltaRouter {
             }
         }
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::RepairSweep,
-                start.elapsed().as_nanos() as u64,
-                self.flips.len() as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            let items = self.flips.len() as u64;
+            if on {
+                obs.phase(Phase::RepairSweep, ns, items);
+            }
+            self.tel.span_record(Span::RepairSweep, ns, items);
         }
 
         // Update the sparse spanner adjacency, then rebuild the marked rows
@@ -414,18 +429,19 @@ impl DeltaRouter {
             sorted_insert(&mut self.spanner_adj[x as usize], y);
             sorted_insert(&mut self.spanner_adj[y as usize], x);
         }
-        stamp = on.then(Instant::now);
+        stamp = timed.then(Instant::now);
         let rows = std::mem::take(&mut self.affected_rows);
         for &u in &rows {
             self.fill(engine, u);
         }
         self.affected_rows = rows;
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::RepairFill,
-                start.elapsed().as_nanos() as u64,
-                self.affected_rows.len() as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            let items = self.affected_rows.len() as u64;
+            if on {
+                obs.phase(Phase::RepairFill, ns, items);
+            }
+            self.tel.span_record(Span::RepairFill, ns, items);
         }
         if on {
             obs.emit(ObsEvent::Repair {
@@ -436,6 +452,20 @@ impl DeltaRouter {
                 repaired: self.affected_rows.len() as u32,
                 flips: self.flips.len() as u32,
             });
+        }
+        if tel_on {
+            self.tel.incr(Counter::RouterRepairs);
+            self.tel
+                .add(Counter::RouterRepairedRows, self.affected_rows.len() as u64);
+            self.tel.add(Counter::RouterFlips, self.flips.len() as u64);
+            self.tel.add(
+                Counter::RouterSkippedRows,
+                (n - self.affected_rows.len()) as u64,
+            );
+            if let Some(start) = repair_start {
+                self.tel
+                    .observe(Hist::RepairNs, start.elapsed().as_nanos() as u64);
+            }
         }
         self.epoch = delta.epoch;
         RepairStats {

@@ -43,6 +43,7 @@ use crate::transport::{
 };
 use rspan_graph::Node;
 use rspan_obs::{DropCause, FrameKind, FrameMeta, ObsEvent, ObsHandle, WaveId};
+use rspan_telemetry::{Counter, TelemetryHandle};
 use std::collections::{HashMap, HashSet};
 
 /// Incremental 64-bit FNV-1a: the deterministic hash primitive behind
@@ -402,6 +403,7 @@ pub struct RbNode<N: ProtocolNode, A: Auth> {
     last_rx: DropCause,
     /// Observability sink: quorum-progress events flow here when attached.
     obs: ObsHandle,
+    tel: TelemetryHandle,
 }
 
 impl<N, A> RbNode<N, A>
@@ -434,6 +436,7 @@ where
             inner_ops: PendingOps::default(),
             last_rx: DropCause::None,
             obs: ObsHandle::off(),
+            tel: TelemetryHandle::off(),
         }
     }
 
@@ -442,6 +445,12 @@ where
     /// wave id `(origin, epoch)` and slot that name the instance.
     pub fn set_obs(&mut self, obs: ObsHandle) {
         self.obs = obs;
+    }
+
+    /// Installs a live telemetry handle: quorum transitions bump the
+    /// [`Counter::RbEchoQuorums`] / [`Counter::RbDelivers`] counters.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle) {
+        self.tel = tel;
     }
 
     /// Echoes required before a node turns ready:
@@ -607,6 +616,14 @@ where
             }
             (send_ready, deliver)
         };
+        if self.tel.on() {
+            if send_ready.is_some() {
+                self.tel.incr(Counter::RbEchoQuorums);
+            }
+            if deliver.is_some() {
+                self.tel.incr(Counter::RbDelivers);
+            }
+        }
         if self.obs.on() {
             let wave = WaveId {
                 origin: key.0,

@@ -51,6 +51,7 @@ use rspan_graph::{
     TraversalScratch,
 };
 use rspan_obs::{ObsEvent, ObsHandle, Phase};
+use rspan_telemetry::{Counter, Hist, Span, TelemetryHandle};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::time::Instant;
@@ -156,6 +157,10 @@ pub struct RspanEngine {
     /// and reused across commits — the per-shard pool of
     /// [`RspanEngine::commit_parallel`].
     par_dom: Vec<DomScratch>,
+    /// Live wall-clock telemetry (counters, commit histogram, per-worker
+    /// phase spans).  Off by default; unlike `obs` it is `Sync`, so rebuild
+    /// workers record into it directly.
+    tel: TelemetryHandle,
 }
 
 /// Dirty nodes per work-chunk claimed by a parallel-commit worker: small
@@ -201,6 +206,7 @@ impl RspanEngine {
             endpoint_seen: EpochFlags::new(),
             work: Vec::new(),
             par_dom: Vec::new(),
+            tel: TelemetryHandle::off(),
         };
         for u in 0..n as Node {
             let mut edges = std::mem::take(&mut engine.trees[u as usize]);
@@ -220,6 +226,15 @@ impl RspanEngine {
     /// Engine epoch: 0 after the initial build, incremented by every commit.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Attaches a live telemetry handle: commits count into the sharded
+    /// registry, the commit wall time feeds [`Hist::CommitNs`], and every
+    /// rebuild worker records its own busy time as a [`Span::Rebuild`] span.
+    /// Telemetry is wall-clock only — deltas, spanner state and obs event
+    /// logs stay bit-identical with it attached (property-tested).
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle) {
+        self.tel = tel;
     }
 
     /// The tree algorithm every node runs.
@@ -328,8 +343,17 @@ impl RspanEngine {
     /// timing, event construction or allocation happens (the recorder-off
     /// bit-identity property tests pin this).
     ///
+    /// When a [`TelemetryHandle`] is attached ([`RspanEngine::set_telemetry`])
+    /// the same phase measurements also land in the lock-free span registry,
+    /// and — because the telemetry shards are `Sync` — the rebuild phase is
+    /// timed **inside each worker**: the obs [`Phase::Rebuild`] row reports
+    /// the summed per-worker busy time rather than the committing thread's
+    /// wall time around the whole scope, so observed parallel commits stop
+    /// under-reporting rebuild work.
+    ///
     /// Wall-clock phase timings flow only through the recorder's profile
-    /// channel, never into the deterministic event log.
+    /// channel and the telemetry registry, never into the deterministic
+    /// event log.
     pub fn commit_observed(
         &mut self,
         batch: &[TopologyChange],
@@ -337,6 +361,9 @@ impl RspanEngine {
         obs: &ObsHandle,
     ) -> SpannerDelta {
         let on = obs.on();
+        let tel_on = self.tel.on();
+        let timed = on || tel_on;
+        let commit_start = tel_on.then(Instant::now);
         let threads = resolve_threads(threads);
         let n = self.graph.n();
         let radius = self.dirty_radius();
@@ -346,7 +373,7 @@ impl RspanEngine {
         self.touched.clear();
 
         // Dirty balls in the pre-batch topology.
-        let mut stamp = on.then(Instant::now);
+        let mut stamp = timed.then(Instant::now);
         self.mark_balls(batch, radius);
         // Apply the batch (validates each change).
         for change in batch {
@@ -355,11 +382,12 @@ impl RspanEngine {
         // Dirty balls in the post-batch topology.
         self.mark_balls(batch, radius);
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::Mark,
-                start.elapsed().as_nanos() as u64,
-                self.dirty_list.len() as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            let items = self.dirty_list.len() as u64;
+            if on {
+                obs.phase(Phase::Mark, ns, items);
+            }
+            self.tel.span_record(Span::Mark, ns, items);
         }
 
         // Phase 1 — retire: pull every dirty tree out of the cache and undo
@@ -369,7 +397,7 @@ impl RspanEngine {
         // i.e. pairs no retired tree held — so the all-decrements-first
         // phasing records exactly the same pre-commit presence the
         // interleaved sequential sweep did).
-        stamp = on.then(Instant::now);
+        stamp = timed.then(Instant::now);
         let mut work = std::mem::take(&mut self.work);
         work.clear();
         for i in 0..self.dirty_list.len() {
@@ -391,19 +419,24 @@ impl RspanEngine {
             work.push((u, edges));
         }
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::Retire,
-                start.elapsed().as_nanos() as u64,
-                work.len() as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            let items = work.len() as u64;
+            if on {
+                obs.phase(Phase::Retire, ns, items);
+            }
+            self.tel.span_record(Span::Retire, ns, items);
         }
 
         // Phase 2 — rebuild: recompute exactly the dirty trees, sharded
-        // across workers when the dirty set is worth the fan-out.  The
-        // profile wraps the whole phase from the committing thread (the
-        // handle is single-threaded and never crosses into the scope).
-        stamp = on.then(Instant::now);
-        if threads > 1 && work.len() >= 2 * DIRTY_CHUNK {
+        // across workers when the dirty set is worth the fan-out.  Workers
+        // time themselves (the telemetry shards are `Sync`, unlike the obs
+        // handle) and the committing thread folds the per-worker busy time
+        // into the obs profile — the Rebuild row is Σ worker busy ns, not
+        // the scope's wall time.
+        stamp = timed.then(Instant::now);
+        let mut rebuild_busy_ns = 0u64;
+        let parallel = threads > 1 && work.len() >= 2 * DIRTY_CHUNK;
+        if parallel {
             while self.par_dom.len() < threads {
                 self.par_dom.push(DomScratch::with_capacity(n));
             }
@@ -415,6 +448,7 @@ impl RspanEngine {
             work.sort_unstable_by_key(|(u, _)| *u);
             let graph = &self.graph;
             let algo = self.algo;
+            let tel = &self.tel;
             let mut buckets: Vec<Vec<&mut [RebuildItem]>> =
                 (0..threads).map(|_| Vec::new()).collect();
             let block = work.len().div_ceil(DIRTY_CHUNK).div_ceil(threads);
@@ -422,16 +456,31 @@ impl RspanEngine {
                 buckets[i / block].push(chunk);
             }
             std::thread::scope(|scope| {
-                for (bucket, dom) in buckets.into_iter().zip(self.par_dom.iter_mut()) {
-                    scope.spawn(move || {
-                        for chunk in bucket {
-                            for (u, edges) in chunk.iter_mut() {
-                                let tree = algo.build_with_scratch(graph, *u, dom);
-                                debug_assert_eq!(tree.root(), *u);
-                                tree.for_each_edge(|p, c| edges.push((p, c)));
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .zip(self.par_dom.iter_mut())
+                    .map(|(bucket, dom)| {
+                        scope.spawn(move || {
+                            let t0 = timed.then(Instant::now);
+                            let mut items = 0u64;
+                            for chunk in bucket {
+                                for (u, edges) in chunk.iter_mut() {
+                                    let tree = algo.build_with_scratch(graph, *u, dom);
+                                    debug_assert_eq!(tree.root(), *u);
+                                    tree.for_each_edge(|p, c| edges.push((p, c)));
+                                    items += 1;
+                                }
                             }
-                        }
-                    });
+                            t0.map_or(0, |t0| {
+                                let ns = t0.elapsed().as_nanos() as u64;
+                                tel.span_record(Span::Rebuild, ns, items);
+                                ns
+                            })
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    rebuild_busy_ns += handle.join().expect("rebuild worker panicked");
                 }
             });
         } else {
@@ -442,16 +491,24 @@ impl RspanEngine {
             }
         }
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::Rebuild,
-                start.elapsed().as_nanos() as u64,
-                work.len() as u64,
-            );
+            let items = work.len() as u64;
+            let busy_ns = if parallel {
+                rebuild_busy_ns
+            } else {
+                let ns = start.elapsed().as_nanos() as u64;
+                // Sequential rebuild: busy time is the wall time; record the
+                // telemetry span here (the parallel path recorded per worker).
+                self.tel.span_record(Span::Rebuild, ns, items);
+                ns
+            };
+            if on {
+                obs.phase(Phase::Rebuild, busy_ns, items);
+            }
         }
 
         // Phase 3 — install: merge the per-shard contributions back into the
         // refcounted spanner, in `dirty_list` order.
-        stamp = on.then(Instant::now);
+        stamp = timed.then(Instant::now);
         for (u, edges) in work.iter_mut() {
             for &(p, c) in edges.iter() {
                 let key = pack(p, c);
@@ -465,15 +522,16 @@ impl RspanEngine {
         }
         self.work = work;
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::Install,
-                start.elapsed().as_nanos() as u64,
-                self.dirty_list.len() as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            let items = self.dirty_list.len() as u64;
+            if on {
+                obs.phase(Phase::Install, ns, items);
+            }
+            self.tel.span_record(Span::Install, ns, items);
         }
 
         // Net delta: pairs whose presence flipped across the commit.
-        stamp = on.then(Instant::now);
+        stamp = timed.then(Instant::now);
         let mut added = Vec::new();
         let mut removed = Vec::new();
         for (&key, &pre) in &self.touched {
@@ -489,20 +547,25 @@ impl RspanEngine {
         let mut recomputed = self.dirty_list.clone();
         recomputed.sort_unstable();
         if let Some(start) = stamp {
-            obs.phase(
-                Phase::Delta,
-                start.elapsed().as_nanos() as u64,
-                (added.len() + removed.len()) as u64,
-            );
+            let ns = start.elapsed().as_nanos() as u64;
+            let items = (added.len() + removed.len()) as u64;
+            if on {
+                obs.phase(Phase::Delta, ns, items);
+            }
+            self.tel.span_record(Span::Delta, ns, items);
         }
 
         // Amortised compaction keeps neighbor scans near CSR speed.
         let compacted = self.graph.should_compact(self.compact_fraction);
         if compacted {
-            stamp = on.then(Instant::now);
+            stamp = timed.then(Instant::now);
             self.graph.compact();
             if let Some(start) = stamp {
-                obs.phase(Phase::Compact, start.elapsed().as_nanos() as u64, 1);
+                let ns = start.elapsed().as_nanos() as u64;
+                if on {
+                    obs.phase(Phase::Compact, ns, 1);
+                }
+                self.tel.span_record(Span::Compact, ns, 1);
             }
         }
 
@@ -514,6 +577,19 @@ impl RspanEngine {
                 added: added.len() as u32,
                 removed: removed.len() as u32,
             });
+        }
+        if tel_on {
+            self.tel.incr(Counter::EngineCommits);
+            self.tel
+                .add(Counter::EngineBatchChanges, batch.len() as u64);
+            self.tel
+                .add(Counter::EngineDirtyNodes, recomputed.len() as u64);
+            self.tel
+                .add(Counter::EngineTreesRebuilt, recomputed.len() as u64);
+            if let Some(t0) = commit_start {
+                self.tel
+                    .observe(Hist::CommitNs, t0.elapsed().as_nanos() as u64);
+            }
         }
 
         SpannerDelta {
@@ -683,6 +759,53 @@ mod tests {
         }
         assert_eq!(report.lines.len(), 1);
         assert!(report.lines[0].starts_with("{\"t\":3,\"kind\":\"commit\",\"epoch\":1,"));
+    }
+
+    #[test]
+    fn parallel_observed_commit_folds_worker_rebuild_time() {
+        use rspan_obs::ObsConfig;
+        use rspan_telemetry::TelemetryHandle;
+        let g = gnp_connected(300, 0.03, 11);
+        let algo = TreeAlgo::KGreedy { k: 2 };
+        let mut plain = RspanEngine::new(g.clone(), algo);
+        let mut instrumented = RspanEngine::new(g, algo);
+        let tel = TelemetryHandle::enabled();
+        instrumented.set_telemetry(tel.clone());
+        let edges: Vec<(Node, Node)> = plain.graph().base().edges().take(12).collect();
+        let batch: Vec<TopologyChange> = edges
+            .into_iter()
+            .map(|(u, v)| TopologyChange::RemoveEdge(u, v))
+            .collect();
+        let obs = ObsHandle::mem(ObsConfig::default());
+        let d_plain = plain.commit(&batch);
+        let d_inst = instrumented.commit_observed(&batch, 4, &obs);
+        // Telemetry + observation never perturb the deterministic result.
+        assert_eq!(d_plain, d_inst, "instrumentation changed the commit");
+        assert_eq!(plain.spanner_pairs(), instrumented.spanner_pairs());
+        let report = obs.take_report().expect("recorder attached");
+        let rebuild = report
+            .phases
+            .iter()
+            .find(|p| p.phase == Phase::Rebuild)
+            .expect("rebuild profiled");
+        assert_eq!(rebuild.items, d_inst.recomputed.len() as u64);
+        let snap = tel.snapshot().expect("telemetry enabled");
+        let span = snap.span(Span::Rebuild);
+        // One span per engaged worker, covering every dirty tree exactly
+        // once, and the obs row carries the same summed busy time.
+        assert!(
+            span.calls >= 2,
+            "parallel rebuild engaged {} workers",
+            span.calls
+        );
+        assert_eq!(span.items, d_inst.recomputed.len() as u64);
+        assert_eq!(span.wall_ns, rebuild.wall_ns);
+        assert_eq!(snap.counter(Counter::EngineCommits), 1);
+        assert_eq!(
+            snap.counter(Counter::EngineDirtyNodes),
+            d_inst.recomputed.len() as u64
+        );
+        assert_eq!(snap.hist(Hist::CommitNs).count, 1);
     }
 
     #[test]

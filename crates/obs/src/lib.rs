@@ -477,62 +477,11 @@ impl Default for ObsConfig {
     }
 }
 
-/// Exact-value histogram: stores every sample, sorts at summary time.
-/// Deterministic (no binning drift) and cheap at the scales the recorder
-/// sees.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Histogram {
-    samples: Vec<u64>,
-}
-
-impl Histogram {
-    /// Adds one sample.
-    pub fn push(&mut self, v: u64) {
-        self.samples.push(v);
-    }
-
-    /// Number of samples.
-    pub fn len(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// True when no samples were recorded.
-    pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
-    }
-
-    /// Sorted-copy summary with nearest-rank percentiles.
-    pub fn summary(&self) -> HistSummary {
-        if self.samples.is_empty() {
-            return HistSummary::default();
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = |p: f64| -> u64 {
-            let idx = ((p * sorted.len() as f64).ceil() as usize).max(1) - 1;
-            sorted[idx.min(sorted.len() - 1)]
-        };
-        HistSummary {
-            count: sorted.len() as u64,
-            p50: rank(0.50),
-            p99: rank(0.99),
-            max: *sorted.last().expect("non-empty"),
-        }
-    }
-}
-
-/// Nearest-rank percentile summary of a [`Histogram`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct HistSummary {
-    /// Number of samples.
-    pub count: u64,
-    /// Median (nearest-rank).
-    pub p50: u64,
-    /// 99th percentile (nearest-rank).
-    pub p99: u64,
-    /// Largest sample.
-    pub max: u64,
-}
+/// Exact-value histogram and its nearest-rank summary, shared with (and now
+/// owned by) `rspan-telemetry` — the deterministic counterpart of that
+/// crate's lock-free log-linear `AtomicHistogram`.  Re-exported here so every
+/// existing `rspan_obs::Histogram` user keeps compiling unchanged.
+pub use rspan_telemetry::{HistSummary, Histogram};
 
 /// Per-wave aggregate kept by [`MemRecorder`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -609,7 +558,7 @@ impl ObsReport {
     /// session's `Metrics::json_fields` uses, for embedding in BENCH rows.
     /// Phase wall-clock data is deliberately excluded.
     pub fn json_fields(&self) -> String {
-        let lat = self.latency.summary_fields("obs_latency");
+        let lat = summary_fields(&self.latency, "obs_latency");
         let stale = self.stale_ticks_fields();
         format!(
             "\"obs_events\": {}, \"obs_waves\": {}, \"obs_delivered\": {}, \
@@ -637,14 +586,12 @@ impl ObsReport {
     }
 }
 
-impl HistSummary {
-    fn summary_fields(&self, prefix: &str) -> String {
-        format!(
-            "\"{prefix}_count\": {}, \"{prefix}_p50\": {}, \"{prefix}_p99\": {}, \
-             \"{prefix}_max\": {}",
-            self.count, self.p50, self.p99, self.max,
-        )
-    }
+fn summary_fields(s: &HistSummary, prefix: &str) -> String {
+    format!(
+        "\"{prefix}_count\": {}, \"{prefix}_p50\": {}, \"{prefix}_p99\": {}, \
+         \"{prefix}_max\": {}",
+        s.count, s.p50, s.p99, s.max,
+    )
 }
 
 /// The reference [`Recorder`]: in-memory JSONL log plus aggregates.

@@ -67,4 +67,5 @@ pub use metrics::{
 };
 pub use rspan_distributed::{CompactRouter, LocalConfig, LocalRepairStats};
 pub use rspan_obs::{ObsConfig, ObsReport};
+pub use rspan_telemetry::{TelemetryHandle, TelemetrySnapshot};
 pub use session::{Broadcast, Repair, Scheduler, Session, SessionBuilder, StepReport};

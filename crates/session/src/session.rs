@@ -30,6 +30,7 @@ use rspan_distributed::{
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta};
 use rspan_graph::{bfs_into, CsrGraph, Node, Subgraph, TraversalScratch};
 use rspan_obs::{ObsConfig, ObsEvent, ObsHandle, ObsReport};
+use rspan_telemetry::{Histogram, TelemetryHandle, TelemetrySnapshot};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -345,21 +346,22 @@ struct LocalTotals {
 }
 
 /// Percentiles over the recorded stretch samples (ratio × 1000 fixed
-/// point); `NaN` triple when nothing was sampled.
+/// point), via the shared exact [`Histogram`] (nearest-rank, the same
+/// estimator every other percentile in the workspace uses); `NaN` triple
+/// when nothing was sampled.
 fn stretch_quantiles(millis: &[u64]) -> (f64, f64, f64) {
     if millis.is_empty() {
         return (f64::NAN, f64::NAN, f64::NAN);
     }
-    let mut sorted = millis.to_vec();
-    sorted.sort_unstable();
-    let at = |p: f64| {
-        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-        sorted[idx] as f64 / 1000.0
-    };
+    let mut hist = Histogram::default();
+    for &v in millis {
+        hist.push(v);
+    }
+    let s = hist.summary();
     (
-        at(0.50),
-        at(0.99),
-        *sorted.last().expect("non-empty") as f64 / 1000.0,
+        s.p50 as f64 / 1000.0,
+        s.p99 as f64 / 1000.0,
+        s.max as f64 / 1000.0,
     )
 }
 
@@ -397,6 +399,7 @@ pub struct SessionBuilder {
     broadcast: Broadcast,
     faults: FaultPlan,
     observe: Option<ObsConfig>,
+    telemetry: TelemetryHandle,
     /// Async-only setters the caller invoked, so `build()` can reject them
     /// under the sync scheduler instead of silently ignoring them.
     async_only_set: Vec<&'static str>,
@@ -511,6 +514,21 @@ impl SessionBuilder {
     /// byte-identical JSONL export.
     pub fn observe(mut self, cfg: ObsConfig) -> Self {
         self.observe = Some(cfg);
+        self
+    }
+
+    /// Attaches a live telemetry handle
+    /// ([`rspan_telemetry::TelemetryHandle::enabled`]): every layer the
+    /// session drives gets a clone — engine commit phases, router repair
+    /// spans and counters, the async simulator's event loop and RB quorum
+    /// progress all land in the shared lock-free registry, folded on demand
+    /// through [`Session::telemetry`].  Telemetry measures wall-clock
+    /// reality and never feeds [`Metrics`] or the obs event log: a session
+    /// with telemetry enabled is bit-identical to one without
+    /// (property-tested).  The default (off) handle costs one branch per
+    /// site.
+    pub fn telemetry(mut self, tel: TelemetryHandle) -> Self {
+        self.telemetry = tel;
         self
     }
 
@@ -629,11 +647,21 @@ impl SessionBuilder {
             Some(obs_cfg) => ObsHandle::mem(obs_cfg),
             None => ObsHandle::off(),
         };
-        let engine = RspanEngine::new(self.graph, tree_algo);
+        let tel = self.telemetry;
+        let mut engine = RspanEngine::new(self.graph, tree_algo);
+        engine.set_telemetry(tel.clone());
         let router = match self.routing {
             Repair::None => RouterState::None,
-            Repair::Delta => RouterState::Delta(Box::new(DeltaRouter::new(&engine))),
-            Repair::Local(cfg) => RouterState::Local(Box::new(CompactRouter::new(&engine, cfg))),
+            Repair::Delta => {
+                let mut router = Box::new(DeltaRouter::new(&engine));
+                router.set_telemetry(tel.clone());
+                RouterState::Delta(router)
+            }
+            Repair::Local(cfg) => {
+                let mut router = Box::new(CompactRouter::new(&engine, cfg));
+                router.set_telemetry(tel.clone());
+                RouterState::Local(router)
+            }
         };
         let mode = match async_cfg {
             None => Mode::Sync,
@@ -647,6 +675,7 @@ impl SessionBuilder {
                             )));
                         }
                         driver.set_obs(obs.clone());
+                        driver.set_telemetry(tel.clone());
                         AsyncDriver::Plain(driver)
                     }
                     Broadcast::Reliable { f } => {
@@ -659,6 +688,7 @@ impl SessionBuilder {
                         let auth = SeededAuth::new(cfg.sim.seed ^ AUTH_SEED_XOR);
                         let node_auth = auth.clone();
                         let node_obs = obs.clone();
+                        let node_tel = tel.clone();
                         let mut driver =
                             RepairChurnDriver::with_nodes(&engine, cfg.clone(), |_| {
                                 let mut node = RbNode::new(
@@ -669,6 +699,7 @@ impl SessionBuilder {
                                     ttl,
                                 );
                                 node.set_obs(node_obs.clone());
+                                node.set_telemetry(node_tel.clone());
                                 node
                             });
                         if self.faults.is_active() {
@@ -678,6 +709,7 @@ impl SessionBuilder {
                             )));
                         }
                         driver.set_obs(obs.clone());
+                        driver.set_telemetry(tel.clone());
                         AsyncDriver::Reliable(driver)
                     }
                 };
@@ -706,6 +738,7 @@ impl SessionBuilder {
         };
         Ok(Session {
             obs,
+            tel,
             algo_label: self.algo.label(),
             algo: self.algo,
             guarantee,
@@ -757,6 +790,9 @@ pub struct Session {
     /// Observability sink (off unless [`SessionBuilder::observe`] was
     /// configured); every layer the session drives holds a clone.
     obs: ObsHandle,
+    /// Live telemetry registry (off unless [`SessionBuilder::telemetry`]
+    /// was configured); every layer the session drives holds a clone.
+    tel: TelemetryHandle,
     staleness: Option<StalenessState>,
     rounds: usize,
     batch_changes: usize,
@@ -817,6 +853,7 @@ impl Session {
             broadcast: Broadcast::Plain,
             faults: FaultPlan::none(),
             observe: None,
+            telemetry: TelemetryHandle::off(),
             async_only_set: Vec::new(),
             threads_set: false,
         }
@@ -1190,6 +1227,15 @@ impl Session {
             staleness: self.staleness.as_ref().map(|s| s.stats.clone()),
             byz,
         }
+    }
+
+    /// Folds the live telemetry registry into a consistent
+    /// [`TelemetrySnapshot`] — `None` unless [`SessionBuilder::telemetry`]
+    /// installed an enabled handle.  Deliberately *not* part of
+    /// [`Session::metrics`]: telemetry measures wall-clock reality, and the
+    /// [`Metrics`] snapshot stays bit-identical with it on or off.
+    pub fn telemetry(&self) -> Option<TelemetrySnapshot> {
+        self.tel.snapshot()
     }
 
     /// The spanner algorithm this session maintains.

@@ -812,6 +812,116 @@ fn observe_on_is_bit_identical_to_observe_off() {
     }
 }
 
+/// Everything a telemetry-identity run must agree on: spanner edges,
+/// routing tables, the Metrics snapshot, the obs JSONL export, plus the
+/// telemetry fold itself (None on the off run).
+type TelemetryRun = (
+    Vec<(Node, Node)>,
+    rspan_distributed::RoutingTables,
+    rspan_session::Metrics,
+    Option<String>,
+    Option<rspan_session::TelemetrySnapshot>,
+);
+
+fn telemetry_run(seed: u64, scheduler: Scheduler, telemetry: bool) -> TelemetryRun {
+    use rspan_session::TelemetryHandle;
+    let inst = udg_with_density(60, 8.5, seed);
+    let mut builder = Session::builder(inst.graph.clone())
+        .algo(SpannerAlgo::KConnecting { k: 2 })
+        .churn(LinkFlapScenario::new(&inst.graph, 2.0, seed + 9))
+        .routing(Repair::Delta)
+        .observe(ObsConfig::default());
+    let async_sched = matches!(scheduler, Scheduler::Async(_));
+    builder = builder.scheduler(scheduler);
+    if async_sched {
+        builder = builder
+            .churn_interval(8)
+            .crash(0.4, 10)
+            .measure_staleness(true);
+    }
+    let handle = telemetry.then(TelemetryHandle::enabled);
+    if let Some(tel) = &handle {
+        builder = builder.telemetry(tel.clone());
+    }
+    let mut session = builder.build().unwrap();
+    session.run(5).unwrap();
+    let spanner = sorted(session.engine().spanner_pairs());
+    let tables = session.tables().unwrap().clone();
+    assert_eq!(
+        session.telemetry().is_some(),
+        telemetry,
+        "Session::telemetry() mirrors the installed handle"
+    );
+    let (metrics, report) = session.finish_observed();
+    let jsonl = report.map(|r| r.to_jsonl());
+    // Snapshot after the final drain so queue-level gauges have settled.
+    let snapshot = handle.and_then(|h| h.snapshot());
+    (spanner, tables, metrics, jsonl, snapshot)
+}
+
+#[test]
+fn telemetry_on_is_bit_identical_to_telemetry_off() {
+    // Telemetry measures wall-clock reality and must never leak into the
+    // deterministic channels: with the registry enabled, spanner evolution,
+    // routing tables, the full Metrics snapshot and the obs JSONL export all
+    // stay bit-identical, under both schedulers — while the registry itself
+    // demonstrably saw the run.
+    use rspan_telemetry::{Counter, Span};
+    for seed in [11u64, 29] {
+        let cases: Vec<(&str, Scheduler)> = vec![
+            ("sync", Scheduler::Sync),
+            (
+                "async",
+                Scheduler::Async(AsimConfig {
+                    latency: LatencyModel::Uniform { lo: 1, hi: 3 },
+                    loss: 0.15,
+                    max_retries: 1,
+                    seed: seed ^ 0x7E1,
+                    ..AsimConfig::default()
+                }),
+            ),
+        ];
+        for (label, sched) in cases {
+            let (sp_off, tb_off, m_off, j_off, t_off) = telemetry_run(seed, sched.clone(), false);
+            let (sp_on, tb_on, m_on, j_on, t_on) = telemetry_run(seed, sched, true);
+            assert!(t_off.is_none(), "off run must fold no snapshot");
+            let snap = t_on.expect("enabled run must fold a snapshot");
+            assert_eq!(sp_off, sp_on, "{label}: spanner diverged, seed {seed}");
+            assert_eq!(tb_off, tb_on, "{label}: tables diverged, seed {seed}");
+            assert_eq!(m_off, m_on, "{label}: metrics diverged, seed {seed}");
+            assert_eq!(j_off, j_on, "{label}: obs JSONL diverged, seed {seed}");
+            assert_eq!(
+                snap.counter(Counter::EngineCommits),
+                5,
+                "{label}: every commit lands in the registry"
+            );
+            assert!(
+                snap.counter(Counter::RouterRepairs) >= 5,
+                "{label}: every repair lands in the registry"
+            );
+            assert!(
+                snap.span(Span::Mark).calls > 0,
+                "{label}: commit phases recorded"
+            );
+            if label == "async" {
+                assert!(
+                    snap.counter(Counter::SimEvents) > 0,
+                    "async: event loop recorded"
+                );
+                assert!(
+                    snap.counter(Counter::SimTransmissions) >= snap.counter(Counter::SimDelivered),
+                    "async: transmissions bound deliveries"
+                );
+                assert_eq!(
+                    snap.gauge(rspan_telemetry::Gauge::SimHeapDepth),
+                    0,
+                    "async: a drained timeline leaves no queued events"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn observed_jsonl_replays_byte_identical() {
     // Same seed + same config ⇒ the exported JSONL trace is byte-identical,

@@ -1,0 +1,71 @@
+//! Multi-threaded fold-exactness stress: 8 workers hammer one shared
+//! registry — counters, gauges, spans and histograms — and the post-join
+//! fold must account for **every** increment (no lost updates, no torn
+//! gauges), regardless of how threads were assigned to shards.
+
+use rspan_telemetry::{Counter, Gauge, Hist, Span, TelemetryHandle};
+
+const WORKERS: u64 = 8;
+const ROUNDS: u64 = 200_000;
+
+#[test]
+fn eight_worker_fold_is_exact() {
+    let tel = TelemetryHandle::enabled();
+    std::thread::scope(|scope| {
+        for w in 0..WORKERS {
+            let tel = &tel;
+            scope.spawn(move || {
+                for i in 0..ROUNDS {
+                    tel.incr(Counter::SimEvents);
+                    tel.add(Counter::SimBytesSent, w + 1);
+                    // Net +1 per round so the folded gauge is predictable
+                    // even though ups and downs land on the same shard.
+                    tel.gauge_add(Gauge::SimHeapDepth, 2);
+                    tel.gauge_add(Gauge::SimHeapDepth, -1);
+                    tel.span_record(Span::Rebuild, 10, 1);
+                    if i % 64 == 0 {
+                        tel.observe(Hist::HeapDepth, i % 1024);
+                    }
+                }
+            });
+        }
+    });
+    let snap = tel.snapshot().expect("enabled");
+    assert_eq!(snap.counter(Counter::SimEvents), WORKERS * ROUNDS);
+    // Σ_w (w+1) * ROUNDS = ROUNDS * WORKERS * (WORKERS + 1) / 2
+    assert_eq!(
+        snap.counter(Counter::SimBytesSent),
+        ROUNDS * WORKERS * (WORKERS + 1) / 2
+    );
+    assert_eq!(snap.gauge(Gauge::SimHeapDepth), (WORKERS * ROUNDS) as i64);
+    let row = snap.span(Span::Rebuild);
+    assert_eq!(row.calls, WORKERS * ROUNDS);
+    assert_eq!(row.wall_ns, 10 * WORKERS * ROUNDS);
+    assert_eq!(row.items, WORKERS * ROUNDS);
+    let hs = snap.hist(Hist::HeapDepth);
+    assert_eq!(hs.count, WORKERS * ROUNDS.div_ceil(64));
+    // Histogram sum is exact (single atomic), max is the largest observed.
+    assert_eq!(hs.max, 960); // largest i % 1024 with i % 64 == 0 below ROUNDS
+    let per_worker: u64 = (0..ROUNDS).step_by(64).map(|i| i % 1024).sum();
+    assert_eq!(hs.sum, WORKERS * per_worker);
+}
+
+#[test]
+fn concurrent_span_timers_all_land() {
+    let tel = TelemetryHandle::enabled();
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let tel = &tel;
+            scope.spawn(move || {
+                for _ in 0..1000 {
+                    let mut t = tel.span(Span::SimRun);
+                    t.add_items(2);
+                    drop(t);
+                }
+            });
+        }
+    });
+    let row = tel.snapshot().expect("enabled").span(Span::SimRun);
+    assert_eq!(row.calls, WORKERS * 1000);
+    assert_eq!(row.items, WORKERS * 2000);
+}
