@@ -21,49 +21,16 @@ use crate::model::{AsimConfig, VTime};
 use crate::sim::{AsimStats, AsyncNetwork, FaultHook};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rspan_distributed::rb::{Auth, RbNode};
-use rspan_distributed::transport::{ProtocolNode, Transport, WireSize};
+use rspan_distributed::transport::WireSize;
 use rspan_distributed::RepairNode;
+// The wave-arming seam lives next to `RepairNode` so real transports
+// (rspan-net) can drive the same protocol without depending on this crate;
+// re-exported here for source compatibility.
+pub use rspan_distributed::WaveNode;
 use rspan_engine::{ChurnScenario, RspanEngine, SpannerDelta, TopologyChange};
 use rspan_graph::Node;
 use rspan_obs::{ObsEvent, ObsHandle, WaveId};
 use rspan_telemetry::TelemetryHandle;
-
-/// A protocol node the churn driver can arm and fire §2.3 repair waves on —
-/// the seam that lets one driver run both the plain [`RepairNode`] flood and
-/// its Byzantine-tolerant [`RbNode`] wrapping without duplicating the
-/// commit/crash/window machinery.
-pub trait WaveNode: ProtocolNode {
-    /// Arms one stabilisation wave (cf. [`RepairNode::begin_wave`]).
-    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>);
-
-    /// Originates the armed wave on the wire (cf. [`RepairNode::originate`]).
-    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>);
-}
-
-impl WaveNode for RepairNode {
-    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
-        self.begin_wave(epoch, dirty_tree);
-    }
-
-    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>) {
-        self.originate(net);
-    }
-}
-
-impl<A: Auth> WaveNode for RbNode<RepairNode, A> {
-    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
-        // Arming also advances the wrapper's replay-rejection epoch (and
-        // garbage-collects its instance state) in lockstep with the inner
-        // node's dedup window.
-        self.advance_epoch(epoch);
-        self.inner_mut().begin_wave(epoch, dirty_tree);
-    }
-
-    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>) {
-        self.with_inner(net, |inner, t| inner.originate(t));
-    }
-}
 
 /// Configuration of one asynchronous churn run.
 #[derive(Clone, Debug)]

@@ -315,6 +315,22 @@ fn is_env_key(key: &str) -> bool {
     key == "threads"
 }
 
+/// The real-transport file: its rows time OS threads and TCP sockets, so
+/// *every* timing key is machine noise even on a same-machine full run, and
+/// the `net_`-prefixed frame/byte/reconnect counts depend on physical
+/// arrival order (monotone relays re-fire when a better copy lands).  Both
+/// are presence-and-sanity only, quick or not; the deterministic keys
+/// (`dirty_total`, `converged`, `state_matches_asim`, the asim virtual-time
+/// prediction) still gate exactly.
+fn is_net_file(name: &str) -> bool {
+    name == "BENCH_net.json"
+}
+
+/// Physical transport counters in the net file (nondeterministic counts).
+fn is_net_counter_key(key: &str) -> bool {
+    key.starts_with("net_")
+}
+
 fn rel_close(a: f64, b: f64, tol: f64) -> bool {
     let denom = a.abs().max(b.abs()).max(1e-9);
     (a - b).abs() <= tol * denom
@@ -390,13 +406,24 @@ fn compare_value(
     if is_env_key(key) {
         return;
     }
+    let net_file = is_net_file(name);
+    if net_file && is_net_counter_key(key) {
+        if let Value::Num(c) = cval {
+            if !c.is_finite() || *c < 0.0 {
+                failures.push(format!(
+                    "{name} row {idx} key \"{key}\": current counter {c} is not a sane count"
+                ));
+            }
+        }
+        return;
+    }
     if is_timing_key(key) {
         if let (Value::Num(b), Value::Num(c)) = (bval, cval) {
             if !c.is_finite() || *c < 0.0 {
                 failures.push(format!(
                     "{name} row {idx} key \"{key}\": current timing {c} is not a sane wall figure"
                 ));
-            } else if !quick && !rel_close(*b, *c, tol) {
+            } else if !quick && !net_file && !rel_close(*b, *c, tol) {
                 failures.push(format!(
                     "{name} row {idx} key \"{key}\": timing drifted beyond ±{:.0}% — \
                      baseline {b}, current {c}",
@@ -641,6 +668,53 @@ mod tests {
     fn insane_timing_fails_even_in_quick() {
         let cur = doc_with("\"wall_commit_ms\": 1.297", "\"wall_commit_ms\": -1.0");
         assert_eq!(gate(&doc(), &cur, true).len(), 1);
+    }
+
+    #[test]
+    fn net_file_timing_and_counters_are_presence_only_even_in_full_mode() {
+        const NET: &str = r#"{
+  "bench": "net_cluster",
+  "unit": "wall_convergence_ms",
+  "rows": [
+    {"workload": "net_cluster", "seed": 3, "wall_ms": 120.0, "threads": 16,
+     "routing": "none", "backend": "threaded", "n": 16, "dirty_total": 9,
+     "converged": true, "state_matches_asim": true,
+     "wall_convergence_ms": 40.5, "net_frames_sent": 812, "net_bytes_sent": 31000}
+  ]
+}
+"#;
+        let base = parse_bench(NET).unwrap();
+        // Wall times drift 10x and the frame count drifts: still passes,
+        // even outside --quick.
+        let cur =
+            parse_bench(&NET.replacen("40.5", "405.0", 1).replacen("812", "12000", 1)).unwrap();
+        let mut failures = Vec::new();
+        compare_docs("BENCH_net.json", &base, &cur, false, 0.5, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+        // But deterministic keys still gate exactly — a converged=false or
+        // a state mismatch is a regression.
+        let bad = parse_bench(&NET.replacen(
+            "\"state_matches_asim\": true",
+            "\"state_matches_asim\": false",
+            1,
+        ))
+        .unwrap();
+        let mut failures = Vec::new();
+        compare_docs("BENCH_net.json", &base, &bad, false, 0.5, &mut failures);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("state_matches_asim"), "{failures:?}");
+        // The same timing drift in any other file still trips the full gate.
+        let mut failures = Vec::new();
+        compare_docs(
+            "BENCH_other.json",
+            &base,
+            &parse_bench(&NET.replacen("40.5", "405.0", 1)).unwrap(),
+            false,
+            0.5,
+            &mut failures,
+        );
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("wall_convergence_ms"), "{failures:?}");
     }
 
     #[test]

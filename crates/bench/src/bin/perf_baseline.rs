@@ -94,14 +94,20 @@
 //! deltas of the shared registry.  Like `wall_ms`, these are wall-clock and
 //! nondeterministic; the bench gate never diffs them numerically.
 
-use rspan_asim::{Adversary, AsimConfig, ByzBehaviour, FaultPlan, LatencyModel, VTime};
+use rspan_asim::{
+    Adversary, AsimConfig, AsyncChurnConfig, ByzBehaviour, FaultPlan, LatencyModel,
+    RepairChurnDriver, VTime,
+};
 use rspan_bench::scaled_density_udg;
 use rspan_core::{rem_span, rem_span_algo};
 use rspan_distributed::RoutingTables;
 use rspan_domtree::{dom_tree_k_greedy, TreeAlgo};
-use rspan_engine::{ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario};
+use rspan_engine::{
+    ChurnScenario, JoinLeaveScenario, LinkFlapScenario, MobilityScenario, RspanEngine,
+};
 use rspan_graph::generators::udg::udg_with_density;
 use rspan_graph::{CsrGraph, Node};
+use rspan_net::{repair_end_state, NetBackend, NetChurnConfig, NetCluster};
 use rspan_session::{
     Broadcast, LocalConfig, ObsConfig, Repair, Scheduler, Session, SpannerAlgo, TelemetryHandle,
     TelemetrySnapshot,
@@ -1091,6 +1097,108 @@ fn byz_churn_workload(quick: bool, seed: u64, out_path: &str) {
     write_json(out_path, "byz_churn", "per_run_totals", &rows);
 }
 
+/// Writes `BENCH_net.json`: the real-transport cluster family.  Each row
+/// runs the same seeded churn (link flaps, ~1% of nodes per round) once on
+/// live OS threads and once over TCP loopback sockets, records the
+/// **wall-clock** convergence time per round, and validates the end state
+/// against the asim reference for the identical world — so the figure says
+/// "this is what the virtual-time prediction costs on real concurrency",
+/// with the bit-identity check inline rather than on faith.
+///
+/// The graphs are sparser than the simulator families (degree ≈ 6, not 12):
+/// the TCP backend spawns a writer and a reader thread per live direction,
+/// and bounding the per-row thread count keeps the n = 256 row comfortable.
+///
+/// Wall-clock keys (`wall_*`) and the physical frame/byte counts
+/// (`net_*`: relay counts under monotone acceptance depend on arrival
+/// order) are nondeterministic; the bench gate treats both as
+/// presence-only for this file.  `dirty_total`, the asim virtual-time
+/// prediction and the two validation booleans replay from seeds.
+fn net_cluster_workload(quick: bool, seed: u64, out_path: &str) {
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 64, 256] };
+    let rounds = if quick { 3 } else { 5 };
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let w = udg_with_density(n, 6.0, seed);
+        let mean_flaps = (n as f64 / 200.0).max(1.0);
+        let fresh_world = || {
+            (
+                RspanEngine::new(w.graph.clone(), TreeAlgo::KGreedy { k: 2 }),
+                LinkFlapScenario::new(&w.graph, mean_flaps, seed + SCENARIO_SEED_OFFSET),
+            )
+        };
+
+        // The asim reference: identical world under unit latency, zero loss,
+        // zero crashes.  Yields the predicted virtual convergence time and
+        // the end state the live runs must reproduce bit for bit.
+        let (mut engine, mut scenario) = fresh_world();
+        let cfg = AsyncChurnConfig {
+            churn_interval: 16,
+            rounds,
+            ..AsyncChurnConfig::default()
+        };
+        let mut driver = RepairChurnDriver::new(&engine, cfg);
+        for _ in 0..rounds {
+            driver.begin_round();
+            driver.commit_round(&mut engine, &mut scenario);
+        }
+        let (asim_run, asim_nodes) = driver.finish_with_nodes();
+        assert!(asim_run.drained, "asim reference must drain");
+        let reference = repair_end_state(&asim_nodes);
+        let asim_ticks = asim_run.mean_convergence_ticks();
+        let m = w.graph.m();
+
+        for backend in [NetBackend::Threaded, NetBackend::Tcp] {
+            let (mut engine, mut scenario) = fresh_world();
+            let harness = NetCluster::new(NetChurnConfig {
+                backend,
+                quiesce_timeout: std::time::Duration::from_secs(120),
+                telemetry: telemetry().clone(),
+                ..NetChurnConfig::default()
+            });
+            let pre = tel_snapshot();
+            let start = Instant::now();
+            let (run, nodes) = harness.run(&mut engine, &mut scenario, rounds);
+            let wall_ns = start.elapsed().as_nanos() as f64;
+            let converged = run.fully_converged();
+            let state_matches = repair_end_state(&nodes) == reference;
+            assert!(
+                converged,
+                "net cluster failed to quiesce (n={n}, {backend:?})"
+            );
+            assert!(
+                state_matches,
+                "net end state diverged from asim (n={n}, {backend:?})"
+            );
+            let post = tel_snapshot();
+            let d = |c| post.counter(c).saturating_sub(pre.counter(c));
+            use rspan_telemetry::Counter;
+            let row = format!(
+                "    {{\"workload\": \"net_cluster\", \"seed\": {seed}, \"wall_ms\": {:.1}, \
+                 \"threads\": {n}, \"routing\": \"none\", \
+                 \"backend\": \"{}\", \"n\": {n}, \"m\": {m}, \"rounds\": {rounds}, \
+                 \"dirty_total\": {}, \"converged\": {converged}, \
+                 \"state_matches_asim\": {state_matches}, \
+                 \"asim_mean_convergence_ticks\": {asim_ticks:.3}, \
+                 \"wall_convergence_ms\": {:.3}, \"wall_round_mean_ms\": {:.3}, \
+                 \"net_frames_sent\": {}, \"net_frames_recv\": {}, \
+                 \"net_bytes_sent\": {}, \"net_reconnects\": {}}}",
+                wall_ns / 1e6,
+                backend.label(),
+                run.dirty_total,
+                run.wall_ns_total as f64 / 1e6,
+                run.wall_ns_total as f64 / 1e6 / rounds as f64,
+                d(Counter::NetFramesSent),
+                d(Counter::NetFramesRecv),
+                d(Counter::NetBytesSent),
+                d(Counter::NetReconnects),
+            );
+            rows.push(with_phase_fields(row, &pre));
+        }
+    }
+    write_json(out_path, "net_cluster", "wall_convergence_ms", &rows);
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Workload {
     Remspan,
@@ -1099,13 +1207,14 @@ enum Workload {
     RouteLocal,
     AsyncChurn,
     ByzChurn,
+    NetCluster,
     All,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [remspan|engine_churn|routing_churn|route_local|async_churn|\
-         byz_churn|all] [--quick] [--seed N] [--json PATH] [--trace-out PATH] \
+         byz_churn|net_cluster|all] [--quick] [--seed N] [--json PATH] [--trace-out PATH] \
          [--telemetry-out PATH]"
     );
     std::process::exit(2);
@@ -1127,6 +1236,7 @@ fn main() {
             "route_local" => workload = Workload::RouteLocal,
             "async_churn" => workload = Workload::AsyncChurn,
             "byz_churn" => workload = Workload::ByzChurn,
+            "net_cluster" => workload = Workload::NetCluster,
             "all" => workload = Workload::All,
             "--quick" => quick = true,
             "--seed" => {
@@ -1144,7 +1254,7 @@ fn main() {
     if json.is_some() && workload == Workload::All {
         eprintln!(
             "--json requires a single workload (remspan, engine_churn, routing_churn, \
-             route_local, async_churn or byz_churn)"
+             route_local, async_churn, byz_churn or net_cluster)"
         );
         std::process::exit(2);
     }
@@ -1177,12 +1287,16 @@ fn main() {
         Workload::ByzChurn => {
             byz_churn_workload(quick, seed, json.as_deref().unwrap_or("BENCH_byz.json"))
         }
+        Workload::NetCluster => {
+            net_cluster_workload(quick, seed, json.as_deref().unwrap_or("BENCH_net.json"))
+        }
         Workload::All => {
             remspan_workload(quick, seed, "BENCH_remspan.json");
             engine_churn_workload(quick, seed, "BENCH_engine.json");
             routing_workload(quick, seed, "BENCH_routing.json");
             async_churn_workload(quick, seed, "BENCH_async.json", None);
             byz_churn_workload(quick, seed, "BENCH_byz.json");
+            net_cluster_workload(quick, seed, "BENCH_net.json");
         }
     }
     // The final fold across everything the selected workloads ran, in

@@ -51,7 +51,7 @@ pub use delta::{DeltaRouter, RepairStats};
 pub use dynamics::{apply_change, restabilise_with, ChurnSession, TopologyChange};
 pub use protocol::{
     restabilise_flood, run_remspan_protocol, DistributedRun, IncrementalRun, RemSpanMsg,
-    RemSpanNode, RepairMsg, RepairNode, TreeStrategy,
+    RemSpanNode, RepairMsg, RepairNode, TreeStrategy, WaveNode,
 };
 pub use rb::{Auth, Fnv64, RbMsg, RbNode, RbPayload, RbStats, SeededAuth};
 pub use routing::{

@@ -439,6 +439,15 @@ pub struct RepairNode {
     /// Disposition of the most recent delivery (consumed vs dedup), exposed
     /// through [`ProtocolNode::last_rx`] for trace/observability attribution.
     last_rx: DropCause,
+    /// Monotone-relay mode (real transports): accept and re-relay a frame
+    /// whenever its TTL strictly exceeds the best TTL seen for the same
+    /// `(epoch, origin)`, overwriting the accepted digest.  See
+    /// [`RepairNode::with_monotone`].
+    monotone: bool,
+    /// Best TTL accepted per `(epoch, origin)` link-state key (monotone mode).
+    best_ls: HashMap<(u64, Node), u32>,
+    /// Best TTL accepted per `(epoch, origin)` tree-advert key (monotone mode).
+    best_tree: HashMap<(u64, Node), u32>,
 }
 
 impl RepairNode {
@@ -456,7 +465,34 @@ impl RepairNode {
             accepted_ls: HashMap::new(),
             accepted_tree: HashMap::new(),
             last_rx: DropCause::None,
+            monotone: false,
+            best_ls: HashMap::new(),
+            best_tree: HashMap::new(),
         }
+    }
+
+    /// Creates a repair node in **monotone-relay** mode, the arrival-order-
+    /// insensitive variant real transports need.
+    ///
+    /// Under the deterministic simulators the *first* copy of a flood frame
+    /// to arrive at a node at hop distance `d` always travelled a shortest
+    /// path and therefore carries the maximal TTL `R − d + 1`; first-copy
+    /// dedup is exact.  On real threads or sockets a lower-TTL copy routed
+    /// via a longer path can win the race, which would both shrink the
+    /// flood's coverage and change the accepted digest.  Monotone mode
+    /// restores order-insensitivity: a frame is accepted (digest overwritten,
+    /// knowledge merged, re-relayed at `ttl − 1`) whenever its TTL strictly
+    /// exceeds the best TTL previously accepted for the same
+    /// `(epoch, origin)`.  TTLs strictly decrease per hop and the per-key
+    /// best strictly increases per accept, so the flood still terminates;
+    /// the fixpoint every node converges to is the shortest-path TTL
+    /// `R − d + 1` — exactly the simulators' first-copy value — making the
+    /// end state identical to a [`RepairNode::new`] run under unit latency
+    /// regardless of real-time interleaving.
+    pub fn with_monotone(radius: u32) -> Self {
+        let mut node = RepairNode::new(radius);
+        node.monotone = true;
+        node
     }
 
     /// Arms one stabilisation wave: `dirty_tree` is `Some(new tree edges)`
@@ -476,6 +512,8 @@ impl RepairNode {
         self.refreshed_link_state.retain(|&(e, _)| e >= keep);
         self.accepted_ls.retain(|&(e, _), _| e >= keep);
         self.accepted_tree.retain(|&(e, _), _| e >= keep);
+        self.best_ls.retain(|&(e, _), _| e >= keep);
+        self.best_tree.retain(|&(e, _), _| e >= keep);
     }
 
     /// Originates the armed wave (no-op for clean nodes): records the node's
@@ -489,6 +527,11 @@ impl RepairNode {
         let me = net.me();
         self.seen_ls.insert((self.epoch, me));
         self.seen_tree.insert((self.epoch, me));
+        // Monotone mode: pin the node's own wave at the ceiling so relayed
+        // copies of its own flood (ttl ≤ radius − 1) can never overwrite the
+        // digest it records for itself below.
+        self.best_ls.insert((self.epoch, me), u32::MAX);
+        self.best_tree.insert((self.epoch, me), u32::MAX);
         self.refreshed_link_state.insert((self.epoch, me));
         for &(a, b) in &tree {
             if a == me || b == me {
@@ -538,6 +581,43 @@ impl RepairNode {
     pub fn accepted_tree_adverts(&self) -> &HashMap<(u64, Node), u64> {
         &self.accepted_tree
     }
+
+    /// The `(epoch, origin)` pairs whose refreshed link state this node
+    /// collected (dirty nodes include themselves) — the end-state set real
+    /// transports compare bit-for-bit against the simulator's.
+    pub fn refreshed_link_state(&self) -> &HashSet<(u64, Node)> {
+        &self.refreshed_link_state
+    }
+
+    /// Spanner edges incident to this node learned from re-adverts.
+    pub fn incident_updates(&self) -> &HashSet<(Node, Node)> {
+        &self.incident_updates
+    }
+
+    /// Decides acceptance of a flood frame.  First-copy mode: accept iff the
+    /// `(epoch, origin)` key is new.  Monotone mode: accept iff `ttl`
+    /// strictly improves on the best accepted for the key (see
+    /// [`RepairNode::with_monotone`]).
+    fn accept(
+        seen: &mut HashSet<(u64, Node)>,
+        best: &mut HashMap<(u64, Node), u32>,
+        monotone: bool,
+        key: (u64, Node),
+        ttl: u32,
+    ) -> bool {
+        if monotone {
+            let slot = best.entry(key).or_insert(0);
+            if ttl > *slot {
+                *slot = ttl;
+                seen.insert(key);
+                true
+            } else {
+                false
+            }
+        } else {
+            seen.insert(key)
+        }
+    }
 }
 
 impl ProtocolNode for RepairNode {
@@ -551,7 +631,13 @@ impl ProtocolNode for RepairNode {
         self.last_rx = DropCause::None;
         match msg {
             RepairMsg::LinkState(epoch, origin, list, ttl) => {
-                if self.seen_ls.insert((*epoch, *origin)) {
+                if Self::accept(
+                    &mut self.seen_ls,
+                    &mut self.best_ls,
+                    self.monotone,
+                    (*epoch, *origin),
+                    *ttl,
+                ) {
                     self.refreshed_link_state.insert((*epoch, *origin));
                     self.accepted_ls
                         .insert((*epoch, *origin), crate::rb::RbPayload::digest(msg));
@@ -568,7 +654,13 @@ impl ProtocolNode for RepairNode {
                 }
             }
             RepairMsg::TreeAdvert(epoch, origin, edges, ttl) => {
-                if self.seen_tree.insert((*epoch, *origin)) {
+                if Self::accept(
+                    &mut self.seen_tree,
+                    &mut self.best_tree,
+                    self.monotone,
+                    (*epoch, *origin),
+                    *ttl,
+                ) {
                     self.accepted_tree
                         .insert((*epoch, *origin), crate::rb::RbPayload::digest(msg));
                     let me = net.me();
@@ -609,6 +701,43 @@ impl ProtocolNode for RepairNode {
 
     fn last_rx(&self) -> DropCause {
         self.last_rx
+    }
+}
+
+/// A protocol node a churn driver (virtual-time or real-transport) can arm
+/// and fire §2.3 repair waves on — the seam that lets one driver run both
+/// the plain [`RepairNode`] flood and its Byzantine-tolerant
+/// [`crate::rb::RbNode`] wrapping without duplicating the
+/// commit/crash/window machinery.
+pub trait WaveNode: ProtocolNode {
+    /// Arms one stabilisation wave (cf. [`RepairNode::begin_wave`]).
+    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>);
+
+    /// Originates the armed wave on the wire (cf. [`RepairNode::originate`]).
+    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>);
+}
+
+impl WaveNode for RepairNode {
+    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
+        self.begin_wave(epoch, dirty_tree);
+    }
+
+    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>) {
+        self.originate(net);
+    }
+}
+
+impl<A: crate::rb::Auth> WaveNode for crate::rb::RbNode<RepairNode, A> {
+    fn arm_wave(&mut self, epoch: u64, dirty_tree: Option<Vec<(Node, Node)>>) {
+        // Arming also advances the wrapper's replay-rejection epoch (and
+        // garbage-collects its instance state) in lockstep with the inner
+        // node's dedup window.
+        self.advance_epoch(epoch);
+        self.inner_mut().begin_wave(epoch, dirty_tree);
+    }
+
+    fn fire_wave(&mut self, net: &mut dyn Transport<Self::Msg>) {
+        self.with_inner(net, |inner, t| inner.originate(t));
     }
 }
 

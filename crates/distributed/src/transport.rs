@@ -50,11 +50,22 @@ pub enum Outgoing<M> {
 /// Both schedulers hand a `Transport` to every callback.  Time is abstract:
 /// [`Transport::now`] counts synchronous rounds under `SyncNetwork` and
 /// virtual clock ticks under `rspan-asim`; with unit latency the two agree.
+/// Real-time backends (rspan-net) map a monotonic wall clock onto the same
+/// contract — see [`Transport::now`].
 pub trait Transport<M> {
     /// The node this transport belongs to.
     fn me(&self) -> Node;
 
     /// Current abstract time (round number / virtual tick).
+    ///
+    /// **Contract for real-time backends:** `now()` must be derived from a
+    /// *monotonic* clock (`std::time::Instant`, never wall-of-day time),
+    /// expressed in fixed-width ticks since transport start, and must be
+    /// non-decreasing across consecutive calls observed by any one node.
+    /// Protocol nodes only ever compare `now()` values and add
+    /// [`Transport::set_timer`] delays to them, so the tick width is the
+    /// backend's choice; it must merely be consistent between `now()` and
+    /// the delay arithmetic of `set_timer`.
     fn now(&self) -> u64;
 
     /// The node's *current* neighbor list, sorted.  Under topology churn

@@ -1,0 +1,71 @@
+//! Monotonic tick clock: maps wall time onto the abstract
+//! [`Transport::now`](rspan_distributed::Transport::now) contract.
+//!
+//! Protocol nodes only ever *compare* `now()` values and add `set_timer`
+//! delays to them, so a real-time backend is free to choose the tick width.
+//! One shared `TickClock` (an `Instant` epoch plus a fixed tick duration)
+//! gives every node of a cluster the same non-decreasing tick counter and a
+//! common nanosecond base for send-to-receive latency measurement.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic clock counting fixed-width ticks since cluster start.
+#[derive(Clone, Copy, Debug)]
+pub struct TickClock {
+    start: Instant,
+    tick: Duration,
+}
+
+impl TickClock {
+    /// Starts the clock now.  Panics on a zero tick.
+    pub fn new(tick: Duration) -> Self {
+        assert!(!tick.is_zero(), "tick duration must be nonzero");
+        TickClock {
+            start: Instant::now(),
+            tick,
+        }
+    }
+
+    /// Whole ticks elapsed since start (the `now()` value).
+    pub fn now_ticks(&self) -> u64 {
+        (self.start.elapsed().as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    /// Nanoseconds elapsed since start (the latency-measurement base).
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// The wall-clock instant at which tick `t` begins — the deadline a
+    /// timer armed for tick `t` waits for.
+    pub fn deadline(&self, t: u64) -> Instant {
+        self.start + self.tick.mul_f64(t as f64)
+    }
+
+    /// The configured tick width.
+    pub fn tick_duration(&self) -> Duration {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotone_and_scale_with_width() {
+        let clock = TickClock::new(Duration::from_micros(50));
+        let a = clock.now_ticks();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = clock.now_ticks();
+        assert!(b > a, "2ms must advance a 50us tick clock");
+        assert!(clock.elapsed_nanos() >= 2_000_000);
+        assert!(clock.deadline(b) > clock.start);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_tick_panics() {
+        let _ = TickClock::new(Duration::ZERO);
+    }
+}

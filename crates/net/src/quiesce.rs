@@ -1,0 +1,124 @@
+//! Message-quiescence detection for real transports.
+//!
+//! The whole cluster — node worker threads, TCP writer/reader threads and
+//! the controlling harness — lives in one process, so quiescence reduces to
+//! one shared counter: every unit of pending work (a queued node command, a
+//! frame in flight on a channel or socket, an armed timer) holds exactly one
+//! token, acquired *before* the work becomes visible to any consumer and
+//! released only after the consumer finished processing it (including
+//! enqueueing any follow-on sends, which took their own tokens first).
+//! Under that discipline the counter reads zero **iff** no command is
+//! queued, none is being processed and no timer is pending — and zero is
+//! stable, so a single load suffices.
+
+use rspan_telemetry::{Gauge, TelemetryHandle};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Shared in-flight work counter (see module docs for the token protocol).
+/// Mirrors every movement onto the `rspan_net_queue_depth` telemetry gauge,
+/// which must therefore fold to zero at quiescence.
+pub struct InFlight {
+    count: AtomicI64,
+    tel: TelemetryHandle,
+}
+
+impl InFlight {
+    /// A fresh counter at zero.
+    pub fn new(tel: TelemetryHandle) -> Self {
+        InFlight {
+            count: AtomicI64::new(0),
+            tel,
+        }
+    }
+
+    /// Acquires one token — call *before* making the work visible.
+    #[inline]
+    pub fn up(&self) {
+        self.count.fetch_add(1, Ordering::SeqCst);
+        self.tel.gauge_add(Gauge::NetQueueDepth, 1);
+    }
+
+    /// Releases one token — call after the work is fully processed.
+    #[inline]
+    pub fn down(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(prev > 0, "in-flight counter went negative");
+        self.tel.gauge_add(Gauge::NetQueueDepth, -1);
+    }
+
+    /// Current token count (diagnostic).
+    pub fn pending(&self) -> i64 {
+        self.count.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the counter reads zero, polling with a short sleep.
+    /// Returns `false` if `timeout` elapses first.
+    pub fn wait_quiet(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.count.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return self.count.load(Ordering::SeqCst) == 0;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn tokens_balance_across_threads() {
+        let inflight = Arc::new(InFlight::new(TelemetryHandle::off()));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let inflight = Arc::clone(&inflight);
+                // Acquire before the thread (the work) becomes visible.
+                for _ in 0..1000 {
+                    inflight.up();
+                }
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        inflight.down();
+                    }
+                })
+            })
+            .collect();
+        assert!(inflight.wait_quiet(Duration::from_secs(5)));
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(inflight.pending(), 0);
+    }
+
+    #[test]
+    fn wait_quiet_times_out_while_tokens_held() {
+        let inflight = InFlight::new(TelemetryHandle::off());
+        inflight.up();
+        assert!(!inflight.wait_quiet(Duration::from_millis(5)));
+        inflight.down();
+        assert!(inflight.wait_quiet(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn gauge_mirrors_the_counter() {
+        let tel = TelemetryHandle::enabled();
+        let inflight = InFlight::new(tel.clone());
+        inflight.up();
+        inflight.up();
+        assert_eq!(
+            tel.snapshot().unwrap().gauge(Gauge::NetQueueDepth),
+            2,
+            "gauge tracks live tokens"
+        );
+        inflight.down();
+        inflight.down();
+        assert_eq!(tel.snapshot().unwrap().gauge(Gauge::NetQueueDepth), 0);
+    }
+}

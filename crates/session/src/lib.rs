@@ -58,6 +58,7 @@
 mod algo;
 mod error;
 mod metrics;
+mod net_runner;
 mod session;
 
 pub use algo::SpannerAlgo;
@@ -65,6 +66,7 @@ pub use error::RspanError;
 pub use metrics::{
     AsyncMetrics, ByzMetrics, FloodTotals, LocalMetrics, Metrics, RepairTotals, StalenessStats,
 };
+pub use net_runner::{NetRunReport, NetRunner};
 pub use rspan_distributed::{CompactRouter, LocalConfig, LocalRepairStats};
 pub use rspan_obs::{ObsConfig, ObsReport};
 pub use rspan_telemetry::{TelemetryHandle, TelemetrySnapshot};

@@ -1,0 +1,208 @@
+//! [`NetRunner`] — the validated entry point for running a churn pipeline
+//! on a **real** transport (`rspan-net`): live OS threads, or TCP loopback
+//! sockets, instead of a simulator.
+//!
+//! It is deliberately standalone rather than a [`crate::Scheduler`]
+//! variant: a real-transport run returns wall-clock convergence times and
+//! live thread/socket state, not the virtual-time [`crate::Metrics`] shape
+//! the simulator sessions share, so folding it into [`crate::Session`]
+//! would force both APIs to lie.  What it *does* share is the validation
+//! discipline — every degenerate configuration comes back as a structured
+//! [`RspanError`] before any thread spawns.
+
+use crate::algo::SpannerAlgo;
+use crate::error::RspanError;
+use rspan_engine::{ChurnScenario, RspanEngine};
+use rspan_graph::CsrGraph;
+use rspan_net::{NetBackend, NetChurnConfig, NetChurnRun, NetCluster, NodeEndState};
+use rspan_telemetry::TelemetryHandle;
+use std::time::Duration;
+
+/// A validated real-transport churn run: spanner algorithm, backend, clock
+/// and timeout settings over one initial topology.
+///
+/// ```
+/// use rspan_session::{NetRunner, SpannerAlgo};
+/// use rspan_engine::LinkFlapScenario;
+/// use rspan_graph::generators::udg_with_density;
+/// use rspan_net::NetBackend;
+///
+/// let instance = udg_with_density(32, 6.0, 42);
+/// let mut scenario = LinkFlapScenario::new(&instance.graph, 2.0, 7);
+/// let report = NetRunner::new(instance.graph)
+///     .algo(SpannerAlgo::KConnecting { k: 2 })
+///     .backend(NetBackend::Threaded)
+///     .rounds(3)
+///     .run(&mut scenario)
+///     .expect("valid configuration");
+/// assert!(report.run.fully_converged());
+/// assert_eq!(report.end_state.len(), 32);
+/// ```
+pub struct NetRunner {
+    graph: CsrGraph,
+    algo: SpannerAlgo,
+    backend: NetBackend,
+    tick: Duration,
+    quiesce_timeout: Duration,
+    rounds: usize,
+    telemetry: TelemetryHandle,
+}
+
+/// What a [`NetRunner::run`] hands back: the wall-clock run transcript,
+/// the canonical per-node end state, and the engine (for further churn or
+/// table inspection).
+pub struct NetRunReport {
+    /// Per-round convergence transcript (wall-clock nanoseconds).
+    pub run: NetChurnRun,
+    /// Canonicalised per-node protocol knowledge, in node-id order — the
+    /// same shape the asim-equivalence property compares.
+    pub end_state: Vec<NodeEndState>,
+    /// The engine after all commits (epoch = rounds).
+    pub engine: RspanEngine,
+}
+
+impl std::fmt::Debug for NetRunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetRunReport")
+            .field("run", &self.run)
+            .field("nodes", &self.end_state.len())
+            .field("epoch", &self.engine.epoch())
+            .finish()
+    }
+}
+
+impl NetRunner {
+    /// A runner over `graph` with defaults: exact trees, threaded backend,
+    /// 100 µs tick, 30 s quiescence timeout, one round, telemetry off.
+    pub fn new(graph: CsrGraph) -> Self {
+        NetRunner {
+            graph,
+            algo: SpannerAlgo::Exact,
+            backend: NetBackend::Threaded,
+            tick: Duration::from_micros(100),
+            quiesce_timeout: Duration::from_secs(30),
+            rounds: 1,
+            telemetry: TelemetryHandle::off(),
+        }
+    }
+
+    /// Chooses the spanner algorithm (must have an incremental form).
+    pub fn algo(mut self, algo: SpannerAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Chooses the transport backend.
+    pub fn backend(mut self, backend: NetBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the tick width of the cluster clock.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Sets the per-phase quiescence timeout.
+    pub fn quiesce_timeout(mut self, timeout: Duration) -> Self {
+        self.quiesce_timeout = timeout;
+        self
+    }
+
+    /// Sets the number of churn rounds.
+    pub fn rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// Attaches a live telemetry handle (net frame/byte counters, the
+    /// queue-depth gauge and the latency histogram).
+    pub fn telemetry(mut self, tel: TelemetryHandle) -> Self {
+        self.telemetry = tel;
+        self
+    }
+
+    /// Validates the configuration, spawns the cluster and drives `rounds`
+    /// churn rounds from `scenario` on the live transport.
+    pub fn run(self, scenario: &mut dyn ChurnScenario) -> Result<NetRunReport, RspanError> {
+        self.algo.check()?;
+        let Some(tree_algo) = self.algo.tree_algo() else {
+            return Err(RspanError::AlgoNotIncremental {
+                algo: self.algo.label(),
+            });
+        };
+        if self.rounds == 0 {
+            return Err(RspanError::InvalidChurn {
+                reason: "a real-transport run needs at least one round".into(),
+            });
+        }
+        if self.tick.is_zero() {
+            return Err(RspanError::InvalidChurn {
+                reason: "tick duration must be nonzero".into(),
+            });
+        }
+        if self.quiesce_timeout.is_zero() {
+            return Err(RspanError::InvalidChurn {
+                reason: "quiescence timeout must be nonzero".into(),
+            });
+        }
+        let mut engine = RspanEngine::new(self.graph, tree_algo);
+        let harness = NetCluster::new(NetChurnConfig {
+            backend: self.backend,
+            tick: self.tick,
+            quiesce_timeout: self.quiesce_timeout,
+            telemetry: self.telemetry,
+        });
+        let (run, nodes) = harness.run(&mut engine, scenario, self.rounds);
+        let end_state = rspan_net::repair_end_state(&nodes);
+        Ok(NetRunReport {
+            run,
+            end_state,
+            engine,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rspan_engine::LinkFlapScenario;
+    use rspan_graph::generators::udg_with_density;
+
+    #[test]
+    fn degenerate_configurations_are_rejected_up_front() {
+        let graph = udg_with_density(16, 5.0, 1).graph;
+        let mut scenario = LinkFlapScenario::new(&graph, 1.0, 2);
+        let err = NetRunner::new(graph.clone())
+            .rounds(0)
+            .run(&mut scenario)
+            .unwrap_err();
+        assert!(matches!(err, RspanError::InvalidChurn { .. }));
+        let err = NetRunner::new(graph.clone())
+            .tick(Duration::ZERO)
+            .run(&mut scenario)
+            .unwrap_err();
+        assert!(matches!(err, RspanError::InvalidChurn { .. }));
+        let err = NetRunner::new(graph)
+            .algo(SpannerAlgo::BaswanaSen { k: 3, seed: 1 })
+            .run(&mut scenario)
+            .unwrap_err();
+        assert!(matches!(err, RspanError::AlgoNotIncremental { .. }));
+    }
+
+    #[test]
+    fn runs_churn_on_live_threads_and_reports_convergence() {
+        let graph = udg_with_density(24, 5.0, 3).graph;
+        let mut scenario = LinkFlapScenario::new(&graph, 2.0, 5);
+        let report = NetRunner::new(graph)
+            .algo(SpannerAlgo::KConnecting { k: 2 })
+            .rounds(3)
+            .run(&mut scenario)
+            .expect("valid configuration");
+        assert!(report.run.fully_converged());
+        assert_eq!(report.run.rounds.len(), 3);
+        assert_eq!(report.end_state.len(), 24);
+        assert_eq!(report.engine.epoch(), 3);
+    }
+}

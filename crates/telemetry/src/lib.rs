@@ -167,10 +167,20 @@ pub enum Counter {
     RbEchoQuorums,
     /// Reliable broadcast: payloads delivered to inner protocols.
     RbDelivers,
+    /// Real transport: frames enqueued for the wire (both backends).
+    NetFramesSent,
+    /// Real transport: frames delivered to protocol nodes.
+    NetFramesRecv,
+    /// Real transport: payload bytes enqueued for the wire (`WireSize`).
+    NetBytesSent,
+    /// Real transport: payload bytes delivered to protocol nodes.
+    NetBytesRecv,
+    /// Real transport: TCP reconnect attempts after a writer error.
+    NetReconnects,
 }
 
 /// Number of distinct [`Counter`] values (array-indexing bound).
-pub const COUNTERS: usize = 29;
+pub const COUNTERS: usize = 34;
 
 impl Counter {
     /// Stable snake_case label used in expositions (`rspan_<label>_total`).
@@ -205,6 +215,11 @@ impl Counter {
             Counter::SimDropStale => "sim_drop_stale",
             Counter::RbEchoQuorums => "rb_echo_quorums",
             Counter::RbDelivers => "rb_delivers",
+            Counter::NetFramesSent => "net_frames_sent",
+            Counter::NetFramesRecv => "net_frames_recv",
+            Counter::NetBytesSent => "net_bytes_sent",
+            Counter::NetBytesRecv => "net_bytes_recv",
+            Counter::NetReconnects => "net_reconnects",
         }
     }
 
@@ -240,6 +255,11 @@ impl Counter {
             Counter::SimDropStale => "Frames dropped: stale epoch",
             Counter::RbEchoQuorums => "Echo quorums reached",
             Counter::RbDelivers => "Reliable-broadcast deliveries",
+            Counter::NetFramesSent => "Real-transport frames sent",
+            Counter::NetFramesRecv => "Real-transport frames received",
+            Counter::NetBytesSent => "Real-transport payload bytes sent",
+            Counter::NetBytesRecv => "Real-transport payload bytes received",
+            Counter::NetReconnects => "Real-transport TCP reconnects",
         }
     }
 
@@ -275,6 +295,11 @@ impl Counter {
             Counter::SimDropStale,
             Counter::RbEchoQuorums,
             Counter::RbDelivers,
+            Counter::NetFramesSent,
+            Counter::NetFramesRecv,
+            Counter::NetBytesSent,
+            Counter::NetBytesRecv,
+            Counter::NetReconnects,
         ]
     }
 }
@@ -288,10 +313,13 @@ pub enum Gauge {
     SimHeapDepth = 0,
     /// Compact router: rows currently resident in the LRU cache.
     CacheEntries,
+    /// Real transport: frames enqueued but not yet processed (must fold to
+    /// zero at quiescence).
+    NetQueueDepth,
 }
 
 /// Number of distinct [`Gauge`] values (array-indexing bound).
-pub const GAUGES: usize = 2;
+pub const GAUGES: usize = 3;
 
 impl Gauge {
     /// Stable snake_case label used in expositions (`rspan_<label>`).
@@ -299,6 +327,7 @@ impl Gauge {
         match self {
             Gauge::SimHeapDepth => "sim_heap_depth",
             Gauge::CacheEntries => "cache_entries",
+            Gauge::NetQueueDepth => "net_queue_depth",
         }
     }
 
@@ -307,12 +336,17 @@ impl Gauge {
         match self {
             Gauge::SimHeapDepth => "Pending events in the simulator heap",
             Gauge::CacheEntries => "Rows resident in the row cache",
+            Gauge::NetQueueDepth => "Real-transport frames in flight",
         }
     }
 
     /// All values, in `repr` order (for snapshot assembly).
     pub fn all() -> [Gauge; GAUGES] {
-        [Gauge::SimHeapDepth, Gauge::CacheEntries]
+        [
+            Gauge::SimHeapDepth,
+            Gauge::CacheEntries,
+            Gauge::NetQueueDepth,
+        ]
     }
 }
 
@@ -423,10 +457,12 @@ pub enum Hist {
     CommitNs,
     /// Wall nanoseconds per router repair pass (delta + compact).
     RepairNs,
+    /// Real transport: send-to-receive latency in wall nanoseconds.
+    NetLatencyNs,
 }
 
 /// Number of distinct [`Hist`] values (array-indexing bound).
-pub const HISTS: usize = 3;
+pub const HISTS: usize = 4;
 
 impl Hist {
     /// Stable snake_case label used in expositions.
@@ -435,6 +471,7 @@ impl Hist {
             Hist::HeapDepth => "heap_depth",
             Hist::CommitNs => "commit_ns",
             Hist::RepairNs => "repair_ns",
+            Hist::NetLatencyNs => "net_latency_ns",
         }
     }
 
@@ -444,12 +481,18 @@ impl Hist {
             Hist::HeapDepth => "Simulator heap depth at event pop",
             Hist::CommitNs => "Wall nanoseconds per engine commit",
             Hist::RepairNs => "Wall nanoseconds per repair pass",
+            Hist::NetLatencyNs => "Real-transport send-to-receive wall nanoseconds",
         }
     }
 
     /// All values, in `repr` order (for snapshot assembly).
     pub fn all() -> [Hist; HISTS] {
-        [Hist::HeapDepth, Hist::CommitNs, Hist::RepairNs]
+        [
+            Hist::HeapDepth,
+            Hist::CommitNs,
+            Hist::RepairNs,
+            Hist::NetLatencyNs,
+        ]
     }
 }
 
@@ -840,7 +883,7 @@ pub struct SpanRow {
 }
 
 /// A point-in-time fold of every metric in a registry.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TelemetrySnapshot {
     /// Counter totals, indexed by `Counter as usize`.
     pub counters: [u64; COUNTERS],
@@ -850,6 +893,19 @@ pub struct TelemetrySnapshot {
     pub spans: [SpanRow; SPANS],
     /// Histogram folds, indexed by `Hist as usize`.
     pub hists: [HistSnapshot; HISTS],
+}
+
+// Derived `Default` requires `[u64; N]: Default`, which std only provides
+// for N ≤ 32; spell it out so the counter count can keep growing.
+impl Default for TelemetrySnapshot {
+    fn default() -> Self {
+        TelemetrySnapshot {
+            counters: [0; COUNTERS],
+            gauges: [0; GAUGES],
+            spans: [SpanRow::default(); SPANS],
+            hists: std::array::from_fn(|_| HistSnapshot::default()),
+        }
+    }
 }
 
 impl TelemetrySnapshot {
